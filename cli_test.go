@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into a shared temp dir,
+// once per test binary invocation.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	dir := sharedBinDir(t)
+	bin := filepath.Join(dir, name)
+	if _, err := os.Stat(bin); err == nil {
+		return bin
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+var binDir string
+
+func sharedBinDir(t *testing.T) string {
+	t.Helper()
+	if binDir == "" {
+		dir, err := os.MkdirTemp("", "repro-cli")
+		if err != nil {
+			t.Fatal(err)
+		}
+		binDir = dir
+	}
+	return binDir
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIPlatgenEmitsValidJSON(t *testing.T) {
+	bin := buildTool(t, "platgen")
+	out, err := run(t, bin, "-k", "6", "-seed", "3")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{`"routers"`, `"clusters"`, `"speed": 100`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// -o writes the same content to a file.
+	f := filepath.Join(t.TempDir(), "p.json")
+	if _, err := run(t, bin, "-k", "6", "-seed", "3", "-o", f); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out {
+		t.Fatal("file output differs from stdout output")
+	}
+}
+
+func TestCLIPlatgenRejectsBadParams(t *testing.T) {
+	bin := buildTool(t, "platgen")
+	out, err := run(t, bin, "-k", "0")
+	if err == nil {
+		t.Fatalf("k=0 must fail, got:\n%s", out)
+	}
+}
+
+func TestCLIDlschedEndToEnd(t *testing.T) {
+	platgen := buildTool(t, "platgen")
+	dlsched := buildTool(t, "dlsched")
+	plat := filepath.Join(t.TempDir(), "plat.json")
+	if out, err := run(t, platgen, "-k", "5", "-seed", "7", "-o", plat); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, h := range []string{"g", "g-full", "lpr", "lprg", "lprr", "lprr-eq", "bnb"} {
+		out, err := run(t, dlsched, "-platform", plat, "-heuristic", h, "-objective", "sum")
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", h, err, out)
+		}
+		if !strings.Contains(out, "lp-bound=") || !strings.Contains(out, "value=") {
+			t.Fatalf("%s output malformed:\n%s", h, out)
+		}
+	}
+	// Schedule + simulation path.
+	out, err := run(t, dlsched, "-platform", plat, "-heuristic", "lprg", "-objective", "maxmin", "-simulate", "-periods", "20")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"schedule: period=", "simulation: periods=20", "fits=true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("simulate output missing %q:\n%s", want, out)
+		}
+	}
+	// Custom payoffs.
+	out, err = run(t, dlsched, "-platform", plat, "-heuristic", "g", "-payoffs", "1,0,0,2,1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "payoff 2.00") {
+		t.Fatalf("payoffs not applied:\n%s", out)
+	}
+}
+
+func TestCLIDlschedErrors(t *testing.T) {
+	dlsched := buildTool(t, "dlsched")
+	if out, err := run(t, dlsched); err == nil {
+		t.Fatalf("missing -platform must fail:\n%s", out)
+	}
+	plat := filepath.Join(t.TempDir(), "plat.json")
+	if err := os.WriteFile(plat, []byte(`{"routers":1,"clusters":[{"name":"a","speed":10,"gateway":5,"router":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := run(t, dlsched, "-platform", plat, "-heuristic", "nope"); err == nil {
+		t.Fatalf("unknown heuristic must fail:\n%s", out)
+	}
+	if out, err := run(t, dlsched, "-platform", plat, "-objective", "nope"); err == nil {
+		t.Fatalf("unknown objective must fail:\n%s", out)
+	}
+	if out, err := run(t, dlsched, "-platform", plat, "-payoffs", "1,2"); err == nil {
+		t.Fatalf("wrong payoff count must fail:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsSmallSweep(t *testing.T) {
+	bin := buildTool(t, "experiments")
+	outdir := t.TempDir()
+	out, err := run(t, bin, "-exp", "fig5", "-ks", "5", "-platforms", "1", "-outdir", outdir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "== fig5 ==") || !strings.Contains(out, "SUM(LPRG)/LP") {
+		t.Fatalf("fig5 output malformed:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(outdir, "fig5.txt")); err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	// CSV mode.
+	out, err = run(t, bin, "-exp", "fig5", "-ks", "5", "-platforms", "1", "-csv")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "k,platforms,") {
+		t.Fatalf("csv output malformed:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsBadFlags(t *testing.T) {
+	bin := buildTool(t, "experiments")
+	if out, err := run(t, bin, "-exp", "fig5", "-ks", "banana"); err == nil {
+		t.Fatalf("bad -ks must fail:\n%s", out)
+	}
+}

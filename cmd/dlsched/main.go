@@ -1,0 +1,182 @@
+// Command dlsched solves one STEADY-STATE-DIVISIBLE-LOAD instance:
+// it reads a platform JSON (produced by cmd/platgen or hand-written),
+// runs the chosen heuristic under the chosen objective, prints the
+// allocation and — optionally — reconstructs the periodic schedule
+// and executes it on the flow-level network simulator.
+//
+// Usage:
+//
+//	dlsched -platform platform.json -heuristic lprg -objective maxmin
+//	dlsched -platform platform.json -heuristic g -schedule -simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/netsim"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dlsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		platFile = flag.String("platform", "", "platform JSON file (required)")
+		heur     = flag.String("heuristic", "lprg", "one of g, g-full, lpr, lprg, lprr, lprr-eq, bnb")
+		objName  = flag.String("objective", "maxmin", "sum or maxmin")
+		payoffs  = flag.String("payoffs", "", "comma-separated payoff factors (default: all 1)")
+		seed     = flag.Int64("seed", 1, "seed for the randomized heuristics")
+		doSched  = flag.Bool("schedule", false, "reconstruct the periodic schedule")
+		denom    = flag.Int64("denom", 1000000, "schedule common denominator (period length)")
+		doSim    = flag.Bool("simulate", false, "execute the schedule on the network simulator (implies -schedule)")
+		periods  = flag.Int("periods", 100, "simulation horizon in periods")
+	)
+	flag.Parse()
+	if *platFile == "" {
+		return fmt.Errorf("-platform is required")
+	}
+	data, err := os.ReadFile(*platFile)
+	if err != nil {
+		return err
+	}
+	pl, err := platform.Decode(data)
+	if err != nil {
+		return err
+	}
+	pr := core.NewProblem(pl)
+	if *payoffs != "" {
+		parts := strings.Split(*payoffs, ",")
+		if len(parts) != pr.K() {
+			return fmt.Errorf("%d payoffs for %d clusters", len(parts), pr.K())
+		}
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("payoff %d: %w", i, err)
+			}
+			pr.Payoffs[i] = v
+		}
+	}
+	var obj core.Objective
+	switch strings.ToLower(*objName) {
+	case "sum":
+		obj = core.SUM
+	case "maxmin":
+		obj = core.MAXMIN
+	default:
+		return fmt.Errorf("unknown objective %q", *objName)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var alloc *core.Allocation
+	switch strings.ToLower(*heur) {
+	case "g":
+		alloc = heuristics.Greedy(pr)
+	case "g-full":
+		alloc = heuristics.GreedyFullDrain(pr)
+	case "lpr":
+		alloc, err = heuristics.LPR(pr, obj)
+	case "lprg":
+		alloc, err = heuristics.LPRG(pr, obj)
+	case "lprr":
+		alloc, err = heuristics.LPRR(pr, obj, heuristics.ProportionalRounding, rng)
+	case "lprr-eq":
+		alloc, err = heuristics.LPRR(pr, obj, heuristics.EqualRounding, rng)
+	case "bnb":
+		alloc, _, err = heuristics.BranchAndBound(pr, obj, 0)
+	default:
+		return fmt.Errorf("unknown heuristic %q", *heur)
+	}
+	if err != nil {
+		return err
+	}
+	if err := pr.CheckAllocation(alloc, core.DefaultTol); err != nil {
+		return fmt.Errorf("internal error: heuristic produced invalid allocation: %w", err)
+	}
+
+	ub, _, err := heuristics.UpperBound(pr, obj)
+	if err != nil {
+		return err
+	}
+	val := pr.Objective(obj, alloc)
+	fmt.Printf("platform: K=%d routers=%d links=%d\n", pr.K(), pl.Routers, len(pl.Links))
+	fmt.Printf("heuristic=%s objective=%s value=%.4f lp-bound=%.4f ratio=%.4f\n",
+		strings.ToUpper(*heur), obj, val, ub, safeRatio(val, ub))
+	for k := 0; k < pr.K(); k++ {
+		fmt.Printf("  app %-3d throughput=%.4f (payoff %.2f)\n", k, alloc.AppThroughput(k), pr.Payoffs[k])
+	}
+	printNonzero(alloc)
+
+	if !*doSched && !*doSim {
+		return nil
+	}
+	s, err := schedule.Build(pr, alloc, *denom)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule: period=%.0f time units\n", s.Period)
+	for k := 0; k < pr.K(); k++ {
+		fmt.Printf("  app %-3d load/period=%d steady throughput=%.4f\n", k, s.AppLoadPerPeriod(k), s.Throughput(k))
+	}
+	if !*doSim {
+		return nil
+	}
+	rep, err := netsim.ExecuteSchedule(pr, s, *periods, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation: periods=%d transfer-makespan=%.1f cycle=%.1f fits=%v\n",
+		rep.Periods, rep.TransferMakespan, rep.CycleTime, rep.FitsPeriod)
+	for k := 0; k < pr.K(); k++ {
+		fmt.Printf("  app %-3d achieved=%.4f predicted=%.4f\n", k, rep.Achieved[k], rep.Predicted[k])
+	}
+	return nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func printNonzero(a *core.Allocation) {
+	K := len(a.Alpha)
+	n := 0
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if a.Alpha[k][l] > 1e-9 {
+				n++
+			}
+		}
+	}
+	fmt.Printf("allocation: %d nonzero α entries\n", n)
+	if K > 12 {
+		return // keep output compact on big platforms
+	}
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if a.Alpha[k][l] <= 1e-9 {
+				continue
+			}
+			if k == l {
+				fmt.Printf("  α[%d,%d]=%.3f (local)\n", k, l, a.Alpha[k][l])
+			} else {
+				fmt.Printf("  α[%d,%d]=%.3f β=%d\n", k, l, a.Alpha[k][l], a.Beta[k][l])
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command platgen generates a random platform from Table 1 style
+// parameters and writes it as JSON, ready for cmd/dlsched.
+//
+// Usage:
+//
+//	platgen -k 20 -connectivity 0.4 -heterogeneity 0.4 \
+//	        -g 250 -bw 50 -maxcon 15 -seed 1 > platform.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/platgen"
+)
+
+func main() {
+	var (
+		k      = flag.Int("k", 10, "number of clusters")
+		conn   = flag.Float64("connectivity", 0.4, "probability that two clusters are directly linked")
+		het    = flag.Float64("heterogeneity", 0.4, "relative spread of sampled parameters, in [0,1)")
+		meanG  = flag.Float64("g", 250, "mean gateway capacity")
+		meanBW = flag.Float64("bw", 50, "mean per-connection backbone bandwidth")
+		meanMC = flag.Float64("maxcon", 15, "mean per-link connection budget")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	params := platgen.Params{
+		K:             *k,
+		Connectivity:  *conn,
+		Heterogeneity: *het,
+		MeanG:         *meanG,
+		MeanBW:        *meanBW,
+		MeanMaxCon:    *meanMC,
+	}
+	pl, err := platgen.Generate(params, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "platgen:", err)
+		os.Exit(1)
+	}
+	data, err := pl.Encode()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "platgen:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "platgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+// Adaptive: the §1 adaptability claim — because steady-state
+// schedules are periodic, the scheduler can re-run the optimization
+// between periods and react to resource availability changes. This
+// example uses internal/adapt to simulate a platform whose gateway
+// capacities degrade and recover over time (a non-dedicated Grid),
+// re-solving with LPRG at every epoch, and compares the adaptive
+// throughput against a static schedule computed once at the start and
+// throttled by the network thereafter.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/platgen"
+)
+
+func main() {
+	params := platgen.Params{
+		K:             8,
+		Connectivity:  0.5,
+		Heterogeneity: 0.4,
+		MeanG:         120,
+		MeanBW:        30,
+		MeanMaxCon:    6,
+	}
+	pl, err := platgen.Generate(params, rand.New(rand.NewSource(11)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := core.NewProblem(pl)
+
+	solver := func(p *core.Problem) (*core.Allocation, error) {
+		return heuristics.LPRG(p, core.MAXMIN)
+	}
+
+	// External traffic squeezes every gateway by a factor in
+	// [0.3, 1.0], drawn independently each epoch.
+	model := adapt.UniformLoadModel{K: pr.K(), Min: 0.3, Max: 1.0, Seed: 99}
+	const epochs = 12
+	results, err := adapt.Run(pr, solver, model, core.MAXMIN, epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("epoch  adaptive-minload  static-minload")
+	for _, r := range results {
+		fmt.Printf("%5d  %16.2f  %14.2f\n", r.Epoch, r.Adaptive, r.Static)
+	}
+	s := adapt.Summarize(results)
+	fmt.Printf("\nmean min-load over %d epochs: adaptive %.2f, static %.2f (%.0f%% improvement)\n",
+		s.Epochs, s.MeanAdaptive, s.MeanStatic, 100*s.Gain)
+
+	// A second scenario: diurnal desktop-grid speeds.
+	diurnal := adapt.DiurnalModel{K: pr.K(), Min: 0.4, Max: 1.0, Period: 6}
+	results, err = adapt.Run(pr, solver, diurnal, core.SUM, epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s = adapt.Summarize(results)
+	fmt.Printf("diurnal speeds (SUM): adaptive %.1f vs static %.1f (%.0f%% improvement)\n",
+		s.MeanAdaptive, s.MeanStatic, 100*s.Gain)
+}

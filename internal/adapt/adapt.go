@@ -1,0 +1,253 @@
+// Package adapt implements the paper's §1 adaptability argument as a
+// library: "because the schedule is periodic, it is possible to
+// dynamically record the observed performance during the current
+// period, and to inject this information into the algorithm that will
+// compute the optimal schedule for the next period". It provides
+// perturbation models for non-dedicated platforms (time-varying
+// gateway and speed availability), an epoch driver that re-solves the
+// steady-state problem each epoch with any heuristic, and a static
+// baseline that keeps the initial allocation and lets the platform
+// throttle it — so the value of re-optimization can be quantified.
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Perturbation rescales a platform's capacities for one epoch.
+type Perturbation struct {
+	// GatewayFactor[k] scales cluster k's gateway capacity; nil means
+	// no change. Values must be in (0, +inf).
+	GatewayFactor []float64
+	// SpeedFactor[k] scales cluster k's computing speed; nil means no
+	// change.
+	SpeedFactor []float64
+}
+
+// Apply returns a copy of the platform with the perturbation applied.
+func (p Perturbation) Apply(pl *platform.Platform) (*platform.Platform, error) {
+	out := pl.Clone()
+	if p.GatewayFactor != nil {
+		if len(p.GatewayFactor) != pl.K() {
+			return nil, fmt.Errorf("adapt: %d gateway factors for %d clusters", len(p.GatewayFactor), pl.K())
+		}
+		for k, f := range p.GatewayFactor {
+			if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("adapt: gateway factor %d = %g invalid", k, f)
+			}
+			out.Clusters[k].Gateway *= f
+		}
+	}
+	if p.SpeedFactor != nil {
+		if len(p.SpeedFactor) != pl.K() {
+			return nil, fmt.Errorf("adapt: %d speed factors for %d clusters", len(p.SpeedFactor), pl.K())
+		}
+		for k, f := range p.SpeedFactor {
+			if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("adapt: speed factor %d = %g invalid", k, f)
+			}
+			out.Clusters[k].Speed *= f
+		}
+	}
+	return out, nil
+}
+
+// Model generates one Perturbation per epoch.
+type Model interface {
+	// Epoch returns the perturbation for epoch e (deterministic for a
+	// given model instance and epoch index).
+	Epoch(e int) Perturbation
+}
+
+// UniformLoadModel squeezes every gateway by an i.i.d. uniform factor
+// in [Min, Max] each epoch — external traffic on a non-dedicated Grid
+// (the scenario of examples/adaptive).
+type UniformLoadModel struct {
+	K        int
+	Min, Max float64
+	Seed     int64
+}
+
+// Epoch implements Model. Each epoch draws from an rng seeded by
+// (Seed, e) so epochs are independent and reproducible.
+func (m UniformLoadModel) Epoch(e int) Perturbation {
+	rng := rand.New(rand.NewSource(m.Seed + int64(e)*1000003))
+	f := make([]float64, m.K)
+	for k := range f {
+		f[k] = m.Min + (m.Max-m.Min)*rng.Float64()
+	}
+	return Perturbation{GatewayFactor: f}
+}
+
+// DiurnalModel modulates every cluster's speed sinusoidally with the
+// given period (in epochs) between Min and Max of nominal — desktop
+// grids gaining capacity at night.
+type DiurnalModel struct {
+	K        int
+	Min, Max float64
+	Period   int
+}
+
+// Epoch implements Model.
+func (m DiurnalModel) Epoch(e int) Perturbation {
+	phase := 2 * math.Pi * float64(e) / float64(m.Period)
+	v := m.Min + (m.Max-m.Min)*(0.5+0.5*math.Sin(phase))
+	f := make([]float64, m.K)
+	for k := range f {
+		f[k] = v
+	}
+	return Perturbation{SpeedFactor: f}
+}
+
+// Solver computes an allocation for a problem (an adapter over the
+// heuristics so this package does not depend on internal/heuristics).
+type Solver func(pr *core.Problem) (*core.Allocation, error)
+
+// EpochResult records one epoch of a run.
+type EpochResult struct {
+	Epoch    int
+	Adaptive float64 // objective of the re-optimized allocation
+	Static   float64 // objective of the throttled initial allocation
+}
+
+// Run drives epochs: at each epoch the model perturbs the nominal
+// platform; the adaptive schedule re-solves on the perturbed
+// platform, while the static baseline keeps the epoch-0 nominal
+// allocation with its remote transfers throttled to the shrunken
+// capacities (what the network would do to a stale schedule). Both
+// are scored under obj.
+func Run(pr *core.Problem, solve Solver, model Model, obj core.Objective, epochs int) ([]EpochResult, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("adapt: epochs = %d, want >= 1", epochs)
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	staticAlloc, err := solve(pr)
+	if err != nil {
+		return nil, fmt.Errorf("adapt: solving nominal platform: %w", err)
+	}
+	if err := pr.CheckAllocation(staticAlloc, core.DefaultTol); err != nil {
+		return nil, fmt.Errorf("adapt: nominal allocation invalid: %w", err)
+	}
+	out := make([]EpochResult, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		pert := model.Epoch(e)
+		epl, err := pert.Apply(pr.Platform)
+		if err != nil {
+			return nil, err
+		}
+		epr := &core.Problem{Platform: epl, Payoffs: pr.Payoffs}
+		adaptive, err := solve(epr)
+		if err != nil {
+			return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
+		}
+		if err := epr.CheckAllocation(adaptive, core.DefaultTol); err != nil {
+			return nil, fmt.Errorf("adapt: epoch %d allocation invalid: %w", e, err)
+		}
+		out = append(out, EpochResult{
+			Epoch:    e,
+			Adaptive: epr.Objective(obj, adaptive),
+			Static:   epr.Objective(obj, Throttle(epr, staticAlloc)),
+		})
+	}
+	return out, nil
+}
+
+// Throttle evaluates a stale allocation on a (possibly degraded)
+// platform: remote transfers through an over-subscribed gateway are
+// scaled by the gateway's overload factor, remote work beyond a
+// shrunken route capacity is clipped to β·bw, and computation beyond
+// a shrunken speed is clipped proportionally. The result is a valid
+// allocation for the new platform (within tolerance), representing
+// what a schedule that is not re-optimized actually delivers.
+func Throttle(pr *core.Problem, a *core.Allocation) *core.Allocation {
+	K := pr.K()
+	pl := pr.Platform
+	out := a.Clone()
+	// Gateway overloads.
+	scale := make([]float64, K)
+	for k := 0; k < K; k++ {
+		traffic := 0.0
+		for l := 0; l < K; l++ {
+			if l == k {
+				continue
+			}
+			traffic += out.Alpha[k][l] + out.Alpha[l][k]
+		}
+		scale[k] = 1
+		if g := pl.Clusters[k].Gateway; traffic > g {
+			if traffic > 0 {
+				scale[k] = g / traffic
+			} else {
+				scale[k] = 0
+			}
+		}
+	}
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if k == l {
+				continue
+			}
+			s := math.Min(scale[k], scale[l])
+			out.Alpha[k][l] *= s
+			// Route capacity under the new platform.
+			bw := pl.RouteBW(k, l)
+			if !math.IsInf(bw, 1) {
+				if capA := float64(out.Beta[k][l]) * bw; out.Alpha[k][l] > capA {
+					out.Alpha[k][l] = capA
+				}
+			}
+		}
+	}
+	// Speed overloads.
+	for l := 0; l < K; l++ {
+		in := 0.0
+		for k := 0; k < K; k++ {
+			in += out.Alpha[k][l]
+		}
+		if s := pl.Clusters[l].Speed; in > s && in > 0 {
+			f := s / in
+			for k := 0; k < K; k++ {
+				out.Alpha[k][l] *= f
+			}
+		}
+	}
+	return out
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Epochs       int
+	MeanAdaptive float64
+	MeanStatic   float64
+	// Gain is MeanAdaptive/MeanStatic − 1 (0 when static is 0 and
+	// adaptive is too; +Inf when only static is 0).
+	Gain float64
+}
+
+// Summarize reduces epoch results to means and the adaptive gain.
+func Summarize(results []EpochResult) Summary {
+	s := Summary{Epochs: len(results)}
+	if len(results) == 0 {
+		return s
+	}
+	for _, r := range results {
+		s.MeanAdaptive += r.Adaptive
+		s.MeanStatic += r.Static
+	}
+	s.MeanAdaptive /= float64(len(results))
+	s.MeanStatic /= float64(len(results))
+	switch {
+	case s.MeanStatic > 0:
+		s.Gain = s.MeanAdaptive/s.MeanStatic - 1
+	case s.MeanAdaptive > 0:
+		s.Gain = math.Inf(1)
+	}
+	return s
+}

@@ -1,0 +1,443 @@
+// Package core implements the paper's steady-state multi-application
+// divisible-load scheduling problem (§3): the activity variables
+// α_{k,l} (load of application A_k shipped from its home cluster C^k
+// and computed on cluster C^l per time unit) and β_{k,l} (number of
+// network connections opened from C^k to C^l), the steady-state
+// constraints of Equations (7a)-(7g), the SUM and MAXMIN objectives
+// of Equations (5)/(6), and the linear-program builders used by the
+// LP-based heuristics and the exact branch-and-bound solver.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+)
+
+// Objective selects between the paper's two optimization criteria.
+type Objective int
+
+const (
+	// SUM maximizes the total payoff Σ_k π_k·α_k (Equation 5).
+	SUM Objective = iota
+	// MAXMIN maximizes the minimum payoff min_k π_k·α_k over
+	// applications with π_k > 0 (Equation 6) — MAX-MIN fairness.
+	MAXMIN
+)
+
+func (o Objective) String() string {
+	switch o {
+	case SUM:
+		return "SUM"
+	case MAXMIN:
+		return "MAXMIN"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Problem couples a platform with the per-application payoff factors
+// π_k. Application A_k originates at cluster C^k, so len(Payoffs)
+// must equal the platform's cluster count.
+type Problem struct {
+	Platform *platform.Platform
+	Payoffs  []float64
+}
+
+// NewProblem builds a problem with unit payoffs (π_k = 1 for all k).
+func NewProblem(pl *platform.Platform) *Problem {
+	pi := make([]float64, pl.K())
+	for i := range pi {
+		pi[i] = 1
+	}
+	return &Problem{Platform: pl, Payoffs: pi}
+}
+
+// Validate checks the problem's structural invariants.
+func (pr *Problem) Validate() error {
+	if pr.Platform == nil {
+		return fmt.Errorf("core: nil platform")
+	}
+	if err := pr.Platform.Validate(); err != nil {
+		return err
+	}
+	if len(pr.Payoffs) != pr.Platform.K() {
+		return fmt.Errorf("core: %d payoffs for %d clusters", len(pr.Payoffs), pr.Platform.K())
+	}
+	for k, pi := range pr.Payoffs {
+		if pi < 0 || math.IsNaN(pi) || math.IsInf(pi, 0) {
+			return fmt.Errorf("core: payoff %d = %g, want finite nonnegative", k, pi)
+		}
+	}
+	return nil
+}
+
+// K returns the number of applications (= clusters).
+func (pr *Problem) K() int { return pr.Platform.K() }
+
+// Allocation is a candidate steady-state operating point: Alpha[k][l]
+// is α_{k,l}, Beta[k][l] is β_{k,l}. The diagonal of Beta is unused
+// (local computation opens no connection) and must be 0.
+type Allocation struct {
+	Alpha [][]float64
+	Beta  [][]int
+}
+
+// NewAllocation returns the all-zero allocation for k applications,
+// which is always valid (Equations 7 hold trivially).
+func NewAllocation(k int) *Allocation {
+	a := &Allocation{Alpha: make([][]float64, k), Beta: make([][]int, k)}
+	for i := 0; i < k; i++ {
+		a.Alpha[i] = make([]float64, k)
+		a.Beta[i] = make([]int, k)
+	}
+	return a
+}
+
+// Clone deep-copies the allocation.
+func (a *Allocation) Clone() *Allocation {
+	c := NewAllocation(len(a.Alpha))
+	for i := range a.Alpha {
+		copy(c.Alpha[i], a.Alpha[i])
+		copy(c.Beta[i], a.Beta[i])
+	}
+	return c
+}
+
+// AppThroughput returns α_k = Σ_l α_{k,l} (Equation 7a): the load
+// processed for application A_k per time unit.
+func (a *Allocation) AppThroughput(k int) float64 {
+	sum := 0.0
+	for _, v := range a.Alpha[k] {
+		sum += v
+	}
+	return sum
+}
+
+// Objective evaluates the allocation under the given criterion.
+// MAXMIN is taken over applications with π_k > 0; if there are none
+// it returns 0.
+func (pr *Problem) Objective(obj Objective, a *Allocation) float64 {
+	switch obj {
+	case SUM:
+		total := 0.0
+		for k := range pr.Payoffs {
+			total += pr.Payoffs[k] * a.AppThroughput(k)
+		}
+		return total
+	case MAXMIN:
+		minv := math.Inf(1)
+		seen := false
+		for k, pi := range pr.Payoffs {
+			if pi <= 0 {
+				continue
+			}
+			seen = true
+			if v := pi * a.AppThroughput(k); v < minv {
+				minv = v
+			}
+		}
+		if !seen {
+			return 0
+		}
+		return minv
+	}
+	panic(fmt.Sprintf("core: unknown objective %d", int(obj)))
+}
+
+// DefaultTol is the feasibility tolerance used by CheckAllocation for
+// floating-point allocations produced by the LP-based heuristics.
+const DefaultTol = 1e-6
+
+// CheckAllocation verifies Equations (7b)-(7g) against the platform,
+// within an absolute-plus-relative tolerance tol per constraint. It
+// returns nil iff the allocation is a valid steady-state operating
+// point. Additionally it enforces the model-level invariants that
+// work only flows over existing routes and that the Beta diagonal is
+// zero.
+func (pr *Problem) CheckAllocation(a *Allocation, tol float64) error {
+	K := pr.K()
+	if len(a.Alpha) != K || len(a.Beta) != K {
+		return fmt.Errorf("core: allocation sized %dx? for K=%d", len(a.Alpha), K)
+	}
+	pl := pr.Platform
+	// (7f)/(7g): signs, integrality (by type), diagonal, route existence.
+	for k := 0; k < K; k++ {
+		if len(a.Alpha[k]) != K || len(a.Beta[k]) != K {
+			return fmt.Errorf("core: allocation row %d has wrong width", k)
+		}
+		if a.Beta[k][k] != 0 {
+			return fmt.Errorf("core: β_{%d,%d} = %d on the diagonal, want 0", k, k, a.Beta[k][k])
+		}
+		for l := 0; l < K; l++ {
+			if a.Alpha[k][l] < -tol {
+				return fmt.Errorf("core: α_{%d,%d} = %g < 0", k, l, a.Alpha[k][l])
+			}
+			if a.Beta[k][l] < 0 {
+				return fmt.Errorf("core: β_{%d,%d} = %d < 0", k, l, a.Beta[k][l])
+			}
+			if k != l && a.Alpha[k][l] > tol && !pl.Route(k, l).Exists {
+				return fmt.Errorf("core: α_{%d,%d} = %g but no route exists", k, l, a.Alpha[k][l])
+			}
+		}
+	}
+	// (7b): cluster speed.
+	for l := 0; l < K; l++ {
+		in := 0.0
+		for k := 0; k < K; k++ {
+			in += a.Alpha[k][l]
+		}
+		if s := pl.Clusters[l].Speed; in > s+tol*(1+s) {
+			return fmt.Errorf("core: Eq 7b violated at cluster %d: load %g > speed %g", l, in, s)
+		}
+	}
+	// (7c): gateway capacity (outgoing + incoming remote traffic).
+	for k := 0; k < K; k++ {
+		traffic := 0.0
+		for l := 0; l < K; l++ {
+			if l == k {
+				continue
+			}
+			traffic += a.Alpha[k][l] + a.Alpha[l][k]
+		}
+		if g := pl.Clusters[k].Gateway; traffic > g+tol*(1+g) {
+			return fmt.Errorf("core: Eq 7c violated at cluster %d: traffic %g > gateway %g", k, traffic, g)
+		}
+	}
+	// (7d): backbone connection budgets.
+	used := make([]int, len(pl.Links))
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if k == l || a.Beta[k][l] == 0 {
+				continue
+			}
+			rt := pl.Route(k, l)
+			if !rt.Exists {
+				return fmt.Errorf("core: β_{%d,%d} = %d but no route exists", k, l, a.Beta[k][l])
+			}
+			for _, li := range rt.Links {
+				used[li] += a.Beta[k][l]
+			}
+		}
+	}
+	for li, u := range used {
+		if u > pl.Links[li].MaxConnect {
+			return fmt.Errorf("core: Eq 7d violated on link %d: %d connections > max-connect %d", li, u, pl.Links[li].MaxConnect)
+		}
+	}
+	// (7e): route bandwidth α_{k,l} <= β_{k,l}·min bw. Routes that
+	// cross no backbone link (clusters on the same router) have
+	// infinite per-connection bandwidth and are constrained only by
+	// the gateways, so (7e) is vacuous there.
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if k == l || a.Alpha[k][l] <= tol {
+				continue
+			}
+			bw := pl.RouteBW(k, l)
+			if math.IsInf(bw, 1) {
+				continue
+			}
+			capKL := float64(a.Beta[k][l]) * bw
+			if a.Alpha[k][l] > capKL+tol*(1+capKL) {
+				return fmt.Errorf("core: Eq 7e violated on route (%d,%d): α=%g > β·bw=%g", k, l, a.Alpha[k][l], capKL)
+			}
+		}
+	}
+	return nil
+}
+
+// Pair identifies a (source application, target cluster) route.
+type Pair struct{ K, L int }
+
+// RelaxedSolution is the rational-relaxation optimum (the paper's
+// "LP" comparator, an upper bound on the mixed-integer optimum).
+// BetaFrac[k][l] is the fractional connection count β̃_{k,l}
+// associated with the α solution: the fixed integer for routes pinned
+// via fixedBeta, or α̃_{k,l}/bw_min(k,l) for free remote routes.
+type RelaxedSolution struct {
+	Alpha     [][]float64
+	BetaFrac  [][]float64
+	Objective float64
+}
+
+// Relaxed solves the rational relaxation of linear program (7) in
+// reduced α-space (see DESIGN.md: with β relaxed, the optimal choice
+// is β_{k,l} = α_{k,l}/bw_min(k,l), collapsing (7d)+(7e) into
+// per-link constraints on α). fixedBeta optionally pins integer
+// connection counts on specific routes (used by LPRR): a pinned route
+// contributes its integer count to every link budget on its path and
+// caps its α at count·bw_min. Returns ok=false when the constraints
+// (with pins) are infeasible.
+func (pr *Problem) Relaxed(obj Objective, fixedBeta map[Pair]int) (*RelaxedSolution, bool, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, false, err
+	}
+	K := pr.K()
+	pl := pr.Platform
+
+	varIdx := make(map[Pair]int)
+	var vars []Pair
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if k != l && !pl.Route(k, l).Exists {
+				continue
+			}
+			varIdx[Pair{k, l}] = len(vars)
+			vars = append(vars, Pair{k, l})
+		}
+	}
+	nv := len(vars)
+	tVar := -1
+	total := nv
+	if obj == MAXMIN {
+		tVar = nv
+		total = nv + 1
+	}
+	prob := lp.New(total)
+
+	switch obj {
+	case SUM:
+		for i, v := range vars {
+			prob.SetObjective(i, pr.Payoffs[v.K])
+		}
+	case MAXMIN:
+		prob.SetObjective(tVar, 1)
+		any := false
+		for k := 0; k < K; k++ {
+			if pr.Payoffs[k] <= 0 {
+				continue
+			}
+			any = true
+			terms := []lp.Term{{Var: tVar, Coeff: 1}}
+			for l := 0; l < K; l++ {
+				if idx, ok := varIdx[Pair{k, l}]; ok {
+					terms = append(terms, lp.Term{Var: idx, Coeff: -pr.Payoffs[k]})
+				}
+			}
+			prob.AddConstraint(terms, lp.LE, 0)
+		}
+		if !any {
+			return nil, false, fmt.Errorf("core: MAXMIN objective with no positive payoff")
+		}
+	default:
+		return nil, false, fmt.Errorf("core: unknown objective %v", obj)
+	}
+
+	// (7b) speed constraints.
+	for l := 0; l < K; l++ {
+		var terms []lp.Term
+		for k := 0; k < K; k++ {
+			if idx, ok := varIdx[Pair{k, l}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, pl.Clusters[l].Speed)
+		}
+	}
+	// (7c) gateway constraints.
+	for k := 0; k < K; k++ {
+		var terms []lp.Term
+		for l := 0; l < K; l++ {
+			if l == k {
+				continue
+			}
+			if idx, ok := varIdx[Pair{k, l}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
+			}
+			if idx, ok := varIdx[Pair{l, k}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, pl.Clusters[k].Gateway)
+		}
+	}
+	// (7d)+(7e) merged per link: free routes consume α/bw_min
+	// connection-equivalents; pinned routes consume their integer
+	// count outright and keep an explicit (7e) cap.
+	linkUse := make([][]lp.Term, len(pl.Links))
+	linkCap := make([]float64, len(pl.Links))
+	for li, l := range pl.Links {
+		linkCap[li] = float64(l.MaxConnect)
+	}
+	for _, v := range vars {
+		if v.K == v.L {
+			continue
+		}
+		rt := pl.Route(v.K, v.L)
+		if fixed, ok := fixedBeta[v]; ok {
+			if fixed < 0 {
+				return nil, false, fmt.Errorf("core: fixed β_{%d,%d} = %d < 0", v.K, v.L, fixed)
+			}
+			for _, li := range rt.Links {
+				linkCap[li] -= float64(fixed)
+			}
+			capV := float64(fixed) * rt.MinBW
+			if math.IsInf(capV, 1) {
+				continue // same-router pinned route: unconstrained by (7e)
+			}
+			prob.AddConstraint([]lp.Term{{Var: varIdx[v], Coeff: 1}}, lp.LE, capV)
+			continue
+		}
+		if rt.MinBW <= 0 || math.IsInf(rt.MinBW, 1) {
+			// MinBW is +Inf only for same-router clusters: no backbone
+			// link is crossed, so no (7d)/(7e) constraint applies.
+			continue
+		}
+		inv := 1.0 / rt.MinBW
+		for _, li := range rt.Links {
+			linkUse[li] = append(linkUse[li], lp.Term{Var: varIdx[v], Coeff: inv})
+		}
+	}
+	for li := range pl.Links {
+		if linkCap[li] < 0 {
+			return nil, false, nil // pinned connections alone exceed a budget
+		}
+		if len(linkUse[li]) > 0 {
+			prob.AddConstraint(linkUse[li], lp.LE, linkCap[li])
+		}
+	}
+	for pair := range fixedBeta {
+		if _, ok := varIdx[pair]; !ok || pair.K == pair.L {
+			return nil, false, fmt.Errorf("core: fixed β on nonexistent or local route (%d,%d)", pair.K, pair.L)
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, false, err
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil, false, nil
+	case lp.Unbounded:
+		return nil, false, fmt.Errorf("core: relaxation unbounded (model bug)")
+	}
+
+	out := &RelaxedSolution{Objective: sol.Objective}
+	out.Alpha = make([][]float64, K)
+	out.BetaFrac = make([][]float64, K)
+	for k := 0; k < K; k++ {
+		out.Alpha[k] = make([]float64, K)
+		out.BetaFrac[k] = make([]float64, K)
+	}
+	for pair, idx := range varIdx {
+		a := sol.X[idx]
+		if a < 0 {
+			a = 0
+		}
+		out.Alpha[pair.K][pair.L] = a
+		if pair.K == pair.L {
+			continue
+		}
+		if fixed, ok := fixedBeta[pair]; ok {
+			out.BetaFrac[pair.K][pair.L] = float64(fixed)
+		} else if bw := pl.RouteBW(pair.K, pair.L); bw > 0 && !math.IsInf(bw, 1) {
+			out.BetaFrac[pair.K][pair.L] = a / bw
+		}
+	}
+	return out, true, nil
+}

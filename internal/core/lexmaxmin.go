@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// LexMaxMinSolution is the lexicographic max-min optimum of the
+// rational relaxation: Levels[k] is the payoff level π_k·α_k
+// guaranteed to application k, and the level vector, sorted
+// ascending, is lexicographically maximal over all valid rational
+// allocations. Applications with π_k ≤ 0 are excluded (Levels 0).
+type LexMaxMinSolution struct {
+	Alpha  [][]float64
+	Levels []float64
+}
+
+// LexMaxMin computes the lexicographic max-min fair relaxation — the
+// full MAX-MIN fairness of Bertsekas & Gallager that the paper cites
+// for its Equation (6) objective. Plain MAXMIN only maximizes the
+// worst payoff; the lexicographic refinement then maximizes the
+// second worst among allocations preserving the first, and so on.
+//
+// The classical algorithm runs in rounds: maximize the common level t
+// of all unfixed applications (holding fixed ones at their levels),
+// then mark as fixed every application that cannot individually rise
+// above t (tested with one LP per candidate). Each round fixes at
+// least one application, so at most K rounds — O(K²) LP solves, the
+// same complexity class as LPRR.
+func (pr *Problem) LexMaxMin() (*LexMaxMinSolution, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	K := pr.K()
+	fixed := make([]bool, K)
+	levels := make([]float64, K)
+	active := 0
+	for k := 0; k < K; k++ {
+		if pr.Payoffs[k] > 0 {
+			active++
+		} else {
+			fixed[k] = true
+		}
+	}
+	if active == 0 {
+		return nil, fmt.Errorf("core: LexMaxMin with no positive payoff")
+	}
+
+	var lastAlpha [][]float64
+	for active > 0 {
+		t, alpha, err := pr.lexRound(fixed, levels, -1)
+		if err != nil {
+			return nil, err
+		}
+		lastAlpha = alpha
+		// Which unfixed applications are stuck at t? Test each by
+		// maximizing it alone subject to everyone else's floor.
+		stuck := make([]int, 0, active)
+		for k := 0; k < K; k++ {
+			if fixed[k] {
+				continue
+			}
+			probe := make([]float64, K)
+			copy(probe, levels)
+			for j := 0; j < K; j++ {
+				if !fixed[j] && j != k {
+					probe[j] = t
+				}
+			}
+			best, _, err := pr.lexRound(allFixedExcept(fixed, k), probe, k)
+			if err != nil {
+				return nil, err
+			}
+			if best <= t+1e-7*(1+math.Abs(t)) {
+				stuck = append(stuck, k)
+			}
+		}
+		if len(stuck) == 0 {
+			// Numerical degeneracy: fix everyone at t to guarantee
+			// progress (they are all at least t).
+			for k := 0; k < K; k++ {
+				if !fixed[k] {
+					stuck = append(stuck, k)
+				}
+			}
+		}
+		for _, k := range stuck {
+			fixed[k] = true
+			levels[k] = t
+			active--
+		}
+	}
+	return &LexMaxMinSolution{Alpha: lastAlpha, Levels: levels}, nil
+}
+
+// allFixedExcept returns a fixed-mask where everything is fixed
+// except application k (used by the stuck test).
+func allFixedExcept(fixed []bool, k int) []bool {
+	out := make([]bool, len(fixed))
+	for i := range out {
+		out[i] = true
+	}
+	out[k] = false
+	return out
+}
+
+// lexRound solves one step of the lexicographic algorithm: maximize
+// the common payoff level t of the unfixed applications, subject to
+// every fixed application keeping at least its recorded level. When
+// soloApp >= 0 the objective instead maximizes that single
+// application's payoff (the stuck test). Returns the optimum and the
+// α matrix attaining it.
+func (pr *Problem) lexRound(fixed []bool, levels []float64, soloApp int) (float64, [][]float64, error) {
+	K := pr.K()
+	pl := pr.Platform
+
+	varIdx := make(map[Pair]int)
+	var vars []Pair
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if k != l && !pl.Route(k, l).Exists {
+				continue
+			}
+			varIdx[Pair{k, l}] = len(vars)
+			vars = append(vars, Pair{k, l})
+		}
+	}
+	nv := len(vars)
+	tVar := nv
+	prob := lp.New(nv + 1)
+
+	appTerms := func(k int, coeff float64) []lp.Term {
+		var terms []lp.Term
+		for l := 0; l < K; l++ {
+			if idx, ok := varIdx[Pair{k, l}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: coeff})
+			}
+		}
+		return terms
+	}
+
+	if soloApp >= 0 {
+		prob.SetObjective(tVar, 1)
+		// t <= π_solo·α_solo, maximize t (equivalently maximize the
+		// solo payoff, but keeps the objective uniform).
+		terms := append([]lp.Term{{Var: tVar, Coeff: 1}}, appTerms(soloApp, -pr.Payoffs[soloApp])...)
+		prob.AddConstraint(terms, lp.LE, 0)
+	} else {
+		prob.SetObjective(tVar, 1)
+		for k := 0; k < K; k++ {
+			if fixed[k] || pr.Payoffs[k] <= 0 {
+				continue
+			}
+			terms := append([]lp.Term{{Var: tVar, Coeff: 1}}, appTerms(k, -pr.Payoffs[k])...)
+			prob.AddConstraint(terms, lp.LE, 0)
+		}
+	}
+	// Floors for fixed applications.
+	for k := 0; k < K; k++ {
+		if !fixed[k] || pr.Payoffs[k] <= 0 || levels[k] <= 0 {
+			continue
+		}
+		prob.AddConstraint(appTerms(k, pr.Payoffs[k]), lp.GE, levels[k])
+	}
+
+	// Platform constraints (7b), (7c), (7d)+(7e) in α-space.
+	for l := 0; l < K; l++ {
+		var terms []lp.Term
+		for k := 0; k < K; k++ {
+			if idx, ok := varIdx[Pair{k, l}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, pl.Clusters[l].Speed)
+		}
+	}
+	for k := 0; k < K; k++ {
+		var terms []lp.Term
+		for l := 0; l < K; l++ {
+			if l == k {
+				continue
+			}
+			if idx, ok := varIdx[Pair{k, l}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
+			}
+			if idx, ok := varIdx[Pair{l, k}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, pl.Clusters[k].Gateway)
+		}
+	}
+	linkUse := make([][]lp.Term, len(pl.Links))
+	for _, v := range vars {
+		if v.K == v.L {
+			continue
+		}
+		rt := pl.Route(v.K, v.L)
+		if rt.MinBW <= 0 || math.IsInf(rt.MinBW, 1) {
+			continue
+		}
+		inv := 1.0 / rt.MinBW
+		for _, li := range rt.Links {
+			linkUse[li] = append(linkUse[li], lp.Term{Var: varIdx[v], Coeff: inv})
+		}
+	}
+	for li := range pl.Links {
+		if len(linkUse[li]) > 0 {
+			prob.AddConstraint(linkUse[li], lp.LE, float64(pl.Links[li].MaxConnect))
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, fmt.Errorf("core: lexicographic round %v (floors should always be feasible)", sol.Status)
+	}
+	alpha := make([][]float64, K)
+	for k := 0; k < K; k++ {
+		alpha[k] = make([]float64, K)
+	}
+	for pair, idx := range varIdx {
+		v := sol.X[idx]
+		if v < 0 {
+			v = 0
+		}
+		alpha[pair.K][pair.L] = v
+	}
+	return sol.Objective, alpha, nil
+}

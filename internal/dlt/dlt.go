@@ -1,0 +1,238 @@
+// Package dlt implements the classical divisible load theory results
+// the paper's platform model is built on (§2): a cluster is a
+// star-shaped (or tree-shaped) network behind its front-end, and "it
+// is known that C^k_master and the leaf processors are together
+// equivalent to a single processor whose speed s_k can be determined
+// by classical formulas from divisible load theory" (refs [30, 6, 4]
+// of the paper). This package provides those formulas:
+//
+//   - the one-round star distribution with a one-port master
+//     (Bharadwaj et al.): closed-form load fractions under the
+//     all-finish-together principle and the bandwidth-ordering
+//     optimality result;
+//   - the steady-state star and tree throughput (Banino et al.,
+//     ref [4]): the equivalent speed used by this paper's
+//     steady-state model, computed by the fractional-knapsack
+//     closed form;
+//   - recursive tree collapsing, which reduces any tree-of-clusters
+//     institution to the single (speed, gateway) pair the platform
+//     model needs.
+package dlt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Worker is one slave processor of a star network: it computes Speed
+// load units per time unit and its private link from the master
+// carries LinkBW load units per time unit.
+type Worker struct {
+	Speed  float64
+	LinkBW float64
+}
+
+// Star is a single-level master/worker platform. The master holds the
+// load, computes at MasterSpeed (0 for a pure source), and serves its
+// workers through a one-port serial interface: it communicates with
+// one worker at a time.
+type Star struct {
+	MasterSpeed float64
+	Workers     []Worker
+}
+
+// Validate checks parameter sanity.
+func (s *Star) Validate() error {
+	if s.MasterSpeed < 0 || math.IsNaN(s.MasterSpeed) {
+		return fmt.Errorf("dlt: master speed %g invalid", s.MasterSpeed)
+	}
+	for i, w := range s.Workers {
+		if w.Speed < 0 || math.IsNaN(w.Speed) {
+			return fmt.Errorf("dlt: worker %d speed %g invalid", i, w.Speed)
+		}
+		if w.LinkBW <= 0 || math.IsNaN(w.LinkBW) {
+			return fmt.Errorf("dlt: worker %d link bandwidth %g invalid", i, w.LinkBW)
+		}
+	}
+	return nil
+}
+
+// OneRound is the outcome of a single-round distribution: the load
+// fractions (master first, then workers in the served order) and the
+// makespan, normalized to total load W.
+type OneRound struct {
+	MasterShare  float64
+	WorkerShares []float64 // in the order the workers were served
+	Order        []int     // served worker indices
+	Makespan     float64
+}
+
+// OneRoundFixedOrder computes the optimal single-round distribution
+// of load W when the workers are served in the given order (a
+// permutation of worker indices): by the classical all-finish-
+// together principle, every participating worker and the master
+// finish computing at the same instant T, which yields a linear
+// recursion for the shares.
+//
+// Worker i served after a communication prefix P finishes at
+// P + a_i/b_i + a_i/s_i = T, with prefixes accumulating a_j/b_j. The
+// master computes MasterSpeed·T concurrently. Workers whose
+// parameters force a negative share are given zero load (they do not
+// participate).
+func (s *Star) OneRoundFixedOrder(w float64, order []int) (*OneRound, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if w < 0 {
+		return nil, fmt.Errorf("dlt: negative load %g", w)
+	}
+	if len(order) != len(s.Workers) {
+		return nil, fmt.Errorf("dlt: order has %d entries for %d workers", len(order), len(s.Workers))
+	}
+	seen := make([]bool, len(s.Workers))
+	for _, i := range order {
+		if i < 0 || i >= len(s.Workers) || seen[i] {
+			return nil, fmt.Errorf("dlt: order is not a permutation")
+		}
+		seen[i] = true
+	}
+	// Shares are linear in T: a_i = c_i·(T − P_{i-1}), with
+	// c_i = s_i/(1+s_i/b_i) = s_i·b_i/(s_i+b_i), and prefixes
+	// P_i = P_{i-1} + a_i/b_i. Expand everything as λ + μ·T.
+	type lin struct{ l, m float64 }
+	prefix := lin{0, 0}
+	shares := make([]lin, len(order))
+	for idx, wi := range order {
+		wk := s.Workers[wi]
+		if wk.Speed == 0 {
+			shares[idx] = lin{0, 0}
+			continue
+		}
+		c := wk.Speed * wk.LinkBW / (wk.Speed + wk.LinkBW)
+		// a = c·(T − prefix) = −c·prefix.l + (c − c·prefix.m)·T
+		a := lin{-c * prefix.l, c * (1 - prefix.m)}
+		shares[idx] = a
+		prefix.l += a.l / wk.LinkBW
+		prefix.m += a.m / wk.LinkBW
+	}
+	// Total: masterSpeed·T + Σ a_i = W → solve for T.
+	suml, summ := 0.0, s.MasterSpeed
+	for _, a := range shares {
+		suml += a.l
+		summ += a.m
+	}
+	if summ <= 0 {
+		return nil, fmt.Errorf("dlt: star has no compute capacity")
+	}
+	t := (w - suml) / summ
+	out := &OneRound{
+		MasterShare:  s.MasterSpeed * t,
+		WorkerShares: make([]float64, len(order)),
+		Order:        append([]int(nil), order...),
+		Makespan:     t,
+	}
+	for idx, a := range shares {
+		v := a.l + a.m*t
+		if v < 0 {
+			v = 0 // non-participating worker under this order
+		}
+		out.WorkerShares[idx] = v
+	}
+	return out, nil
+}
+
+// OneRound computes the single-round distribution with the classical
+// optimal ordering: workers served by non-increasing link bandwidth
+// (ties broken by speed then index, deterministically).
+func (s *Star) OneRound(w float64) (*OneRound, error) {
+	order := make([]int, len(s.Workers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := s.Workers[order[a]], s.Workers[order[b]]
+		if wa.LinkBW != wb.LinkBW {
+			return wa.LinkBW > wb.LinkBW
+		}
+		return wa.Speed > wb.Speed
+	})
+	return s.OneRoundFixedOrder(w, order)
+}
+
+// SteadyStateThroughput returns the maximum load per time unit the
+// star can absorb in steady state under the one-port model — the
+// equivalent speed s_k of the paper's §2 (ref [4]). The program is
+//
+//	maximize α_0 + Σ α_i
+//	s.t. α_0 ≤ MasterSpeed, α_i ≤ s_i, Σ α_i/b_i ≤ 1,
+//
+// a fractional knapsack whose optimum serves workers by decreasing
+// link bandwidth: a unit of one-port time spent on worker i yields
+// b_i load, so fast links are saturated first (up to each worker's
+// speed).
+func (s *Star) SteadyStateThroughput() (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	order := make([]int, len(s.Workers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Workers[order[a]].LinkBW > s.Workers[order[b]].LinkBW
+	})
+	total := s.MasterSpeed
+	port := 1.0 // one-port time budget per time unit
+	for _, i := range order {
+		if port <= 0 {
+			break
+		}
+		w := s.Workers[i]
+		// Serving worker i at full speed costs s_i/b_i port time.
+		need := w.Speed / w.LinkBW
+		if need <= port {
+			total += w.Speed
+			port -= need
+		} else {
+			total += port * w.LinkBW
+			port = 0
+		}
+	}
+	return total, nil
+}
+
+// Tree is a tree-of-clusters institution: a node computes at Speed
+// and serves each child subtree through a dedicated link, all behind
+// the node's one-port interface.
+type Tree struct {
+	Speed    float64
+	Children []TreeEdge
+}
+
+// TreeEdge connects a node to a child subtree through a link of
+// bandwidth BW.
+type TreeEdge struct {
+	BW    float64
+	Child *Tree
+}
+
+// EquivalentSpeed collapses the tree bottom-up into the single
+// equivalent processor speed of the paper's §2: every child subtree
+// is first reduced to its own steady-state throughput, then the node
+// is treated as a star over those equivalent workers (ref [6, 5, 7]:
+// "a tree topology is equivalent to a single processor").
+func (t *Tree) EquivalentSpeed() (float64, error) {
+	star := Star{MasterSpeed: t.Speed}
+	for i, e := range t.Children {
+		if e.Child == nil {
+			return 0, fmt.Errorf("dlt: tree edge %d has nil child", i)
+		}
+		child, err := e.Child.EquivalentSpeed()
+		if err != nil {
+			return 0, err
+		}
+		star.Workers = append(star.Workers, Worker{Speed: child, LinkBW: e.BW})
+	}
+	return star.SteadyStateThroughput()
+}

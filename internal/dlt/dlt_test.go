@@ -1,0 +1,317 @@
+package dlt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestValidate(t *testing.T) {
+	good := &Star{MasterSpeed: 1, Workers: []Worker{{Speed: 1, LinkBW: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Star{
+		{MasterSpeed: -1},
+		{Workers: []Worker{{Speed: -1, LinkBW: 1}}},
+		{Workers: []Worker{{Speed: 1, LinkBW: 0}}},
+		{MasterSpeed: math.NaN()},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+}
+
+func TestOneRoundSingleWorker(t *testing.T) {
+	// Master speed 0, one worker speed 2, link 2: chunk a with
+	// a/2 + a/2 = T and a = W → T = W.
+	s := &Star{Workers: []Worker{{Speed: 2, LinkBW: 2}}}
+	r, err := s.OneRound(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Makespan, 10, 1e-12) || !approx(r.WorkerShares[0], 10, 1e-12) {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestOneRoundAllFinishTogether(t *testing.T) {
+	// The invariant behind the closed form: every participating
+	// worker's receive-then-compute completion equals the makespan.
+	s := &Star{
+		MasterSpeed: 3,
+		Workers: []Worker{
+			{Speed: 5, LinkBW: 9},
+			{Speed: 2, LinkBW: 4},
+			{Speed: 7, LinkBW: 2},
+		},
+	}
+	const w = 100.0
+	r, err := s.OneRound(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := r.MasterShare
+	prefix := 0.0
+	for idx, wi := range r.Order {
+		wk := s.Workers[wi]
+		a := r.WorkerShares[idx]
+		total += a
+		prefix += a / wk.LinkBW
+		if a <= 0 {
+			continue
+		}
+		finish := prefix + a/wk.Speed
+		if !approx(finish, r.Makespan, 1e-9*r.Makespan) {
+			t.Fatalf("worker %d finishes at %g, makespan %g", wi, finish, r.Makespan)
+		}
+	}
+	if !approx(total, w, 1e-9*w) {
+		t.Fatalf("shares sum to %g, want %g", total, w)
+	}
+	if !approx(r.MasterShare, 3*r.Makespan, 1e-12) {
+		t.Fatalf("master share %g, want speed*T = %g", r.MasterShare, 3*r.Makespan)
+	}
+}
+
+func TestOneRoundHomogeneousGeometricShares(t *testing.T) {
+	// Classic bus-network result: with identical workers
+	// (speed s, link b) the shares decrease geometrically with ratio
+	// q = b/(s+b).
+	s := &Star{Workers: []Worker{
+		{Speed: 4, LinkBW: 6}, {Speed: 4, LinkBW: 6}, {Speed: 4, LinkBW: 6},
+	}}
+	r, err := s.OneRound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 6.0 / (4 + 6)
+	for i := 1; i < 3; i++ {
+		got := r.WorkerShares[i] / r.WorkerShares[i-1]
+		if !approx(got, q, 1e-9) {
+			t.Fatalf("share ratio %d = %g, want %g", i, got, q)
+		}
+	}
+}
+
+func TestOneRoundOrderOptimality(t *testing.T) {
+	// The bandwidth-descending order must (weakly) beat every other
+	// permutation — the classical ordering theorem, brute-forced.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		s := &Star{MasterSpeed: rng.Float64() * 3}
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			s.Workers = append(s.Workers, Worker{
+				Speed:  0.5 + 5*rng.Float64(),
+				LinkBW: 0.5 + 5*rng.Float64(),
+			})
+		}
+		best, err := s.OneRound(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perms := permutations(n)
+		for _, p := range perms {
+			r, err := s.OneRoundFixedOrder(1, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Makespan < best.Makespan*(1-1e-9) {
+				t.Fatalf("trial %d: order %v (T=%g) beats bandwidth order %v (T=%g)",
+					trial, p, r.Makespan, best.Order, best.Makespan)
+			}
+		}
+	}
+}
+
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func TestOneRoundErrors(t *testing.T) {
+	s := &Star{Workers: []Worker{{Speed: 1, LinkBW: 1}}}
+	if _, err := s.OneRoundFixedOrder(-1, []int{0}); err == nil {
+		t.Fatal("negative load must fail")
+	}
+	if _, err := s.OneRoundFixedOrder(1, []int{0, 0}); err == nil {
+		t.Fatal("non-permutation must fail")
+	}
+	if _, err := s.OneRoundFixedOrder(1, nil); err == nil {
+		t.Fatal("wrong-length order must fail")
+	}
+	empty := &Star{}
+	if _, err := empty.OneRound(1); err == nil {
+		t.Fatal("zero-capacity star must fail")
+	}
+}
+
+func TestSteadyStateClosedForm(t *testing.T) {
+	// Master 10; workers (speed, bw): (5, 10) costs 0.5 port-time,
+	// (8, 4) costs 2 port-times but only 0.5 remains → 0.5·4 = 2.
+	// Total: 10 + 5 + 2 = 17.
+	s := &Star{
+		MasterSpeed: 10,
+		Workers:     []Worker{{Speed: 5, LinkBW: 10}, {Speed: 8, LinkBW: 4}},
+	}
+	got, err := s.SteadyStateThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 17, 1e-12) {
+		t.Fatalf("throughput = %g, want 17", got)
+	}
+}
+
+// TestSteadyStateMatchesLP cross-checks the fractional-knapsack
+// closed form against the LP
+//
+//	max α_0 + Σ α_i  s.t.  α_0 ≤ s_0, α_i ≤ s_i, Σ α_i/b_i ≤ 1
+//
+// solved with the simplex of internal/lp, on random stars.
+func TestSteadyStateMatchesLP(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &Star{MasterSpeed: rng.Float64() * 10}
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			s.Workers = append(s.Workers, Worker{
+				Speed:  0.1 + 10*rng.Float64(),
+				LinkBW: 0.1 + 10*rng.Float64(),
+			})
+		}
+		closed, err := s.SteadyStateThroughput()
+		if err != nil {
+			return false
+		}
+		p := lp.New(n + 1)
+		p.SetObjective(0, 1)
+		p.AddConstraint([]lp.Term{{Var: 0, Coeff: 1}}, lp.LE, s.MasterSpeed)
+		var port []lp.Term
+		for i, w := range s.Workers {
+			p.SetObjective(i+1, 1)
+			p.AddConstraint([]lp.Term{{Var: i + 1, Coeff: 1}}, lp.LE, w.Speed)
+			port = append(port, lp.Term{Var: i + 1, Coeff: 1 / w.LinkBW})
+		}
+		p.AddConstraint(port, lp.LE, 1)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != lp.Optimal {
+			return false
+		}
+		return approx(closed, sol.Objective, 1e-6*(1+sol.Objective))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeEquivalentSpeed(t *testing.T) {
+	// Leaf-only "tree" is just its own speed.
+	leaf := &Tree{Speed: 7}
+	got, err := leaf.EquivalentSpeed()
+	if err != nil || got != 7 {
+		t.Fatalf("leaf = %g err=%v", got, err)
+	}
+	// Two-level tree: root speed 10 with one child (speed 5 via bw
+	// 10, port cost 0.5) and one grandchild chain: child2 has its own
+	// child. Collapse is recursive.
+	grand := &Tree{Speed: 6}
+	child2 := &Tree{Speed: 2, Children: []TreeEdge{{BW: 3, Child: grand}}}
+	// child2 equivalent: 2 + min(6, port 1 × bw 3 limited by 6/3=2
+	// port... need = 6/3 = 2 > 1 → 1·3 = 3; total 2+3 = 5.
+	c2, err := child2.EquivalentSpeed()
+	if err != nil || !approx(c2, 5, 1e-12) {
+		t.Fatalf("child2 = %g err=%v", c2, err)
+	}
+	root := &Tree{Speed: 10, Children: []TreeEdge{
+		{BW: 10, Child: &Tree{Speed: 5}},
+		{BW: 4, Child: child2},
+	}}
+	// Root: 10 + serve (5 via 10): cost 0.5 → +5; serve (5 via 4):
+	// cost 1.25 > 0.5 remaining → 0.5·4 = 2. Total 17.
+	got, err = root.EquivalentSpeed()
+	if err != nil || !approx(got, 17, 1e-12) {
+		t.Fatalf("root = %g err=%v", got, err)
+	}
+}
+
+func TestTreeNilChild(t *testing.T) {
+	bad := &Tree{Speed: 1, Children: []TreeEdge{{BW: 1, Child: nil}}}
+	if _, err := bad.EquivalentSpeed(); err == nil {
+		t.Fatal("nil child must fail")
+	}
+}
+
+// TestPropertyTreeMonotonicity: adding a child never decreases the
+// equivalent speed, and the equivalent speed never exceeds the sum of
+// all node speeds.
+func TestPropertyTreeMonotonicity(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := &Tree{Speed: rng.Float64() * 10}
+		sum := root.Speed
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			child := &Tree{Speed: rng.Float64() * 10}
+			sum += child.Speed
+			before, err := root.EquivalentSpeed()
+			if err != nil {
+				return false
+			}
+			root.Children = append(root.Children, TreeEdge{BW: 0.1 + 5*rng.Float64(), Child: child})
+			after, err := root.EquivalentSpeed()
+			if err != nil {
+				return false
+			}
+			if after < before-1e-9 {
+				return false
+			}
+		}
+		eq, err := root.EquivalentSpeed()
+		if err != nil {
+			return false
+		}
+		return eq <= sum+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOneRound32Workers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := &Star{MasterSpeed: 10}
+	for i := 0; i < 32; i++ {
+		s.Workers = append(s.Workers, Worker{Speed: 1 + rng.Float64()*9, LinkBW: 1 + rng.Float64()*9})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.OneRound(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

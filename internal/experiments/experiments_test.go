@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/platgen"
+)
+
+// tinyOptions keeps unit tests fast; the full-scale defaults are
+// exercised by cmd/experiments and the benchmarks.
+func tinyOptions() Options {
+	return Options{Seed: 7, PlatformsPer: 2, Ks: []int{5, 10}, LPRRMaxK: 10}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	pts, err := Figure5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].K != 5 || pts[1].K != 10 {
+		t.Fatalf("points = %+v", pts)
+	}
+	for _, pt := range pts {
+		if pt.Platforms != 2 {
+			t.Fatalf("K=%d platforms=%d", pt.K, pt.Platforms)
+		}
+		for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+			for _, name := range []heuristics.Name{heuristics.NameG, heuristics.NameLPRG} {
+				r, ok := pt.Ratio[obj][name]
+				if !ok {
+					t.Fatalf("missing ratio %v/%s", obj, name)
+				}
+				if r < 0 || r > 1+1e-6 {
+					t.Fatalf("ratio %v/%s = %g out of [0,1]", obj, name, r)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure6IncludesLPRR(t *testing.T) {
+	opts := tinyOptions()
+	opts.Ks = []int{5}
+	pts, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	for _, name := range []heuristics.Name{heuristics.NameLPRR, heuristics.NameLPRREQ} {
+		if _, ok := pt.Ratio[core.SUM][name]; !ok {
+			t.Fatalf("missing %s in figure 6 point", name)
+		}
+	}
+}
+
+func TestRatioSweepSkipsLPRRAboveCap(t *testing.T) {
+	opts := tinyOptions()
+	opts.Ks = []int{15}
+	opts.LPRRMaxK = 10
+	pts, err := RatioSweep(opts, []heuristics.Name{heuristics.NameG, heuristics.NameLPRR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pts[0].Ratio[core.SUM][heuristics.NameLPRR]; ok {
+		t.Fatal("LPRR must be skipped above LPRRMaxK")
+	}
+	if _, ok := pts[0].Ratio[core.SUM][heuristics.NameG]; !ok {
+		t.Fatal("G must still run")
+	}
+}
+
+func TestRatioSweepDeterministic(t *testing.T) {
+	opts := tinyOptions()
+	a, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for obj, m := range a[i].Ratio {
+			for name, v := range m {
+				if b[i].Ratio[obj][name] != v {
+					t.Fatalf("sweep not deterministic at K=%d %v %s", a[i].K, obj, name)
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateRatios(t *testing.T) {
+	agg, err := AggregateRatios(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Platforms != 4 {
+		t.Fatalf("platforms = %d", agg.Platforms)
+	}
+	for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+		if agg.LPRGOverG[obj] < 1-1e-6 {
+			t.Fatalf("LPRG/G %v = %g < 1 (LPRG dominates LPR+greedy refinement of nothing)", obj, agg.LPRGOverG[obj])
+		}
+		if agg.GOverLP[obj] <= 0 || agg.GOverLP[obj] > 1+1e-6 {
+			t.Fatalf("G/LP %v = %g out of (0,1]", obj, agg.GOverLP[obj])
+		}
+		if agg.LPRGOverLP[obj] < agg.LPROverLP[obj]-1e-9 {
+			t.Fatalf("%v: LPRG/LP %g below LPR/LP %g", obj, agg.LPRGOverLP[obj], agg.LPROverLP[obj])
+		}
+	}
+}
+
+func TestFigure7Timings(t *testing.T) {
+	opts := tinyOptions()
+	opts.Ks = []int{5}
+	pts, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	for _, name := range []heuristics.Name{heuristics.NameG, heuristics.NameLPR, heuristics.NameLPRG, heuristics.NameLPRR} {
+		v, ok := pt.Seconds[name]
+		if !ok {
+			t.Fatalf("missing timing for %s", name)
+		}
+		if v < 0 {
+			t.Fatalf("negative timing for %s", name)
+		}
+	}
+	// The paper's §6.3 ordering: G is fastest; LPRR is the slowest by
+	// a wide margin (K² LP solves).
+	if pt.Seconds[heuristics.NameG] > pt.Seconds[heuristics.NameLPRG] {
+		t.Fatalf("G (%g s) slower than LPRG (%g s)", pt.Seconds[heuristics.NameG], pt.Seconds[heuristics.NameLPRG])
+	}
+	if pt.Seconds[heuristics.NameLPRR] < pt.Seconds[heuristics.NameLPR] {
+		t.Fatalf("LPRR (%g s) faster than LPR (%g s)", pt.Seconds[heuristics.NameLPRR], pt.Seconds[heuristics.NameLPR])
+	}
+}
+
+func TestRenderRatioTableAndCSV(t *testing.T) {
+	pts, err := Figure5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := RenderRatioTable(pts)
+	if !strings.Contains(table, "SUM(G)/LP") || !strings.Contains(table, "MAXMIN(LPRG)/LP") {
+		t.Fatalf("table missing columns:\n%s", table)
+	}
+	if len(strings.Split(strings.TrimSpace(table), "\n")) != 3 {
+		t.Fatalf("table should have header + 2 rows:\n%s", table)
+	}
+	csv := RenderRatioCSV(pts)
+	if !strings.HasPrefix(csv, "k,platforms,") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if RenderRatioTable(nil) != "(no data)\n" || RenderRatioCSV(nil) != "" {
+		t.Fatal("empty renders wrong")
+	}
+}
+
+func TestRenderTimeTableAndCSV(t *testing.T) {
+	opts := tinyOptions()
+	opts.Ks = []int{5}
+	pts, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := RenderTimeTable(pts)
+	if !strings.Contains(table, "LP(s)") || !strings.Contains(table, "LPRR(s)") {
+		t.Fatalf("time table missing columns:\n%s", table)
+	}
+	csv := RenderTimeCSV(pts)
+	if !strings.HasPrefix(csv, "k,platforms,lp_seconds") {
+		t.Fatalf("time csv header wrong:\n%s", csv)
+	}
+	if RenderTimeTable(nil) != "(no data)\n" || RenderTimeCSV(nil) != "" {
+		t.Fatal("empty renders wrong")
+	}
+}
+
+func TestRenderAggregate(t *testing.T) {
+	agg, err := AggregateRatios(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAggregate(agg)
+	for _, want := range []string{"LPRG/G", "G/LP", "LPR/LP", "platforms: 4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("aggregate render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGridFilterRestrictsSamples(t *testing.T) {
+	opts := tinyOptions()
+	opts.Ks = []int{5}
+	opts.GridFilter = TightNetworkFilter
+	pts, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Platforms != 2 {
+		t.Fatalf("platforms = %d", pts[0].Platforms)
+	}
+	// The filter itself must accept exactly the tight corner.
+	tight := platgen.Params{K: 5, MeanMaxCon: 5, MeanBW: 30, MeanG: 250}
+	if !TightNetworkFilter(tight) {
+		t.Fatal("tight corner rejected")
+	}
+	for _, loose := range []platgen.Params{
+		{K: 5, MeanMaxCon: 95, MeanBW: 30, MeanG: 250},
+		{K: 5, MeanMaxCon: 5, MeanBW: 90, MeanG: 250},
+		{K: 5, MeanMaxCon: 5, MeanBW: 30, MeanG: 50},
+	} {
+		if TightNetworkFilter(loose) {
+			t.Fatalf("loose grid point accepted: %+v", loose)
+		}
+	}
+}
+
+func TestSamplePlatformOffGrid(t *testing.T) {
+	// K=7 is not a Table 1 value; the sampler must synthesize one.
+	opts := tinyOptions()
+	opts.Ks = []int{7}
+	pts, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Platforms != 2 {
+		t.Fatalf("platforms = %d", pts[0].Platforms)
+	}
+}

@@ -1,0 +1,223 @@
+// Package graph provides a small undirected multigraph with weighted
+// edges and the shortest-path routing primitives needed to build the
+// fixed inter-cluster routing tables of the platform model
+// (paper §2: the ordered list L_{k,l} of backbone links between two
+// cluster routers).
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Graph is an undirected multigraph over nodes 0..N-1. Edges carry an
+// integer identifier (their index in Edges) so that parallel edges and
+// edge-indexed attributes (bandwidth, connection budgets) are
+// supported.
+type Graph struct {
+	n     int
+	Edges []Edge
+	adj   [][]halfEdge // adjacency: for each node, incident half-edges
+}
+
+// Edge is an undirected edge between U and V with a traversal Weight
+// (used as the routing metric; typically 1 for hop-count routing).
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+type halfEdge struct {
+	to   int // neighbour node
+	edge int // index into Edges
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]halfEdge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// AddNode appends a new node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge inserts an undirected edge {u,v} with the given weight and
+// returns its edge index. Parallel edges and self-loops are allowed
+// (self-loops are never part of a shortest path between distinct
+// nodes).
+func (g *Graph) AddEdge(u, v int, weight float64) int {
+	g.checkNode(u)
+	g.checkNode(v)
+	if weight < 0 {
+		panic(fmt.Sprintf("graph: negative edge weight %g", weight))
+	}
+	id := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{U: u, V: v, Weight: weight})
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, edge: id})
+	if u != v {
+		g.adj[v] = append(g.adj[v], halfEdge{to: u, edge: id})
+	}
+	return id
+}
+
+// Degree returns the number of incident half-edges of node u
+// (self-loops count once).
+func (g *Graph) Degree(u int) int {
+	g.checkNode(u)
+	return len(g.adj[u])
+}
+
+// Neighbors returns the neighbour node of each incident edge of u, in
+// insertion order. The same neighbour appears once per parallel edge.
+func (g *Graph) Neighbors(u int) []int {
+	g.checkNode(u)
+	out := make([]int, len(g.adj[u]))
+	for i, h := range g.adj[u] {
+		out[i] = h.to
+	}
+	return out
+}
+
+func (g *Graph) checkNode(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// Path is a route through the graph: the ordered edge indices
+// traversed from the source to the destination.
+type Path struct {
+	Nodes []int // visited nodes, source first, destination last
+	Edges []int // edge indices, len(Edges) == len(Nodes)-1
+	Cost  float64
+}
+
+// ShortestPaths computes shortest paths from src to every node using
+// Dijkstra's algorithm on edge weights. It returns, for each node, the
+// total distance (math.Inf(1) if unreachable) and the predecessor
+// half-edge used to reach it (-1 edge index when unreached or src).
+func (g *Graph) ShortestPaths(src int) (dist []float64, prevEdge []int, prevNode []int) {
+	g.checkNode(src)
+	dist = make([]float64, g.n)
+	prevEdge = make([]int, g.n)
+	prevNode = make([]int, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+		prevNode[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, h := range g.adj[it.node] {
+			nd := it.dist + g.Edges[h.edge].Weight
+			if nd < dist[h.to] {
+				dist[h.to] = nd
+				prevEdge[h.to] = h.edge
+				prevNode[h.to] = it.node
+				heap.Push(pq, nodeItem{node: h.to, dist: nd})
+			}
+		}
+	}
+	return dist, prevEdge, prevNode
+}
+
+// ShortestPath returns the shortest path from src to dst, or ok=false
+// if dst is unreachable. A path from a node to itself is the empty
+// path with cost 0.
+func (g *Graph) ShortestPath(src, dst int) (Path, bool) {
+	g.checkNode(dst)
+	dist, prevEdge, prevNode := g.ShortestPaths(src)
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	var nodes, edges []int
+	for at := dst; at != src; at = prevNode[at] {
+		nodes = append(nodes, at)
+		edges = append(edges, prevEdge[at])
+	}
+	nodes = append(nodes, src)
+	reverseInts(nodes)
+	reverseInts(edges)
+	return Path{Nodes: nodes, Edges: edges, Cost: dist[dst]}, true
+}
+
+// Components labels each node with a connected-component id in
+// [0,numComponents) and returns the labels and the component count.
+func (g *Graph) Components() (label []int, count int) {
+	label = make([]int, g.n)
+	for i := range label {
+		label[i] = -1
+	}
+	var stack []int
+	for s := 0; s < g.n; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		label[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.adj[u] {
+				if label[h.to] == -1 {
+					label[h.to] = count
+					stack = append(stack, h.to)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// Connected reports whether u and v are in the same connected
+// component.
+func (g *Graph) Connected(u, v int) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	label, _ := g.Components()
+	return label[u] == label[v]
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+type nodeItem struct {
+	node int
+	dist float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

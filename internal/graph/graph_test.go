@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has N=%d M=%d", g.N(), g.M())
+	}
+	_, count := g.Components()
+	if count != 0 {
+		t.Fatalf("empty graph has %d components, want 0", count)
+	}
+}
+
+func TestAddNodeAndEdge(t *testing.T) {
+	g := New(2)
+	id := g.AddNode()
+	if id != 2 || g.N() != 3 {
+		t.Fatalf("AddNode returned %d, N=%d", id, g.N())
+	}
+	e := g.AddEdge(0, 2, 1.5)
+	if e != 0 || g.M() != 1 {
+		t.Fatalf("AddEdge returned %d, M=%d", e, g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 0 || g.Degree(2) != 1 {
+		t.Fatalf("degrees %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 1 || nb[0] != 2 {
+		t.Fatalf("neighbors of 0 = %v", nb)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(2)
+	e1 := g.AddEdge(0, 1, 3)
+	e2 := g.AddEdge(0, 1, 1)
+	if e1 == e2 {
+		t.Fatal("parallel edges must get distinct ids")
+	}
+	p, ok := g.ShortestPath(0, 1)
+	if !ok {
+		t.Fatal("path must exist")
+	}
+	if p.Cost != 1 || len(p.Edges) != 1 || p.Edges[0] != e2 {
+		t.Fatalf("shortest path should use the cheaper parallel edge: %+v", p)
+	}
+}
+
+func TestSelfLoopIgnoredInPaths(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0, 0.1)
+	g.AddEdge(0, 1, 2)
+	p, ok := g.ShortestPath(0, 1)
+	if !ok || p.Cost != 2 || len(p.Edges) != 1 {
+		t.Fatalf("path = %+v ok=%v", p, ok)
+	}
+}
+
+func TestShortestPathTriangle(t *testing.T) {
+	// 0-1 cost 1, 1-2 cost 1, 0-2 cost 3: route 0->2 goes through 1.
+	g := New(3)
+	a := g.AddEdge(0, 1, 1)
+	b := g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 3)
+	p, ok := g.ShortestPath(0, 2)
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	if p.Cost != 2 {
+		t.Fatalf("cost = %g, want 2", p.Cost)
+	}
+	if len(p.Edges) != 2 || p.Edges[0] != a || p.Edges[1] != b {
+		t.Fatalf("edges = %v, want [%d %d]", p.Edges, a, b)
+	}
+	wantNodes := []int{0, 1, 2}
+	for i, n := range p.Nodes {
+		if n != wantNodes[i] {
+			t.Fatalf("nodes = %v", p.Nodes)
+		}
+	}
+}
+
+func TestShortestPathToSelf(t *testing.T) {
+	g := New(1)
+	p, ok := g.ShortestPath(0, 0)
+	if !ok || p.Cost != 0 || len(p.Edges) != 0 || len(p.Nodes) != 1 {
+		t.Fatalf("self path = %+v ok=%v", p, ok)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if _, ok := g.ShortestPath(0, 3); ok {
+		t.Fatal("0 and 3 must be unreachable")
+	}
+	if g.Connected(0, 3) {
+		t.Fatal("Connected(0,3) must be false")
+	}
+	if !g.Connected(0, 1) || !g.Connected(2, 3) {
+		t.Fatal("within-component connectivity lost")
+	}
+	label, count := g.Components()
+	if count != 2 {
+		t.Fatalf("components = %d, want 2", count)
+	}
+	if label[0] != label[1] || label[2] != label[3] || label[0] == label[2] {
+		t.Fatalf("labels = %v", label)
+	}
+}
+
+func TestShortestPathsDistances(t *testing.T) {
+	// Line graph 0-1-2-3 with unit weights.
+	g := New(4)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	dist, _, _ := g.ShortestPaths(0)
+	for i, want := range []float64{0, 1, 2, 3} {
+		if dist[i] != want {
+			t.Fatalf("dist[%d] = %g, want %g", i, dist[i], want)
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("negative node count", func() { New(-1) })
+	g := New(1)
+	assertPanics("edge to missing node", func() { g.AddEdge(0, 1, 1) })
+	assertPanics("negative weight", func() { g.AddEdge(0, 0, -1) })
+	assertPanics("degree out of range", func() { g.Degree(5) })
+}
+
+// randomGraph builds a seeded Erdos-Renyi style graph with unit
+// weights.
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// TestPathPropertyValid checks, on random graphs, that every returned
+// shortest path is a real path: consecutive, edge ids match node
+// pairs, and cost equals the sum of traversed weights.
+func TestPathPropertyValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		g := randomGraph(r, n, 0.4)
+		src, dst := r.Intn(n), r.Intn(n)
+		p, ok := g.ShortestPath(src, dst)
+		if !ok {
+			return !g.Connected(src, dst)
+		}
+		if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+			return false
+		}
+		sum := 0.0
+		for i, e := range p.Edges {
+			ed := g.Edges[e]
+			a, b := p.Nodes[i], p.Nodes[i+1]
+			if !(ed.U == a && ed.V == b) && !(ed.U == b && ed.V == a) {
+				return false
+			}
+			sum += ed.Weight
+		}
+		return math.Abs(sum-p.Cost) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTriangleInequalityProperty: dist(src,x) <= dist(src,y) + w(y,x)
+// for every edge (y,x), i.e. Dijkstra relaxation is complete.
+func TestTriangleInequalityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		g := randomGraph(r, n, 0.5)
+		dist, _, _ := g.ShortestPaths(0)
+		for _, e := range g.Edges {
+			if dist[e.U]+e.Weight < dist[e.V]-1e-9 {
+				return false
+			}
+			if dist[e.V]+e.Weight < dist[e.U]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkShortestPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 200, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ShortestPath(0, 199)
+	}
+}

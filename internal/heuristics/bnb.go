@@ -1,0 +1,124 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// integralityTol is the threshold below which a relaxed β is treated
+// as integral during branch-and-bound.
+const integralityTol = 1e-6
+
+// ErrNodeBudget is returned by BranchAndBound when the node budget is
+// exhausted before the search tree is closed; the incumbent returned
+// alongside is then only a lower bound, not a proven optimum.
+var ErrNodeBudget = fmt.Errorf("heuristics: branch-and-bound node budget exhausted")
+
+// BranchAndBound solves the mixed program (7) exactly by
+// branch-and-bound on the integer β variables, using the explicit
+// (α,β) relaxation of core.MixedRelaxed for node bounds. The problem
+// is NP-hard (paper §4, Theorem 1), so this is only practical for
+// small platforms (K up to ~6-8); it exists to measure how close the
+// polynomial heuristics get to the true optimum, which the paper
+// could not do ("solving the mixed LP problem for the optimal
+// solution takes exponential time; consequently we cannot use it in
+// practice").
+//
+// maxNodes bounds the search; <= 0 means a default of 10,000 nodes.
+// The returned allocation is the best integer-feasible point found.
+func BranchAndBound(pr *core.Problem, obj core.Objective, maxNodes int) (*core.Allocation, float64, error) {
+	if maxNodes <= 0 {
+		maxNodes = 10000
+	}
+	// Incumbent: start from LPRG, which is cheap and always feasible.
+	incumbent, err := LPRG(pr, obj)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := pr.CheckAllocation(incumbent, core.DefaultTol); err != nil {
+		return nil, 0, fmt.Errorf("heuristics: LPRG produced an invalid incumbent: %w", err)
+	}
+	best := pr.Objective(obj, incumbent)
+
+	type node struct {
+		bounds map[core.Pair]core.BetaBounds
+	}
+	stack := []node{{bounds: map[core.Pair]core.BetaBounds{}}}
+	nodes := 0
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			return incumbent, best, ErrNodeBudget
+		}
+		nodes++
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		rel, ok, err := pr.MixedRelaxed(obj, nd.bounds)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			continue // infeasible subtree
+		}
+		if rel.Objective <= best+1e-9*(1+math.Abs(best)) {
+			continue // bound cannot beat the incumbent
+		}
+		p, fractional := rel.MostFractional(integralityTol)
+		if !fractional {
+			// Integer-feasible: round the (near-integral) β and keep
+			// the α values.
+			cand := core.NewAllocation(pr.K())
+			for k := range rel.Alpha {
+				copy(cand.Alpha[k], rel.Alpha[k])
+			}
+			for q, v := range rel.Beta {
+				cand.Beta[q.K][q.L] = int(math.Round(v))
+			}
+			if err := pr.CheckAllocation(cand, core.DefaultTol); err != nil {
+				return nil, 0, fmt.Errorf("heuristics: BnB produced an invalid candidate: %w", err)
+			}
+			if val := pr.Objective(obj, cand); val > best {
+				best = val
+				incumbent = cand
+			}
+			continue
+		}
+		// Branch: β_p <= floor  |  β_p >= floor+1. Entries absent from
+		// the bounds map mean [0, +inf), i.e. Lb=0, Ub=-1.
+		v := rel.Beta[p]
+		floor := math.Floor(v)
+		down := cloneBounds(nd.bounds)
+		b := boundsOf(down, p)
+		if b.Ub < 0 || floor < b.Ub {
+			b.Ub = floor
+		}
+		down[p] = b
+		up := cloneBounds(nd.bounds)
+		b = boundsOf(up, p)
+		if floor+1 > b.Lb {
+			b.Lb = floor + 1
+		}
+		up[p] = b
+		stack = append(stack, node{bounds: down}, node{bounds: up})
+	}
+	return incumbent, best, nil
+}
+
+// boundsOf reads the effective bounds of p in m, defaulting absent
+// entries to [0, +inf) (Ub = -1 means unbounded above).
+func boundsOf(m map[core.Pair]core.BetaBounds, p core.Pair) core.BetaBounds {
+	if b, ok := m[p]; ok {
+		return b
+	}
+	return core.BetaBounds{Lb: 0, Ub: -1}
+}
+
+func cloneBounds(in map[core.Pair]core.BetaBounds) map[core.Pair]core.BetaBounds {
+	out := make(map[core.Pair]core.BetaBounds, len(in)+1)
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

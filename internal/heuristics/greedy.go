@@ -1,0 +1,212 @@
+// Package heuristics implements the paper's five solution methods
+// for the STEADY-STATE-DIVISIBLE-LOAD problem (§5): the greedy
+// heuristic G, the LP-relaxation-based heuristics LPR (round down),
+// LPRG (round down + greedy refinement) and LPRR (randomized
+// rounding, including the equal-probability variant discussed in
+// §6.2), plus an exact branch-and-bound solver for the mixed program
+// (7) usable on small instances to calibrate the heuristics against
+// the true optimum.
+package heuristics
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// greedyTol treats residual quantities below this threshold as
+// exhausted, which keeps the floating-point loop from spinning on
+// crumbs.
+const greedyTol = 1e-9
+
+// Greedy runs the paper's greedy heuristic G (§5.1) on the full
+// platform and returns the resulting valid allocation.
+//
+// Applications with payoff π_k ≤ 0 are excluded from the candidate
+// list: they would otherwise always have the minimal relative share
+// α_k·π_k = 0 and would soak up resources for zero payoff (the paper
+// introduces zero payoffs precisely for clusters that do not wish to
+// run an application).
+//
+// Faithful to §5.1, the local-computation step allocates only as much
+// work as some other application could have executed on the cluster
+// ("to prevent over-utilization of the local cluster early on").
+// When that guard quantity is zero the application is dropped, which
+// can strand residual local speed — observable in the paper's own
+// Figure 5, where SUM(G) stays below the (trivially all-local) SUM
+// upper bound. GreedyFullDrain is the ablation variant that instead
+// allocates the full residual speed in that situation; the guard can
+// only be zero when no other application can ever again use the
+// cluster (all the quantities in it are non-increasing), so the
+// variant strictly dominates G. See the ablation benchmarks.
+func Greedy(pr *core.Problem) *core.Allocation {
+	return greedy(pr, false)
+}
+
+// GreedyFullDrain is Greedy with the stranded-speed fix described in
+// Greedy's documentation: when the §5.1 local-allocation guard is
+// zero, the full residual local speed is allocated instead of
+// dropping the application.
+func GreedyFullDrain(pr *core.Problem) *core.Allocation {
+	return greedy(pr, true)
+}
+
+func greedy(pr *core.Problem, fullDrain bool) *core.Allocation {
+	alloc := core.NewAllocation(pr.K())
+	res := platform.NewResidual(pr.Platform)
+	greedyFill(pr, res, alloc, fullDrain)
+	return alloc
+}
+
+// greedyFill applies the §5.1 greedy loop on top of an existing
+// allocation and residual platform state. It is shared between G
+// (fresh state) and LPRG (state left over after LP rounding).
+func greedyFill(pr *core.Problem, res *platform.Residual, alloc *core.Allocation, fullDrain bool) {
+	K := pr.K()
+	live := make([]bool, K)
+	n := 0
+	for k := 0; k < K; k++ {
+		if pr.Payoffs[k] > 0 {
+			live[k] = true
+			n++
+		}
+	}
+	// Safety valve: each remote step consumes a connection slot and
+	// each local step consumes residual speed, so the loop terminates;
+	// the cap only guards against floating-point pathologies.
+	totalSlots := 0
+	for _, mc := range res.MaxConnect {
+		totalSlots += mc
+	}
+	maxSteps := 100*K + totalSlots + 1000
+
+	for step := 0; n > 0 && step < maxSteps; step++ {
+		// Step 3: select the application with the smallest relative
+		// share α_k·π_k, breaking ties by the larger payoff, then by
+		// index (deterministic).
+		k := -1
+		for cand := 0; cand < K; cand++ {
+			if !live[cand] {
+				continue
+			}
+			if k == -1 {
+				k = cand
+				continue
+			}
+			sk := alloc.AppThroughput(cand) * pr.Payoffs[cand]
+			sb := alloc.AppThroughput(k) * pr.Payoffs[k]
+			if sk < sb-greedyTol || (math.Abs(sk-sb) <= greedyTol && pr.Payoffs[cand] > pr.Payoffs[k]) {
+				k = cand
+			}
+		}
+
+		// Step 4: select the most profitable target cluster.
+		bestL, bestBenefit := -1, 0.0
+		for l := 0; l < K; l++ {
+			if b := benefit(pr, res, k, l); b > bestBenefit+greedyTol {
+				bestBenefit = b
+				bestL = l
+			}
+		}
+		if bestL == -1 || bestBenefit <= greedyTol {
+			live[k] = false
+			n--
+			continue
+		}
+		l := bestL
+
+		// Step 5: decide the amount of work.
+		var amount float64
+		if l == k {
+			// Local: allocate only as much as some other application
+			// could have used on C^k, to avoid hogging the local
+			// cluster early (§5.1 step 5).
+			amount = 0
+			for m := 0; m < K; m++ {
+				if m == k {
+					continue
+				}
+				cand := minFloat(res.Gateway[k], pr.Platform.RouteBW(m, k), res.Gateway[m], res.Speed[k])
+				if !res.RouteOpen(m, k) {
+					cand = 0
+				}
+				if cand > amount {
+					amount = cand
+				}
+			}
+			if amount <= greedyTol && fullDrain {
+				// Ablation variant: the guard being zero means no other
+				// application can ever again reach C^k (every quantity
+				// in the guard is non-increasing), so the contention
+				// concern is vacuous — drain the residual speed.
+				amount = res.Speed[k]
+			}
+			if amount > res.Speed[k] {
+				amount = res.Speed[k]
+			}
+			if amount <= greedyTol {
+				// Faithful §5.1: drop the application, stranding any
+				// residual local speed.
+				live[k] = false
+				n--
+				continue
+			}
+			res.Speed[k] -= amount
+			alloc.Alpha[k][k] += amount
+			continue
+		}
+		// Remote: open one connection and ship the single-connection
+		// benefit (step 6 updates).
+		amount = bestBenefit
+		res.Speed[l] -= amount
+		res.Gateway[k] -= amount
+		res.Gateway[l] -= amount
+		res.OpenConnection(k, l)
+		alloc.Alpha[k][l] += amount
+		alloc.Beta[k][l]++
+	}
+	clampResidual(res)
+}
+
+// benefit computes the §5.1 step-4 benefit of running application k's
+// work on cluster l under the current residual state: the residual
+// speed for a local run, or the work a single new connection can
+// carry for a remote run — min{g_k, g_{k,l}, g_l, s_l}, zero when the
+// route has no free connection slot.
+func benefit(pr *core.Problem, res *platform.Residual, k, l int) float64 {
+	if l == k {
+		return res.Speed[k]
+	}
+	if !res.RouteOpen(k, l) {
+		return 0
+	}
+	b := minFloat(res.Gateway[k], pr.Platform.RouteBW(k, l), res.Gateway[l], res.Speed[l])
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+func minFloat(vs ...float64) float64 {
+	m := math.Inf(1)
+	for _, v := range vs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// clampResidual zeroes out tiny negative residues left by
+// floating-point subtraction so later consumers see a sane state.
+func clampResidual(res *platform.Residual) {
+	for i := range res.Speed {
+		if res.Speed[i] < 0 {
+			res.Speed[i] = 0
+		}
+		if res.Gateway[i] < 0 {
+			res.Gateway[i] = 0
+		}
+	}
+}

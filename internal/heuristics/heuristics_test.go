@@ -1,0 +1,397 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/platgen"
+)
+
+// star builds a platform with one source cluster (speed srcSpeed) and
+// n worker clusters of speed 100, all pairwise links from the source
+// router, each bw/maxcon as given, gateways 1000 (non-binding).
+func star(srcSpeed float64, n int, bw float64, maxcon int) *platform.Platform {
+	p := &platform.Platform{Routers: n + 1}
+	p.Clusters = append(p.Clusters, platform.Cluster{Name: "src", Speed: srcSpeed, Gateway: 1000, Router: 0})
+	for i := 1; i <= n; i++ {
+		p.Clusters = append(p.Clusters, platform.Cluster{Name: "w", Speed: 100, Gateway: 1000, Router: i})
+		p.Links = append(p.Links, platform.Link{U: 0, V: i, BW: bw, MaxConnect: maxcon})
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func randomProblem(seed int64, maxK int) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	params := platgen.Params{
+		K:             2 + rng.Intn(maxK-1),
+		Connectivity:  0.2 + 0.6*rng.Float64(),
+		Heterogeneity: 0.2 + 0.6*rng.Float64(),
+		MeanG:         50 + 400*rng.Float64(),
+		MeanBW:        10 + 80*rng.Float64(),
+		MeanMaxCon:    2 + 20*rng.Float64(),
+	}
+	pl, err := platgen.Generate(params, rng)
+	if err != nil {
+		panic(err)
+	}
+	return core.NewProblem(pl)
+}
+
+func TestGreedyFullDrainLocalSaturation(t *testing.T) {
+	// Single cluster: the full-drain variant allocates all local
+	// speed, while the paper-faithful G strands it (its §5.1 local
+	// guard is zero when no other cluster exists).
+	p := &platform.Platform{Routers: 1, Clusters: []platform.Cluster{{Name: "c", Speed: 100, Gateway: 50, Router: 0}}}
+	if err := p.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	pr := core.NewProblem(p)
+	a := GreedyFullDrain(pr)
+	if math.Abs(a.Alpha[0][0]-100) > 1e-9 {
+		t.Fatalf("full drain: α_{0,0} = %g, want 100", a.Alpha[0][0])
+	}
+	if err := pr.CheckAllocation(a, core.DefaultTol); err != nil {
+		t.Fatal(err)
+	}
+	g := Greedy(pr)
+	if g.AppThroughput(0) != 0 {
+		t.Fatalf("paper G on an isolated cluster = %g, want 0 (stranded)", g.AppThroughput(0))
+	}
+}
+
+func TestGreedyFullDrainDominatesG(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		pr := randomProblem(seed, 10)
+		g := pr.Objective(core.SUM, Greedy(pr))
+		gf := pr.Objective(core.SUM, GreedyFullDrain(pr))
+		if gf < g-1e-6*(1+g) {
+			t.Fatalf("seed %d: G-FULL %g < G %g", seed, gf, g)
+		}
+	}
+}
+
+func TestGreedyFullDrainReachesTrivialSUMOptimum(t *testing.T) {
+	// With unit payoffs the SUM relaxation optimum is Σ s_k (all
+	// work local); the full-drain variant always attains it.
+	for seed := int64(0); seed < 8; seed++ {
+		pr := randomProblem(seed, 8)
+		ub, _, err := UpperBound(pr, core.SUM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pr.Objective(core.SUM, GreedyFullDrain(pr))
+		if math.Abs(got-ub) > 1e-6*(1+ub) {
+			t.Fatalf("seed %d: G-FULL SUM %g != LP %g", seed, got, ub)
+		}
+	}
+}
+
+func TestGreedyUsesRemoteWorkers(t *testing.T) {
+	// Source with zero speed must ship work to the workers.
+	pr := core.NewProblem(star(0, 3, 10, 2))
+	pr.Payoffs = []float64{1, 0, 0, 0}
+	a := Greedy(pr)
+	if err := pr.CheckAllocation(a, core.DefaultTol); err != nil {
+		t.Fatal(err)
+	}
+	// 3 workers x 2 connections x bw 10 = 60 achievable.
+	if got := a.AppThroughput(0); math.Abs(got-60) > 1e-6 {
+		t.Fatalf("throughput = %g, want 60", got)
+	}
+	for l := 1; l <= 3; l++ {
+		if a.Beta[0][l] != 2 {
+			t.Fatalf("β_{0,%d} = %d, want 2", l, a.Beta[0][l])
+		}
+	}
+}
+
+func TestGreedyRespectsZeroPayoff(t *testing.T) {
+	pr := core.NewProblem(star(100, 2, 10, 2))
+	pr.Payoffs = []float64{1, 0, 0}
+	a := Greedy(pr)
+	if err := pr.CheckAllocation(a, core.DefaultTol); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 2; k++ {
+		if a.AppThroughput(k) != 0 {
+			t.Fatalf("zero-payoff app %d got throughput %g", k, a.AppThroughput(k))
+		}
+	}
+	// App 0 should still get its local speed plus remote capacity.
+	if got := a.AppThroughput(0); got < 100 {
+		t.Fatalf("app 0 throughput = %g, want >= 100", got)
+	}
+}
+
+func TestGreedyFairnessUnderContention(t *testing.T) {
+	// Two symmetric clusters with equal payoffs: greedy should treat
+	// them symmetrically (equal throughput).
+	p := &platform.Platform{
+		Routers: 2,
+		Links:   []platform.Link{{U: 0, V: 1, BW: 10, MaxConnect: 3}},
+		Clusters: []platform.Cluster{
+			{Name: "a", Speed: 100, Gateway: 50, Router: 0},
+			{Name: "b", Speed: 100, Gateway: 50, Router: 1},
+		},
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	pr := core.NewProblem(p)
+	a := Greedy(pr)
+	if err := pr.CheckAllocation(a, core.DefaultTol); err != nil {
+		t.Fatal(err)
+	}
+	t0, t1 := a.AppThroughput(0), a.AppThroughput(1)
+	if math.Abs(t0-t1) > 1e-6 {
+		t.Fatalf("asymmetric throughputs %g vs %g", t0, t1)
+	}
+}
+
+func TestLPRNeverExceedsRelaxation(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		pr := randomProblem(seed, 8)
+		for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+			ub, _, err := UpperBound(pr, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := LPR(pr, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pr.CheckAllocation(a, core.DefaultTol); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, obj, err)
+			}
+			if v := pr.Objective(obj, a); v > ub*(1+1e-6)+1e-6 {
+				t.Fatalf("seed %d %v: LPR %g beats upper bound %g", seed, obj, v, ub)
+			}
+		}
+	}
+}
+
+func TestLPRGDominatesLPR(t *testing.T) {
+	// LPRG = LPR + greedy refinement, so its objective can only be
+	// at least LPR's.
+	for seed := int64(0); seed < 12; seed++ {
+		pr := randomProblem(seed, 9)
+		for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+			lpr, err := LPR(pr, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lprg, err := LPRG(pr, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pr.CheckAllocation(lprg, core.DefaultTol); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, obj, err)
+			}
+			vr, vg := pr.Objective(obj, lpr), pr.Objective(obj, lprg)
+			if vg < vr-1e-6*(1+math.Abs(vr)) {
+				t.Fatalf("seed %d %v: LPRG %g < LPR %g", seed, obj, vg, vr)
+			}
+		}
+	}
+}
+
+func TestLPRRProducesValidAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for seed := int64(0); seed < 6; seed++ {
+		pr := randomProblem(seed, 6)
+		for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+			for _, variant := range []LPRRVariant{ProportionalRounding, EqualRounding} {
+				a, err := LPRR(pr, obj, variant, rng)
+				if err != nil {
+					t.Fatalf("seed %d %v %v: %v", seed, obj, variant, err)
+				}
+				if err := pr.CheckAllocation(a, core.DefaultTol); err != nil {
+					t.Fatalf("seed %d %v %v: %v", seed, obj, variant, err)
+				}
+				ub, _, err := UpperBound(pr, obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v := pr.Objective(obj, a); v > ub*(1+1e-6)+1e-6 {
+					t.Fatalf("seed %d: LPRR %g beats upper bound %g", seed, v, ub)
+				}
+			}
+		}
+	}
+}
+
+func TestLPRRExactWhenRelaxationIntegral(t *testing.T) {
+	// Star with integral optimum: β̃ values are integral, so LPRR
+	// must recover exactly the relaxation's objective.
+	pr := core.NewProblem(star(0, 2, 10, 2))
+	pr.Payoffs = []float64{1, 0, 0}
+	rng := rand.New(rand.NewSource(1))
+	a, err := LPRR(pr, core.SUM, ProportionalRounding, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Objective(core.SUM, a); math.Abs(got-40) > 1e-5 {
+		t.Fatalf("LPRR objective = %g, want 40 (2 workers x 2 conns x bw 10)", got)
+	}
+}
+
+func TestLPRRVariantString(t *testing.T) {
+	if ProportionalRounding.String() != "LPRR" || EqualRounding.String() != "LPRR-EQ" {
+		t.Fatal("variant strings wrong")
+	}
+}
+
+func TestBranchAndBoundMatchesRelaxationWhenIntegral(t *testing.T) {
+	pr := core.NewProblem(star(0, 2, 10, 2))
+	pr.Payoffs = []float64{1, 0, 0}
+	alloc, val, err := BranchAndBound(pr, core.SUM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(val-40) > 1e-5 {
+		t.Fatalf("BnB value = %g, want 40", val)
+	}
+	if err := pr.CheckAllocation(alloc, core.DefaultTol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchAndBoundBeatsOrMatchesHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for seed := int64(0); seed < 6; seed++ {
+		pr := randomProblem(seed, 5)
+		for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+			_, exact, err := BranchAndBound(pr, obj, 20000)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, obj, err)
+			}
+			ub, _, err := UpperBound(pr, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact > ub*(1+1e-6)+1e-6 {
+				t.Fatalf("seed %d %v: exact %g beats LP bound %g", seed, obj, exact, ub)
+			}
+			for _, name := range []Name{NameG, NameLPR, NameLPRG} {
+				r, err := Run(name, pr, obj, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Value > exact*(1+1e-5)+1e-5 {
+					t.Fatalf("seed %d %v: %s=%g beats exact optimum %g", seed, obj, name, r.Value, exact)
+				}
+			}
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	pr := randomProblem(3, 5)
+	rng := rand.New(rand.NewSource(2))
+	for _, name := range All {
+		r, err := Run(name, pr, core.SUM, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Heuristic != name || r.Alloc == nil {
+			t.Fatalf("%s: bad result %+v", name, r)
+		}
+		if err := pr.CheckAllocation(r.Alloc, core.DefaultTol); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(r.Value-pr.Objective(core.SUM, r.Alloc)) > 1e-12 {
+			t.Fatalf("%s: Value field inconsistent", name)
+		}
+	}
+	if _, err := Run("nope", pr, core.SUM, rng); err == nil {
+		t.Fatal("unknown heuristic must error")
+	}
+	if _, err := Run(NameLPRR, pr, core.SUM, nil); err == nil {
+		t.Fatal("LPRR without rng must error")
+	}
+}
+
+func TestRunDeterministicHeuristicsStable(t *testing.T) {
+	pr := randomProblem(11, 7)
+	a1, err := Run(NameG, pr, core.SUM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(NameG, pr, core.SUM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Value != a2.Value {
+		t.Fatalf("greedy not deterministic: %g vs %g", a1.Value, a2.Value)
+	}
+}
+
+// TestPropertyAllHeuristicsValidAndBounded is the paper's implicit
+// contract: every heuristic returns a valid allocation (Eq. 7) whose
+// objective does not exceed the LP upper bound.
+func TestPropertyAllHeuristicsValidAndBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		pr := randomProblem(seed, 7)
+		rng := rand.New(rand.NewSource(seed + 1))
+		for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+			ub, _, err := UpperBound(pr, obj)
+			if err != nil {
+				return false
+			}
+			for _, name := range []Name{NameG, NameLPR, NameLPRG, NameLPRR} {
+				r, err := Run(name, pr, obj, rng)
+				if err != nil {
+					return false
+				}
+				if err := pr.CheckAllocation(r.Alloc, core.DefaultTol); err != nil {
+					t.Logf("seed %d %s %v: %v", seed, name, obj, err)
+					return false
+				}
+				if r.Value > ub*(1+1e-5)+1e-5 {
+					t.Logf("seed %d %s %v: value %g > bound %g", seed, name, obj, r.Value, ub)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGreedyK20(b *testing.B) {
+	pr := randomProblem(5, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(pr)
+	}
+}
+
+func BenchmarkLPRGK10(b *testing.B) {
+	pr := randomProblem(5, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LPRG(pr, core.SUM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPRRK6(b *testing.B) {
+	pr := randomProblem(5, 6)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LPRR(pr, core.SUM, ProportionalRounding, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

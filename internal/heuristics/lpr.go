@@ -1,0 +1,110 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// snapEps absorbs LP roundoff before flooring, so a β̃ of 2.9999999995
+// rounds down to 3, not 2.
+const snapEps = 1e-7
+
+// LPR is the paper's round-off heuristic (§5.2.1): solve the rational
+// relaxation, floor every β̃_{k,l} to an integer, and shrink each
+// α̃_{k,l} to fit the rounded connection count:
+//
+//	β̂_{k,l} = ⌊β̃_{k,l}⌋
+//	α̂_{k,l} = min(α̃_{k,l}, β̂_{k,l}·min bw(L_{k,l}))
+//
+// Routes whose path crosses no backbone link keep their α unchanged
+// (no connection constraint applies there).
+func LPR(pr *core.Problem, obj core.Objective) (*core.Allocation, error) {
+	rel, ok, err := pr.Relaxed(obj, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("heuristics: relaxation infeasible on an unconstrained platform (model bug)")
+	}
+	alloc, _ := roundDown(pr, rel)
+	return alloc, nil
+}
+
+// roundDown applies the LPR rounding to a relaxed solution and also
+// returns the residual platform capacity left over (consumed by the
+// greedy refinement of LPRG).
+func roundDown(pr *core.Problem, rel *core.RelaxedSolution) (*core.Allocation, *platform.Residual) {
+	K := pr.K()
+	pl := pr.Platform
+	alloc := core.NewAllocation(K)
+	res := platform.NewResidual(pl)
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			a := rel.Alpha[k][l]
+			if a <= 0 {
+				continue
+			}
+			if k == l {
+				alloc.Alpha[k][k] = math.Min(a, res.Speed[k])
+				res.Speed[k] -= alloc.Alpha[k][k]
+				continue
+			}
+			rt := pl.Route(k, l)
+			if !rt.Exists {
+				continue
+			}
+			var capA float64
+			var beta int
+			if math.IsInf(rt.MinBW, 1) {
+				// Same-router route: only gateways constrain it.
+				capA = a
+			} else {
+				beta = int(math.Floor(rel.BetaFrac[k][l] + snapEps))
+				if beta < 0 {
+					beta = 0
+				}
+				capA = float64(beta) * rt.MinBW
+			}
+			a = minFloat(a, capA, res.Speed[l], res.Gateway[k], res.Gateway[l])
+			if a < greedyTol {
+				a = 0
+				// A zero α does not need its connections; drop them so
+				// the residual budget is not pointlessly consumed.
+				beta = 0
+			}
+			alloc.Alpha[k][l] = a
+			alloc.Beta[k][l] = beta
+			res.Speed[l] -= a
+			res.Gateway[k] -= a
+			res.Gateway[l] -= a
+			for _, li := range rt.Links {
+				res.MaxConnect[li] -= beta
+				if res.MaxConnect[li] < 0 {
+					res.MaxConnect[li] = 0 // defensive; cannot happen with a feasible relaxation
+				}
+			}
+		}
+	}
+	clampResidual(res)
+	return alloc, res
+}
+
+// LPRG is the paper's round-off + greedy heuristic (§5.2.2): LPR
+// gives the basic framework of the solution, and the greedy pass of
+// §5.1 reclaims the residual network and compute capacity that the
+// flooring discarded.
+func LPRG(pr *core.Problem, obj core.Objective) (*core.Allocation, error) {
+	rel, ok, err := pr.Relaxed(obj, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("heuristics: relaxation infeasible on an unconstrained platform (model bug)")
+	}
+	alloc, res := roundDown(pr, rel)
+	greedyFill(pr, res, alloc, false)
+	return alloc, nil
+}

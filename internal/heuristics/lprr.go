@@ -1,0 +1,153 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// LPRRVariant selects the randomized-rounding probability rule.
+type LPRRVariant int
+
+const (
+	// ProportionalRounding rounds β̃ up with probability equal to its
+	// fractional part (the LPRR of §5.2.3, after Coudert & Rivano).
+	ProportionalRounding LPRRVariant = iota
+	// EqualRounding rounds up or down with probability 1/2 — the
+	// control variant the paper reports performs much worse (§6.2).
+	EqualRounding
+)
+
+func (v LPRRVariant) String() string {
+	if v == EqualRounding {
+		return "LPRR-EQ"
+	}
+	return "LPRR"
+}
+
+// LPRR is the paper's randomized round-off heuristic (§5.2.3). It
+// fixes the β value of one route at a time: solve the rational
+// relaxation with all previously pinned routes, pick an unpinned
+// route at random among those with β̃ ≠ 0, round its β̃ up with
+// probability equal to its fractional part (down otherwise), pin it,
+// and iterate. Unpinned routes whose β̃ is 0 in the current solution
+// are pinned to 0 in bulk when no nonzero candidate remains. The
+// procedure solves up to K² linear programs, which is exactly the
+// complexity the paper measures in Figure 7.
+//
+// With integral max-connect values a round-up can never make the pin
+// set infeasible (DESIGN.md); if infeasibility is ever reported (for
+// hand-built platforms with exotic routes), the round-up is retried
+// as a round-down.
+func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.Rand) (*core.Allocation, error) {
+	routes := pr.RemoteRoutes()
+	fixed := make(map[core.Pair]int, len(routes))
+	remaining := make(map[core.Pair]bool, len(routes))
+	for _, p := range routes {
+		remaining[p] = true
+	}
+
+	rel, ok, err := pr.Relaxed(obj, fixed)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("heuristics: initial relaxation infeasible (model bug)")
+	}
+
+	for len(remaining) > 0 {
+		// Candidates: unpinned routes with nonzero β̃ in the current
+		// relaxed solution, in deterministic order for the rng draw.
+		var candidates []core.Pair
+		for _, p := range routes {
+			if remaining[p] && rel.BetaFrac[p.K][p.L] > snapEps {
+				candidates = append(candidates, p)
+			}
+		}
+		if len(candidates) == 0 {
+			// Everything left is zero in the relaxation: pin to 0.
+			for p := range remaining {
+				fixed[p] = 0
+			}
+			break
+		}
+		p := candidates[rng.Intn(len(candidates))]
+		bt := rel.BetaFrac[p.K][p.L]
+		floor := int(math.Floor(bt + snapEps))
+		frac := bt - float64(floor)
+		if frac < 0 {
+			frac = 0
+		}
+		up := 0
+		switch variant {
+		case ProportionalRounding:
+			if rng.Float64() < frac {
+				up = 1
+			}
+		case EqualRounding:
+			if rng.Float64() < 0.5 {
+				up = 1
+			}
+		default:
+			return nil, fmt.Errorf("heuristics: unknown LPRR variant %d", int(variant))
+		}
+		value := floor + up
+		fixed[p] = value
+		delete(remaining, p)
+
+		next, ok, err := pr.Relaxed(obj, fixed)
+		if err != nil {
+			return nil, err
+		}
+		if !ok && up == 1 {
+			// Exotic-platform fallback: retry with the floor.
+			fixed[p] = floor
+			next, ok, err = pr.Relaxed(obj, fixed)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("heuristics: LPRR pin set became infeasible at route (%d,%d)", p.K, p.L)
+		}
+		rel = next
+	}
+
+	// Final solve with every route pinned gives the α values.
+	final, ok, err := pr.Relaxed(obj, fixed)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("heuristics: final LPRR relaxation infeasible")
+	}
+	return allocationFromPinned(pr, final, fixed), nil
+}
+
+// allocationFromPinned assembles an integer-β allocation from a
+// relaxed solution whose remote backbone routes are all pinned.
+func allocationFromPinned(pr *core.Problem, rel *core.RelaxedSolution, fixed map[core.Pair]int) *core.Allocation {
+	K := pr.K()
+	alloc := core.NewAllocation(K)
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			a := rel.Alpha[k][l]
+			if a < 0 {
+				a = 0
+			}
+			alloc.Alpha[k][l] = a
+		}
+	}
+	for p, v := range fixed {
+		alloc.Beta[p.K][p.L] = v
+		bw := pr.Platform.RouteBW(p.K, p.L)
+		if !math.IsInf(bw, 1) {
+			if capA := float64(v) * bw; alloc.Alpha[p.K][p.L] > capA {
+				alloc.Alpha[p.K][p.L] = capA // absorb LP roundoff
+			}
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,402 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustSolve(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTrivialUnconstrained(t *testing.T) {
+	// maximize 0 over x>=0: optimal with objective 0.
+	p := New(2)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestSingleVariableBound(t *testing.T) {
+	// maximize 3x s.t. x <= 5.
+	p := New(1)
+	p.SetObjective(0, 3)
+	p.AddConstraint([]Term{{0, 1}}, LE, 5)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 15, 1e-9) || !approx(sol.X[0], 5, 1e-9) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestClassicTwoVar(t *testing.T) {
+	// maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+	// Known optimum: x=2, y=6, obj=36.
+	p := New(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 36, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+	if !approx(sol.X[0], 2, 1e-7) || !approx(sol.X[1], 6, 1e-7) {
+		t.Fatalf("X = %v", sol.X)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// maximize x with no constraint on x.
+	p := New(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{1, 1}}, LE, 1)
+	sol := mustSolve(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("got %+v, want Unbounded", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	p := New(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	sol := mustSolve(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("got %+v, want Infeasible", sol)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// maximize x + y s.t. x + y == 3, x <= 1. Optimum 3 with x<=1.
+	p := New(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 3, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+	if sol.X[0] > 1+1e-7 || !approx(sol.X[0]+sol.X[1], 3, 1e-7) {
+		t.Fatalf("X = %v", sol.X)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -2 is x >= 2; maximize -x gives x=2, obj=-2.
+	p := New(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -2)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.X[0], 2, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestGEConstraintBindsBelow(t *testing.T) {
+	// minimize x (maximize -x) s.t. x >= 3.5.
+	p := New(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 3.5)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.X[0], 3.5, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Two identical equalities: must remain feasible, not infeasible.
+	p := New(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1.5)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 1.5, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestDegenerateCycleProne(t *testing.T) {
+	// Beale's classic cycling example (for textbook pivot rules).
+	// minimize -0.75x1 + 150x2 - 0.02x3 + 6x4
+	// s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+	//      0.5x1 - 90x2 - 0.02x3 + 3x4 <= 0
+	//      x3 <= 1
+	// Optimal objective (max form) is 0.05 at x=(0.04? ...): known
+	// optimum of the max problem 0.75x1-150x2+0.02x3-6x4 is 1/20.
+	p := New(4)
+	p.SetObjective(0, 0.75)
+	p.SetObjective(1, -150)
+	p.SetObjective(2, 0.02)
+	p.SetObjective(3, -6)
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -1.0 / 25}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -1.0 / 50}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 0.05, 1e-7) {
+		t.Fatalf("got %+v, want objective 0.05", sol)
+	}
+}
+
+func TestDuplicateTermsSummed(t *testing.T) {
+	// x + x <= 4 means x <= 2.
+	p := New(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, 1}, {0, 1}}, LE, 4)
+	sol := mustSolve(t, p)
+	if !approx(sol.X[0], 2, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestMaxMinViaAux(t *testing.T) {
+	// maximize min(x, y) s.t. x + y <= 10 -> t=5.
+	// Encoded: maximize t s.t. t - x <= 0, t - y <= 0, x + y <= 10.
+	p := New(3) // x, y, t
+	p.SetObjective(2, 1)
+	p.AddConstraint([]Term{{2, 1}, {0, -1}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}, {1, -1}}, LE, 0)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 10)
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 5, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 sources (supply 20, 30) x 2 sinks (demand 25, 25), unit costs
+	// c = [[1,2],[3,1]] minimized. Optimal: x11=20, x21=5, x22=25,
+	// cost = 20*1 + 5*3 + 25*1 = 60. Maximize negative cost.
+	p := New(4) // x11 x12 x21 x22
+	costs := []float64{1, 2, 3, 1}
+	for j, c := range costs {
+		p.SetObjective(j, -c)
+	}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 20)
+	p.AddConstraint([]Term{{2, 1}, {3, 1}}, LE, 30)
+	p.AddConstraint([]Term{{0, 1}, {2, 1}}, EQ, 25)
+	p.AddConstraint([]Term{{1, 1}, {3, 1}}, EQ, 25)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, -60, 1e-6) {
+		t.Fatalf("got %+v, want -60", sol)
+	}
+}
+
+func TestPanicsOnBadModel(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("negative vars", func() { New(-1) })
+	p := New(1)
+	assertPanics("objective out of range", func() { p.SetObjective(1, 1) })
+	assertPanics("term out of range", func() { p.AddConstraint([]Term{{3, 1}}, LE, 1) })
+	assertPanics("NaN coeff", func() { p.AddConstraint([]Term{{0, math.NaN()}}, LE, 1) })
+	assertPanics("Inf rhs", func() { p.AddConstraint([]Term{{0, 1}}, LE, math.Inf(1)) })
+}
+
+func TestRelAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("Rel strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings wrong")
+	}
+	if Rel(9).String() == "" || Status(9).String() == "" {
+		t.Fatal("unknown values must still format")
+	}
+}
+
+// randomFeasibleLP builds a random LP that is feasible by
+// construction: all constraints are a·x <= b with a >= 0, b >= 0, so
+// x = 0 is feasible, and every variable appears in some constraint
+// with a positive coefficient, so the LP is bounded.
+func randomFeasibleLP(r *rand.Rand) *Problem {
+	n := 1 + r.Intn(8)
+	m := 1 + r.Intn(8)
+	p := New(n)
+	for j := 0; j < n; j++ {
+		p.SetObjective(j, r.Float64()*10)
+	}
+	covered := make([]bool, n)
+	for i := 0; i < m; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			if r.Float64() < 0.5 {
+				terms = append(terms, Term{j, 0.1 + r.Float64()*5})
+				covered[j] = true
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{r.Intn(n), 1})
+			covered[terms[0].Var] = true
+		}
+		p.AddConstraint(terms, LE, r.Float64()*20)
+	}
+	for j := 0; j < n; j++ {
+		if !covered[j] {
+			p.AddConstraint([]Term{{j, 1}}, LE, r.Float64()*20)
+		}
+	}
+	return p
+}
+
+// evaluate checks feasibility of x against the model within tol.
+func feasible(p *Problem, x []float64, tol float64) bool {
+	for _, xv := range x {
+		if xv < -tol {
+			return false
+		}
+	}
+	for _, r := range p.rows {
+		lhs := 0.0
+		for _, term := range r.terms {
+			lhs += term.Coeff * x[term.Var]
+		}
+		switch r.rel {
+		case LE:
+			if lhs > r.rhs+tol {
+				return false
+			}
+		case GE:
+			if lhs < r.rhs-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPropertySolutionFeasible: on random feasible bounded LPs, the
+// solver reports Optimal and the returned point satisfies every
+// constraint.
+func TestPropertySolutionFeasible(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomFeasibleLP(r)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		tol := 1e-6 * (1 + math.Abs(sol.Objective))
+		return feasible(p, sol.X, tol)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOptimalBeatsRandomFeasiblePoints: no random feasible
+// point scores better than the reported optimum.
+func TestPropertyOptimalBeatsRandomFeasiblePoints(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomFeasibleLP(r)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		// Sample candidate points by scaling down random directions
+		// until feasible.
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, p.NumVars())
+			for j := range x {
+				x[j] = r.Float64() * 10
+			}
+			for s := 0; s < 40 && !feasible(p, x, 1e-9); s++ {
+				for j := range x {
+					x[j] *= 0.7
+				}
+			}
+			if !feasible(p, x, 1e-9) {
+				continue
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.c[j] * x[j]
+			}
+			if obj > sol.Objective+1e-6*(1+math.Abs(sol.Objective)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyScaleInvariance: scaling the objective by a positive
+// constant scales the optimum accordingly.
+func TestPropertyScaleInvariance(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p1 := randomFeasibleLP(r)
+		p2 := New(p1.NumVars())
+		for j := 0; j < p1.NumVars(); j++ {
+			p2.SetObjective(j, 2.5*p1.c[j])
+		}
+		for _, row := range p1.rows {
+			p2.AddConstraint(row.terms, row.rel, row.rhs)
+		}
+		s1, err1 := p1.Solve()
+		s2, err2 := p2.Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return approx(2.5*s1.Objective, s2.Objective, 1e-5*(1+math.Abs(s2.Objective)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n, m := 60, 40
+	p := New(n)
+	for j := 0; j < n; j++ {
+		p.SetObjective(j, r.Float64())
+	}
+	for i := 0; i < m; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			if r.Float64() < 0.3 {
+				terms = append(terms, Term{j, r.Float64() * 4})
+			}
+		}
+		if len(terms) == 0 {
+			terms = []Term{{i % n, 1}}
+		}
+		p.AddConstraint(terms, LE, 5+r.Float64()*10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package multiapp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/platgen"
+)
+
+func twoClusters() *platform.Platform {
+	p := &platform.Platform{
+		Routers: 2,
+		Links:   []platform.Link{{U: 0, V: 1, BW: 10, MaxConnect: 3}},
+		Clusters: []platform.Cluster{
+			{Name: "a", Speed: 100, Gateway: 50, Router: 0},
+			{Name: "b", Speed: 100, Gateway: 50, Router: 1},
+		},
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	pl := twoClusters()
+	good := &Problem{Platform: pl, Apps: []App{{Name: "x", Origin: 0, Payoff: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Problem{
+		{Platform: nil, Apps: []App{{Origin: 0, Payoff: 1}}},
+		{Platform: pl},
+		{Platform: pl, Apps: []App{{Origin: 9, Payoff: 1}}},
+		{Platform: pl, Apps: []App{{Origin: 0, Payoff: -1}}},
+	}
+	for i, pr := range bad {
+		if err := pr.Validate(); err == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+}
+
+func TestSingleAppPerClusterMatchesCore(t *testing.T) {
+	// With exactly one app per cluster the multi-app relaxation must
+	// agree with the core relaxation.
+	rng := rand.New(rand.NewSource(5))
+	for seed := int64(0); seed < 8; seed++ {
+		params := platgen.Params{
+			K:             2 + rng.Intn(6),
+			Connectivity:  0.3 + 0.5*rng.Float64(),
+			Heterogeneity: 0.4,
+			MeanG:         150,
+			MeanBW:        40,
+			MeanMaxCon:    8,
+		}
+		pl, err := platgen.Generate(params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := core.NewProblem(pl)
+		mp := &Problem{Platform: pl}
+		for k := 0; k < pl.K(); k++ {
+			mp.Apps = append(mp.Apps, App{Origin: k, Payoff: 1})
+		}
+		for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+			want, ok, err := cp.Relaxed(obj, nil)
+			if err != nil || !ok {
+				t.Fatal(err)
+			}
+			got, err := mp.Relaxed(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Objective-want.Objective) > 1e-5*(1+want.Objective) {
+				t.Fatalf("seed %d %v: multiapp %g vs core %g", seed, obj, got.Objective, want.Objective)
+			}
+		}
+	}
+}
+
+func TestTwoAppsShareOriginGateway(t *testing.T) {
+	// Two apps at cluster 0, speed 0 there: both must ship through
+	// the single gateway/route; their total is capped by the route
+	// (3 conns x bw 10 = 30), shared fairly under MAXMIN.
+	pl := twoClusters()
+	pl.Clusters[0].Speed = 0
+	if err := pl.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	pr := &Problem{Platform: pl, Apps: []App{
+		{Name: "u", Origin: 0, Payoff: 1},
+		{Name: "v", Origin: 0, Payoff: 1},
+	}}
+	rel, err := pr.Relaxed(core.MAXMIN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel.Objective-15) > 1e-5 {
+		t.Fatalf("MAXMIN = %g, want 15 (route capacity 30 split two ways)", rel.Objective)
+	}
+}
+
+func TestObjectiveAndThroughput(t *testing.T) {
+	pl := twoClusters()
+	pr := &Problem{Platform: pl, Apps: []App{
+		{Origin: 0, Payoff: 2},
+		{Origin: 0, Payoff: 1},
+	}}
+	al := &Allocation{
+		Alpha: [][]float64{{10, 5}, {20, 0}},
+		Beta:  [][]int{{0, 1}, {0, 0}},
+	}
+	if got := al.AppThroughput(0); got != 15 {
+		t.Fatalf("throughput 0 = %g", got)
+	}
+	if got := pr.Objective(core.SUM, al); got != 2*15+20 {
+		t.Fatalf("SUM = %g", got)
+	}
+	if got := pr.Objective(core.MAXMIN, al); got != 20 {
+		t.Fatalf("MAXMIN = %g", got)
+	}
+}
+
+func TestCheckAllocationViolations(t *testing.T) {
+	pl := twoClusters()
+	pr := &Problem{Platform: pl, Apps: []App{
+		{Origin: 0, Payoff: 1},
+		{Origin: 0, Payoff: 1},
+	}}
+	mk := func() *Allocation {
+		return &Allocation{
+			Alpha: [][]float64{{0, 0}, {0, 0}},
+			Beta:  [][]int{{0, 0}, {0, 0}},
+		}
+	}
+	ok := mk()
+	if err := pr.CheckAllocation(ok, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	t.Run("speed", func(t *testing.T) {
+		a := mk()
+		a.Alpha[0][0] = 70
+		a.Alpha[1][0] = 70
+		if err := pr.CheckAllocation(a, 1e-6); err == nil {
+			t.Fatal("expected speed violation")
+		}
+	})
+	t.Run("pooled bandwidth", func(t *testing.T) {
+		a := mk()
+		a.Alpha[0][1] = 8
+		a.Alpha[1][1] = 8
+		a.Beta[0][1] = 1 // 16 > 1*10
+		if err := pr.CheckAllocation(a, 1e-6); err == nil {
+			t.Fatal("expected pooled 7e violation")
+		}
+		a.Beta[0][1] = 2
+		if err := pr.CheckAllocation(a, 1e-6); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("connections", func(t *testing.T) {
+		a := mk()
+		a.Beta[0][1] = 4
+		if err := pr.CheckAllocation(a, 1e-6); err == nil {
+			t.Fatal("expected 7d violation")
+		}
+	})
+	t.Run("gateway", func(t *testing.T) {
+		a := mk()
+		a.Alpha[0][1] = 30
+		a.Alpha[1][1] = 30
+		a.Beta[0][1] = 3 // within route cap 30? 60 > 30 — raise bw via beta not possible; use local+remote mix
+		// gateway 0 carries 60 > 50 regardless of 7e; but 7e fails
+		// first at 60 > 30. Use a platform with bigger route capacity.
+		pl2 := twoClusters()
+		pl2.Links[0].BW = 100
+		if err := pl2.ComputeRoutes(); err != nil {
+			t.Fatal(err)
+		}
+		pr2 := &Problem{Platform: pl2, Apps: pr.Apps}
+		if err := pr2.CheckAllocation(a, 1e-6); err == nil {
+			t.Fatal("expected gateway violation")
+		}
+	})
+}
+
+func TestGreedyMultiApp(t *testing.T) {
+	// Three apps at cluster 0 (speed 0), workers behind one route:
+	// greedy must share the pooled route among them fairly.
+	pl := twoClusters()
+	pl.Clusters[0].Speed = 0
+	if err := pl.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	pr := &Problem{Platform: pl, Apps: []App{
+		{Name: "u", Origin: 0, Payoff: 1},
+		{Name: "v", Origin: 0, Payoff: 1},
+		{Name: "w", Origin: 1, Payoff: 1},
+	}}
+	al, err := pr.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.CheckAllocation(al, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Total shipped load is bounded by the route (30) and the
+	// remote speed shared with app w.
+	total := al.AppThroughput(0) + al.AppThroughput(1)
+	if total > 30+1e-6 {
+		t.Fatalf("apps at origin 0 shipped %g > route capacity 30", total)
+	}
+	if al.AppThroughput(2) <= 0 {
+		t.Fatal("app at cluster 1 got nothing despite local speed")
+	}
+}
+
+// TestPropertyGreedyValidAndBounded: the multi-app greedy always
+// produces valid allocations bounded by the relaxation.
+func TestPropertyGreedyValidAndBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		params := platgen.Params{
+			K:             2 + rng.Intn(5),
+			Connectivity:  0.3 + 0.5*rng.Float64(),
+			Heterogeneity: 0.4,
+			MeanG:         50 + 200*rng.Float64(),
+			MeanBW:        10 + 50*rng.Float64(),
+			MeanMaxCon:    2 + 10*rng.Float64(),
+		}
+		pl, err := platgen.Generate(params, rng)
+		if err != nil {
+			return false
+		}
+		pr := &Problem{Platform: pl}
+		nApps := 1 + rng.Intn(2*pl.K())
+		for a := 0; a < nApps; a++ {
+			pr.Apps = append(pr.Apps, App{
+				Origin: rng.Intn(pl.K()),
+				Payoff: 0.5 + rng.Float64(),
+			})
+		}
+		al, err := pr.Greedy()
+		if err != nil {
+			return false
+		}
+		if err := pr.CheckAllocation(al, 1e-6); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		rel, err := pr.Relaxed(core.SUM)
+		if err != nil {
+			return false
+		}
+		return pr.Objective(core.SUM, al) <= rel.Objective*(1+1e-6)+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMultiAppRelaxed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	params := platgen.Params{K: 10, Connectivity: 0.4, Heterogeneity: 0.4, MeanG: 150, MeanBW: 40, MeanMaxCon: 8}
+	pl, err := platgen.Generate(params, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := &Problem{Platform: pl}
+	for a := 0; a < 20; a++ {
+		pr.Apps = append(pr.Apps, App{Origin: a % 10, Payoff: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Relaxed(core.MAXMIN); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+// latTriangle builds the triangle platform plus matching TCP options.
+func latTriangle(g0, g1, g2 float64, lat []float64, baseRTT, window float64) (*platform.Platform, *TCPOptions) {
+	pl := triangle(g0, g1, g2)
+	return pl, &TCPOptions{Latency: lat, BaseRTT: baseRTT, Window: window}
+}
+
+func TestTCPOptionsValidate(t *testing.T) {
+	pl := triangle(10, 10, 10)
+	good := &TCPOptions{Latency: []float64{1, 2, 3}, BaseRTT: 0.1, Window: 10}
+	if err := good.Validate(pl); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*TCPOptions{
+		{Latency: []float64{1}, BaseRTT: 0.1},
+		{Latency: []float64{1, 2, -1}, BaseRTT: 0.1},
+		{Latency: []float64{1, 2, 3}, BaseRTT: 0},
+		{Latency: []float64{1, 2, 3}, BaseRTT: 0.1, Window: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(pl); err == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+}
+
+func TestRouteRTT(t *testing.T) {
+	pl, opt := latTriangle(10, 10, 10, []float64{1, 2, 3}, 0.5, 0)
+	// Direct link 0-1 is link index 0 (latency 1): RTT = 0.5 + 2.
+	if got := opt.RouteRTT(pl, 0, 1); !math.IsInf(got, 0) && math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("RTT(0,1) = %g, want 2.5", got)
+	}
+}
+
+func TestRatesTCPWindowCap(t *testing.T) {
+	// One flow, huge gateway: rate limited by Window/RTT.
+	pl, opt := latTriangle(1000, 1000, 1000, []float64{1, 1, 1}, 1, 6)
+	// Route 0->1 RTT = 1 + 2 = 3; window cap = 1 conn * 6/3 = 2.
+	r, err := RatesTCP(pl, []Flow{{Src: 0, Dst: 1, Size: 1, Cap: inf(), Limit: inf()}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r[0]-2) > 1e-9 {
+		t.Fatalf("rate = %g, want 2 (window capped)", r[0])
+	}
+	// Two connections double the window cap.
+	r, err = RatesTCP(pl, []Flow{{Src: 0, Dst: 1, Size: 1, Cap: inf(), Limit: inf(), Conns: 2}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r[0]-4) > 1e-9 {
+		t.Fatalf("rate = %g, want 4 (2 connections)", r[0])
+	}
+}
+
+func TestRatesTCPRTTBias(t *testing.T) {
+	// Two flows out of gateway 0 (capacity 12): one short-RTT (direct
+	// link latency 1 → RTT 3), one long-RTT (latency 5 → RTT 11).
+	// Weighted sharing gives rates proportional to 1/RTT:
+	// 12·(1/3)/(1/3+1/11) = 8.25 and 12·(1/11)/(1/3+1/11) = 2.25? No:
+	// wait — shares are w_i·level with level = slack/Σw = 12/(1/3+1/11).
+	pl, opt := latTriangle(12, 1000, 1000, []float64{1, 1, 5}, 1, 0)
+	flows := []Flow{
+		{Src: 0, Dst: 1, Size: 1, Cap: inf(), Limit: inf()}, // via link 0, RTT 3
+		{Src: 0, Dst: 2, Size: 1, Cap: inf(), Limit: inf()}, // via link 2, RTT 11
+	}
+	r, err := RatesTCP(pl, flows, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, w1 := 1.0/3, 1.0/11
+	level := 12 / (w0 + w1)
+	if math.Abs(r[0]-w0*level) > 1e-9 || math.Abs(r[1]-w1*level) > 1e-9 {
+		t.Fatalf("rates = %v, want [%g %g]", r, w0*level, w1*level)
+	}
+	// Short-RTT flow gets the larger share, and the gateway is full.
+	if r[0] <= r[1] {
+		t.Fatal("short-RTT flow must out-share long-RTT flow")
+	}
+	if math.Abs(r[0]+r[1]-12) > 1e-9 {
+		t.Fatalf("gateway not saturated: %g", r[0]+r[1])
+	}
+}
+
+func TestRatesTCPUnitWeightsMatchPlainModel(t *testing.T) {
+	// With equal RTTs everywhere and no window, the TCP model must
+	// coincide with the plain §2 rates.
+	pl := triangle(10, 8, 6)
+	opt := &TCPOptions{Latency: []float64{2, 2, 2}, BaseRTT: 1, Window: 0}
+	flows := []Flow{
+		{Src: 0, Dst: 1, Size: 1, Cap: 3, Limit: inf()},
+		{Src: 0, Dst: 2, Size: 1, Cap: inf(), Limit: inf()},
+		{Src: 1, Dst: 2, Size: 1, Cap: inf(), Limit: inf()},
+	}
+	plain, err := Rates(pl, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := RatesTCP(pl, flows, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if math.Abs(plain[i]-tcp[i]) > 1e-9 {
+			t.Fatalf("flow %d: plain %g vs tcp %g", i, plain[i], tcp[i])
+		}
+	}
+}
+
+func TestSimulateFlowsTCPHandshake(t *testing.T) {
+	// Single flow: completion = RTT + size/rate.
+	pl, opt := latTriangle(10, 1000, 1000, []float64{1, 1, 1}, 1, 0)
+	done, makespan, err := SimulateFlowsTCP(pl, []Flow{{Src: 0, Dst: 1, Size: 20, Cap: inf(), Limit: inf()}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 + 20.0/10 // RTT 3, then gateway-limited at 10
+	if math.Abs(makespan-want) > 1e-9 || len(done) != 1 {
+		t.Fatalf("makespan = %g, want %g", makespan, want)
+	}
+}
+
+func TestSimulateFlowsTCPStaggeredStarts(t *testing.T) {
+	// Two flows with different RTTs from gateway 0 (capacity 10):
+	// the short-RTT flow runs alone during the long flow's handshake.
+	pl, opt := latTriangle(10, 1000, 1000, []float64{0.5, 1, 4.5}, 1, 0)
+	flows := []Flow{
+		{Src: 0, Dst: 1, Size: 15, Cap: inf(), Limit: inf()}, // RTT 2, alone until t=10
+		{Src: 0, Dst: 2, Size: 5, Cap: inf(), Limit: inf()},  // RTT 10
+	}
+	done, _, err := SimulateFlowsTCP(pl, flows, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[int]float64{}
+	for _, c := range done {
+		times[c.Flow] = c.Finished
+	}
+	// Flow 0 runs alone at rate 10 from t=2: 15 units → done at 3.5,
+	// before flow 1 even starts moving at t=10.
+	if math.Abs(times[0]-3.5) > 1e-9 {
+		t.Fatalf("flow 0 finished at %g, want 3.5", times[0])
+	}
+	// Flow 1: starts at 10 alone, weight only (its own): rate 10 →
+	// 5 units → done at 10.5.
+	if math.Abs(times[1]-10.5) > 1e-9 {
+		t.Fatalf("flow 1 finished at %g, want 10.5", times[1])
+	}
+}
+
+func TestSimulateFlowsTCPZeroSize(t *testing.T) {
+	pl, opt := latTriangle(10, 10, 10, []float64{1, 1, 1}, 1, 0)
+	done, makespan, err := SimulateFlowsTCP(pl, []Flow{{Src: 0, Dst: 1, Size: 0, Cap: 1, Limit: 1}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero-size "transfer" still costs its handshake RTT.
+	if len(done) != 1 || math.Abs(done[0].Finished-3) > 1e-12 || math.Abs(makespan-3) > 1e-12 {
+		t.Fatalf("done=%v makespan=%g", done, makespan)
+	}
+}
+
+func TestSimulateFlowsTCPErrors(t *testing.T) {
+	pl, opt := latTriangle(10, 10, 10, []float64{1, 1, 1}, 1, 0)
+	if _, _, err := SimulateFlowsTCP(pl, []Flow{{Src: 0, Dst: 1, Size: -1, Cap: 1, Limit: 1}}, opt); err == nil {
+		t.Fatal("negative size must fail")
+	}
+	bad := &TCPOptions{Latency: []float64{1}, BaseRTT: 1}
+	if _, _, err := SimulateFlowsTCP(pl, nil, bad); err == nil {
+		t.Fatal("bad options must fail")
+	}
+	// Disconnected route.
+	iso := &platform.Platform{
+		Routers: 2,
+		Clusters: []platform.Cluster{
+			{Name: "a", Speed: 1, Gateway: 1, Router: 0},
+			{Name: "b", Speed: 1, Gateway: 1, Router: 1},
+		},
+	}
+	if err := iso.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	isoOpt := &TCPOptions{Latency: nil, BaseRTT: 1}
+	if _, _, err := SimulateFlowsTCP(iso, []Flow{{Src: 0, Dst: 1, Size: 1, Cap: 1, Limit: 1}}, isoOpt); err == nil {
+		t.Fatal("flow without route must fail")
+	}
+}
+
+// TestPropertyTCPRatesFeasible: RTT-weighted rates never violate
+// gateways, caps, or window limits.
+func TestPropertyTCPRatesFeasible(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pl := triangle(1+9*rng.Float64(), 1+9*rng.Float64(), 1+9*rng.Float64())
+		opt := &TCPOptions{
+			Latency: []float64{rng.Float64() * 3, rng.Float64() * 3, rng.Float64() * 3},
+			BaseRTT: 0.1 + rng.Float64(),
+			Window:  rng.Float64() * 20,
+		}
+		n := 1 + rng.Intn(8)
+		flows := make([]Flow, n)
+		for i := range flows {
+			s := rng.Intn(3)
+			d := (s + 1 + rng.Intn(2)) % 3
+			cp := inf()
+			if rng.Float64() < 0.5 {
+				cp = 0.2 + 5*rng.Float64()
+			}
+			flows[i] = Flow{Src: s, Dst: d, Size: 1, Cap: cp, Limit: inf(), Conns: 1 + rng.Intn(3)}
+		}
+		rates, err := RatesTCP(pl, flows, opt)
+		if err != nil {
+			return false
+		}
+		use := make([]float64, 3)
+		for i, f := range flows {
+			if rates[i] < -1e-12 || rates[i] > f.Cap+1e-9 {
+				return false
+			}
+			if opt.Window > 0 {
+				rtt := opt.RouteRTT(pl, f.Src, f.Dst)
+				if rates[i] > float64(f.Conns)*opt.Window/rtt+1e-9 {
+					return false
+				}
+			}
+			use[f.Src] += rates[i]
+			use[f.Dst] += rates[i]
+		}
+		for k := 0; k < 3; k++ {
+			if use[k] > pl.Clusters[k].Gateway+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRatesTCP50Flows(b *testing.B) {
+	pl, opt := latTriangle(50, 60, 70, []float64{1, 2, 3}, 0.5, 20)
+	rng := rand.New(rand.NewSource(1))
+	flows := make([]Flow, 50)
+	for i := range flows {
+		s := rng.Intn(3)
+		flows[i] = Flow{Src: s, Dst: (s + 1) % 3, Size: 1, Cap: 0.5 + rng.Float64(), Limit: inf(), Conns: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RatesTCP(pl, flows, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package platform
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// linear3 builds a 3-cluster platform on a line of routers
+// 0 -1- 1 -2- 2 with per-link (bw, maxConnect) as given.
+func linear3(bw1, bw2 float64, mc1, mc2 int) *Platform {
+	p := &Platform{
+		Routers: 3,
+		Links: []Link{
+			{U: 0, V: 1, BW: bw1, MaxConnect: mc1},
+			{U: 1, V: 2, BW: bw2, MaxConnect: mc2},
+		},
+		Clusters: []Cluster{
+			{Name: "c0", Speed: 100, Gateway: 50, Router: 0},
+			{Name: "c1", Speed: 100, Gateway: 50, Router: 1},
+			{Name: "c2", Speed: 100, Gateway: 50, Router: 2},
+		},
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestValidateOK(t *testing.T) {
+	p := linear3(10, 20, 3, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Platform)
+		want string
+	}{
+		{"negative routers", func(p *Platform) { p.Routers = -1 }, "router count"},
+		{"link out of range", func(p *Platform) { p.Links[0].V = 9 }, "out of range"},
+		{"zero bandwidth", func(p *Platform) { p.Links[0].BW = 0 }, "bandwidth"},
+		{"negative maxconnect", func(p *Platform) { p.Links[0].MaxConnect = -1 }, "max-connect"},
+		{"cluster router", func(p *Platform) { p.Clusters[0].Router = 5 }, "router 5"},
+		{"negative speed", func(p *Platform) { p.Clusters[0].Speed = -1 }, "speed"},
+		{"NaN gateway", func(p *Platform) { p.Clusters[0].Gateway = math.NaN() }, "gateway"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := linear3(10, 20, 3, 3)
+			tc.mut(p)
+			err := p.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRoutesOnLine(t *testing.T) {
+	p := linear3(10, 20, 3, 3)
+	r := p.Route(0, 2)
+	if !r.Exists || len(r.Links) != 2 || r.Links[0] != 0 || r.Links[1] != 1 {
+		t.Fatalf("route 0->2 = %+v", r)
+	}
+	if r.MinBW != 10 {
+		t.Fatalf("MinBW = %g, want 10 (bottleneck)", r.MinBW)
+	}
+	if got := p.RouteBW(0, 2); got != 10 {
+		t.Fatalf("RouteBW = %g", got)
+	}
+	// Reverse direction uses the same links.
+	r2 := p.Route(2, 0)
+	if !r2.Exists || len(r2.Links) != 2 || r2.Links[0] != 1 || r2.Links[1] != 0 {
+		t.Fatalf("route 2->0 = %+v", r2)
+	}
+}
+
+func TestLocalRoute(t *testing.T) {
+	p := linear3(10, 20, 3, 3)
+	r := p.Route(1, 1)
+	if !r.Exists || len(r.Links) != 0 || !math.IsInf(r.MinBW, 1) {
+		t.Fatalf("local route = %+v", r)
+	}
+}
+
+func TestSameRouterClusters(t *testing.T) {
+	p := &Platform{
+		Routers: 1,
+		Clusters: []Cluster{
+			{Name: "a", Speed: 1, Gateway: 1, Router: 0},
+			{Name: "b", Speed: 1, Gateway: 1, Router: 0},
+		},
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Route(0, 1)
+	if !r.Exists || len(r.Links) != 0 || !math.IsInf(r.MinBW, 1) {
+		t.Fatalf("same-router route = %+v", r)
+	}
+}
+
+func TestDisconnectedRoute(t *testing.T) {
+	p := &Platform{
+		Routers: 2,
+		Clusters: []Cluster{
+			{Name: "a", Speed: 1, Gateway: 1, Router: 0},
+			{Name: "b", Speed: 1, Gateway: 1, Router: 1},
+		},
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Route(0, 1).Exists {
+		t.Fatal("route across disconnected routers must not exist")
+	}
+	if p.RouteBW(0, 1) != 0 {
+		t.Fatal("RouteBW across disconnected routers must be 0")
+	}
+}
+
+func TestSetRoute(t *testing.T) {
+	// Triangle of routers with a direct 0-2 link and a detour 0-1-2.
+	p := &Platform{
+		Routers: 3,
+		Links: []Link{
+			{U: 0, V: 1, BW: 5, MaxConnect: 2},
+			{U: 1, V: 2, BW: 5, MaxConnect: 2},
+			{U: 0, V: 2, BW: 1, MaxConnect: 2},
+		},
+		Clusters: []Cluster{
+			{Name: "a", Speed: 1, Gateway: 1, Router: 0},
+			{Name: "b", Speed: 1, Gateway: 1, Router: 2},
+		},
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	// Shortest path uses the direct (1-hop) link.
+	if r := p.Route(0, 1); len(r.Links) != 1 || r.Links[0] != 2 || r.MinBW != 1 {
+		t.Fatalf("default route = %+v", r)
+	}
+	// Override with the detour.
+	if err := p.SetRoute(0, 1, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r := p.Route(0, 1); len(r.Links) != 2 || r.MinBW != 5 {
+		t.Fatalf("overridden route = %+v", r)
+	}
+}
+
+func TestSetRouteErrors(t *testing.T) {
+	p := linear3(10, 20, 3, 3)
+	if err := p.SetRoute(0, 2, []int{1, 0}); err == nil {
+		t.Fatal("non-contiguous walk must fail")
+	}
+	if err := p.SetRoute(0, 2, []int{0}); err == nil {
+		t.Fatal("walk ending at wrong router must fail")
+	}
+	if err := p.SetRoute(0, 0, []int{0}); err == nil {
+		t.Fatal("non-empty local route must fail")
+	}
+	if err := p.SetRoute(0, 9, nil); err == nil {
+		t.Fatal("out-of-range cluster must fail")
+	}
+	if err := p.SetRoute(0, 2, []int{7}); err == nil {
+		t.Fatal("out-of-range link must fail")
+	}
+	var fresh Platform
+	if err := fresh.SetRoute(0, 0, nil); err == nil {
+		t.Fatal("SetRoute before ComputeRoutes must fail")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := linear3(10, 20, 3, 4)
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K() != 3 || q.Routers != 3 || len(q.Links) != 2 {
+		t.Fatalf("decoded platform = %+v", q)
+	}
+	if q.Links[1].MaxConnect != 4 || q.Clusters[2].Name != "c2" {
+		t.Fatalf("fields lost in round trip: %+v", q)
+	}
+	// Routing table must be usable immediately after Decode.
+	if got := q.RouteBW(0, 2); got != 10 {
+		t.Fatalf("RouteBW after decode = %g", got)
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode([]byte(`{"routers":-3}`)); err == nil {
+		t.Fatal("invalid platform must fail to decode")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Fatal("bad JSON must fail to decode")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := linear3(10, 20, 3, 3)
+	q := p.Clone()
+	q.Clusters[0].Speed = 7
+	q.Links[0].BW = 99
+	if p.Clusters[0].Speed != 100 || p.Links[0].BW != 10 {
+		t.Fatal("clone shares state with original")
+	}
+	if r := q.Route(0, 2); !r.Exists || r.MinBW != 10 {
+		t.Fatalf("clone routing table = %+v", r)
+	}
+}
+
+func TestResidual(t *testing.T) {
+	p := linear3(10, 20, 1, 2)
+	r := NewResidual(p)
+	if r.Speed[0] != 100 || r.Gateway[1] != 50 || r.MaxConnect[0] != 1 {
+		t.Fatalf("residual init = %+v", r)
+	}
+	if !r.RouteOpen(0, 2) {
+		t.Fatal("route 0->2 must be open initially")
+	}
+	r.OpenConnection(0, 2)
+	if r.MaxConnect[0] != 0 || r.MaxConnect[1] != 1 {
+		t.Fatalf("after open: %v", r.MaxConnect)
+	}
+	if r.RouteOpen(0, 2) {
+		t.Fatal("route 0->2 must be exhausted (link 0 budget 1)")
+	}
+	if !r.RouteOpen(1, 2) {
+		t.Fatal("route 1->2 only uses link 1 which has one slot left")
+	}
+	if !r.RouteOpen(1, 1) {
+		t.Fatal("local route must always be open")
+	}
+}
+
+func TestResidualOpenConnectionPanics(t *testing.T) {
+	p := linear3(10, 20, 0, 0)
+	r := NewResidual(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhausted route")
+		}
+	}()
+	r.OpenConnection(0, 2)
+}
+
+func TestRoutePanicsBeforeCompute(t *testing.T) {
+	var p Platform
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Route(0, 0)
+}

@@ -1,0 +1,172 @@
+// Package platgen generates random platforms following the
+// experimental setup of the paper (§6, Table 1): K clusters, each on
+// its own router; a backbone link between any two routers with
+// probability `connectivity`; and per-resource parameters (gateway
+// capacity g, per-connection backbone bandwidth bw, connection budget
+// maxcon) sampled uniformly from mean·(1±heterogeneity). Computing
+// speeds are fixed at 100, as in the paper ("since only relative
+// values are meaningful in a periodic schedule, we fix the computing
+// speed at 100").
+package platgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/platform"
+)
+
+// Params are the Table 1 knobs of one platform configuration.
+type Params struct {
+	K             int     // number of clusters (= applications)
+	Connectivity  float64 // probability that any two clusters are connected
+	Heterogeneity float64 // relative spread of g, bw, maxcon around their means
+	MeanG         float64 // mean gateway capacity
+	MeanBW        float64 // mean per-connection backbone bandwidth
+	MeanMaxCon    float64 // mean per-link connection budget
+}
+
+// Speed is the fixed cluster computing speed used throughout the
+// paper's experiments.
+const Speed = 100.0
+
+// Validate checks that the parameters are in their meaningful ranges.
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("platgen: K = %d, want >= 1", p.K)
+	}
+	if p.Connectivity < 0 || p.Connectivity > 1 {
+		return fmt.Errorf("platgen: connectivity = %g, want in [0,1]", p.Connectivity)
+	}
+	if p.Heterogeneity < 0 || p.Heterogeneity >= 1 {
+		return fmt.Errorf("platgen: heterogeneity = %g, want in [0,1)", p.Heterogeneity)
+	}
+	if p.MeanG <= 0 || p.MeanBW <= 0 || p.MeanMaxCon <= 0 {
+		return fmt.Errorf("platgen: means must be positive (g=%g bw=%g maxcon=%g)", p.MeanG, p.MeanBW, p.MeanMaxCon)
+	}
+	return nil
+}
+
+// sample draws uniformly from mean·(1−het) to mean·(1+het).
+func sample(rng *rand.Rand, mean, het float64) float64 {
+	return mean * (1 - het + 2*het*rng.Float64())
+}
+
+// Generate builds one random platform from the parameters, drawing
+// all randomness from rng (deterministic for a given seed). The
+// routing table is computed before returning. Connection budgets are
+// rounded to the nearest integer and floored at 1, keeping
+// max-connect integral (required for the LPRR feasibility guarantee,
+// see DESIGN.md).
+func Generate(p Params, rng *rand.Rand) (*platform.Platform, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pl := &platform.Platform{Routers: p.K}
+	for k := 0; k < p.K; k++ {
+		pl.Clusters = append(pl.Clusters, platform.Cluster{
+			Name:    fmt.Sprintf("C%d", k),
+			Speed:   Speed,
+			Gateway: sample(rng, p.MeanG, p.Heterogeneity),
+			Router:  k,
+		})
+	}
+	for i := 0; i < p.K; i++ {
+		for j := i + 1; j < p.K; j++ {
+			if rng.Float64() >= p.Connectivity {
+				continue
+			}
+			mc := int(math.Round(sample(rng, p.MeanMaxCon, p.Heterogeneity)))
+			if mc < 1 {
+				mc = 1
+			}
+			pl.Links = append(pl.Links, platform.Link{
+				U:          i,
+				V:          j,
+				BW:         sample(rng, p.MeanBW, p.Heterogeneity),
+				MaxConnect: mc,
+			})
+		}
+	}
+	if err := pl.ComputeRoutes(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// Table1 returns the full parameter grid of the paper's Table 1:
+//
+//	K             5, 15, ..., 95
+//	connectivity  0.1, 0.2, ..., 0.8
+//	heterogeneity 0.2, 0.4, 0.6, 0.8
+//	mean g        50, 250, 350, 450
+//	mean bw       10, 20, ..., 90
+//	mean maxcon   5, 15, ..., 95
+//
+// The paper instantiated 10 random platforms per grid point for a
+// total of 269,835 configurations; callers typically sample this grid
+// (see internal/experiments).
+func Table1() []Params {
+	var ks, conns, hets, gs, bws, mcs []float64
+	for k := 5.0; k <= 95; k += 10 {
+		ks = append(ks, k)
+	}
+	for c := 0.1; c <= 0.8+1e-9; c += 0.1 {
+		conns = append(conns, math.Round(c*10)/10)
+	}
+	for h := 0.2; h <= 0.8+1e-9; h += 0.2 {
+		hets = append(hets, math.Round(h*10)/10)
+	}
+	gs = []float64{50, 250, 350, 450}
+	for b := 10.0; b <= 90; b += 10 {
+		bws = append(bws, b)
+	}
+	for m := 5.0; m <= 95; m += 10 {
+		mcs = append(mcs, m)
+	}
+	var grid []Params
+	for _, k := range ks {
+		for _, c := range conns {
+			for _, h := range hets {
+				for _, g := range gs {
+					for _, b := range bws {
+						for _, m := range mcs {
+							grid = append(grid, Params{
+								K:             int(k),
+								Connectivity:  c,
+								Heterogeneity: h,
+								MeanG:         g,
+								MeanBW:        b,
+								MeanMaxCon:    m,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// SampleGrid returns n parameter settings drawn uniformly (with a
+// deterministic rng) from the Table 1 grid, optionally filtered by
+// maxK (0 = no limit). It is the scaled-down stand-in for the paper's
+// exhaustive sweep.
+func SampleGrid(n int, maxK int, rng *rand.Rand) []Params {
+	grid := Table1()
+	if maxK > 0 {
+		var f []Params
+		for _, p := range grid {
+			if p.K <= maxK {
+				f = append(f, p)
+			}
+		}
+		grid = f
+	}
+	out := make([]Params, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, grid[rng.Intn(len(grid))])
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package reduction implements the NP-completeness construction of
+// the paper's §4 (Theorem 1): an instance of
+// MAXIMUM-INDEPENDENT-SET on a graph G = (V,E) is transformed into a
+// STEADY-STATE-DIVISIBLE-LOAD instance whose optimal throughput
+// equals the maximum independent set size. Package tests machine-
+// check Lemma 1 (two routes share a backbone link iff the original
+// graph has the corresponding edge) and the optimum equivalence
+// against a brute-force MIS solver, using the exact branch-and-bound
+// solver of internal/heuristics.
+package reduction
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// Validate checks vertex ranges and rejects self-loops and duplicate
+// edges.
+func (g Graph) Validate() error {
+	if g.N < 0 {
+		return fmt.Errorf("reduction: negative vertex count %d", g.N)
+	}
+	seen := make(map[[2]int]bool, len(g.Edges))
+	for i, e := range g.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= g.N || v < 0 || v >= g.N {
+			return fmt.Errorf("reduction: edge %d (%d,%d) out of range", i, u, v)
+		}
+		if u == v {
+			return fmt.Errorf("reduction: edge %d is a self-loop", i)
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return fmt.Errorf("reduction: duplicate edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// MaxIndependentSetBrute returns the size of a maximum independent
+// set and one witness, by exhaustive bitmask search. Only intended
+// for the small graphs used to validate the reduction (N ≤ ~20).
+func MaxIndependentSetBrute(g Graph) (int, []int, error) {
+	if err := g.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if g.N > 24 {
+		return 0, nil, fmt.Errorf("reduction: brute force limited to 24 vertices, got %d", g.N)
+	}
+	adj := make([]uint32, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] |= 1 << uint(e[1])
+		adj[e[1]] |= 1 << uint(e[0])
+	}
+	bestSize, bestMask := 0, uint32(0)
+	for mask := uint32(0); mask < 1<<uint(g.N); mask++ {
+		if bits.OnesCount32(mask) <= bestSize {
+			continue
+		}
+		ok := true
+		for v := 0; v < g.N && ok; v++ {
+			if mask&(1<<uint(v)) != 0 && mask&adj[v] != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			bestSize = bits.OnesCount32(mask)
+			bestMask = mask
+		}
+	}
+	var witness []int
+	for v := 0; v < g.N; v++ {
+		if bestMask&(1<<uint(v)) != 0 {
+			witness = append(witness, v)
+		}
+	}
+	return bestSize, witness, nil
+}
+
+// Instance is the constructed STEADY-STATE-DIVISIBLE-LOAD instance.
+type Instance struct {
+	Problem *core.Problem
+	// CommonLink[k] is the backbone link index of l^common_k, the
+	// max-connect-1 link corresponding to edge e_k of the source
+	// graph (used by the Lemma 1 checks).
+	CommonLink []int
+}
+
+// Build constructs the §4 instance I2 from a MIS instance I1:
+//
+//   - clusters C^0..C^n, with g_0 = n, s_0 = 0 and g_i = s_i = 1;
+//   - per edge e_k = (V_i, V_j): routers Q^a_k, Q^b_k joined by a
+//     backbone link l^common_k with bw = 1 and max-connect = 1, with k
+//     appended to Route(i) and Route(j);
+//   - per vertex i: a chain of dedicated bw-1/max-connect-1 links
+//     threading C^0's router through the Q^a/Q^b pairs of Route(i) in
+//     order and ending at C^i's router, installed as the fixed
+//     routing path L_{0,i} (Equation 8);
+//   - payoffs π_0 = 1 and π_i = 0.
+//
+// Isolated vertices (empty Route(i)) get a direct dedicated link
+// C^0→C^i, which shares nothing with any other route, matching the
+// construction's intent.
+//
+// The optimal throughput of the instance equals the maximum
+// independent set size of the source graph (Theorem 1).
+func Build(g Graph) (*Instance, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N
+	m := len(g.Edges)
+	pl := &platform.Platform{Routers: (n + 1) + 2*m}
+	// Cluster routers are 0..n; Q^a_k = n+1+2k, Q^b_k = n+2+2k.
+	qa := func(k int) int { return n + 1 + 2*k }
+	qb := func(k int) int { return n + 2 + 2*k }
+
+	pl.Clusters = append(pl.Clusters, platform.Cluster{Name: "C0", Speed: 0, Gateway: float64(n), Router: 0})
+	for i := 1; i <= n; i++ {
+		pl.Clusters = append(pl.Clusters, platform.Cluster{
+			Name: fmt.Sprintf("C%d", i), Speed: 1, Gateway: 1, Router: i,
+		})
+	}
+
+	unitLink := func(u, v int) int {
+		pl.Links = append(pl.Links, platform.Link{U: u, V: v, BW: 1, MaxConnect: 1})
+		return len(pl.Links) - 1
+	}
+
+	inst := &Instance{CommonLink: make([]int, m)}
+	route := make([][]int, n) // Route(i): edge indices incident to vertex i, ascending
+	for k, e := range g.Edges {
+		inst.CommonLink[k] = unitLink(qa(k), qb(k))
+		route[e[0]] = append(route[e[0]], k)
+		route[e[1]] = append(route[e[1]], k)
+	}
+
+	// Dedicated chains; remember the full routing path per vertex.
+	paths := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if len(route[i]) == 0 {
+			paths[i] = []int{unitLink(0, i+1)}
+			continue
+		}
+		var path []int
+		prev := 0 // C^0's router
+		for _, k := range route[i] {
+			path = append(path, unitLink(prev, qa(k)), inst.CommonLink[k])
+			prev = qb(k)
+		}
+		path = append(path, unitLink(prev, i+1))
+		paths[i] = path
+	}
+
+	if err := pl.ComputeRoutes(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := pl.SetRoute(0, i+1, paths[i]); err != nil {
+			return nil, fmt.Errorf("reduction: installing L_{0,%d}: %w", i+1, err)
+		}
+	}
+
+	pr := core.NewProblem(pl)
+	for i := 1; i <= n; i++ {
+		pr.Payoffs[i] = 0
+	}
+	inst.Problem = pr
+	return inst, nil
+}
+
+// RoutesShareLink reports whether the fixed routes L_{0,i} and
+// L_{0,j} (1-based cluster indices i+1, j+1 for vertices i, j) share
+// at least one backbone link — the left-hand side of Lemma 1.
+func (inst *Instance) RoutesShareLink(i, j int) bool {
+	pl := inst.Problem.Platform
+	ri := pl.Route(0, i+1)
+	rj := pl.Route(0, j+1)
+	seen := make(map[int]bool, len(ri.Links))
+	for _, li := range ri.Links {
+		seen[li] = true
+	}
+	for _, lj := range rj.Links {
+		if seen[lj] {
+			return true
+		}
+	}
+	return false
+}
+
+// IndependentSetAllocation builds the valid allocation the proof of
+// Theorem 1 derives from an independent set: α_{0,i} = β_{0,i} = 1
+// for every vertex i in the set, everything else zero.
+func (inst *Instance) IndependentSetAllocation(set []int) *core.Allocation {
+	a := core.NewAllocation(inst.Problem.K())
+	for _, v := range set {
+		a.Alpha[0][v+1] = 1
+		a.Beta[0][v+1] = 1
+	}
+	return a
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,366 @@
+// Package schedule reconstructs an explicit periodic schedule from a
+// valid steady-state allocation, following §3.2 of the paper: the
+// rational α_{k,l} are expressed as integer loads over a common
+// period T_p, and each period of the steady state (i) computes the
+// chunks received during the previous period and (ii) transfers the
+// chunks to be computed during the next one. The first period only
+// communicates and the last one only computes.
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Schedule is the compact description of the periodic schedule: per
+// period of length Period (in time units), cluster l computes
+// Compute[k][l] integer load units of application A_k, and cluster k
+// ships Transfer[k][l] load units to cluster l over Beta[k][l]
+// connections.
+type Schedule struct {
+	Period   float64
+	Compute  [][]int64 // Compute[k][l]: load of app k computed at l per period
+	Transfer [][]int64 // Transfer[k][l], k != l: load shipped k->l per period
+	Beta     [][]int   // connections per route, copied from the allocation
+}
+
+// K returns the number of applications.
+func (s *Schedule) K() int { return len(s.Compute) }
+
+// AppLoadPerPeriod returns the total integer load of application k
+// processed per period (local plus shipped).
+func (s *Schedule) AppLoadPerPeriod(k int) int64 {
+	var sum int64
+	for _, v := range s.Compute[k] {
+		sum += v
+	}
+	return sum
+}
+
+// Throughput returns the steady-state load per time unit the schedule
+// realizes for application k; it is at most the allocation's
+// AppThroughput and converges to it as the denominator grows.
+func (s *Schedule) Throughput(k int) float64 {
+	return float64(s.AppLoadPerPeriod(k)) / s.Period
+}
+
+// Build reconstructs a periodic schedule from a valid allocation
+// using a common denominator: the period is T_p = denom time units
+// and every α_{k,l} becomes the integer load ⌊α_{k,l}·denom⌋.
+// Rounding down preserves every constraint of Equations (7) (they
+// are all upper bounds with nonnegative coefficients), which
+// Validate re-checks exactly in integer arithmetic.
+//
+// The loss relative to the allocation's throughput is below K/denom
+// per application per time unit; denom = 10^6 makes it negligible.
+func Build(pr *core.Problem, a *core.Allocation, denom int64) (*Schedule, error) {
+	if denom <= 0 {
+		return nil, fmt.Errorf("schedule: denominator %d, want positive", denom)
+	}
+	if err := pr.CheckAllocation(a, core.DefaultTol); err != nil {
+		return nil, fmt.Errorf("schedule: allocation invalid: %w", err)
+	}
+	K := pr.K()
+	s := &Schedule{
+		Period:   float64(denom),
+		Compute:  make([][]int64, K),
+		Transfer: make([][]int64, K),
+		Beta:     make([][]int, K),
+	}
+	for k := 0; k < K; k++ {
+		s.Compute[k] = make([]int64, K)
+		s.Transfer[k] = make([]int64, K)
+		s.Beta[k] = append([]int(nil), a.Beta[k]...)
+		for l := 0; l < K; l++ {
+			// Snap within the allocation tolerance so that a
+			// float-represented exact value (e.g. 29.999999999996)
+			// is not needlessly truncated a full unit down.
+			units := int64(math.Floor(a.Alpha[k][l]*float64(denom) + 1e-6))
+			if units < 0 {
+				units = 0
+			}
+			s.Compute[k][l] = units
+			if k != l {
+				s.Transfer[k][l] = units
+			}
+		}
+	}
+	if err := s.Validate(pr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BuildLCM reconstructs a schedule the way §3.2 describes it
+// literally: each α_{k,l} is approximated by a rational u/v with
+// v ≤ maxDenom using continued-fraction convergents (adjusted to
+// never exceed α), and the period is lcm of all the v. When the lcm
+// overflows maxPeriod the builder falls back to the common
+// denominator maxDenom.
+func BuildLCM(pr *core.Problem, a *core.Allocation, maxDenom, maxPeriod int64) (*Schedule, error) {
+	if maxDenom <= 0 || maxPeriod <= 0 {
+		return nil, fmt.Errorf("schedule: bad bounds maxDenom=%d maxPeriod=%d", maxDenom, maxPeriod)
+	}
+	if err := pr.CheckAllocation(a, core.DefaultTol); err != nil {
+		return nil, fmt.Errorf("schedule: allocation invalid: %w", err)
+	}
+	K := pr.K()
+	dens := make([][]int64, K)
+	period := int64(1)
+	overflow := false
+	for k := 0; k < K && !overflow; k++ {
+		dens[k] = make([]int64, K)
+		for l := 0; l < K; l++ {
+			_, v := RationalBelow(a.Alpha[k][l], maxDenom)
+			dens[k][l] = v
+			period = lcm(period, v)
+			if period > maxPeriod || period <= 0 {
+				overflow = true
+				break
+			}
+		}
+	}
+	if overflow {
+		return Build(pr, a, maxDenom)
+	}
+	s := &Schedule{
+		Period:   float64(period),
+		Compute:  make([][]int64, K),
+		Transfer: make([][]int64, K),
+		Beta:     make([][]int, K),
+	}
+	for k := 0; k < K; k++ {
+		s.Compute[k] = make([]int64, K)
+		s.Transfer[k] = make([]int64, K)
+		s.Beta[k] = append([]int(nil), a.Beta[k]...)
+		for l := 0; l < K; l++ {
+			u, v := RationalBelow(a.Alpha[k][l], maxDenom)
+			units := u * (period / v)
+			s.Compute[k][l] = units
+			if k != l {
+				s.Transfer[k][l] = units
+			}
+		}
+	}
+	if err := s.Validate(pr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RationalBelow returns a rational u/v ≤ x with v ≤ maxDenom that is
+// a best-effort approximation of x ≥ 0 (continued-fraction
+// convergent, decremented if it overshoots). For x = 0 it returns
+// 0/1.
+func RationalBelow(x float64, maxDenom int64) (u, v int64) {
+	if x <= 0 || math.IsNaN(x) {
+		return 0, 1
+	}
+	if math.IsInf(x, 1) {
+		panic("schedule: RationalBelow(+Inf)")
+	}
+	// Continued fraction expansion of x.
+	var h0, h1 int64 = 1, int64(math.Floor(x)) // numerators
+	var k0, k1 int64 = 0, 1                    // denominators
+	frac := x - math.Floor(x)
+	for i := 0; i < 64 && frac > 1e-12; i++ {
+		inv := 1 / frac
+		ai := int64(math.Floor(inv))
+		frac = inv - math.Floor(inv)
+		h2 := ai*h1 + h0
+		k2 := ai*k1 + k0
+		if k2 > maxDenom || k2 <= 0 || h2 < 0 {
+			break
+		}
+		h0, h1 = h1, h2
+		k0, k1 = k1, k2
+	}
+	u, v = h1, k1
+	// Ensure u/v ≤ x (round down on overshoot).
+	for u > 0 && float64(u)/float64(v) > x+1e-15 {
+		u--
+	}
+	return u, v
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}
+
+// Validate re-checks Equations (7) for the integer schedule against
+// the platform, in exact integer/float arithmetic with no tolerance
+// on the integer side: per period, cluster speeds (7b), gateway
+// capacities (7c), connection budgets (7d) and per-route bandwidth
+// (7e) must all hold.
+func (s *Schedule) Validate(pr *core.Problem) error {
+	K := pr.K()
+	if s.K() != K {
+		return fmt.Errorf("schedule: K mismatch: %d vs %d", s.K(), K)
+	}
+	pl := pr.Platform
+	tp := s.Period
+	// (7b)
+	for l := 0; l < K; l++ {
+		var in int64
+		for k := 0; k < K; k++ {
+			if s.Compute[k][l] < 0 {
+				return fmt.Errorf("schedule: negative compute load at (%d,%d)", k, l)
+			}
+			in += s.Compute[k][l]
+		}
+		if float64(in) > pl.Clusters[l].Speed*tp*(1+1e-12) {
+			return fmt.Errorf("schedule: cluster %d overloaded: %d load units in a period of %g at speed %g", l, in, tp, pl.Clusters[l].Speed)
+		}
+	}
+	// (7c)
+	for k := 0; k < K; k++ {
+		var traffic int64
+		for l := 0; l < K; l++ {
+			if l == k {
+				continue
+			}
+			traffic += s.Transfer[k][l] + s.Transfer[l][k]
+		}
+		if float64(traffic) > pl.Clusters[k].Gateway*tp*(1+1e-12) {
+			return fmt.Errorf("schedule: gateway %d overloaded: %d units per period of %g at capacity %g", k, traffic, tp, pl.Clusters[k].Gateway)
+		}
+	}
+	// (7d)
+	used := make([]int, len(pl.Links))
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if k == l || s.Beta[k][l] == 0 {
+				continue
+			}
+			rt := pl.Route(k, l)
+			if !rt.Exists {
+				return fmt.Errorf("schedule: β on nonexistent route (%d,%d)", k, l)
+			}
+			for _, li := range rt.Links {
+				used[li] += s.Beta[k][l]
+			}
+		}
+	}
+	for li, u := range used {
+		if u > pl.Links[li].MaxConnect {
+			return fmt.Errorf("schedule: link %d carries %d connections, max %d", li, u, pl.Links[li].MaxConnect)
+		}
+	}
+	// (7e)
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if k == l || s.Transfer[k][l] == 0 {
+				continue
+			}
+			bw := pl.RouteBW(k, l)
+			if math.IsInf(bw, 1) {
+				continue
+			}
+			if float64(s.Transfer[k][l]) > float64(s.Beta[k][l])*bw*tp*(1+1e-12) {
+				return fmt.Errorf("schedule: route (%d,%d) ships %d units per period, capacity %g", k, l, s.Transfer[k][l], float64(s.Beta[k][l])*bw*tp)
+			}
+		}
+	}
+	return nil
+}
+
+// EventKind tags timeline entries.
+type EventKind int
+
+const (
+	// EventTransfer is a data chunk shipped from one cluster to
+	// another during a period.
+	EventTransfer EventKind = iota
+	// EventCompute is a cluster processing a chunk during a period.
+	EventCompute
+)
+
+func (e EventKind) String() string {
+	if e == EventCompute {
+		return "compute"
+	}
+	return "transfer"
+}
+
+// Event is one activity in the unrolled timeline. Amounts are in load
+// units; Start/End in time units. In the fluid steady-state view each
+// activity spans its whole period at constant rate.
+type Event struct {
+	Kind     EventKind
+	Period   int
+	App      int
+	From, To int // From==To for compute events (the executing cluster is To)
+	Amount   int64
+	Start    float64
+	End      float64
+}
+
+// Timeline unrolls numPeriods periods (numPeriods ≥ 2) into explicit
+// events following §3.2: during period p < numPeriods-1 every
+// transfer for the next period takes place, and during period p ≥ 1
+// every cluster computes the chunks received in period p-1 (local
+// chunks are computed from period 1 on as well, keeping all periods
+// identical). Period 0 only communicates and the last period only
+// computes.
+func (s *Schedule) Timeline(numPeriods int) ([]Event, error) {
+	if numPeriods < 2 {
+		return nil, fmt.Errorf("schedule: timeline needs >= 2 periods, got %d", numPeriods)
+	}
+	K := s.K()
+	var events []Event
+	for p := 0; p < numPeriods; p++ {
+		start := float64(p) * s.Period
+		end := start + s.Period
+		if p < numPeriods-1 {
+			for k := 0; k < K; k++ {
+				for l := 0; l < K; l++ {
+					if k == l || s.Transfer[k][l] == 0 {
+						continue
+					}
+					events = append(events, Event{
+						Kind: EventTransfer, Period: p, App: k, From: k, To: l,
+						Amount: s.Transfer[k][l], Start: start, End: end,
+					})
+				}
+			}
+		}
+		if p >= 1 {
+			for k := 0; k < K; k++ {
+				for l := 0; l < K; l++ {
+					if s.Compute[k][l] == 0 {
+						continue
+					}
+					events = append(events, Event{
+						Kind: EventCompute, Period: p, App: k, From: l, To: l,
+						Amount: s.Compute[k][l], Start: start, End: end,
+					})
+				}
+			}
+		}
+	}
+	return events, nil
+}
+
+// AchievedThroughput returns the average load per time unit processed
+// for application k over a horizon of numPeriods periods, including
+// the empty first period — the quantity that converges to
+// Throughput(k) as the horizon grows (steady-state argument of §1).
+func (s *Schedule) AchievedThroughput(k, numPeriods int) float64 {
+	if numPeriods < 2 {
+		return 0
+	}
+	total := float64(s.AppLoadPerPeriod(k)) * float64(numPeriods-1)
+	return total / (float64(numPeriods) * s.Period)
+}

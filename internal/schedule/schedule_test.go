@@ -1,0 +1,346 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/platform"
+	"repro/internal/platgen"
+)
+
+func twoClusterProblem() *core.Problem {
+	p := &platform.Platform{
+		Routers: 2,
+		Links:   []platform.Link{{U: 0, V: 1, BW: 10, MaxConnect: 3}},
+		Clusters: []platform.Cluster{
+			{Name: "a", Speed: 100, Gateway: 50, Router: 0},
+			{Name: "b", Speed: 100, Gateway: 50, Router: 1},
+		},
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		panic(err)
+	}
+	return core.NewProblem(p)
+}
+
+func randomSolvedProblem(seed int64, maxK int) (*core.Problem, *core.Allocation) {
+	rng := rand.New(rand.NewSource(seed))
+	params := platgen.Params{
+		K:             2 + rng.Intn(maxK-1),
+		Connectivity:  0.3 + 0.5*rng.Float64(),
+		Heterogeneity: 0.2 + 0.6*rng.Float64(),
+		MeanG:         50 + 400*rng.Float64(),
+		MeanBW:        10 + 80*rng.Float64(),
+		MeanMaxCon:    2 + 20*rng.Float64(),
+	}
+	pl, err := platgen.Generate(params, rng)
+	if err != nil {
+		panic(err)
+	}
+	pr := core.NewProblem(pl)
+	return pr, heuristics.Greedy(pr)
+}
+
+func TestBuildSimple(t *testing.T) {
+	pr := twoClusterProblem()
+	a := core.NewAllocation(2)
+	a.Alpha[0][0] = 100
+	a.Alpha[1][1] = 70
+	a.Alpha[1][0] = 0 // cluster 0 already saturated
+	s, err := Build(pr, a, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period != 1000 {
+		t.Fatalf("period = %g", s.Period)
+	}
+	if s.Compute[0][0] != 100000 || s.Compute[1][1] != 70000 {
+		t.Fatalf("compute = %v", s.Compute)
+	}
+	if got := s.Throughput(0); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("throughput 0 = %g", got)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	pr := twoClusterProblem()
+	a := core.NewAllocation(2)
+	if _, err := Build(pr, a, 0); err == nil {
+		t.Fatal("zero denominator must fail")
+	}
+	a.Alpha[0][0] = 1e9 // violates speed
+	if _, err := Build(pr, a, 100); err == nil {
+		t.Fatal("invalid allocation must fail")
+	}
+}
+
+func TestBuildFlooringNeverGains(t *testing.T) {
+	pr := twoClusterProblem()
+	a := core.NewAllocation(2)
+	a.Alpha[0][0] = 99.9995
+	a.Alpha[1][1] = 33.3333333
+	s, err := Build(pr, a, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if s.Throughput(k) > a.AppThroughput(k)+1e-9 {
+			t.Fatalf("app %d: schedule throughput %g exceeds allocation %g", k, s.Throughput(k), a.AppThroughput(k))
+		}
+		if a.AppThroughput(k)-s.Throughput(k) > 2.0/1000 {
+			t.Fatalf("app %d: flooring lost too much: %g vs %g", k, s.Throughput(k), a.AppThroughput(k))
+		}
+	}
+}
+
+func TestBuildSnapsNearIntegers(t *testing.T) {
+	// A value that is exactly 30 up to float noise must floor to
+	// 30*denom, not 30*denom-1.
+	pr := twoClusterProblem()
+	a := core.NewAllocation(2)
+	a.Alpha[0][1] = 29.999999999999996
+	a.Beta[0][1] = 3
+	s, err := Build(pr, a, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Transfer[0][1] != 30000 {
+		t.Fatalf("transfer = %d, want 30000", s.Transfer[0][1])
+	}
+}
+
+func TestRationalBelow(t *testing.T) {
+	cases := []struct {
+		x        float64
+		maxDenom int64
+		wantU    int64
+		wantV    int64
+	}{
+		{0, 100, 0, 1},
+		{-1, 100, 0, 1},
+		{0.5, 100, 1, 2},
+		{1.0 / 3, 100, 1, 3},
+		{2.5, 10, 5, 2},
+		{7, 100, 7, 1},
+	}
+	for _, tc := range cases {
+		u, v := RationalBelow(tc.x, tc.maxDenom)
+		if u != tc.wantU || v != tc.wantV {
+			t.Fatalf("RationalBelow(%g,%d) = %d/%d, want %d/%d", tc.x, tc.maxDenom, u, v, tc.wantU, tc.wantV)
+		}
+	}
+}
+
+// TestPropertyRationalBelow: result is ≤ x, within 1/maxDenom of x,
+// and the denominator respects the bound.
+func TestPropertyRationalBelow(t *testing.T) {
+	prop := func(raw float64, d int64) bool {
+		x := math.Abs(raw)
+		if math.IsInf(x, 0) || math.IsNaN(x) || x > 1e9 {
+			return true
+		}
+		maxDenom := 1 + d%10000
+		if maxDenom < 1 {
+			maxDenom = 1
+		}
+		u, v := RationalBelow(x, maxDenom)
+		if v < 1 || v > maxDenom || u < 0 {
+			return false
+		}
+		val := float64(u) / float64(v)
+		return val <= x+1e-12 && x-val <= 1.0/float64(maxDenom)+1e-9*x+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildLCMExactRationals(t *testing.T) {
+	// α values 1/2 and 1/3: period lcm(2,3)=6, loads 3 and 2.
+	pr := twoClusterProblem()
+	a := core.NewAllocation(2)
+	a.Alpha[0][0] = 0.5
+	a.Alpha[1][1] = 1.0 / 3
+	s, err := BuildLCM(pr, a, 1000, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period != 6 {
+		t.Fatalf("period = %g, want 6", s.Period)
+	}
+	if s.Compute[0][0] != 3 || s.Compute[1][1] != 2 {
+		t.Fatalf("compute = %v", s.Compute)
+	}
+	// Exact rationals lose nothing.
+	if s.Throughput(0) != 0.5 || math.Abs(s.Throughput(1)-1.0/3) > 1e-15 {
+		t.Fatalf("throughputs %g %g", s.Throughput(0), s.Throughput(1))
+	}
+}
+
+func TestBuildLCMFallsBackOnOverflow(t *testing.T) {
+	// Irrational-ish α force huge denominators; with a tiny maxPeriod
+	// the builder must fall back to the common-denominator scheme and
+	// still validate.
+	pr := twoClusterProblem()
+	a := core.NewAllocation(2)
+	a.Alpha[0][0] = math.Pi * 10
+	a.Alpha[1][1] = math.E * 10
+	s, err := BuildLCM(pr, a, 997, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period != 997 {
+		t.Fatalf("period = %g, want fallback 997", s.Period)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	pr := twoClusterProblem()
+	a := core.NewAllocation(2)
+	a.Alpha[0][1] = 20
+	a.Beta[0][1] = 2
+	s, err := Build(pr, a, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Compute[0][1] += 1 << 40
+	if err := s.Validate(pr); err == nil {
+		t.Fatal("overloaded compute must fail validation")
+	}
+	s, _ = Build(pr, a, 100)
+	s.Beta[0][1] = 99
+	if err := s.Validate(pr); err == nil {
+		t.Fatal("connection overflow must fail validation")
+	}
+	s, _ = Build(pr, a, 100)
+	s.Transfer[0][1] = 1 << 40
+	if err := s.Validate(pr); err == nil {
+		t.Fatal("gateway/bandwidth overflow must fail validation")
+	}
+	s, _ = Build(pr, a, 100)
+	s.Compute[0][1] = -1
+	if err := s.Validate(pr); err == nil {
+		t.Fatal("negative load must fail validation")
+	}
+}
+
+func TestTimelineStructure(t *testing.T) {
+	pr := twoClusterProblem()
+	a := core.NewAllocation(2)
+	a.Alpha[0][0] = 50
+	a.Alpha[0][1] = 20
+	a.Beta[0][1] = 2
+	s, err := Build(pr, a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const periods = 4
+	events, err := s.Timeline(periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var transfers, computes int
+	for _, e := range events {
+		switch e.Kind {
+		case EventTransfer:
+			transfers++
+			if e.Period >= periods-1 {
+				t.Fatalf("transfer in final period: %+v", e)
+			}
+			if e.From != 0 || e.To != 1 {
+				t.Fatalf("unexpected transfer %+v", e)
+			}
+		case EventCompute:
+			computes++
+			if e.Period == 0 {
+				t.Fatalf("compute in first period: %+v", e)
+			}
+		}
+		if e.End-e.Start != s.Period {
+			t.Fatalf("event does not span a period: %+v", e)
+		}
+	}
+	// 3 transfer periods x 1 route; 3 compute periods x 2 compute cells.
+	if transfers != 3 || computes != 6 {
+		t.Fatalf("transfers=%d computes=%d", transfers, computes)
+	}
+	if _, err := s.Timeline(1); err == nil {
+		t.Fatal("timeline with < 2 periods must fail")
+	}
+}
+
+func TestAchievedThroughputConverges(t *testing.T) {
+	pr := twoClusterProblem()
+	a := core.NewAllocation(2)
+	a.Alpha[0][0] = 80
+	s, err := Build(pr, a, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Throughput(0)
+	prev := 0.0
+	for _, n := range []int{2, 10, 100, 1000} {
+		got := s.AchievedThroughput(0, n)
+		if got <= prev-1e-12 {
+			t.Fatalf("achieved throughput not monotone at %d periods", n)
+		}
+		if got > want+1e-12 {
+			t.Fatalf("achieved %g exceeds steady-state %g", got, want)
+		}
+		prev = got
+	}
+	if math.Abs(s.AchievedThroughput(0, 1000)-want) > want*2e-3 {
+		t.Fatalf("achieved %g far from steady-state %g", s.AchievedThroughput(0, 1000), want)
+	}
+	if s.AchievedThroughput(0, 1) != 0 {
+		t.Fatal("horizon < 2 must yield 0")
+	}
+}
+
+// TestPropertyScheduleFromHeuristics: schedules built from greedy
+// allocations on random platforms always validate, and their
+// throughput is within K/denom of the allocation's.
+func TestPropertyScheduleFromHeuristics(t *testing.T) {
+	prop := func(seed int64) bool {
+		pr, a := randomSolvedProblem(seed, 8)
+		const denom = 100000
+		s, err := Build(pr, a, denom)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for k := 0; k < pr.K(); k++ {
+			th, at := s.Throughput(k), a.AppThroughput(k)
+			if th > at+1e-9 {
+				return false
+			}
+			if at-th > float64(pr.K())/denom+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventTransfer.String() != "transfer" || EventCompute.String() != "compute" {
+		t.Fatal("event kind strings wrong")
+	}
+}
+
+func BenchmarkBuildK20(b *testing.B) {
+	pr, a := randomSolvedProblem(7, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pr, a, 1000000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
