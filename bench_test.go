@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
+	"repro/internal/lp"
 	"repro/internal/netsim"
 	"repro/internal/platgen"
 	"repro/internal/reduction"
@@ -149,6 +150,65 @@ func BenchmarkE5_Figure7_LPRR(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE9_LPSolver_* solve the same K=20 rational relaxation with
+// each LP backend: the original dense two-phase tableau versus the
+// sparse revised simplex that is now the package default. The ratio
+// is the raw single-solve speedup of the solver refactor.
+func benchRelaxedWith(b *testing.B, s lp.Solver) {
+	pr := benchProblem(b, 20, 3)
+	old := lp.DefaultSolver
+	lp.DefaultSolver = s
+	defer func() { lp.DefaultSolver = old }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := heuristics.UpperBound(pr, core.MAXMIN); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9_LPSolver_Dense(b *testing.B)   { benchRelaxedWith(b, lp.DenseSolver{}) }
+func BenchmarkE9_LPSolver_Revised(b *testing.B) { benchRelaxedWith(b, lp.RevisedSolver{}) }
+
+// BenchmarkE10_BnB_* compare the exact branch-and-bound solver's two
+// node-relaxation strategies on K ∈ {4,6,8} platforms: cold dense
+// solves per node (the pre-refactor reference) versus warm-started
+// revised-simplex re-solves from the parent basis. The instances are
+// network-bound (tight connection budgets and bandwidths, non-uniform
+// payoffs), so the root relaxation is fractional and the tree
+// actually branches; both modes prove the same optimum.
+func benchBnBProblem(b *testing.B, k int) *core.Problem {
+	b.Helper()
+	params := platgen.Params{K: k, Connectivity: 0.6, Heterogeneity: 0.6, MeanG: 450, MeanBW: 10, MeanMaxCon: 5}
+	pl, err := platgen.Generate(params, rand.New(rand.NewSource(11)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := core.NewProblem(pl)
+	for i := range pr.Payoffs {
+		pr.Payoffs[i] = float64(1 + i%3)
+	}
+	return pr
+}
+
+func benchBnB(b *testing.B, k int, mode heuristics.BnBMode) {
+	pr := benchBnBProblem(b, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := heuristics.BranchAndBoundMode(pr, core.SUM, 4000, mode)
+		if err != nil && err != heuristics.ErrNodeBudget {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_BnBColdDense_K4(b *testing.B) { benchBnB(b, 4, heuristics.BnBColdDense) }
+func BenchmarkE10_BnBWarm_K4(b *testing.B)      { benchBnB(b, 4, heuristics.BnBWarm) }
+func BenchmarkE10_BnBColdDense_K6(b *testing.B) { benchBnB(b, 6, heuristics.BnBColdDense) }
+func BenchmarkE10_BnBWarm_K6(b *testing.B)      { benchBnB(b, 6, heuristics.BnBWarm) }
+func BenchmarkE10_BnBColdDense_K8(b *testing.B) { benchBnB(b, 8, heuristics.BnBColdDense) }
+func BenchmarkE10_BnBWarm_K8(b *testing.B)      { benchBnB(b, 8, heuristics.BnBWarm) }
 
 // BenchmarkE7_ReductionExactSolve builds the §4 instance for a
 // 5-cycle and solves it exactly (Theorem 1 equivalence).

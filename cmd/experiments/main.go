@@ -7,6 +7,12 @@
 //	experiments -exp fig5
 //	experiments -exp all -platforms 10 -csv -outdir results/
 //	experiments -exp fig6 -ks 10,15,20,25 -platforms 20   # paper scale
+//
+// Sweeps run platforms in parallel on a worker pool (one goroutine
+// per CPU by default, -workers to override); per-platform seeded
+// sub-RNGs keep every artifact reproducible at any parallelism.
+// fig7 measures wall-clock times and therefore stays sequential
+// unless -workers explicitly asks for more.
 package main
 
 import (
@@ -34,6 +40,7 @@ func run() error {
 		platforms = flag.Int("platforms", 0, "platforms per K (0 = per-experiment default)")
 		ks        = flag.String("ks", "", "comma-separated K values (default per experiment)")
 		lprrMax   = flag.Int("lprr-max-k", 20, "largest K on which the K²-cost LPRR runs")
+		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = one per CPU; fig7 stays sequential unless set > 1)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		outdir    = flag.String("outdir", "", "also write each artifact to this directory")
 	)
@@ -42,6 +49,7 @@ func run() error {
 	base := experiments.DefaultOptions()
 	base.Seed = *seed
 	base.LPRRMaxK = *lprrMax
+	base.Workers = *workers
 	if *platforms > 0 {
 		base.PlatformsPer = *platforms
 	}

@@ -150,6 +150,14 @@ func (pr *Problem) Objective(obj Objective, a *Allocation) float64 {
 // floating-point allocations produced by the LP-based heuristics.
 const DefaultTol = 1e-6
 
+// IntegralityTol is the threshold below which a relaxed connection
+// count β̃ is treated as integral (the branch-and-bound leaf test).
+// It is deliberately the same magnitude as DefaultTol: a β rounded
+// under this tolerance must still pass CheckAllocation at DefaultTol,
+// so the two constants are kept as one shared value instead of
+// drifting apart as duplicated magic numbers.
+const IntegralityTol = DefaultTol
+
 // CheckAllocation verifies Equations (7b)-(7g) against the platform,
 // within an absolute-plus-relative tolerance tol per constraint. It
 // returns nil iff the allocation is a valid steady-state operating

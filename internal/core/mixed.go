@@ -1,11 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"sort"
-
-	"repro/internal/lp"
 )
 
 // MixedSolution is the optimum of the full (α, β) formulation of
@@ -31,175 +28,25 @@ type BetaBounds struct {
 // link get no β variable (they are constrained only by gateways; see
 // CheckAllocation). Returns ok=false on infeasibility.
 //
+// This is the one-shot convenience wrapper over Model: it builds a
+// fresh Model, applies the bounds and cold-solves once. Callers that
+// re-solve under shifting bounds (branch-and-bound, LPRR) should hold
+// a Model and use its warm-started Solve instead.
+//
 // Tests assert that with no bounds this agrees with Relaxed, which is
 // the β-elimination argument of DESIGN.md made executable.
 func (pr *Problem) MixedRelaxed(obj Objective, bounds map[Pair]BetaBounds) (*MixedSolution, bool, error) {
-	if err := pr.Validate(); err != nil {
-		return nil, false, err
-	}
-	K := pr.K()
-	pl := pr.Platform
-
-	alphaIdx := make(map[Pair]int)
-	betaIdx := make(map[Pair]int)
-	var order []Pair
-	for k := 0; k < K; k++ {
-		for l := 0; l < K; l++ {
-			if k != l && !pl.Route(k, l).Exists {
-				continue
-			}
-			order = append(order, Pair{k, l})
-		}
-	}
-	n := 0
-	for _, p := range order {
-		alphaIdx[p] = n
-		n++
-	}
-	for _, p := range order {
-		if p.K == p.L {
-			continue
-		}
-		rt := pl.Route(p.K, p.L)
-		if len(rt.Links) == 0 {
-			continue // same-router: no backbone crossing, no β
-		}
-		betaIdx[p] = n
-		n++
-	}
-	for p := range bounds {
-		if _, ok := betaIdx[p]; !ok {
-			return nil, false, fmt.Errorf("core: β bounds on route (%d,%d) with no β variable", p.K, p.L)
-		}
-	}
-	tVar := -1
-	if obj == MAXMIN {
-		tVar = n
-		n++
-	}
-	prob := lp.New(n)
-
-	switch obj {
-	case SUM:
-		for p, idx := range alphaIdx {
-			prob.SetObjective(idx, pr.Payoffs[p.K])
-		}
-	case MAXMIN:
-		prob.SetObjective(tVar, 1)
-		any := false
-		for k := 0; k < K; k++ {
-			if pr.Payoffs[k] <= 0 {
-				continue
-			}
-			any = true
-			terms := []lp.Term{{Var: tVar, Coeff: 1}}
-			for l := 0; l < K; l++ {
-				if idx, ok := alphaIdx[Pair{k, l}]; ok {
-					terms = append(terms, lp.Term{Var: idx, Coeff: -pr.Payoffs[k]})
-				}
-			}
-			prob.AddConstraint(terms, lp.LE, 0)
-		}
-		if !any {
-			return nil, false, fmt.Errorf("core: MAXMIN objective with no positive payoff")
-		}
-	default:
-		return nil, false, fmt.Errorf("core: unknown objective %v", obj)
-	}
-
-	// (7b) speed.
-	for l := 0; l < K; l++ {
-		var terms []lp.Term
-		for k := 0; k < K; k++ {
-			if idx, ok := alphaIdx[Pair{k, l}]; ok {
-				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
-			}
-		}
-		if len(terms) > 0 {
-			prob.AddConstraint(terms, lp.LE, pl.Clusters[l].Speed)
-		}
-	}
-	// (7c) gateways.
-	for k := 0; k < K; k++ {
-		var terms []lp.Term
-		for l := 0; l < K; l++ {
-			if l == k {
-				continue
-			}
-			if idx, ok := alphaIdx[Pair{k, l}]; ok {
-				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
-			}
-			if idx, ok := alphaIdx[Pair{l, k}]; ok {
-				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
-			}
-		}
-		if len(terms) > 0 {
-			prob.AddConstraint(terms, lp.LE, pl.Clusters[k].Gateway)
-		}
-	}
-	// (7d) per-link connection budgets over β.
-	linkUse := make([][]lp.Term, len(pl.Links))
-	for p, bIdx := range betaIdx {
-		rt := pl.Route(p.K, p.L)
-		for _, li := range rt.Links {
-			linkUse[li] = append(linkUse[li], lp.Term{Var: bIdx, Coeff: 1})
-		}
-	}
-	for li := range pl.Links {
-		if len(linkUse[li]) > 0 {
-			prob.AddConstraint(linkUse[li], lp.LE, float64(pl.Links[li].MaxConnect))
-		}
-	}
-	// (7e) α_{k,l} − β_{k,l}·bw_min ≤ 0.
-	for p, bIdx := range betaIdx {
-		bw := pl.Route(p.K, p.L).MinBW
-		prob.AddConstraint([]lp.Term{
-			{Var: alphaIdx[p], Coeff: 1},
-			{Var: bIdx, Coeff: -bw},
-		}, lp.LE, 0)
-	}
-	// Branching bounds.
-	for p, b := range bounds {
-		idx := betaIdx[p]
-		if b.Lb > 0 {
-			prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.GE, b.Lb)
-		}
-		if b.Ub >= 0 {
-			prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.LE, b.Ub)
-		}
-	}
-
-	sol, err := prob.Solve()
+	m, err := pr.NewModel(obj)
 	if err != nil {
 		return nil, false, err
 	}
-	switch sol.Status {
-	case lp.Infeasible:
-		return nil, false, nil
-	case lp.Unbounded:
-		return nil, false, fmt.Errorf("core: mixed relaxation unbounded (model bug)")
-	}
-
-	out := &MixedSolution{Objective: sol.Objective, Beta: make(map[Pair]float64, len(betaIdx))}
-	out.Alpha = make([][]float64, K)
-	for k := 0; k < K; k++ {
-		out.Alpha[k] = make([]float64, K)
-	}
-	for p, idx := range alphaIdx {
-		v := sol.X[idx]
-		if v < 0 {
-			v = 0
+	for p, b := range bounds {
+		if err := m.SetBounds(p, b); err != nil {
+			return nil, false, err
 		}
-		out.Alpha[p.K][p.L] = v
 	}
-	for p, idx := range betaIdx {
-		v := sol.X[idx]
-		if v < 0 {
-			v = 0
-		}
-		out.Beta[p] = v
-	}
-	return out, true, nil
+	sol, _, ok, err := m.Solve(nil)
+	return sol, ok, err
 }
 
 // RemoteRoutes lists every ordered pair (k,l), k≠l, whose route

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Model is a reusable handle on the explicit (α, β) rational
+// relaxation of program (7). Where Relaxed/MixedRelaxed build a
+// one-shot lp.Problem per call, a Model is built once per
+// (problem, objective) pair and then re-solved many times under
+// mutated per-route β bounds: every β variable owns two dedicated
+// bound rows (β_p ≥ lb, β_p ≤ ub) whose right-hand sides SetBounds
+// mutates in place. Because bound changes are RHS-only, each re-solve
+// can warm-start the revised simplex from a previous optimal basis
+// (lp.Revised's dual-simplex restart) — the engine behind the exact
+// branch-and-bound solver's node relaxations and LPRR's pin
+// sequence.
+type Model struct {
+	pr  *Problem
+	obj Objective
+
+	prob *lp.Problem
+	rev  *lp.Revised
+
+	alphaIdx map[Pair]int
+	betaIdx  map[Pair]int
+	betaVars []Pair // row-major order
+
+	lbRow, ubRow map[Pair]int
+	natural      map[Pair]float64 // per-route cap implied by link budgets
+}
+
+// NewModel validates the problem and builds the α/β relaxation with
+// mutable bound rows, all β bounds starting at [0, natural cap]. The
+// natural cap of route p is the smallest max-connect budget among the
+// links its path crosses — already implied by (7d), so the default
+// bounds leave the relaxation exactly equivalent to MixedRelaxed with
+// no bounds.
+func (pr *Problem) NewModel(obj Objective) (*Model, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	K := pr.K()
+	pl := pr.Platform
+	m := &Model{
+		pr:       pr,
+		obj:      obj,
+		alphaIdx: make(map[Pair]int),
+		betaIdx:  make(map[Pair]int),
+		lbRow:    make(map[Pair]int),
+		ubRow:    make(map[Pair]int),
+		natural:  make(map[Pair]float64),
+	}
+
+	var order []Pair
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			if k != l && !pl.Route(k, l).Exists {
+				continue
+			}
+			order = append(order, Pair{k, l})
+		}
+	}
+	n := 0
+	for _, p := range order {
+		m.alphaIdx[p] = n
+		n++
+	}
+	for _, p := range order {
+		if p.K == p.L {
+			continue
+		}
+		rt := pl.Route(p.K, p.L)
+		if len(rt.Links) == 0 {
+			continue // same-router: no backbone crossing, no β
+		}
+		m.betaIdx[p] = n
+		m.betaVars = append(m.betaVars, p)
+		n++
+	}
+	tVar := -1
+	if obj == MAXMIN {
+		tVar = n
+		n++
+	}
+	prob := lp.New(n)
+
+	switch obj {
+	case SUM:
+		for p, idx := range m.alphaIdx {
+			prob.SetObjective(idx, pr.Payoffs[p.K])
+		}
+	case MAXMIN:
+		prob.SetObjective(tVar, 1)
+		any := false
+		for k := 0; k < K; k++ {
+			if pr.Payoffs[k] <= 0 {
+				continue
+			}
+			any = true
+			terms := []lp.Term{{Var: tVar, Coeff: 1}}
+			for l := 0; l < K; l++ {
+				if idx, ok := m.alphaIdx[Pair{k, l}]; ok {
+					terms = append(terms, lp.Term{Var: idx, Coeff: -pr.Payoffs[k]})
+				}
+			}
+			prob.AddConstraint(terms, lp.LE, 0)
+		}
+		if !any {
+			return nil, fmt.Errorf("core: MAXMIN objective with no positive payoff")
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown objective %v", obj)
+	}
+
+	// (7b) speed.
+	for l := 0; l < K; l++ {
+		var terms []lp.Term
+		for k := 0; k < K; k++ {
+			if idx, ok := m.alphaIdx[Pair{k, l}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, pl.Clusters[l].Speed)
+		}
+	}
+	// (7c) gateways.
+	for k := 0; k < K; k++ {
+		var terms []lp.Term
+		for l := 0; l < K; l++ {
+			if l == k {
+				continue
+			}
+			if idx, ok := m.alphaIdx[Pair{k, l}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
+			}
+			if idx, ok := m.alphaIdx[Pair{l, k}]; ok {
+				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, pl.Clusters[k].Gateway)
+		}
+	}
+	// (7d) per-link connection budgets over β.
+	linkUse := make([][]lp.Term, len(pl.Links))
+	for p, bIdx := range m.betaIdx {
+		rt := pl.Route(p.K, p.L)
+		for _, li := range rt.Links {
+			linkUse[li] = append(linkUse[li], lp.Term{Var: bIdx, Coeff: 1})
+		}
+	}
+	for li := range pl.Links {
+		if len(linkUse[li]) > 0 {
+			prob.AddConstraint(linkUse[li], lp.LE, float64(pl.Links[li].MaxConnect))
+		}
+	}
+	// (7e) α_{k,l} − β_{k,l}·bw_min ≤ 0.
+	for _, p := range m.betaVars {
+		bw := pl.Route(p.K, p.L).MinBW
+		prob.AddConstraint([]lp.Term{
+			{Var: m.alphaIdx[p], Coeff: 1},
+			{Var: m.betaIdx[p], Coeff: -bw},
+		}, lp.LE, 0)
+	}
+	// Mutable bound rows, one pair per β variable.
+	for _, p := range m.betaVars {
+		rt := pl.Route(p.K, p.L)
+		nat := math.Inf(1)
+		for _, li := range rt.Links {
+			if c := float64(pl.Links[li].MaxConnect); c < nat {
+				nat = c
+			}
+		}
+		m.natural[p] = nat
+		idx := m.betaIdx[p]
+		m.ubRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.LE, nat)
+		m.lbRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.GE, 0)
+	}
+
+	m.prob = prob
+	m.rev = lp.NewRevised(prob)
+	return m, nil
+}
+
+// BetaVars lists the routes carrying a β variable in deterministic
+// row-major order — the same set RemoteRoutes reports.
+func (m *Model) BetaVars() []Pair {
+	out := make([]Pair, len(m.betaVars))
+	copy(out, m.betaVars)
+	return out
+}
+
+// SetBounds mutates route p's β bounds in place (an RHS-only change,
+// preserving warm-startability). Ub < 0 means unbounded above, which
+// the model realizes as the route's natural link-budget cap.
+func (m *Model) SetBounds(p Pair, b BetaBounds) error {
+	if _, ok := m.betaIdx[p]; !ok {
+		return fmt.Errorf("core: β bounds on route (%d,%d) with no β variable", p.K, p.L)
+	}
+	lb := b.Lb
+	if lb < 0 {
+		lb = 0
+	}
+	ub := m.natural[p]
+	if b.Ub >= 0 && b.Ub < ub {
+		ub = b.Ub
+	}
+	m.prob.SetRHS(m.lbRow[p], lb)
+	m.prob.SetRHS(m.ubRow[p], ub)
+	return nil
+}
+
+// ResetBounds restores every β bound to its default [0, natural cap].
+func (m *Model) ResetBounds() {
+	for _, p := range m.betaVars {
+		m.prob.SetRHS(m.lbRow[p], 0)
+		m.prob.SetRHS(m.ubRow[p], m.natural[p])
+	}
+}
+
+// Solve solves the relaxation under the current bounds. A non-nil
+// `from` basis warm-starts the revised simplex (pass the basis
+// returned by the parent/previous solve); the returned basis
+// snapshots this solve's final basis for future warm starts.
+// ok=false reports infeasibility of the current bound set.
+func (m *Model) Solve(from *lp.Basis) (*MixedSolution, *lp.Basis, bool, error) {
+	sol, basis, err := m.rev.SolveFrom(from)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	out, ok, err := m.extract(sol)
+	return out, basis, ok, err
+}
+
+// SolveWith runs a one-shot cold solve of the current bound set
+// through an explicit backend — the reference path used by the
+// dense-vs-revised cross-checks and the cold-solve benchmark mode.
+func (m *Model) SolveWith(s lp.Solver) (*MixedSolution, bool, error) {
+	sol, err := m.prob.SolveWith(s)
+	if err != nil {
+		return nil, false, err
+	}
+	return m.extract(sol)
+}
+
+func (m *Model) extract(sol lp.Solution) (*MixedSolution, bool, error) {
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil, false, nil
+	case lp.Unbounded:
+		return nil, false, fmt.Errorf("core: mixed relaxation unbounded (model bug)")
+	}
+	K := m.pr.K()
+	out := &MixedSolution{Objective: sol.Objective, Beta: make(map[Pair]float64, len(m.betaIdx))}
+	out.Alpha = make([][]float64, K)
+	for k := 0; k < K; k++ {
+		out.Alpha[k] = make([]float64, K)
+	}
+	for p, idx := range m.alphaIdx {
+		v := sol.X[idx]
+		if v < 0 {
+			v = 0
+		}
+		out.Alpha[p.K][p.L] = v
+	}
+	for p, idx := range m.betaIdx {
+		v := sol.X[idx]
+		if v < 0 {
+			v = 0
+		}
+		out.Beta[p] = v
+	}
+	return out, true, nil
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+)
+
+// randomPlatformProblem draws a platgen-style platform directly (the
+// platgen package imports core's sibling platform package, so the
+// generator is inlined here to avoid an import cycle in tests):
+// K clusters on their own routers, random links, tight budgets so the
+// relaxations are network-bound and degenerate ties are common.
+func randomPlatformProblem(t *testing.T, rng *rand.Rand, k int) *Problem {
+	t.Helper()
+	pl := &platform.Platform{Routers: k}
+	for i := 0; i < k; i++ {
+		pl.Clusters = append(pl.Clusters, platform.Cluster{
+			Name:    "C",
+			Speed:   100,
+			Gateway: 50 + 400*rng.Float64(),
+			Router:  i,
+		})
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if rng.Float64() >= 0.6 {
+				continue
+			}
+			pl.Links = append(pl.Links, platform.Link{
+				U:          i,
+				V:          j,
+				BW:         5 + 25*rng.Float64(),
+				MaxConnect: 1 + rng.Intn(6),
+			})
+		}
+	}
+	if err := pl.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	pr := NewProblem(pl)
+	for i := range pr.Payoffs {
+		pr.Payoffs[i] = float64(1 + rng.Intn(3))
+	}
+	return pr
+}
+
+func withSolver(s lp.Solver, f func()) {
+	old := lp.DefaultSolver
+	lp.DefaultSolver = s
+	defer func() { lp.DefaultSolver = old }()
+	f()
+}
+
+// TestRelaxedDenseRevisedAgree is the platgen-instance half of the
+// solver cross-check: on randomized platforms, the rational
+// relaxations (which mix LE rows, the GE rows of branching lower
+// bounds, and — through MixedRelaxed pins below — EQ-like bound
+// pairs) must produce the same objective from both backends to 1e-9.
+func TestRelaxedDenseRevisedAgree(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pr := randomPlatformProblem(t, rng, 4+rng.Intn(5))
+		for _, obj := range []Objective{SUM, MAXMIN} {
+			var dObj, rObj float64
+			withSolver(lp.DenseSolver{}, func() {
+				rel, ok, err := pr.Relaxed(obj, nil)
+				if err != nil || !ok {
+					t.Fatalf("seed %d: dense relaxed: ok=%v err=%v", seed, ok, err)
+				}
+				dObj = rel.Objective
+			})
+			withSolver(lp.RevisedSolver{}, func() {
+				rel, ok, err := pr.Relaxed(obj, nil)
+				if err != nil || !ok {
+					t.Fatalf("seed %d: revised relaxed: ok=%v err=%v", seed, ok, err)
+				}
+				rObj = rel.Objective
+			})
+			if math.Abs(dObj-rObj) > 1e-9*(1+math.Abs(dObj)) {
+				t.Fatalf("seed %d %v: dense %.12g, revised %.12g", seed, obj, dObj, rObj)
+			}
+		}
+	}
+}
+
+// TestModelWarmMatchesColdAfterBoundChange is the warm-start half: a
+// warm-started re-solve after a β bound change must match a cold
+// solve of the same bound set — both on the revised path and against
+// the dense backend.
+func TestModelWarmMatchesColdAfterBoundChange(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		pr := randomPlatformProblem(t, rng, 4+rng.Intn(4))
+		obj := []Objective{SUM, MAXMIN}[seed%2]
+		m, err := pr.NewModel(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		betas := m.BetaVars()
+		if len(betas) == 0 {
+			continue
+		}
+		rel, basis, ok, err := m.Solve(nil)
+		if err != nil || !ok {
+			t.Fatalf("seed %d: root solve: ok=%v err=%v", seed, ok, err)
+		}
+		for step := 0; step < 6; step++ {
+			p := betas[rng.Intn(len(betas))]
+			v := rel.Beta[p]
+			var b BetaBounds
+			if rng.Float64() < 0.5 {
+				b = BetaBounds{Lb: 0, Ub: math.Floor(v)}
+			} else {
+				b = BetaBounds{Lb: math.Floor(v) + 1, Ub: -1}
+			}
+			if err := m.SetBounds(p, b); err != nil {
+				t.Fatal(err)
+			}
+			warm, wBasis, wOK, err := m.Solve(basis)
+			if err != nil {
+				t.Fatalf("seed %d step %d: warm: %v", seed, step, err)
+			}
+			coldRel, cOK, err := m.SolveWith(lp.RevisedSolver{})
+			if err != nil {
+				t.Fatalf("seed %d step %d: cold: %v", seed, step, err)
+			}
+			denseRel, dOK, err := m.SolveWith(lp.DenseSolver{})
+			if err != nil {
+				t.Fatalf("seed %d step %d: dense: %v", seed, step, err)
+			}
+			if wOK != cOK || wOK != dOK {
+				t.Fatalf("seed %d step %d: feasibility disagreement warm=%v cold=%v dense=%v", seed, step, wOK, cOK, dOK)
+			}
+			if !wOK {
+				// Infeasible bound set: revert and continue with
+				// another branch direction.
+				if err := m.SetBounds(p, BetaBounds{Lb: 0, Ub: -1}); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if math.Abs(warm.Objective-coldRel.Objective) > 1e-9*(1+math.Abs(coldRel.Objective)) {
+				t.Fatalf("seed %d step %d: warm %.12g, cold %.12g", seed, step, warm.Objective, coldRel.Objective)
+			}
+			if math.Abs(warm.Objective-denseRel.Objective) > 1e-9*(1+math.Abs(denseRel.Objective)) {
+				t.Fatalf("seed %d step %d: warm %.12g, dense %.12g", seed, step, warm.Objective, denseRel.Objective)
+			}
+			rel, basis = warm, wBasis
+		}
+	}
+}
+
+// TestModelRandomBoundSetsAgree pins dense-vs-revised agreement on
+// random per-node bound sets — the per-node half of the solver-swap
+// acceptance check. The end-to-end tree comparison lives in
+// heuristics.TestBranchAndBoundModesAgree (core cannot import
+// heuristics).
+func TestModelRandomBoundSetsAgree(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		pr := randomPlatformProblem(t, rng, 4+rng.Intn(4))
+		m, err := pr.NewModel(SUM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		betas := m.BetaVars()
+		bounds := map[Pair]BetaBounds{}
+		for _, p := range betas {
+			switch rng.Intn(3) {
+			case 0:
+				bounds[p] = BetaBounds{Lb: float64(rng.Intn(2)), Ub: float64(1 + rng.Intn(3))}
+			case 1:
+				bounds[p] = BetaBounds{Lb: float64(rng.Intn(2)), Ub: -1}
+			}
+		}
+		for p, b := range bounds {
+			if err := m.SetBounds(p, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Model hard-wires its revised instance, so backend selection
+		// must go through SolveWith — toggling lp.DefaultSolver has no
+		// effect on Model-based paths.
+		var dObj, rObj float64
+		var dOK, rOK bool
+		{
+			sol, ok, err := m.SolveWith(lp.DenseSolver{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dOK = ok
+			if ok {
+				dObj = sol.Objective
+			}
+		}
+		{
+			sol, ok, err := m.SolveWith(lp.RevisedSolver{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rOK = ok
+			if ok {
+				rObj = sol.Objective
+			}
+		}
+		if dOK != rOK {
+			t.Fatalf("seed %d: feasibility disagreement dense=%v revised=%v", seed, dOK, rOK)
+		}
+		if dOK && math.Abs(dObj-rObj) > 1e-9*(1+math.Abs(dObj)) {
+			t.Fatalf("seed %d: dense %.12g, revised %.12g", seed, dObj, rObj)
+		}
+	}
+}

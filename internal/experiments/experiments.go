@@ -7,6 +7,12 @@
 // by a seeded, reproducible sample of the same parameter grid
 // (DESIGN.md, "Scale"); every entry point takes explicit sizes so
 // callers can widen the sweep arbitrarily.
+//
+// Sweeps run on a worker pool (Options.Workers goroutines, default
+// GOMAXPROCS): each sampled platform is an independent task with its
+// own sub-RNG derived from (seed, K, platform index), so results are
+// bitwise reproducible regardless of worker count or scheduling
+// order, and Table 1 / Figure 5-7 regeneration scales with cores.
 package experiments
 
 import (
@@ -26,6 +32,10 @@ type Options struct {
 	PlatformsPer int   // platforms per K value
 	Ks           []int // cluster counts to sweep
 	LPRRMaxK     int   // largest K on which the K²-cost LPRR heuristics run
+	// Workers is the sweep pool size; 0 means one worker per CPU,
+	// except in Figure7, which defaults to sequential timing (see its
+	// doc comment) and only parallelizes on an explicit Workers > 1.
+	Workers int
 	// GridFilter optionally restricts which Table 1 grid points are
 	// sampled (nil = whole grid). TightNetworkFilter reproduces the
 	// §6.2 rounding-sensitivity regime.
@@ -92,16 +102,57 @@ type RatioPoint struct {
 	Ratio     map[core.Objective]map[heuristics.Name]float64
 }
 
+// ratioSample is one platform's contribution to a RatioPoint.
+type ratioSample struct {
+	ratios map[core.Objective]map[heuristics.Name]float64
+}
+
+const saltRatio = 1
+
 // RatioSweep runs the named heuristics on opts.PlatformsPer seeded
-// random platforms per K and reports mean ratios to the LP upper
-// bound for both objectives. Heuristics whose name contains LPRR are
-// skipped above opts.LPRRMaxK (their K² LP solves dominate any sweep,
-// exactly as the paper notes in §6.3).
+// random platforms per K — in parallel on the worker pool — and
+// reports mean ratios to the LP upper bound for both objectives.
+// Heuristics whose name contains LPRR are skipped above opts.LPRRMaxK
+// (their K² LP solves dominate any sweep, exactly as the paper notes
+// in §6.3).
 func RatioSweep(opts Options, names []heuristics.Name) ([]RatioPoint, error) {
 	objs := []core.Objective{core.SUM, core.MAXMIN}
 	var out []RatioPoint
 	for _, k := range opts.Ks {
-		rng := rand.New(rand.NewSource(opts.Seed + int64(k)*1000003))
+		samples := make([]ratioSample, opts.PlatformsPer)
+		err := forEach(opts.Workers, opts.PlatformsPer, func(i int) error {
+			rng := subRNG(opts.Seed, k, i, saltRatio)
+			pr, err := samplePlatform(k, rng, opts.GridFilter)
+			if err != nil {
+				return err
+			}
+			res := make(map[core.Objective]map[heuristics.Name]float64)
+			for _, obj := range objs {
+				ub, _, err := heuristics.UpperBound(pr, obj)
+				if err != nil {
+					return fmt.Errorf("experiments: LP bound K=%d: %w", k, err)
+				}
+				if ub <= 1e-9 {
+					continue // degenerate platform; cannot form a ratio
+				}
+				res[obj] = make(map[heuristics.Name]float64)
+				for _, name := range names {
+					if isLPRR(name) && k > opts.LPRRMaxK {
+						continue
+					}
+					r, err := heuristics.Run(name, pr, obj, rng)
+					if err != nil {
+						return fmt.Errorf("experiments: %s K=%d: %w", name, k, err)
+					}
+					res[obj][name] = r.Value / ub
+				}
+			}
+			samples[i] = ratioSample{ratios: res}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		pt := RatioPoint{K: k, Ratio: make(map[core.Objective]map[heuristics.Name]float64)}
 		sums := make(map[core.Objective]map[heuristics.Name]float64)
 		counts := make(map[core.Objective]map[heuristics.Name]int)
@@ -110,32 +161,14 @@ func RatioSweep(opts Options, names []heuristics.Name) ([]RatioPoint, error) {
 			sums[obj] = make(map[heuristics.Name]float64)
 			counts[obj] = make(map[heuristics.Name]int)
 		}
-		for i := 0; i < opts.PlatformsPer; i++ {
-			pr, err := samplePlatform(k, rng, opts.GridFilter)
-			if err != nil {
-				return nil, err
-			}
-			for _, obj := range objs {
-				ub, _, err := heuristics.UpperBound(pr, obj)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: LP bound K=%d: %w", k, err)
-				}
-				if ub <= 1e-9 {
-					continue // degenerate platform; cannot form a ratio
-				}
-				for _, name := range names {
-					if isLPRR(name) && k > opts.LPRRMaxK {
-						continue
-					}
-					r, err := heuristics.Run(name, pr, obj, rng)
-					if err != nil {
-						return nil, fmt.Errorf("experiments: %s K=%d: %w", name, k, err)
-					}
-					sums[obj][name] += r.Value / ub
+		for _, s := range samples {
+			pt.Platforms++
+			for obj, byName := range s.ratios {
+				for name, v := range byName {
+					sums[obj][name] += v
 					counts[obj][name]++
 				}
 			}
-			pt.Platforms++
 		}
 		for _, obj := range objs {
 			for name, s := range sums[obj] {
@@ -181,8 +214,19 @@ type Aggregate struct {
 	LPRGOverLP map[core.Objective]float64
 }
 
+// aggSample is one platform's contribution to the §6.1 aggregates.
+type aggSample struct {
+	counted  map[core.Objective]bool
+	lprOver  map[core.Objective]float64
+	gOver    map[core.Objective]float64
+	lprgOver map[core.Objective]float64
+	ratioG   map[core.Objective]float64
+}
+
+const saltAggregate = 2
+
 // AggregateRatios computes the §6.1 aggregates over the sweep
-// defined by opts.
+// defined by opts, one pooled task per sampled platform.
 func AggregateRatios(opts Options) (*Aggregate, error) {
 	objs := []core.Objective{core.SUM, core.MAXMIN}
 	agg := &Aggregate{
@@ -194,46 +238,72 @@ func AggregateRatios(opts Options) (*Aggregate, error) {
 	counts := make(map[core.Objective]int)
 	ratioG := make(map[core.Objective]float64)
 	for _, k := range opts.Ks {
-		rng := rand.New(rand.NewSource(opts.Seed + int64(k)*7919))
-		for i := 0; i < opts.PlatformsPer; i++ {
+		samples := make([]aggSample, opts.PlatformsPer)
+		err := forEach(opts.Workers, opts.PlatformsPer, func(i int) error {
+			rng := subRNG(opts.Seed, k, i, saltAggregate)
 			pr, err := samplePlatform(k, rng, opts.GridFilter)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			agg.Platforms++
+			s := aggSample{
+				counted:  make(map[core.Objective]bool),
+				lprOver:  make(map[core.Objective]float64),
+				gOver:    make(map[core.Objective]float64),
+				lprgOver: make(map[core.Objective]float64),
+				ratioG:   make(map[core.Objective]float64),
+			}
 			for _, obj := range objs {
 				ub, _, err := heuristics.UpperBound(pr, obj)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if ub <= 1e-9 {
 					continue
 				}
 				g, err := heuristics.Run(heuristics.NameG, pr, obj, rng)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				lpr, err := heuristics.Run(heuristics.NameLPR, pr, obj, rng)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				lprg, err := heuristics.Run(heuristics.NameLPRG, pr, obj, rng)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				counts[obj]++
-				agg.LPROverLP[obj] += lpr.Value / ub
-				agg.GOverLP[obj] += g.Value / ub
-				agg.LPRGOverLP[obj] += lprg.Value / ub
-				if g.Value > 1e-9 {
-					ratioG[obj] += lprg.Value / g.Value
-				} else if lprg.Value > 1e-9 {
+				s.counted[obj] = true
+				s.lprOver[obj] = lpr.Value / ub
+				s.gOver[obj] = g.Value / ub
+				s.lprgOver[obj] = lprg.Value / ub
+				switch {
+				case g.Value > 1e-9:
+					s.ratioG[obj] = lprg.Value / g.Value
+				case lprg.Value > 1e-9:
 					// G scored zero but LPRG did not; count a large
 					// finite advantage rather than an infinity.
-					ratioG[obj] += 10
-				} else {
-					ratioG[obj] += 1
+					s.ratioG[obj] = 10
+				default:
+					s.ratioG[obj] = 1
 				}
+			}
+			samples[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range samples {
+			agg.Platforms++
+			for _, obj := range objs {
+				if !s.counted[obj] {
+					continue
+				}
+				counts[obj]++
+				agg.LPROverLP[obj] += s.lprOver[obj]
+				agg.GOverLP[obj] += s.gOver[obj]
+				agg.LPRGOverLP[obj] += s.lprgOver[obj]
+				ratioG[obj] += s.ratioG[obj]
 			}
 		}
 	}
@@ -257,43 +327,80 @@ type TimePoint struct {
 	LPSeconds float64
 }
 
+// timeSample is one platform's contribution to a TimePoint.
+type timeSample struct {
+	seconds map[heuristics.Name]float64
+	counts  map[heuristics.Name]int
+	lpSecs  float64
+	lpCount int
+}
+
+const saltTime = 3
+
 // Figure7 reproduces Figure 7: mean running time of G, LPR, LPRG and
 // LPRR versus K (log scale when plotted). LPRR is skipped above
 // opts.LPRRMaxK. Times are averaged over opts.PlatformsPer platforms
 // and both objectives, like the paper's measurement protocol.
+//
+// Because this artifact measures wall-clock time, Figure7 times
+// sequentially (one worker) unless opts.Workers explicitly asks for
+// parallelism — concurrent platforms contend for cores and would
+// silently inflate the very quantity being plotted.
 func Figure7(opts Options) ([]TimePoint, error) {
 	names := []heuristics.Name{heuristics.NameG, heuristics.NameLPR, heuristics.NameLPRG, heuristics.NameLPRR}
 	objs := []core.Objective{core.SUM, core.MAXMIN}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 	var out []TimePoint
 	for _, k := range opts.Ks {
-		rng := rand.New(rand.NewSource(opts.Seed + int64(k)*65537))
-		pt := TimePoint{K: k, Seconds: make(map[heuristics.Name]float64)}
-		counts := make(map[heuristics.Name]int)
-		lpCount := 0
-		for i := 0; i < opts.PlatformsPer; i++ {
+		samples := make([]timeSample, opts.PlatformsPer)
+		err := forEach(workers, opts.PlatformsPer, func(i int) error {
+			rng := subRNG(opts.Seed, k, i, saltTime)
 			pr, err := samplePlatform(k, rng, opts.GridFilter)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			pt.Platforms++
+			s := timeSample{
+				seconds: make(map[heuristics.Name]float64),
+				counts:  make(map[heuristics.Name]int),
+			}
 			for _, obj := range objs {
 				_, lpTime, err := heuristics.UpperBound(pr, obj)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				pt.LPSeconds += lpTime.Seconds()
-				lpCount++
+				s.lpSecs += lpTime.Seconds()
+				s.lpCount++
 				for _, name := range names {
 					if isLPRR(name) && k > opts.LPRRMaxK {
 						continue
 					}
 					start := time.Now()
 					if _, err := heuristics.Run(name, pr, obj, rng); err != nil {
-						return nil, err
+						return err
 					}
-					pt.Seconds[name] += time.Since(start).Seconds()
-					counts[name]++
+					s.seconds[name] += time.Since(start).Seconds()
+					s.counts[name]++
 				}
+			}
+			samples[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := TimePoint{K: k, Seconds: make(map[heuristics.Name]float64)}
+		counts := make(map[heuristics.Name]int)
+		lpCount := 0
+		for _, s := range samples {
+			pt.Platforms++
+			pt.LPSeconds += s.lpSecs
+			lpCount += s.lpCount
+			for name, secs := range s.seconds {
+				pt.Seconds[name] += secs
+				counts[name] += s.counts[name]
 			}
 		}
 		for name, c := range counts {

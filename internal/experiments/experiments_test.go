@@ -234,3 +234,44 @@ func TestSamplePlatformOffGrid(t *testing.T) {
 		t.Fatalf("platforms = %d", pts[0].Platforms)
 	}
 }
+
+// TestSweepIndependentOfWorkerCount: the pooled driver must be
+// bitwise reproducible regardless of parallelism — each platform owns
+// a sub-RNG derived from (seed, K, index), never a shared stream.
+func TestSweepIndependentOfWorkerCount(t *testing.T) {
+	seq := tinyOptions()
+	seq.Workers = 1
+	par := tinyOptions()
+	par.Workers = 4
+	a, err := Figure5(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for obj, m := range a[i].Ratio {
+			for name, v := range m {
+				if b[i].Ratio[obj][name] != v {
+					t.Fatalf("K=%d %v %s: 1 worker %g, 4 workers %g",
+						a[i].K, obj, name, v, b[i].Ratio[obj][name])
+				}
+			}
+		}
+	}
+	aggA, err := AggregateRatios(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggB, err := AggregateRatios(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+		if aggA.LPRGOverG[obj] != aggB.LPRGOverG[obj] {
+			t.Fatalf("%v: aggregate differs across worker counts", obj)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0..n-1) on a pool of `workers` goroutines (0 means
+// GOMAXPROCS) and returns the first error. Workers pull indices from
+// a shared atomic counter, so the schedule is work-stealing; callers
+// keep determinism by writing into index-addressed slots and reducing
+// sequentially afterwards.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// subRNG derives a platform-level rng from the sweep seed, the K
+// value and the platform index. Every (seed,k,i,salt) tuple gets its
+// own generator, so results are bitwise reproducible regardless of
+// worker count or scheduling order; the salt separates the different
+// experiment families so they do not share platform streams.
+func subRNG(seed int64, k, i int, salt int64) *rand.Rand {
+	s := seed + int64(k)*1000003 + int64(i)*9176399 + salt*1_000_000_007
+	return rand.New(rand.NewSource(s))
+}

@@ -5,22 +5,35 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/lp"
 )
-
-// integralityTol is the threshold below which a relaxed β is treated
-// as integral during branch-and-bound.
-const integralityTol = 1e-6
 
 // ErrNodeBudget is returned by BranchAndBound when the node budget is
 // exhausted before the search tree is closed; the incumbent returned
 // alongside is then only a lower bound, not a proven optimum.
 var ErrNodeBudget = fmt.Errorf("heuristics: branch-and-bound node budget exhausted")
 
+// BnBMode selects the node-relaxation strategy of BranchAndBound.
+type BnBMode int
+
+const (
+	// BnBWarm (the default) builds one core.Model for the whole tree
+	// and re-solves each node with the revised simplex, warm-started
+	// from the parent node's optimal basis — a bound change is an
+	// RHS-only mutation, so each child typically needs only a few
+	// dual-simplex pivots.
+	BnBWarm BnBMode = iota
+	// BnBColdDense cold-solves every node relaxation with the dense
+	// tableau backend. It is the pre-refactor reference path, kept for
+	// the cold-vs-warm benchmarks and numerical cross-checks.
+	BnBColdDense
+)
+
 // BranchAndBound solves the mixed program (7) exactly by
 // branch-and-bound on the integer β variables, using the explicit
-// (α,β) relaxation of core.MixedRelaxed for node bounds. The problem
-// is NP-hard (paper §4, Theorem 1), so this is only practical for
-// small platforms (K up to ~6-8); it exists to measure how close the
+// (α,β) relaxation of core.Model for node bounds. The problem is
+// NP-hard (paper §4, Theorem 1), so this is only practical for small
+// platforms (K up to ~6-8); it exists to measure how close the
 // polynomial heuristics get to the true optimum, which the paper
 // could not do ("solving the mixed LP problem for the optimal
 // solution takes exponential time; consequently we cannot use it in
@@ -29,6 +42,12 @@ var ErrNodeBudget = fmt.Errorf("heuristics: branch-and-bound node budget exhaust
 // maxNodes bounds the search; <= 0 means a default of 10,000 nodes.
 // The returned allocation is the best integer-feasible point found.
 func BranchAndBound(pr *core.Problem, obj core.Objective, maxNodes int) (*core.Allocation, float64, error) {
+	return BranchAndBoundMode(pr, obj, maxNodes, BnBWarm)
+}
+
+// BranchAndBoundMode is BranchAndBound with an explicit
+// node-relaxation strategy; see BnBMode.
+func BranchAndBoundMode(pr *core.Problem, obj core.Objective, maxNodes int, mode BnBMode) (*core.Allocation, float64, error) {
 	if maxNodes <= 0 {
 		maxNodes = 10000
 	}
@@ -42,8 +61,17 @@ func BranchAndBound(pr *core.Problem, obj core.Objective, maxNodes int) (*core.A
 	}
 	best := pr.Objective(obj, incumbent)
 
+	model, err := pr.NewModel(obj)
+	if err != nil {
+		return nil, 0, err
+	}
+
 	type node struct {
 		bounds map[core.Pair]core.BetaBounds
+		// basis is the parent relaxation's optimal basis; the child's
+		// bound set differs from the parent's by one RHS change, so it
+		// is one dual-simplex restart away (warm mode only).
+		basis *lp.Basis
 	}
 	stack := []node{{bounds: map[core.Pair]core.BetaBounds{}}}
 	nodes := 0
@@ -55,7 +83,23 @@ func BranchAndBound(pr *core.Problem, obj core.Objective, maxNodes int) (*core.A
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
-		rel, ok, err := pr.MixedRelaxed(obj, nd.bounds)
+		model.ResetBounds()
+		for p, b := range nd.bounds {
+			if err := model.SetBounds(p, b); err != nil {
+				return nil, 0, err
+			}
+		}
+		var (
+			rel   *core.MixedSolution
+			basis *lp.Basis
+			ok    bool
+		)
+		switch mode {
+		case BnBColdDense:
+			rel, ok, err = model.SolveWith(lp.DenseSolver{})
+		default:
+			rel, basis, ok, err = model.Solve(nd.basis)
+		}
 		if err != nil {
 			return nil, 0, err
 		}
@@ -65,7 +109,7 @@ func BranchAndBound(pr *core.Problem, obj core.Objective, maxNodes int) (*core.A
 		if rel.Objective <= best+1e-9*(1+math.Abs(best)) {
 			continue // bound cannot beat the incumbent
 		}
-		p, fractional := rel.MostFractional(integralityTol)
+		p, fractional := rel.MostFractional(core.IntegralityTol)
 		if !fractional {
 			// Integer-feasible: round the (near-integral) β and keep
 			// the α values.
@@ -101,7 +145,7 @@ func BranchAndBound(pr *core.Problem, obj core.Objective, maxNodes int) (*core.A
 			b.Lb = floor + 1
 		}
 		up[p] = b
-		stack = append(stack, node{bounds: down}, node{bounds: up})
+		stack = append(stack, node{bounds: down, basis: basis}, node{bounds: up, basis: basis})
 	}
 	return incumbent, best, nil
 }

@@ -1,0 +1,54 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platgen"
+)
+
+// TestBranchAndBoundModesAgree is the end-to-end acceptance check of
+// the solver swap: on randomized network-bound platforms, the
+// warm-started revised-simplex tree and the cold dense-tableau tree
+// must prove identical optima (Δobj ≤ 1e-9 relative).
+func TestBranchAndBoundModesAgree(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		params := platgen.Params{
+			K:             4 + int(seed%3),
+			Connectivity:  0.6,
+			Heterogeneity: 0.6,
+			MeanG:         450,
+			MeanBW:        10,
+			MeanMaxCon:    5,
+		}
+		pl, err := platgen.Generate(params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := core.NewProblem(pl)
+		for i := range pr.Payoffs {
+			pr.Payoffs[i] = float64(1 + rng.Intn(3))
+		}
+		for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+			_, warm, err := BranchAndBoundMode(pr, obj, 4000, BnBWarm)
+			if err != nil && err != ErrNodeBudget {
+				t.Fatalf("seed %d %v: warm: %v", seed, obj, err)
+			}
+			warmBudget := err == ErrNodeBudget
+			_, cold, err := BranchAndBoundMode(pr, obj, 4000, BnBColdDense)
+			if err != nil && err != ErrNodeBudget {
+				t.Fatalf("seed %d %v: cold: %v", seed, obj, err)
+			}
+			coldBudget := err == ErrNodeBudget
+			if warmBudget || coldBudget {
+				continue // incumbents are only lower bounds; skip comparison
+			}
+			if math.Abs(warm-cold) > 1e-9*(1+math.Abs(cold)) {
+				t.Fatalf("seed %d %v: warm optimum %.12g, cold optimum %.12g", seed, obj, warm, cold)
+			}
+		}
+	}
+}

@@ -35,21 +35,29 @@ func (v LPRRVariant) String() string {
 // and iterate. Unpinned routes whose β̃ is 0 in the current solution
 // are pinned to 0 in bulk when no nonzero candidate remains. The
 // procedure solves up to K² linear programs, which is exactly the
-// complexity the paper measures in Figure 7.
+// complexity the paper measures in Figure 7 — but where it once
+// rebuilt and cold-solved a fresh LP per pin, it now holds one
+// core.Model for the whole trial: a pin is an RHS-only bound
+// mutation (β_p = v), so every re-solve warm-starts the revised
+// simplex from the previous pin's optimal basis.
 //
 // With integral max-connect values a round-up can never make the pin
 // set infeasible (DESIGN.md); if infeasibility is ever reported (for
 // hand-built platforms with exotic routes), the round-up is retried
 // as a round-down.
 func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.Rand) (*core.Allocation, error) {
-	routes := pr.RemoteRoutes()
+	model, err := pr.NewModel(obj)
+	if err != nil {
+		return nil, err
+	}
+	routes := model.BetaVars() // == RemoteRoutes order
 	fixed := make(map[core.Pair]int, len(routes))
 	remaining := make(map[core.Pair]bool, len(routes))
 	for _, p := range routes {
 		remaining[p] = true
 	}
 
-	rel, ok, err := pr.Relaxed(obj, fixed)
+	rel, basis, ok, err := model.Solve(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -57,12 +65,22 @@ func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.R
 		return nil, fmt.Errorf("heuristics: initial relaxation infeasible (model bug)")
 	}
 
+	// betaFrac is the β̃ the rounding rule draws on: the fractional
+	// connection count α̃/bw_min associated with the current relaxed
+	// α, exactly as core.Relaxed's BetaFrac defines it.
+	betaFrac := func(p core.Pair) float64 {
+		if bw := pr.Platform.RouteBW(p.K, p.L); bw > 0 && !math.IsInf(bw, 1) {
+			return rel.Alpha[p.K][p.L] / bw
+		}
+		return 0
+	}
+
 	for len(remaining) > 0 {
 		// Candidates: unpinned routes with nonzero β̃ in the current
 		// relaxed solution, in deterministic order for the rng draw.
 		var candidates []core.Pair
 		for _, p := range routes {
-			if remaining[p] && rel.BetaFrac[p.K][p.L] > snapEps {
+			if remaining[p] && betaFrac(p) > snapEps {
 				candidates = append(candidates, p)
 			}
 		}
@@ -70,11 +88,14 @@ func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.R
 			// Everything left is zero in the relaxation: pin to 0.
 			for p := range remaining {
 				fixed[p] = 0
+				if err := model.SetBounds(p, core.BetaBounds{Lb: 0, Ub: 0}); err != nil {
+					return nil, err
+				}
 			}
 			break
 		}
 		p := candidates[rng.Intn(len(candidates))]
-		bt := rel.BetaFrac[p.K][p.L]
+		bt := betaFrac(p)
 		floor := int(math.Floor(bt + snapEps))
 		frac := bt - float64(floor)
 		if frac < 0 {
@@ -94,17 +115,23 @@ func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.R
 			return nil, fmt.Errorf("heuristics: unknown LPRR variant %d", int(variant))
 		}
 		value := floor + up
+		if err := pin(model, p, value); err != nil {
+			return nil, err
+		}
 		fixed[p] = value
 		delete(remaining, p)
 
-		next, ok, err := pr.Relaxed(obj, fixed)
+		next, nextBasis, ok, err := model.Solve(basis)
 		if err != nil {
 			return nil, err
 		}
 		if !ok && up == 1 {
 			// Exotic-platform fallback: retry with the floor.
+			if err := pin(model, p, floor); err != nil {
+				return nil, err
+			}
 			fixed[p] = floor
-			next, ok, err = pr.Relaxed(obj, fixed)
+			next, nextBasis, ok, err = model.Solve(basis)
 			if err != nil {
 				return nil, err
 			}
@@ -112,28 +139,32 @@ func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.R
 		if !ok {
 			return nil, fmt.Errorf("heuristics: LPRR pin set became infeasible at route (%d,%d)", p.K, p.L)
 		}
-		rel = next
+		rel, basis = next, nextBasis
 	}
 
 	// Final solve with every route pinned gives the α values.
-	final, ok, err := pr.Relaxed(obj, fixed)
+	final, _, ok, err := model.Solve(basis)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, fmt.Errorf("heuristics: final LPRR relaxation infeasible")
 	}
-	return allocationFromPinned(pr, final, fixed), nil
+	return allocationFromPinned(pr, final.Alpha, fixed), nil
 }
 
-// allocationFromPinned assembles an integer-β allocation from a
-// relaxed solution whose remote backbone routes are all pinned.
-func allocationFromPinned(pr *core.Problem, rel *core.RelaxedSolution, fixed map[core.Pair]int) *core.Allocation {
+func pin(model *core.Model, p core.Pair, v int) error {
+	return model.SetBounds(p, core.BetaBounds{Lb: float64(v), Ub: float64(v)})
+}
+
+// allocationFromPinned assembles an integer-β allocation from relaxed
+// α values whose remote backbone routes are all pinned.
+func allocationFromPinned(pr *core.Problem, alpha [][]float64, fixed map[core.Pair]int) *core.Allocation {
 	K := pr.K()
 	alloc := core.NewAllocation(K)
 	for k := 0; k < K; k++ {
 		for l := 0; l < K; l++ {
-			a := rel.Alpha[k][l]
+			a := alpha[k][l]
 			if a < 0 {
 				a = 0
 			}

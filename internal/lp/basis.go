@@ -1,0 +1,16 @@
+package lp
+
+// Basis is an opaque snapshot of a simplex basis, suitable for warm
+// starting a later re-solve of the same Revised instance (or of
+// another Revised instance built from a Problem with the identical
+// constraint structure — e.g. sibling nodes of a branch-and-bound
+// tree sharing one model). Column indices cover the solver's internal
+// column space, so a Basis is only meaningful to the instance family
+// that produced it; SolveFrom validates and silently falls back to a
+// cold solve on any mismatch.
+// A Basis is immutable once returned (snapshot copies out of the
+// solver state), so sharing one pointer across branch-and-bound
+// siblings is safe.
+type Basis struct {
+	cols []int
+}

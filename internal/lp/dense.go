@@ -1,0 +1,324 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// solveDense runs the two-phase dense-tableau simplex — the original
+// backend, retained behind DenseSolver as reference and fallback.
+func solveDense(p *Problem) (Solution, error) {
+	t := newTableau(p)
+	if t.nart > 0 {
+		if err := t.phase1(); err != nil {
+			return Solution{}, err
+		}
+		if t.phase1Objective() > 1e-7*(1+t.rhsScale) {
+			return Solution{Status: Infeasible}, nil
+		}
+		t.driveOutArtificials()
+	}
+	status, err := t.phase2()
+	if err != nil {
+		return Solution{}, err
+	}
+	if status != Optimal {
+		return Solution{Status: status}, nil
+	}
+	x := t.extract()
+	obj := 0.0
+	for j, cj := range p.c {
+		obj += cj * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is the dense simplex tableau.
+//
+// Layout: columns 0..nvars-1 are structural variables, then nslack
+// slack/surplus columns, then nart artificial columns. a has m rows of
+// length ncols; b is the rhs column; basis[i] is the column basic in
+// row i.
+type tableau struct {
+	m, nvars, nslack, nart int
+	ncols                  int
+	a                      [][]float64
+	b                      []float64
+	basis                  []int
+	costs                  []float64 // phase-2 objective over all columns
+	rhsScale               float64   // max |b_i|, for relative feasibility tolerance
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.rows)
+	t := &tableau{m: m, nvars: p.nvars}
+	// Count slack and artificial columns. Rows are first normalized
+	// to have nonnegative rhs (negating flips the relation).
+	rels := make([]Rel, m)
+	rhs := make([]float64, m)
+	neg := make([]bool, m)
+	for i, r := range p.rows {
+		rels[i], rhs[i] = r.rel, r.rhs
+		if rhs[i] < 0 {
+			rhs[i] = -rhs[i]
+			neg[i] = true
+			switch rels[i] {
+			case LE:
+				rels[i] = GE
+			case GE:
+				rels[i] = LE
+			}
+		}
+		switch rels[i] {
+		case LE, GE:
+			t.nslack++
+		}
+		switch rels[i] {
+		case GE, EQ:
+			t.nart++
+		}
+	}
+	t.ncols = p.nvars + t.nslack + t.nart
+	t.a = make([][]float64, m)
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+	slackAt := p.nvars
+	artAt := p.nvars + t.nslack
+	for i, r := range p.rows {
+		rowv := make([]float64, t.ncols)
+		sign := 1.0
+		if neg[i] {
+			sign = -1
+		}
+		for _, term := range r.terms {
+			rowv[term.Var] += sign * term.Coeff
+		}
+		t.b[i] = rhs[i]
+		if t.b[i] > t.rhsScale {
+			t.rhsScale = t.b[i]
+		}
+		switch rels[i] {
+		case LE:
+			rowv[slackAt] = 1
+			t.basis[i] = slackAt
+			slackAt++
+		case GE:
+			rowv[slackAt] = -1
+			slackAt++
+			rowv[artAt] = 1
+			t.basis[i] = artAt
+			artAt++
+		case EQ:
+			rowv[artAt] = 1
+			t.basis[i] = artAt
+			artAt++
+		}
+		t.a[i] = rowv
+	}
+	t.costs = make([]float64, t.ncols)
+	copy(t.costs, p.c)
+	return t
+}
+
+// reducedCosts computes cbar_j = c_j - c_B · B^{-1} A_j for the given
+// cost vector, exploiting that the tableau is kept in canonical form
+// (basic columns are unit vectors).
+func (t *tableau) reducedCosts(costs []float64) []float64 {
+	cbar := make([]float64, t.ncols)
+	copy(cbar, costs)
+	for i, bj := range t.basis {
+		cb := costs[bj]
+		if cb == 0 {
+			continue
+		}
+		rowi := t.a[i]
+		for j := 0; j < t.ncols; j++ {
+			cbar[j] -= cb * rowi[j]
+		}
+	}
+	return cbar
+}
+
+// pivot performs a Gauss-Jordan pivot on (prow, pcol) and updates the
+// basis.
+func (t *tableau) pivot(prow, pcol int) {
+	piv := t.a[prow][pcol]
+	inv := 1.0 / piv
+	rowp := t.a[prow]
+	for j := 0; j < t.ncols; j++ {
+		rowp[j] *= inv
+	}
+	rowp[pcol] = 1 // kill roundoff
+	t.b[prow] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == prow {
+			continue
+		}
+		f := t.a[i][pcol]
+		if f == 0 {
+			continue
+		}
+		rowi := t.a[i]
+		for j := 0; j < t.ncols; j++ {
+			rowi[j] -= f * rowp[j]
+		}
+		rowi[pcol] = 0
+		t.b[i] -= f * t.b[prow]
+		if t.b[i] < 0 && t.b[i] > -eps*(1+t.rhsScale) {
+			t.b[i] = 0 // clamp tiny negative residue
+		}
+	}
+	t.basis[prow] = pcol
+}
+
+// ratioTest picks the leaving row for entering column pcol, returning
+// -1 when the column is unbounded. Ties are broken by smallest basis
+// index (a Bland-compatible rule that also fights cycling under
+// Dantzig pricing).
+func (t *tableau) ratioTest(pcol int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		aij := t.a[i][pcol]
+		if aij <= eps {
+			continue
+		}
+		ratio := t.b[i] / aij
+		if ratio < bestRatio-eps || (ratio < bestRatio+eps && (best == -1 || t.basis[i] < t.basis[best])) {
+			bestRatio = ratio
+			best = i
+		}
+	}
+	return best
+}
+
+// optimize runs the primal simplex loop with the supplied cost vector
+// over columns [0, colLimit). It returns Unbounded or Optimal.
+func (t *tableau) optimize(costs []float64, colLimit int) (Status, error) {
+	maxIters := 200*(t.m+t.ncols) + 20000
+	bland := false
+	stall := 0
+	lastObj := math.Inf(-1)
+	for iter := 0; iter < maxIters; iter++ {
+		cbar := t.reducedCosts(costs)
+		pcol := -1
+		if bland {
+			for j := 0; j < colLimit; j++ {
+				if cbar[j] > eps {
+					pcol = j
+					break
+				}
+			}
+		} else {
+			best := eps
+			for j := 0; j < colLimit; j++ {
+				if cbar[j] > best {
+					best = cbar[j]
+					pcol = j
+				}
+			}
+		}
+		if pcol == -1 {
+			return Optimal, nil
+		}
+		prow := t.ratioTest(pcol)
+		if prow == -1 {
+			return Unbounded, nil
+		}
+		t.pivot(prow, pcol)
+		obj := t.basicObjective(costs)
+		if obj <= lastObj+eps {
+			stall++
+			if stall >= stallLimit {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+		lastObj = obj
+	}
+	return Optimal, ErrIterationLimit
+}
+
+func (t *tableau) basicObjective(costs []float64) float64 {
+	obj := 0.0
+	for i, bj := range t.basis {
+		obj += costs[bj] * t.b[i]
+	}
+	return obj
+}
+
+// phase1 minimizes the sum of artificial variables (maximizes its
+// negation).
+func (t *tableau) phase1() error {
+	costs := make([]float64, t.ncols)
+	for j := t.nvars + t.nslack; j < t.ncols; j++ {
+		costs[j] = -1
+	}
+	status, err := t.optimize(costs, t.ncols)
+	if err != nil {
+		return err
+	}
+	if status == Unbounded {
+		// Impossible: phase-1 objective is bounded above by 0.
+		return errors.New("lp: internal error: phase 1 unbounded")
+	}
+	return nil
+}
+
+func (t *tableau) phase1Objective() float64 {
+	sum := 0.0
+	for i, bj := range t.basis {
+		if bj >= t.nvars+t.nslack {
+			sum += t.b[i]
+		}
+	}
+	return sum
+}
+
+// driveOutArtificials pivots any artificial variable that remains
+// basic (at value zero) out of the basis, or marks its row redundant
+// by zeroing it when no pivot column exists.
+func (t *tableau) driveOutArtificials() {
+	artStart := t.nvars + t.nslack
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < artStart {
+			continue
+		}
+		pcol := -1
+		for j := 0; j < artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				pcol = j
+				break
+			}
+		}
+		if pcol == -1 {
+			// Redundant row: zero it out; the artificial stays basic
+			// at value 0 and can never re-enter phase-2 play because
+			// phase 2 prices only non-artificial columns.
+			continue
+		}
+		t.pivot(i, pcol)
+	}
+}
+
+// phase2 optimizes the true objective over non-artificial columns.
+func (t *tableau) phase2() (Status, error) {
+	return t.optimize(t.costs, t.nvars+t.nslack)
+}
+
+// extract reads the structural variable values off the basis.
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.nvars)
+	for i, bj := range t.basis {
+		if bj < t.nvars {
+			v := t.b[i]
+			if v < 0 {
+				v = 0 // tolerance clamp
+			}
+			x[bj] = v
+		}
+	}
+	return x
+}

@@ -1,0 +1,777 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Revised is a revised-simplex instance bound to one Problem. Unlike
+// the one-shot backends it keeps the constraint matrix (in sparse
+// column form), the basis and the explicit basis inverse alive across
+// solves, which is what makes warm starts cheap: after an RHS-only
+// mutation (Problem.SetRHS), SolveFrom(basis) restarts the dual
+// simplex from a previous optimal basis instead of running a full
+// phase-1/phase-2 pass. When the supplied basis is the one the
+// instance ended its previous solve with — the common case for
+// branch-and-bound depth-first descents and LPRR pin sequences — the
+// basis inverse is reused without refactorization.
+//
+// The constraint structure (row count, relations, coefficients) must
+// be frozen after NewRevised; only right-hand sides may change
+// between solves.
+type Revised struct {
+	p          *Problem
+	sp         sparseCols
+	slackOfRow []int
+	slackCoef  []float64
+
+	nstruct, nslack, m int
+	ncols, artStart    int
+	c                  []float64 // phase-2 costs (structural prefix of column space)
+	costScale          float64
+
+	// sign[i] is the row normalization chosen at the last cold start
+	// so that the effective rhs was nonnegative; effective matrix
+	// entries are sign[row]*stored value and the artificial column of
+	// row i is +e_i in effective space.
+	sign     []float64
+	signInit bool
+
+	// Working state, valid between solves while factorized is true.
+	// Invariant: while factorized, the current basis is dual feasible
+	// for the phase-2 costs (every solve ends optimal, infeasible via
+	// the dual simplex — which preserves dual feasibility — or clears
+	// the flag).
+	binv       [][]float64
+	basis      []int
+	inBasis    []bool
+	xb         []float64
+	b          []float64
+	scale      float64
+	factorized bool
+	pivots     int // pivots since the last factorization
+
+	// Scratch buffers reused across solves.
+	c2   []float64   // phase-2 costs over the full column space
+	c1   []float64   // phase-1 costs (lazily built)
+	ys   []float64   // signed simplex multipliers
+	ws   []float64   // signed leaving-row vector (dual)
+	d    []float64   // entering direction B^{-1}A_j
+	seen []bool      // basis validation
+	work [][]float64 // refactorization workspace [B | I]
+}
+
+const (
+	// refactorEvery bounds error accumulation in the product-form
+	// basis-inverse updates.
+	refactorEvery = 100
+	// infeasTol matches the dense backend's phase-1 acceptance.
+	infeasTol = 1e-7
+)
+
+// NewRevised builds a revised-simplex instance over p's current
+// constraint rows. The instance assumes the row structure is frozen;
+// solving after rows were added panics.
+func NewRevised(p *Problem) *Revised {
+	r := &Revised{p: p}
+	r.sp, r.slackOfRow, r.slackCoef = newSparseCols(p)
+	r.nstruct = p.nvars
+	r.nslack = r.sp.n - p.nvars
+	r.m = len(p.rows)
+	r.artStart = r.sp.n
+	r.ncols = r.sp.n + r.m
+	r.c = make([]float64, r.artStart)
+	copy(r.c, p.c)
+	for _, cj := range r.c {
+		if a := math.Abs(cj); a > r.costScale {
+			r.costScale = a
+		}
+	}
+	r.sign = make([]float64, r.m)
+	r.b = make([]float64, r.m)
+	r.xb = make([]float64, r.m)
+	r.basis = make([]int, r.m)
+	r.inBasis = make([]bool, r.ncols)
+	r.binv = make([][]float64, r.m)
+	for i := range r.binv {
+		r.binv[i] = make([]float64, r.m)
+	}
+	r.c2 = make([]float64, r.ncols)
+	copy(r.c2, r.c)
+	r.ys = make([]float64, r.m)
+	r.ws = make([]float64, r.m)
+	r.d = make([]float64, r.m)
+	r.seen = make([]bool, r.ncols)
+	return r
+}
+
+// SolveFrom solves the instance's problem with the current right-hand
+// sides. With a nil basis (or whenever the basis turns out to be
+// unusable — wrong size, singular, stale beyond repair) it runs a
+// cold two-phase solve; otherwise it warm-starts from the basis with
+// the dual simplex. The returned Basis snapshots the final basis for
+// future warm starts; it is non-nil whenever err is nil.
+func (r *Revised) SolveFrom(bas *Basis) (Solution, *Basis, error) {
+	if len(r.p.rows) != r.m {
+		panic(fmt.Sprintf("lp: Revised built over %d rows, problem now has %d (structure is frozen)", r.m, len(r.p.rows)))
+	}
+	if bas != nil && r.signInit {
+		sol, snap, ok, err := r.warmSolve(bas)
+		if err != nil {
+			return Solution{}, nil, err
+		}
+		if ok {
+			return sol, snap, nil
+		}
+	}
+	return r.coldSolve()
+}
+
+// refreshRHS loads the effective rhs (sign-normalized) and tolerance
+// scale from the owning problem.
+func (r *Revised) refreshRHS() {
+	r.scale = 0
+	for i := range r.b {
+		r.b[i] = r.sign[i] * r.p.rows[i].rhs
+		if a := math.Abs(r.b[i]); a > r.scale {
+			r.scale = a
+		}
+	}
+}
+
+func (r *Revised) feasTol() float64 { return eps * (1 + r.scale) }
+func (r *Revised) dualTol() float64 { return 1e-7 * (1 + r.costScale) }
+
+// coldSolve runs the classical two-phase method from a slack basis.
+func (r *Revised) coldSolve() (Solution, *Basis, error) {
+	for i, row := range r.p.rows {
+		if row.rhs < 0 {
+			r.sign[i] = -1
+		} else {
+			r.sign[i] = 1
+		}
+	}
+	r.signInit = true
+	r.refreshRHS()
+
+	// Initial basis: the slack column where it is basic-feasible
+	// (effective coefficient +1, or rhs 0), the artificial otherwise.
+	for j := range r.inBasis {
+		r.inBasis[j] = false
+	}
+	hasArt := false
+	for i := range r.basis {
+		col := r.artStart + i
+		if sc := r.slackOfRow[i]; sc >= 0 {
+			effCoef := r.sign[i] * r.slackSign(sc)
+			if effCoef > 0 || r.b[i] == 0 {
+				col = sc
+			}
+		}
+		if col >= r.artStart {
+			hasArt = true
+		}
+		r.basis[i] = col
+		r.inBasis[col] = true
+	}
+	// The initial basis matrix is diagonal with ±1 pivots (slack
+	// columns are ±e_i, artificials +e_i), so its inverse is itself —
+	// no Gauss-Jordan factorization needed.
+	for i := 0; i < r.m; i++ {
+		rowi := r.binv[i]
+		for t := range rowi {
+			rowi[t] = 0
+		}
+		if col := r.basis[i]; col >= r.artStart {
+			rowi[i] = 1
+		} else {
+			rowi[i] = r.sign[i] * r.slackSign(col)
+		}
+	}
+	r.factorized = true
+	r.pivots = 0
+	r.computeXB()
+
+	if hasArt {
+		if r.c1 == nil {
+			r.c1 = make([]float64, r.ncols)
+			for j := r.artStart; j < r.ncols; j++ {
+				r.c1[j] = -1
+			}
+		}
+		status, err := r.primal(r.c1)
+		if err != nil {
+			return Solution{}, nil, err
+		}
+		if status == Unbounded {
+			return Solution{}, nil, fmt.Errorf("lp: internal error: phase 1 unbounded")
+		}
+		if r.artificialResidue() > infeasTol*(1+r.scale) {
+			r.factorized = false
+			return Solution{Status: Infeasible}, r.snapshot(), nil
+		}
+		r.driveOutArtificials()
+	}
+	status, err := r.primal(r.fullCosts())
+	if err != nil {
+		return Solution{}, nil, err
+	}
+	return r.finish(status)
+}
+
+// warmSolve attempts a restart from bas. ok=false means the basis was
+// unusable and the caller should cold-solve; err is only a hard
+// solver failure.
+func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
+	if len(bas.cols) != r.m {
+		return Solution{}, nil, false, nil
+	}
+	// While the live factorization is valid its basis is already dual
+	// feasible (see the struct invariant), so the cheapest restart is
+	// to continue from the instance's current state — even when it is
+	// not the supplied basis (e.g. a branch-and-bound sibling whose
+	// parent basis was left behind by another subtree): a few extra
+	// dual pivots beat an O(m³) refactorization. The supplied basis is
+	// installed only when no live factorization exists.
+	if !r.factorized {
+		for j := range r.seen {
+			r.seen[j] = false
+		}
+		for _, c := range bas.cols {
+			if c < 0 || c >= r.ncols || r.seen[c] {
+				return Solution{}, nil, false, nil
+			}
+			r.seen[c] = true
+		}
+		copy(r.basis, bas.cols)
+		for j := range r.inBasis {
+			r.inBasis[j] = false
+		}
+		for _, c := range r.basis {
+			r.inBasis[c] = true
+		}
+		if !r.refactorize() {
+			r.factorized = false
+			return Solution{}, nil, false, nil
+		}
+	}
+	r.refreshRHS()
+	r.computeXB()
+
+	costs := r.fullCosts()
+	if r.dualFeasible(costs) {
+		status, err := r.dual(costs)
+		if err != nil {
+			r.factorized = false
+			return Solution{}, nil, false, nil // e.g. iteration limit: retry cold
+		}
+		if status == Infeasible {
+			r.factorized = false
+			return Solution{Status: Infeasible}, r.snapshot(), true, nil
+		}
+		// Safety net: the dual simplex ends primal+dual feasible, so
+		// this terminates immediately unless roundoff says otherwise.
+		status, err = r.primal(costs)
+		if err != nil {
+			r.factorized = false
+			return Solution{}, nil, false, nil
+		}
+		return r.finishWarm(status)
+	}
+	if r.primalFeasible() {
+		status, err := r.primal(costs)
+		if err != nil {
+			r.factorized = false
+			return Solution{}, nil, false, nil
+		}
+		return r.finishWarm(status)
+	}
+	return Solution{}, nil, false, nil
+}
+
+// finishWarm wraps finish for warm restarts: a sizeable residue on a
+// basic artificial here means the basis carried a stale artificial
+// into the new rhs (phase 1 never ran), so infeasibility cannot be
+// concluded from it — hand the decision to an authoritative cold
+// solve instead of misreporting a feasible bound set.
+func (r *Revised) finishWarm(status Status) (Solution, *Basis, bool, error) {
+	if status == Optimal && r.artificialResidue() > infeasTol*(1+r.scale) {
+		r.factorized = false
+		return Solution{}, nil, false, nil
+	}
+	sol, snap, err := r.finish(status)
+	return sol, snap, err == nil, err
+}
+
+// finish converts the final simplex state into a Solution.
+func (r *Revised) finish(status Status) (Solution, *Basis, error) {
+	if status != Optimal {
+		r.factorized = false
+		return Solution{Status: status}, r.snapshot(), nil
+	}
+	if r.artificialResidue() > infeasTol*(1+r.scale) {
+		// A basic artificial kept a nonzero value: the (possibly
+		// mutated) rhs is inconsistent with a dependent row set.
+		r.factorized = false
+		return Solution{Status: Infeasible}, r.snapshot(), nil
+	}
+	x := make([]float64, r.nstruct)
+	for i, bj := range r.basis {
+		if bj < r.nstruct {
+			v := r.xb[i]
+			if v < 0 {
+				v = 0 // tolerance clamp
+			}
+			x[bj] = v
+		}
+	}
+	obj := 0.0
+	for j, cj := range r.p.c {
+		obj += cj * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, r.snapshot(), nil
+}
+
+func (r *Revised) snapshot() *Basis {
+	cp := make([]int, r.m)
+	copy(cp, r.basis)
+	return &Basis{cols: cp}
+}
+
+func (r *Revised) fullCosts() []float64 { return r.c2 }
+
+func (r *Revised) slackSign(col int) float64 {
+	return r.slackCoef[col-r.nstruct]
+}
+
+// effCol iterates the effective (sign-normalized) entries of column j,
+// calling fn(row, value) for each nonzero.
+func (r *Revised) effCol(j int, fn func(i int, v float64)) {
+	if j >= r.artStart {
+		fn(j-r.artStart, 1)
+		return
+	}
+	for t := r.sp.colPtr[j]; t < r.sp.colPtr[j+1]; t++ {
+		i := int(r.sp.rowIdx[t])
+		fn(i, r.sign[i]*r.sp.val[t])
+	}
+}
+
+// colDotSigned returns ys·A_j where ys is already sign-normalized
+// (ys[i] = y[i]*sign[i]).
+func (r *Revised) colDotSigned(ys []float64, j int) float64 {
+	if j >= r.artStart {
+		i := j - r.artStart
+		return ys[i] * r.sign[i] // effective entry is +1: y_i = ys_i*sign_i
+	}
+	return r.sp.dot(ys, j)
+}
+
+// direction computes d = B^{-1}·A_j into dst.
+func (r *Revised) direction(j int, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	r.effCol(j, func(row int, v float64) {
+		for i := 0; i < r.m; i++ {
+			dst[i] += r.binv[i][row] * v
+		}
+	})
+}
+
+// computeXB sets xb = B^{-1}·b.
+func (r *Revised) computeXB() {
+	for i := 0; i < r.m; i++ {
+		s := 0.0
+		row := r.binv[i]
+		for t := 0; t < r.m; t++ {
+			s += row[t] * r.b[t]
+		}
+		r.xb[i] = s
+	}
+}
+
+// refactorize rebuilds binv from the current basis by Gauss-Jordan
+// elimination with partial pivoting. Returns false when the basis
+// matrix is numerically singular.
+func (r *Revised) refactorize() bool {
+	m := r.m
+	// B is assembled column by column; work is the augmented [B | I],
+	// allocated on first use (tiny trees may never refactorize).
+	if r.work == nil {
+		r.work = make([][]float64, m)
+		for i := range r.work {
+			r.work[i] = make([]float64, 2*m)
+		}
+	}
+	work := r.work
+	for i := 0; i < m; i++ {
+		rowi := work[i]
+		for t := range rowi {
+			rowi[t] = 0
+		}
+		rowi[m+i] = 1
+	}
+	for k, j := range r.basis {
+		r.effCol(j, func(i int, v float64) {
+			work[i][k] = v
+		})
+	}
+	for col := 0; col < m; col++ {
+		piv, pivAbs := col, math.Abs(work[col][col])
+		for i := col + 1; i < m; i++ {
+			if a := math.Abs(work[i][col]); a > pivAbs {
+				piv, pivAbs = i, a
+			}
+		}
+		if pivAbs < 1e-11 {
+			return false
+		}
+		work[col], work[piv] = work[piv], work[col]
+		inv := 1 / work[col][col]
+		rowc := work[col]
+		for t := col; t < 2*m; t++ {
+			rowc[t] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			f := work[i][col]
+			if f == 0 {
+				continue
+			}
+			rowi := work[i]
+			for t := col; t < 2*m; t++ {
+				rowi[t] -= f * rowc[t]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(r.binv[i], work[i][m:])
+	}
+	r.factorized = true
+	r.pivots = 0
+	return true
+}
+
+// pivotUpdate applies the product-form update for entering column
+// `enter` replacing the variable basic in row `leave`; d must hold
+// B^{-1}·A_enter.
+func (r *Revised) pivotUpdate(leave, enter int, d []float64) {
+	piv := d[leave]
+	inv := 1 / piv
+	rowL := r.binv[leave]
+	for t := 0; t < r.m; t++ {
+		rowL[t] *= inv
+	}
+	r.xb[leave] *= inv
+	ftol := r.feasTol()
+	for i := 0; i < r.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := d[i]
+		if f == 0 {
+			continue
+		}
+		rowi := r.binv[i]
+		for t := 0; t < r.m; t++ {
+			rowi[t] -= f * rowL[t]
+		}
+		r.xb[i] -= f * r.xb[leave]
+		if r.xb[i] < 0 && r.xb[i] > -ftol {
+			r.xb[i] = 0 // clamp tiny negative residue
+		}
+	}
+	r.inBasis[r.basis[leave]] = false
+	r.basis[leave] = enter
+	r.inBasis[enter] = true
+	r.pivots++
+	if r.pivots >= refactorEvery {
+		if r.refactorize() {
+			r.computeXB()
+		} else {
+			// Singular at the checkpoint: keep running on the
+			// product-form inverse and only retry after another
+			// refactorEvery pivots instead of on every pivot.
+			r.pivots = 0
+		}
+	}
+}
+
+func (r *Revised) basicObjective(costs []float64) float64 {
+	obj := 0.0
+	for i, bj := range r.basis {
+		obj += costs[bj] * r.xb[i]
+	}
+	return obj
+}
+
+// signedMultipliers computes ys with ys[i] = (c_B·B^{-1})_i * sign[i],
+// ready for sparse pricing against the stored (unsigned) columns.
+func (r *Revised) signedMultipliers(costs []float64, ys []float64) {
+	for i := range ys {
+		ys[i] = 0
+	}
+	for i, bj := range r.basis {
+		cb := costs[bj]
+		if cb == 0 {
+			continue
+		}
+		row := r.binv[i]
+		for t := 0; t < r.m; t++ {
+			ys[t] += cb * row[t]
+		}
+	}
+	for i := range ys {
+		ys[i] *= r.sign[i]
+	}
+}
+
+// primal runs the revised primal simplex with the given cost vector.
+// Entering candidates are the non-artificial columns; artificials may
+// only leave the basis.
+func (r *Revised) primal(costs []float64) (Status, error) {
+	maxIters := 200*(r.m+r.ncols) + 20000
+	bland := false
+	stall := 0
+	lastObj := math.Inf(-1)
+	ys, d := r.ys, r.d
+	for iter := 0; iter < maxIters; iter++ {
+		r.signedMultipliers(costs, ys)
+		enter := -1
+		if bland {
+			for j := 0; j < r.artStart; j++ {
+				if !r.inBasis[j] && costs[j]-r.colDotSigned(ys, j) > eps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := eps
+			for j := 0; j < r.artStart; j++ {
+				if r.inBasis[j] {
+					continue
+				}
+				if cbar := costs[j] - r.colDotSigned(ys, j); cbar > best {
+					best = cbar
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal, nil
+		}
+		r.direction(enter, d)
+		leave := r.primalRatioTest(d)
+		if leave == -1 {
+			return Unbounded, nil
+		}
+		r.pivotUpdate(leave, enter, d)
+		obj := r.basicObjective(costs)
+		if obj <= lastObj+eps {
+			stall++
+			if stall >= stallLimit {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+		lastObj = obj
+	}
+	return Optimal, ErrIterationLimit
+}
+
+// primalRatioTest picks the leaving row for the entering direction d,
+// or -1 when the column is unbounded. Ties break toward the smallest
+// basic column (Bland-compatible). Zero-valued basic artificials with
+// a usable nonzero component are forced out first so they can never
+// turn positive again during phase 2; "usable" requires the implied
+// entering value |xb/d| to be negligible, so a near-eps pivot under a
+// small positive residue can never catapult the entering variable to
+// a macroscopic (negative) value.
+func (r *Revised) primalRatioTest(d []float64) int {
+	ftol := r.feasTol()
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < r.m; i++ {
+		if r.basis[i] >= r.artStart && r.xb[i] <= ftol && math.Abs(d[i]) > eps &&
+			math.Abs(r.xb[i]) <= math.Abs(d[i])*ftol {
+			return i // degenerate pivot: eject the artificial now
+		}
+		if d[i] <= eps {
+			continue
+		}
+		ratio := r.xb[i] / d[i]
+		if ratio < 0 {
+			ratio = 0
+		}
+		if ratio < bestRatio-eps || (ratio < bestRatio+eps && (best == -1 || r.basis[i] < r.basis[best])) {
+			bestRatio = ratio
+			best = i
+		}
+	}
+	return best
+}
+
+// dual runs the revised dual simplex: starting dual-feasible, it
+// restores primal feasibility after an RHS mutation. Returns
+// Infeasible when the dual is unbounded (= the primal constraints
+// admit no solution), Optimal when xb is feasible.
+func (r *Revised) dual(costs []float64) (Status, error) {
+	maxIters := 200*(r.m+r.ncols) + 20000
+	ys, ws, d := r.ys, r.ws, r.d
+	bland := false
+	stall := 0
+	lastInfeas := math.Inf(1)
+	for iter := 0; iter < maxIters; iter++ {
+		ftol := r.feasTol()
+		leave := -1
+		if bland {
+			for i := 0; i < r.m; i++ {
+				if r.xb[i] < -ftol {
+					leave = i
+					break
+				}
+			}
+		} else {
+			worst := -ftol
+			for i := 0; i < r.m; i++ {
+				if r.xb[i] < worst {
+					worst = r.xb[i]
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Optimal, nil
+		}
+		// ws = (e_leave·B^{-1}) sign-normalized for sparse pricing.
+		rowL := r.binv[leave]
+		for i := 0; i < r.m; i++ {
+			ws[i] = rowL[i] * r.sign[i]
+		}
+		r.signedMultipliers(costs, ys)
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < r.artStart; j++ {
+			if r.inBasis[j] {
+				continue
+			}
+			alpha := r.colDotSigned(ws, j)
+			if alpha >= -eps {
+				continue
+			}
+			cbar := costs[j] - r.colDotSigned(ys, j)
+			if cbar > 0 {
+				cbar = 0 // dual-feasibility roundoff slop
+			}
+			ratio := cbar / alpha
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && (enter == -1 || j < enter)) {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return Infeasible, nil
+		}
+		r.direction(enter, d)
+		r.pivotUpdate(leave, enter, d)
+		infeas := 0.0
+		for i := 0; i < r.m; i++ {
+			if r.xb[i] < 0 {
+				infeas -= r.xb[i]
+			}
+		}
+		if infeas >= lastInfeas-eps {
+			stall++
+			if stall >= stallLimit {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+		lastInfeas = infeas
+	}
+	return Optimal, ErrIterationLimit
+}
+
+// dualFeasible reports whether every nonbasic non-artificial column
+// prices out nonpositive (within tolerance) under costs — the
+// precondition for restarting with the dual simplex.
+func (r *Revised) dualFeasible(costs []float64) bool {
+	ys := r.ys
+	r.signedMultipliers(costs, ys)
+	tol := r.dualTol()
+	for j := 0; j < r.artStart; j++ {
+		if r.inBasis[j] {
+			continue
+		}
+		if costs[j]-r.colDotSigned(ys, j) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Revised) primalFeasible() bool {
+	ftol := r.feasTol()
+	for i := 0; i < r.m; i++ {
+		if r.xb[i] < -ftol {
+			return false
+		}
+	}
+	return true
+}
+
+// artificialResidue sums the values of basic artificial variables.
+func (r *Revised) artificialResidue() float64 {
+	sum := 0.0
+	for i, bj := range r.basis {
+		if bj >= r.artStart && r.xb[i] > 0 {
+			sum += r.xb[i]
+		}
+	}
+	return sum
+}
+
+// driveOutArtificials ejects every basic artificial that admits a
+// well-scaled pivot on a real column (a degenerate pivot, since phase
+// 1 left them at ~zero value); artificials in genuinely redundant
+// rows stay basic and harmless — every entering direction has a zero
+// component there. The pivot column is the one with the largest
+// |pivot element| and must keep the implied entering value |xb/d|
+// negligible, mirroring primalRatioTest's guard: ejection is an
+// optimization, never worth corrupting feasibility over.
+func (r *Revised) driveOutArtificials() {
+	ws, d := r.ws, r.d
+	ftol := r.feasTol()
+	for i := 0; i < r.m; i++ {
+		if r.basis[i] < r.artStart || r.xb[i] > ftol {
+			continue
+		}
+		rowI := r.binv[i]
+		for t := 0; t < r.m; t++ {
+			ws[t] = rowI[t] * r.sign[t]
+		}
+		enter := -1
+		bestPiv := eps
+		for j := 0; j < r.artStart; j++ {
+			if r.inBasis[j] {
+				continue
+			}
+			if a := math.Abs(r.colDotSigned(ws, j)); a > bestPiv {
+				bestPiv = a
+				enter = j
+			}
+		}
+		if enter == -1 || math.Abs(r.xb[i]) > bestPiv*ftol {
+			continue
+		}
+		r.direction(enter, d)
+		r.pivotUpdate(i, enter, d)
+	}
+}

@@ -1,0 +1,50 @@
+package lp
+
+// Solver is a one-shot LP backend: it solves a Problem built with New
+// / AddConstraint and reports the result. Two implementations exist:
+//
+//   - DenseSolver, the original two-phase dense-tableau simplex, kept
+//     as a reference and numerical cross-check;
+//   - RevisedSolver, the default, a revised simplex over the sparse
+//     column form of the constraint matrix (see Revised for the
+//     warm-startable instance API).
+type Solver interface {
+	Solve(p *Problem) (Solution, error)
+}
+
+// DefaultSolver is the backend used by Problem.Solve. It defaults to
+// the revised simplex; swap in DenseSolver{} to fall back to the
+// reference implementation for every Problem.Solve caller (e.g. the
+// one-shot relaxations). Warm-start paths that hold a Revised
+// instance directly — core.Model and everything on top of it — do
+// not dispatch through this variable; use their SolveWith methods to
+// cross-check against a specific backend.
+var DefaultSolver Solver = RevisedSolver{}
+
+// DenseSolver solves with the original dense two-phase tableau
+// simplex (dense.go). It densifies the constraint rows and rebuilds
+// the tableau from scratch on every call; it exists as the reference
+// implementation and fallback.
+type DenseSolver struct{}
+
+// Solve implements Solver.
+func (DenseSolver) Solve(p *Problem) (Solution, error) { return solveDense(p) }
+
+// RevisedSolver solves with the sparse revised simplex. Each call
+// builds a fresh Revised instance and cold-solves it; use NewRevised
+// directly when re-solving the same problem with warm starts.
+type RevisedSolver struct{}
+
+// Solve implements Solver.
+func (RevisedSolver) Solve(p *Problem) (Solution, error) {
+	sol, _, err := NewRevised(p).SolveFrom(nil)
+	return sol, err
+}
+
+// Solve runs the package default solver on the problem. It returns an
+// error only on ErrIterationLimit; model properties (infeasible/
+// unbounded) are reported through Solution.Status.
+func (p *Problem) Solve() (Solution, error) { return DefaultSolver.Solve(p) }
+
+// SolveWith runs the problem through a specific backend.
+func (p *Problem) SolveWith(s Solver) (Solution, error) { return s.Solve(p) }

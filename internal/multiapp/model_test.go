@@ -1,0 +1,101 @@
+package multiapp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platgen"
+)
+
+// TestModelWarmMatchesFreshAfterCapacityChange: mutating a Model's
+// capacities and warm re-solving must match a fresh one-shot Relaxed
+// on a platform carrying the same capacities — the §1 adaptability
+// loop's correctness contract.
+func TestModelWarmMatchesFreshAfterCapacityChange(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		params := platgen.Params{
+			K:             3 + rng.Intn(4),
+			Connectivity:  0.6,
+			Heterogeneity: 0.4,
+			MeanG:         150,
+			MeanBW:        20,
+			MeanMaxCon:    5,
+		}
+		pl, err := platgen.Generate(params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		K := pl.K()
+		var apps []App
+		for a := 0; a < K+2; a++ {
+			apps = append(apps, App{Name: "a", Origin: rng.Intn(K), Payoff: float64(1 + rng.Intn(3))})
+		}
+		pr := &Problem{Platform: pl, Apps: apps}
+		obj := []core.Objective{core.SUM, core.MAXMIN}[seed%2]
+
+		m, err := pr.NewModel(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Solve(); err != nil {
+			t.Fatal(err)
+		}
+		for epoch := 0; epoch < 5; epoch++ {
+			// Perturb capacities on a cloned platform and mirror the
+			// change into the model.
+			mod := pl.Clone()
+			for k := 0; k < K; k++ {
+				f := 0.4 + 0.6*rng.Float64()
+				mod.Clusters[k].Gateway = pl.Clusters[k].Gateway * f
+				if err := m.SetGateway(k, mod.Clusters[k].Gateway); err != nil {
+					t.Fatal(err)
+				}
+				fs := 0.5 + 0.5*rng.Float64()
+				mod.Clusters[k].Speed = pl.Clusters[k].Speed * fs
+				if err := m.SetSpeed(k, mod.Clusters[k].Speed); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warm, err := m.Solve()
+			if err != nil {
+				t.Fatalf("seed %d epoch %d: warm: %v", seed, epoch, err)
+			}
+			fresh, err := (&Problem{Platform: mod, Apps: apps}).Relaxed(obj)
+			if err != nil {
+				t.Fatalf("seed %d epoch %d: fresh: %v", seed, epoch, err)
+			}
+			if math.Abs(warm.Objective-fresh.Objective) > 1e-9*(1+math.Abs(fresh.Objective)) {
+				t.Fatalf("seed %d epoch %d: warm %.12g, fresh %.12g", seed, epoch, warm.Objective, fresh.Objective)
+			}
+		}
+	}
+}
+
+func TestModelMutatorValidation(t *testing.T) {
+	pr := &Problem{Platform: twoClusters(), Apps: []App{{Name: "x", Origin: 0, Payoff: 1}}}
+	m, err := pr.NewModel(core.SUM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSpeed(-1, 10); err == nil {
+		t.Fatal("negative cluster index must fail")
+	}
+	if err := m.SetSpeed(0, math.NaN()); err == nil {
+		t.Fatal("NaN speed must fail")
+	}
+	if err := m.SetGateway(5, 10); err == nil {
+		t.Fatal("out-of-range gateway must fail")
+	}
+	if err := m.SetLinkBudget(9, 1); err == nil {
+		t.Fatal("out-of-range link must fail")
+	}
+	if err := m.SetLinkBudget(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Solve(); err != nil {
+		t.Fatal(err)
+	}
+}

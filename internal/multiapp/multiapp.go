@@ -14,7 +14,6 @@ import (
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/lp"
 	"repro/internal/platform"
 )
 
@@ -227,137 +226,16 @@ type RelaxedSolution struct {
 // connections are eliminated the same way: route (k,l) consumes
 // (Σ_{a at k} α_{a,l})/bw_min connection-equivalents on each of its
 // links.
+//
+// This is the one-shot convenience wrapper over Model: callers that
+// re-solve under shifting capacities (the §1 adaptability loop)
+// should hold a Model and use its warm-started Solve instead.
 func (pr *Problem) Relaxed(obj core.Objective) (*RelaxedSolution, error) {
-	if err := pr.Validate(); err != nil {
-		return nil, err
-	}
-	K := pr.Platform.K()
-	A := len(pr.Apps)
-	pl := pr.Platform
-
-	type av struct{ a, l int }
-	varIdx := make(map[av]int)
-	var vars []av
-	for a := 0; a < A; a++ {
-		origin := pr.Apps[a].Origin
-		for l := 0; l < K; l++ {
-			if l != origin && !pl.Route(origin, l).Exists {
-				continue
-			}
-			varIdx[av{a, l}] = len(vars)
-			vars = append(vars, av{a, l})
-		}
-	}
-	nv := len(vars)
-	tVar := -1
-	total := nv
-	if obj == core.MAXMIN {
-		tVar = nv
-		total++
-	}
-	prob := lp.New(total)
-
-	switch obj {
-	case core.SUM:
-		for i, v := range vars {
-			prob.SetObjective(i, pr.Apps[v.a].Payoff)
-		}
-	case core.MAXMIN:
-		prob.SetObjective(tVar, 1)
-		any := false
-		for a := 0; a < A; a++ {
-			if pr.Apps[a].Payoff <= 0 {
-				continue
-			}
-			any = true
-			terms := []lp.Term{{Var: tVar, Coeff: 1}}
-			for l := 0; l < K; l++ {
-				if idx, ok := varIdx[av{a, l}]; ok {
-					terms = append(terms, lp.Term{Var: idx, Coeff: -pr.Apps[a].Payoff})
-				}
-			}
-			prob.AddConstraint(terms, lp.LE, 0)
-		}
-		if !any {
-			return nil, fmt.Errorf("multiapp: MAXMIN with no positive payoff")
-		}
-	default:
-		return nil, fmt.Errorf("multiapp: unknown objective %v", obj)
-	}
-
-	// (7b) speeds.
-	for l := 0; l < K; l++ {
-		var terms []lp.Term
-		for a := 0; a < A; a++ {
-			if idx, ok := varIdx[av{a, l}]; ok {
-				terms = append(terms, lp.Term{Var: idx, Coeff: 1})
-			}
-		}
-		if len(terms) > 0 {
-			prob.AddConstraint(terms, lp.LE, pl.Clusters[l].Speed)
-		}
-	}
-	// (7c) gateways.
-	for k := 0; k < K; k++ {
-		var terms []lp.Term
-		for a := 0; a < A; a++ {
-			origin := pr.Apps[a].Origin
-			for l := 0; l < K; l++ {
-				idx, ok := varIdx[av{a, l}]
-				if !ok {
-					continue
-				}
-				if (origin == k && l != k) || (origin != k && l == k) {
-					terms = append(terms, lp.Term{Var: idx, Coeff: 1})
-				}
-			}
-		}
-		if len(terms) > 0 {
-			prob.AddConstraint(terms, lp.LE, pl.Clusters[k].Gateway)
-		}
-	}
-	// (7d)+(7e) per link, pooled per origin route.
-	linkUse := make([][]lp.Term, len(pl.Links))
-	for _, v := range vars {
-		origin := pr.Apps[v.a].Origin
-		if v.l == origin {
-			continue
-		}
-		rt := pl.Route(origin, v.l)
-		if rt.MinBW <= 0 || math.IsInf(rt.MinBW, 1) {
-			continue
-		}
-		inv := 1.0 / rt.MinBW
-		for _, li := range rt.Links {
-			linkUse[li] = append(linkUse[li], lp.Term{Var: varIdx[v], Coeff: inv})
-		}
-	}
-	for li := range pl.Links {
-		if len(linkUse[li]) > 0 {
-			prob.AddConstraint(linkUse[li], lp.LE, float64(pl.Links[li].MaxConnect))
-		}
-	}
-
-	sol, err := prob.Solve()
+	m, err := pr.NewModel(obj)
 	if err != nil {
 		return nil, err
 	}
-	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("multiapp: relaxation %v (zero is always feasible)", sol.Status)
-	}
-	out := &RelaxedSolution{Objective: sol.Objective}
-	out.Alpha = make([][]float64, A)
-	for a := 0; a < A; a++ {
-		out.Alpha[a] = make([]float64, K)
-	}
-	for v, idx := range varIdx {
-		x := sol.X[idx]
-		if x < 0 {
-			x = 0
-		}
-		out.Alpha[v.a][v.l] = x
-	}
-	return out, nil
+	return m.Solve()
 }
 
 // Greedy is the §5.1 heuristic generalized to applications: at every
