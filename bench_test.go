@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
@@ -209,6 +210,78 @@ func BenchmarkE10_BnBColdDense_K6(b *testing.B) { benchBnB(b, 6, heuristics.BnBC
 func BenchmarkE10_BnBWarm_K6(b *testing.B)      { benchBnB(b, 6, heuristics.BnBWarm) }
 func BenchmarkE10_BnBColdDense_K8(b *testing.B) { benchBnB(b, 8, heuristics.BnBColdDense) }
 func BenchmarkE10_BnBWarm_K8(b *testing.B)      { benchBnB(b, 8, heuristics.BnBWarm) }
+
+// BenchmarkE11_Adaptive* time the §1 adaptability loop over 20
+// epochs on a network-bound platform: the cold path rebuilds and
+// cold-solves its LPs every epoch (pre-engine behavior), the warm
+// path drives adapt's epoch engine — one persistent core.Model,
+// RHS-only capacity mutations, root-basis reuse and (for BnB)
+// incumbent carry-over. The warm/cold ratio is the measured payoff
+// of the engine.
+const benchAdaptiveEpochs = 20
+
+func benchAdaptiveModel(k int) adapt.UniformLoadModel {
+	return adapt.UniformLoadModel{K: k, Min: 0.4, Max: 1.0, Seed: 7}
+}
+
+func BenchmarkE11_AdaptiveColdBnB_K6(b *testing.B) {
+	pr := benchBnBProblem(b, 6)
+	model := benchAdaptiveModel(6)
+	solve := func(p *core.Problem) (*core.Allocation, error) {
+		a, _, err := heuristics.BranchAndBound(p, core.SUM, 4000)
+		if err == heuristics.ErrNodeBudget {
+			err = nil
+		}
+		return a, err
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adapt.Run(pr, solve, model, core.SUM, benchAdaptiveEpochs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_AdaptiveWarmBnB_K6(b *testing.B) {
+	pr := benchBnBProblem(b, 6)
+	model := benchAdaptiveModel(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adapt.RunWarm(pr, adapt.WarmBnBBudgetTolerant(4000, nil), model, core.SUM, benchAdaptiveEpochs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_AdaptiveColdLPRG_K12(b *testing.B) {
+	pr := benchBnBProblem(b, 12)
+	model := benchAdaptiveModel(12)
+	solve := func(p *core.Problem) (*core.Allocation, error) {
+		m, err := p.NewModel(core.SUM)
+		if err != nil {
+			return nil, err
+		}
+		a, _, err := heuristics.LPRGOnModel(m, p, core.SUM, nil)
+		return a, err
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adapt.Run(pr, solve, model, core.SUM, benchAdaptiveEpochs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_AdaptiveWarmLPRG_K12(b *testing.B) {
+	pr := benchBnBProblem(b, 12)
+	model := benchAdaptiveModel(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adapt.RunWarm(pr, adapt.WarmLPRG(), model, core.SUM, benchAdaptiveEpochs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkE7_ReductionExactSolve builds the §4 instance for a
 // 5-cycle and solves it exactly (Theorem 1 equivalence).

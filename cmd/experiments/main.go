@@ -7,6 +7,7 @@
 //	experiments -exp fig5
 //	experiments -exp all -platforms 10 -csv -outdir results/
 //	experiments -exp fig6 -ks 10,15,20,25 -platforms 20   # paper scale
+//	experiments -exp adaptive -epochs 30                  # E11 warm-vs-cold epochs
 //
 // Sweeps run platforms in parallel on a worker pool (one goroutine
 // per CPU by default, -workers to override); per-platform seeded
@@ -35,7 +36,8 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, all")
+		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, all")
+		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive)")
 		seed      = flag.Int64("seed", 1, "sweep seed")
 		platforms = flag.Int("platforms", 0, "platforms per K (0 = per-experiment default)")
 		ks        = flag.String("ks", "", "comma-separated K values (default per experiment)")
@@ -154,6 +156,44 @@ func run() error {
 			content = experiments.RenderRatioCSV(pts)
 		}
 		if err := emit("fig6-tight", content); err != nil {
+			return err
+		}
+	}
+	if want("adaptive") {
+		// E11: the §1 adaptability loop, cold per-epoch LP rebuilds
+		// versus the persistent warm-started model. Exact (BnB) rows
+		// double as a soundness check (maxdiff must be ~0); LPRG rows
+		// time the polynomial heuristic at larger K. Wall-clock, so
+		// sequential unless -workers asks otherwise.
+		opts := base
+		opts.Ks = []int{4, 6}
+		if ksOverride != nil {
+			opts.Ks = ksOverride
+		}
+		if *platforms == 0 {
+			opts.PlatformsPer = 3
+		}
+		pts, err := experiments.AdaptiveSweep(opts, *epochs, experiments.AdaptiveExact)
+		if err != nil {
+			return err
+		}
+		// LPRG rows stop at K=15: beyond that the dense explicit basis
+		// inverse makes warm dual-simplex restarts slower than a cold
+		// rebuild (see ROADMAP, LU/eta-file open item).
+		lprgOpts := opts
+		if ksOverride == nil {
+			lprgOpts.Ks = []int{10, 15}
+		}
+		lprgPts, err := experiments.AdaptiveSweep(lprgOpts, *epochs, experiments.AdaptiveLPRG)
+		if err != nil {
+			return err
+		}
+		pts = append(pts, lprgPts...)
+		content := experiments.RenderAdaptiveTable(pts)
+		if *csv {
+			content = experiments.RenderAdaptiveCSV(pts)
+		}
+		if err := emit("adaptive", content); err != nil {
 			return err
 		}
 	}

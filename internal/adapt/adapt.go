@@ -4,10 +4,27 @@
 // period, and to inject this information into the algorithm that will
 // compute the optimal schedule for the next period". It provides
 // perturbation models for non-dedicated platforms (time-varying
-// gateway and speed availability), an epoch driver that re-solves the
-// steady-state problem each epoch with any heuristic, and a static
-// baseline that keeps the initial allocation and lets the platform
-// throttle it — so the value of re-optimization can be quantified.
+// gateway and speed availability), epoch drivers that re-solve the
+// steady-state problem each epoch, and a static baseline that keeps
+// the initial allocation and lets the platform throttle it — so the
+// value of re-optimization can be quantified.
+//
+// Two epoch drivers exist. Run is the generic cold loop: any Solver
+// function, a fresh problem per epoch, no state carried across
+// epochs. RunWarm is the warm epoch engine: it holds one persistent
+// core.Model for the whole run under the structure-frozen /
+// capacities-mutate contract — the constraint rows are built once
+// from the nominal platform, each epoch's Perturbation lands as
+// RHS-only SetSpeed/SetGateway mutations, and the WarmSolver
+// restarts the revised simplex from the previous epoch's optimal
+// basis. WarmLPRG, WarmLPRR and WarmBnB package the heuristics
+// layer's OnModel variants as WarmSolvers; WarmBnB additionally
+// carries the previous epoch's optimum across epochs (throttled to
+// the new capacities) as the starting incumbent — the paper's
+// record-and-inject idea applied to the search itself. RunWarmBounds
+// and RunWarmMulti trace the single- and multi-application
+// relaxation optima the same way on persistent models (multiapp's
+// mutators handle the latter).
 package adapt
 
 import (
@@ -84,17 +101,36 @@ func (m UniformLoadModel) Epoch(e int) Perturbation {
 	return Perturbation{GatewayFactor: f}
 }
 
+// Validate implements Validator: factors must stay in (0, +inf), so
+// the bounds must be finite, positive and ordered.
+func (m UniformLoadModel) Validate() error {
+	if m.K < 1 {
+		return fmt.Errorf("adapt: UniformLoadModel.K = %d, want >= 1", m.K)
+	}
+	if !(m.Min > 0) || m.Max < m.Min || math.IsNaN(m.Max) || math.IsInf(m.Max, 0) {
+		return fmt.Errorf("adapt: UniformLoadModel bounds [%g, %g] invalid, want 0 < Min <= Max < +inf", m.Min, m.Max)
+	}
+	return nil
+}
+
 // DiurnalModel modulates every cluster's speed sinusoidally with the
 // given period (in epochs) between Min and Max of nominal — desktop
-// grids gaining capacity at night.
+// grids gaining capacity at night. Period must be >= 1: Epoch divides
+// by it, and a non-positive period would otherwise produce NaN speed
+// factors. Run and RunWarm reject a misconfigured model up front via
+// Validate; Epoch itself panics on direct misuse.
 type DiurnalModel struct {
 	K        int
 	Min, Max float64
 	Period   int
 }
 
-// Epoch implements Model.
+// Epoch implements Model. It panics if Period < 1 (see the type
+// documentation); use Validate to check a model before driving it.
 func (m DiurnalModel) Epoch(e int) Perturbation {
+	if m.Period < 1 {
+		panic(fmt.Sprintf("adapt: DiurnalModel.Period = %d, want >= 1", m.Period))
+	}
 	phase := 2 * math.Pi * float64(e) / float64(m.Period)
 	v := m.Min + (m.Max-m.Min)*(0.5+0.5*math.Sin(phase))
 	f := make([]float64, m.K)
@@ -102,6 +138,20 @@ func (m DiurnalModel) Epoch(e int) Perturbation {
 		f[k] = v
 	}
 	return Perturbation{SpeedFactor: f}
+}
+
+// Validate implements Validator.
+func (m DiurnalModel) Validate() error {
+	if m.K < 1 {
+		return fmt.Errorf("adapt: DiurnalModel.K = %d, want >= 1", m.K)
+	}
+	if m.Period < 1 {
+		return fmt.Errorf("adapt: DiurnalModel.Period = %d, want >= 1", m.Period)
+	}
+	if !(m.Min > 0) || m.Max < m.Min || math.IsNaN(m.Max) || math.IsInf(m.Max, 0) {
+		return fmt.Errorf("adapt: DiurnalModel bounds [%g, %g] invalid, want 0 < Min <= Max < +inf", m.Min, m.Max)
+	}
+	return nil
 }
 
 // Solver computes an allocation for a problem (an adapter over the
@@ -126,6 +176,9 @@ func Run(pr *core.Problem, solve Solver, model Model, obj core.Objective, epochs
 		return nil, fmt.Errorf("adapt: epochs = %d, want >= 1", epochs)
 	}
 	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateModel(model); err != nil {
 		return nil, err
 	}
 	staticAlloc, err := solve(pr)
@@ -180,13 +233,11 @@ func Throttle(pr *core.Problem, a *core.Allocation) *core.Allocation {
 			}
 			traffic += out.Alpha[k][l] + out.Alpha[l][k]
 		}
+		// On a validated platform g >= 0, so an overload (traffic > g)
+		// implies traffic > 0 and the factor is well defined.
 		scale[k] = 1
 		if g := pl.Clusters[k].Gateway; traffic > g {
-			if traffic > 0 {
-				scale[k] = g / traffic
-			} else {
-				scale[k] = 0
-			}
+			scale[k] = g / traffic
 		}
 	}
 	for k := 0; k < K; k++ {

@@ -18,6 +18,13 @@ import (
 // (lp.Revised's dual-simplex restart) — the engine behind the exact
 // branch-and-bound solver's node relaxations and LPRR's pin
 // sequence.
+//
+// Platform capacities are equally mutable: SetSpeed, SetGateway and
+// SetLinkBudget rewrite the right-hand sides of the (7b), (7c) and
+// (7d) rows in place, mirroring multiapp.Model's mutators. This is
+// the §1 adaptability contract — the constraint structure is frozen
+// at build time, capacities drift epoch to epoch — exploited by
+// adapt's warm epoch engine.
 type Model struct {
 	pr  *Problem
 	obj Objective
@@ -31,6 +38,13 @@ type Model struct {
 
 	lbRow, ubRow map[Pair]int
 	natural      map[Pair]float64 // per-route cap implied by link budgets
+	curLb, curUb map[Pair]float64 // explicit SetBounds state (curUb < 0: none)
+
+	speedRow   []int     // LP row of cluster l's (7b) constraint, -1 if absent
+	gatewayRow []int     // LP row of cluster k's (7c) constraint, -1 if absent
+	linkRow    []int     // LP row of link li's (7d) constraint, -1 if absent
+	budget     []float64 // current per-link connection budgets
+	linkRoutes [][]Pair  // β routes whose path crosses each link
 }
 
 // NewModel validates the problem and builds the α/β relaxation with
@@ -53,6 +67,8 @@ func (pr *Problem) NewModel(obj Objective) (*Model, error) {
 		lbRow:    make(map[Pair]int),
 		ubRow:    make(map[Pair]int),
 		natural:  make(map[Pair]float64),
+		curLb:    make(map[Pair]float64),
+		curUb:    make(map[Pair]float64),
 	}
 
 	var order []Pair
@@ -117,7 +133,9 @@ func (pr *Problem) NewModel(obj Objective) (*Model, error) {
 	}
 
 	// (7b) speed.
+	m.speedRow = make([]int, K)
 	for l := 0; l < K; l++ {
+		m.speedRow[l] = -1
 		var terms []lp.Term
 		for k := 0; k < K; k++ {
 			if idx, ok := m.alphaIdx[Pair{k, l}]; ok {
@@ -125,11 +143,13 @@ func (pr *Problem) NewModel(obj Objective) (*Model, error) {
 			}
 		}
 		if len(terms) > 0 {
-			prob.AddConstraint(terms, lp.LE, pl.Clusters[l].Speed)
+			m.speedRow[l] = prob.AddConstraint(terms, lp.LE, pl.Clusters[l].Speed)
 		}
 	}
 	// (7c) gateways.
+	m.gatewayRow = make([]int, K)
 	for k := 0; k < K; k++ {
+		m.gatewayRow[k] = -1
 		var terms []lp.Term
 		for l := 0; l < K; l++ {
 			if l == k {
@@ -143,42 +163,51 @@ func (pr *Problem) NewModel(obj Objective) (*Model, error) {
 			}
 		}
 		if len(terms) > 0 {
-			prob.AddConstraint(terms, lp.LE, pl.Clusters[k].Gateway)
+			m.gatewayRow[k] = prob.AddConstraint(terms, lp.LE, pl.Clusters[k].Gateway)
 		}
 	}
 	// (7d) per-link connection budgets over β.
 	linkUse := make([][]lp.Term, len(pl.Links))
-	for p, bIdx := range m.betaIdx {
+	m.linkRoutes = make([][]Pair, len(pl.Links))
+	for _, p := range m.betaVars {
+		bIdx := m.betaIdx[p]
 		rt := pl.Route(p.K, p.L)
 		for _, li := range rt.Links {
 			linkUse[li] = append(linkUse[li], lp.Term{Var: bIdx, Coeff: 1})
+			m.linkRoutes[li] = append(m.linkRoutes[li], p)
 		}
 	}
+	m.linkRow = make([]int, len(pl.Links))
+	m.budget = make([]float64, len(pl.Links))
 	for li := range pl.Links {
+		m.linkRow[li] = -1
+		m.budget[li] = float64(pl.Links[li].MaxConnect)
 		if len(linkUse[li]) > 0 {
-			prob.AddConstraint(linkUse[li], lp.LE, float64(pl.Links[li].MaxConnect))
+			m.linkRow[li] = prob.AddConstraint(linkUse[li], lp.LE, m.budget[li])
 		}
 	}
-	// (7e) α_{k,l} − β_{k,l}·bw_min ≤ 0.
+	// (7e) α_{k,l} − β_{k,l}·bw_min ≤ 0. Every β route crosses at
+	// least one backbone link (same-router routes, whose MinBW is +Inf,
+	// carry no β variable), so bw is finite here; the guard keeps ±Inf
+	// out of the LP even if that invariant is ever relaxed.
 	for _, p := range m.betaVars {
 		bw := pl.Route(p.K, p.L).MinBW
+		if math.IsInf(bw, 1) {
+			continue
+		}
 		prob.AddConstraint([]lp.Term{
 			{Var: m.alphaIdx[p], Coeff: 1},
 			{Var: m.betaIdx[p], Coeff: -bw},
 		}, lp.LE, 0)
 	}
-	// Mutable bound rows, one pair per β variable.
+	// Mutable bound rows, one pair per β variable. The natural cap
+	// (min link budget over the path) is finite for the same reason.
 	for _, p := range m.betaVars {
-		rt := pl.Route(p.K, p.L)
-		nat := math.Inf(1)
-		for _, li := range rt.Links {
-			if c := float64(pl.Links[li].MaxConnect); c < nat {
-				nat = c
-			}
-		}
-		m.natural[p] = nat
+		m.natural[p] = m.naturalCap(p)
+		m.curLb[p] = 0
+		m.curUb[p] = -1
 		idx := m.betaIdx[p]
-		m.ubRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.LE, nat)
+		m.ubRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.LE, m.natural[p])
 		m.lbRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.GE, 0)
 	}
 
@@ -195,6 +224,31 @@ func (m *Model) BetaVars() []Pair {
 	return out
 }
 
+// naturalCap returns the β cap link budgets imply on route p: the
+// smallest current budget among the links its path crosses.
+func (m *Model) naturalCap(p Pair) float64 {
+	nat := math.Inf(1)
+	for _, li := range m.pr.Platform.Route(p.K, p.L).Links {
+		if c := m.budget[li]; c < nat {
+			nat = c
+		}
+	}
+	return nat
+}
+
+// applyBounds writes route p's effective bound RHS values: the
+// explicit SetBounds state clipped to the (possibly mutated) natural
+// link-budget cap.
+func (m *Model) applyBounds(p Pair) {
+	lb := m.curLb[p]
+	ub := m.natural[p]
+	if e := m.curUb[p]; e >= 0 && e < ub {
+		ub = e
+	}
+	m.prob.SetRHS(m.lbRow[p], lb)
+	m.prob.SetRHS(m.ubRow[p], ub)
+}
+
 // SetBounds mutates route p's β bounds in place (an RHS-only change,
 // preserving warm-startability). Ub < 0 means unbounded above, which
 // the model realizes as the route's natural link-budget cap.
@@ -206,21 +260,77 @@ func (m *Model) SetBounds(p Pair, b BetaBounds) error {
 	if lb < 0 {
 		lb = 0
 	}
-	ub := m.natural[p]
-	if b.Ub >= 0 && b.Ub < ub {
-		ub = b.Ub
+	ub := b.Ub
+	if ub < 0 {
+		ub = -1
 	}
-	m.prob.SetRHS(m.lbRow[p], lb)
-	m.prob.SetRHS(m.ubRow[p], ub)
+	m.curLb[p] = lb
+	m.curUb[p] = ub
+	m.applyBounds(p)
 	return nil
 }
 
 // ResetBounds restores every β bound to its default [0, natural cap].
 func (m *Model) ResetBounds() {
 	for _, p := range m.betaVars {
-		m.prob.SetRHS(m.lbRow[p], 0)
-		m.prob.SetRHS(m.ubRow[p], m.natural[p])
+		m.curLb[p] = 0
+		m.curUb[p] = -1
+		m.applyBounds(p)
 	}
+}
+
+// SetSpeed mutates cluster l's computing-speed capacity (7b) — an
+// RHS-only change. A cluster hosting no activity variables has no
+// speed row; the call is then a no-op.
+func (m *Model) SetSpeed(l int, speed float64) error {
+	if l < 0 || l >= len(m.speedRow) {
+		return fmt.Errorf("core: cluster %d out of range", l)
+	}
+	if speed < 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return fmt.Errorf("core: speed %g invalid", speed)
+	}
+	if r := m.speedRow[l]; r >= 0 {
+		m.prob.SetRHS(r, speed)
+	}
+	return nil
+}
+
+// SetGateway mutates cluster k's gateway capacity (7c) — an RHS-only
+// change.
+func (m *Model) SetGateway(k int, g float64) error {
+	if k < 0 || k >= len(m.gatewayRow) {
+		return fmt.Errorf("core: cluster %d out of range", k)
+	}
+	if g < 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+		return fmt.Errorf("core: gateway %g invalid", g)
+	}
+	if r := m.gatewayRow[k]; r >= 0 {
+		m.prob.SetRHS(r, g)
+	}
+	return nil
+}
+
+// SetLinkBudget mutates backbone link li's connection budget (7d) and
+// propagates the change into the natural β caps of every route whose
+// path crosses the link (their effective upper-bound rows are
+// re-applied, still clipped by any explicit SetBounds state). All
+// RHS-only, so warm-startability is preserved.
+func (m *Model) SetLinkBudget(li int, maxConnect float64) error {
+	if li < 0 || li >= len(m.linkRow) {
+		return fmt.Errorf("core: link %d out of range", li)
+	}
+	if maxConnect < 0 || math.IsNaN(maxConnect) || math.IsInf(maxConnect, 0) {
+		return fmt.Errorf("core: max-connect %g invalid", maxConnect)
+	}
+	m.budget[li] = maxConnect
+	if r := m.linkRow[li]; r >= 0 {
+		m.prob.SetRHS(r, maxConnect)
+	}
+	for _, p := range m.linkRoutes[li] {
+		m.natural[p] = m.naturalCap(p)
+		m.applyBounds(p)
+	}
+	return nil
 }
 
 // Solve solves the relaxation under the current bounds. A non-nil

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platgen"
+)
+
+func mutatorProblem(t *testing.T, seed int64, k int) *Problem {
+	t.Helper()
+	params := platgen.Params{
+		K:             k,
+		Connectivity:  0.5,
+		Heterogeneity: 0.4,
+		MeanG:         120,
+		MeanBW:        30,
+		MeanMaxCon:    6,
+	}
+	pl, err := platgen.Generate(params, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProblem(pl)
+}
+
+// TestModelCapacityMutatorsMatchRebuild: after SetSpeed/SetGateway/
+// SetLinkBudget mutations, a warm re-solve of the persistent model
+// must reach the same optimum as a model built fresh on an
+// equivalently modified platform (LP optima are unique in value).
+func TestModelCapacityMutatorsMatchRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		pr := mutatorProblem(t, seed, 6)
+		for _, obj := range []Objective{SUM, MAXMIN} {
+			m, err := pr.NewModel(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, basis, ok, err := m.Solve(nil)
+			if err != nil || !ok {
+				t.Fatalf("nominal solve: ok=%v err=%v", ok, err)
+			}
+			rng := rand.New(rand.NewSource(seed * 101))
+			for trial := 0; trial < 5; trial++ {
+				pl2 := pr.Platform.Clone()
+				for k := range pl2.Clusters {
+					sf := 0.3 + 1.2*rng.Float64()
+					gf := 0.3 + 1.2*rng.Float64()
+					pl2.Clusters[k].Speed *= sf
+					pl2.Clusters[k].Gateway *= gf
+					if err := m.SetSpeed(k, pl2.Clusters[k].Speed); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.SetGateway(k, pl2.Clusters[k].Gateway); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for li := range pl2.Links {
+					// Shrink or grow budgets, including to zero.
+					nb := rng.Intn(pl2.Links[li].MaxConnect + 3)
+					pl2.Links[li].MaxConnect = nb
+					if err := m.SetLinkBudget(li, float64(nb)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				warm, nextBasis, ok, err := m.Solve(basis)
+				if err != nil || !ok {
+					t.Fatalf("warm solve: ok=%v err=%v", ok, err)
+				}
+				basis = nextBasis
+				// Routes are hop-count shortest paths, independent of
+				// capacities, so the rebuilt model is structure-identical.
+				pr2 := &Problem{Platform: pl2, Payoffs: pr.Payoffs}
+				cold, err := pr2.NewModel(obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sol, _, ok, err := cold.Solve(nil)
+				if err != nil || !ok {
+					t.Fatalf("cold solve: ok=%v err=%v", ok, err)
+				}
+				if diff := math.Abs(warm.Objective - sol.Objective); diff > 1e-9*(1+math.Abs(sol.Objective)) {
+					t.Fatalf("seed %d %v trial %d: warm %.12g != rebuild %.12g",
+						seed, obj, trial, warm.Objective, sol.Objective)
+				}
+			}
+		}
+	}
+}
+
+// TestSetLinkBudgetRespectsExplicitBounds: lowering a link budget
+// tightens the natural cap of routes crossing it without losing the
+// caller's explicit SetBounds state, and restoring the budget
+// restores the original effective bounds.
+func TestSetLinkBudgetRespectsExplicitBounds(t *testing.T) {
+	pr := mutatorProblem(t, 2, 5)
+	m, err := pr.NewModel(SUM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := m.BetaVars()
+	if len(routes) == 0 {
+		t.Skip("platform has no backbone routes")
+	}
+	p := routes[0]
+	// Pin the route to β = 1 explicitly.
+	if err := m.SetBounds(p, BetaBounds{Lb: 1, Ub: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Zero out one of its links: the pinned lower bound 1 with an
+	// effective upper bound 0 must make the model infeasible.
+	li := pr.Platform.Route(p.K, p.L).Links[0]
+	orig := float64(pr.Platform.Links[li].MaxConnect)
+	if err := m.SetLinkBudget(li, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ok, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("β pinned to 1 across a zero-budget link must be infeasible")
+	}
+	// Restore the budget: the pin becomes feasible again.
+	if err := m.SetLinkBudget(li, orig); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err = m.Solve(nil); err != nil || !ok {
+		t.Fatalf("restored budget: ok=%v err=%v", ok, err)
+	}
+	// ResetBounds clears the pin; the default solve succeeds too.
+	m.ResetBounds()
+	if _, _, ok, err = m.Solve(nil); err != nil || !ok {
+		t.Fatalf("after reset: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestModelMutatorErrors covers the argument validation of the
+// capacity mutators.
+func TestModelMutatorErrors(t *testing.T) {
+	pr := mutatorProblem(t, 3, 4)
+	m, err := pr.NewModel(SUM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSpeed(-1, 1); err == nil {
+		t.Fatal("negative cluster index must fail")
+	}
+	if err := m.SetSpeed(0, math.Inf(1)); err == nil {
+		t.Fatal("infinite speed must fail")
+	}
+	if err := m.SetGateway(99, 1); err == nil {
+		t.Fatal("out-of-range cluster must fail")
+	}
+	if err := m.SetGateway(0, math.NaN()); err == nil {
+		t.Fatal("NaN gateway must fail")
+	}
+	if err := m.SetLinkBudget(-1, 1); err == nil {
+		t.Fatal("negative link index must fail")
+	}
+	if len(pr.Platform.Links) > 0 {
+		if err := m.SetLinkBudget(0, -2); err == nil {
+			t.Fatal("negative budget must fail")
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -117,28 +118,37 @@ func TestAggregateRatios(t *testing.T) {
 func TestFigure7Timings(t *testing.T) {
 	opts := tinyOptions()
 	opts.Ks = []int{5}
-	pts, err := Figure7(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pt := pts[0]
-	for _, name := range []heuristics.Name{heuristics.NameG, heuristics.NameLPR, heuristics.NameLPRG, heuristics.NameLPRR} {
-		v, ok := pt.Seconds[name]
-		if !ok {
-			t.Fatalf("missing timing for %s", name)
-		}
-		if v < 0 {
-			t.Fatalf("negative timing for %s", name)
-		}
-	}
 	// The paper's §6.3 ordering: G is fastest; LPRR is the slowest by
-	// a wide margin (K² LP solves).
-	if pt.Seconds[heuristics.NameG] > pt.Seconds[heuristics.NameLPRG] {
-		t.Fatalf("G (%g s) slower than LPRG (%g s)", pt.Seconds[heuristics.NameG], pt.Seconds[heuristics.NameLPRG])
+	// a wide margin (K² LP solves). At K=5 the absolute timings are
+	// microseconds, so scheduler noise can invert the G/LPRG pair on
+	// a loaded machine; retry a couple of times before declaring the
+	// ordering wrong.
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		pts, err := Figure7(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := pts[0]
+		for _, name := range []heuristics.Name{heuristics.NameG, heuristics.NameLPR, heuristics.NameLPRG, heuristics.NameLPRR} {
+			v, ok := pt.Seconds[name]
+			if !ok {
+				t.Fatalf("missing timing for %s", name)
+			}
+			if v < 0 {
+				t.Fatalf("negative timing for %s", name)
+			}
+		}
+		switch {
+		case pt.Seconds[heuristics.NameG] > pt.Seconds[heuristics.NameLPRG]:
+			lastErr = fmt.Errorf("G (%g s) slower than LPRG (%g s)", pt.Seconds[heuristics.NameG], pt.Seconds[heuristics.NameLPRG])
+		case pt.Seconds[heuristics.NameLPRR] < pt.Seconds[heuristics.NameLPR]:
+			lastErr = fmt.Errorf("LPRR (%g s) faster than LPR (%g s)", pt.Seconds[heuristics.NameLPRR], pt.Seconds[heuristics.NameLPR])
+		default:
+			return
+		}
 	}
-	if pt.Seconds[heuristics.NameLPRR] < pt.Seconds[heuristics.NameLPR] {
-		t.Fatalf("LPRR (%g s) faster than LPR (%g s)", pt.Seconds[heuristics.NameLPRR], pt.Seconds[heuristics.NameLPR])
-	}
+	t.Fatal(lastErr)
 }
 
 func TestRenderRatioTableAndCSV(t *testing.T) {

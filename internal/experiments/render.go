@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -174,6 +175,46 @@ func timeColumns(points []TimePoint) []heuristics.Name {
 	}
 	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
 	return names
+}
+
+// RenderAdaptiveTable formats an E11 warm-vs-cold epoch sweep as an
+// ASCII table.
+func RenderAdaptiveTable(points []AdaptivePoint) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %6s %7s %6s %10s %10s %8s %10s %6s %7s\n",
+		"K", "plats", "epochs", "mode", "cold(s)", "warm(s)", "speedup", "maxdiff", "gain", "budget")
+	for _, pt := range points {
+		diff := "-"
+		if !math.IsNaN(pt.MaxObjDiff) {
+			diff = fmt.Sprintf("%.2e", pt.MaxObjDiff)
+		}
+		fmt.Fprintf(&b, "%4d %6d %7d %6s %10.4g %10.4g %7.1fx %10s %6.2f %7d\n",
+			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.ColdSeconds, pt.WarmSeconds,
+			pt.Speedup, diff, pt.MeanGain, pt.BudgetHits)
+	}
+	return b.String()
+}
+
+// RenderAdaptiveCSV formats an E11 sweep as CSV.
+func RenderAdaptiveCSV(points []AdaptivePoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("k,platforms,epochs,mode,cold_seconds,warm_seconds,speedup,max_obj_diff,mean_gain,budget_hits\n")
+	for _, pt := range points {
+		diff := ""
+		if !math.IsNaN(pt.MaxObjDiff) {
+			diff = fmt.Sprintf("%.6g", pt.MaxObjDiff)
+		}
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%.6g,%.6g,%.4g,%s,%.6g,%d\n",
+			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.ColdSeconds, pt.WarmSeconds,
+			pt.Speedup, diff, pt.MeanGain, pt.BudgetHits)
+	}
+	return b.String()
 }
 
 // RenderAggregate formats the §6.1 headline comparison.

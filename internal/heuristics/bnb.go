@@ -48,22 +48,65 @@ func BranchAndBound(pr *core.Problem, obj core.Objective, maxNodes int) (*core.A
 // BranchAndBoundMode is BranchAndBound with an explicit
 // node-relaxation strategy; see BnBMode.
 func BranchAndBoundMode(pr *core.Problem, obj core.Objective, maxNodes int, mode BnBMode) (*core.Allocation, float64, error) {
+	model, err := pr.NewModel(obj)
+	if err != nil {
+		return nil, 0, err
+	}
+	alloc, best, _, err := branchAndBoundOnModel(model, pr, obj, maxNodes, mode, nil, nil)
+	return alloc, best, err
+}
+
+// BranchAndBoundOnModel is the warm-epoch entry point of the exact
+// solver: it searches over a caller-provided persistent core.Model
+// (β bounds are reset per node as usual) and warm-starts the root
+// relaxation from `root`, typically the previous epoch's root basis.
+// pr must share the model's platform structure; its capacities may
+// differ — inject the epoch's capacities into the model with
+// SetSpeed / SetGateway / SetLinkBudget before calling.
+//
+// A non-nil `incumbent` seeds the search with a known feasible
+// allocation — the §1 adaptability scenario injects the previous
+// epoch's optimum, throttled to the new capacities (adapt.Throttle),
+// so most of the tree prunes immediately when the platform drifts
+// only a little. An incumbent that fails CheckAllocation on pr is
+// ignored rather than rejected.
+//
+// The returned basis snapshots the root relaxation's optimal basis
+// for the next epoch's warm start.
+func BranchAndBoundOnModel(model *core.Model, pr *core.Problem, obj core.Objective, maxNodes int, root *lp.Basis, incumbent *core.Allocation) (*core.Allocation, float64, *lp.Basis, error) {
+	return branchAndBoundOnModel(model, pr, obj, maxNodes, BnBWarm, root, incumbent)
+}
+
+func branchAndBoundOnModel(model *core.Model, pr *core.Problem, obj core.Objective, maxNodes int, mode BnBMode, root *lp.Basis, warmIncumbent *core.Allocation) (*core.Allocation, float64, *lp.Basis, error) {
 	if maxNodes <= 0 {
 		maxNodes = 10000
 	}
 	// Incumbent: start from LPRG, which is cheap and always feasible.
-	incumbent, err := LPRG(pr, obj)
+	// The warm path reuses the model (and the root basis) so even the
+	// incumbent costs no cold LP build; the cold-dense reference path
+	// keeps the historical one-shot LPRG.
+	var (
+		incumbent *core.Allocation
+		rootBasis *lp.Basis
+		err       error
+	)
+	if mode == BnBWarm {
+		incumbent, rootBasis, err = LPRGOnModel(model, pr, obj, root)
+	} else {
+		incumbent, err = LPRG(pr, obj)
+	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if err := pr.CheckAllocation(incumbent, core.DefaultTol); err != nil {
-		return nil, 0, fmt.Errorf("heuristics: LPRG produced an invalid incumbent: %w", err)
+		return nil, 0, nil, fmt.Errorf("heuristics: LPRG produced an invalid incumbent: %w", err)
 	}
 	best := pr.Objective(obj, incumbent)
-
-	model, err := pr.NewModel(obj)
-	if err != nil {
-		return nil, 0, err
+	if warmIncumbent != nil && pr.CheckAllocation(warmIncumbent, core.DefaultTol) == nil {
+		if val := pr.Objective(obj, warmIncumbent); val > best {
+			best = val
+			incumbent = warmIncumbent
+		}
 	}
 
 	type node struct {
@@ -73,11 +116,11 @@ func BranchAndBoundMode(pr *core.Problem, obj core.Objective, maxNodes int, mode
 		// is one dual-simplex restart away (warm mode only).
 		basis *lp.Basis
 	}
-	stack := []node{{bounds: map[core.Pair]core.BetaBounds{}}}
+	stack := []node{{bounds: map[core.Pair]core.BetaBounds{}, basis: rootBasis}}
 	nodes := 0
 	for len(stack) > 0 {
 		if nodes >= maxNodes {
-			return incumbent, best, ErrNodeBudget
+			return incumbent, best, rootBasis, ErrNodeBudget
 		}
 		nodes++
 		nd := stack[len(stack)-1]
@@ -86,7 +129,7 @@ func BranchAndBoundMode(pr *core.Problem, obj core.Objective, maxNodes int, mode
 		model.ResetBounds()
 		for p, b := range nd.bounds {
 			if err := model.SetBounds(p, b); err != nil {
-				return nil, 0, err
+				return nil, 0, nil, err
 			}
 		}
 		var (
@@ -101,7 +144,7 @@ func BranchAndBoundMode(pr *core.Problem, obj core.Objective, maxNodes int, mode
 			rel, basis, ok, err = model.Solve(nd.basis)
 		}
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		if !ok {
 			continue // infeasible subtree
@@ -121,7 +164,7 @@ func BranchAndBoundMode(pr *core.Problem, obj core.Objective, maxNodes int, mode
 				cand.Beta[q.K][q.L] = int(math.Round(v))
 			}
 			if err := pr.CheckAllocation(cand, core.DefaultTol); err != nil {
-				return nil, 0, fmt.Errorf("heuristics: BnB produced an invalid candidate: %w", err)
+				return nil, 0, nil, fmt.Errorf("heuristics: BnB produced an invalid candidate: %w", err)
 			}
 			if val := pr.Objective(obj, cand); val > best {
 				best = val
@@ -147,7 +190,7 @@ func BranchAndBoundMode(pr *core.Problem, obj core.Objective, maxNodes int, mode
 		up[p] = b
 		stack = append(stack, node{bounds: down, basis: basis}, node{bounds: up, basis: basis})
 	}
-	return incumbent, best, nil
+	return incumbent, best, rootBasis, nil
 }
 
 // boundsOf reads the effective bounds of p in m, defaulting absent

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/lp"
 	"repro/internal/platform"
 )
 
@@ -107,4 +108,52 @@ func LPRG(pr *core.Problem, obj core.Objective) (*core.Allocation, error) {
 	alloc, res := roundDown(pr, rel)
 	greedyFill(pr, res, alloc, false)
 	return alloc, nil
+}
+
+// LPRGOnModel is LPRG running over a caller-provided persistent
+// core.Model instead of a fresh one-shot LP: β bounds are reset, the
+// relaxation re-solves warm from `from`, and the round-off + greedy
+// refinement evaluates against pr's capacities. pr must share the
+// model's platform structure (routes and links); its capacities may
+// differ — the adaptability scenario, where the caller has already
+// injected the epoch's capacities into the model with SetSpeed /
+// SetGateway / SetLinkBudget. The returned basis snapshots the
+// relaxation's optimal basis for the next warm start.
+func LPRGOnModel(model *core.Model, pr *core.Problem, obj core.Objective, from *lp.Basis) (*core.Allocation, *lp.Basis, error) {
+	rel, basis, err := solveRelaxationOnModel(model, pr, from)
+	if err != nil {
+		return nil, nil, err
+	}
+	alloc, res := roundDown(pr, rel)
+	greedyFill(pr, res, alloc, false)
+	return alloc, basis, nil
+}
+
+// solveRelaxationOnModel resets the model's β bounds, re-solves the
+// relaxation warm from `from`, and reshapes the explicit (α, β)
+// solution into core.Relaxed's α-space form (BetaFrac = α/bw_min on
+// free remote routes, exactly as core.Relaxed defines it).
+func solveRelaxationOnModel(model *core.Model, pr *core.Problem, from *lp.Basis) (*core.RelaxedSolution, *lp.Basis, error) {
+	model.ResetBounds()
+	sol, basis, ok, err := model.Solve(from)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("heuristics: relaxation infeasible on an unconstrained platform (model bug)")
+	}
+	K := pr.K()
+	rel := &core.RelaxedSolution{Objective: sol.Objective, Alpha: sol.Alpha, BetaFrac: make([][]float64, K)}
+	for k := 0; k < K; k++ {
+		rel.BetaFrac[k] = make([]float64, K)
+		for l := 0; l < K; l++ {
+			if k == l {
+				continue
+			}
+			if bw := pr.Platform.RouteBW(k, l); bw > 0 && !math.IsInf(bw, 1) {
+				rel.BetaFrac[k][l] = sol.Alpha[k][l] / bw
+			}
+		}
+	}
+	return rel, basis, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/lp"
 )
 
 // LPRRVariant selects the randomized-rounding probability rule.
@@ -50,6 +51,19 @@ func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.R
 	if err != nil {
 		return nil, err
 	}
+	alloc, _, err := LPRROnModel(model, pr, obj, variant, rng, nil)
+	return alloc, err
+}
+
+// LPRROnModel is LPRR running over a caller-provided persistent
+// core.Model: previous pins are cleared (ResetBounds) and the initial
+// relaxation warm-starts from `from`, typically the previous epoch's
+// root basis. pr must share the model's platform structure; its
+// capacities may differ — inject the epoch's capacities into the
+// model with SetSpeed / SetGateway / SetLinkBudget before calling.
+// The returned basis snapshots the initial (pin-free) relaxation's
+// optimal basis for the next epoch's warm start.
+func LPRROnModel(model *core.Model, pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.Rand, from *lp.Basis) (*core.Allocation, *lp.Basis, error) {
 	routes := model.BetaVars() // == RemoteRoutes order
 	fixed := make(map[core.Pair]int, len(routes))
 	remaining := make(map[core.Pair]bool, len(routes))
@@ -57,13 +71,15 @@ func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.R
 		remaining[p] = true
 	}
 
-	rel, basis, ok, err := model.Solve(nil)
+	model.ResetBounds()
+	rel, basis, ok, err := model.Solve(from)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("heuristics: initial relaxation infeasible (model bug)")
+		return nil, nil, fmt.Errorf("heuristics: initial relaxation infeasible (model bug)")
 	}
+	rootBasis := basis
 
 	// betaFrac is the β̃ the rounding rule draws on: the fractional
 	// connection count α̃/bw_min associated with the current relaxed
@@ -89,7 +105,7 @@ func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.R
 			for p := range remaining {
 				fixed[p] = 0
 				if err := model.SetBounds(p, core.BetaBounds{Lb: 0, Ub: 0}); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 			break
@@ -112,32 +128,32 @@ func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.R
 				up = 1
 			}
 		default:
-			return nil, fmt.Errorf("heuristics: unknown LPRR variant %d", int(variant))
+			return nil, nil, fmt.Errorf("heuristics: unknown LPRR variant %d", int(variant))
 		}
 		value := floor + up
 		if err := pin(model, p, value); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fixed[p] = value
 		delete(remaining, p)
 
 		next, nextBasis, ok, err := model.Solve(basis)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !ok && up == 1 {
 			// Exotic-platform fallback: retry with the floor.
 			if err := pin(model, p, floor); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			fixed[p] = floor
 			next, nextBasis, ok, err = model.Solve(basis)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if !ok {
-			return nil, fmt.Errorf("heuristics: LPRR pin set became infeasible at route (%d,%d)", p.K, p.L)
+			return nil, nil, fmt.Errorf("heuristics: LPRR pin set became infeasible at route (%d,%d)", p.K, p.L)
 		}
 		rel, basis = next, nextBasis
 	}
@@ -145,12 +161,12 @@ func LPRR(pr *core.Problem, obj core.Objective, variant LPRRVariant, rng *rand.R
 	// Final solve with every route pinned gives the α values.
 	final, _, ok, err := model.Solve(basis)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("heuristics: final LPRR relaxation infeasible")
+		return nil, nil, fmt.Errorf("heuristics: final LPRR relaxation infeasible")
 	}
-	return allocationFromPinned(pr, final.Alpha, fixed), nil
+	return allocationFromPinned(pr, final.Alpha, fixed), rootBasis, nil
 }
 
 func pin(model *core.Model, p core.Pair, v int) error {

@@ -1,0 +1,114 @@
+// Integration coverage for platforms mixing same-LAN cluster pairs
+// (clusters behind one router: empty-path routes with MinBW = +Inf,
+// constrained only by their gateways) with ordinary backbone routes —
+// the ISSUE 2 regression scenario. Every solver layer must handle
+// these routes without ±Inf reaching the LP layer: the rational
+// relaxations, all paper heuristics, the exact branch-and-bound
+// solver, the §3.2 schedule reconstruction, the multi-application
+// extension and the §1 adaptability loop.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/multiapp"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// mixedLANPlatform: clusters a and b share router 0 (a LAN pair),
+// cluster c sits across one backbone link.
+func mixedLANPlatform(t testing.TB) *platform.Platform {
+	t.Helper()
+	pl := &platform.Platform{
+		Routers: 2,
+		Links:   []platform.Link{{U: 0, V: 1, BW: 10, MaxConnect: 5}},
+		Clusters: []platform.Cluster{
+			{Name: "a", Speed: 100, Gateway: 50, Router: 0},
+			{Name: "b", Speed: 80, Gateway: 40, Router: 0},
+			{Name: "c", Speed: 60, Gateway: 30, Router: 1},
+		},
+	}
+	if err := pl.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestMixedLANFullStack(t *testing.T) {
+	pl := mixedLANPlatform(t)
+	pr := core.NewProblem(pl)
+	for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
+		for _, name := range heuristics.All {
+			rng := rand.New(rand.NewSource(7))
+			res, err := heuristics.Run(name, pr, obj, rng)
+			if err != nil {
+				t.Errorf("%s(%v): %v", name, obj, err)
+				continue
+			}
+			if err := pr.CheckAllocation(res.Alloc, core.DefaultTol); err != nil {
+				t.Errorf("%s(%v): invalid allocation: %v", name, obj, err)
+			}
+		}
+		if _, _, err := heuristics.BranchAndBound(pr, obj, 2000); err != nil {
+			t.Errorf("BnB(%v): %v", obj, err)
+		}
+	}
+	if _, err := pr.LexMaxMin(); err != nil {
+		t.Errorf("LexMaxMin: %v", err)
+	}
+	res, err := heuristics.Run(heuristics.NameG, pr, core.SUM, nil)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if _, err := schedule.Build(pr, res.Alloc, 1000); err != nil {
+		t.Errorf("schedule.Build: %v", err)
+	}
+}
+
+func TestMixedLANMultiApp(t *testing.T) {
+	pl := mixedLANPlatform(t)
+	mpr := &multiapp.Problem{Platform: pl, Apps: []multiapp.App{
+		{Name: "x", Origin: 0, Payoff: 1},
+		{Name: "y", Origin: 1, Payoff: 2},
+		{Name: "z", Origin: 2, Payoff: 1},
+	}}
+	if _, err := mpr.Relaxed(core.SUM); err != nil {
+		t.Errorf("multiapp.Relaxed: %v", err)
+	}
+	al, err := mpr.Greedy()
+	if err != nil {
+		t.Fatalf("multiapp.Greedy: %v", err)
+	}
+	if err := mpr.CheckAllocation(al, core.DefaultTol); err != nil {
+		t.Errorf("multiapp greedy allocation invalid: %v", err)
+	}
+}
+
+func TestMixedLANAdaptEpochs(t *testing.T) {
+	pl := mixedLANPlatform(t)
+	pr := core.NewProblem(pl)
+	model := adapt.UniformLoadModel{K: 3, Min: 0.5, Max: 1, Seed: 1}
+	coldSolve := func(p *core.Problem) (*core.Allocation, error) {
+		return heuristics.LPRG(p, core.SUM)
+	}
+	if _, err := adapt.Run(pr, coldSolve, model, core.SUM, 3); err != nil {
+		t.Errorf("adapt.Run: %v", err)
+	}
+	// The warm engine's persistent model must build and re-solve
+	// across epochs without ±Inf reaching the LP layer, and keep
+	// producing useful allocations.
+	results, err := adapt.RunWarm(pr, heuristics.LPRGOnModel, model, core.SUM, 6)
+	if err != nil {
+		t.Fatalf("adapt.RunWarm: %v", err)
+	}
+	for _, r := range results {
+		if r.Adaptive <= 0 {
+			t.Errorf("epoch %d: nonpositive adaptive objective %g", r.Epoch, r.Adaptive)
+		}
+	}
+}
