@@ -220,13 +220,13 @@ func BenchmarkE10_BnBWarm_K8(b *testing.B)      { benchBnB(b, 8, heuristics.BnBW
 // of the engine.
 const benchAdaptiveEpochs = 20
 
-func benchAdaptiveModel(k int) adapt.UniformLoadModel {
-	return adapt.UniformLoadModel{K: k, Min: 0.4, Max: 1.0, Seed: 7}
+func benchAdaptiveModel(pr *core.Problem) adapt.UniformLoadModel {
+	return experiments.AdaptiveLoadModel(pr, 7)
 }
 
 func BenchmarkE11_AdaptiveColdBnB_K6(b *testing.B) {
 	pr := benchBnBProblem(b, 6)
-	model := benchAdaptiveModel(6)
+	model := benchAdaptiveModel(pr)
 	solve := func(p *core.Problem) (*core.Allocation, error) {
 		a, _, err := heuristics.BranchAndBound(p, core.SUM, 4000)
 		if err == heuristics.ErrNodeBudget {
@@ -244,7 +244,7 @@ func BenchmarkE11_AdaptiveColdBnB_K6(b *testing.B) {
 
 func BenchmarkE11_AdaptiveWarmBnB_K6(b *testing.B) {
 	pr := benchBnBProblem(b, 6)
-	model := benchAdaptiveModel(6)
+	model := benchAdaptiveModel(pr)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := adapt.RunWarm(pr, adapt.WarmBnBBudgetTolerant(4000, nil), model, core.SUM, benchAdaptiveEpochs); err != nil {
@@ -255,7 +255,7 @@ func BenchmarkE11_AdaptiveWarmBnB_K6(b *testing.B) {
 
 func BenchmarkE11_AdaptiveColdLPRG_K12(b *testing.B) {
 	pr := benchBnBProblem(b, 12)
-	model := benchAdaptiveModel(12)
+	model := benchAdaptiveModel(pr)
 	solve := func(p *core.Problem) (*core.Allocation, error) {
 		m, err := p.NewModel(core.SUM)
 		if err != nil {
@@ -274,7 +274,7 @@ func BenchmarkE11_AdaptiveColdLPRG_K12(b *testing.B) {
 
 func BenchmarkE11_AdaptiveWarmLPRG_K12(b *testing.B) {
 	pr := benchBnBProblem(b, 12)
-	model := benchAdaptiveModel(12)
+	model := benchAdaptiveModel(pr)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := adapt.RunWarm(pr, adapt.WarmLPRG(), model, core.SUM, benchAdaptiveEpochs); err != nil {
@@ -282,6 +282,37 @@ func BenchmarkE11_AdaptiveWarmLPRG_K12(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE12_* measure the native bounded-variable encoding against
+// the retired per-route β bound-row encoding on the warm LPRG epoch
+// loop — the E11 regime where the warm dual simplex fell behind a
+// cold rebuild at K≳20 because every pivot paid for the dense O(m²)
+// inverse over the inflated row count. Cold rebuild timings live in
+// BenchmarkE11_AdaptiveColdLPRG_*; the ratio legacy/native is the
+// direct payoff of retiring the rows.
+func benchE12WarmLPRG(b *testing.B, k int, legacy bool) {
+	pr := benchBnBProblem(b, k)
+	model := benchAdaptiveModel(pr)
+	build := (*core.Problem).NewModel
+	if legacy {
+		build = (*core.Problem).NewModelRowBounds
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm, err := build(pr, core.SUM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := adapt.RunWarmOn(cm, pr, heuristics.LPRGOnModel, model, core.SUM, benchAdaptiveEpochs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12_WarmLPRG_NativeBounds_K12(b *testing.B) { benchE12WarmLPRG(b, 12, false) }
+func BenchmarkE12_WarmLPRG_RowBounds_K12(b *testing.B)    { benchE12WarmLPRG(b, 12, true) }
+func BenchmarkE12_WarmLPRG_NativeBounds_K20(b *testing.B) { benchE12WarmLPRG(b, 20, false) }
+func BenchmarkE12_WarmLPRG_RowBounds_K20(b *testing.B)    { benchE12WarmLPRG(b, 20, true) }
 
 // BenchmarkE7_ReductionExactSolve builds the §4 instance for a
 // 5-cycle and solves it exactly (Theorem 1 equivalence).

@@ -8,6 +8,7 @@
 //	experiments -exp all -platforms 10 -csv -outdir results/
 //	experiments -exp fig6 -ks 10,15,20,25 -platforms 20   # paper scale
 //	experiments -exp adaptive -epochs 30                  # E11 warm-vs-cold epochs
+//	experiments -exp bounds                               # E12 native-vs-row β bounds
 //
 // Sweeps run platforms in parallel on a worker pool (one goroutine
 // per CPU by default, -workers to override); per-platform seeded
@@ -36,8 +37,8 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, all")
-		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive)")
+		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, all")
+		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds)")
 		seed      = flag.Int64("seed", 1, "sweep seed")
 		platforms = flag.Int("platforms", 0, "platforms per K (0 = per-experiment default)")
 		ks        = flag.String("ks", "", "comma-separated K values (default per experiment)")
@@ -177,12 +178,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		// LPRG rows stop at K=15: beyond that the dense explicit basis
-		// inverse makes warm dual-simplex restarts slower than a cold
-		// rebuild (see ROADMAP, LU/eta-file open item).
+		// LPRG rows run through K=20: with native variable bounds the
+		// basis is small enough that warm restarts beat a cold rebuild
+		// across the whole range (E12 measures the before/after; the
+		// LU/eta-file item in ROADMAP would push K further still).
 		lprgOpts := opts
 		if ksOverride == nil {
-			lprgOpts.Ks = []int{10, 15}
+			lprgOpts.Ks = []int{10, 15, 20}
 		}
 		lprgPts, err := experiments.AdaptiveSweep(lprgOpts, *epochs, experiments.AdaptiveLPRG)
 		if err != nil {
@@ -194,6 +196,42 @@ func run() error {
 			content = experiments.RenderAdaptiveCSV(pts)
 		}
 		if err := emit("adaptive", content); err != nil {
+			return err
+		}
+	}
+	if want("bounds") {
+		// E12: native bounded-variable simplex versus the retired
+		// per-route β bound-row encoding — basis dimension m and warm
+		// epoch throughput, cold rebuild as the shared baseline. The
+		// LPRG rows re-measure E11's K=10/15/20 warm-falloff regime on
+		// the smaller native basis. Wall-clock, so sequential unless
+		// -workers asks otherwise.
+		opts := base
+		opts.Ks = []int{4, 6}
+		if ksOverride != nil {
+			opts.Ks = ksOverride
+		}
+		if *platforms == 0 {
+			opts.PlatformsPer = 3
+		}
+		pts, err := experiments.BoundsSweep(opts, *epochs, experiments.AdaptiveExact)
+		if err != nil {
+			return err
+		}
+		lprgOpts := opts
+		if ksOverride == nil {
+			lprgOpts.Ks = []int{10, 15, 20}
+		}
+		lprgPts, err := experiments.BoundsSweep(lprgOpts, *epochs, experiments.AdaptiveLPRG)
+		if err != nil {
+			return err
+		}
+		pts = append(pts, lprgPts...)
+		content := experiments.RenderBoundsTable(pts)
+		if *csv {
+			content = experiments.RenderBoundsCSV(pts)
+		}
+		if err := emit("bounds", content); err != nil {
 			return err
 		}
 	}

@@ -44,6 +44,12 @@ type Perturbation struct {
 	// SpeedFactor[k] scales cluster k's computing speed; nil means no
 	// change.
 	SpeedFactor []float64
+	// LinkFactor[li] scales backbone link li's max-connect budget;
+	// nil means no change. Budgets are whole connection counts, so
+	// the scaled budget is floored back to an integer — factors in
+	// (0, 1] model external connections stolen from the backbone, and
+	// the integrality keeps LPRR's round-up safety argument intact.
+	LinkFactor []float64
 }
 
 // Apply returns a copy of the platform with the perturbation applied.
@@ -71,6 +77,19 @@ func (p Perturbation) Apply(pl *platform.Platform) (*platform.Platform, error) {
 			out.Clusters[k].Speed *= f
 		}
 	}
+	if p.LinkFactor != nil {
+		if len(p.LinkFactor) != len(pl.Links) {
+			return nil, fmt.Errorf("adapt: %d link factors for %d links", len(p.LinkFactor), len(pl.Links))
+		}
+		for li, f := range p.LinkFactor {
+			if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("adapt: link factor %d = %g invalid", li, f)
+			}
+			// +1e-9 absorbs roundoff so a factor of exactly 1 (or a
+			// product landing on an integer) keeps the full budget.
+			out.Links[li].MaxConnect = int(math.Floor(f*float64(pl.Links[li].MaxConnect) + 1e-9))
+		}
+	}
 	return out, nil
 }
 
@@ -83,11 +102,19 @@ type Model interface {
 
 // UniformLoadModel squeezes every gateway by an i.i.d. uniform factor
 // in [Min, Max] each epoch — external traffic on a non-dedicated Grid
-// (the scenario of examples/adaptive).
+// (the scenario of examples/adaptive). With LinkMax > 0 it
+// additionally squeezes every backbone link budget by an i.i.d.
+// uniform factor in [LinkMin, LinkMax] (Links must then carry the
+// platform's link count): external connections competing for the
+// max-connect slots.
 type UniformLoadModel struct {
 	K        int
 	Min, Max float64
 	Seed     int64
+
+	// Link-budget modulation, off when LinkMax == 0.
+	Links            int
+	LinkMin, LinkMax float64
 }
 
 // Epoch implements Model. Each epoch draws from an rng seeded by
@@ -98,7 +125,15 @@ func (m UniformLoadModel) Epoch(e int) Perturbation {
 	for k := range f {
 		f[k] = m.Min + (m.Max-m.Min)*rng.Float64()
 	}
-	return Perturbation{GatewayFactor: f}
+	p := Perturbation{GatewayFactor: f}
+	if m.LinkMax > 0 {
+		lf := make([]float64, m.Links)
+		for li := range lf {
+			lf[li] = m.LinkMin + (m.LinkMax-m.LinkMin)*rng.Float64()
+		}
+		p.LinkFactor = lf
+	}
+	return p
 }
 
 // Validate implements Validator: factors must stay in (0, +inf), so
@@ -110,6 +145,26 @@ func (m UniformLoadModel) Validate() error {
 	if !(m.Min > 0) || m.Max < m.Min || math.IsNaN(m.Max) || math.IsInf(m.Max, 0) {
 		return fmt.Errorf("adapt: UniformLoadModel bounds [%g, %g] invalid, want 0 < Min <= Max < +inf", m.Min, m.Max)
 	}
+	return validateLinkModulation("UniformLoadModel", m.Links, m.LinkMin, m.LinkMax)
+}
+
+// validateLinkModulation checks the shared link-budget-modulation
+// fields of the perturbation models. Modulation is enabled by any
+// nonzero Link bound; an enabled model must then carry the
+// platform's (positive) link count — a forgotten Links field would
+// otherwise surface only as a confusing length-mismatch error in the
+// middle of an epoch run. Linkless platforms simply leave the link
+// bounds zero.
+func validateLinkModulation(model string, links int, lo, hi float64) error {
+	if lo == 0 && hi == 0 {
+		return nil
+	}
+	if links < 1 {
+		return fmt.Errorf("adapt: %s.Links = %d with link modulation enabled, want >= 1 (leave LinkMin/LinkMax zero on linkless platforms)", model, links)
+	}
+	if !(lo > 0) || hi < lo || math.IsNaN(hi) || math.IsInf(hi, 0) {
+		return fmt.Errorf("adapt: %s link bounds [%g, %g] invalid, want 0 < LinkMin <= LinkMax < +inf", model, lo, hi)
+	}
 	return nil
 }
 
@@ -119,10 +174,20 @@ func (m UniformLoadModel) Validate() error {
 // by it, and a non-positive period would otherwise produce NaN speed
 // factors. Run and RunWarm reject a misconfigured model up front via
 // Validate; Epoch itself panics on direct misuse.
+//
+// With LinkMax > 0 the same sinusoid also modulates every backbone
+// link budget between LinkMin and LinkMax of nominal (Links must
+// then carry the platform's link count) — daytime backbone
+// congestion eating into the max-connect slots in phase with the
+// compute dip.
 type DiurnalModel struct {
 	K        int
 	Min, Max float64
 	Period   int
+
+	// Link-budget modulation, off when LinkMax == 0.
+	Links            int
+	LinkMin, LinkMax float64
 }
 
 // Epoch implements Model. It panics if Period < 1 (see the type
@@ -132,12 +197,22 @@ func (m DiurnalModel) Epoch(e int) Perturbation {
 		panic(fmt.Sprintf("adapt: DiurnalModel.Period = %d, want >= 1", m.Period))
 	}
 	phase := 2 * math.Pi * float64(e) / float64(m.Period)
-	v := m.Min + (m.Max-m.Min)*(0.5+0.5*math.Sin(phase))
+	wave := 0.5 + 0.5*math.Sin(phase)
+	v := m.Min + (m.Max-m.Min)*wave
 	f := make([]float64, m.K)
 	for k := range f {
 		f[k] = v
 	}
-	return Perturbation{SpeedFactor: f}
+	p := Perturbation{SpeedFactor: f}
+	if m.LinkMax > 0 {
+		lv := m.LinkMin + (m.LinkMax-m.LinkMin)*wave
+		lf := make([]float64, m.Links)
+		for li := range lf {
+			lf[li] = lv
+		}
+		p.LinkFactor = lf
+	}
+	return p
 }
 
 // Validate implements Validator.
@@ -151,7 +226,7 @@ func (m DiurnalModel) Validate() error {
 	if !(m.Min > 0) || m.Max < m.Min || math.IsNaN(m.Max) || math.IsInf(m.Max, 0) {
 		return fmt.Errorf("adapt: DiurnalModel bounds [%g, %g] invalid, want 0 < Min <= Max < +inf", m.Min, m.Max)
 	}
-	return nil
+	return validateLinkModulation("DiurnalModel", m.Links, m.LinkMin, m.LinkMax)
 }
 
 // Solver computes an allocation for a problem (an adapter over the
@@ -213,16 +288,45 @@ func Run(pr *core.Problem, solve Solver, model Model, obj core.Objective, epochs
 }
 
 // Throttle evaluates a stale allocation on a (possibly degraded)
-// platform: remote transfers through an over-subscribed gateway are
-// scaled by the gateway's overload factor, remote work beyond a
-// shrunken route capacity is clipped to β·bw, and computation beyond
-// a shrunken speed is clipped proportionally. The result is a valid
-// allocation for the new platform (within tolerance), representing
-// what a schedule that is not re-optimized actually delivers.
+// platform: connections on an over-budget backbone link are dropped
+// until the budget fits, remote transfers through an over-subscribed
+// gateway are scaled by the gateway's overload factor, remote work
+// beyond a shrunken route capacity is clipped to β·bw, and
+// computation beyond a shrunken speed is clipped proportionally. The
+// result is a valid allocation for the new platform (within
+// tolerance), representing what a schedule that is not re-optimized
+// actually delivers.
 func Throttle(pr *core.Problem, a *core.Allocation) *core.Allocation {
 	K := pr.K()
 	pl := pr.Platform
 	out := a.Clone()
+	// Link-budget overloads: drop whole connections (deterministic
+	// row-major order) until every link fits its max-connect budget;
+	// the route-capacity clip below then shrinks the affected α to
+	// the surviving β·bw.
+	for li := range pl.Links {
+		over := -pl.Links[li].MaxConnect
+		for k := 0; k < K; k++ {
+			for l := 0; l < K; l++ {
+				if k != l && routeCrosses(pl, k, l, li) {
+					over += out.Beta[k][l]
+				}
+			}
+		}
+		for k := 0; k < K && over > 0; k++ {
+			for l := 0; l < K && over > 0; l++ {
+				if k == l || out.Beta[k][l] <= 0 || !routeCrosses(pl, k, l, li) {
+					continue
+				}
+				d := out.Beta[k][l]
+				if d > over {
+					d = over
+				}
+				out.Beta[k][l] -= d
+				over -= d
+			}
+		}
+	}
 	// Gateway overloads.
 	scale := make([]float64, K)
 	for k := 0; k < K; k++ {
@@ -270,6 +374,21 @@ func Throttle(pr *core.Problem, a *core.Allocation) *core.Allocation {
 		}
 	}
 	return out
+}
+
+// routeCrosses reports whether the fixed route k→l crosses backbone
+// link li.
+func routeCrosses(pl *platform.Platform, k, l, li int) bool {
+	rt := pl.Route(k, l)
+	if !rt.Exists {
+		return false
+	}
+	for _, x := range rt.Links {
+		if x == li {
+			return true
+		}
+	}
+	return false
 }
 
 // Summary aggregates a run.

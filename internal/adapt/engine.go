@@ -39,9 +39,11 @@ func validateModel(model Model) error {
 }
 
 // injectCapacities writes the perturbed platform's cluster capacities
-// into the persistent model as RHS-only mutations. Link budgets are
-// not perturbed by any Model (Perturbation carries gateway and speed
-// factors only), so the (7d) rows keep their build-time budgets.
+// and link budgets into the persistent model: speeds and gateways as
+// RHS mutations, link budgets as RHS plus the affected routes'
+// natural β upper bounds (SetLinkBudget recomputes them) — all
+// within the warm-start contract, so the next solve still restarts
+// from the previous epoch's basis.
 func injectCapacities(m *core.Model, epl *platform.Platform) error {
 	for k, c := range epl.Clusters {
 		if err := m.SetSpeed(k, c.Speed); err != nil {
@@ -51,19 +53,39 @@ func injectCapacities(m *core.Model, epl *platform.Platform) error {
 			return err
 		}
 	}
+	for li, l := range epl.Links {
+		if err := m.SetLinkBudget(li, float64(l.MaxConnect)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // RunWarm drives the same epoch loop as Run, but over one persistent
 // warm-started core.Model instead of a cold per-epoch rebuild: the
 // model is built once from the nominal problem, each epoch's
-// Perturbation lands as RHS-only capacity mutations, and the solver
+// Perturbation lands as capacity and bound mutations, and the solver
 // restarts the revised simplex from the previous epoch's optimal
-// basis. The structure-frozen/capacities-mutate contract means the
-// results are the same steady-state optimizations Run performs —
-// with BranchAndBoundOnModel both paths prove identical optima — at
-// a fraction of the per-epoch cost.
+// basis. The structure-frozen/capacities-and-bounds-mutate contract
+// means the results are the same steady-state optimizations Run
+// performs — with BranchAndBoundOnModel both paths prove identical
+// optima — at a fraction of the per-epoch cost.
 func RunWarm(pr *core.Problem, solve WarmSolver, model Model, obj core.Objective, epochs int) ([]EpochResult, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	cm, err := pr.NewModel(obj)
+	if err != nil {
+		return nil, err
+	}
+	return RunWarmOn(cm, pr, solve, model, obj, epochs)
+}
+
+// RunWarmOn is RunWarm over a caller-provided persistent model —
+// the hook the E12 benchmark uses to drive the same epoch sequence
+// through the native-bounds and the legacy row-bounds encodings. cm
+// must have been built from pr with the same objective.
+func RunWarmOn(cm *core.Model, pr *core.Problem, solve WarmSolver, model Model, obj core.Objective, epochs int) ([]EpochResult, error) {
 	if epochs < 1 {
 		return nil, fmt.Errorf("adapt: epochs = %d, want >= 1", epochs)
 	}
@@ -71,10 +93,6 @@ func RunWarm(pr *core.Problem, solve WarmSolver, model Model, obj core.Objective
 		return nil, err
 	}
 	if err := validateModel(model); err != nil {
-		return nil, err
-	}
-	cm, err := pr.NewModel(obj)
-	if err != nil {
 		return nil, err
 	}
 	staticAlloc, basis, err := solve(cm, pr, obj, nil)
@@ -126,6 +144,20 @@ type BoundResult struct {
 // this trace is bitwise comparable against a cold per-epoch rebuild
 // — the property the warm-vs-cold tests pin down to 1e-9.
 func RunWarmBounds(pr *core.Problem, model Model, obj core.Objective, epochs int) ([]BoundResult, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	cm, err := pr.NewModel(obj)
+	if err != nil {
+		return nil, err
+	}
+	return RunWarmBoundsOn(cm, pr, model, obj, epochs)
+}
+
+// RunWarmBoundsOn is RunWarmBounds over a caller-provided persistent
+// model; E12 uses it to pin the native and the row-bounds encodings
+// to the same per-epoch optima while timing them.
+func RunWarmBoundsOn(cm *core.Model, pr *core.Problem, model Model, obj core.Objective, epochs int) ([]BoundResult, error) {
 	if epochs < 1 {
 		return nil, fmt.Errorf("adapt: epochs = %d, want >= 1", epochs)
 	}
@@ -133,10 +165,6 @@ func RunWarmBounds(pr *core.Problem, model Model, obj core.Objective, epochs int
 		return nil, err
 	}
 	if err := validateModel(model); err != nil {
-		return nil, err
-	}
-	cm, err := pr.NewModel(obj)
-	if err != nil {
 		return nil, err
 	}
 	var basis *lp.Basis
@@ -194,6 +222,11 @@ func RunWarmMulti(mpr *multiapp.Problem, model Model, obj core.Objective, epochs
 				return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
 			}
 			if err := mm.SetGateway(k, c.Gateway); err != nil {
+				return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
+			}
+		}
+		for li, l := range epl.Links {
+			if err := mm.SetLinkBudget(li, float64(l.MaxConnect)); err != nil {
 				return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
 			}
 		}

@@ -12,13 +12,24 @@ import (
 	"repro/internal/multiapp"
 )
 
-// perturbationModels returns both perturbation families sized for k
-// clusters, seeded off `seed`.
-func perturbationModels(k int, seed int64) []Model {
-	return []Model{
+// perturbationModels returns both perturbation families sized for
+// pr's platform, seeded off `seed` — each in a cluster-only variant
+// and one that also modulates the backbone link budgets, so every
+// warm-vs-cold property downstream covers link-budget injection.
+func perturbationModels(pr *core.Problem, seed int64) []Model {
+	k := pr.K()
+	models := []Model{
 		UniformLoadModel{K: k, Min: 0.3, Max: 1.0, Seed: seed},
 		DiurnalModel{K: k, Min: 0.4, Max: 1.2, Period: 5},
 	}
+	if links := len(pr.Platform.Links); links > 0 {
+		models = append(models,
+			UniformLoadModel{K: k, Min: 0.3, Max: 1.0, Seed: seed,
+				Links: links, LinkMin: 0.5, LinkMax: 1.0},
+			DiurnalModel{K: k, Min: 0.4, Max: 1.2, Period: 5,
+				Links: links, LinkMin: 0.6, LinkMax: 1.0})
+	}
+	return models
 }
 
 func almostEqual(a, b float64) bool {
@@ -36,7 +47,7 @@ func TestRunWarmBoundsMatchesColdRebuild(t *testing.T) {
 	for seed := int64(1); seed <= 4; seed++ {
 		for _, k := range []int{4, 6} {
 			pr := testProblem(seed, k)
-			for _, model := range perturbationModels(k, seed*7) {
+			for _, model := range perturbationModels(pr, seed*7) {
 				for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
 					warm, err := RunWarmBounds(pr, model, obj, epochs)
 					if err != nil {
@@ -77,7 +88,7 @@ func TestRunWarmBnBMatchesColdRun(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		k := 4
 		pr := testProblem(seed, k)
-		for _, model := range perturbationModels(k, seed*13) {
+		for _, model := range perturbationModels(pr, seed*13) {
 			for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
 				coldSolve := func(p *core.Problem) (*core.Allocation, error) {
 					a, _, err := heuristics.BranchAndBound(p, obj, 0)
@@ -131,7 +142,7 @@ func TestRunWarmMultiMatchesColdRebuild(t *testing.T) {
 			{Name: "a3", Origin: 4, Payoff: 3},
 		}
 		mpr := &multiapp.Problem{Platform: pr.Platform, Apps: apps}
-		for _, model := range perturbationModels(k, seed*11) {
+		for _, model := range perturbationModels(pr, seed*11) {
 			for _, obj := range []core.Objective{core.SUM, core.MAXMIN} {
 				warm, err := RunWarmMulti(mpr, model, obj, epochs)
 				if err != nil {
@@ -207,8 +218,10 @@ func TestRunWarmLPRGBeatsStatic(t *testing.T) {
 // platform shape.
 
 // TestThrottlePropertyRandomPerturbations: under randomized capacity
-// perturbations, Throttle's output is always a valid allocation for
-// the perturbed platform.
+// perturbations — gateways, speeds and link budgets — Throttle's
+// output is always a valid allocation for the perturbed platform
+// (over-budget links shed whole connections, the freed α collapses
+// onto the surviving β·bw).
 func TestThrottlePropertyRandomPerturbations(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		pr := testProblem(seed, 6)
@@ -225,6 +238,13 @@ func TestThrottlePropertyRandomPerturbations(t *testing.T) {
 				s[i] = 0.05 + 1.45*rng.Float64()
 			}
 			pert := Perturbation{GatewayFactor: g, SpeedFactor: s}
+			if trial%2 == 1 {
+				lf := make([]float64, len(pr.Platform.Links))
+				for i := range lf {
+					lf[i] = 0.05 + 1.45*rng.Float64()
+				}
+				pert.LinkFactor = lf
+			}
 			epl, err := pert.Apply(pr.Platform)
 			if err != nil {
 				t.Fatal(err)
@@ -268,6 +288,9 @@ func TestUniformLoadModelValidation(t *testing.T) {
 		{K: 3, Min: 0, Max: 1},
 		{K: 3, Min: 0.5, Max: 0.4},
 		{K: 3, Min: 0.5, Max: math.Inf(1)},
+		{K: 3, Min: 0.5, Max: 1, Links: 2, LinkMin: 0, LinkMax: 1},
+		{K: 3, Min: 0.5, Max: 1, Links: 2, LinkMin: 0.8, LinkMax: 0.5},
+		{K: 3, Min: 0.5, Max: 1, Links: -1, LinkMin: 0.5, LinkMax: 1},
 	}
 	for i, m := range cases {
 		if err := m.Validate(); err == nil {
@@ -276,5 +299,55 @@ func TestUniformLoadModelValidation(t *testing.T) {
 	}
 	if err := (UniformLoadModel{K: 3, Min: 0.5, Max: 1}).Validate(); err != nil {
 		t.Fatalf("valid model rejected: %v", err)
+	}
+	if err := (UniformLoadModel{K: 3, Min: 0.5, Max: 1, Links: 4, LinkMin: 0.5, LinkMax: 1}).Validate(); err != nil {
+		t.Fatalf("valid link-modulating model rejected: %v", err)
+	}
+	if err := (DiurnalModel{K: 3, Min: 0.5, Max: 1, Period: 4, Links: 2, LinkMin: 0, LinkMax: 0.5}).Validate(); err == nil {
+		t.Fatal("DiurnalModel with LinkMin=0 must fail validation")
+	}
+}
+
+// TestPerturbationLinkFactors: Apply floors scaled budgets back to
+// whole connection counts and rejects malformed factor vectors.
+func TestPerturbationLinkFactors(t *testing.T) {
+	pr := testProblem(9, 4)
+	nl := len(pr.Platform.Links)
+	if nl == 0 {
+		t.Fatal("test platform has no links")
+	}
+	lf := make([]float64, nl)
+	for i := range lf {
+		lf[i] = 0.5
+	}
+	epl, err := Perturbation{LinkFactor: lf}.Apply(pr.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range epl.Links {
+		want := int(math.Floor(0.5 * float64(pr.Platform.Links[li].MaxConnect)))
+		if got := epl.Links[li].MaxConnect; got != want {
+			t.Fatalf("link %d: budget %d, want floor(0.5·%d) = %d", li, got, pr.Platform.Links[li].MaxConnect, want)
+		}
+	}
+	// A factor of exactly 1 keeps the budget bit-for-bit.
+	for i := range lf {
+		lf[i] = 1
+	}
+	same, err := Perturbation{LinkFactor: lf}.Apply(pr.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range same.Links {
+		if same.Links[li].MaxConnect != pr.Platform.Links[li].MaxConnect {
+			t.Fatalf("link %d: unit factor changed budget %d -> %d", li, pr.Platform.Links[li].MaxConnect, same.Links[li].MaxConnect)
+		}
+	}
+	if _, err := (Perturbation{LinkFactor: lf[:1]}).Apply(pr.Platform); nl > 1 && err == nil {
+		t.Fatal("short LinkFactor vector must fail")
+	}
+	lf[0] = 0
+	if _, err := (Perturbation{LinkFactor: lf}).Apply(pr.Platform); err == nil {
+		t.Fatal("zero link factor must fail")
 	}
 }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// TestNativeBoundsRowDelta pins the structural payoff of the native
+// bounded-variable encoding: a model built with native bounds has
+// exactly 2·|β routes| fewer constraint rows than the legacy
+// encoding, which carried one lb row and one ub row per route.
+func TestNativeBoundsRowDelta(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		pr := randomPlatformProblem(t, rng, 4+rng.Intn(6))
+		obj := []Objective{SUM, MAXMIN}[seed%2]
+		native, err := pr.NewModel(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := pr.NewModelRowBounds(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes := len(native.BetaVars())
+		if got, want := native.Rows(), legacy.Rows()-2*routes; got != want {
+			t.Fatalf("seed %d: native rows %d, legacy rows %d, routes %d: want native = legacy - 2·routes = %d",
+				seed, native.Rows(), legacy.Rows(), routes, want)
+		}
+	}
+}
+
+// TestNativeMatchesRowEncoded drives the native and the legacy
+// row-encoded model through identical randomized bound-mutation
+// sequences — pins, one-sided branches, resets — and requires every
+// solve (warm revised on both, dense reference on both) to agree on
+// feasibility and, when feasible, on the objective to 1e-9.
+func TestNativeMatchesRowEncoded(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(400 + seed))
+		pr := randomPlatformProblem(t, rng, 4+rng.Intn(4))
+		obj := []Objective{SUM, MAXMIN}[seed%2]
+		native, err := pr.NewModel(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := pr.NewModelRowBounds(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		betas := native.BetaVars()
+		if len(betas) == 0 {
+			continue
+		}
+		var nBasis, lBasis *lp.Basis
+		for step := 0; step < 12; step++ {
+			// One shared mutation per step, applied to both models.
+			p := betas[rng.Intn(len(betas))]
+			var b BetaBounds
+			switch rng.Intn(4) {
+			case 0: // pin
+				v := float64(rng.Intn(4))
+				b = BetaBounds{Lb: v, Ub: v}
+			case 1: // branch down
+				b = BetaBounds{Lb: 0, Ub: float64(rng.Intn(3))}
+			case 2: // branch up (may cross the natural cap → infeasible)
+				b = BetaBounds{Lb: float64(1 + rng.Intn(5)), Ub: -1}
+			case 3: // reset
+				b = BetaBounds{Lb: 0, Ub: -1}
+			}
+			if err := native.SetBounds(p, b); err != nil {
+				t.Fatal(err)
+			}
+			if err := legacy.SetBounds(p, b); err != nil {
+				t.Fatal(err)
+			}
+
+			nSol, nb, nOK, err := native.Solve(nBasis)
+			if err != nil {
+				t.Fatalf("seed %d step %d: native warm: %v", seed, step, err)
+			}
+			lSol, lb, lOK, err := legacy.Solve(lBasis)
+			if err != nil {
+				t.Fatalf("seed %d step %d: legacy warm: %v", seed, step, err)
+			}
+			nDense, ndOK, err := native.SolveWith(lp.DenseSolver{})
+			if err != nil {
+				t.Fatalf("seed %d step %d: native dense: %v", seed, step, err)
+			}
+			lDense, ldOK, err := legacy.SolveWith(lp.DenseSolver{})
+			if err != nil {
+				t.Fatalf("seed %d step %d: legacy dense: %v", seed, step, err)
+			}
+			if nOK != lOK || nOK != ndOK || nOK != ldOK {
+				t.Fatalf("seed %d step %d: feasibility disagreement native=%v legacy=%v nativeDense=%v legacyDense=%v",
+					seed, step, nOK, lOK, ndOK, ldOK)
+			}
+			if nOK {
+				tol := 1e-9 * (1 + math.Abs(lSol.Objective))
+				if math.Abs(nSol.Objective-lSol.Objective) > tol {
+					t.Fatalf("seed %d step %d: native %.12g, legacy %.12g (Δ=%g)",
+						seed, step, nSol.Objective, lSol.Objective, math.Abs(nSol.Objective-lSol.Objective))
+				}
+				if math.Abs(nDense.Objective-lDense.Objective) > tol {
+					t.Fatalf("seed %d step %d: native dense %.12g, legacy dense %.12g",
+						seed, step, nDense.Objective, lDense.Objective)
+				}
+				nBasis, lBasis = nb, lb
+			}
+		}
+	}
+}
+
+// TestNativeMatchesRowEncodedUnderLinkBudgets adds capacity drift to
+// the comparison: link-budget mutations move the natural β caps (the
+// native ub, the legacy ub row) while explicit bounds persist, the
+// §1 adaptability access pattern.
+func TestNativeMatchesRowEncodedUnderLinkBudgets(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(500 + seed))
+		pr := randomPlatformProblem(t, rng, 4+rng.Intn(4))
+		if len(pr.Platform.Links) == 0 {
+			continue
+		}
+		native, err := pr.NewModel(SUM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := pr.NewModelRowBounds(SUM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		betas := native.BetaVars()
+		var nBasis, lBasis *lp.Basis
+		for step := 0; step < 10; step++ {
+			if len(betas) > 0 && rng.Float64() < 0.5 {
+				p := betas[rng.Intn(len(betas))]
+				b := BetaBounds{Lb: float64(rng.Intn(2)), Ub: float64(rng.Intn(4)) - 1}
+				if err := native.SetBounds(p, b); err != nil {
+					t.Fatal(err)
+				}
+				if err := legacy.SetBounds(p, b); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				li := rng.Intn(len(pr.Platform.Links))
+				budget := float64(rng.Intn(6))
+				if err := native.SetLinkBudget(li, budget); err != nil {
+					t.Fatal(err)
+				}
+				if err := legacy.SetLinkBudget(li, budget); err != nil {
+					t.Fatal(err)
+				}
+			}
+			nSol, nb, nOK, err := native.Solve(nBasis)
+			if err != nil {
+				t.Fatalf("seed %d step %d: native: %v", seed, step, err)
+			}
+			lSol, lb, lOK, err := legacy.Solve(lBasis)
+			if err != nil {
+				t.Fatalf("seed %d step %d: legacy: %v", seed, step, err)
+			}
+			if nOK != lOK {
+				t.Fatalf("seed %d step %d: feasibility disagreement native=%v legacy=%v", seed, step, nOK, lOK)
+			}
+			if !nOK {
+				continue
+			}
+			if math.Abs(nSol.Objective-lSol.Objective) > 1e-9*(1+math.Abs(lSol.Objective)) {
+				t.Fatalf("seed %d step %d: native %.12g, legacy %.12g", seed, step, nSol.Objective, lSol.Objective)
+			}
+			nBasis, lBasis = nb, lb
+		}
+	}
+}

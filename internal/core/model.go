@@ -11,20 +11,23 @@ import (
 // relaxation of program (7). Where Relaxed/MixedRelaxed build a
 // one-shot lp.Problem per call, a Model is built once per
 // (problem, objective) pair and then re-solved many times under
-// mutated per-route β bounds: every β variable owns two dedicated
-// bound rows (β_p ≥ lb, β_p ≤ ub) whose right-hand sides SetBounds
-// mutates in place. Because bound changes are RHS-only, each re-solve
-// can warm-start the revised simplex from a previous optimal basis
-// (lp.Revised's dual-simplex restart) — the engine behind the exact
-// branch-and-bound solver's node relaxations and LPRR's pin
-// sequence.
+// mutated per-route β bounds: every β variable carries native
+// [lb, ub] bounds that SetBounds mutates in place through
+// lp.Problem.SetVarBounds — no bound rows, so branching and pinning
+// never grow the constraint matrix, and the basis stays 2·|routes|
+// rows smaller than the historical row encoding. Because bound
+// changes (like RHS changes) leave every reduced cost intact, each
+// re-solve can warm-start the revised simplex from a previous
+// optimal basis (lp.Revised's dual-simplex restart) — the engine
+// behind the exact branch-and-bound solver's node relaxations and
+// LPRR's pin sequence.
 //
 // Platform capacities are equally mutable: SetSpeed, SetGateway and
 // SetLinkBudget rewrite the right-hand sides of the (7b), (7c) and
 // (7d) rows in place, mirroring multiapp.Model's mutators. This is
 // the §1 adaptability contract — the constraint structure is frozen
-// at build time, capacities drift epoch to epoch — exploited by
-// adapt's warm epoch engine.
+// at build time, capacities and bounds drift epoch to epoch —
+// exploited by adapt's warm epoch engine.
 type Model struct {
 	pr  *Problem
 	obj Objective
@@ -36,9 +39,15 @@ type Model struct {
 	betaIdx  map[Pair]int
 	betaVars []Pair // row-major order
 
-	lbRow, ubRow map[Pair]int
 	natural      map[Pair]float64 // per-route cap implied by link budgets
 	curLb, curUb map[Pair]float64 // explicit SetBounds state (curUb < 0: none)
+
+	// rowBounds selects the historical encoding (two explicit bound
+	// rows per β variable) instead of native variable bounds; kept
+	// for numerical cross-checks and the E12 before/after benchmark.
+	rowBounds    bool
+	lbRow, ubRow map[Pair]int  // legacy row encoding only
+	crossed      map[Pair]bool // native only: routes with lb > effective ub
 
 	speedRow   []int     // LP row of cluster l's (7b) constraint, -1 if absent
 	gatewayRow []int     // LP row of cluster k's (7c) constraint, -1 if absent
@@ -48,27 +57,47 @@ type Model struct {
 }
 
 // NewModel validates the problem and builds the α/β relaxation with
-// mutable bound rows, all β bounds starting at [0, natural cap]. The
+// native mutable β bounds, all starting at [0, natural cap]. The
 // natural cap of route p is the smallest max-connect budget among the
 // links its path crosses — already implied by (7d), so the default
 // bounds leave the relaxation exactly equivalent to MixedRelaxed with
 // no bounds.
 func (pr *Problem) NewModel(obj Objective) (*Model, error) {
+	return pr.newModel(obj, false)
+}
+
+// NewModelRowBounds builds the same relaxation with the historical
+// bound-row encoding: two dedicated constraint rows per β variable
+// (β_p ≥ lb, β_p ≤ ub) whose right-hand sides SetBounds mutates. It
+// is retained purely as the reference formulation — the equivalence
+// tests pin native-vs-row objectives to 1e-9, and the E12 benchmark
+// measures what retiring the rows buys — and should not be used by
+// new callers.
+func (pr *Problem) NewModelRowBounds(obj Objective) (*Model, error) {
+	return pr.newModel(obj, true)
+}
+
+func (pr *Problem) newModel(obj Objective, rowBounds bool) (*Model, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
 	K := pr.K()
 	pl := pr.Platform
 	m := &Model{
-		pr:       pr,
-		obj:      obj,
-		alphaIdx: make(map[Pair]int),
-		betaIdx:  make(map[Pair]int),
-		lbRow:    make(map[Pair]int),
-		ubRow:    make(map[Pair]int),
-		natural:  make(map[Pair]float64),
-		curLb:    make(map[Pair]float64),
-		curUb:    make(map[Pair]float64),
+		pr:        pr,
+		obj:       obj,
+		alphaIdx:  make(map[Pair]int),
+		betaIdx:   make(map[Pair]int),
+		natural:   make(map[Pair]float64),
+		curLb:     make(map[Pair]float64),
+		curUb:     make(map[Pair]float64),
+		rowBounds: rowBounds,
+	}
+	if rowBounds {
+		m.lbRow = make(map[Pair]int)
+		m.ubRow = make(map[Pair]int)
+	} else {
+		m.crossed = make(map[Pair]bool)
 	}
 
 	var order []Pair
@@ -200,18 +229,24 @@ func (pr *Problem) NewModel(obj Objective) (*Model, error) {
 			{Var: m.betaIdx[p], Coeff: -bw},
 		}, lp.LE, 0)
 	}
-	// Mutable bound rows, one pair per β variable. The natural cap
-	// (min link budget over the path) is finite for the same reason.
+	// Mutable β bounds, [0, natural cap] each. The natural cap (min
+	// link budget over the path) is finite for the same reason.
+	// Native mode writes them as variable bounds; the legacy encoding
+	// appends its two rows per route here instead.
+	m.prob = prob
 	for _, p := range m.betaVars {
 		m.natural[p] = m.naturalCap(p)
 		m.curLb[p] = 0
 		m.curUb[p] = -1
-		idx := m.betaIdx[p]
-		m.ubRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.LE, m.natural[p])
-		m.lbRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.GE, 0)
+		if m.rowBounds {
+			idx := m.betaIdx[p]
+			m.ubRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.LE, m.natural[p])
+			m.lbRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.GE, 0)
+		} else {
+			m.applyBounds(p)
+		}
 	}
 
-	m.prob = prob
 	m.rev = lp.NewRevised(prob)
 	return m, nil
 }
@@ -236,22 +271,35 @@ func (m *Model) naturalCap(p Pair) float64 {
 	return nat
 }
 
-// applyBounds writes route p's effective bound RHS values: the
-// explicit SetBounds state clipped to the (possibly mutated) natural
-// link-budget cap.
+// applyBounds writes route p's effective bounds: the explicit
+// SetBounds state clipped to the (possibly mutated) natural
+// link-budget cap. Native mode rejects an empty box at this layer —
+// the LP never sees lb > ub; the route is recorded as crossed and
+// Solve short-circuits to infeasible, exactly the verdict the legacy
+// encoding reaches by running the simplex on the contradictory rows.
 func (m *Model) applyBounds(p Pair) {
 	lb := m.curLb[p]
 	ub := m.natural[p]
 	if e := m.curUb[p]; e >= 0 && e < ub {
 		ub = e
 	}
-	m.prob.SetRHS(m.lbRow[p], lb)
-	m.prob.SetRHS(m.ubRow[p], ub)
+	if m.rowBounds {
+		m.prob.SetRHS(m.lbRow[p], lb)
+		m.prob.SetRHS(m.ubRow[p], ub)
+		return
+	}
+	if lb > ub {
+		m.crossed[p] = true
+		return
+	}
+	delete(m.crossed, p)
+	m.prob.SetVarBounds(m.betaIdx[p], lb, ub)
 }
 
-// SetBounds mutates route p's β bounds in place (an RHS-only change,
-// preserving warm-startability). Ub < 0 means unbounded above, which
-// the model realizes as the route's natural link-budget cap.
+// SetBounds mutates route p's β bounds in place (a bound-only
+// change, preserving warm-startability). Ub < 0 means unbounded
+// above, which the model realizes as the route's natural link-budget
+// cap.
 func (m *Model) SetBounds(p Pair, b BetaBounds) error {
 	if _, ok := m.betaIdx[p]; !ok {
 		return fmt.Errorf("core: β bounds on route (%d,%d) with no β variable", p.K, p.L)
@@ -312,9 +360,9 @@ func (m *Model) SetGateway(k int, g float64) error {
 
 // SetLinkBudget mutates backbone link li's connection budget (7d) and
 // propagates the change into the natural β caps of every route whose
-// path crosses the link (their effective upper-bound rows are
-// re-applied, still clipped by any explicit SetBounds state). All
-// RHS-only, so warm-startability is preserved.
+// path crosses the link (their effective upper bounds are re-applied,
+// still clipped by any explicit SetBounds state). RHS and variable
+// bounds only, so warm-startability is preserved.
 func (m *Model) SetLinkBudget(li int, maxConnect float64) error {
 	if li < 0 || li >= len(m.linkRow) {
 		return fmt.Errorf("core: link %d out of range", li)
@@ -333,12 +381,22 @@ func (m *Model) SetLinkBudget(li int, maxConnect float64) error {
 	return nil
 }
 
+// Rows returns the model's constraint row count m — the basis
+// dimension every simplex iteration pays for. Native bounds keep it
+// exactly 2·|BetaVars()| smaller than the legacy row encoding.
+func (m *Model) Rows() int { return m.prob.NumConstraints() }
+
 // Solve solves the relaxation under the current bounds. A non-nil
 // `from` basis warm-starts the revised simplex (pass the basis
 // returned by the parent/previous solve); the returned basis
 // snapshots this solve's final basis for future warm starts.
-// ok=false reports infeasibility of the current bound set.
+// ok=false reports infeasibility of the current bound set — found
+// either by the solver, or immediately when a route's lower bound
+// crossed its effective cap (an empty box needs no LP).
 func (m *Model) Solve(from *lp.Basis) (*MixedSolution, *lp.Basis, bool, error) {
+	if len(m.crossed) > 0 {
+		return nil, nil, false, nil
+	}
 	sol, basis, err := m.rev.SolveFrom(from)
 	if err != nil {
 		return nil, nil, false, err
@@ -351,6 +409,9 @@ func (m *Model) Solve(from *lp.Basis) (*MixedSolution, *lp.Basis, bool, error) {
 // through an explicit backend — the reference path used by the
 // dense-vs-revised cross-checks and the cold-solve benchmark mode.
 func (m *Model) SolveWith(s lp.Solver) (*MixedSolution, bool, error) {
+	if len(m.crossed) > 0 {
+		return nil, false, nil
+	}
 	sol, err := m.prob.SolveWith(s)
 	if err != nil {
 		return nil, false, err

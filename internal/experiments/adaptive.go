@@ -89,11 +89,27 @@ func adaptiveProblem(k int, rng *rand.Rand) (*core.Problem, error) {
 	return pr, nil
 }
 
+// AdaptiveLoadModel is the perturbation sequence of the E11/E12
+// sweeps and of the root BenchmarkE11_*/E12_* benchmarks (shared so
+// the sweep and the benchmarks always measure the same workload):
+// uniform gateway load plus a mild uniform squeeze on every backbone
+// link budget, so the warm path exercises the full capacity-
+// injection surface (speeds, gateways and link budgets → natural β
+// bound updates) every epoch. Linkless platforms get gateway
+// modulation only.
+func AdaptiveLoadModel(pr *core.Problem, seed int64) adapt.UniformLoadModel {
+	m := adapt.UniformLoadModel{K: pr.K(), Min: 0.4, Max: 1.0, Seed: seed}
+	if links := len(pr.Platform.Links); links > 0 {
+		m.Links, m.LinkMin, m.LinkMax = links, 0.7, 1.0
+	}
+	return m
+}
+
 // AdaptiveSweep runs the E11 comparison: for every K it drives the
 // same perturbation sequence through adapt.Run (cold: every epoch
 // rebuilds and cold-solves its LPs) and adapt.RunWarm (one
-// persistent core.Model, RHS-only capacity mutations, basis reuse
-// across epochs) and reports mean wall-clock seconds and the
+// persistent core.Model, capacity and bound mutations only, basis
+// reuse across epochs) and reports mean wall-clock seconds and the
 // speedup. Like Figure7 it measures time, so platforms run
 // sequentially unless opts.Workers explicitly asks for parallelism
 // (which contends for cores and inflates both sides).
@@ -122,7 +138,7 @@ func AdaptiveSweep(opts Options, epochs int, mode AdaptiveMode) ([]AdaptivePoint
 				return err
 			}
 			obj := core.SUM
-			model := adapt.UniformLoadModel{K: k, Min: 0.4, Max: 1.0, Seed: rng.Int63()}
+			model := AdaptiveLoadModel(pr, rng.Int63())
 			var s sample
 
 			var warm []adapt.EpochResult

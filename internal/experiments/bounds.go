@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/heuristics"
+)
+
+// BoundsPoint is one K value of the E12 sweep: the measured payoff of
+// retiring the per-route β bound rows in favor of native variable
+// bounds. For the same platforms and perturbation sequence as E11 it
+// reports the basis dimension m of both encodings and the wall-clock
+// cost of three epoch loops — cold per-epoch rebuild, warm on the
+// legacy row-bounds model, warm on the native-bounds model.
+type BoundsPoint struct {
+	K         int
+	Platforms int
+	Epochs    int
+	Mode      AdaptiveMode
+	// Mean constraint-row counts of the two encodings; native is
+	// exactly 2·|β routes| smaller.
+	RowsNative, RowsLegacy float64
+	// Mean wall-clock seconds per full epoch run.
+	ColdSeconds       float64
+	WarmLegacySeconds float64
+	WarmNativeSeconds float64
+	// Speedups are ColdSeconds / Warm*Seconds: >1 means the warm loop
+	// beats a cold rebuild under that encoding.
+	SpeedupLegacy, SpeedupNative float64
+	// MaxBoundDiff is the largest relative gap between the native and
+	// the legacy per-epoch relaxation optima (a soundness guard: the
+	// encodings must agree; an LP's optimal value is unique).
+	MaxBoundDiff float64
+}
+
+const saltBounds = 5
+
+// BoundsSweep runs the E12 comparison on the E11 platform generator:
+// for every K it measures, over the same perturbation sequence, a
+// cold per-epoch rebuild, the warm epoch engine on the legacy
+// row-bounds encoding (core.NewModelRowBounds) and the warm engine on
+// the native-bounds encoding (core.NewModel). Exact mode drives the
+// warm branch-and-bound; LPRG mode the polynomial heuristic — the
+// K=10/15/20 rows re-measure E11's warm-falloff regime, where the
+// smaller native basis is exactly the point of the redesign.
+func BoundsSweep(opts Options, epochs int, mode AdaptiveMode) ([]BoundsPoint, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("experiments: epochs = %d, want >= 1", epochs)
+	}
+	const maxNodes = 4000
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	type sample struct {
+		rowsNative, rowsLegacy       int
+		coldSecs, legacySecs, native float64
+		maxDiff                      float64
+	}
+	var out []BoundsPoint
+	for _, k := range opts.Ks {
+		samples := make([]sample, opts.PlatformsPer)
+		err := forEach(workers, opts.PlatformsPer, func(i int) error {
+			rng := subRNG(opts.Seed, k, i, saltBounds)
+			pr, err := adaptiveProblem(k, rng)
+			if err != nil {
+				return err
+			}
+			obj := core.SUM
+			model := AdaptiveLoadModel(pr, rng.Int63())
+			var s sample
+
+			// Soundness: the per-epoch relaxation optima of the two
+			// encodings must coincide (on fresh models, so the timing
+			// runs below start cold on both sides).
+			nativeChk, err := pr.NewModel(obj)
+			if err != nil {
+				return err
+			}
+			legacyChk, err := pr.NewModelRowBounds(obj)
+			if err != nil {
+				return err
+			}
+			s.rowsNative, s.rowsLegacy = nativeChk.Rows(), legacyChk.Rows()
+			nb, err := adapt.RunWarmBoundsOn(nativeChk, pr, model, obj, epochs)
+			if err != nil {
+				return fmt.Errorf("experiments: E12 native bounds K=%d: %w", k, err)
+			}
+			lb, err := adapt.RunWarmBoundsOn(legacyChk, pr, model, obj, epochs)
+			if err != nil {
+				return fmt.Errorf("experiments: E12 legacy bounds K=%d: %w", k, err)
+			}
+			for e := range nb {
+				d := math.Abs(nb[e].Bound-lb[e].Bound) / (1 + math.Abs(lb[e].Bound))
+				if d > s.maxDiff {
+					s.maxDiff = d
+				}
+			}
+
+			var coldSolve adapt.Solver
+			var warmSolve func() adapt.WarmSolver
+			switch mode {
+			case AdaptiveExact:
+				coldSolve = func(p *core.Problem) (*core.Allocation, error) {
+					a, _, err := heuristics.BranchAndBound(p, obj, maxNodes)
+					if errors.Is(err, heuristics.ErrNodeBudget) {
+						err = nil
+					}
+					return a, err
+				}
+				warmSolve = func() adapt.WarmSolver { return adapt.WarmBnBBudgetTolerant(maxNodes, nil) }
+			case AdaptiveLPRG:
+				coldSolve = func(p *core.Problem) (*core.Allocation, error) {
+					m, err := p.NewModel(obj)
+					if err != nil {
+						return nil, err
+					}
+					a, _, err := heuristics.LPRGOnModel(m, p, obj, nil)
+					return a, err
+				}
+				warmSolve = func() adapt.WarmSolver { return heuristics.LPRGOnModel }
+			default:
+				return fmt.Errorf("experiments: unknown adaptive mode %d", int(mode))
+			}
+
+			start := time.Now()
+			if _, err := adapt.Run(pr, coldSolve, model, obj, epochs); err != nil {
+				return fmt.Errorf("experiments: E12 cold K=%d: %w", k, err)
+			}
+			s.coldSecs = time.Since(start).Seconds()
+
+			legacy, err := pr.NewModelRowBounds(obj)
+			if err != nil {
+				return err
+			}
+			start = time.Now()
+			if _, err := adapt.RunWarmOn(legacy, pr, warmSolve(), model, obj, epochs); err != nil {
+				return fmt.Errorf("experiments: E12 warm legacy K=%d: %w", k, err)
+			}
+			s.legacySecs = time.Since(start).Seconds()
+
+			native, err := pr.NewModel(obj)
+			if err != nil {
+				return err
+			}
+			start = time.Now()
+			if _, err := adapt.RunWarmOn(native, pr, warmSolve(), model, obj, epochs); err != nil {
+				return fmt.Errorf("experiments: E12 warm native K=%d: %w", k, err)
+			}
+			s.native = time.Since(start).Seconds()
+
+			samples[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := BoundsPoint{K: k, Epochs: epochs, Mode: mode}
+		for _, s := range samples {
+			pt.Platforms++
+			pt.RowsNative += float64(s.rowsNative)
+			pt.RowsLegacy += float64(s.rowsLegacy)
+			pt.ColdSeconds += s.coldSecs
+			pt.WarmLegacySeconds += s.legacySecs
+			pt.WarmNativeSeconds += s.native
+			if s.maxDiff > pt.MaxBoundDiff {
+				pt.MaxBoundDiff = s.maxDiff
+			}
+		}
+		if pt.Platforms > 0 {
+			n := float64(pt.Platforms)
+			pt.RowsNative /= n
+			pt.RowsLegacy /= n
+			pt.ColdSeconds /= n
+			pt.WarmLegacySeconds /= n
+			pt.WarmNativeSeconds /= n
+		}
+		if pt.WarmLegacySeconds > 0 {
+			pt.SpeedupLegacy = pt.ColdSeconds / pt.WarmLegacySeconds
+		}
+		if pt.WarmNativeSeconds > 0 {
+			pt.SpeedupNative = pt.ColdSeconds / pt.WarmNativeSeconds
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoundsSweepExact(t *testing.T) {
+	opts := Options{Seed: 1, PlatformsPer: 2, Ks: []int{4}}
+	pts, err := BoundsSweep(opts, 4, AdaptiveExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	pt := pts[0]
+	if pt.K != 4 || pt.Platforms != 2 || pt.Epochs != 4 || pt.Mode != AdaptiveExact {
+		t.Fatalf("bad point %+v", pt)
+	}
+	if pt.ColdSeconds <= 0 || pt.WarmLegacySeconds <= 0 || pt.WarmNativeSeconds <= 0 {
+		t.Fatalf("non-positive timings %+v", pt)
+	}
+	if pt.RowsNative >= pt.RowsLegacy {
+		t.Fatalf("native rows %.1f not below legacy rows %.1f", pt.RowsNative, pt.RowsLegacy)
+	}
+	// The encodings solve the same LPs: their relaxation optima agree.
+	if !(pt.MaxBoundDiff <= 1e-9) {
+		t.Fatalf("native-vs-legacy bound gap %g", pt.MaxBoundDiff)
+	}
+	table := RenderBoundsTable(pts)
+	if !strings.Contains(table, "m(nat)") || !strings.Contains(table, "BnB") {
+		t.Fatalf("bad table:\n%s", table)
+	}
+	csv := RenderBoundsCSV(pts)
+	if !strings.HasPrefix(csv, "k,platforms,epochs,mode,rows_native,") {
+		t.Fatalf("bad csv:\n%s", csv)
+	}
+}
+
+func TestBoundsSweepLPRG(t *testing.T) {
+	opts := Options{Seed: 1, PlatformsPer: 1, Ks: []int{6}}
+	pts, err := BoundsSweep(opts, 3, AdaptiveLPRG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if pt.Mode != AdaptiveLPRG || pt.ColdSeconds <= 0 || pt.WarmNativeSeconds <= 0 {
+		t.Fatalf("bad point %+v", pt)
+	}
+	if !(pt.MaxBoundDiff <= 1e-9) {
+		t.Fatalf("native-vs-legacy bound gap %g", pt.MaxBoundDiff)
+	}
+	if !strings.Contains(RenderBoundsTable(pts), "LPRG") {
+		t.Fatal("table missing mode")
+	}
+}
+
+func TestBoundsSweepErrors(t *testing.T) {
+	if _, err := BoundsSweep(Options{Ks: []int{4}, PlatformsPer: 1}, 0, AdaptiveExact); err == nil {
+		t.Fatal("zero epochs must fail")
+	}
+	if _, err := BoundsSweep(Options{Ks: []int{4}, PlatformsPer: 1}, 2, AdaptiveMode(99)); err == nil {
+		t.Fatal("unknown mode must fail")
+	}
+}

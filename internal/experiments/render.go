@@ -217,6 +217,41 @@ func RenderAdaptiveCSV(points []AdaptivePoint) string {
 	return b.String()
 }
 
+// RenderBoundsTable formats an E12 native-vs-row-bounds sweep as an
+// ASCII table.
+func RenderBoundsTable(points []BoundsPoint) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %6s %7s %6s %8s %8s %10s %10s %10s %9s %9s %10s\n",
+		"K", "plats", "epochs", "mode", "m(nat)", "m(rows)",
+		"cold(s)", "warmrow(s)", "warmnat(s)", "spd(row)", "spd(nat)", "maxdiff")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%4d %6d %7d %6s %8.1f %8.1f %10.4g %10.4g %10.4g %8.1fx %8.1fx %10.2e\n",
+			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.RowsNative, pt.RowsLegacy,
+			pt.ColdSeconds, pt.WarmLegacySeconds, pt.WarmNativeSeconds,
+			pt.SpeedupLegacy, pt.SpeedupNative, pt.MaxBoundDiff)
+	}
+	return b.String()
+}
+
+// RenderBoundsCSV formats an E12 sweep as CSV.
+func RenderBoundsCSV(points []BoundsPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("k,platforms,epochs,mode,rows_native,rows_legacy,cold_seconds,warm_legacy_seconds,warm_native_seconds,speedup_legacy,speedup_native,max_bound_diff\n")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%.6g,%.6g,%.6g,%.6g,%.6g,%.4g,%.4g,%.6g\n",
+			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.RowsNative, pt.RowsLegacy,
+			pt.ColdSeconds, pt.WarmLegacySeconds, pt.WarmNativeSeconds,
+			pt.SpeedupLegacy, pt.SpeedupNative, pt.MaxBoundDiff)
+	}
+	return b.String()
+}
+
 // RenderAggregate formats the §6.1 headline comparison.
 func RenderAggregate(a *Aggregate) string {
 	var b strings.Builder

@@ -19,9 +19,10 @@ type BnBMode int
 const (
 	// BnBWarm (the default) builds one core.Model for the whole tree
 	// and re-solves each node with the revised simplex, warm-started
-	// from the parent node's optimal basis — a bound change is an
-	// RHS-only mutation, so each child typically needs only a few
-	// dual-simplex pivots.
+	// from the parent node's optimal basis — a branch tightens one β
+	// variable's native bounds, leaving the constraint matrix (and
+	// the basis dimension) untouched, so each child typically needs
+	// only a few dual-simplex pivots.
 	BnBWarm BnBMode = iota
 	// BnBColdDense cold-solves every node relaxation with the dense
 	// tableau backend. It is the pre-refactor reference path, kept for
@@ -112,8 +113,9 @@ func branchAndBoundOnModel(model *core.Model, pr *core.Problem, obj core.Objecti
 	type node struct {
 		bounds map[core.Pair]core.BetaBounds
 		// basis is the parent relaxation's optimal basis; the child's
-		// bound set differs from the parent's by one RHS change, so it
-		// is one dual-simplex restart away (warm mode only).
+		// bound set differs from the parent's by one variable-bound
+		// change, so it is one dual-simplex restart away (warm mode
+		// only).
 		basis *lp.Basis
 	}
 	stack := []node{{bounds: map[core.Pair]core.BetaBounds{}, basis: rootBasis}}

@@ -38,8 +38,9 @@ func (v LPRRVariant) String() string {
 // procedure solves up to K² linear programs, which is exactly the
 // complexity the paper measures in Figure 7 — but where it once
 // rebuilt and cold-solved a fresh LP per pin, it now holds one
-// core.Model for the whole trial: a pin is an RHS-only bound
-// mutation (β_p = v), so every re-solve warm-starts the revised
+// core.Model for the whole trial: a pin is a native variable-bound
+// mutation (β_p fixed to v via lb = ub = v, leaving the constraint
+// matrix untouched), so every re-solve warm-starts the revised
 // simplex from the previous pin's optimal basis.
 //
 // With integral max-connect values a round-up can never make the pin

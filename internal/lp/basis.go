@@ -4,13 +4,17 @@ package lp
 // starting a later re-solve of the same Revised instance (or of
 // another Revised instance built from a Problem with the identical
 // constraint structure — e.g. sibling nodes of a branch-and-bound
-// tree sharing one model). Column indices cover the solver's internal
-// column space, so a Basis is only meaningful to the instance family
-// that produced it; SolveFrom validates and silently falls back to a
-// cold solve on any mismatch.
+// tree sharing one model). Beyond the basic column set it records
+// which nonbasic columns rest at their upper bound, so a re-solve
+// under mutated variable bounds resumes from the exact bounded-
+// variable simplex state the producing solve ended in. Column
+// indices cover the solver's internal column space, so a Basis is
+// only meaningful to the instance family that produced it; SolveFrom
+// validates and silently falls back to a cold solve on any mismatch.
 // A Basis is immutable once returned (snapshot copies out of the
 // solver state), so sharing one pointer across branch-and-bound
 // siblings is safe.
 type Basis struct {
-	cols []int
+	cols  []int
+	upper []bool // nonbasic-at-upper-bound status per internal column
 }

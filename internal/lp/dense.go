@@ -5,8 +5,13 @@ import (
 	"math"
 )
 
-// solveDense runs the two-phase dense-tableau simplex — the original
-// backend, retained behind DenseSolver as reference and fallback.
+// solveDense runs the two-phase dense-tableau simplex — the reference
+// backend, retained behind DenseSolver as the numerical cross-check.
+// It honors variable bounds with the same bounded-variable semantics
+// as the revised backend: lower bounds are shifted away when the
+// tableau is built, nonbasic columns rest at either bound, the ratio
+// test is two-sided and an entering column blocked first by its own
+// opposite bound flips without a pivot.
 func solveDense(p *Problem) (Solution, error) {
 	t := newTableau(p)
 	if t.nart > 0 {
@@ -33,12 +38,16 @@ func solveDense(p *Problem) (Solution, error) {
 	return Solution{Status: Optimal, X: x, Objective: obj}, nil
 }
 
-// tableau is the dense simplex tableau.
+// tableau is the dense simplex tableau, kept canonical over the
+// lower-bound-shifted program: every structural variable ranges over
+// [0, U_j] with U_j = ub_j - lb_j, slack and artificial columns over
+// [0, +Inf). b holds the values of the basic variables given every
+// nonbasic column resting at its current bound (atUpper tracks
+// which).
 //
 // Layout: columns 0..nvars-1 are structural variables, then nslack
 // slack/surplus columns, then nart artificial columns. a has m rows of
-// length ncols; b is the rhs column; basis[i] is the column basic in
-// row i.
+// length ncols; basis[i] is the column basic in row i.
 type tableau struct {
 	m, nvars, nslack, nart int
 	ncols                  int
@@ -46,19 +55,28 @@ type tableau struct {
 	b                      []float64
 	basis                  []int
 	costs                  []float64 // phase-2 objective over all columns
-	rhsScale               float64   // max |b_i|, for relative feasibility tolerance
+	rhsScale               float64   // max |shifted b_i|, for relative feasibility tolerance
+	lb                     []float64 // structural lower bounds (extraction shift)
+	U                      []float64 // shifted bound range per column
+	atUpper                []bool    // nonbasic-at-upper-bound status per column
 }
 
 func newTableau(p *Problem) *tableau {
 	m := len(p.rows)
 	t := &tableau{m: m, nvars: p.nvars}
-	// Count slack and artificial columns. Rows are first normalized
-	// to have nonnegative rhs (negating flips the relation).
+	// Shift the lower bounds out of the rhs, then normalize rows to
+	// have nonnegative shifted rhs (negating flips the relation).
+	// Count slack and artificial columns off the normalized rows.
 	rels := make([]Rel, m)
 	rhs := make([]float64, m)
 	neg := make([]bool, m)
 	for i, r := range p.rows {
 		rels[i], rhs[i] = r.rel, r.rhs
+		for _, term := range r.terms {
+			if lb := p.lb[term.Var]; lb != 0 {
+				rhs[i] -= term.Coeff * lb
+			}
+		}
 		if rhs[i] < 0 {
 			rhs[i] = -rhs[i]
 			neg[i] = true
@@ -82,6 +100,16 @@ func newTableau(p *Problem) *tableau {
 	t.a = make([][]float64, m)
 	t.b = make([]float64, m)
 	t.basis = make([]int, m)
+	t.lb = p.lb
+	t.U = make([]float64, t.ncols)
+	for j := range t.U {
+		if j < p.nvars {
+			t.U[j] = p.ub[j] - p.lb[j]
+		} else {
+			t.U[j] = math.Inf(1)
+		}
+	}
+	t.atUpper = make([]bool, t.ncols)
 	slackAt := p.nvars
 	artAt := p.nvars + t.nslack
 	for i, r := range p.rows {
@@ -139,9 +167,37 @@ func (t *tableau) reducedCosts(costs []float64) []float64 {
 	return cbar
 }
 
-// pivot performs a Gauss-Jordan pivot on (prow, pcol) and updates the
-// basis.
-func (t *tableau) pivot(prow, pcol int) {
+// nonbasicValue returns the shifted-space value a nonbasic column
+// currently rests at.
+func (t *tableau) nonbasicValue(j int) float64 {
+	if t.atUpper[j] {
+		return t.U[j]
+	}
+	return 0
+}
+
+// clampB absorbs roundoff residue just outside a basic variable's box
+// back onto the violated bound.
+func (t *tableau) clampB(i int) {
+	ftol := eps * (1 + t.rhsScale)
+	if t.b[i] < 0 {
+		if t.b[i] > -ftol {
+			t.b[i] = 0
+		}
+		return
+	}
+	if u := t.U[t.basis[i]]; !math.IsInf(u, 1) && t.b[i] > u && t.b[i]-u < ftol {
+		t.b[i] = u
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (prow, pcol) with the
+// entering variable moving by step (in shifted space, signed) from
+// its current bound value, and updates the basis; hitUpper records
+// the bound the leaving variable departs at.
+func (t *tableau) pivot(prow, pcol int, step float64, hitUpper bool) {
+	leaveCol := t.basis[prow]
+	newVal := t.nonbasicValue(pcol) + step
 	piv := t.a[prow][pcol]
 	inv := 1.0 / piv
 	rowp := t.a[prow]
@@ -149,7 +205,6 @@ func (t *tableau) pivot(prow, pcol int) {
 		rowp[j] *= inv
 	}
 	rowp[pcol] = 1 // kill roundoff
-	t.b[prow] *= inv
 	for i := 0; i < t.m; i++ {
 		if i == prow {
 			continue
@@ -163,37 +218,76 @@ func (t *tableau) pivot(prow, pcol int) {
 			rowi[j] -= f * rowp[j]
 		}
 		rowi[pcol] = 0
-		t.b[i] -= f * t.b[prow]
-		if t.b[i] < 0 && t.b[i] > -eps*(1+t.rhsScale) {
-			t.b[i] = 0 // clamp tiny negative residue
-		}
+		t.b[i] -= step * f
+		t.clampB(i)
 	}
+	t.atUpper[leaveCol] = hitUpper && t.U[leaveCol] > 0 && !math.IsInf(t.U[leaveCol], 1)
 	t.basis[prow] = pcol
+	t.atUpper[pcol] = false
+	t.b[prow] = newVal
 }
 
-// ratioTest picks the leaving row for entering column pcol, returning
-// -1 when the column is unbounded. Ties are broken by smallest basis
-// index (a Bland-compatible rule that also fights cycling under
-// Dantzig pricing).
-func (t *tableau) ratioTest(pcol int) int {
+// boundFlip moves nonbasic column pcol across its box to the opposite
+// bound — the pivot-free move of the bounded-variable simplex.
+func (t *tableau) boundFlip(pcol int, dir float64) {
+	step := dir * t.U[pcol]
+	for i := 0; i < t.m; i++ {
+		if f := t.a[i][pcol]; f != 0 {
+			t.b[i] -= step * f
+			t.clampB(i)
+		}
+	}
+	t.atUpper[pcol] = !t.atUpper[pcol]
+}
+
+// ratioTest picks the leaving row for entering column pcol traveled
+// in direction dir, returning -1 when no basic column blocks. The
+// test is two-sided: a basic column blocks at its lower bound
+// (delta > 0) or its finite upper bound (delta < 0); hitUpper
+// records which. Ties are broken by smallest basis index (a
+// Bland-compatible rule that also fights cycling under Dantzig
+// pricing).
+func (t *tableau) ratioTest(pcol int, dir float64) (prow int, hitUpper bool, ratio float64) {
 	best := -1
+	bestUpper := false
 	bestRatio := math.Inf(1)
 	for i := 0; i < t.m; i++ {
-		aij := t.a[i][pcol]
-		if aij <= eps {
+		delta := dir * t.a[i][pcol]
+		var r float64
+		var upper bool
+		switch {
+		case delta > eps:
+			r = t.b[i] / delta
+			if r < 0 {
+				r = 0
+			}
+		case delta < -eps:
+			u := t.U[t.basis[i]]
+			if math.IsInf(u, 1) {
+				continue
+			}
+			r = (u - t.b[i]) / -delta
+			if r < 0 {
+				r = 0
+			}
+			upper = true
+		default:
 			continue
 		}
-		ratio := t.b[i] / aij
-		if ratio < bestRatio-eps || (ratio < bestRatio+eps && (best == -1 || t.basis[i] < t.basis[best])) {
-			bestRatio = ratio
+		if r < bestRatio-eps || (r < bestRatio+eps && (best == -1 || t.basis[i] < t.basis[best])) {
+			bestRatio = r
 			best = i
+			bestUpper = upper
 		}
 	}
-	return best
+	return best, bestUpper, bestRatio
 }
 
-// optimize runs the primal simplex loop with the supplied cost vector
-// over columns [0, colLimit). It returns Unbounded or Optimal.
+// optimize runs the bounded primal simplex loop with the supplied
+// cost vector over columns [0, colLimit): a nonbasic column at its
+// lower bound enters increasing on a positive reduced cost, one at
+// its upper bound enters decreasing on a negative reduced cost. It
+// returns Unbounded or Optimal.
 func (t *tableau) optimize(costs []float64, colLimit int) (Status, error) {
 	maxIters := 200*(t.m+t.ncols) + 20000
 	bland := false
@@ -202,31 +296,57 @@ func (t *tableau) optimize(costs []float64, colLimit int) (Status, error) {
 	for iter := 0; iter < maxIters; iter++ {
 		cbar := t.reducedCosts(costs)
 		pcol := -1
+		dir := 1.0
+		// Basic columns price out at exactly zero (the tableau is kept
+		// canonical), so they are never eligible on either side.
 		if bland {
 			for j := 0; j < colLimit; j++ {
-				if cbar[j] > eps {
-					pcol = j
+				if t.U[j] <= 0 {
+					continue
+				}
+				if !t.atUpper[j] && cbar[j] > eps {
+					pcol, dir = j, 1
+					break
+				}
+				if t.atUpper[j] && cbar[j] < -eps {
+					pcol, dir = j, -1
 					break
 				}
 			}
 		} else {
 			best := eps
 			for j := 0; j < colLimit; j++ {
-				if cbar[j] > best {
-					best = cbar[j]
+				if t.U[j] <= 0 {
+					continue
+				}
+				c := cbar[j]
+				if t.atUpper[j] {
+					c = -c
+				}
+				if c > best {
+					best = c
 					pcol = j
+					if t.atUpper[j] {
+						dir = -1
+					} else {
+						dir = 1
+					}
 				}
 			}
 		}
 		if pcol == -1 {
 			return Optimal, nil
 		}
-		prow := t.ratioTest(pcol)
-		if prow == -1 {
+		prow, hitUpper, ratio := t.ratioTest(pcol, dir)
+		switch {
+		case prow == -1 && math.IsInf(t.U[pcol], 1):
 			return Unbounded, nil
+		case prow == -1 || t.U[pcol] <= ratio:
+			t.boundFlip(pcol, dir)
+		default:
+			t.pivot(prow, pcol, dir*ratio, hitUpper)
 		}
-		t.pivot(prow, pcol)
-		obj := t.basicObjective(costs)
+		obj := t.boundedObjective(costs)
 		if obj <= lastObj+eps {
 			stall++
 			if stall >= stallLimit {
@@ -241,10 +361,18 @@ func (t *tableau) optimize(costs []float64, colLimit int) (Status, error) {
 	return Optimal, ErrIterationLimit
 }
 
-func (t *tableau) basicObjective(costs []float64) float64 {
+// boundedObjective evaluates costs over the full bounded state: basic
+// values plus the nonbasic columns resting at upper bounds (stall
+// detection only, so the lower-bound shift constant is irrelevant).
+func (t *tableau) boundedObjective(costs []float64) float64 {
 	obj := 0.0
 	for i, bj := range t.basis {
 		obj += costs[bj] * t.b[i]
+	}
+	for j := 0; j < t.ncols; j++ {
+		if t.atUpper[j] && costs[j] != 0 {
+			obj += costs[j] * t.U[j]
+		}
 	}
 	return obj
 }
@@ -279,7 +407,8 @@ func (t *tableau) phase1Objective() float64 {
 
 // driveOutArtificials pivots any artificial variable that remains
 // basic (at value zero) out of the basis, or marks its row redundant
-// by zeroing it when no pivot column exists.
+// by zeroing it when no pivot column exists. The pivot is degenerate
+// — the entering column stays at its current bound value.
 func (t *tableau) driveOutArtificials() {
 	artStart := t.nvars + t.nslack
 	for i := 0; i < t.m; i++ {
@@ -294,12 +423,12 @@ func (t *tableau) driveOutArtificials() {
 			}
 		}
 		if pcol == -1 {
-			// Redundant row: zero it out; the artificial stays basic
-			// at value 0 and can never re-enter phase-2 play because
-			// phase 2 prices only non-artificial columns.
+			// Redundant row: the artificial stays basic at value 0 and
+			// can never re-enter phase-2 play because phase 2 prices
+			// only non-artificial columns.
 			continue
 		}
-		t.pivot(i, pcol)
+		t.pivot(i, pcol, t.b[i]/t.a[i][pcol], false)
 	}
 }
 
@@ -308,16 +437,27 @@ func (t *tableau) phase2() (Status, error) {
 	return t.optimize(t.costs, t.nvars+t.nslack)
 }
 
-// extract reads the structural variable values off the basis.
+// extract reads the structural variable values off the bounded state,
+// undoing the lower-bound shift.
 func (t *tableau) extract() []float64 {
 	x := make([]float64, t.nvars)
+	for j := 0; j < t.nvars; j++ {
+		v := 0.0
+		if t.atUpper[j] {
+			v = t.U[j]
+		}
+		x[j] = t.lb[j] + v
+	}
 	for i, bj := range t.basis {
 		if bj < t.nvars {
 			v := t.b[i]
 			if v < 0 {
 				v = 0 // tolerance clamp
 			}
-			x[bj] = v
+			if u := t.U[bj]; !math.IsInf(u, 1) && v > u {
+				v = u
+			}
+			x[bj] = t.lb[bj] + v
 		}
 	}
 	return x

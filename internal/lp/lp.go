@@ -3,22 +3,23 @@
 //
 //	maximize  c·x
 //	subject to  a_i·x {<=,=,>=} b_i   for each constraint i
-//	            x >= 0
+//	            lb_j <= x_j <= ub_j   for each variable j
 //
-// The paper solves its rational relaxations with the C package
-// lp_solve; Go's ecosystem has no standard LP solver, so this package
-// provides one from scratch (stdlib only).
+// with default variable bounds [0, +Inf). The paper solves its
+// rational relaxations with the C package lp_solve; Go's ecosystem
+// has no standard LP solver, so this package provides one from
+// scratch (stdlib only).
 //
 // # Architecture
 //
-// A Problem is a solver-independent model: an objective vector plus
-// sparse constraint rows ([]Term). Two backends implement the Solver
-// interface:
+// A Problem is a solver-independent model: an objective vector,
+// sparse constraint rows ([]Term), and per-variable bounds
+// (SetVarBounds). Two backends implement the Solver interface:
 //
-//   - DenseSolver (dense.go): the original two-phase primal simplex
-//     on a dense tableau. It densifies the rows and rebuilds the
-//     tableau on every call. Kept as the reference implementation and
-//     numerical cross-check.
+//   - DenseSolver (dense.go): a two-phase primal simplex on a dense
+//     tableau. It densifies the rows and rebuilds the tableau on
+//     every call. Kept as the reference implementation and numerical
+//     cross-check.
 //   - RevisedSolver / Revised (revised.go): the default. A revised
 //     simplex that stores the constraint matrix in compressed sparse
 //     column form (sparse.go), maintains an explicit basis inverse,
@@ -28,26 +29,39 @@
 //     phase-1 scheme with artificial variables so equality and >=
 //     constraints are supported.
 //
+// Both backends honor variable bounds natively in the simplex itself
+// — the bounded-variable method, not bound rows: lower bounds are
+// shifted away, a nonbasic variable rests at either of its bounds
+// (the at-upper set is part of the simplex state and of Basis), the
+// ratio tests are two-sided (a basic variable may leave at its lower
+// or its upper bound), and an entering variable that reaches its
+// opposite bound first flips there without a pivot. Tightening a
+// variable's bounds therefore never grows the constraint matrix —
+// the property the branch-and-bound and pin-sequence layers above
+// are built on.
+//
 // Problem.Solve dispatches to DefaultSolver (the revised simplex);
-// Problem.SolveWith selects a backend explicitly.
+// Problem.SolveWith selects a backend explicitly; Problem.SolveBasis
+// additionally returns the optimal basis for later warm starts.
 //
 // # Warm starts
 //
 // A Revised instance is bound to one Problem and may re-solve it many
 // times. The warm-start contract: after the constraint structure is
 // frozen (rows, relations and coefficients fixed), the right-hand
-// sides may be mutated freely through Problem.SetRHS, and
-// Revised.SolveFrom(basis) re-solves from a previously returned
-// Basis. Because an RHS-only change leaves every reduced cost — and
-// hence dual feasibility of the old optimal basis — intact, the
-// re-solve runs the dual simplex from the old basis and typically
-// finishes in a handful of pivots instead of a full phase-1/phase-2
-// pass. Branching bounds and route pins in the layers above are
-// therefore modelled as dedicated rows whose RHS is mutated, never as
-// added rows. SolveFrom falls back to a cold solve whenever the
-// supplied basis is unusable (singular, stale, or numerically
-// degraded), so warm starts are strictly an optimization, never a
-// correctness risk.
+// sides AND the variable bounds may be mutated freely through
+// Problem.SetRHS and Problem.SetVarBounds, and Revised.SolveFrom
+// (basis) re-solves from a previously returned Basis. Because
+// neither mutation touches a reduced cost — and hence dual
+// feasibility of the old optimal basis stays intact — the re-solve
+// runs the dual simplex from the old basis (including its
+// at-upper-bound statuses) and typically finishes in a handful of
+// pivots instead of a full phase-1/phase-2 pass. Branching bounds
+// and route pins in the layers above are therefore native bound
+// mutations, never added or dedicated rows. SolveFrom falls back to
+// a cold solve whenever the supplied basis is unusable (singular,
+// stale, or numerically degraded), so warm starts are strictly an
+// optimization, never a correctness risk.
 package lp
 
 import (
@@ -113,9 +127,10 @@ type Term struct {
 // Problem is a linear program under construction. The zero value is
 // not usable; create problems with New.
 type Problem struct {
-	nvars int
-	c     []float64
-	rows  []row
+	nvars  int
+	c      []float64
+	lb, ub []float64
+	rows   []row
 }
 
 type row struct {
@@ -124,13 +139,22 @@ type row struct {
 	rhs   float64
 }
 
-// New returns an empty maximization problem over nvars nonnegative
-// variables, with a zero objective.
+// New returns an empty maximization problem over nvars variables with
+// default bounds [0, +Inf) and a zero objective.
 func New(nvars int) *Problem {
 	if nvars < 0 {
 		panic(fmt.Sprintf("lp: negative variable count %d", nvars))
 	}
-	return &Problem{nvars: nvars, c: make([]float64, nvars)}
+	p := &Problem{
+		nvars: nvars,
+		c:     make([]float64, nvars),
+		lb:    make([]float64, nvars),
+		ub:    make([]float64, nvars),
+	}
+	for j := range p.ub {
+		p.ub[j] = math.Inf(1)
+	}
+	return p
 }
 
 // NumVars returns the number of structural variables.
@@ -161,14 +185,43 @@ func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) int {
 	return len(p.rows) - 1
 }
 
-// SetRHS mutates the right-hand side of constraint row i. This is the
-// mutation the warm-start contract allows between re-solves of a
-// Revised instance: coefficients and relations are frozen, right-hand
-// sides are free.
+// SetRHS mutates the right-hand side of constraint row i. Together
+// with SetVarBounds this is the mutation the warm-start contract
+// allows between re-solves of a Revised instance: coefficients and
+// relations are frozen, right-hand sides and variable bounds are
+// free.
 func (p *Problem) SetRHS(i int, rhs float64) {
 	p.checkRow(i)
 	checkRHS(rhs)
 	p.rows[i].rhs = rhs
+}
+
+// SetVarBounds mutates the bounds of variable j to lb <= x_j <= ub.
+// lb must be finite and nonnegative; ub may be +Inf (unbounded
+// above). lb > ub is rejected (panic): an empty box is a modelling
+// error — callers that branch past a variable's capacity must treat
+// the crossing as infeasibility themselves, before it reaches the
+// solver. Like SetRHS this is a warm-start-preserving mutation: no
+// reduced cost changes, so a dual-simplex restart from the previous
+// optimal basis remains valid.
+func (p *Problem) SetVarBounds(j int, lb, ub float64) {
+	p.checkVar(j)
+	if math.IsNaN(lb) || math.IsInf(lb, 0) || lb < 0 {
+		panic(fmt.Sprintf("lp: invalid lower bound %g for variable %d", lb, j))
+	}
+	if math.IsNaN(ub) || math.IsInf(ub, -1) {
+		panic(fmt.Sprintf("lp: invalid upper bound %g for variable %d", ub, j))
+	}
+	if lb > ub {
+		panic(fmt.Sprintf("lp: crossed bounds [%g, %g] for variable %d", lb, ub, j))
+	}
+	p.lb[j], p.ub[j] = lb, ub
+}
+
+// VarBounds returns the current bounds of variable j.
+func (p *Problem) VarBounds(j int) (lb, ub float64) {
+	p.checkVar(j)
+	return p.lb[j], p.ub[j]
 }
 
 // RHS returns the current right-hand side of constraint row i.

@@ -8,17 +8,25 @@ import (
 // Revised is a revised-simplex instance bound to one Problem. Unlike
 // the one-shot backends it keeps the constraint matrix (in sparse
 // column form), the basis and the explicit basis inverse alive across
-// solves, which is what makes warm starts cheap: after an RHS-only
-// mutation (Problem.SetRHS), SolveFrom(basis) restarts the dual
-// simplex from a previous optimal basis instead of running a full
-// phase-1/phase-2 pass. When the supplied basis is the one the
-// instance ended its previous solve with — the common case for
-// branch-and-bound depth-first descents and LPRR pin sequences — the
-// basis inverse is reused without refactorization.
+// solves, which is what makes warm starts cheap: after an RHS or
+// variable-bound mutation (Problem.SetRHS / Problem.SetVarBounds),
+// SolveFrom(basis) restarts the dual simplex from a previous optimal
+// basis instead of running a full phase-1/phase-2 pass. When the
+// supplied basis is the one the instance ended its previous solve
+// with — the common case for branch-and-bound depth-first descents
+// and LPRR pin sequences — the basis inverse is reused without
+// refactorization.
+//
+// Variable bounds are handled natively by the bounded-variable
+// simplex: lower bounds are shifted away per solve, each nonbasic
+// column rests at one of its bounds (atUpper tracks which), the
+// ratio tests are two-sided, and an entering column that reaches its
+// opposite bound before any basic column blocks flips there without
+// a pivot.
 //
 // The constraint structure (row count, relations, coefficients) must
-// be frozen after NewRevised; only right-hand sides may change
-// between solves.
+// be frozen after NewRevised; only right-hand sides and variable
+// bounds may change between solves.
 type Revised struct {
 	p          *Problem
 	sp         sparseCols
@@ -37,14 +45,23 @@ type Revised struct {
 	sign     []float64
 	signInit bool
 
+	// Per-solve bound state, refreshed from the owning Problem.
+	// Internally every solve works in the lower-bound-shifted space
+	// x' = x - lb, so a structural column ranges over [0, U] with
+	// U = ub - lb (+Inf when unbounded above); slack and artificial
+	// columns keep [0, +Inf).
+	lbs []float64 // structural lower bounds (extraction shift)
+	U   []float64 // shifted bound range per column
+
 	// Working state, valid between solves while factorized is true.
-	// Invariant: while factorized, the current basis is dual feasible
-	// for the phase-2 costs (every solve ends optimal, infeasible via
-	// the dual simplex — which preserves dual feasibility — or clears
-	// the flag).
+	// Invariant: while factorized, the current basis (with its
+	// atUpper statuses) is dual feasible for the phase-2 costs (every
+	// solve ends optimal, infeasible via the dual simplex — which
+	// preserves dual feasibility — or clears the flag).
 	binv       [][]float64
 	basis      []int
 	inBasis    []bool
+	atUpper    []bool // nonbasic-at-upper-bound status per column
 	xb         []float64
 	b          []float64
 	scale      float64
@@ -57,6 +74,8 @@ type Revised struct {
 	ys   []float64   // signed simplex multipliers
 	ws   []float64   // signed leaving-row vector (dual)
 	d    []float64   // entering direction B^{-1}A_j
+	acc  []float64   // per-row lower-bound shift accumulator
+	beff []float64   // bound-adjusted effective rhs
 	seen []bool      // basis validation
 	work [][]float64 // refactorization workspace [B | I]
 }
@@ -92,6 +111,12 @@ func NewRevised(p *Problem) *Revised {
 	r.xb = make([]float64, r.m)
 	r.basis = make([]int, r.m)
 	r.inBasis = make([]bool, r.ncols)
+	r.atUpper = make([]bool, r.ncols)
+	r.lbs = make([]float64, r.nstruct)
+	r.U = make([]float64, r.ncols)
+	for j := range r.U {
+		r.U[j] = math.Inf(1)
+	}
 	r.binv = make([][]float64, r.m)
 	for i := range r.binv {
 		r.binv[i] = make([]float64, r.m)
@@ -101,16 +126,19 @@ func NewRevised(p *Problem) *Revised {
 	r.ys = make([]float64, r.m)
 	r.ws = make([]float64, r.m)
 	r.d = make([]float64, r.m)
+	r.acc = make([]float64, r.m)
+	r.beff = make([]float64, r.m)
 	r.seen = make([]bool, r.ncols)
 	return r
 }
 
 // SolveFrom solves the instance's problem with the current right-hand
-// sides. With a nil basis (or whenever the basis turns out to be
-// unusable — wrong size, singular, stale beyond repair) it runs a
-// cold two-phase solve; otherwise it warm-starts from the basis with
-// the dual simplex. The returned Basis snapshots the final basis for
-// future warm starts; it is non-nil whenever err is nil.
+// sides and variable bounds. With a nil basis (or whenever the basis
+// turns out to be unusable — wrong size, singular, stale beyond
+// repair) it runs a cold two-phase solve; otherwise it warm-starts
+// from the basis with the dual simplex. The returned Basis snapshots
+// the final basis (including at-upper-bound statuses) for future
+// warm starts; it is non-nil whenever err is nil.
 func (r *Revised) SolveFrom(bas *Basis) (Solution, *Basis, error) {
 	if len(r.p.rows) != r.m {
 		panic(fmt.Sprintf("lp: Revised built over %d rows, problem now has %d (structure is frozen)", r.m, len(r.p.rows)))
@@ -127,12 +155,44 @@ func (r *Revised) SolveFrom(bas *Basis) (Solution, *Basis, error) {
 	return r.coldSolve()
 }
 
-// refreshRHS loads the effective rhs (sign-normalized) and tolerance
-// scale from the owning problem.
+// loadBounds refreshes the per-column bound state from the owning
+// problem and sanitizes at-upper statuses against it: a basic column,
+// a column whose range became unbounded, or a fixed (U = 0) column
+// cannot meaningfully rest at an upper bound.
+func (r *Revised) loadBounds() {
+	for j := 0; j < r.nstruct; j++ {
+		r.lbs[j] = r.p.lb[j]
+		r.U[j] = r.p.ub[j] - r.p.lb[j]
+		if r.atUpper[j] && (r.inBasis[j] || math.IsInf(r.U[j], 1) || r.U[j] <= 0) {
+			r.atUpper[j] = false
+		}
+	}
+	// Slack and artificial columns are unbounded above and can never
+	// rest at an upper bound; clear any claim a foreign basis made.
+	for j := r.nstruct; j < r.ncols; j++ {
+		r.atUpper[j] = false
+	}
+}
+
+// refreshRHS loads the bound state and the effective rhs
+// (sign-normalized, lower-bound-shifted) and tolerance scale from the
+// owning problem.
 func (r *Revised) refreshRHS() {
+	r.loadBounds()
+	acc := r.acc
+	for i := range acc {
+		acc[i] = 0
+	}
+	for j := 0; j < r.nstruct; j++ {
+		if lb := r.lbs[j]; lb != 0 {
+			for t := r.sp.colPtr[j]; t < r.sp.colPtr[j+1]; t++ {
+				acc[r.sp.rowIdx[t]] += r.sp.val[t] * lb
+			}
+		}
+	}
 	r.scale = 0
 	for i := range r.b {
-		r.b[i] = r.sign[i] * r.p.rows[i].rhs
+		r.b[i] = r.sign[i] * (r.p.rows[i].rhs - acc[i])
 		if a := math.Abs(r.b[i]); a > r.scale {
 			r.scale = a
 		}
@@ -142,17 +202,32 @@ func (r *Revised) refreshRHS() {
 func (r *Revised) feasTol() float64 { return eps * (1 + r.scale) }
 func (r *Revised) dualTol() float64 { return 1e-7 * (1 + r.costScale) }
 
-// coldSolve runs the classical two-phase method from a slack basis.
+// nonbasicValue returns the shifted-space value a nonbasic column
+// currently rests at.
+func (r *Revised) nonbasicValue(j int) float64 {
+	if r.atUpper[j] {
+		return r.U[j]
+	}
+	return 0
+}
+
+// coldSolve runs the classical two-phase method from a slack basis,
+// with every structural variable starting at its lower bound.
 func (r *Revised) coldSolve() (Solution, *Basis, error) {
-	for i, row := range r.p.rows {
-		if row.rhs < 0 {
-			r.sign[i] = -1
-		} else {
-			r.sign[i] = 1
-		}
+	for j := range r.atUpper {
+		r.atUpper[j] = false
+	}
+	for i := range r.sign {
+		r.sign[i] = 1
 	}
 	r.signInit = true
 	r.refreshRHS()
+	for i := range r.b {
+		if r.b[i] < 0 {
+			r.sign[i] = -1
+			r.b[i] = -r.b[i]
+		}
+	}
 
 	// Initial basis: the slack column where it is basic-feasible
 	// (effective coefficient +1, or rhs 0), the artificial otherwise.
@@ -226,6 +301,9 @@ func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
 	if len(bas.cols) != r.m {
 		return Solution{}, nil, false, nil
 	}
+	if bas.upper != nil && len(bas.upper) != r.ncols {
+		return Solution{}, nil, false, nil
+	}
 	// While the live factorization is valid its basis is already dual
 	// feasible (see the struct invariant), so the cheapest restart is
 	// to continue from the instance's current state — even when it is
@@ -250,11 +328,20 @@ func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
 		for _, c := range r.basis {
 			r.inBasis[c] = true
 		}
+		if bas.upper != nil {
+			copy(r.atUpper, bas.upper)
+		} else {
+			for j := range r.atUpper {
+				r.atUpper[j] = false
+			}
+		}
 		if !r.refactorize() {
 			r.factorized = false
 			return Solution{}, nil, false, nil
 		}
 	}
+	// refreshRHS sanitizes the at-upper set against the (possibly
+	// mutated) bounds before computeXB prices the nonbasic columns in.
 	r.refreshRHS()
 	r.computeXB()
 
@@ -266,6 +353,13 @@ func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
 			return Solution{}, nil, false, nil // e.g. iteration limit: retry cold
 		}
 		if status == Infeasible {
+			if r.artificialResidue() > infeasTol*(1+r.scale) {
+				// The infeasibility certificate was built on a basis
+				// still carrying a stale artificial at macroscopic
+				// value; don't trust it — recheck cold.
+				r.factorized = false
+				return Solution{}, nil, false, nil
+			}
 			r.factorized = false
 			return Solution{Status: Infeasible}, r.snapshot(), true, nil
 		}
@@ -291,11 +385,12 @@ func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
 
 // finishWarm wraps finish for warm restarts: a sizeable residue on a
 // basic artificial here means the basis carried a stale artificial
-// into the new rhs (phase 1 never ran), so infeasibility cannot be
-// concluded from it — hand the decision to an authoritative cold
-// solve instead of misreporting a feasible bound set.
+// into the new rhs (phase 1 never ran), so no verdict built on it is
+// authoritative — an Optimal claim may hide infeasibility and an
+// Unbounded ray may lean on the artificial subspace. Hand every such
+// outcome to a cold solve instead of misreporting.
 func (r *Revised) finishWarm(status Status) (Solution, *Basis, bool, error) {
-	if status == Optimal && r.artificialResidue() > infeasTol*(1+r.scale) {
+	if r.artificialResidue() > infeasTol*(1+r.scale) {
 		r.factorized = false
 		return Solution{}, nil, false, nil
 	}
@@ -316,13 +411,23 @@ func (r *Revised) finish(status Status) (Solution, *Basis, error) {
 		return Solution{Status: Infeasible}, r.snapshot(), nil
 	}
 	x := make([]float64, r.nstruct)
+	for j := 0; j < r.nstruct; j++ {
+		v := 0.0
+		if !r.inBasis[j] && r.atUpper[j] {
+			v = r.U[j]
+		}
+		x[j] = r.lbs[j] + v
+	}
 	for i, bj := range r.basis {
 		if bj < r.nstruct {
 			v := r.xb[i]
 			if v < 0 {
 				v = 0 // tolerance clamp
 			}
-			x[bj] = v
+			if u := r.U[bj]; !math.IsInf(u, 1) && v > u {
+				v = u
+			}
+			x[bj] = r.lbs[bj] + v
 		}
 	}
 	obj := 0.0
@@ -335,7 +440,9 @@ func (r *Revised) finish(status Status) (Solution, *Basis, error) {
 func (r *Revised) snapshot() *Basis {
 	cp := make([]int, r.m)
 	copy(cp, r.basis)
-	return &Basis{cols: cp}
+	up := make([]bool, r.ncols)
+	copy(up, r.atUpper)
+	return &Basis{cols: cp, upper: up}
 }
 
 func (r *Revised) fullCosts() []float64 { return r.c2 }
@@ -379,13 +486,24 @@ func (r *Revised) direction(j int, dst []float64) {
 	})
 }
 
-// computeXB sets xb = B^{-1}·b.
+// computeXB sets xb = B^{-1}·(b - Σ_{j at upper} A_j·U_j): the basic
+// values given every nonbasic column resting at its current bound.
 func (r *Revised) computeXB() {
+	beff := r.beff
+	copy(beff, r.b)
+	for j := 0; j < r.nstruct; j++ {
+		if r.atUpper[j] {
+			u := r.U[j]
+			r.effCol(j, func(i int, v float64) {
+				beff[i] -= v * u
+			})
+		}
+	}
 	for i := 0; i < r.m; i++ {
 		s := 0.0
 		row := r.binv[i]
 		for t := 0; t < r.m; t++ {
-			s += row[t] * r.b[t]
+			s += row[t] * beff[t]
 		}
 		r.xb[i] = s
 	}
@@ -455,17 +573,33 @@ func (r *Revised) refactorize() bool {
 	return true
 }
 
+// clampXB absorbs roundoff residue just outside the basic variable's
+// box back onto the violated bound.
+func (r *Revised) clampXB(i int, ftol float64) {
+	if r.xb[i] < 0 {
+		if r.xb[i] > -ftol {
+			r.xb[i] = 0
+		}
+		return
+	}
+	if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u && r.xb[i]-u < ftol {
+		r.xb[i] = u
+	}
+}
+
 // pivotUpdate applies the product-form update for entering column
-// `enter` replacing the variable basic in row `leave`; d must hold
-// B^{-1}·A_enter.
-func (r *Revised) pivotUpdate(leave, enter int, d []float64) {
-	piv := d[leave]
-	inv := 1 / piv
+// `enter` replacing the variable basic in row `leave`, with the
+// entering variable moving by `step` (in shifted space, signed) from
+// its current bound value; d must hold B^{-1}·A_enter. leaveAtUpper
+// records the bound the leaving variable departs at.
+func (r *Revised) pivotUpdate(leave, enter int, d []float64, step float64, leaveAtUpper bool) {
+	leaveCol := r.basis[leave]
+	newVal := r.nonbasicValue(enter) + step
+	inv := 1 / d[leave]
 	rowL := r.binv[leave]
 	for t := 0; t < r.m; t++ {
 		rowL[t] *= inv
 	}
-	r.xb[leave] *= inv
 	ftol := r.feasTol()
 	for i := 0; i < r.m; i++ {
 		if i == leave {
@@ -479,14 +613,15 @@ func (r *Revised) pivotUpdate(leave, enter int, d []float64) {
 		for t := 0; t < r.m; t++ {
 			rowi[t] -= f * rowL[t]
 		}
-		r.xb[i] -= f * r.xb[leave]
-		if r.xb[i] < 0 && r.xb[i] > -ftol {
-			r.xb[i] = 0 // clamp tiny negative residue
-		}
+		r.xb[i] -= step * f
+		r.clampXB(i, ftol)
 	}
-	r.inBasis[r.basis[leave]] = false
+	r.inBasis[leaveCol] = false
+	r.atUpper[leaveCol] = leaveAtUpper && r.U[leaveCol] > 0 && !math.IsInf(r.U[leaveCol], 1)
 	r.basis[leave] = enter
 	r.inBasis[enter] = true
+	r.atUpper[enter] = false
+	r.xb[leave] = newVal
 	r.pivots++
 	if r.pivots >= refactorEvery {
 		if r.refactorize() {
@@ -500,10 +635,36 @@ func (r *Revised) pivotUpdate(leave, enter int, d []float64) {
 	}
 }
 
-func (r *Revised) basicObjective(costs []float64) float64 {
+// boundFlip moves nonbasic column j across its box to the opposite
+// bound — the pivot-free move of the bounded-variable simplex; d must
+// hold B^{-1}·A_j and dir the direction of travel (+1 from lower to
+// upper, -1 back).
+func (r *Revised) boundFlip(j int, d []float64, dir float64) {
+	step := dir * r.U[j]
+	ftol := r.feasTol()
+	for i := 0; i < r.m; i++ {
+		if d[i] == 0 {
+			continue
+		}
+		r.xb[i] -= step * d[i]
+		r.clampXB(i, ftol)
+	}
+	r.atUpper[j] = !r.atUpper[j]
+}
+
+// boundedObjective evaluates costs over the full bounded state:
+// basic values plus the nonbasic columns resting at upper bounds
+// (used for stall detection only, so the lower-bound shift constant
+// is irrelevant).
+func (r *Revised) boundedObjective(costs []float64) float64 {
 	obj := 0.0
 	for i, bj := range r.basis {
 		obj += costs[bj] * r.xb[i]
+	}
+	for j := 0; j < r.nstruct; j++ {
+		if r.atUpper[j] && costs[j] != 0 {
+			obj += costs[j] * r.U[j]
+		}
 	}
 	return obj
 }
@@ -529,9 +690,13 @@ func (r *Revised) signedMultipliers(costs []float64, ys []float64) {
 	}
 }
 
-// primal runs the revised primal simplex with the given cost vector.
-// Entering candidates are the non-artificial columns; artificials may
-// only leave the basis.
+// primal runs the revised primal simplex with the given cost vector
+// under the bounded-variable rules: a nonbasic column at its lower
+// bound enters increasing on a positive reduced cost, one at its
+// upper bound enters decreasing on a negative reduced cost, and an
+// entering column blocked first by its own opposite bound flips
+// without a pivot. Entering candidates are the non-artificial
+// columns; artificials may only leave the basis.
 func (r *Revised) primal(costs []float64) (Status, error) {
 	maxIters := 200*(r.m+r.ncols) + 20000
 	bland := false
@@ -541,22 +706,40 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 	for iter := 0; iter < maxIters; iter++ {
 		r.signedMultipliers(costs, ys)
 		enter := -1
+		dir := 1.0
 		if bland {
 			for j := 0; j < r.artStart; j++ {
-				if !r.inBasis[j] && costs[j]-r.colDotSigned(ys, j) > eps {
-					enter = j
+				if r.inBasis[j] || r.U[j] <= 0 {
+					continue
+				}
+				cbar := costs[j] - r.colDotSigned(ys, j)
+				if !r.atUpper[j] && cbar > eps {
+					enter, dir = j, 1
+					break
+				}
+				if r.atUpper[j] && cbar < -eps {
+					enter, dir = j, -1
 					break
 				}
 			}
 		} else {
 			best := eps
 			for j := 0; j < r.artStart; j++ {
-				if r.inBasis[j] {
+				if r.inBasis[j] || r.U[j] <= 0 {
 					continue
 				}
-				if cbar := costs[j] - r.colDotSigned(ys, j); cbar > best {
+				cbar := costs[j] - r.colDotSigned(ys, j)
+				if r.atUpper[j] {
+					cbar = -cbar
+				}
+				if cbar > best {
 					best = cbar
 					enter = j
+					if r.atUpper[j] {
+						dir = -1
+					} else {
+						dir = 1
+					}
 				}
 			}
 		}
@@ -564,12 +747,18 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 			return Optimal, nil
 		}
 		r.direction(enter, d)
-		leave := r.primalRatioTest(d)
-		if leave == -1 {
+		leave, leaveAtUpper, t := r.primalRatioTest(d, dir)
+		switch {
+		case leave == -1 && math.IsInf(r.U[enter], 1):
 			return Unbounded, nil
+		case leave == -1 || r.U[enter] <= t:
+			// The entering column reaches its opposite bound before
+			// any basic column blocks: flip, no pivot.
+			r.boundFlip(enter, d, dir)
+		default:
+			r.pivotUpdate(leave, enter, d, dir*t, leaveAtUpper)
 		}
-		r.pivotUpdate(leave, enter, d)
-		obj := r.basicObjective(costs)
+		obj := r.boundedObjective(costs)
 		if obj <= lastObj+eps {
 			stall++
 			if stall >= stallLimit {
@@ -584,105 +773,200 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 	return Optimal, ErrIterationLimit
 }
 
-// primalRatioTest picks the leaving row for the entering direction d,
-// or -1 when the column is unbounded. Ties break toward the smallest
-// basic column (Bland-compatible). Zero-valued basic artificials with
-// a usable nonzero component are forced out first so they can never
-// turn positive again during phase 2; "usable" requires the implied
-// entering value |xb/d| to be negligible, so a near-eps pivot under a
-// small positive residue can never catapult the entering variable to
-// a macroscopic (negative) value.
-func (r *Revised) primalRatioTest(d []float64) int {
+// primalRatioTest picks the leaving row for the entering direction d
+// traveled in direction dir, or -1 when no basic column blocks (the
+// entering column is then limited only by its own opposite bound, or
+// unbounded). The test is two-sided: a basic column blocks when it
+// hits its lower bound (delta > 0) or its finite upper bound
+// (delta < 0); the returned flag records which. Ties break toward
+// the smallest basic column (Bland-compatible). Zero-valued basic
+// artificials with a usable nonzero component are forced out first
+// so they can never turn positive again during phase 2; "usable"
+// requires the implied entering value |xb/d| to be negligible, so a
+// near-eps pivot under a small positive residue can never catapult
+// the entering variable to a macroscopic out-of-box value.
+func (r *Revised) primalRatioTest(d []float64, dir float64) (leave int, atUpper bool, t float64) {
 	ftol := r.feasTol()
 	best := -1
+	bestUpper := false
 	bestRatio := math.Inf(1)
 	for i := 0; i < r.m; i++ {
 		if r.basis[i] >= r.artStart && r.xb[i] <= ftol && math.Abs(d[i]) > eps &&
 			math.Abs(r.xb[i]) <= math.Abs(d[i])*ftol {
-			return i // degenerate pivot: eject the artificial now
+			return i, false, 0 // degenerate pivot: eject the artificial now
 		}
-		if d[i] <= eps {
+		delta := dir * d[i]
+		var ratio float64
+		var hitsUpper bool
+		switch {
+		case delta > eps:
+			ratio = r.xb[i] / delta
+			if ratio < 0 {
+				ratio = 0
+			}
+		case delta < -eps:
+			u := r.U[r.basis[i]]
+			if math.IsInf(u, 1) {
+				continue
+			}
+			ratio = (u - r.xb[i]) / -delta
+			if ratio < 0 {
+				ratio = 0
+			}
+			hitsUpper = true
+		default:
 			continue
-		}
-		ratio := r.xb[i] / d[i]
-		if ratio < 0 {
-			ratio = 0
 		}
 		if ratio < bestRatio-eps || (ratio < bestRatio+eps && (best == -1 || r.basis[i] < r.basis[best])) {
 			bestRatio = ratio
 			best = i
+			bestUpper = hitsUpper
 		}
 	}
-	return best
+	return best, bestUpper, bestRatio
 }
 
 // dual runs the revised dual simplex: starting dual-feasible, it
-// restores primal feasibility after an RHS mutation. Returns
-// Infeasible when the dual is unbounded (= the primal constraints
-// admit no solution), Optimal when xb is feasible.
+// restores primal feasibility after an RHS or bound mutation. A basic
+// column may violate either side of its box; the entering ratio test
+// prices nonbasic columns on the matching side (at-lower columns
+// with nonpositive, at-upper columns with nonnegative reduced costs)
+// so dual feasibility is preserved. Returns Infeasible when the dual
+// is unbounded (= the primal constraints admit no solution), Optimal
+// when xb is feasible.
 func (r *Revised) dual(costs []float64) (Status, error) {
-	maxIters := 200*(r.m+r.ncols) + 20000
+	// The dual only ever runs as a warm restart, and a restart is
+	// worth at most a few multiples of the basis dimension in pivots:
+	// past that the old basis carries no useful information and the
+	// caller's cold fallback — whose early pivots on a fresh diagonal
+	// inverse are far cheaper — wins. A tight budget turns the rare
+	// degenerate grind (cycling-prone epochs can otherwise burn the
+	// generic iteration limit, minutes of wall clock) into an
+	// ErrIterationLimit that SolveFrom converts into that fallback.
+	maxIters := 6*r.m + 2000
 	ys, ws, d := r.ys, r.ws, r.d
 	bland := false
 	stall := 0
+	sinceBest := 0
 	lastInfeas := math.Inf(1)
+	minInfeas := math.Inf(1)
+	// The simplex multipliers move by a multiple of the leaving row of
+	// B^{-1} per dual pivot (y' = y + γ·ρ_r, γ = c̄_enter/d_leave), so
+	// they are maintained incrementally — O(m) per iteration instead
+	// of the O(m²) from-scratch accumulation — and recomputed exactly
+	// whenever pivotUpdate refactorizes, which bounds the drift the
+	// same way it bounds the basis inverse's.
+	r.signedMultipliers(costs, ys)
 	for iter := 0; iter < maxIters; iter++ {
 		ftol := r.feasTol()
 		leave := -1
+		below := false
 		if bland {
+			// Bland's rule needs the smallest *variable* index among
+			// the violating basics (row order is not a valid
+			// anti-cycling order).
 			for i := 0; i < r.m; i++ {
-				if r.xb[i] < -ftol {
-					leave = i
-					break
+				isBelow := r.xb[i] < -ftol
+				above := false
+				if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u+ftol {
+					above = true
+				}
+				if (isBelow || above) && (leave == -1 || r.basis[i] < r.basis[leave]) {
+					leave, below = i, isBelow
 				}
 			}
 		} else {
-			worst := -ftol
+			worst := ftol
 			for i := 0; i < r.m; i++ {
-				if r.xb[i] < worst {
-					worst = r.xb[i]
-					leave = i
+				if v := -r.xb[i]; v > worst {
+					worst, leave, below = v, i, true
+				}
+				if u := r.U[r.basis[i]]; !math.IsInf(u, 1) {
+					if v := r.xb[i] - u; v > worst {
+						worst, leave, below = v, i, false
+					}
 				}
 			}
 		}
 		if leave == -1 {
 			return Optimal, nil
 		}
-		// ws = (e_leave·B^{-1}) sign-normalized for sparse pricing.
+		// ws = ±(e_leave·B^{-1}) sign-normalized for sparse pricing,
+		// oriented so eligible columns always price out negative for
+		// at-lower and positive for at-upper candidates.
+		amult := 1.0
+		if !below {
+			amult = -1
+		}
 		rowL := r.binv[leave]
 		for i := 0; i < r.m; i++ {
-			ws[i] = rowL[i] * r.sign[i]
+			ws[i] = amult * rowL[i] * r.sign[i]
 		}
-		r.signedMultipliers(costs, ys)
 		enter := -1
 		bestRatio := math.Inf(1)
+		enterCbar := 0.0
 		for j := 0; j < r.artStart; j++ {
-			if r.inBasis[j] {
+			if r.inBasis[j] || r.U[j] <= 0 {
 				continue
 			}
 			alpha := r.colDotSigned(ws, j)
-			if alpha >= -eps {
-				continue
+			var ratio, raw float64
+			if !r.atUpper[j] {
+				if alpha >= -eps {
+					continue
+				}
+				raw = costs[j] - r.colDotSigned(ys, j)
+				cbar := raw
+				if cbar > 0 {
+					cbar = 0 // dual-feasibility roundoff slop
+				}
+				ratio = cbar / alpha
+			} else {
+				if alpha <= eps {
+					continue
+				}
+				raw = costs[j] - r.colDotSigned(ys, j)
+				cbar := raw
+				if cbar < 0 {
+					cbar = 0 // dual-feasibility roundoff slop
+				}
+				ratio = cbar / alpha
 			}
-			cbar := costs[j] - r.colDotSigned(ys, j)
-			if cbar > 0 {
-				cbar = 0 // dual-feasibility roundoff slop
-			}
-			ratio := cbar / alpha
 			if ratio < bestRatio-eps || (ratio < bestRatio+eps && (enter == -1 || j < enter)) {
 				bestRatio = ratio
 				enter = j
+				enterCbar = raw
 			}
 		}
 		if enter == -1 {
 			return Infeasible, nil
 		}
 		r.direction(enter, d)
-		r.pivotUpdate(leave, enter, d)
+		target := 0.0
+		if !below {
+			target = r.U[r.basis[leave]]
+		}
+		step := (r.xb[leave] - target) / d[leave]
+		// Multiplier update with the pre-pivot leaving row; the raw
+		// (unclamped) reduced cost keeps y'·A_enter = c_enter exact.
+		if gamma := enterCbar / d[leave]; gamma != 0 {
+			for i := 0; i < r.m; i++ {
+				ys[i] += gamma * rowL[i] * r.sign[i]
+			}
+		}
+		r.pivotUpdate(leave, enter, d, step, !below)
+		if r.pivots == 0 {
+			// pivotUpdate hit a refactorization checkpoint: the basis
+			// inverse was rebuilt (or found singular and deferred), so
+			// refresh the multipliers exactly too.
+			r.signedMultipliers(costs, ys)
+		}
 		infeas := 0.0
 		for i := 0; i < r.m; i++ {
 			if r.xb[i] < 0 {
 				infeas -= r.xb[i]
+			} else if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u {
+				infeas += r.xb[i] - u
 			}
 		}
 		if infeas >= lastInfeas-eps {
@@ -690,9 +974,23 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 			if stall >= stallLimit {
 				bland = true
 			}
+			// A restart that cannot push total infeasibility to a new
+			// low across several Bland episodes is degenerate-cycling
+			// territory; every further iteration is wasted O(m²) work
+			// against the cold fallback. Give up early.
+			if infeas >= minInfeas-eps {
+				sinceBest++
+				if sinceBest >= 4*stallLimit {
+					return Optimal, ErrIterationLimit
+				}
+			}
 		} else {
 			stall = 0
 			bland = false
+		}
+		if infeas < minInfeas-eps {
+			minInfeas = infeas
+			sinceBest = 0
 		}
 		lastInfeas = infeas
 	}
@@ -700,17 +998,23 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 }
 
 // dualFeasible reports whether every nonbasic non-artificial column
-// prices out nonpositive (within tolerance) under costs — the
-// precondition for restarting with the dual simplex.
+// prices out on the right side for its bound (within tolerance)
+// under costs — nonpositive at a lower bound, nonnegative at an
+// upper bound — the precondition for restarting with the dual
+// simplex. Fixed (U = 0) columns cannot move and are exempt.
 func (r *Revised) dualFeasible(costs []float64) bool {
 	ys := r.ys
 	r.signedMultipliers(costs, ys)
 	tol := r.dualTol()
 	for j := 0; j < r.artStart; j++ {
-		if r.inBasis[j] {
+		if r.inBasis[j] || r.U[j] <= 0 {
 			continue
 		}
-		if costs[j]-r.colDotSigned(ys, j) > tol {
+		cbar := costs[j] - r.colDotSigned(ys, j)
+		if !r.atUpper[j] && cbar > tol {
+			return false
+		}
+		if r.atUpper[j] && cbar < -tol {
 			return false
 		}
 	}
@@ -721,6 +1025,9 @@ func (r *Revised) primalFeasible() bool {
 	ftol := r.feasTol()
 	for i := 0; i < r.m; i++ {
 		if r.xb[i] < -ftol {
+			return false
+		}
+		if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u+ftol {
 			return false
 		}
 	}
@@ -772,6 +1079,6 @@ func (r *Revised) driveOutArtificials() {
 			continue
 		}
 		r.direction(enter, d)
-		r.pivotUpdate(i, enter, d)
+		r.pivotUpdate(i, enter, d, r.xb[i]/d[i], false)
 	}
 }

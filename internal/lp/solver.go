@@ -46,5 +46,17 @@ func (RevisedSolver) Solve(p *Problem) (Solution, error) {
 // unbounded) are reported through Solution.Status.
 func (p *Problem) Solve() (Solution, error) { return DefaultSolver.Solve(p) }
 
+// SolveBasis is Solve through the revised simplex, additionally
+// returning the optimal basis. RevisedSolver.Solve necessarily
+// discards the basis (the Solver interface has nowhere to put it);
+// one-shot callers that want to seed a later warm start — without
+// constructing a Revised instance by hand — use this entry instead.
+// The basis is non-nil whenever err is nil, and is valid for any
+// Revised instance built over a Problem with the identical
+// constraint structure.
+func (p *Problem) SolveBasis() (Solution, *Basis, error) {
+	return NewRevised(p).SolveFrom(nil)
+}
+
 // SolveWith runs the problem through a specific backend.
 func (p *Problem) SolveWith(s Solver) (Solution, error) { return s.Solve(p) }

@@ -1,0 +1,96 @@
+package multiapp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platgen"
+)
+
+// TestModelLinkBudgetBoundEncoding: links that constrain exactly one
+// pooled route variable are folded into native upper bounds at build
+// time (no constraint row), and SetLinkBudget on such links must
+// still track a fresh one-shot Relaxed on a platform carrying the
+// mutated budget — including budgets of zero and budget restoration.
+func TestModelLinkBudgetBoundEncoding(t *testing.T) {
+	converted := 0
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(900 + seed))
+		params := platgen.Params{
+			K:             3 + rng.Intn(4),
+			Connectivity:  0.6,
+			Heterogeneity: 0.4,
+			MeanG:         150,
+			MeanBW:        20,
+			MeanMaxCon:    5,
+		}
+		pl, err := platgen.Generate(params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		K := pl.K()
+		var apps []App
+		for a := 0; a < K; a++ {
+			apps = append(apps, App{Name: "a", Origin: rng.Intn(K), Payoff: float64(1 + rng.Intn(3))})
+		}
+		pr := &Problem{Platform: pl, Apps: apps}
+		obj := []core.Objective{core.SUM, core.MAXMIN}[seed%2]
+		m, err := pr.NewModel(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := 0
+		for li := range pl.Links {
+			if m.linkVar[li] >= 0 {
+				converted++
+				if m.linkRow[li] >= 0 {
+					t.Fatalf("seed %d: link %d both bound- and row-encoded", seed, li)
+				}
+			}
+			if m.linkRow[li] >= 0 {
+				rows++
+			}
+		}
+		if got := m.prob.NumConstraints(); got < rows {
+			t.Fatalf("seed %d: %d constraints < %d link rows", seed, got, rows)
+		}
+		if _, err := m.Solve(); err != nil {
+			t.Fatal(err)
+		}
+		for epoch := 0; epoch < 5; epoch++ {
+			mod := pl.Clone()
+			for li := range mod.Links {
+				if rng.Float64() < 0.5 {
+					continue
+				}
+				mod.Links[li].MaxConnect = rng.Intn(pl.Links[li].MaxConnect + 1)
+				if err := m.SetLinkBudget(li, float64(mod.Links[li].MaxConnect)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warm, err := m.Solve()
+			if err != nil {
+				t.Fatalf("seed %d epoch %d: warm: %v", seed, epoch, err)
+			}
+			fresh, err := (&Problem{Platform: mod, Apps: apps}).Relaxed(obj)
+			if err != nil {
+				t.Fatalf("seed %d epoch %d: fresh: %v", seed, epoch, err)
+			}
+			if math.Abs(warm.Objective-fresh.Objective) > 1e-9*(1+math.Abs(fresh.Objective)) {
+				t.Fatalf("seed %d epoch %d: warm %.12g, fresh %.12g", seed, epoch, warm.Objective, fresh.Objective)
+			}
+			// Restore the nominal budgets so the next epoch perturbs
+			// from the same baseline the fresh problem clones.
+			for li := range pl.Links {
+				if err := m.SetLinkBudget(li, float64(pl.Links[li].MaxConnect)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if converted == 0 {
+		t.Fatal("no link was ever bound-encoded across all seeds; conversion path untested")
+	}
+}

@@ -12,10 +12,16 @@ import (
 // relaxation. Where Relaxed builds and cold-solves a one-shot
 // lp.Problem, a Model is built once and re-solved after incremental
 // capacity mutations — the §1 adaptability scenario, where observed
-// per-epoch speeds and gateway availabilities are injected into the
-// next period's solve. Capacity changes are RHS-only, so every
-// re-solve warm-starts the revised simplex from the previous optimal
-// basis.
+// per-epoch speeds, gateway availabilities and link budgets are
+// injected into the next period's solve. Capacity changes are RHS or
+// native variable-bound mutations, so every re-solve warm-starts the
+// revised simplex from the previous optimal basis.
+//
+// A link whose merged (7d)+(7e) constraint covers exactly one pooled
+// route variable is not a row at all: α_{a,l}/bw ≤ budget collapses
+// to the native upper bound α_{a,l} ≤ budget·bw, shrinking the basis
+// the same way core.Model's retired β bound rows did. SetLinkBudget
+// transparently mutates the bound instead of a row for such links.
 type Model struct {
 	pr  *Problem
 	obj core.Objective
@@ -27,7 +33,12 @@ type Model struct {
 
 	speedRow   []int // LP row of cluster l's (7b) constraint, -1 if absent
 	gatewayRow []int // LP row of cluster k's (7c) constraint, -1 if absent
-	linkRow    []int // LP row of link li's merged (7d)+(7e) constraint, -1 if absent
+	linkRow    []int // LP row of link li's merged (7d)+(7e) constraint, -1 if absent or bound-encoded
+
+	linkVar  []int           // variable natively bounded by link li, -1 when row-encoded or absent
+	budget   []float64       // current per-link connection budgets
+	varBW    map[int]float64 // route bottleneck bandwidth behind each bounded variable
+	varLinks map[int][]int   // bound-encoded links constraining each variable
 
 	basis *lp.Basis // last optimal basis, used to warm-start re-solves
 }
@@ -128,7 +139,9 @@ func (pr *Problem) NewModel(obj core.Objective) (*Model, error) {
 			m.gatewayRow[k] = prob.AddConstraint(terms, lp.LE, pl.Clusters[k].Gateway)
 		}
 	}
-	// (7d)+(7e) per link, pooled per origin route.
+	// (7d)+(7e) per link, pooled per origin route. Links carrying a
+	// single pooled variable become native upper bounds instead of
+	// rows: α/bw ≤ budget ⇔ α ≤ budget·bw.
 	linkUse := make([][]lp.Term, len(pl.Links))
 	for _, v := range vars {
 		origin := pr.Apps[v.a].Origin
@@ -145,16 +158,46 @@ func (pr *Problem) NewModel(obj core.Objective) (*Model, error) {
 		}
 	}
 	m.linkRow = make([]int, len(pl.Links))
+	m.linkVar = make([]int, len(pl.Links))
+	m.budget = make([]float64, len(pl.Links))
+	m.varBW = make(map[int]float64)
+	m.varLinks = make(map[int][]int)
+	m.prob = prob
 	for li := range pl.Links {
-		m.linkRow[li] = -1
-		if len(linkUse[li]) > 0 {
-			m.linkRow[li] = prob.AddConstraint(linkUse[li], lp.LE, float64(pl.Links[li].MaxConnect))
+		m.linkRow[li], m.linkVar[li] = -1, -1
+		m.budget[li] = float64(pl.Links[li].MaxConnect)
+		use := linkUse[li]
+		switch {
+		case len(use) == 0:
+		case len(use) == 1:
+			v := use[0].Var
+			m.linkVar[li] = v
+			m.varBW[v] = 1 / use[0].Coeff // the route's MinBW
+			m.varLinks[v] = append(m.varLinks[v], li)
+		default:
+			m.linkRow[li] = prob.AddConstraint(use, lp.LE, m.budget[li])
 		}
 	}
+	for v := range m.varLinks {
+		m.applyVarCap(v)
+	}
 
-	m.prob = prob
 	m.rev = lp.NewRevised(prob)
 	return m, nil
+}
+
+// applyVarCap writes the effective native upper bound of variable v:
+// the tightest budget·bw cap among the bound-encoded links on its
+// route (links shared with other routes keep their rows and do not
+// participate).
+func (m *Model) applyVarCap(v int) {
+	ub := math.Inf(1)
+	for _, li := range m.varLinks[v] {
+		if c := m.budget[li] * m.varBW[v]; c < ub {
+			ub = c
+		}
+	}
+	m.prob.SetVarBounds(v, 0, ub)
 }
 
 // SetSpeed mutates cluster l's computing-speed capacity (7b). A
@@ -187,7 +230,10 @@ func (m *Model) SetGateway(k int, g float64) error {
 	return nil
 }
 
-// SetLinkBudget mutates backbone link li's connection budget (7d).
+// SetLinkBudget mutates backbone link li's connection budget (7d):
+// an RHS change for shared links, a native upper-bound change for
+// links that were folded into a variable bound at build time. Both
+// preserve warm-startability.
 func (m *Model) SetLinkBudget(li int, maxConnect float64) error {
 	if li < 0 || li >= len(m.linkRow) {
 		return fmt.Errorf("multiapp: link %d out of range", li)
@@ -195,8 +241,11 @@ func (m *Model) SetLinkBudget(li int, maxConnect float64) error {
 	if maxConnect < 0 || math.IsNaN(maxConnect) || math.IsInf(maxConnect, 0) {
 		return fmt.Errorf("multiapp: max-connect %g invalid", maxConnect)
 	}
+	m.budget[li] = maxConnect
 	if r := m.linkRow[li]; r >= 0 {
 		m.prob.SetRHS(r, maxConnect)
+	} else if v := m.linkVar[li]; v >= 0 {
+		m.applyVarCap(v)
 	}
 	return nil
 }
