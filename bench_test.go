@@ -314,6 +314,42 @@ func BenchmarkE12_WarmLPRG_RowBounds_K12(b *testing.B)    { benchE12WarmLPRG(b, 
 func BenchmarkE12_WarmLPRG_NativeBounds_K20(b *testing.B) { benchE12WarmLPRG(b, 20, false) }
 func BenchmarkE12_WarmLPRG_RowBounds_K20(b *testing.B)    { benchE12WarmLPRG(b, 20, true) }
 
+// BenchmarkE13_* measure the sparse LU/eta-file basis representation
+// against the dense explicit inverse it replaced (the PR 3 baseline)
+// on the warm LPRG epoch loop — the regime where every dual pivot
+// used to pay O(m²) against the dense inverse. Besides ns/op, each
+// benchmark reports the solver's pivot count and the implied
+// per-pivot cost, so the representation effect is visible separately
+// from pivot-count changes (devex pricing). K=30 runs on the LU
+// backend only: the point of the representation is that it makes
+// that scale tractable.
+func benchE13WarmLPRG(b *testing.B, k int, rep lp.BasisRep) {
+	pr := benchBnBProblem(b, k)
+	model := benchAdaptiveModel(pr)
+	totalPivots := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm, err := pr.NewModelRep(core.SUM, rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := adapt.RunWarmOn(cm, pr, heuristics.LPRGOnModel, model, core.SUM, benchAdaptiveEpochs); err != nil {
+			b.Fatal(err)
+		}
+		totalPivots += cm.SolverStats().Pivots
+	}
+	if totalPivots > 0 {
+		b.ReportMetric(float64(totalPivots)/float64(b.N), "pivots/op")
+		b.ReportMetric(b.Elapsed().Seconds()*1e6/float64(totalPivots), "µs/pivot")
+	}
+}
+
+func BenchmarkE13_WarmLPRG_LU_K12(b *testing.B)       { benchE13WarmLPRG(b, 12, lp.LUEtaRep) }
+func BenchmarkE13_WarmLPRG_DenseInv_K12(b *testing.B) { benchE13WarmLPRG(b, 12, lp.DenseInverseRep) }
+func BenchmarkE13_WarmLPRG_LU_K20(b *testing.B)       { benchE13WarmLPRG(b, 20, lp.LUEtaRep) }
+func BenchmarkE13_WarmLPRG_DenseInv_K20(b *testing.B) { benchE13WarmLPRG(b, 20, lp.DenseInverseRep) }
+func BenchmarkE13_WarmLPRG_LU_K30(b *testing.B)       { benchE13WarmLPRG(b, 30, lp.LUEtaRep) }
+
 // BenchmarkE7_ReductionExactSolve builds the §4 instance for a
 // 5-cycle and solves it exactly (Theorem 1 equivalence).
 func BenchmarkE7_ReductionExactSolve(b *testing.B) {

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,8 +38,8 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, all")
-		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds)")
+		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, lu, all")
+		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds, lu)")
 		seed      = flag.Int64("seed", 1, "sweep seed")
 		platforms = flag.Int("platforms", 0, "platforms per K (0 = per-experiment default)")
 		ks        = flag.String("ks", "", "comma-separated K values (default per experiment)")
@@ -46,6 +47,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = one per CPU; fig7 stays sequential unless set > 1)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		outdir    = flag.String("outdir", "", "also write each artifact to this directory")
+		jsonOut   = flag.Bool("json", false, "also write machine-readable BENCH_E*.json files for the perf sweeps (adaptive→BENCH_E11, bounds→BENCH_E12, lu→BENCH_E13), to -outdir or the current directory")
 	)
 	flag.Parse()
 
@@ -80,6 +82,25 @@ func run() error {
 			ext = ".csv"
 		}
 		return os.WriteFile(filepath.Join(*outdir, name+ext), []byte(content), 0o644)
+	}
+
+	// writeJSON records a perf sweep's points verbatim, so successive
+	// PRs can diff BENCH_E*.json files instead of re-parsing tables.
+	writeJSON := func(name string, v any) error {
+		if !*jsonOut {
+			return nil
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshaling %s: %w", name, err)
+		}
+		dir := *outdir
+		if dir == "" {
+			dir = "."
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -198,6 +219,9 @@ func run() error {
 		if err := emit("adaptive", content); err != nil {
 			return err
 		}
+		if err := writeJSON("BENCH_E11.json", pts); err != nil {
+			return err
+		}
 	}
 	if want("bounds") {
 		// E12: native bounded-variable simplex versus the retired
@@ -232,6 +256,41 @@ func run() error {
 			content = experiments.RenderBoundsCSV(pts)
 		}
 		if err := emit("bounds", content); err != nil {
+			return err
+		}
+		if err := writeJSON("BENCH_E12.json", pts); err != nil {
+			return err
+		}
+	}
+	if want("lu") {
+		// E13: the sparse LU/eta-file basis representation against the
+		// dense explicit inverse it replaced, on the warm LPRG epoch
+		// loop with the cold rebuild as the shared baseline. The
+		// default K=10/15/20/30 rows re-measure the E11/E12 falloff
+		// curve — K=30 is tractable for the first time — and the
+		// per-pivot columns isolate the representation's effect from
+		// pivot-count changes. Wall-clock, so sequential unless
+		// -workers asks otherwise.
+		opts := base
+		opts.Ks = []int{10, 15, 20, 30}
+		if ksOverride != nil {
+			opts.Ks = ksOverride
+		}
+		if *platforms == 0 {
+			opts.PlatformsPer = 3
+		}
+		pts, err := experiments.LUSweep(opts, *epochs, experiments.AdaptiveLPRG)
+		if err != nil {
+			return err
+		}
+		content := experiments.RenderLUTable(pts)
+		if *csv {
+			content = experiments.RenderLUCSV(pts)
+		}
+		if err := emit("lu", content); err != nil {
+			return err
+		}
+		if err := writeJSON("BENCH_E13.json", pts); err != nil {
 			return err
 		}
 	}

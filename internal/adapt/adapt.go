@@ -303,19 +303,37 @@ func Throttle(pr *core.Problem, a *core.Allocation) *core.Allocation {
 	// Link-budget overloads: drop whole connections (deterministic
 	// row-major order) until every link fits its max-connect budget;
 	// the route-capacity clip below then shrinks the affected α to
-	// the surviving β·bw.
-	for li := range pl.Links {
-		over := -pl.Links[li].MaxConnect
+	// the surviving β·bw. One pass over the routes builds the
+	// per-link loads and (row-major) crossing lists; shedding then
+	// maintains the loads incrementally, which is equivalent to
+	// recomputing each link's overload from the current β but costs
+	// O(paths) instead of O(links·K²·pathlen).
+	if len(pl.Links) > 0 {
+		load := make([]int, len(pl.Links))
+		crossing := make([][][2]int, len(pl.Links))
 		for k := 0; k < K; k++ {
 			for l := 0; l < K; l++ {
-				if k != l && routeCrosses(pl, k, l, li) {
-					over += out.Beta[k][l]
+				if k == l {
+					continue
+				}
+				rt := pl.Route(k, l)
+				if !rt.Exists {
+					continue
+				}
+				for _, li := range rt.Links {
+					load[li] += out.Beta[k][l]
+					crossing[li] = append(crossing[li], [2]int{k, l})
 				}
 			}
 		}
-		for k := 0; k < K && over > 0; k++ {
-			for l := 0; l < K && over > 0; l++ {
-				if k == l || out.Beta[k][l] <= 0 || !routeCrosses(pl, k, l, li) {
+		for li := range pl.Links {
+			over := load[li] - pl.Links[li].MaxConnect
+			for _, kl := range crossing[li] {
+				if over <= 0 {
+					break
+				}
+				k, l := kl[0], kl[1]
+				if out.Beta[k][l] <= 0 {
 					continue
 				}
 				d := out.Beta[k][l]
@@ -324,6 +342,9 @@ func Throttle(pr *core.Problem, a *core.Allocation) *core.Allocation {
 				}
 				out.Beta[k][l] -= d
 				over -= d
+				for _, li2 := range pl.Route(k, l).Links {
+					load[li2] -= d
+				}
 			}
 		}
 	}
@@ -374,21 +395,6 @@ func Throttle(pr *core.Problem, a *core.Allocation) *core.Allocation {
 		}
 	}
 	return out
-}
-
-// routeCrosses reports whether the fixed route k→l crosses backbone
-// link li.
-func routeCrosses(pl *platform.Platform, k, l, li int) bool {
-	rt := pl.Route(k, l)
-	if !rt.Exists {
-		return false
-	}
-	for _, x := range rt.Links {
-		if x == li {
-			return true
-		}
-	}
-	return false
 }
 
 // Summary aggregates a run.

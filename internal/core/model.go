@@ -37,23 +37,29 @@ type Model struct {
 
 	alphaIdx map[Pair]int
 	betaIdx  map[Pair]int
-	betaVars []Pair // row-major order
+	betaVars []Pair       // row-major order
+	betaOrd  map[Pair]int // route → ordinal into the per-β slices below
 
-	natural      map[Pair]float64 // per-route cap implied by link budgets
-	curLb, curUb map[Pair]float64 // explicit SetBounds state (curUb < 0: none)
+	// Per-β-route mutable state, indexed by the betaVars ordinal —
+	// slices, not maps, because ResetBounds and the per-epoch
+	// capacity injections walk every route on hot paths.
+	betaVarIdx   []int     // LP variable index per ordinal
+	natural      []float64 // cap implied by link budgets
+	curLb, curUb []float64 // explicit SetBounds state (curUb < 0: none)
+	crossed      []bool    // native only: lb > effective ub
+	numCrossed   int
 
 	// rowBounds selects the historical encoding (two explicit bound
 	// rows per β variable) instead of native variable bounds; kept
 	// for numerical cross-checks and the E12 before/after benchmark.
 	rowBounds    bool
-	lbRow, ubRow map[Pair]int  // legacy row encoding only
-	crossed      map[Pair]bool // native only: routes with lb > effective ub
+	lbRow, ubRow map[Pair]int // legacy row encoding only
 
 	speedRow   []int     // LP row of cluster l's (7b) constraint, -1 if absent
 	gatewayRow []int     // LP row of cluster k's (7c) constraint, -1 if absent
 	linkRow    []int     // LP row of link li's (7d) constraint, -1 if absent
 	budget     []float64 // current per-link connection budgets
-	linkRoutes [][]Pair  // β routes whose path crosses each link
+	linkRoutes [][]int32 // β ordinals whose route crosses each link
 }
 
 // NewModel validates the problem and builds the α/β relaxation with
@@ -63,7 +69,15 @@ type Model struct {
 // bounds leave the relaxation exactly equivalent to MixedRelaxed with
 // no bounds.
 func (pr *Problem) NewModel(obj Objective) (*Model, error) {
-	return pr.newModel(obj, false)
+	return pr.newModel(obj, false, lp.LUEtaRep)
+}
+
+// NewModelRep is NewModel over an explicit lp basis representation —
+// the hook the E13 sweep and benchmarks use to drive the same warm
+// epoch loop through the sparse LU/eta factorization (the default)
+// and the dense explicit inverse (the PR 3 baseline).
+func (pr *Problem) NewModelRep(obj Objective, rep lp.BasisRep) (*Model, error) {
+	return pr.newModel(obj, false, rep)
 }
 
 // NewModelRowBounds builds the same relaxation with the historical
@@ -74,10 +88,10 @@ func (pr *Problem) NewModel(obj Objective) (*Model, error) {
 // measures what retiring the rows buys — and should not be used by
 // new callers.
 func (pr *Problem) NewModelRowBounds(obj Objective) (*Model, error) {
-	return pr.newModel(obj, true)
+	return pr.newModel(obj, true, lp.LUEtaRep)
 }
 
-func (pr *Problem) newModel(obj Objective, rowBounds bool) (*Model, error) {
+func (pr *Problem) newModel(obj Objective, rowBounds bool, rep lp.BasisRep) (*Model, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,16 +102,12 @@ func (pr *Problem) newModel(obj Objective, rowBounds bool) (*Model, error) {
 		obj:       obj,
 		alphaIdx:  make(map[Pair]int),
 		betaIdx:   make(map[Pair]int),
-		natural:   make(map[Pair]float64),
-		curLb:     make(map[Pair]float64),
-		curUb:     make(map[Pair]float64),
+		betaOrd:   make(map[Pair]int),
 		rowBounds: rowBounds,
 	}
 	if rowBounds {
 		m.lbRow = make(map[Pair]int)
 		m.ubRow = make(map[Pair]int)
-	} else {
-		m.crossed = make(map[Pair]bool)
 	}
 
 	var order []Pair
@@ -123,6 +133,7 @@ func (pr *Problem) newModel(obj Objective, rowBounds bool) (*Model, error) {
 			continue // same-router: no backbone crossing, no β
 		}
 		m.betaIdx[p] = n
+		m.betaOrd[p] = len(m.betaVars)
 		m.betaVars = append(m.betaVars, p)
 		n++
 	}
@@ -197,13 +208,13 @@ func (pr *Problem) newModel(obj Objective, rowBounds bool) (*Model, error) {
 	}
 	// (7d) per-link connection budgets over β.
 	linkUse := make([][]lp.Term, len(pl.Links))
-	m.linkRoutes = make([][]Pair, len(pl.Links))
-	for _, p := range m.betaVars {
+	m.linkRoutes = make([][]int32, len(pl.Links))
+	for ord, p := range m.betaVars {
 		bIdx := m.betaIdx[p]
 		rt := pl.Route(p.K, p.L)
 		for _, li := range rt.Links {
 			linkUse[li] = append(linkUse[li], lp.Term{Var: bIdx, Coeff: 1})
-			m.linkRoutes[li] = append(m.linkRoutes[li], p)
+			m.linkRoutes[li] = append(m.linkRoutes[li], int32(ord))
 		}
 	}
 	m.linkRow = make([]int, len(pl.Links))
@@ -234,22 +245,39 @@ func (pr *Problem) newModel(obj Objective, rowBounds bool) (*Model, error) {
 	// Native mode writes them as variable bounds; the legacy encoding
 	// appends its two rows per route here instead.
 	m.prob = prob
-	for _, p := range m.betaVars {
-		m.natural[p] = m.naturalCap(p)
-		m.curLb[p] = 0
-		m.curUb[p] = -1
+	m.betaVarIdx = make([]int, len(m.betaVars))
+	for ord, p := range m.betaVars {
+		m.betaVarIdx[ord] = m.betaIdx[p]
+	}
+	m.natural = make([]float64, len(m.betaVars))
+	m.curLb = make([]float64, len(m.betaVars))
+	m.curUb = make([]float64, len(m.betaVars))
+	m.crossed = make([]bool, len(m.betaVars))
+	for ord, p := range m.betaVars {
+		m.natural[ord] = m.naturalCap(ord)
+		m.curLb[ord] = 0
+		m.curUb[ord] = -1
 		if m.rowBounds {
 			idx := m.betaIdx[p]
-			m.ubRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.LE, m.natural[p])
+			m.ubRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.LE, m.natural[ord])
 			m.lbRow[p] = prob.AddConstraint([]lp.Term{{Var: idx, Coeff: 1}}, lp.GE, 0)
 		} else {
-			m.applyBounds(p)
+			m.applyBounds(ord)
 		}
 	}
 
-	m.rev = lp.NewRevised(prob)
+	m.rev = lp.NewRevisedRep(prob, rep)
 	return m, nil
 }
+
+// SolverStats returns the lp solver's accumulated activity counters
+// (pivots, refactorizations, bound flips, warm/cold solve mix) for
+// this model's persistent revised-simplex instance — the per-solve
+// cost drivers the E11/E12/E13 sweeps report.
+func (m *Model) SolverStats() lp.Stats { return m.rev.Stats() }
+
+// ResetSolverStats zeroes the counters SolverStats reports.
+func (m *Model) ResetSolverStats() { m.rev.ResetStats() }
 
 // BetaVars lists the routes carrying a β variable in deterministic
 // row-major order — the same set RemoteRoutes reports.
@@ -259,9 +287,11 @@ func (m *Model) BetaVars() []Pair {
 	return out
 }
 
-// naturalCap returns the β cap link budgets imply on route p: the
-// smallest current budget among the links its path crosses.
-func (m *Model) naturalCap(p Pair) float64 {
+// naturalCap returns the β cap link budgets imply on the ord-th β
+// route: the smallest current budget among the links its path
+// crosses.
+func (m *Model) naturalCap(ord int) float64 {
+	p := m.betaVars[ord]
 	nat := math.Inf(1)
 	for _, li := range m.pr.Platform.Route(p.K, p.L).Links {
 		if c := m.budget[li]; c < nat {
@@ -271,29 +301,36 @@ func (m *Model) naturalCap(p Pair) float64 {
 	return nat
 }
 
-// applyBounds writes route p's effective bounds: the explicit
-// SetBounds state clipped to the (possibly mutated) natural
+// applyBounds writes the ord-th β route's effective bounds: the
+// explicit SetBounds state clipped to the (possibly mutated) natural
 // link-budget cap. Native mode rejects an empty box at this layer —
 // the LP never sees lb > ub; the route is recorded as crossed and
 // Solve short-circuits to infeasible, exactly the verdict the legacy
 // encoding reaches by running the simplex on the contradictory rows.
-func (m *Model) applyBounds(p Pair) {
-	lb := m.curLb[p]
-	ub := m.natural[p]
-	if e := m.curUb[p]; e >= 0 && e < ub {
+func (m *Model) applyBounds(ord int) {
+	lb := m.curLb[ord]
+	ub := m.natural[ord]
+	if e := m.curUb[ord]; e >= 0 && e < ub {
 		ub = e
 	}
 	if m.rowBounds {
+		p := m.betaVars[ord]
 		m.prob.SetRHS(m.lbRow[p], lb)
 		m.prob.SetRHS(m.ubRow[p], ub)
 		return
 	}
 	if lb > ub {
-		m.crossed[p] = true
+		if !m.crossed[ord] {
+			m.crossed[ord] = true
+			m.numCrossed++
+		}
 		return
 	}
-	delete(m.crossed, p)
-	m.prob.SetVarBounds(m.betaIdx[p], lb, ub)
+	if m.crossed[ord] {
+		m.crossed[ord] = false
+		m.numCrossed--
+	}
+	m.prob.SetVarBounds(m.betaVarIdx[ord], lb, ub)
 }
 
 // SetBounds mutates route p's β bounds in place (a bound-only
@@ -301,7 +338,8 @@ func (m *Model) applyBounds(p Pair) {
 // above, which the model realizes as the route's natural link-budget
 // cap.
 func (m *Model) SetBounds(p Pair, b BetaBounds) error {
-	if _, ok := m.betaIdx[p]; !ok {
+	ord, ok := m.betaOrd[p]
+	if !ok {
 		return fmt.Errorf("core: β bounds on route (%d,%d) with no β variable", p.K, p.L)
 	}
 	lb := b.Lb
@@ -312,18 +350,21 @@ func (m *Model) SetBounds(p Pair, b BetaBounds) error {
 	if ub < 0 {
 		ub = -1
 	}
-	m.curLb[p] = lb
-	m.curUb[p] = ub
-	m.applyBounds(p)
+	m.curLb[ord] = lb
+	m.curUb[ord] = ub
+	m.applyBounds(ord)
 	return nil
 }
 
 // ResetBounds restores every β bound to its default [0, natural cap].
 func (m *Model) ResetBounds() {
-	for _, p := range m.betaVars {
-		m.curLb[p] = 0
-		m.curUb[p] = -1
-		m.applyBounds(p)
+	for ord := range m.betaVars {
+		if m.curLb[ord] == 0 && m.curUb[ord] == -1 {
+			continue // already at the default
+		}
+		m.curLb[ord] = 0
+		m.curUb[ord] = -1
+		m.applyBounds(ord)
 	}
 }
 
@@ -370,13 +411,18 @@ func (m *Model) SetLinkBudget(li int, maxConnect float64) error {
 	if maxConnect < 0 || math.IsNaN(maxConnect) || math.IsInf(maxConnect, 0) {
 		return fmt.Errorf("core: max-connect %g invalid", maxConnect)
 	}
+	if m.budget[li] == maxConnect {
+		return nil // no-op injection: the natural caps are unchanged
+	}
 	m.budget[li] = maxConnect
 	if r := m.linkRow[li]; r >= 0 {
 		m.prob.SetRHS(r, maxConnect)
 	}
-	for _, p := range m.linkRoutes[li] {
-		m.natural[p] = m.naturalCap(p)
-		m.applyBounds(p)
+	for _, ord := range m.linkRoutes[li] {
+		if nat := m.naturalCap(int(ord)); nat != m.natural[ord] {
+			m.natural[ord] = nat
+			m.applyBounds(int(ord))
+		}
 	}
 	return nil
 }
@@ -394,7 +440,7 @@ func (m *Model) Rows() int { return m.prob.NumConstraints() }
 // either by the solver, or immediately when a route's lower bound
 // crossed its effective cap (an empty box needs no LP).
 func (m *Model) Solve(from *lp.Basis) (*MixedSolution, *lp.Basis, bool, error) {
-	if len(m.crossed) > 0 {
+	if m.numCrossed > 0 {
 		return nil, nil, false, nil
 	}
 	sol, basis, err := m.rev.SolveFrom(from)
@@ -409,7 +455,7 @@ func (m *Model) Solve(from *lp.Basis) (*MixedSolution, *lp.Basis, bool, error) {
 // through an explicit backend — the reference path used by the
 // dense-vs-revised cross-checks and the cold-solve benchmark mode.
 func (m *Model) SolveWith(s lp.Solver) (*MixedSolution, bool, error) {
-	if len(m.crossed) > 0 {
+	if m.numCrossed > 0 {
 		return nil, false, nil
 	}
 	sol, err := m.prob.SolveWith(s)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/heuristics"
+	"repro/internal/lp"
 )
 
 // BoundsPoint is one K value of the E12 sweep: the measured payoff of
@@ -36,6 +37,13 @@ type BoundsPoint struct {
 	// the legacy per-epoch relaxation optima (a soundness guard: the
 	// encodings must agree; an LP's optimal value is unique).
 	MaxBoundDiff float64
+	// Solver statistics of the warm native loop's persistent model,
+	// summed over platforms — the per-solve cost drivers behind
+	// WarmNativeSeconds.
+	NativePivots        int
+	NativeRefactors     int
+	NativeBoundFlips    int
+	NativeColdFallbacks int
 }
 
 const saltBounds = 5
@@ -61,6 +69,7 @@ func BoundsSweep(opts Options, epochs int, mode AdaptiveMode) ([]BoundsPoint, er
 		rowsNative, rowsLegacy       int
 		coldSecs, legacySecs, native float64
 		maxDiff                      float64
+		stats                        lp.Stats
 	}
 	var out []BoundsPoint
 	for _, k := range opts.Ks {
@@ -153,6 +162,7 @@ func BoundsSweep(opts Options, epochs int, mode AdaptiveMode) ([]BoundsPoint, er
 				return fmt.Errorf("experiments: E12 warm native K=%d: %w", k, err)
 			}
 			s.native = time.Since(start).Seconds()
+			s.stats = native.SolverStats()
 
 			samples[i] = s
 			return nil
@@ -168,6 +178,10 @@ func BoundsSweep(opts Options, epochs int, mode AdaptiveMode) ([]BoundsPoint, er
 			pt.ColdSeconds += s.coldSecs
 			pt.WarmLegacySeconds += s.legacySecs
 			pt.WarmNativeSeconds += s.native
+			pt.NativePivots += s.stats.Pivots
+			pt.NativeRefactors += s.stats.Refactorizations
+			pt.NativeBoundFlips += s.stats.BoundFlips
+			pt.NativeColdFallbacks += s.stats.ColdFallbacks
 			if s.maxDiff > pt.MaxBoundDiff {
 				pt.MaxBoundDiff = s.maxDiff
 			}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/lp"
+)
+
+// LUPoint is one K value of the E13 sweep: the measured payoff of the
+// sparse LU/eta-file basis representation over the dense explicit
+// inverse it replaced (the PR 3 baseline). For the E11/E12 platform
+// generator and perturbation sequence it times three epoch loops —
+// cold per-epoch rebuild (the shared baseline), warm on the dense
+// inverse, warm on LU/eta — and divides each warm loop's wall clock
+// by its solver pivot count to expose the per-pivot cost the
+// representation is all about.
+type LUPoint struct {
+	K         int
+	Platforms int
+	Epochs    int
+	Mode      AdaptiveMode
+	// Rows is the mean basis dimension m (native bounds encoding).
+	Rows float64
+	// Mean wall-clock seconds per full epoch run.
+	ColdSeconds      float64
+	WarmDenseSeconds float64
+	WarmLUSeconds    float64
+	// Speedups are ColdSeconds / Warm*Seconds.
+	SpeedupDense, SpeedupLU float64
+	// Pivot counts of the two warm loops (summed over platforms) and
+	// the implied mean per-pivot cost in microseconds.
+	DensePivots, LUPivots           int
+	DensePivotMicros, LUPivotMicros float64
+	// LU housekeeping: refactorizations, pivot-free bound flips, and
+	// warm restarts abandoned into cold fallbacks on each backend
+	// (the dense inverse's fallback count is the PR 3 "degenerate
+	// early-bail" symptom the LU representation was meant to shrink).
+	LURefactors                         int
+	LUBoundFlips                        int
+	DenseColdFallbacks, LUColdFallbacks int
+	// MaxDiff is the largest relative gap between the per-epoch
+	// relaxation optima of the two backends (soundness guard: an LP's
+	// optimal value is unique, so the backends must agree).
+	MaxDiff float64
+}
+
+const saltLU = 7
+
+// LUSweep runs the E13 comparison: for every K it drives the same
+// perturbation sequence through a cold per-epoch rebuild and through
+// the warm epoch engine twice — once on a model whose revised simplex
+// keeps the dense explicit basis inverse, once on the default sparse
+// LU/eta representation. Exact mode drives the warm branch-and-bound;
+// LPRG mode the polynomial heuristic, where K=10/15/20/30 re-measure
+// the E12 falloff curve whose K≳20 tail the dense inverse's O(m²)
+// pivots capped.
+func LUSweep(opts Options, epochs int, mode AdaptiveMode) ([]LUPoint, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("experiments: epochs = %d, want >= 1", epochs)
+	}
+	const maxNodes = 4000
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	type sample struct {
+		rows                        int
+		coldSecs, denseSecs, luSecs float64
+		denseStats, luStats         lp.Stats
+		maxDiff                     float64
+	}
+	var out []LUPoint
+	for _, k := range opts.Ks {
+		samples := make([]sample, opts.PlatformsPer)
+		err := forEach(workers, opts.PlatformsPer, func(i int) error {
+			rng := subRNG(opts.Seed, k, i, saltLU)
+			pr, err := adaptiveProblem(k, rng)
+			if err != nil {
+				return err
+			}
+			obj := core.SUM
+			model := AdaptiveLoadModel(pr, rng.Int63())
+			var s sample
+
+			// Soundness: both representations must trace the same
+			// per-epoch relaxation optima (fresh models, so the timing
+			// runs below start cold on both sides).
+			luChk, err := pr.NewModelRep(obj, lp.LUEtaRep)
+			if err != nil {
+				return err
+			}
+			denseChk, err := pr.NewModelRep(obj, lp.DenseInverseRep)
+			if err != nil {
+				return err
+			}
+			s.rows = luChk.Rows()
+			lub, err := adapt.RunWarmBoundsOn(luChk, pr, model, obj, epochs)
+			if err != nil {
+				return fmt.Errorf("experiments: E13 LU bounds K=%d: %w", k, err)
+			}
+			db, err := adapt.RunWarmBoundsOn(denseChk, pr, model, obj, epochs)
+			if err != nil {
+				return fmt.Errorf("experiments: E13 dense bounds K=%d: %w", k, err)
+			}
+			for e := range lub {
+				d := math.Abs(lub[e].Bound-db[e].Bound) / (1 + math.Abs(db[e].Bound))
+				if d > s.maxDiff {
+					s.maxDiff = d
+				}
+			}
+
+			var coldSolve adapt.Solver
+			var warmSolve func() adapt.WarmSolver
+			switch mode {
+			case AdaptiveExact:
+				coldSolve = func(p *core.Problem) (*core.Allocation, error) {
+					a, _, err := heuristics.BranchAndBound(p, obj, maxNodes)
+					if errors.Is(err, heuristics.ErrNodeBudget) {
+						err = nil
+					}
+					return a, err
+				}
+				warmSolve = func() adapt.WarmSolver { return adapt.WarmBnBBudgetTolerant(maxNodes, nil) }
+			case AdaptiveLPRG:
+				coldSolve = func(p *core.Problem) (*core.Allocation, error) {
+					m, err := p.NewModel(obj)
+					if err != nil {
+						return nil, err
+					}
+					a, _, err := heuristics.LPRGOnModel(m, p, obj, nil)
+					return a, err
+				}
+				warmSolve = func() adapt.WarmSolver { return heuristics.LPRGOnModel }
+			default:
+				return fmt.Errorf("experiments: unknown adaptive mode %d", int(mode))
+			}
+
+			start := time.Now()
+			if _, err := adapt.Run(pr, coldSolve, model, obj, epochs); err != nil {
+				return fmt.Errorf("experiments: E13 cold K=%d: %w", k, err)
+			}
+			s.coldSecs = time.Since(start).Seconds()
+
+			dense, err := pr.NewModelRep(obj, lp.DenseInverseRep)
+			if err != nil {
+				return err
+			}
+			start = time.Now()
+			if _, err := adapt.RunWarmOn(dense, pr, warmSolve(), model, obj, epochs); err != nil {
+				return fmt.Errorf("experiments: E13 warm dense K=%d: %w", k, err)
+			}
+			s.denseSecs = time.Since(start).Seconds()
+			s.denseStats = dense.SolverStats()
+
+			lum, err := pr.NewModelRep(obj, lp.LUEtaRep)
+			if err != nil {
+				return err
+			}
+			start = time.Now()
+			if _, err := adapt.RunWarmOn(lum, pr, warmSolve(), model, obj, epochs); err != nil {
+				return fmt.Errorf("experiments: E13 warm LU K=%d: %w", k, err)
+			}
+			s.luSecs = time.Since(start).Seconds()
+			s.luStats = lum.SolverStats()
+
+			samples[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := LUPoint{K: k, Epochs: epochs, Mode: mode}
+		for _, s := range samples {
+			pt.Platforms++
+			pt.Rows += float64(s.rows)
+			pt.ColdSeconds += s.coldSecs
+			pt.WarmDenseSeconds += s.denseSecs
+			pt.WarmLUSeconds += s.luSecs
+			pt.DensePivots += s.denseStats.Pivots
+			pt.LUPivots += s.luStats.Pivots
+			pt.LURefactors += s.luStats.Refactorizations
+			pt.LUBoundFlips += s.luStats.BoundFlips
+			pt.DenseColdFallbacks += s.denseStats.ColdFallbacks
+			pt.LUColdFallbacks += s.luStats.ColdFallbacks
+			if s.maxDiff > pt.MaxDiff {
+				pt.MaxDiff = s.maxDiff
+			}
+		}
+		if pt.Platforms > 0 {
+			n := float64(pt.Platforms)
+			pt.Rows /= n
+			pt.ColdSeconds /= n
+			pt.WarmDenseSeconds /= n
+			pt.WarmLUSeconds /= n
+		}
+		if pt.WarmDenseSeconds > 0 {
+			pt.SpeedupDense = pt.ColdSeconds / pt.WarmDenseSeconds
+		}
+		if pt.WarmLUSeconds > 0 {
+			pt.SpeedupLU = pt.ColdSeconds / pt.WarmLUSeconds
+		}
+		// Per-pivot cost: total warm wall clock over total pivots. The
+		// warm loops are solver-dominated, so this is the honest
+		// aggregate the representation change targets.
+		if pt.DensePivots > 0 {
+			pt.DensePivotMicros = pt.WarmDenseSeconds * float64(pt.Platforms) * 1e6 / float64(pt.DensePivots)
+		}
+		if pt.LUPivots > 0 {
+			pt.LUPivotMicros = pt.WarmLUSeconds * float64(pt.Platforms) * 1e6 / float64(pt.LUPivots)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLUSweepLPRG(t *testing.T) {
+	opts := Options{Seed: 1, PlatformsPer: 2, Ks: []int{6}}
+	pts, err := LUSweep(opts, 4, AdaptiveLPRG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	pt := pts[0]
+	if pt.K != 6 || pt.Platforms != 2 || pt.Epochs != 4 || pt.Mode != AdaptiveLPRG {
+		t.Fatalf("bad point %+v", pt)
+	}
+	if pt.ColdSeconds <= 0 || pt.WarmDenseSeconds <= 0 || pt.WarmLUSeconds <= 0 {
+		t.Fatalf("non-positive timings %+v", pt)
+	}
+	if pt.Rows <= 0 {
+		t.Fatalf("basis dimension not reported: %+v", pt)
+	}
+	// Both representations solve the same LPs: the warm relaxation
+	// traces must agree (LP optima are unique in value).
+	if !(pt.MaxDiff <= 1e-9) {
+		t.Fatalf("LU-vs-dense-inverse bound gap %g", pt.MaxDiff)
+	}
+	if pt.LUPivots <= 0 || pt.DensePivots <= 0 {
+		t.Fatalf("pivot stats missing: %+v", pt)
+	}
+	if pt.LUPivotMicros <= 0 || pt.DensePivotMicros <= 0 {
+		t.Fatalf("per-pivot costs missing: %+v", pt)
+	}
+	if pt.LURefactors <= 0 {
+		t.Fatalf("LU loop must refactorize at least once per cold start: %+v", pt)
+	}
+	table := RenderLUTable(pts)
+	if !strings.Contains(table, "µs/pv(lu)") || !strings.Contains(table, "LPRG") {
+		t.Fatalf("bad table:\n%s", table)
+	}
+	csv := RenderLUCSV(pts)
+	if !strings.HasPrefix(csv, "k,platforms,epochs,mode,rows,") {
+		t.Fatalf("bad csv:\n%s", csv)
+	}
+}
+
+func TestLUSweepExact(t *testing.T) {
+	opts := Options{Seed: 1, PlatformsPer: 1, Ks: []int{4}}
+	pts, err := LUSweep(opts, 3, AdaptiveExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if pt.Mode != AdaptiveExact || pt.ColdSeconds <= 0 || pt.WarmLUSeconds <= 0 {
+		t.Fatalf("bad point %+v", pt)
+	}
+	if !(pt.MaxDiff <= 1e-9) {
+		t.Fatalf("LU-vs-dense-inverse bound gap %g", pt.MaxDiff)
+	}
+}
+
+func TestLUSweepErrors(t *testing.T) {
+	if _, err := LUSweep(Options{Ks: []int{4}, PlatformsPer: 1}, 0, AdaptiveLPRG); err == nil {
+		t.Fatal("zero epochs must fail")
+	}
+	if _, err := LUSweep(Options{Ks: []int{4}, PlatformsPer: 1}, 2, AdaptiveMode(99)); err == nil {
+		t.Fatal("unknown mode must fail")
+	}
+}
+
+// TestAdaptivePointJSON pins the machine-readable BENCH_E*.json
+// surface: NaN MaxObjDiff (LPRG rows) must serialize as null instead
+// of breaking the encoder, and the mode must appear by name.
+func TestAdaptivePointJSON(t *testing.T) {
+	opts := Options{Seed: 1, PlatformsPer: 1, Ks: []int{4}}
+	pts, err := AdaptiveSweep(opts, 2, AdaptiveLPRG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(pts)
+	if err != nil {
+		t.Fatalf("LPRG adaptive points must marshal (NaN handling): %v", err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"MaxObjDiff":null`) {
+		t.Fatalf("NaN MaxObjDiff should marshal as null: %s", s)
+	}
+	if !strings.Contains(s, `"Mode":"LPRG"`) {
+		t.Fatalf("mode should marshal by name: %s", s)
+	}
+	if !strings.Contains(s, `"WarmPivots":`) {
+		t.Fatalf("solver stats missing from JSON: %s", s)
+	}
+}

@@ -178,22 +178,26 @@ func timeColumns(points []TimePoint) []heuristics.Name {
 }
 
 // RenderAdaptiveTable formats an E11 warm-vs-cold epoch sweep as an
-// ASCII table.
+// ASCII table. The trailing columns are the warm loop's solver
+// statistics (summed over platforms): simplex pivots, basis
+// refactorizations, pivot-free bound flips and cold fallbacks.
 func RenderAdaptiveTable(points []AdaptivePoint) string {
 	if len(points) == 0 {
 		return "(no data)\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%4s %6s %7s %6s %10s %10s %8s %10s %6s %7s\n",
-		"K", "plats", "epochs", "mode", "cold(s)", "warm(s)", "speedup", "maxdiff", "gain", "budget")
+	fmt.Fprintf(&b, "%4s %6s %7s %6s %10s %10s %8s %10s %6s %7s %8s %7s %7s %7s\n",
+		"K", "plats", "epochs", "mode", "cold(s)", "warm(s)", "speedup", "maxdiff", "gain", "budget",
+		"pivots", "refact", "flips", "fallbk")
 	for _, pt := range points {
 		diff := "-"
 		if !math.IsNaN(pt.MaxObjDiff) {
 			diff = fmt.Sprintf("%.2e", pt.MaxObjDiff)
 		}
-		fmt.Fprintf(&b, "%4d %6d %7d %6s %10.4g %10.4g %7.1fx %10s %6.2f %7d\n",
+		fmt.Fprintf(&b, "%4d %6d %7d %6s %10.4g %10.4g %7.1fx %10s %6.2f %7d %8d %7d %7d %7d\n",
 			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.ColdSeconds, pt.WarmSeconds,
-			pt.Speedup, diff, pt.MeanGain, pt.BudgetHits)
+			pt.Speedup, diff, pt.MeanGain, pt.BudgetHits,
+			pt.WarmPivots, pt.WarmRefactors, pt.WarmBoundFlips, pt.WarmColdFallbacks)
 	}
 	return b.String()
 }
@@ -204,34 +208,39 @@ func RenderAdaptiveCSV(points []AdaptivePoint) string {
 		return ""
 	}
 	var b strings.Builder
-	b.WriteString("k,platforms,epochs,mode,cold_seconds,warm_seconds,speedup,max_obj_diff,mean_gain,budget_hits\n")
+	b.WriteString("k,platforms,epochs,mode,cold_seconds,warm_seconds,speedup,max_obj_diff,mean_gain,budget_hits," +
+		"warm_pivots,warm_refactorizations,warm_bound_flips,warm_cold_fallbacks\n")
 	for _, pt := range points {
 		diff := ""
 		if !math.IsNaN(pt.MaxObjDiff) {
 			diff = fmt.Sprintf("%.6g", pt.MaxObjDiff)
 		}
-		fmt.Fprintf(&b, "%d,%d,%d,%s,%.6g,%.6g,%.4g,%s,%.6g,%d\n",
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%.6g,%.6g,%.4g,%s,%.6g,%d,%d,%d,%d,%d\n",
 			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.ColdSeconds, pt.WarmSeconds,
-			pt.Speedup, diff, pt.MeanGain, pt.BudgetHits)
+			pt.Speedup, diff, pt.MeanGain, pt.BudgetHits,
+			pt.WarmPivots, pt.WarmRefactors, pt.WarmBoundFlips, pt.WarmColdFallbacks)
 	}
 	return b.String()
 }
 
 // RenderBoundsTable formats an E12 native-vs-row-bounds sweep as an
-// ASCII table.
+// ASCII table; the trailing columns are the warm native loop's solver
+// statistics (summed over platforms).
 func RenderBoundsTable(points []BoundsPoint) string {
 	if len(points) == 0 {
 		return "(no data)\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%4s %6s %7s %6s %8s %8s %10s %10s %10s %9s %9s %10s\n",
+	fmt.Fprintf(&b, "%4s %6s %7s %6s %8s %8s %10s %10s %10s %9s %9s %10s %8s %7s %7s %7s\n",
 		"K", "plats", "epochs", "mode", "m(nat)", "m(rows)",
-		"cold(s)", "warmrow(s)", "warmnat(s)", "spd(row)", "spd(nat)", "maxdiff")
+		"cold(s)", "warmrow(s)", "warmnat(s)", "spd(row)", "spd(nat)", "maxdiff",
+		"pivots", "refact", "flips", "fallbk")
 	for _, pt := range points {
-		fmt.Fprintf(&b, "%4d %6d %7d %6s %8.1f %8.1f %10.4g %10.4g %10.4g %8.1fx %8.1fx %10.2e\n",
+		fmt.Fprintf(&b, "%4d %6d %7d %6s %8.1f %8.1f %10.4g %10.4g %10.4g %8.1fx %8.1fx %10.2e %8d %7d %7d %7d\n",
 			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.RowsNative, pt.RowsLegacy,
 			pt.ColdSeconds, pt.WarmLegacySeconds, pt.WarmNativeSeconds,
-			pt.SpeedupLegacy, pt.SpeedupNative, pt.MaxBoundDiff)
+			pt.SpeedupLegacy, pt.SpeedupNative, pt.MaxBoundDiff,
+			pt.NativePivots, pt.NativeRefactors, pt.NativeBoundFlips, pt.NativeColdFallbacks)
 	}
 	return b.String()
 }
@@ -242,12 +251,55 @@ func RenderBoundsCSV(points []BoundsPoint) string {
 		return ""
 	}
 	var b strings.Builder
-	b.WriteString("k,platforms,epochs,mode,rows_native,rows_legacy,cold_seconds,warm_legacy_seconds,warm_native_seconds,speedup_legacy,speedup_native,max_bound_diff\n")
+	b.WriteString("k,platforms,epochs,mode,rows_native,rows_legacy,cold_seconds,warm_legacy_seconds,warm_native_seconds,speedup_legacy,speedup_native,max_bound_diff," +
+		"native_pivots,native_refactorizations,native_bound_flips,native_cold_fallbacks\n")
 	for _, pt := range points {
-		fmt.Fprintf(&b, "%d,%d,%d,%s,%.6g,%.6g,%.6g,%.6g,%.6g,%.4g,%.4g,%.6g\n",
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%.6g,%.6g,%.6g,%.6g,%.6g,%.4g,%.4g,%.6g,%d,%d,%d,%d\n",
 			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.RowsNative, pt.RowsLegacy,
 			pt.ColdSeconds, pt.WarmLegacySeconds, pt.WarmNativeSeconds,
-			pt.SpeedupLegacy, pt.SpeedupNative, pt.MaxBoundDiff)
+			pt.SpeedupLegacy, pt.SpeedupNative, pt.MaxBoundDiff,
+			pt.NativePivots, pt.NativeRefactors, pt.NativeBoundFlips, pt.NativeColdFallbacks)
+	}
+	return b.String()
+}
+
+// RenderLUTable formats an E13 LU-vs-dense-inverse sweep as an ASCII
+// table: warm speedups over the shared cold baseline for both basis
+// representations, per-pivot costs, and the LU loop's housekeeping
+// counters.
+func RenderLUTable(points []LUPoint) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %6s %7s %6s %7s %10s %11s %10s %9s %8s %10s %10s %7s %7s %8s %10s\n",
+		"K", "plats", "epochs", "mode", "m", "cold(s)", "warmdns(s)", "warmlu(s)",
+		"spd(dns)", "spd(lu)", "µs/pv(dns)", "µs/pv(lu)", "refact", "fallbk", "fallbk-d", "maxdiff")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%4d %6d %7d %6s %7.1f %10.4g %11.4g %10.4g %8.1fx %7.1fx %10.2f %10.2f %7d %7d %8d %10.2e\n",
+			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.Rows,
+			pt.ColdSeconds, pt.WarmDenseSeconds, pt.WarmLUSeconds,
+			pt.SpeedupDense, pt.SpeedupLU, pt.DensePivotMicros, pt.LUPivotMicros,
+			pt.LURefactors, pt.LUColdFallbacks, pt.DenseColdFallbacks, pt.MaxDiff)
+	}
+	return b.String()
+}
+
+// RenderLUCSV formats an E13 sweep as CSV.
+func RenderLUCSV(points []LUPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("k,platforms,epochs,mode,rows,cold_seconds,warm_dense_seconds,warm_lu_seconds,speedup_dense,speedup_lu," +
+		"dense_pivots,lu_pivots,dense_pivot_micros,lu_pivot_micros,lu_refactorizations,lu_bound_flips,lu_cold_fallbacks,dense_cold_fallbacks,max_diff\n")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%.6g,%.6g,%.6g,%.6g,%.4g,%.4g,%d,%d,%.6g,%.6g,%d,%d,%d,%d,%.6g\n",
+			pt.K, pt.Platforms, pt.Epochs, pt.Mode, pt.Rows,
+			pt.ColdSeconds, pt.WarmDenseSeconds, pt.WarmLUSeconds,
+			pt.SpeedupDense, pt.SpeedupLU, pt.DensePivots, pt.LUPivots,
+			pt.DensePivotMicros, pt.LUPivotMicros,
+			pt.LURefactors, pt.LUBoundFlips, pt.LUColdFallbacks, pt.DenseColdFallbacks, pt.MaxDiff)
 	}
 	return b.String()
 }

@@ -22,12 +22,41 @@
 //     cross-check.
 //   - RevisedSolver / Revised (revised.go): the default. A revised
 //     simplex that stores the constraint matrix in compressed sparse
-//     column form (sparse.go), maintains an explicit basis inverse,
-//     and prices columns with sparse dot products. Both backends use
-//     Dantzig pricing with an automatic switch to Bland's
-//     anti-cycling rule when the objective stalls, and a classical
-//     phase-1 scheme with artificial variables so equality and >=
-//     constraints are supported.
+//     column form (sparse.go), maintains a factorized basis
+//     representation, and prices columns with sparse dot products.
+//     Equality and >= constraints are supported through a classical
+//     phase-1 scheme with artificial variables.
+//
+// # Factorized basis
+//
+// The revised simplex never forms the basis inverse explicitly.
+// Its FTRAN/BTRAN operations go through a pluggable basisFactor
+// (factor.go) selected by BasisRep:
+//
+//   - LUEtaRep (lu.go), the default: a sparse LU factorization of
+//     the basis, computed by Markowitz-style threshold pivoting over
+//     the CSC columns (row/column singletons — the ±e_i slack and
+//     artificial columns that dominate these bases — peel off as
+//     fill-free O(1) pivots). Pivots append to an eta file in
+//     product form instead of touching L/U, so FTRAN and BTRAN are
+//     two sparse triangular solves plus eta applications, O(m + nnz)
+//     per application. The factorization is rebuilt when the eta
+//     file grows past a length/density budget or an update pivot is
+//     numerically unsafe relative to its direction — the triggers
+//     that bound both per-pivot cost and error drift.
+//   - DenseInverseRep (factor.go): the historical explicit dense
+//     inverse with O(m²) product-form updates, kept as the numerical
+//     reference; property tests pin the two representations to equal
+//     optima at 1e-9 across cold solves, warm restarts and RHS/bound
+//     mutation sequences.
+//
+// Pricing is devex in both simplex methods (reference-framework
+// weights approximating steepest edge: entering columns maximize
+// c̄²/w in the primal, leaving rows maximize violation²/w in the
+// dual), with the automatic switch to Bland's anti-cycling rule on
+// objective stalls retained from the Dantzig era. Revised.Stats
+// exposes pivot, bound-flip, refactorization and warm/cold solve
+// counters for the experiment harness.
 //
 // Both backends honor variable bounds natively in the simplex itself
 // — the bounded-variable method, not bound rows: lower bounds are
@@ -58,9 +87,14 @@
 // at-upper-bound statuses) and typically finishes in a handful of
 // pivots instead of a full phase-1/phase-2 pass. Branching bounds
 // and route pins in the layers above are therefore native bound
-// mutations, never added or dedicated rows. SolveFrom falls back to
-// a cold solve whenever the supplied basis is unusable (singular,
-// stale, or numerically degraded), so warm starts are strictly an
+// mutations, never added or dedicated rows. A Basis snapshot is
+// representation-independent: it records the basic column set and
+// the at-upper statuses, not the factorization, so it round-trips
+// between LUEtaRep and DenseInverseRep instances. SolveFrom falls
+// back to a cold solve whenever the supplied basis is unusable
+// (singular, stale, or numerically degraded) or the dual restart
+// stops making progress within a pivot budget proportional to the
+// instance size and nonzeros, so warm starts are strictly an
 // optimization, never a correctness risk.
 package lp
 

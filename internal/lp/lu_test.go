@@ -1,0 +1,276 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseBasisMatrix assembles the current basis matrix B (rows =
+// constraint rows, columns = basis positions) from the instance's
+// effective columns — the ground truth the factorization tests check
+// FTRAN/BTRAN against.
+func denseBasisMatrix(r *Revised) [][]float64 {
+	B := make([][]float64, r.m)
+	for i := range B {
+		B[i] = make([]float64, r.m)
+	}
+	for p, col := range r.basis {
+		r.effCol(col, func(i int, v float64) {
+			B[i][p] += v
+		})
+	}
+	return B
+}
+
+// checkFactorSolves verifies B·ftran(v) == v and Bᵀ·btran(v) == v for
+// random vectors against the dense basis matrix.
+func checkFactorSolves(t *testing.T, r *Revised, rng *rand.Rand, label string) {
+	t.Helper()
+	m := r.m
+	if m == 0 {
+		return
+	}
+	B := denseBasisMatrix(r)
+	v := make([]float64, m)
+	x := make([]float64, m)
+	for trial := 0; trial < 3; trial++ {
+		norm := 0.0
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			if a := math.Abs(v[i]); a > norm {
+				norm = a
+			}
+		}
+		tol := 1e-6 * (1 + norm)
+		copy(x, v)
+		r.fac.ftran(x)
+		for i := 0; i < m; i++ {
+			s := 0.0
+			for p := 0; p < m; p++ {
+				s += B[i][p] * x[p]
+			}
+			if math.Abs(s-v[i]) > tol {
+				t.Fatalf("%s: FTRAN residual %g at row %d (m=%d)", label, s-v[i], i, m)
+			}
+		}
+		copy(x, v)
+		r.fac.btran(x)
+		for p := 0; p < m; p++ {
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += B[i][p] * x[i]
+			}
+			if math.Abs(s-v[p]) > tol {
+				t.Fatalf("%s: BTRAN residual %g at position %d (m=%d)", label, s-v[p], p, m)
+			}
+		}
+	}
+}
+
+// TestLUFactorSolvesRandom pins the LU factorization itself: after
+// cold solves and after warm re-solves (which grow the eta file), the
+// factored FTRAN/BTRAN must invert the current basis matrix.
+func TestLUFactorSolvesRandom(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(7000 + seed))
+		p := randomBoundedProblem(rng, seed%2 == 0)
+		r := NewRevisedRep(p, LUEtaRep)
+		sol, bas, err := r.SolveFrom(nil)
+		if err != nil {
+			t.Fatalf("seed %d: cold solve: %v", seed, err)
+		}
+		if sol.Status == Optimal {
+			checkFactorSolves(t, r, rng, "cold")
+		}
+		// Mutate and warm-restart a few times to push etas through the
+		// factor, re-checking the inverse property each round.
+		for step := 0; step < 4; step++ {
+			mutateProblem(rng, p)
+			sol, bas, err = r.SolveFrom(bas)
+			if err != nil {
+				t.Fatalf("seed %d step %d: warm solve: %v", seed, step, err)
+			}
+			if sol.Status == Optimal {
+				checkFactorSolves(t, r, rng, "warm")
+			}
+		}
+	}
+}
+
+// mutateProblem applies a random warm-start-legal mutation batch:
+// right-hand side perturbations and variable-bound rewrites (always
+// keeping 0 <= lb <= ub so the mutation itself is valid; the program
+// may well become infeasible, which both backends must then agree
+// on).
+func mutateProblem(rng *rand.Rand, p *Problem) {
+	for i := range p.rows {
+		if rng.Float64() < 0.4 {
+			p.SetRHS(i, p.rows[i].rhs+rng.NormFloat64()*2)
+		}
+	}
+	for j := 0; j < p.nvars; j++ {
+		if rng.Float64() < 0.3 {
+			lb := rng.Float64() * 2
+			ub := lb + rng.Float64()*4
+			switch rng.Intn(4) {
+			case 0:
+				ub = lb // fix the variable
+			case 1:
+				ub = math.Inf(1)
+			}
+			p.SetVarBounds(j, lb, ub)
+		}
+	}
+}
+
+// agreeStatus requires the two backends to reach the same verdict and
+// (when optimal) the same objective to 1e-9.
+func agreeStatus(t *testing.T, lu, di Solution, seed int64, step int) {
+	t.Helper()
+	if lu.Status != di.Status {
+		t.Fatalf("seed %d step %d: LU/eta %v vs dense inverse %v", seed, step, lu.Status, di.Status)
+	}
+	if lu.Status != Optimal {
+		return
+	}
+	if d := math.Abs(lu.Objective - di.Objective); d > objTol(di.Objective) {
+		t.Fatalf("seed %d step %d: LU/eta objective %.12g vs dense inverse %.12g (diff %g)",
+			seed, step, lu.Objective, di.Objective, d)
+	}
+}
+
+// TestLUMatchesDenseInverseCold: the LU/eta backend and the explicit
+// dense inverse must agree on randomized bounded problems solved
+// cold.
+func TestLUMatchesDenseInverseCold(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(8000 + seed))
+		p := randomBoundedProblem(rng, seed%2 == 0)
+		lu, _, err := NewRevisedRep(p, LUEtaRep).SolveFrom(nil)
+		if err != nil {
+			t.Fatalf("seed %d: LU: %v", seed, err)
+		}
+		di, _, err := NewRevisedRep(p, DenseInverseRep).SolveFrom(nil)
+		if err != nil {
+			t.Fatalf("seed %d: dense inverse: %v", seed, err)
+		}
+		agreeStatus(t, lu, di, seed, -1)
+	}
+}
+
+// TestLUMatchesDenseInverseWarmMutations drives the same RHS/bound
+// mutation sequence through both backends with per-step warm
+// restarts, requiring equal verdicts and optima at every step. On
+// odd steps the backends warm-start from each other's basis
+// snapshots, pinning that a Basis round-trips through either
+// representation.
+func TestLUMatchesDenseInverseWarmMutations(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(9000 + seed))
+		p := randomBoundedProblem(rng, seed%2 == 0)
+		rLU := NewRevisedRep(p, LUEtaRep)
+		rDI := NewRevisedRep(p, DenseInverseRep)
+		lu, basLU, err := rLU.SolveFrom(nil)
+		if err != nil {
+			t.Fatalf("seed %d: LU cold: %v", seed, err)
+		}
+		di, basDI, err := rDI.SolveFrom(nil)
+		if err != nil {
+			t.Fatalf("seed %d: dense cold: %v", seed, err)
+		}
+		agreeStatus(t, lu, di, seed, -1)
+		for step := 0; step < 8; step++ {
+			mutateProblem(rng, p)
+			fromLU, fromDI := basLU, basDI
+			if step%2 == 1 {
+				fromLU, fromDI = basDI, basLU // cross-representation restart
+			}
+			lu, basLU, err = rLU.SolveFrom(fromLU)
+			if err != nil {
+				t.Fatalf("seed %d step %d: LU warm: %v", seed, step, err)
+			}
+			di, basDI, err = rDI.SolveFrom(fromDI)
+			if err != nil {
+				t.Fatalf("seed %d step %d: dense warm: %v", seed, step, err)
+			}
+			agreeStatus(t, lu, di, seed, step)
+		}
+	}
+}
+
+// TestWarmPivotBudgetScales pins the satellite contract: the dual
+// restart's pivot budget grows with the basis dimension and with the
+// matrix nonzeros instead of being a flat constant, and keeps a
+// floor for tiny instances.
+func TestWarmPivotBudgetScales(t *testing.T) {
+	sparse2 := New(2)
+	sparse2.AddConstraint([]Term{{Var: 0, Coeff: 1}}, LE, 1)
+	sparse2.AddConstraint([]Term{{Var: 1, Coeff: 1}}, LE, 1)
+	rSmall := NewRevised(sparse2)
+
+	dense2 := New(6)
+	terms := make([]Term, 6)
+	for j := range terms {
+		terms[j] = Term{Var: j, Coeff: float64(j + 1)}
+	}
+	dense2.AddConstraint(terms, LE, 10)
+	dense2.AddConstraint(terms, GE, 1)
+	rDenser := NewRevised(dense2)
+
+	tall := New(2)
+	for i := 0; i < 40; i++ {
+		tall.AddConstraint([]Term{{Var: i % 2, Coeff: 1}}, LE, float64(i+1))
+	}
+	rTall := NewRevised(tall)
+
+	small, denser, tallB := rSmall.warmPivotBudget(), rDenser.warmPivotBudget(), rTall.warmPivotBudget()
+	if small < 256 {
+		t.Fatalf("budget floor violated: %d", small)
+	}
+	if denser <= small {
+		t.Fatalf("budget must grow with nonzeros: %d (nnz=%d) vs %d (nnz=%d)",
+			denser, len(rDenser.sp.val), small, len(rSmall.sp.val))
+	}
+	if tallB <= small {
+		t.Fatalf("budget must grow with basis dimension: %d (m=%d) vs %d (m=%d)",
+			tallB, rTall.m, small, rSmall.m)
+	}
+	// And the budget is what the dual simplex actually runs under: a
+	// fresh instance must report it consistently with its inputs.
+	if want := 4*rTall.m + len(rTall.sp.val)/2 + 256; tallB != want {
+		t.Fatalf("budget %d does not track size/nonzeros (want %d)", tallB, want)
+	}
+}
+
+// TestLUStatsCounters sanity-checks the Stats surface: a cold solve
+// counts as such, warm restarts and refactorizations register, and
+// ResetStats zeroes everything.
+func TestLUStatsCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	p := randomBoundedProblem(rng, false)
+	r := NewRevised(p)
+	if _, bas, err := r.SolveFrom(nil); err != nil {
+		t.Fatal(err)
+	} else {
+		st := r.Stats()
+		if st.ColdSolves != 1 {
+			t.Fatalf("ColdSolves = %d after one cold solve", st.ColdSolves)
+		}
+		if st.Refactorizations == 0 {
+			t.Fatal("cold solve must refactorize at least once")
+		}
+		mutateProblem(rng, p)
+		if _, _, err := r.SolveFrom(bas); err != nil {
+			t.Fatal(err)
+		}
+		st = r.Stats()
+		if st.WarmSolves+st.ColdFallbacks == 0 {
+			t.Fatal("warm restart must count as WarmSolves or ColdFallbacks")
+		}
+	}
+	r.ResetStats()
+	if r.Stats() != (Stats{}) {
+		t.Fatalf("ResetStats left %+v", r.Stats())
+	}
+}

@@ -7,15 +7,29 @@ import (
 
 // Revised is a revised-simplex instance bound to one Problem. Unlike
 // the one-shot backends it keeps the constraint matrix (in sparse
-// column form), the basis and the explicit basis inverse alive across
-// solves, which is what makes warm starts cheap: after an RHS or
-// variable-bound mutation (Problem.SetRHS / Problem.SetVarBounds),
-// SolveFrom(basis) restarts the dual simplex from a previous optimal
-// basis instead of running a full phase-1/phase-2 pass. When the
-// supplied basis is the one the instance ended its previous solve
-// with — the common case for branch-and-bound depth-first descents
-// and LPRR pin sequences — the basis inverse is reused without
-// refactorization.
+// column form), the basis and a factorized representation of the
+// basis matrix alive across solves, which is what makes warm starts
+// cheap: after an RHS or variable-bound mutation (Problem.SetRHS /
+// Problem.SetVarBounds), SolveFrom(basis) restarts the dual simplex
+// from a previous optimal basis instead of running a full
+// phase-1/phase-2 pass. When the supplied basis is the one the
+// instance ended its previous solve with — the common case for
+// branch-and-bound depth-first descents and LPRR pin sequences — the
+// live factorization is reused without a rebuild.
+//
+// The basis representation is pluggable (BasisRep): the default is a
+// sparse LU factorization maintained across pivots by an eta file
+// (lu.go), under which FTRAN/BTRAN cost O(m + nnz) per application;
+// the historical explicit dense inverse (DenseInverseRep, factor.go)
+// is retained as the numerical reference. The Basis snapshots
+// returned to callers are representation-independent — a basis
+// produced under one representation warm-starts an instance using
+// the other.
+//
+// Pricing is devex (reference-framework weights, Harris-style
+// approximation of steepest edge) in both the primal and the dual
+// simplex, with the automatic switch to Bland's anti-cycling rule on
+// objective stalls preserved from the Dantzig era.
 //
 // Variable bounds are handled natively by the bounded-variable
 // simplex: lower bounds are shifted away per solve, each nonbasic
@@ -58,7 +72,7 @@ type Revised struct {
 	// atUpper statuses) is dual feasible for the phase-2 costs (every
 	// solve ends optimal, infeasible via the dual simplex — which
 	// preserves dual feasibility — or clears the flag).
-	binv       [][]float64
+	fac        basisFactor
 	basis      []int
 	inBasis    []bool
 	atUpper    []bool // nonbasic-at-upper-bound status per column
@@ -66,32 +80,84 @@ type Revised struct {
 	b          []float64
 	scale      float64
 	factorized bool
-	pivots     int // pivots since the last factorization
+
+	stats Stats
+
+	// Devex reference-framework weights: dwCol prices entering
+	// candidates in the primal, dwRow prices leaving rows in the
+	// dual. Each run of the respective simplex resets its framework.
+	dwCol []float64
+	dwRow []float64
+
+	// rowCols is the row-wise (CSR) view of the structural+slack
+	// column space: the columns with a nonzero in each constraint
+	// row. The dual simplex uses it to price only the columns that
+	// intersect the (sparse) leaving row instead of scanning the full
+	// column space every pivot. Built once — the structure is frozen.
+	rowCols [][]int32
 
 	// Scratch buffers reused across solves.
-	c2   []float64   // phase-2 costs over the full column space
-	c1   []float64   // phase-1 costs (lazily built)
-	ys   []float64   // signed simplex multipliers
-	ws   []float64   // signed leaving-row vector (dual)
-	d    []float64   // entering direction B^{-1}A_j
-	acc  []float64   // per-row lower-bound shift accumulator
-	beff []float64   // bound-adjusted effective rhs
-	seen []bool      // basis validation
-	work [][]float64 // refactorization workspace [B | I]
+	c2        []float64 // phase-2 costs over the full column space
+	c1        []float64 // phase-1 costs (lazily built)
+	ys        []float64 // signed simplex multipliers
+	ws        []float64 // signed leaving-row vector (dual)
+	d         []float64 // entering direction B^{-1}A_j
+	rho       []float64 // leaving row of B^{-1} (BTRAN of a unit vector)
+	acc       []float64 // per-row lower-bound shift accumulator
+	beff      []float64 // bound-adjusted effective rhs
+	seen      []bool    // basis validation
+	candList  []int32   // dual pricing candidates (rho-support columns)
+	candStamp []int32
+	candCur   int32
+	dcJ       []int32 // dual Harris ratio-test breakpoint buffers
+	dcAlpha   []float64
+	dcRatio   []float64
+	dcRaw     []float64
 }
 
-const (
-	// refactorEvery bounds error accumulation in the product-form
-	// basis-inverse updates.
-	refactorEvery = 100
-	// infeasTol matches the dense backend's phase-1 acceptance.
-	infeasTol = 1e-7
-)
+// infeasTol matches the dense backend's phase-1 acceptance.
+const infeasTol = 1e-7
+
+// Stats aggregates solver activity over the lifetime of a Revised
+// instance (or since the last ResetStats): the per-solve cost drivers
+// the E11/E12/E13 sweeps report alongside their wall-clock numbers.
+type Stats struct {
+	// Pivots counts every simplex basis change (primal + dual + basis
+	// repair); PrimalPivots/DualPivots break out the two methods.
+	Pivots       int
+	PrimalPivots int
+	DualPivots   int
+	// BoundFlips counts the pivot-free moves of the bounded-variable
+	// simplex (a nonbasic column crossing its box).
+	BoundFlips int
+	// Refactorizations counts basis-factorization rebuilds.
+	Refactorizations int
+	// ColdSolves counts full two-phase solves, WarmSolves dual-simplex
+	// restarts that ran to a verdict, and ColdFallbacks warm restarts
+	// that were abandoned into a cold solve (stale basis, stall, or
+	// pivot-budget exhaustion).
+	ColdSolves    int
+	WarmSolves    int
+	ColdFallbacks int
+}
+
+// Stats returns the accumulated solver counters.
+func (r *Revised) Stats() Stats { return r.stats }
+
+// ResetStats zeroes the accumulated solver counters.
+func (r *Revised) ResetStats() { r.stats = Stats{} }
 
 // NewRevised builds a revised-simplex instance over p's current
-// constraint rows. The instance assumes the row structure is frozen;
+// constraint rows with the default (sparse LU + eta file) basis
+// representation. The instance assumes the row structure is frozen;
 // solving after rows were added panics.
-func NewRevised(p *Problem) *Revised {
+func NewRevised(p *Problem) *Revised { return NewRevisedRep(p, LUEtaRep) }
+
+// NewRevisedRep is NewRevised with an explicit basis representation —
+// the hook the property tests and the E13 before/after benchmarks use
+// to run the same solves through the sparse LU/eta factorization and
+// the dense explicit inverse.
+func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
 	r := &Revised{p: p}
 	r.sp, r.slackOfRow, r.slackCoef = newSparseCols(p)
 	r.nstruct = p.nvars
@@ -117,19 +183,76 @@ func NewRevised(p *Problem) *Revised {
 	for j := range r.U {
 		r.U[j] = math.Inf(1)
 	}
-	r.binv = make([][]float64, r.m)
-	for i := range r.binv {
-		r.binv[i] = make([]float64, r.m)
+	switch rep {
+	case DenseInverseRep:
+		r.fac = newDenseFactor(r)
+	default:
+		r.fac = newLUFactor(r)
 	}
+	r.dwCol = make([]float64, r.ncols)
+	r.dwRow = make([]float64, r.m)
+	r.resetDevexRows()
 	r.c2 = make([]float64, r.ncols)
 	copy(r.c2, r.c)
 	r.ys = make([]float64, r.m)
 	r.ws = make([]float64, r.m)
 	r.d = make([]float64, r.m)
+	r.rho = make([]float64, r.m)
 	r.acc = make([]float64, r.m)
 	r.beff = make([]float64, r.m)
 	r.seen = make([]bool, r.ncols)
+	r.rowCols = make([][]int32, r.m)
+	for j := 0; j < r.sp.n; j++ {
+		for t := r.sp.colPtr[j]; t < r.sp.colPtr[j+1]; t++ {
+			i := r.sp.rowIdx[t]
+			r.rowCols[i] = append(r.rowCols[i], int32(j))
+		}
+	}
+	r.candList = make([]int32, 0, r.sp.n)
+	r.candStamp = make([]int32, r.sp.n)
 	return r
+}
+
+// dualCandidates collects the non-artificial columns that can have a
+// nonzero pivot-row entry for the current signed leaving row ws: the
+// union of the column lists of ws's nonzero rows. Columns outside the
+// list have α = 0 and could never be dual ratio-test candidates, so
+// pricing skips them — for a sparse leaving row this shrinks the
+// entering pass from the full column space to a handful of columns.
+// A dense leaving row would make the union walk cost more than it
+// saves, so past a support cutoff the result is (nil, false) and the
+// caller prices the full column space directly.
+func (r *Revised) dualCandidates(ws []float64) ([]int32, bool) {
+	support := 0
+	cutoff := r.m/8 + 8
+	for i := 0; i < r.m; i++ {
+		if ws[i] != 0 {
+			if support++; support > cutoff {
+				return nil, false
+			}
+		}
+	}
+	r.candCur++
+	if r.candCur <= 0 { // stamp wraparound
+		for i := range r.candStamp {
+			r.candStamp[i] = 0
+		}
+		r.candCur = 1
+	}
+	lst := r.candList[:0]
+	for i := 0; i < r.m; i++ {
+		if ws[i] == 0 {
+			continue
+		}
+		for _, j := range r.rowCols[i] {
+			if r.candStamp[j] != r.candCur {
+				r.candStamp[j] = r.candCur
+				lst = append(lst, j)
+			}
+		}
+	}
+	r.candList = lst
+	return lst, true
 }
 
 // SolveFrom solves the instance's problem with the current right-hand
@@ -149,10 +272,26 @@ func (r *Revised) SolveFrom(bas *Basis) (Solution, *Basis, error) {
 			return Solution{}, nil, err
 		}
 		if ok {
+			r.stats.WarmSolves++
 			return sol, snap, nil
 		}
+		r.stats.ColdFallbacks++
 	}
 	return r.coldSolve()
+}
+
+// warmPivotBudget bounds the pivots a dual-simplex warm restart may
+// burn before giving up into the cold fallback. A useful restart
+// finishes within a few sweeps of the basis; past that the old basis
+// carries no information and the cold solve — whose early pivots on a
+// fresh all-singleton factorization are far cheaper — wins. The
+// budget scales with the instance instead of being a flat constant:
+// a few multiples of the basis dimension m plus a term proportional
+// to the constraint nonzeros (denser matrices move less infeasibility
+// per pivot), floored so tiny problems keep headroom for degenerate
+// shuffling.
+func (r *Revised) warmPivotBudget() int {
+	return 4*r.m + len(r.sp.val)/2 + 256
 }
 
 // loadBounds refreshes the per-column bound state from the owning
@@ -211,9 +350,24 @@ func (r *Revised) nonbasicValue(j int) float64 {
 	return 0
 }
 
+// refactorize rebuilds the basis factorization from the current
+// basis, counting it in the stats. Returns false when the basis
+// matrix is numerically singular (the previous factorization is then
+// still the live one).
+func (r *Revised) refactorize() bool {
+	if !r.fac.refactor() {
+		return false
+	}
+	r.stats.Refactorizations++
+	r.factorized = true
+	return true
+}
+
 // coldSolve runs the classical two-phase method from a slack basis,
 // with every structural variable starting at its lower bound.
 func (r *Revised) coldSolve() (Solution, *Basis, error) {
+	r.stats.ColdSolves++
+	r.resetDevexRows()
 	for j := range r.atUpper {
 		r.atUpper[j] = false
 	}
@@ -250,21 +404,11 @@ func (r *Revised) coldSolve() (Solution, *Basis, error) {
 		r.inBasis[col] = true
 	}
 	// The initial basis matrix is diagonal with ±1 pivots (slack
-	// columns are ±e_i, artificials +e_i), so its inverse is itself —
-	// no Gauss-Jordan factorization needed.
-	for i := 0; i < r.m; i++ {
-		rowi := r.binv[i]
-		for t := range rowi {
-			rowi[t] = 0
-		}
-		if col := r.basis[i]; col >= r.artStart {
-			rowi[i] = 1
-		} else {
-			rowi[i] = r.sign[i] * r.slackSign(col)
-		}
+	// columns are ±e_i, artificials +e_i); factorizing it is all
+	// singleton pivots.
+	if !r.refactorize() {
+		return Solution{}, nil, fmt.Errorf("lp: internal error: initial diagonal basis singular")
 	}
-	r.factorized = true
-	r.pivots = 0
 	r.computeXB()
 
 	if hasArt {
@@ -309,7 +453,7 @@ func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
 	// to continue from the instance's current state — even when it is
 	// not the supplied basis (e.g. a branch-and-bound sibling whose
 	// parent basis was left behind by another subtree): a few extra
-	// dual pivots beat an O(m³) refactorization. The supplied basis is
+	// dual pivots beat a refactorization. The supplied basis is
 	// installed only when no live factorization exists.
 	if !r.factorized {
 		for j := range r.seen {
@@ -339,6 +483,7 @@ func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
 			r.factorized = false
 			return Solution{}, nil, false, nil
 		}
+		r.resetDevexRows() // foreign basis: fresh reference framework
 	}
 	// refreshRHS sanitizes the at-upper set against the (possibly
 	// mutated) bounds before computeXB prices the nonbasic columns in.
@@ -351,6 +496,26 @@ func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
 		if err != nil {
 			r.factorized = false
 			return Solution{}, nil, false, nil // e.g. iteration limit: retry cold
+		}
+		if status == Infeasible {
+			// Confirm the verdict on a fresh factorization: update
+			// (eta/product-form) drift can manufacture phantom box
+			// violations, and an Infeasible built on one would be
+			// reported as authoritative. Rebuilding is cheap and the
+			// verdict is rare; if the exact basic values turn out
+			// feasible the violation was roundoff and the optimality
+			// path below takes over.
+			if !r.refactorize() {
+				r.factorized = false
+				return Solution{}, nil, false, nil
+			}
+			r.computeXB()
+			if r.primalFeasible() {
+				status = Optimal
+			} else if status, err = r.dual(costs); err != nil {
+				r.factorized = false
+				return Solution{}, nil, false, nil
+			}
 		}
 		if status == Infeasible {
 			if r.artificialResidue() > infeasTol*(1+r.scale) {
@@ -474,16 +639,9 @@ func (r *Revised) colDotSigned(ys []float64, j int) float64 {
 	return r.sp.dot(ys, j)
 }
 
-// direction computes d = B^{-1}·A_j into dst.
+// direction computes d = B^{-1}·A_j into dst (an FTRAN of column j).
 func (r *Revised) direction(j int, dst []float64) {
-	for i := range dst {
-		dst[i] = 0
-	}
-	r.effCol(j, func(row int, v float64) {
-		for i := 0; i < r.m; i++ {
-			dst[i] += r.binv[i][row] * v
-		}
-	})
+	r.fac.ftranCol(j, dst)
 }
 
 // computeXB sets xb = B^{-1}·(b - Σ_{j at upper} A_j·U_j): the basic
@@ -499,78 +657,8 @@ func (r *Revised) computeXB() {
 			})
 		}
 	}
-	for i := 0; i < r.m; i++ {
-		s := 0.0
-		row := r.binv[i]
-		for t := 0; t < r.m; t++ {
-			s += row[t] * beff[t]
-		}
-		r.xb[i] = s
-	}
-}
-
-// refactorize rebuilds binv from the current basis by Gauss-Jordan
-// elimination with partial pivoting. Returns false when the basis
-// matrix is numerically singular.
-func (r *Revised) refactorize() bool {
-	m := r.m
-	// B is assembled column by column; work is the augmented [B | I],
-	// allocated on first use (tiny trees may never refactorize).
-	if r.work == nil {
-		r.work = make([][]float64, m)
-		for i := range r.work {
-			r.work[i] = make([]float64, 2*m)
-		}
-	}
-	work := r.work
-	for i := 0; i < m; i++ {
-		rowi := work[i]
-		for t := range rowi {
-			rowi[t] = 0
-		}
-		rowi[m+i] = 1
-	}
-	for k, j := range r.basis {
-		r.effCol(j, func(i int, v float64) {
-			work[i][k] = v
-		})
-	}
-	for col := 0; col < m; col++ {
-		piv, pivAbs := col, math.Abs(work[col][col])
-		for i := col + 1; i < m; i++ {
-			if a := math.Abs(work[i][col]); a > pivAbs {
-				piv, pivAbs = i, a
-			}
-		}
-		if pivAbs < 1e-11 {
-			return false
-		}
-		work[col], work[piv] = work[piv], work[col]
-		inv := 1 / work[col][col]
-		rowc := work[col]
-		for t := col; t < 2*m; t++ {
-			rowc[t] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == col {
-				continue
-			}
-			f := work[i][col]
-			if f == 0 {
-				continue
-			}
-			rowi := work[i]
-			for t := col; t < 2*m; t++ {
-				rowi[t] -= f * rowc[t]
-			}
-		}
-	}
-	for i := 0; i < m; i++ {
-		copy(r.binv[i], work[i][m:])
-	}
-	r.factorized = true
-	r.pivots = 0
-	return true
+	copy(r.xb, beff)
+	r.fac.ftran(r.xb)
 }
 
 // clampXB absorbs roundoff residue just outside the basic variable's
@@ -587,20 +675,24 @@ func (r *Revised) clampXB(i int, ftol float64) {
 	}
 }
 
-// pivotUpdate applies the product-form update for entering column
-// `enter` replacing the variable basic in row `leave`, with the
-// entering variable moving by `step` (in shifted space, signed) from
-// its current bound value; d must hold B^{-1}·A_enter. leaveAtUpper
+// pivotUpdate applies the basis change for entering column `enter`
+// replacing the variable basic in row `leave`, with the entering
+// variable moving by `step` (in shifted space, signed) from its
+// current bound value; d must hold B^{-1}·A_enter. leaveAtUpper
 // records the bound the leaving variable departs at.
-func (r *Revised) pivotUpdate(leave, enter int, d []float64, step float64, leaveAtUpper bool) {
+//
+// The factorization absorbs the pivot as an update (product-form row
+// update for the dense inverse, an eta append for LU); when the
+// update is refused on stability grounds or the representation asks
+// for its periodic rebuild, the basis is refactorized at this pivot
+// boundary and xb recomputed exactly. Returns refactored=true in
+// that case so callers maintaining incremental state (the dual's
+// multipliers) recompute it too.
+func (r *Revised) pivotUpdate(leave, enter int, d []float64, step float64, leaveAtUpper bool) (refactored bool) {
 	leaveCol := r.basis[leave]
 	newVal := r.nonbasicValue(enter) + step
-	inv := 1 / d[leave]
-	rowL := r.binv[leave]
-	for t := 0; t < r.m; t++ {
-		rowL[t] *= inv
-	}
 	ftol := r.feasTol()
+	okUpd := r.fac.update(leave, d, false)
 	for i := 0; i < r.m; i++ {
 		if i == leave {
 			continue
@@ -608,10 +700,6 @@ func (r *Revised) pivotUpdate(leave, enter int, d []float64, step float64, leave
 		f := d[i]
 		if f == 0 {
 			continue
-		}
-		rowi := r.binv[i]
-		for t := 0; t < r.m; t++ {
-			rowi[t] -= f * rowL[t]
 		}
 		r.xb[i] -= step * f
 		r.clampXB(i, ftol)
@@ -622,17 +710,32 @@ func (r *Revised) pivotUpdate(leave, enter int, d []float64, step float64, leave
 	r.inBasis[enter] = true
 	r.atUpper[enter] = false
 	r.xb[leave] = newVal
-	r.pivots++
-	if r.pivots >= refactorEvery {
+	r.stats.Pivots++
+	if !okUpd {
+		// The representation refused the update as numerically unsafe:
+		// rebuild from the (new) basis instead. If the rebuild fails
+		// right now, fall back to force-applying the update — it is
+		// exact algebra against the pre-pivot factorization — and
+		// retry the rebuild after another batch of pivots.
 		if r.refactorize() {
 			r.computeXB()
-		} else {
-			// Singular at the checkpoint: keep running on the
-			// product-form inverse and only retry after another
-			// refactorEvery pivots instead of on every pivot.
-			r.pivots = 0
+			return true
 		}
+		r.fac.update(leave, d, true)
+		r.fac.deferRefactor()
+		return false
 	}
+	if r.fac.shouldRefactor() {
+		if r.refactorize() {
+			r.computeXB()
+			return true
+		}
+		// Singular at the checkpoint: keep running on the updated
+		// factorization and only retry after another batch of pivots
+		// instead of on every pivot.
+		r.fac.deferRefactor()
+	}
+	return false
 }
 
 // boundFlip moves nonbasic column j across its box to the opposite
@@ -650,6 +753,7 @@ func (r *Revised) boundFlip(j int, d []float64, dir float64) {
 		r.clampXB(i, ftol)
 	}
 	r.atUpper[j] = !r.atUpper[j]
+	r.stats.BoundFlips++
 }
 
 // boundedObjective evaluates costs over the full bounded state:
@@ -670,23 +774,85 @@ func (r *Revised) boundedObjective(costs []float64) float64 {
 }
 
 // signedMultipliers computes ys with ys[i] = (c_B·B^{-1})_i * sign[i],
-// ready for sparse pricing against the stored (unsigned) columns.
+// ready for sparse pricing against the stored (unsigned) columns —
+// a BTRAN of the basic cost vector.
 func (r *Revised) signedMultipliers(costs []float64, ys []float64) {
-	for i := range ys {
-		ys[i] = 0
-	}
 	for i, bj := range r.basis {
-		cb := costs[bj]
-		if cb == 0 {
-			continue
-		}
-		row := r.binv[i]
-		for t := 0; t < r.m; t++ {
-			ys[t] += cb * row[t]
-		}
+		ys[i] = costs[bj]
 	}
+	r.fac.btran(ys)
 	for i := range ys {
 		ys[i] *= r.sign[i]
+	}
+}
+
+// devexResetLimit triggers a reference-framework reset when any devex
+// weight outgrows it; the framework then restarts from the current
+// basis with unit weights, the standard guard against the
+// approximation drifting arbitrarily far from true steepest edge.
+const devexResetLimit = 1e7
+
+// resetDevexCols restarts the primal reference framework.
+func (r *Revised) resetDevexCols() {
+	for j := range r.dwCol {
+		r.dwCol[j] = 1
+	}
+}
+
+// resetDevexRows restarts the dual reference framework.
+func (r *Revised) resetDevexRows() {
+	for i := range r.dwRow {
+		r.dwRow[i] = 1
+	}
+}
+
+// updateDevexCols applies the primal devex weight update after a
+// pivot: rho must hold the (pre-pivot) leaving row of B^{-1}, aq the
+// pivot element d_leave, wq the entering column's weight and leaveCol
+// the column that left the basis. For every nonbasic candidate j the
+// reference weight becomes max(w_j, (α_rj/α_rq)²·w_q) with α_rj the
+// pivot-row entry — one sparse pricing pass against rho.
+func (r *Revised) updateDevexCols(rho []float64, aq, wq float64, enter, leaveCol int) {
+	ws := r.ws
+	for i := 0; i < r.m; i++ {
+		ws[i] = rho[i] * r.sign[i]
+	}
+	aq2 := aq * aq
+	maxW := 0.0
+	upd := func(j int) {
+		if r.inBasis[j] || j == enter || r.U[j] <= 0 {
+			return
+		}
+		alpha := r.colDotSigned(ws, j)
+		if alpha == 0 {
+			return
+		}
+		if cand := alpha * alpha / aq2 * wq; cand > r.dwCol[j] {
+			r.dwCol[j] = cand
+			if cand > maxW {
+				maxW = cand
+			}
+		}
+	}
+	// Only columns intersecting the leaving row's support can have a
+	// nonzero pivot-row entry; walk them via the CSR view when the
+	// row is sparse, exactly like the dual's entering pass.
+	if cands, ok := r.dualCandidates(ws); ok {
+		for _, j32 := range cands {
+			upd(int(j32))
+		}
+	} else {
+		for j := 0; j < r.artStart; j++ {
+			upd(j)
+		}
+	}
+	w := math.Max(wq/aq2, 1)
+	r.dwCol[leaveCol] = w
+	if w > maxW {
+		maxW = w
+	}
+	if maxW > devexResetLimit {
+		r.resetDevexCols()
 	}
 }
 
@@ -697,12 +863,18 @@ func (r *Revised) signedMultipliers(costs []float64, ys []float64) {
 // entering column blocked first by its own opposite bound flips
 // without a pivot. Entering candidates are the non-artificial
 // columns; artificials may only leave the basis.
+//
+// Pricing is devex over a reference framework reset at entry: among
+// eligible candidates the one maximizing c̄²/w enters, approximating
+// steepest-edge descent at Dantzig cost; Bland's rule takes over on
+// objective stalls exactly as before.
 func (r *Revised) primal(costs []float64) (Status, error) {
 	maxIters := 200*(r.m+r.ncols) + 20000
 	bland := false
 	stall := 0
 	lastObj := math.Inf(-1)
 	ys, d := r.ys, r.d
+	r.resetDevexCols()
 	for iter := 0; iter < maxIters; iter++ {
 		r.signedMultipliers(costs, ys)
 		enter := -1
@@ -723,7 +895,7 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 				}
 			}
 		} else {
-			best := eps
+			best := 0.0
 			for j := 0; j < r.artStart; j++ {
 				if r.inBasis[j] || r.U[j] <= 0 {
 					continue
@@ -732,8 +904,11 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 				if r.atUpper[j] {
 					cbar = -cbar
 				}
-				if cbar > best {
-					best = cbar
+				if cbar <= eps {
+					continue
+				}
+				if score := cbar * cbar / r.dwCol[j]; score > best {
+					best = score
 					enter = j
 					if r.atUpper[j] {
 						dir = -1
@@ -756,7 +931,13 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 			// any basic column blocks: flip, no pivot.
 			r.boundFlip(enter, d, dir)
 		default:
+			// Capture the pre-pivot leaving row and pivot element for
+			// the devex update before the factorization moves on.
+			r.fac.btranRow(leave, r.rho)
+			aq, wq, leaveCol := d[leave], r.dwCol[enter], r.basis[leave]
 			r.pivotUpdate(leave, enter, d, dir*t, leaveAtUpper)
+			r.stats.PrimalPivots++
+			r.updateDevexCols(r.rho, aq, wq, enter, leaveCol)
 		}
 		obj := r.boundedObjective(costs)
 		if obj <= lastObj+eps {
@@ -834,28 +1015,34 @@ func (r *Revised) primalRatioTest(d []float64, dir float64) (leave int, atUpper 
 // so dual feasibility is preserved. Returns Infeasible when the dual
 // is unbounded (= the primal constraints admit no solution), Optimal
 // when xb is feasible.
+//
+// The leaving row is chosen by dual devex: among box-violating basics
+// the one maximizing violation²/w leaves, where the reference weights
+// w approximate ‖eᵢᵀB⁻¹‖² and are updated for free from the entering
+// direction each pivot. Bland's rule takes over on stalls.
 func (r *Revised) dual(costs []float64) (Status, error) {
 	// The dual only ever runs as a warm restart, and a restart is
-	// worth at most a few multiples of the basis dimension in pivots:
-	// past that the old basis carries no useful information and the
-	// caller's cold fallback — whose early pivots on a fresh diagonal
-	// inverse are far cheaper — wins. A tight budget turns the rare
-	// degenerate grind (cycling-prone epochs can otherwise burn the
-	// generic iteration limit, minutes of wall clock) into an
-	// ErrIterationLimit that SolveFrom converts into that fallback.
-	maxIters := 6*r.m + 2000
-	ys, ws, d := r.ys, r.ws, r.d
+	// worth at most a few sweeps of the basis in pivots: past that the
+	// old basis carries no useful information and the caller's cold
+	// fallback — whose early pivots on a fresh all-singleton
+	// factorization are far cheaper — wins. A budget proportional to
+	// the instance (warmPivotBudget) turns the rare degenerate grind
+	// into an ErrIterationLimit that SolveFrom converts into that
+	// fallback.
+	maxIters := r.warmPivotBudget()
+	ys, ws, d, rho := r.ys, r.ws, r.d, r.rho
 	bland := false
 	stall := 0
 	sinceBest := 0
 	lastInfeas := math.Inf(1)
 	minInfeas := math.Inf(1)
+	r.resetDevexRows()
 	// The simplex multipliers move by a multiple of the leaving row of
 	// B^{-1} per dual pivot (y' = y + γ·ρ_r, γ = c̄_enter/d_leave), so
 	// they are maintained incrementally — O(m) per iteration instead
-	// of the O(m²) from-scratch accumulation — and recomputed exactly
-	// whenever pivotUpdate refactorizes, which bounds the drift the
-	// same way it bounds the basis inverse's.
+	// of a BTRAN from scratch — and recomputed exactly whenever
+	// pivotUpdate refactorizes, which bounds the drift the same way it
+	// bounds the factorization's.
 	r.signedMultipliers(costs, ys)
 	for iter := 0; iter < maxIters; iter++ {
 		ftol := r.feasTol()
@@ -876,44 +1063,64 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 				}
 			}
 		} else {
-			worst := ftol
+			bestScore := 0.0
 			for i := 0; i < r.m; i++ {
-				if v := -r.xb[i]; v > worst {
-					worst, leave, below = v, i, true
-				}
+				v := -r.xb[i]
+				isBelow := true
 				if u := r.U[r.basis[i]]; !math.IsInf(u, 1) {
-					if v := r.xb[i] - u; v > worst {
-						worst, leave, below = v, i, false
+					if above := r.xb[i] - u; above > v {
+						v, isBelow = above, false
 					}
+				}
+				if v <= ftol {
+					continue
+				}
+				if score := v * v / r.dwRow[i]; score > bestScore {
+					bestScore, leave, below = score, i, isBelow
 				}
 			}
 		}
 		if leave == -1 {
 			return Optimal, nil
 		}
-		// ws = ±(e_leave·B^{-1}) sign-normalized for sparse pricing,
-		// oriented so eligible columns always price out negative for
-		// at-lower and positive for at-upper candidates.
+		// rho = e_leave·B^{-1}; ws is rho sign-normalized for sparse
+		// pricing and oriented so eligible columns always price out
+		// negative for at-lower and positive for at-upper candidates.
+		r.fac.btranRow(leave, rho)
 		amult := 1.0
 		if !below {
 			amult = -1
 		}
-		rowL := r.binv[leave]
 		for i := 0; i < r.m; i++ {
-			ws[i] = amult * rowL[i] * r.sign[i]
+			ws[i] = amult * rho[i] * r.sign[i]
 		}
+		// Entering ratio test, Harris two-pass style: pass 1 finds the
+		// tightest relaxed breakpoint rmax = min(ratio_j + dtol/|α_j|);
+		// pass 2 enters the candidate with the largest |α| among those
+		// with ratio_j ≤ rmax. The dtol slack (the same tolerance
+		// dualFeasible accepts) lets near-tied — typically degenerate —
+		// breakpoints trade a ≤dtol reduced-cost violation for a
+		// well-scaled pivot, which both stabilizes the eta file and
+		// cuts the degenerate mini-steps that dominate restarts on
+		// degenerate-heavy platforms. Under Bland's rule the strict
+		// smallest-index min-ratio test is kept (its termination
+		// argument needs it).
 		enter := -1
-		bestRatio := math.Inf(1)
 		enterCbar := 0.0
-		for j := 0; j < r.artStart; j++ {
+		dtol := r.dualTol()
+		rmax := math.Inf(1)
+		bestRatio := math.Inf(1)
+		nc := 0
+		cJ, cAlpha, cRatio, cRaw := r.dcJ[:0], r.dcAlpha[:0], r.dcRatio[:0], r.dcRaw[:0]
+		price := func(j int) {
 			if r.inBasis[j] || r.U[j] <= 0 {
-				continue
+				return
 			}
 			alpha := r.colDotSigned(ws, j)
 			var ratio, raw float64
 			if !r.atUpper[j] {
 				if alpha >= -eps {
-					continue
+					return
 				}
 				raw = costs[j] - r.colDotSigned(ys, j)
 				cbar := raw
@@ -923,7 +1130,7 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 				ratio = cbar / alpha
 			} else {
 				if alpha <= eps {
-					continue
+					return
 				}
 				raw = costs[j] - r.colDotSigned(ys, j)
 				cbar := raw
@@ -932,11 +1139,46 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 				}
 				ratio = cbar / alpha
 			}
-			if ratio < bestRatio-eps || (ratio < bestRatio+eps && (enter == -1 || j < enter)) {
-				bestRatio = ratio
-				enter = j
-				enterCbar = raw
+			a := alpha
+			if a < 0 {
+				a = -a
 			}
+			if bland {
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (enter == -1 || j < enter)) {
+					bestRatio = ratio
+					enter = j
+					enterCbar = raw
+				}
+				return
+			}
+			if rel := ratio + dtol/a; rel < rmax {
+				rmax = rel
+			}
+			cJ = append(cJ, int32(j))
+			cAlpha = append(cAlpha, a)
+			cRatio = append(cRatio, ratio)
+			cRaw = append(cRaw, raw)
+			nc++
+		}
+		if cands, ok := r.dualCandidates(ws); ok {
+			for _, j32 := range cands {
+				price(int(j32))
+			}
+		} else {
+			for j := 0; j < r.artStart; j++ {
+				price(j)
+			}
+		}
+		if !bland {
+			bestA := 0.0
+			for t := 0; t < nc; t++ {
+				if cRatio[t] <= rmax && (cAlpha[t] > bestA || (cAlpha[t] == bestA && enter != -1 && int(cJ[t]) < enter)) {
+					bestA = cAlpha[t]
+					enter = int(cJ[t])
+					enterCbar = cRaw[t]
+				}
+			}
+			r.dcJ, r.dcAlpha, r.dcRatio, r.dcRaw = cJ, cAlpha, cRatio, cRaw
 		}
 		if enter == -1 {
 			return Infeasible, nil
@@ -951,14 +1193,36 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 		// (unclamped) reduced cost keeps y'·A_enter = c_enter exact.
 		if gamma := enterCbar / d[leave]; gamma != 0 {
 			for i := 0; i < r.m; i++ {
-				ys[i] += gamma * rowL[i] * r.sign[i]
+				ys[i] += gamma * rho[i] * r.sign[i]
 			}
 		}
-		r.pivotUpdate(leave, enter, d, step, !below)
-		if r.pivots == 0 {
-			// pivotUpdate hit a refactorization checkpoint: the basis
-			// inverse was rebuilt (or found singular and deferred), so
-			// refresh the multipliers exactly too.
+		// Dual devex weight update — free, from the entering direction:
+		// w_i ← max(w_i, (d_i/d_r)²·w_r) for the staying rows, and the
+		// pivot row restarts at max(w_r/d_r², 1).
+		dr2 := d[leave] * d[leave]
+		wr := r.dwRow[leave]
+		maxW := 0.0
+		for i := 0; i < r.m; i++ {
+			if i == leave || d[i] == 0 {
+				continue
+			}
+			if cand := d[i] * d[i] / dr2 * wr; cand > r.dwRow[i] {
+				r.dwRow[i] = cand
+				if cand > maxW {
+					maxW = cand
+				}
+			}
+		}
+		r.dwRow[leave] = math.Max(wr/dr2, 1)
+		if maxW > devexResetLimit {
+			r.resetDevexRows()
+		}
+		refac := r.pivotUpdate(leave, enter, d, step, !below)
+		r.stats.DualPivots++
+		if refac {
+			// pivotUpdate hit a refactorization checkpoint: the
+			// factorization was rebuilt, so refresh the multipliers
+			// exactly too.
 			r.signedMultipliers(costs, ys)
 		}
 		infeas := 0.0
@@ -976,11 +1240,15 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 			}
 			// A restart that cannot push total infeasibility to a new
 			// low across several Bland episodes is degenerate-cycling
-			// territory; every further iteration is wasted O(m²) work
-			// against the cold fallback. Give up early.
+			// territory; past that point the cold fallback's fresh
+			// phase-1/phase-2 start tends to win. The window is wider
+			// than it was over the dense inverse: a factorized dual
+			// pivot costs about the same as a cold-solve pivot now,
+			// so persisting beats abandoning up to a few cold-solve
+			// equivalents of work.
 			if infeas >= minInfeas-eps {
 				sinceBest++
-				if sinceBest >= 4*stallLimit {
+				if sinceBest >= 8*stallLimit {
 					return Optimal, ErrIterationLimit
 				}
 			}
@@ -1054,15 +1322,15 @@ func (r *Revised) artificialResidue() float64 {
 // negligible, mirroring primalRatioTest's guard: ejection is an
 // optimization, never worth corrupting feasibility over.
 func (r *Revised) driveOutArtificials() {
-	ws, d := r.ws, r.d
+	ws, d, rho := r.ws, r.d, r.rho
 	ftol := r.feasTol()
 	for i := 0; i < r.m; i++ {
 		if r.basis[i] < r.artStart || r.xb[i] > ftol {
 			continue
 		}
-		rowI := r.binv[i]
+		r.fac.btranRow(i, rho)
 		for t := 0; t < r.m; t++ {
-			ws[t] = rowI[t] * r.sign[t]
+			ws[t] = rho[t] * r.sign[t]
 		}
 		enter := -1
 		bestPiv := eps
