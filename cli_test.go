@@ -1,11 +1,18 @@
 package repro
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+
+	"repro/internal/service"
 )
 
 // buildTool compiles one of the cmd/ binaries into a shared temp dir,
@@ -115,6 +122,58 @@ func TestCLIDlschedEndToEnd(t *testing.T) {
 	}
 }
 
+func TestCLIDlschedJSON(t *testing.T) {
+	platgen := buildTool(t, "platgen")
+	dlsched := buildTool(t, "dlsched")
+	plat := filepath.Join(t.TempDir(), "plat.json")
+	if out, err := run(t, platgen, "-k", "5", "-seed", "7", "-o", plat); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// Model-backed heuristic: full report with solver stats, straight
+	// off the service's batch path.
+	out, err := run(t, dlsched, "-platform", plat, "-heuristic", "lprg", "-objective", "maxmin", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var rep service.SolveReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not a SolveReport: %v\n%s", err, out)
+	}
+	if !rep.Feasible || rep.Value <= 0 || rep.LPBound < rep.Value-1e-9 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Stats == nil || rep.Stats.ColdSolves != 1 {
+		t.Fatalf("model-backed -json must carry solver stats with one cold solve, got %+v", rep.Stats)
+	}
+	if len(rep.Alpha) != 5 || len(rep.Beta) != 5 || len(rep.Throughputs) != 5 {
+		t.Fatalf("allocation shape wrong: %+v", rep)
+	}
+	// The run is deterministic: a second invocation is byte-identical
+	// (the diffability contract with the scheduling service).
+	out2, err := run(t, dlsched, "-platform", plat, "-heuristic", "lprg", "-objective", "maxmin", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out2)
+	}
+	if out != out2 {
+		t.Fatal("-json output is not deterministic across runs")
+	}
+	// Model-free heuristic: report without solver stats.
+	out, err = run(t, dlsched, "-platform", plat, "-heuristic", "g", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	rep = service.SolveReport{}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("g -json output malformed: %v\n%s", err, out)
+	}
+	if rep.Stats != nil {
+		t.Fatalf("model-free -json must omit solver stats, got %+v", rep.Stats)
+	}
+	if !rep.Feasible || rep.Value <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
 func TestCLIDlschedErrors(t *testing.T) {
 	dlsched := buildTool(t, "dlsched")
 	if out, err := run(t, dlsched); err == nil {
@@ -132,6 +191,109 @@ func TestCLIDlschedErrors(t *testing.T) {
 	}
 	if out, err := run(t, dlsched, "-platform", plat, "-payoffs", "1,2"); err == nil {
 		t.Fatalf("wrong payoff count must fail:\n%s", out)
+	}
+}
+
+// TestCLISchedd drives the scheduling daemon end to end at the binary
+// level: start on a random port, create a session, run one
+// query/what-if/epoch round trip plus a stats scrape over the JSON
+// API, and shut down cleanly on SIGTERM.
+func TestCLISchedd(t *testing.T) {
+	platgen := buildTool(t, "platgen")
+	schedd := buildTool(t, "schedd")
+	plat := filepath.Join(t.TempDir(), "plat.json")
+	if out, err := run(t, platgen, "-k", "6", "-seed", "5", "-o", plat); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	platJSON, err := os.ReadFile(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(schedd, "-addr", "127.0.0.1:0", "-pool", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // backstop; the test SIGTERMs first
+
+	rd := bufio.NewReader(stdout)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	addr, ok := strings.CutPrefix(strings.TrimSpace(line), "schedd: listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + addr
+
+	post := func(path, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode/100 != 2 {
+			t.Fatalf("POST %s: status %d\n%s", path, resp.StatusCode, raw)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("POST %s: %v\n%s", path, err, raw)
+		}
+		return out
+	}
+
+	created := post("/sessions", `{"platform": `+string(platJSON)+`}`)
+	id, _ := created["id"].(string)
+	if id == "" || created["created"] != true {
+		t.Fatalf("create response = %v", created)
+	}
+	q := post("/sessions/"+id+"/query", "")
+	if f, _ := q["feasible"].(bool); !f {
+		t.Fatalf("query response = %v", q)
+	}
+	wi := post("/sessions/"+id+"/whatif", `{"gateways":[{"cluster":0,"value":120}]}`)
+	if f, _ := wi["feasible"].(bool); !f {
+		t.Fatalf("what-if response = %v", wi)
+	}
+	ep := post("/sessions/"+id+"/epoch", `{"speedFactor":[0.9,0.9,0.9,0.9,0.9,0.9]}`)
+	if e, _ := ep["epoch"].(float64); e != 1 {
+		t.Fatalf("epoch response = %v", ep)
+	}
+
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats service.PoolStatsResponse
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("stats: %v\n%s", err, raw)
+	}
+	if stats.Live != 1 || stats.Total.ColdSolves != 1 || stats.Total.ColdFallbacks != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Total.WarmSolves < 3 {
+		t.Fatalf("warm solves = %d, want the query/what-if/epoch restarts", stats.Total.WarmSolves)
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("schedd did not shut down cleanly: %v", err)
 	}
 }
 

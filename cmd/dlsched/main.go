@@ -8,9 +8,20 @@
 //
 //	dlsched -platform platform.json -heuristic lprg -objective maxmin
 //	dlsched -platform platform.json -heuristic g -schedule -simulate
+//	dlsched -platform platform.json -heuristic lprg -json
+//
+// -json emits a machine-readable service.SolveReport (allocation,
+// objective value, LP bound, solver stats), the same wire type the
+// schedd scheduling service answers with, so CLI and service results
+// are directly diffable. For the model-backed heuristics (lprg, lprr,
+// lprr-eq, bnb) the report is computed through the service's batch
+// path — identical numbers to a fresh schedd session on the same
+// platform; for the model-free heuristics (g, g-full, lpr) the report
+// carries no solver stats. -json skips the schedule/simulation output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -23,6 +34,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/platform"
 	"repro/internal/schedule"
+	"repro/internal/service"
 )
 
 func main() {
@@ -43,6 +55,7 @@ func run() error {
 		denom    = flag.Int64("denom", 1000000, "schedule common denominator (period length)")
 		doSim    = flag.Bool("simulate", false, "execute the schedule on the network simulator (implies -schedule)")
 		periods  = flag.Int("periods", 100, "simulation horizon in periods")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable service.SolveReport instead of text (skips -schedule/-simulate)")
 	)
 	flag.Parse()
 	if *platFile == "" {
@@ -78,6 +91,10 @@ func run() error {
 		obj = core.MAXMIN
 	default:
 		return fmt.Errorf("unknown objective %q", *objName)
+	}
+
+	if *jsonOut {
+		return emitJSON(data, strings.ToLower(*heur), strings.ToLower(*objName), obj, pr, *seed)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -144,6 +161,74 @@ func run() error {
 		fmt.Printf("  app %-3d achieved=%.4f predicted=%.4f\n", k, rep.Achieved[k], rep.Predicted[k])
 	}
 	return nil
+}
+
+// emitJSON writes the machine-readable report. Model-backed
+// heuristics go through service.Batch — the scheduling service's own
+// batch entry point — so the output is identical to a fresh schedd
+// session's answer on the same platform; the model-free ones are
+// computed here and report no solver stats.
+func emitJSON(platformJSON []byte, heur, objName string, obj core.Objective, pr *core.Problem, seed int64) error {
+	var rep *service.SolveReport
+	switch heur {
+	case "lprg", "lprr", "lprr-eq", "bnb":
+		req := &service.CreateSessionRequest{
+			Platform:  platformJSON,
+			Objective: objName,
+			Heuristic: heur,
+			Payoffs:   pr.Payoffs,
+			Seed:      seed,
+		}
+		var err error
+		rep, err = service.Batch(req)
+		if err != nil {
+			return err
+		}
+	case "g", "g-full", "lpr":
+		var (
+			alloc *core.Allocation
+			err   error
+		)
+		switch heur {
+		case "g":
+			alloc = heuristics.Greedy(pr)
+		case "g-full":
+			alloc = heuristics.GreedyFullDrain(pr)
+		case "lpr":
+			alloc, err = heuristics.LPR(pr, obj)
+		}
+		if err != nil {
+			return err
+		}
+		if err := pr.CheckAllocation(alloc, core.DefaultTol); err != nil {
+			return fmt.Errorf("internal error: heuristic produced invalid allocation: %w", err)
+		}
+		ub, _, err := heuristics.UpperBound(pr, obj)
+		if err != nil {
+			return err
+		}
+		rep = &service.SolveReport{
+			Heuristic:   heur,
+			Objective:   objName,
+			Feasible:    true,
+			Value:       pr.Objective(obj, alloc),
+			LPBound:     ub,
+			Alpha:       alloc.Alpha,
+			Beta:        alloc.Beta,
+			Throughputs: make([]float64, pr.K()),
+		}
+		for k := 0; k < pr.K(); k++ {
+			rep.Throughputs[k] = alloc.AppThroughput(k)
+		}
+	default:
+		return fmt.Errorf("unknown heuristic %q", heur)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(out, '\n'))
+	return err
 }
 
 func safeRatio(a, b float64) float64 {

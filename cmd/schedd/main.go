@@ -1,0 +1,120 @@
+// Command schedd is the warm-model scheduling daemon: an HTTP/JSON
+// server that keeps warm-started solver sessions resident (one
+// persistent core.Model per platform, built once) and answers
+// allocation queries, what-if hypotheticals and committed epoch
+// updates against them — every answer a revised-simplex warm restart
+// from the session's carried basis, never a matrix rebuild.
+//
+// Usage:
+//
+//	schedd [-addr 127.0.0.1:8080] [-pool 64]
+//
+// -addr may end in :0 to pick a free port; the chosen address is
+// printed as "schedd: listening on ADDR" once the listener is up.
+// SIGINT/SIGTERM shut the server down cleanly (in-flight requests
+// finish).
+//
+// # Walkthrough
+//
+// Generate a platform, start the daemon, and drive it with curl:
+//
+//	platgen -k 20 -seed 1 -o platform.json
+//	schedd -addr 127.0.0.1:8080 &
+//
+// Create a session (the one cold solve; the response carries the
+// session id and the initial allocation report):
+//
+//	curl -s http://127.0.0.1:8080/sessions -d "{
+//	  \"platform\": $(cat platform.json),
+//	  \"objective\": \"maxmin\", \"heuristic\": \"lprg\"
+//	}"
+//
+// Re-POSTing the same platform re-attaches to the warm session (the
+// response says "created": false and /stats counts a pool hit).
+// With its id (say $SID), query the committed allocation, ask
+// what-ifs — answered warm and rolled back exactly — and commit
+// capacity drift as epochs:
+//
+//	curl -s http://127.0.0.1:8080/sessions/$SID/query -XPOST
+//	curl -s http://127.0.0.1:8080/sessions/$SID/whatif \
+//	     -d '{"gateways":[{"cluster":0,"value":120}]}'
+//	curl -s http://127.0.0.1:8080/sessions/$SID/whatif \
+//	     -d '{"bounds":[{"from":0,"to":3,"lb":2,"ub":2}]}'   # pin β, relaxation answer
+//	curl -s http://127.0.0.1:8080/sessions/$SID/epoch \
+//	     -d '{"speedFactor":[0.9,1,1,1,1,0.8,1,1,1,1,1,1,1,1,1,1,1,1,1,1]}'
+//
+// /stats surfaces the per-session and pool-wide lp.Revised counters —
+// after warm-up, warm solves dominate and cold solves stay pinned at
+// one per session:
+//
+//	curl -s http://127.0.0.1:8080/stats
+//
+// The answers are the same numbers the batch CLIs produce: a
+// dlsched -json run on the session's current platform (GET
+// /sessions/$SID/platform) is directly diffable against a query.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		poolSize = flag.Int("pool", 64, "maximum resident warm sessions (LRU beyond that)")
+	)
+	flag.Parse()
+	if *poolSize < 1 {
+		return fmt.Errorf("-pool must be >= 1, got %d", *poolSize)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedd: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler:           service.NewServer(service.NewPool(*poolSize)).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("schedd: %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -38,13 +38,16 @@ func validateModel(model Model) error {
 	return nil
 }
 
-// injectCapacities writes the perturbed platform's cluster capacities
+// InjectCapacities writes the perturbed platform's cluster capacities
 // and link budgets into the persistent model: speeds and gateways as
 // RHS mutations, link budgets as RHS plus the affected routes'
 // natural β upper bounds (SetLinkBudget recomputes them) — all
 // within the warm-start contract, so the next solve still restarts
-// from the previous epoch's basis.
-func injectCapacities(m *core.Model, epl *platform.Platform) error {
+// from the previous epoch's basis. epl must share the model's
+// platform structure (routes and links); only capacities may differ.
+// Exported for external epoch drivers — the scheduling service's
+// epoch-commit path is this call followed by a warm solve.
+func InjectCapacities(m *core.Model, epl *platform.Platform) error {
 	for k, c := range epl.Clusters {
 		if err := m.SetSpeed(k, c.Speed); err != nil {
 			return err
@@ -110,7 +113,7 @@ func RunWarmOn(cm *core.Model, pr *core.Problem, solve WarmSolver, model Model, 
 			return nil, err
 		}
 		epr := &core.Problem{Platform: epl, Payoffs: pr.Payoffs}
-		if err := injectCapacities(cm, epl); err != nil {
+		if err := InjectCapacities(cm, epl); err != nil {
 			return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
 		}
 		adaptive, nextBasis, err := solve(cm, epr, obj, basis)
@@ -175,7 +178,7 @@ func RunWarmBoundsOn(cm *core.Model, pr *core.Problem, model Model, obj core.Obj
 		if err != nil {
 			return nil, err
 		}
-		if err := injectCapacities(cm, epl); err != nil {
+		if err := InjectCapacities(cm, epl); err != nil {
 			return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
 		}
 		sol, nextBasis, ok, err := cm.Solve(basis)

@@ -1,0 +1,168 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// whatIfLP builds a mid-size sparse LE-form LP with bounded variables
+// — the shape of the scheduling models — for the warm what-if tests
+// and benchmarks.
+func whatIfLP(r *rand.Rand, n, m int) *Problem {
+	p := New(n)
+	for j := 0; j < n; j++ {
+		p.SetObjective(j, 0.5+r.Float64())
+		if j%3 == 0 {
+			p.SetVarBounds(j, 0, 2+3*r.Float64())
+		}
+	}
+	for i := 0; i < m; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			if r.Float64() < 0.25 {
+				terms = append(terms, Term{j, 0.5 + r.Float64()*4})
+			}
+		}
+		if len(terms) == 0 {
+			terms = []Term{{i % n, 1}}
+		}
+		p.AddConstraint(terms, LE, 5+r.Float64()*10)
+	}
+	return p
+}
+
+// TestSolveEphemeralMatchesSolveFrom pins the ephemeral path to the
+// snapshotting path: same optima across a warm RHS/bound mutation
+// sequence, no mutation of the caller's basis, and scratch X reuse
+// across calls.
+func TestSolveEphemeralMatchesSolveFrom(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p := whatIfLP(r, 50, 35)
+		warm := NewRevised(p)
+		ref := NewRevised(p)
+
+		sol, basis, err := warm.SolveFrom(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("seed %d: cold status %v", seed, sol.Status)
+		}
+		for trial := 0; trial < 20; trial++ {
+			// Warm mutation: a few RHS squeezes and a bound change.
+			for i := 0; i < 3; i++ {
+				row := r.Intn(p.NumConstraints())
+				p.SetRHS(row, 2+r.Float64()*12)
+			}
+			j := r.Intn(p.NumVars())
+			p.SetVarBounds(j, 0, 1+4*r.Float64())
+
+			esol, err := warm.SolveEphemeral(basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rsol, rbasis, err := ref.SolveFrom(basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if esol.Status != rsol.Status {
+				t.Fatalf("seed %d trial %d: ephemeral status %v, reference %v", seed, trial, esol.Status, rsol.Status)
+			}
+			if esol.Status == Optimal {
+				if math.Abs(esol.Objective-rsol.Objective) > 1e-9*(1+math.Abs(rsol.Objective)) {
+					t.Fatalf("seed %d trial %d: ephemeral %.12g != reference %.12g", seed, trial, esol.Objective, rsol.Objective)
+				}
+			}
+			// The committed basis advances only through the reference
+			// instance — exactly the service's what-if pattern, where
+			// the ephemeral results are discarded. The warm instance
+			// must keep answering correctly from the stale-but-valid
+			// committed basis.
+			basis = rbasis
+			// Keep the two problems in sync for the next trial: both
+			// instances share p, nothing to do.
+		}
+	}
+}
+
+// TestSolveEphemeralScratchReuse verifies the documented lifetime: the
+// returned X is overwritten by the next solve on the instance.
+func TestSolveEphemeralScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := whatIfLP(r, 30, 20)
+	rev := NewRevised(p)
+	s1, err := rev.SolveEphemeral(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := s1.X
+	p.SetRHS(0, p.RHS(0)*0.5)
+	s2, err := rev.SolveEphemeral(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &x1[0] != &s2.X[0] {
+		t.Fatal("ephemeral solves must share one scratch X buffer")
+	}
+	// A snapshotting solve must NOT hand out the scratch buffer.
+	s3, _, err := rev.SolveFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s3.X[0] == &x1[0] {
+		t.Fatal("SolveFrom leaked the ephemeral scratch buffer")
+	}
+}
+
+// BenchmarkWarmWhatIf measures the warm what-if re-solve path —
+// mutate one RHS, restart the dual simplex from the committed basis —
+// through the snapshotting SolveFrom and the allocation-free
+// SolveEphemeral, reporting allocs/op. SolveFrom pays the Basis
+// snapshot and the X extraction per solve; SolveEphemeral reuses the
+// handle's scratch slices (FTRAN/BTRAN workspaces and ratio-test
+// buffers are shared by both paths already) and must run
+// allocation-free in steady state.
+func BenchmarkWarmWhatIf(b *testing.B) {
+	build := func() (*Problem, *Revised, *Basis, []float64) {
+		r := rand.New(rand.NewSource(1))
+		p := whatIfLP(r, 120, 80)
+		rev := NewRevised(p)
+		sol, basis, err := rev.SolveFrom(nil)
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("cold solve: status %v err %v", sol.Status, err)
+		}
+		rhs0 := make([]float64, p.NumConstraints())
+		for i := range rhs0 {
+			rhs0[i] = p.RHS(i)
+		}
+		return p, rev, basis, rhs0
+	}
+	b.Run("SolveFrom", func(b *testing.B) {
+		p, rev, basis, rhs0 := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := i % p.NumConstraints()
+			p.SetRHS(row, rhs0[row]*0.8)
+			if _, _, err := rev.SolveFrom(basis); err != nil {
+				b.Fatal(err)
+			}
+			p.SetRHS(row, rhs0[row])
+		}
+	})
+	b.Run("SolveEphemeral", func(b *testing.B) {
+		p, rev, basis, rhs0 := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := i % p.NumConstraints()
+			p.SetRHS(row, rhs0[row]*0.8)
+			if _, err := rev.SolveEphemeral(basis); err != nil {
+				b.Fatal(err)
+			}
+			p.SetRHS(row, rhs0[row])
+		}
+	})
+}

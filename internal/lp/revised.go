@@ -113,6 +113,12 @@ type Revised struct {
 	dcAlpha   []float64
 	dcRatio   []float64
 	dcRaw     []float64
+
+	// Ephemeral-solve state (SolveEphemeral): while ephemeral is set,
+	// finish skips the Basis snapshot and extracts X into xscratch,
+	// eliminating the per-solve allocations of the warm what-if path.
+	ephemeral bool
+	xscratch  []float64
 }
 
 // infeasTol matches the dense backend's phase-1 acceptance.
@@ -124,21 +130,35 @@ const infeasTol = 1e-7
 type Stats struct {
 	// Pivots counts every simplex basis change (primal + dual + basis
 	// repair); PrimalPivots/DualPivots break out the two methods.
-	Pivots       int
-	PrimalPivots int
-	DualPivots   int
+	Pivots       int `json:"pivots"`
+	PrimalPivots int `json:"primalPivots"`
+	DualPivots   int `json:"dualPivots"`
 	// BoundFlips counts the pivot-free moves of the bounded-variable
 	// simplex (a nonbasic column crossing its box).
-	BoundFlips int
+	BoundFlips int `json:"boundFlips"`
 	// Refactorizations counts basis-factorization rebuilds.
-	Refactorizations int
+	Refactorizations int `json:"refactorizations"`
 	// ColdSolves counts full two-phase solves, WarmSolves dual-simplex
 	// restarts that ran to a verdict, and ColdFallbacks warm restarts
 	// that were abandoned into a cold solve (stale basis, stall, or
 	// pivot-budget exhaustion).
-	ColdSolves    int
-	WarmSolves    int
-	ColdFallbacks int
+	ColdSolves    int `json:"coldSolves"`
+	WarmSolves    int `json:"warmSolves"`
+	ColdFallbacks int `json:"coldFallbacks"`
+}
+
+// Add accumulates other's counters into s — the aggregation the
+// scheduling service's pool-wide /stats endpoint performs over its
+// sessions.
+func (s *Stats) Add(other Stats) {
+	s.Pivots += other.Pivots
+	s.PrimalPivots += other.PrimalPivots
+	s.DualPivots += other.DualPivots
+	s.BoundFlips += other.BoundFlips
+	s.Refactorizations += other.Refactorizations
+	s.ColdSolves += other.ColdSolves
+	s.WarmSolves += other.WarmSolves
+	s.ColdFallbacks += other.ColdFallbacks
 }
 
 // Stats returns the accumulated solver counters.
@@ -210,6 +230,13 @@ func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
 	}
 	r.candList = make([]int32, 0, r.sp.n)
 	r.candStamp = make([]int32, r.sp.n)
+	// Pre-size the dual ratio-test breakpoint buffers so the first
+	// warm restarts don't pay append-growth allocations.
+	r.dcJ = make([]int32, 0, r.sp.n)
+	r.dcAlpha = make([]float64, 0, r.sp.n)
+	r.dcRatio = make([]float64, 0, r.sp.n)
+	r.dcRaw = make([]float64, 0, r.sp.n)
+	r.xscratch = make([]float64, r.nstruct)
 	return r
 }
 
@@ -278,6 +305,23 @@ func (r *Revised) SolveFrom(bas *Basis) (Solution, *Basis, error) {
 		r.stats.ColdFallbacks++
 	}
 	return r.coldSolve()
+}
+
+// SolveEphemeral is SolveFrom for callers that will not keep the
+// result: it solves identically (warm from bas when usable, cold
+// otherwise) but skips the final Basis snapshot and extracts the
+// solution into a scratch buffer owned by the instance, so a warm
+// re-solve performs no per-solve allocations. The returned
+// Solution.X is valid only until the next solve on this instance —
+// copy out anything that must survive. The supplied basis is never
+// mutated, so the caller's committed basis stays valid for future
+// warm starts. This is the engine of the scheduling service's
+// what-if path: mutate, SolveEphemeral, roll back, discard.
+func (r *Revised) SolveEphemeral(bas *Basis) (Solution, error) {
+	r.ephemeral = true
+	defer func() { r.ephemeral = false }()
+	sol, _, err := r.SolveFrom(bas)
+	return sol, err
 }
 
 // warmPivotBudget bounds the pivots a dual-simplex warm restart may
@@ -575,7 +619,10 @@ func (r *Revised) finish(status Status) (Solution, *Basis, error) {
 		r.factorized = false
 		return Solution{Status: Infeasible}, r.snapshot(), nil
 	}
-	x := make([]float64, r.nstruct)
+	x := r.xscratch
+	if !r.ephemeral {
+		x = make([]float64, r.nstruct)
+	}
 	for j := 0; j < r.nstruct; j++ {
 		v := 0.0
 		if !r.inBasis[j] && r.atUpper[j] {
@@ -603,6 +650,9 @@ func (r *Revised) finish(status Status) (Solution, *Basis, error) {
 }
 
 func (r *Revised) snapshot() *Basis {
+	if r.ephemeral {
+		return nil
+	}
 	cp := make([]int, r.m)
 	copy(cp, r.basis)
 	up := make([]bool, r.ncols)

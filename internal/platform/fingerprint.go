@@ -1,0 +1,52 @@
+package platform
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a stable content hash of the platform
+// description: router count, links (endpoints, bandwidth, max-connect,
+// in declaration order) and clusters (name, speed, gateway, router, in
+// declaration order). Two platforms with the same description — and
+// therefore, because ComputeRoutes is deterministic, the same routing
+// table — share a fingerprint; any change to a capacity, a link or
+// the topology changes it. The scheduling service uses fingerprints
+// as session-pool keys, so "same platform JSON uploaded twice" lands
+// on the same warm model instead of building a second one.
+//
+// Route overrides installed with SetRoute are NOT part of the
+// fingerprint (they are not part of the serialized description
+// either); fingerprints identify descriptions, not hand-patched
+// routing tables.
+func (p *Platform) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	writeFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	writeInt(p.Routers)
+	writeInt(len(p.Links))
+	for _, l := range p.Links {
+		writeInt(l.U)
+		writeInt(l.V)
+		writeFloat(l.BW)
+		writeInt(l.MaxConnect)
+	}
+	writeInt(len(p.Clusters))
+	for _, c := range p.Clusters {
+		writeInt(len(c.Name))
+		h.Write([]byte(c.Name))
+		writeFloat(c.Speed)
+		writeFloat(c.Gateway)
+		writeInt(c.Router)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -64,8 +64,13 @@ type Platform struct {
 // one application originating at each cluster).
 func (p *Platform) K() int { return len(p.Clusters) }
 
-// Validate checks structural sanity: router indices in range,
-// nonnegative speeds and capacities, and positive link parameters.
+// Validate checks structural sanity: router indices in range, finite
+// nonnegative speeds and capacities, and positive finite link
+// parameters. It deliberately permits parallel links between the same
+// router pair — programmatic constructions such as the NP-hardness
+// reduction build dedicated parallel links with separate connection
+// budgets. ValidateStrict adds the checks appropriate for untrusted
+// descriptions.
 func (p *Platform) Validate() error {
 	if p.Routers < 0 {
 		return fmt.Errorf("platform: negative router count %d", p.Routers)
@@ -85,12 +90,40 @@ func (p *Platform) Validate() error {
 		if c.Router < 0 || c.Router >= p.Routers {
 			return fmt.Errorf("platform: cluster %d router %d out of range [0,%d)", k, c.Router, p.Routers)
 		}
-		if c.Speed < 0 || math.IsNaN(c.Speed) {
+		if c.Speed < 0 || math.IsNaN(c.Speed) || math.IsInf(c.Speed, 0) {
 			return fmt.Errorf("platform: cluster %d has invalid speed %g", k, c.Speed)
 		}
-		if c.Gateway < 0 || math.IsNaN(c.Gateway) {
+		if c.Gateway < 0 || math.IsNaN(c.Gateway) || math.IsInf(c.Gateway, 0) {
 			return fmt.Errorf("platform: cluster %d has invalid gateway capacity %g", k, c.Gateway)
 		}
+	}
+	return nil
+}
+
+// ValidateStrict is Validate plus the checks appropriate for
+// untrusted platform descriptions: self-loop links and duplicate
+// links between the same router pair are rejected (an uploaded
+// description has no business encoding either; hand-built multigraph
+// constructions use Validate directly). Decode — the boundary where
+// uploaded JSON enters — applies this, so services consuming decoded
+// platforms can rely on it.
+func (p *Platform) ValidateStrict() error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	seen := make(map[[2]int]int, len(p.Links))
+	for i, l := range p.Links {
+		if l.U == l.V {
+			return fmt.Errorf("platform: link %d is a self-loop on router %d", i, l.U)
+		}
+		key := [2]int{l.U, l.V}
+		if l.V < l.U {
+			key = [2]int{l.V, l.U}
+		}
+		if j, dup := seen[key]; dup {
+			return fmt.Errorf("platform: link %d duplicates link %d (routers %d-%d)", i, j, key[0], key[1])
+		}
+		seen[key] = i
 	}
 	return nil
 }
@@ -248,12 +281,16 @@ func (p *Platform) Encode() ([]byte, error) {
 	return json.MarshalIndent(p, "", "  ")
 }
 
-// Decode parses a platform from JSON, validates it, and computes its
-// routing table.
+// Decode parses a platform from JSON, validates it strictly (Decode
+// is the boundary where untrusted uploaded descriptions enter, see
+// ValidateStrict), and computes its routing table.
 func Decode(data []byte) (*Platform, error) {
 	var p Platform
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("platform: decode: %w", err)
+	}
+	if err := p.ValidateStrict(); err != nil {
+		return nil, err
 	}
 	if err := p.ComputeRoutes(); err != nil {
 		return nil, err

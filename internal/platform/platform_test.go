@@ -46,7 +46,13 @@ func TestValidateErrors(t *testing.T) {
 		{"negative maxconnect", func(p *Platform) { p.Links[0].MaxConnect = -1 }, "max-connect"},
 		{"cluster router", func(p *Platform) { p.Clusters[0].Router = 5 }, "router 5"},
 		{"negative speed", func(p *Platform) { p.Clusters[0].Speed = -1 }, "speed"},
+		{"NaN speed", func(p *Platform) { p.Clusters[0].Speed = math.NaN() }, "speed"},
+		{"infinite speed", func(p *Platform) { p.Clusters[0].Speed = math.Inf(1) }, "speed"},
 		{"NaN gateway", func(p *Platform) { p.Clusters[0].Gateway = math.NaN() }, "gateway"},
+		{"negative gateway", func(p *Platform) { p.Clusters[0].Gateway = -3 }, "gateway"},
+		{"infinite gateway", func(p *Platform) { p.Clusters[0].Gateway = math.Inf(1) }, "gateway"},
+		{"NaN bandwidth", func(p *Platform) { p.Links[0].BW = math.NaN() }, "bandwidth"},
+		{"negative link endpoint", func(p *Platform) { p.Links[0].U = -1 }, "out of range"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -204,6 +210,130 @@ func TestDecodeRejectsInvalid(t *testing.T) {
 	}
 	if _, err := Decode([]byte(`not json`)); err == nil {
 		t.Fatal("bad JSON must fail to decode")
+	}
+}
+
+// TestValidateStrict covers the untrusted-description checks layered
+// on top of Validate: self-loops and duplicate links are rejected,
+// while Validate alone keeps accepting the parallel dedicated links
+// programmatic constructions (the NP-hardness reduction) build.
+func TestValidateStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Platform)
+		want string
+	}{
+		{"self-loop link", func(p *Platform) { p.Links[1].V = 1 }, "self-loop"},
+		{"duplicate link", func(p *Platform) {
+			p.Links = append(p.Links, Link{U: 0, V: 1, BW: 5, MaxConnect: 2})
+		}, "duplicates link 0"},
+		{"duplicate link reversed", func(p *Platform) {
+			p.Links = append(p.Links, Link{U: 1, V: 0, BW: 5, MaxConnect: 2})
+		}, "duplicates link 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := linear3(10, 20, 3, 3)
+			tc.mut(p)
+			err := p.ValidateStrict()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ValidateStrict err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	// The permissive Validate accepts parallel links.
+	p := linear3(10, 20, 3, 3)
+	p.Links = append(p.Links, Link{U: 0, V: 1, BW: 5, MaxConnect: 2})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate must accept parallel links (reduction-style multigraphs): %v", err)
+	}
+	if err := p.ValidateStrict(); err == nil {
+		t.Fatal("ValidateStrict must reject them")
+	}
+}
+
+// TestDecodeRejectsUntrusted exercises the validation a service
+// accepting uploaded platform JSON relies on: hostile numeric values
+// and malformed topology must be rejected with clear errors, not
+// propagated into a solver.
+func TestDecodeRejectsUntrusted(t *testing.T) {
+	cases := []struct {
+		name, json, want string
+	}{
+		{"negative speed",
+			`{"routers":1,"clusters":[{"name":"a","speed":-5,"gateway":1,"router":0}]}`,
+			"speed"},
+		{"negative gateway",
+			`{"routers":1,"clusters":[{"name":"a","speed":5,"gateway":-1,"router":0}]}`,
+			"gateway"},
+		{"router index out of range",
+			`{"routers":2,"clusters":[{"name":"a","speed":5,"gateway":1,"router":2}]}`,
+			"out of range"},
+		{"negative router index",
+			`{"routers":2,"clusters":[{"name":"a","speed":5,"gateway":1,"router":-1}]}`,
+			"out of range"},
+		{"link endpoint out of range",
+			`{"routers":2,"links":[{"u":0,"v":2,"bw":10,"maxConnect":1}],"clusters":[]}`,
+			"out of range"},
+		{"self-loop link",
+			`{"routers":2,"links":[{"u":1,"v":1,"bw":10,"maxConnect":1}],"clusters":[]}`,
+			"self-loop"},
+		{"duplicate link",
+			`{"routers":2,"links":[{"u":0,"v":1,"bw":10,"maxConnect":1},{"u":1,"v":0,"bw":3,"maxConnect":2}],"clusters":[]}`,
+			"duplicates"},
+		{"zero bandwidth",
+			`{"routers":2,"links":[{"u":0,"v":1,"bw":0,"maxConnect":1}],"clusters":[]}`,
+			"bandwidth"},
+		{"negative max-connect",
+			`{"routers":2,"links":[{"u":0,"v":1,"bw":10,"maxConnect":-4}],"clusters":[]}`,
+			"max-connect"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode([]byte(tc.json))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Decode err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	p := linear3(10, 20, 3, 4)
+	fp := p.Fingerprint()
+	if len(fp) != 32 {
+		t.Fatalf("fingerprint %q, want 32 hex chars", fp)
+	}
+	if q := p.Clone(); q.Fingerprint() != fp {
+		t.Fatal("clone changed the fingerprint")
+	}
+	// A description round trip through JSON preserves it.
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Fingerprint() != fp {
+		t.Fatal("encode/decode round trip changed the fingerprint")
+	}
+	// Any description change changes it.
+	muts := []func(*Platform){
+		func(p *Platform) { p.Clusters[0].Speed = 101 },
+		func(p *Platform) { p.Clusters[2].Gateway = 51 },
+		func(p *Platform) { p.Clusters[1].Name = "other" },
+		func(p *Platform) { p.Links[0].BW = 11 },
+		func(p *Platform) { p.Links[1].MaxConnect = 5 },
+		func(p *Platform) { p.Routers = 4 },
+	}
+	for i, mut := range muts {
+		q := p.Clone()
+		mut(q)
+		if q.Fingerprint() == fp {
+			t.Fatalf("mutation %d did not change the fingerprint", i)
+		}
 	}
 }
 

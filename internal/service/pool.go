@@ -1,0 +1,249 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+)
+
+// Pool is the LRU cache of warm sessions, keyed by session ID (a
+// digest of the platform fingerprint plus solver configuration).
+// Creating a session for a platform already resident is a cache hit
+// that re-attaches to the warm model; past Capacity sessions, the
+// least recently used one is evicted (its solver counters are folded
+// into the retired aggregate so pool-wide stats stay monotone).
+//
+// Concurrent creates of the same platform coalesce: the first caller
+// builds (outside the pool lock — model construction and the initial
+// cold solve take real time), the rest wait on the entry's ready
+// channel. An evicted session that still has requests in flight
+// completes them on its own mutex; it is simply no longer reachable
+// through the pool.
+type Pool struct {
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   *list.List // front = most recently used; values are *entry
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	retired   lp.Stats
+}
+
+type entry struct {
+	id    string
+	elem  *list.Element
+	ready chan struct{} // closed when sess/err are set
+	sess  *Session
+	// initial is the session-creation solve's report, handed to the
+	// creating caller so a fresh create answers without a second
+	// solve. Pool hits re-query instead (the session may have
+	// drifted).
+	initial *SolveReport
+	err     error
+}
+
+// NewPool returns a pool holding at most capacity warm sessions;
+// capacity < 1 panics.
+func NewPool(capacity int) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("service: pool capacity %d, want >= 1", capacity))
+	}
+	return &Pool{
+		capacity: capacity,
+		entries:  make(map[string]*entry),
+		order:    list.New(),
+	}
+}
+
+// GetOrCreate returns the warm session for the request's platform and
+// configuration, building it if absent. created reports whether this
+// call built it (false on a pool hit or when another in-flight create
+// was joined); when true, initial carries the creation solve's report
+// so the caller answers without a second solve. The platform JSON is
+// decoded and validated before anything is built.
+func (p *Pool) GetOrCreate(req *CreateSessionRequest) (sess *Session, initial *SolveReport, created bool, err error) {
+	cfg, err := parseConfig(req)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if len(req.Platform) == 0 {
+		return nil, nil, false, fmt.Errorf("missing platform")
+	}
+	pl, err := platform.Decode(req.Platform)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	id := sessionID(pl.Fingerprint(), cfg)
+
+	p.mu.Lock()
+	if e, ok := p.entries[id]; ok {
+		p.hits++
+		p.order.MoveToFront(e.elem)
+		p.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, nil, false, e.err
+		}
+		return e.sess, nil, false, nil
+	}
+	p.misses++
+	e := &entry{id: id, ready: make(chan struct{})}
+	e.elem = p.order.PushFront(e)
+	p.entries[id] = e
+	evicted := p.evictOverflowLocked()
+	p.mu.Unlock()
+	p.retire(evicted)
+
+	e.sess, e.initial, e.err = newSession(pl, cfg)
+	if e.err != nil {
+		// Failed creations are not cached: drop the entry so a
+		// corrected retry rebuilds.
+		p.mu.Lock()
+		if cur, ok := p.entries[id]; ok && cur == e {
+			delete(p.entries, id)
+			p.order.Remove(e.elem)
+		}
+		p.mu.Unlock()
+	}
+	close(e.ready)
+	if e.err != nil {
+		return nil, nil, false, e.err
+	}
+	return e.sess, e.initial, true, nil
+}
+
+// evictOverflowLocked removes least-recently-used entries beyond
+// capacity and returns them for stats retirement (the caller folds
+// them in outside the pool lock, since reading a session's counters
+// takes its mutex).
+func (p *Pool) evictOverflowLocked() []*entry {
+	var evicted []*entry
+	for len(p.entries) > p.capacity {
+		back := p.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		p.order.Remove(back)
+		delete(p.entries, e.id)
+		p.evictions++
+		evicted = append(evicted, e)
+	}
+	return evicted
+}
+
+// retire folds evicted sessions' solver counters into the retired
+// aggregate. Entries still building are waited for; a failed build
+// contributes nothing.
+func (p *Pool) retire(evicted []*entry) {
+	for _, e := range evicted {
+		<-e.ready
+		if e.err != nil || e.sess == nil {
+			continue
+		}
+		st := e.sess.SolverStats()
+		p.mu.Lock()
+		p.retired.Add(st)
+		p.mu.Unlock()
+	}
+}
+
+// Get returns the session with the given ID (touching its LRU slot),
+// or nil. It never blocks on a session still being built — an
+// unfinished entry is reported as absent.
+func (p *Pool) Get(id string) *Session {
+	p.mu.Lock()
+	e, ok := p.entries[id]
+	if ok {
+		select {
+		case <-e.ready:
+		default:
+			p.mu.Unlock()
+			return nil
+		}
+		if e.err == nil {
+			p.order.MoveToFront(e.elem)
+			p.mu.Unlock()
+			return e.sess
+		}
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// Evict removes the session with the given ID, reporting whether it
+// was present. Its solver counters join the retired aggregate.
+func (p *Pool) Evict(id string) bool {
+	p.mu.Lock()
+	e, ok := p.entries[id]
+	if !ok {
+		p.mu.Unlock()
+		return false
+	}
+	delete(p.entries, id)
+	p.order.Remove(e.elem)
+	p.evictions++
+	p.mu.Unlock()
+	p.retire([]*entry{e})
+	return true
+}
+
+// Sessions snapshots the live, fully built sessions in MRU order.
+func (p *Pool) Sessions() []*Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sessionsLocked()
+}
+
+func (p *Pool) sessionsLocked() []*Session {
+	out := make([]*Session, 0, len(p.entries))
+	for el := p.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		select {
+		case <-e.ready:
+			if e.err == nil && e.sess != nil {
+				out = append(out, e.sess)
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// Stats assembles the /stats response: per-session activity and
+// solver counters plus the pool-wide aggregate (live + retired). The
+// live list and the retired aggregate are snapshotted in one critical
+// section, so a concurrent eviction cannot count a session both as a
+// live row and inside Retired; each session's own counters are then
+// read outside the pool lock (they need the session lock, which may
+// be held by a long solve).
+func (p *Pool) Stats() PoolStatsResponse {
+	p.mu.Lock()
+	sessions := p.sessionsLocked()
+	resp := PoolStatsResponse{
+		Capacity:  p.capacity,
+		Live:      len(p.entries),
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+		Retired:   p.retired,
+	}
+	p.mu.Unlock()
+	if total := resp.Hits + resp.Misses; total > 0 {
+		resp.HitRate = float64(resp.Hits) / float64(total)
+	}
+	resp.Total = resp.Retired
+	resp.Sessions = make([]SessionStats, 0, len(sessions))
+	for _, s := range sessions {
+		st := s.Stats()
+		resp.Sessions = append(resp.Sessions, st)
+		resp.Total.Add(st.Solver)
+	}
+	return resp
+}

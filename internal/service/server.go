@@ -1,0 +1,258 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// maxBodyBytes bounds uploaded request bodies (platform JSON included)
+// so a hostile client cannot balloon the process.
+const maxBodyBytes = 16 << 20
+
+// Server is the HTTP/JSON front of a session pool.
+//
+// Routes:
+//
+//	POST   /sessions               create or re-attach (CreateSessionRequest → CreateSessionResponse)
+//	GET    /sessions               list live sessions ([]SessionInfo)
+//	GET    /sessions/{id}          one session's info
+//	GET    /sessions/{id}/platform the session's current platform JSON
+//	DELETE /sessions/{id}          evict
+//	POST   /sessions/{id}/query    committed allocation + objective (SolveReport)
+//	POST   /sessions/{id}/whatif   WhatIfRequest → SolveReport, rolled back
+//	POST   /sessions/{id}/epoch    EpochRequest → SolveReport, committed
+//	GET    /stats                  PoolStatsResponse
+//	GET    /healthz                liveness probe
+type Server struct {
+	pool *Pool
+}
+
+// NewServer wraps a pool in the HTTP API.
+func NewServer(pool *Pool) *Server { return &Server{pool: pool} }
+
+// Pool returns the server's session pool.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleCreate)
+	mux.HandleFunc("GET /sessions", s.handleList)
+	mux.HandleFunc("GET /sessions/{id}", s.handleInfo)
+	mux.HandleFunc("GET /sessions/{id}/platform", s.handlePlatform)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST /sessions/{id}/whatif", s.handleWhatIf)
+	mux.HandleFunc("POST /sessions/{id}/epoch", s.handleEpoch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a failed write
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decodeBody strictly decodes one JSON value into dst.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// isClientError classifies solve-path errors: validation and
+// modelling complaints are the client's fault (400), anything else is
+// a server failure (500). Session code marks its own invariant
+// violations with an "internal error" prefix, which always wins —
+// "heuristic produced an invalid allocation" is a server bug even
+// though it contains "invalid".
+func isClientError(err error) bool {
+	msg := err.Error()
+	if strings.Contains(msg, "internal error") {
+		return false
+	}
+	for _, marker := range []string{"invalid", "out of range", "unknown", "platform:", "adapt:", "no β variable", "payoffs for"} {
+		if strings.Contains(msg, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func solveStatus(err error) int {
+	if isClientError(err) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, rep, created, err := s.pool.GetOrCreate(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if rep == nil {
+		// Pool hit: the session may have drifted since its creation
+		// report, so answer with a fresh warm query.
+		rep, err = sess.Query()
+		if err != nil {
+			writeError(w, solveStatus(err), err)
+			return
+		}
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, CreateSessionResponse{
+		SessionInfo: sess.Info(),
+		Created:     created,
+		Report:      rep,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := s.pool.Sessions()
+	infos := make([]SessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		infos = append(infos, sess.Info())
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// session resolves the {id} path parameter, answering 404 itself when
+// absent.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *Session {
+	id := r.PathValue("id")
+	sess := s.pool.Get(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return nil
+	}
+	return sess
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if sess := s.session(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, sess.Info())
+	}
+}
+
+func (s *Server) handlePlatform(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	data, err := sess.PlatformJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)         //nolint:errcheck
+	w.Write([]byte("\n")) //nolint:errcheck
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.pool.Evict(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"evicted": id})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	rep, err := sess.Query()
+	if err != nil {
+		writeError(w, solveStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req WhatIfRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rep, err := sess.WhatIf(&req)
+	if err != nil {
+		writeError(w, solveStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req EpochRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rep, err := sess.Epoch(&req)
+	if err != nil {
+		writeError(w, solveStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Stats())
+}
+
+// Batch runs the service's solve path once, without a server: decode
+// and validate the platform, build the warm model, cold-solve. It is
+// what cmd/dlsched -json uses, so a CLI report and a service query
+// for the same platform and configuration produce identical numbers.
+func Batch(req *CreateSessionRequest) (*SolveReport, error) {
+	cfg, err := parseConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Platform) == 0 {
+		return nil, errors.New("missing platform")
+	}
+	pl, err := platform.Decode(req.Platform)
+	if err != nil {
+		return nil, err
+	}
+	_, rep, err := newSession(pl, cfg)
+	return rep, err
+}

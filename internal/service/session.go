@@ -1,0 +1,510 @@
+// Package service implements the warm-model scheduling service: an
+// HTTP/JSON layer that keeps persistent, warm-started solver sessions
+// resident and answers allocation queries against them online.
+//
+// The paper's §1 adaptability loop re-solves the steady-state α/β
+// program as platform capacities drift; PRs 1–4 made that re-solve
+// cheap (one persistent core.Model per platform, every re-solve a
+// revised-simplex warm restart from the carried basis, never a matrix
+// rebuild). This package is the serving layer on top: a Pool of
+// Sessions, each owning one warm model, answering
+//
+//   - query    — the current allocation and objective,
+//   - what-if  — temporary speed/gateway/link-budget/β-bound
+//     mutations, answered and rolled back exactly
+//     (core.Model.CaptureState/RestoreState), with identical
+//     concurrent what-ifs coalesced into one solve,
+//   - epoch    — a committed adapt.Perturbation-style capacity
+//     update, re-solved warm from the carried basis,
+//
+// all under a per-session mutex (the model is single-threaded;
+// mutations serialize) with lp.Revised.Stats surfaced per session and
+// pool-wide so the warm/cold split is observable in production.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/lp"
+	"repro/internal/platform"
+)
+
+// sessionConfig is the normalized solver configuration of a session.
+type sessionConfig struct {
+	obj      core.Objective
+	objName  string
+	heur     string
+	payoffs  []float64 // nil = all 1
+	seed     int64
+	maxNodes int
+}
+
+// parseConfig normalizes and validates the solver configuration of a
+// create request (the platform itself is handled separately).
+func parseConfig(req *CreateSessionRequest) (sessionConfig, error) {
+	cfg := sessionConfig{seed: req.Seed, maxNodes: req.MaxNodes, payoffs: req.Payoffs}
+	switch req.Objective {
+	case "", "maxmin":
+		cfg.obj, cfg.objName = core.MAXMIN, "maxmin"
+	case "sum":
+		cfg.obj, cfg.objName = core.SUM, "sum"
+	default:
+		return cfg, fmt.Errorf("unknown objective %q (want sum or maxmin)", req.Objective)
+	}
+	switch req.Heuristic {
+	case "", "lprg":
+		cfg.heur = "lprg"
+	case "lprr", "lprr-eq", "bnb":
+		cfg.heur = req.Heuristic
+	default:
+		return cfg, fmt.Errorf("unknown heuristic %q (want lprg, lprr, lprr-eq or bnb)", req.Heuristic)
+	}
+	return cfg, nil
+}
+
+// sessionID digests the platform fingerprint and the solver
+// configuration into the pool key: same platform + same configuration
+// lands on the same warm session.
+func sessionID(fp string, cfg sessionConfig) string {
+	h := sha256.New()
+	h.Write([]byte(fp))
+	h.Write([]byte{0})
+	h.Write([]byte(cfg.objName))
+	h.Write([]byte{0})
+	h.Write([]byte(cfg.heur))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(cfg.seed))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(cfg.maxNodes)))
+	h.Write(buf[:])
+	for _, p := range cfg.payoffs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// flight is one in-progress what-if solve; concurrent identical
+// requests wait on done and share the report.
+type flight struct {
+	done chan struct{}
+	rep  *SolveReport
+	err  error
+}
+
+// Session owns one warm solver model for one (platform,
+// configuration) pair. All model access is serialized by mu; the
+// committed state is the current platform pl/pr, the carried
+// warm-start basis, and the epoch counter. What-ifs mutate the model
+// under mu and roll back exactly before releasing it.
+type Session struct {
+	id          string
+	fingerprint string
+	cfg         sessionConfig
+
+	mu    sync.Mutex
+	pl    *platform.Platform // current (drifted) platform
+	pr    *core.Problem
+	model *core.Model
+	basis *lp.Basis // committed root basis carried solve to solve
+	epoch int
+
+	queries   atomic.Uint64
+	whatIfs   atomic.Uint64
+	coalesced atomic.Uint64
+	epochs    atomic.Uint64
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+}
+
+// newSession validates the platform, builds the warm model and runs
+// the initial (cold) solve to establish the carried basis, returning
+// its report alongside the session so creation does not pay a second
+// solve. Every later solve on the session is a warm restart.
+func newSession(pl *platform.Platform, cfg sessionConfig) (*Session, *SolveReport, error) {
+	pr := core.NewProblem(pl)
+	if cfg.payoffs != nil {
+		if len(cfg.payoffs) != pr.K() {
+			return nil, nil, fmt.Errorf("%d payoffs for %d clusters", len(cfg.payoffs), pr.K())
+		}
+		pr.Payoffs = append([]float64(nil), cfg.payoffs...)
+	}
+	model, err := pr.NewModel(cfg.obj)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Session{
+		fingerprint: pl.Fingerprint(),
+		cfg:         cfg,
+		pl:          pl,
+		pr:          pr,
+		model:       model,
+		flights:     make(map[string]*flight),
+	}
+	s.id = sessionID(s.fingerprint, cfg)
+	rep, err := s.Query()
+	if err != nil {
+		return nil, nil, fmt.Errorf("initial solve: %w", err)
+	}
+	return s, rep, nil
+}
+
+// Info snapshots the session's description.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked()
+}
+
+func (s *Session) infoLocked() SessionInfo {
+	return SessionInfo{
+		ID:          s.id,
+		Fingerprint: s.fingerprint,
+		K:           s.pl.K(),
+		Routers:     s.pl.Routers,
+		Links:       len(s.pl.Links),
+		Rows:        s.model.Rows(),
+		Objective:   s.cfg.objName,
+		Heuristic:   s.cfg.heur,
+		Epoch:       s.epoch,
+	}
+}
+
+// PlatformJSON returns the session's current (drifted) platform
+// description.
+func (s *Session) PlatformJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pl.Encode()
+}
+
+// Stats snapshots the session's activity and solver counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	info := s.infoLocked()
+	solver := s.model.SolverStats()
+	s.mu.Unlock()
+	return SessionStats{
+		SessionInfo:      info,
+		Queries:          s.queries.Load(),
+		WhatIfs:          s.whatIfs.Load(),
+		CoalescedWhatIfs: s.coalesced.Load(),
+		Epochs:           s.epochs.Load(),
+		Solver:           solver,
+	}
+}
+
+// SolverStats returns the session's cumulative lp counters (taking
+// the session lock, so it is safe against in-flight solves).
+func (s *Session) SolverStats() lp.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model.SolverStats()
+}
+
+// Query answers the committed state: the heuristic allocation and
+// objective on the session's current platform, solved warm from the
+// carried basis (which the solve also refreshes).
+func (s *Session) Query() (*SolveReport, error) {
+	s.queries.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solveLocked(s.pr)
+}
+
+// heuristicSolve runs the configured heuristic over the session model
+// against epr's capacities, warm from the carried basis, returning
+// the allocation and the new root basis. The randomized heuristics
+// reseed from the session seed on every call, so answers are
+// deterministic and equal to a batch run with the same seed.
+func (s *Session) heuristicSolve(epr *core.Problem) (*core.Allocation, *lp.Basis, error) {
+	switch s.cfg.heur {
+	case "lprg":
+		return heuristics.LPRGOnModel(s.model, epr, s.cfg.obj, s.basis)
+	case "lprr":
+		rng := rand.New(rand.NewSource(s.cfg.seed))
+		return heuristics.LPRROnModel(s.model, epr, s.cfg.obj, heuristics.ProportionalRounding, rng, s.basis)
+	case "lprr-eq":
+		rng := rand.New(rand.NewSource(s.cfg.seed))
+		return heuristics.LPRROnModel(s.model, epr, s.cfg.obj, heuristics.EqualRounding, rng, s.basis)
+	case "bnb":
+		alloc, _, basis, err := heuristics.BranchAndBoundOnModel(s.model, epr, s.cfg.obj, s.cfg.maxNodes, s.basis, nil)
+		return alloc, basis, err
+	}
+	return nil, nil, fmt.Errorf("unknown heuristic %q", s.cfg.heur)
+}
+
+// solveLocked computes a committed answer against epr (the session's
+// current problem, or the epoch-updated one): heuristic solve, then
+// the relaxation bound via an ephemeral warm re-solve from the root
+// basis just produced (typically zero pivots — the basis is already
+// optimal for the unpinned relaxation). The carried basis advances.
+func (s *Session) solveLocked(epr *core.Problem) (*SolveReport, error) {
+	alloc, basis, err := s.heuristicSolve(epr)
+	if err != nil {
+		return nil, err
+	}
+	if err := epr.CheckAllocation(alloc, core.DefaultTol); err != nil {
+		return nil, fmt.Errorf("internal error: heuristic produced an invalid allocation: %w", err)
+	}
+	if basis != nil {
+		s.basis = basis
+	}
+	s.model.ResetBounds()
+	bound, ok, err := s.model.SolveEphemeral(s.basis)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("relaxation infeasible on an unconstrained platform (model bug)")
+	}
+	rep := s.reportFor(epr, alloc)
+	rep.LPBound = bound.Objective
+	return rep, nil
+}
+
+// reportFor assembles the heuristic-answer SolveReport.
+func (s *Session) reportFor(epr *core.Problem, alloc *core.Allocation) *SolveReport {
+	K := epr.K()
+	rep := &SolveReport{
+		Heuristic:   s.cfg.heur,
+		Objective:   s.cfg.objName,
+		Feasible:    true,
+		Value:       epr.Objective(s.cfg.obj, alloc),
+		Alpha:       alloc.Alpha,
+		Beta:        alloc.Beta,
+		Throughputs: make([]float64, K),
+		Epoch:       s.epoch,
+	}
+	for k := 0; k < K; k++ {
+		rep.Throughputs[k] = alloc.AppThroughput(k)
+	}
+	stats := s.model.SolverStats()
+	rep.Stats = &stats
+	return rep
+}
+
+// relaxReportLocked assembles a relaxation-answer SolveReport from a
+// MixedSolution (β̃ fractional).
+func (s *Session) relaxReportLocked(sol *core.MixedSolution) *SolveReport {
+	K := s.pr.K()
+	rep := &SolveReport{
+		Heuristic:   s.cfg.heur,
+		Objective:   s.cfg.objName,
+		Feasible:    true,
+		Relaxed:     true,
+		Value:       sol.Objective,
+		LPBound:     sol.Objective,
+		Alpha:       sol.Alpha,
+		Throughputs: make([]float64, K),
+		BetaFrac:    make([][]float64, K),
+		Epoch:       s.epoch,
+	}
+	for k := 0; k < K; k++ {
+		rep.BetaFrac[k] = make([]float64, K)
+		for l := 0; l < K; l++ {
+			rep.Throughputs[k] += sol.Alpha[k][l]
+		}
+	}
+	for p, v := range sol.Beta {
+		rep.BetaFrac[p.K][p.L] = v
+	}
+	stats := s.model.SolverStats()
+	rep.Stats = &stats
+	return rep
+}
+
+// WhatIf answers a hypothetical without committing it. Identical
+// concurrent requests (same canonical JSON) coalesce onto one solve;
+// every caller gets the shared report (waiters see Coalesced=true).
+func (s *Session) WhatIf(req *WhatIfRequest) (*SolveReport, error) {
+	key, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	s.flightMu.Lock()
+	if f, ok := s.flights[string(key)]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		s.coalesced.Add(1)
+		if f.err != nil {
+			return nil, f.err
+		}
+		shared := *f.rep
+		shared.Coalesced = true
+		return &shared, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[string(key)] = f
+	s.flightMu.Unlock()
+
+	f.rep, f.err = s.whatIfSolve(req)
+
+	s.flightMu.Lock()
+	delete(s.flights, string(key))
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.rep, f.err
+}
+
+// whatIfSolve performs the actual what-if: snapshot the model's
+// capacity/bound state, apply the hypothetical, solve warm from the
+// committed basis (ephemerally — the resulting basis is discarded,
+// the committed basis is never mutated), and restore the snapshot
+// exactly before releasing the session.
+func (s *Session) whatIfSolve(req *WhatIfRequest) (*SolveReport, error) {
+	s.whatIfs.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	epl, err := s.hypotheticalPlatform(req)
+	if err != nil {
+		return nil, err
+	}
+	snap := s.model.CaptureState()
+	defer s.model.RestoreState(snap)
+	if err := adapt.InjectCapacities(s.model, epl); err != nil {
+		return nil, err
+	}
+
+	if req.Relax || len(req.Bounds) > 0 {
+		s.model.ResetBounds()
+		for _, b := range req.Bounds {
+			if err := s.applyBound(b); err != nil {
+				return nil, err
+			}
+		}
+		sol, ok, err := s.model.SolveEphemeral(s.basis)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			stats := s.model.SolverStats()
+			return &SolveReport{
+				Heuristic: s.cfg.heur,
+				Objective: s.cfg.objName,
+				Feasible:  false,
+				Relaxed:   true,
+				Epoch:     s.epoch,
+				Stats:     &stats,
+			}, nil
+		}
+		return s.relaxReportLocked(sol), nil
+	}
+
+	epr := &core.Problem{Platform: epl, Payoffs: s.pr.Payoffs}
+	alloc, _, err := s.heuristicSolve(epr) // basis discarded: nothing commits
+	if err != nil {
+		return nil, err
+	}
+	if err := epr.CheckAllocation(alloc, core.DefaultTol); err != nil {
+		return nil, fmt.Errorf("internal error: heuristic produced an invalid allocation: %w", err)
+	}
+	s.model.ResetBounds()
+	bound, ok, err := s.model.SolveEphemeral(s.basis)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("what-if relaxation infeasible (model bug)")
+	}
+	rep := s.reportFor(epr, alloc)
+	rep.LPBound = bound.Objective
+	return rep, nil
+}
+
+// hypotheticalPlatform clones the session platform with the what-if's
+// capacity mutations applied (validating indices and values), so the
+// heuristic evaluates residual capacities against the hypothetical.
+func (s *Session) hypotheticalPlatform(req *WhatIfRequest) (*platform.Platform, error) {
+	epl := s.pl.Clone()
+	K := epl.K()
+	for _, m := range req.Speeds {
+		if m.Cluster < 0 || m.Cluster >= K {
+			return nil, fmt.Errorf("speed mutation: cluster %d out of range [0,%d)", m.Cluster, K)
+		}
+		epl.Clusters[m.Cluster].Speed = m.Value
+	}
+	for _, m := range req.Gateways {
+		if m.Cluster < 0 || m.Cluster >= K {
+			return nil, fmt.Errorf("gateway mutation: cluster %d out of range [0,%d)", m.Cluster, K)
+		}
+		epl.Clusters[m.Cluster].Gateway = m.Value
+	}
+	for _, m := range req.Links {
+		if m.Link < 0 || m.Link >= len(epl.Links) {
+			return nil, fmt.Errorf("link mutation: link %d out of range [0,%d)", m.Link, len(epl.Links))
+		}
+		if m.MaxConnect < 0 || math.IsNaN(m.MaxConnect) || math.IsInf(m.MaxConnect, 0) {
+			return nil, fmt.Errorf("link mutation: max-connect %g invalid", m.MaxConnect)
+		}
+		if m.MaxConnect != math.Trunc(m.MaxConnect) {
+			return nil, fmt.Errorf("link mutation: max-connect %g invalid (budgets are whole connection counts)", m.MaxConnect)
+		}
+		epl.Links[m.Link].MaxConnect = int(m.MaxConnect)
+	}
+	if err := epl.Validate(); err != nil {
+		return nil, err
+	}
+	return epl, nil
+}
+
+// applyBound installs one what-if β box on the model.
+func (s *Session) applyBound(b RouteBounds) error {
+	if b.Lb < 0 || math.IsNaN(b.Lb) || math.IsInf(b.Lb, 0) {
+		return fmt.Errorf("bound mutation (%d,%d): lb %g invalid", b.From, b.To, b.Lb)
+	}
+	if math.IsNaN(b.Ub) || math.IsInf(b.Ub, 0) {
+		return fmt.Errorf("bound mutation (%d,%d): ub %g invalid", b.From, b.To, b.Ub)
+	}
+	if err := s.model.SetBounds(core.Pair{K: b.From, L: b.To}, core.BetaBounds{Lb: b.Lb, Ub: b.Ub}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Epoch commits a capacity update: the perturbation factors apply to
+// the session's current platform (drift accumulates), the new
+// capacities are injected into the model as RHS/bound mutations, and
+// the answer re-solves warm from the carried basis.
+func (s *Session) Epoch(req *EpochRequest) (*SolveReport, error) {
+	s.epochs.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pert := adapt.Perturbation{
+		GatewayFactor: req.GatewayFactor,
+		SpeedFactor:   req.SpeedFactor,
+		LinkFactor:    req.LinkFactor,
+	}
+	epl, err := pert.Apply(s.pl)
+	if err != nil {
+		return nil, err
+	}
+	if err := epl.Validate(); err != nil {
+		return nil, fmt.Errorf("perturbed platform invalid: %w", err)
+	}
+	// A failed injection (e.g. a factor driving a capacity out of
+	// range) must not leave the model half-updated: roll back to the
+	// committed state and report.
+	snap := s.model.CaptureState()
+	if err := adapt.InjectCapacities(s.model, epl); err != nil {
+		s.model.RestoreState(snap)
+		return nil, err
+	}
+	s.pl = epl
+	s.pr = &core.Problem{Platform: epl, Payoffs: s.pr.Payoffs}
+	s.epoch++
+	return s.solveLocked(s.pr)
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"encoding/json"
+
+	"repro/internal/lp"
+)
+
+// This file defines the service's JSON wire types. cmd/dlsched -json
+// emits the same SolveReport, so a batch CLI answer and a service
+// answer for the same platform and heuristic are directly diffable.
+
+// CreateSessionRequest opens (or re-attaches to) a warm solver
+// session. Platform is the standard platform JSON, exactly as emitted
+// by cmd/platgen; it is validated before a model is built.
+type CreateSessionRequest struct {
+	Platform json.RawMessage `json:"platform"`
+	// Objective is "maxmin" (default) or "sum".
+	Objective string `json:"objective,omitempty"`
+	// Heuristic is "lprg" (default), "lprr", "lprr-eq" or "bnb" —
+	// the solution methods with warm persistent-model entry points.
+	Heuristic string `json:"heuristic,omitempty"`
+	// Payoffs are the per-application payoff factors π_k; defaults to
+	// all 1. Length must equal the platform's cluster count.
+	Payoffs []float64 `json:"payoffs,omitempty"`
+	// Seed drives the randomized heuristics (lprr, lprr-eq). Every
+	// solve reseeds from it, so a session's answers are deterministic
+	// and equal to a batch run with the same seed.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxNodes bounds the bnb search per solve; <= 0 uses the solver
+	// default.
+	MaxNodes int `json:"maxNodes,omitempty"`
+}
+
+// SessionInfo describes one pooled session.
+type SessionInfo struct {
+	// ID keys the session in the pool: a digest of the platform
+	// fingerprint and the solver configuration.
+	ID string `json:"id"`
+	// Fingerprint is the platform description's content hash
+	// (platform.Fingerprint) at session creation.
+	Fingerprint string `json:"fingerprint"`
+	K           int    `json:"k"`
+	Routers     int    `json:"routers"`
+	Links       int    `json:"links"`
+	// Rows is the warm model's constraint row count (the basis
+	// dimension every simplex iteration pays for).
+	Rows      int    `json:"rows"`
+	Objective string `json:"objective"`
+	Heuristic string `json:"heuristic"`
+	// Epoch counts committed capacity updates since creation.
+	Epoch int `json:"epoch"`
+}
+
+// CreateSessionResponse is the answer to POST /sessions.
+type CreateSessionResponse struct {
+	SessionInfo
+	// Created is false when an existing warm session was re-attached
+	// (pool hit) instead of built.
+	Created bool `json:"created"`
+	// Report is the solve on the (current) platform: the initial cold
+	// solve for a fresh session, a warm re-solve on a pool hit.
+	Report *SolveReport `json:"report"`
+}
+
+// ClusterValue addresses one cluster's capacity in a what-if.
+type ClusterValue struct {
+	Cluster int     `json:"cluster"`
+	Value   float64 `json:"value"`
+}
+
+// LinkValue addresses one backbone link's connection budget in a
+// what-if. MaxConnect must be a whole number of connections (the
+// paper's budgets are integral); fractional values are rejected.
+type LinkValue struct {
+	Link       int     `json:"link"`
+	MaxConnect float64 `json:"maxConnect"`
+}
+
+// RouteBounds pins or boxes one remote route's connection count β in
+// a what-if: lb <= β_{from,to} <= ub. Ub < 0 means unbounded above
+// (the route's natural link-budget cap applies). Bound what-ifs are
+// answered with the rational relaxation (Relax is implied): the
+// integer heuristics re-derive β themselves and would discard the
+// pin.
+type RouteBounds struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Lb   float64 `json:"lb"`
+	Ub   float64 `json:"ub"`
+}
+
+// WhatIfRequest asks "what would the allocation be if these
+// capacities (and β bounds) held" without committing anything: the
+// session's model is mutated, solved warm from the committed basis,
+// and rolled back exactly. Identical concurrent what-ifs on a session
+// are coalesced into one solve.
+type WhatIfRequest struct {
+	Speeds   []ClusterValue `json:"speeds,omitempty"`
+	Gateways []ClusterValue `json:"gateways,omitempty"`
+	Links    []LinkValue    `json:"links,omitempty"`
+	Bounds   []RouteBounds  `json:"bounds,omitempty"`
+	// Relax answers with the rational relaxation (the LP upper bound
+	// and its fractional allocation) instead of the session's integer
+	// heuristic. Implied when Bounds is non-empty.
+	Relax bool `json:"relax,omitempty"`
+}
+
+// EpochRequest commits one epoch of capacity drift to the session —
+// the adapt.Perturbation factors, applied to the session's current
+// platform — and re-solves warm from the carried basis. Nil factor
+// slices leave that capacity class unchanged; otherwise lengths must
+// match the platform (clusters for gateway/speed, links for link).
+type EpochRequest struct {
+	GatewayFactor []float64 `json:"gatewayFactor,omitempty"`
+	SpeedFactor   []float64 `json:"speedFactor,omitempty"`
+	LinkFactor    []float64 `json:"linkFactor,omitempty"`
+}
+
+// SolveReport is one solve's answer — the service's query/what-if/
+// epoch response body, and cmd/dlsched's -json output.
+type SolveReport struct {
+	Heuristic string `json:"heuristic"`
+	Objective string `json:"objective"`
+	// Feasible is false only for bound what-ifs whose β box admits no
+	// solution; the allocation fields are then absent.
+	Feasible bool `json:"feasible"`
+	// Value is the allocation's objective value; for relaxation
+	// answers it equals LPBound.
+	Value float64 `json:"value"`
+	// LPBound is the rational relaxation's optimum under the same
+	// capacities — the upper bound the paper's tables normalize by.
+	LPBound float64 `json:"lpBound"`
+	// Throughputs is α_k = Σ_l α_{k,l} per application.
+	Throughputs []float64   `json:"throughputs,omitempty"`
+	Alpha       [][]float64 `json:"alpha,omitempty"`
+	// Beta holds the integer connection counts (heuristic answers).
+	Beta [][]int `json:"beta,omitempty"`
+	// BetaFrac holds the fractional β̃ of relaxation answers.
+	BetaFrac [][]float64 `json:"betaFrac,omitempty"`
+	// Relaxed marks relaxation answers (Relax/Bounds what-ifs).
+	Relaxed bool `json:"relaxed,omitempty"`
+	// Epoch is the session epoch the answer was computed at (0 for
+	// batch CLI reports).
+	Epoch int `json:"epoch"`
+	// Coalesced marks an answer shared from an identical concurrent
+	// what-if rather than solved separately.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Stats snapshots the session's cumulative solver counters after
+	// this solve (for a batch CLI report: the counters of just this
+	// run).
+	Stats *lp.Stats `json:"stats,omitempty"`
+}
+
+// SessionStats is one session's /stats row.
+type SessionStats struct {
+	SessionInfo
+	Queries          uint64 `json:"queries"`
+	WhatIfs          uint64 `json:"whatIfs"`
+	CoalescedWhatIfs uint64 `json:"coalescedWhatIfs"`
+	Epochs           uint64 `json:"epochs"`
+	// Solver is the session's cumulative lp.Revised counters: the
+	// warm/cold solve split, pivots, refactorizations, bound flips.
+	Solver lp.Stats `json:"solver"`
+}
+
+// PoolStatsResponse is the /stats response body.
+type PoolStatsResponse struct {
+	Capacity  int     `json:"capacity"`
+	Live      int     `json:"live"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hitRate"`
+	// Retired aggregates the solver counters of evicted sessions.
+	Retired lp.Stats `json:"retired"`
+	// Total aggregates Retired plus every live session's counters.
+	Total    lp.Stats       `json:"total"`
+	Sessions []SessionStats `json:"sessions"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
