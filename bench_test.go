@@ -350,6 +350,49 @@ func BenchmarkE13_WarmLPRG_LU_K20(b *testing.B)       { benchE13WarmLPRG(b, 20, 
 func BenchmarkE13_WarmLPRG_DenseInv_K20(b *testing.B) { benchE13WarmLPRG(b, 20, lp.DenseInverseRep) }
 func BenchmarkE13_WarmLPRG_LU_K30(b *testing.B)       { benchE13WarmLPRG(b, 30, lp.LUEtaRep) }
 
+// BenchmarkE14_* measure the Forrest–Tomlin U-update basis
+// representation (plus exact dual steepest-edge pricing and the
+// bound-flipping ratio test) against the product-form eta file it
+// replaced, on the same warm LPRG epoch loop as E13. Besides ns/op,
+// each benchmark reports pivots/op, the implied per-pivot cost, and
+// refactorizations/op — the eta file's refactorization count is the
+// super-linear term FT removes, so the refactors column is the
+// headline. K=50 runs on the FT backend only: the point of the
+// representation is that it makes that scale tractable.
+func benchE14WarmLPRG(b *testing.B, k int, rep lp.BasisRep) {
+	pr := benchBnBProblem(b, k)
+	model := benchAdaptiveModel(pr)
+	totalPivots, totalRefactors, totalUpdates := 0, 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm, err := pr.NewModelRep(core.SUM, rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := adapt.RunWarmOn(cm, pr, heuristics.LPRGOnModel, model, core.SUM, benchAdaptiveEpochs); err != nil {
+			b.Fatal(err)
+		}
+		st := cm.SolverStats()
+		totalPivots += st.Pivots
+		totalRefactors += st.Refactorizations
+		totalUpdates += st.FTUpdates
+	}
+	if totalPivots > 0 {
+		b.ReportMetric(float64(totalPivots)/float64(b.N), "pivots/op")
+		b.ReportMetric(b.Elapsed().Seconds()*1e6/float64(totalPivots), "µs/pivot")
+	}
+	b.ReportMetric(float64(totalRefactors)/float64(b.N), "refactors/op")
+	if totalUpdates > 0 {
+		b.ReportMetric(float64(totalUpdates)/float64(b.N), "ftupdates/op")
+	}
+}
+
+func BenchmarkE14_WarmLPRG_FT_K12(b *testing.B)  { benchE14WarmLPRG(b, 12, lp.ForrestTomlinRep) }
+func BenchmarkE14_WarmLPRG_FT_K20(b *testing.B)  { benchE14WarmLPRG(b, 20, lp.ForrestTomlinRep) }
+func BenchmarkE14_WarmLPRG_FT_K30(b *testing.B)  { benchE14WarmLPRG(b, 30, lp.ForrestTomlinRep) }
+func BenchmarkE14_WarmLPRG_FT_K50(b *testing.B)  { benchE14WarmLPRG(b, 50, lp.ForrestTomlinRep) }
+func BenchmarkE14_WarmLPRG_Eta_K30(b *testing.B) { benchE14WarmLPRG(b, 30, lp.LUEtaRep) }
+
 // BenchmarkE7_ReductionExactSolve builds the §4 instance for a
 // 5-cycle and solves it exactly (Theorem 1 equivalence).
 func BenchmarkE7_ReductionExactSolve(b *testing.B) {

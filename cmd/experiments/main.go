@@ -38,8 +38,8 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, lu, all")
-		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds, lu)")
+		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, lu, ft, all")
+		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds, lu, ft)")
 		seed      = flag.Int64("seed", 1, "sweep seed")
 		platforms = flag.Int("platforms", 0, "platforms per K (0 = per-experiment default)")
 		ks        = flag.String("ks", "", "comma-separated K values (default per experiment)")
@@ -47,7 +47,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = one per CPU; fig7 stays sequential unless set > 1)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		outdir    = flag.String("outdir", "", "also write each artifact to this directory")
-		jsonOut   = flag.Bool("json", false, "also write machine-readable BENCH_E*.json files for the perf sweeps (adaptive→BENCH_E11, bounds→BENCH_E12, lu→BENCH_E13), to -outdir or the current directory")
+		jsonOut   = flag.Bool("json", false, "also write machine-readable BENCH_E*.json files for the perf sweeps (adaptive→BENCH_E11, bounds→BENCH_E12, lu→BENCH_E13, ft→BENCH_E14), to -outdir or the current directory")
 	)
 	flag.Parse()
 
@@ -291,6 +291,38 @@ func run() error {
 			return err
 		}
 		if err := writeJSON("BENCH_E13.json", pts); err != nil {
+			return err
+		}
+	}
+	if want("ft") {
+		// E14: the Forrest–Tomlin U-update basis representation (plus
+		// exact dual steepest-edge pricing and the bound-flipping ratio
+		// test) against the product-form eta file it replaced, on the
+		// warm LPRG epoch loop with the cold rebuild as the shared
+		// baseline. K=10/20/30 re-measure the E13 curve; K=50/100
+		// extend it past the eta file's refactorization wall (314
+		// rebuilds at K=30). Wall-clock, so sequential unless -workers
+		// asks otherwise.
+		opts := base
+		opts.Ks = []int{10, 20, 30, 50, 100}
+		if ksOverride != nil {
+			opts.Ks = ksOverride
+		}
+		if *platforms == 0 {
+			opts.PlatformsPer = 3
+		}
+		pts, err := experiments.FTSweep(opts, *epochs, experiments.AdaptiveLPRG)
+		if err != nil {
+			return err
+		}
+		content := experiments.RenderFTTable(pts)
+		if *csv {
+			content = experiments.RenderFTCSV(pts)
+		}
+		if err := emit("ft", content); err != nil {
+			return err
+		}
+		if err := writeJSON("BENCH_E14.json", pts); err != nil {
 			return err
 		}
 	}

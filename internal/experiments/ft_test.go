@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/lp"
+)
+
+func TestFTSweepLPRG(t *testing.T) {
+	opts := Options{Seed: 1, PlatformsPer: 2, Ks: []int{6}}
+	pts, err := FTSweep(opts, 4, AdaptiveLPRG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	pt := pts[0]
+	if pt.K != 6 || pt.Platforms != 2 || pt.Epochs != 4 || pt.Mode != AdaptiveLPRG {
+		t.Fatalf("bad point %+v", pt)
+	}
+	if pt.ColdSeconds <= 0 || pt.WarmEtaSeconds <= 0 || pt.WarmFTSeconds <= 0 {
+		t.Fatalf("non-positive timings %+v", pt)
+	}
+	if pt.Rows <= 0 {
+		t.Fatalf("basis dimension not reported: %+v", pt)
+	}
+	// Both representations solve the same LPs: the warm relaxation
+	// traces must agree (LP optima are unique in value).
+	if !(pt.MaxDiff <= 1e-9) {
+		t.Fatalf("FT-vs-eta bound gap %g", pt.MaxDiff)
+	}
+	if pt.FTPivots <= 0 || pt.EtaPivots <= 0 {
+		t.Fatalf("pivot stats missing: %+v", pt)
+	}
+	if pt.FTPivotMicros <= 0 || pt.EtaPivotMicros <= 0 {
+		t.Fatalf("per-pivot costs missing: %+v", pt)
+	}
+	if pt.FTRefactors <= 0 {
+		t.Fatalf("FT loop must refactorize at least once per cold start: %+v", pt)
+	}
+	if pt.FTColdFallbacks != 0 {
+		t.Fatalf("FT warm loop fell back cold: %+v", pt)
+	}
+	table := RenderFTTable(pts)
+	if !strings.Contains(table, "µs/pv(ft)") || !strings.Contains(table, "LPRG") {
+		t.Fatalf("bad table:\n%s", table)
+	}
+	csv := RenderFTCSV(pts)
+	if !strings.HasPrefix(csv, "k,platforms,epochs,mode,rows,") {
+		t.Fatalf("bad csv:\n%s", csv)
+	}
+}
+
+func TestFTSweepErrors(t *testing.T) {
+	if _, err := FTSweep(Options{Ks: []int{4}, PlatformsPer: 1}, 0, AdaptiveLPRG); err == nil {
+		t.Fatal("zero epochs must fail")
+	}
+	if _, err := FTSweep(Options{Ks: []int{4}, PlatformsPer: 1}, 2, AdaptiveMode(99)); err == nil {
+		t.Fatal("unknown mode must fail")
+	}
+}
+
+// TestE14RefactorRegression is the perf regression guard behind the
+// Forrest–Tomlin representation: on the exact E13 K=30 instance set
+// (same seed/salt, 3 platforms, 20 warm LPRG epochs) the eta-file
+// backend needed 314 refactorizations (BENCH_E13.json, PR 4). FT
+// absorbs pivots into U instead of rebuilding every luMaxEtas
+// updates, so its total must stay well below that — and the warm
+// loops must never abandon a restart into a cold fallback.
+func TestE14RefactorRegression(t *testing.T) {
+	const (
+		k         = 30
+		platforms = 3
+		epochs    = 20
+		etaBase   = 314 // E13 measured eta-file refactorizations at K=30
+	)
+	var total lp.Stats
+	for i := 0; i < platforms; i++ {
+		rng := subRNG(1, k, i, saltLU) // E13's platform stream, verbatim
+		pr, err := adaptiveProblem(k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := AdaptiveLoadModel(pr, rng.Int63())
+		cm, err := pr.NewModelRep(core.SUM, lp.ForrestTomlinRep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := adapt.RunWarmOn(cm, pr, heuristics.LPRGOnModel, model, core.SUM, epochs); err != nil {
+			t.Fatal(err)
+		}
+		total.Add(cm.SolverStats())
+	}
+	if total.Refactorizations >= etaBase {
+		t.Fatalf("FT refactorizations %d have regressed to the eta-file baseline %d",
+			total.Refactorizations, etaBase)
+	}
+	if total.ColdFallbacks != 0 {
+		t.Fatalf("FT warm loop fell back cold %d times", total.ColdFallbacks)
+	}
+	if total.FTUpdates <= total.Refactorizations {
+		t.Fatalf("update-vs-refactor ratio below 1 (%d updates, %d refactorizations): updates are not being absorbed",
+			total.FTUpdates, total.Refactorizations)
+	}
+}

@@ -7,19 +7,29 @@ import "math"
 type BasisRep int
 
 const (
-	// LUEtaRep is the default: a sparse LU factorization of the basis
+	// LUEtaRep is a sparse LU factorization of the basis
 	// (Markowitz-style threshold pivoting over the CSC columns)
-	// maintained across pivots by an eta file, with periodic
-	// refactorization when the eta file grows past a length/density
-	// threshold or an update pivot looks numerically unsafe. FTRAN and
-	// BTRAN are sparse triangular solves plus eta applications —
-	// O(nnz(L)+nnz(U)+nnz(etas)) instead of the dense inverse's O(m²).
+	// maintained across pivots by a product-form eta file, with
+	// periodic refactorization when the eta file grows past a
+	// length/density threshold or an update pivot looks numerically
+	// unsafe. FTRAN and BTRAN are sparse triangular solves plus eta
+	// applications — O(nnz(L)+nnz(U)+nnz(etas)) instead of the dense
+	// inverse's O(m²). Superseded as the default by ForrestTomlinRep
+	// (whose updates stay sparse where product-form etas densify);
+	// kept as a cross-checked reference and the E13/E14 baseline.
 	LUEtaRep BasisRep = iota
 	// DenseInverseRep is the historical representation: an explicit
 	// dense basis inverse updated in product form on every pivot. Kept
-	// as the reference implementation the LU/eta backend is
+	// as the reference implementation the LU backends are
 	// cross-checked against (and as the E13 before/after baseline).
 	DenseInverseRep
+	// ForrestTomlinRep is the default: the same Markowitz LU base
+	// factorization as LUEtaRep, but pivots update the U factor itself
+	// (Forrest–Tomlin: splice the spiked column, repair with a short
+	// row eta) instead of appending whole FTRAN'd directions, so U
+	// stays sparse and triangular and solve cost does not degrade with
+	// the number of updates. See ftFactor (ft.go).
+	ForrestTomlinRep
 )
 
 func (b BasisRep) String() string {
@@ -28,6 +38,8 @@ func (b BasisRep) String() string {
 		return "lu-eta"
 	case DenseInverseRep:
 		return "dense-inverse"
+	case ForrestTomlinRep:
+		return "forrest-tomlin"
 	}
 	return "BasisRep(?)"
 }

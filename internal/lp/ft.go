@@ -1,0 +1,550 @@
+package lp
+
+import "math"
+
+// ftFactor represents the basis as a sparse LU factorization whose U
+// factor is maintained across pivots by Forrest–Tomlin updates, the
+// successor of luFactor's product-form eta file.
+//
+// The base factorization is luFactor's Markowitz elimination (ftFactor
+// embeds it and reuses factorize/commit verbatim); the difference is
+// what a pivot does. Replacing basis position p's column turns U's
+// column at elimination slot t0 into the "spike" ũ = L̃⁻¹·ã = U·d̃
+// (d̃ is the FTRAN'd direction permuted into slot space — one sparse
+// mat-vec against the live U, no extra solve). Forrest–Tomlin then
+// cyclically permutes slot t0 behind every other slot and eliminates
+// the bottom-row spike this creates — old row t0 of U — with a single
+// row eta E = I − e_{t0}·vᵀ obtained from one sparse transposed
+// triangular solve vᵀ·Ū = u_{t0,·} over the trailing submatrix:
+//
+//	U_new = E · (U with column t0 ← ũ, slot t0 ordered last),
+//
+// which is upper triangular again in the new slot order. FTRAN applies
+// the row etas (oldest first) between the L-solve and the U-backsolve;
+// BTRAN applies their transposes (newest first) between the Uᵀ-solve
+// and the Lᵀ-solve. Unlike the product-form eta file — whose etas are
+// whole FTRAN'd directions and therefore dense-ish on these platform
+// LPs — the row etas carry only the fill of old U rows, so U stays
+// genuinely sparse and triangular and FTRAN/BTRAN remain O(m + nnz)
+// across arbitrarily long warm runs.
+//
+// The determinant identity newdiag = u_{t0,t0}·d_p gives the classic
+// Forrest–Tomlin stability test for free: the eliminated diagonal is
+// computed both ways (by the eta subtraction and by the product) and
+// the update is refused — the caller refactorizes — when they
+// disagree, when the new diagonal is absolutely tiny, or when it is
+// small relative to the spike (growth control). Refactorization is
+// otherwise triggered by U fill growth past ftFillFactor times the
+// fresh factorization, an update-count cap, or a row-eta arena past
+// one factorization's worth of nonzeros.
+type ftFactor struct {
+	luFactor
+
+	// Dynamic U stores, indexed by elimination slot (the slot a basis
+	// position was pivotal at in the base factorization; slots are
+	// stable across updates, only their ordering changes). Both
+	// orientations are maintained: columns drive the solves and the
+	// spike product, rows drive the eta solve and the bottom-row
+	// deletion. Off-diagonal entries only; diagonals live in
+	// luFactor.uDiag.
+	ucIdx [][]int32 // column k: row slots (ordered before k)
+	ucVal [][]float64
+	urIdx [][]int32 // row k: column slots (ordered after k)
+	urVal [][]float64
+
+	// Slot ordering: ord[k] is slot k's current ordinal, slotAt its
+	// inverse. Triangularity invariant: every stored entry (row j,
+	// col k) has ord[j] < ord[k].
+	ord    []int32
+	slotAt []int32
+	// slotOfPos maps a basis position to its elimination slot (the
+	// inverse of colOfPos; static between refactors — an update swaps
+	// the column at a slot, never the slot's basis position).
+	slotOfPos []int32
+
+	// Forrest–Tomlin row etas, sharing one arena like the eta file.
+	ftEtas []ftEta
+	ftIdx  []int32
+	ftVal  []float64
+
+	baseNNZ int // nnz(U) incl. diagonal at the last refactorization
+	curNNZ  int
+	updates int
+	minUpd  int // deferRefactor backoff threshold
+
+	// Update scratch.
+	spike   []float64
+	inSpike []bool
+	snz     []int32
+	vacc    []float64
+	inAcc   []bool
+	heap    []int32
+	vIdx    []int32
+	vVal    []float64
+}
+
+// ftEta is one Forrest–Tomlin row eta E = I − e_p·vᵀ: v's nonzeros
+// (slot-indexed) live in the factor's shared arena at [start, end).
+type ftEta struct {
+	p          int32
+	start, end int32
+}
+
+const (
+	// ftMaxUpdates caps the updates absorbed between refactorizations.
+	// Looser than the eta file's 32 — a row eta costs O(nnz(old U
+	// row)) per solve instead of O(nnz(direction)) — but not by an
+	// order of magnitude: every update also splices a dense-ish spiked
+	// column into U, and on these platform LPs (singleton-heavy bases
+	// whose Markowitz refactorization is nearly linear) letting fill
+	// accumulate costs more in solves than the avoided rebuilds save.
+	// Measured on the E13 K=30 suite: 60 beats both 40 (rebuild-bound)
+	// and 150 (fill-bound) on wall clock.
+	ftMaxUpdates = 60
+	// ftDeferUpdates is the retry backoff after a refactorization
+	// found the basis momentarily singular.
+	ftDeferUpdates = 32
+	// ftFillFactor bounds U fill growth: refactorize once nnz(U)
+	// exceeds this multiple of the fresh factorization's.
+	ftFillFactor = 2
+	// ftStabRel refuses an update whose new diagonal is small relative
+	// to the spike's largest entry — the growth-control analogue of
+	// luEtaStabRel, looser because a row eta amplifies error once per
+	// solve instead of once per eta application.
+	ftStabRel = 1e-6
+	// ftStabDrift refuses an update when the eliminated diagonal
+	// computed by the eta subtraction disagrees with the determinant
+	// identity u_{t0,t0}·d_p beyond this relative tolerance — the
+	// Forrest–Tomlin drift test, which catches a degraded
+	// factorization before its solves go visibly wrong.
+	ftStabDrift = 1e-6
+)
+
+func newFTFactor(r *Revised) *ftFactor {
+	f := &ftFactor{}
+	f.luFactor.init(r)
+	m := r.m
+	f.ucIdx = make([][]int32, m)
+	f.ucVal = make([][]float64, m)
+	f.urIdx = make([][]int32, m)
+	f.urVal = make([][]float64, m)
+	f.ord = make([]int32, m)
+	f.slotAt = make([]int32, m)
+	f.slotOfPos = make([]int32, m)
+	f.spike = make([]float64, m)
+	f.inSpike = make([]bool, m)
+	f.snz = make([]int32, 0, m)
+	f.vacc = make([]float64, m)
+	f.inAcc = make([]bool, m)
+	f.heap = make([]int32, 0, m)
+	f.vIdx = make([]int32, 0, m)
+	f.vVal = make([]float64, 0, m)
+	return f
+}
+
+// refactor rebuilds the base factorization and re-initializes the
+// dynamic U stores. Like luFactor.refactor it leaves the previous
+// representation intact on a singular basis.
+func (f *ftFactor) refactor() bool {
+	if !f.factorize() {
+		return false
+	}
+	f.commit()
+	f.initFT()
+	return true
+}
+
+// initFT converts the committed column-wise U into the dynamic
+// row+column stores, resets the slot ordering to elimination order and
+// clears the row-eta file.
+func (f *ftFactor) initFT() {
+	m := f.m
+	for k := 0; k < m; k++ {
+		f.ucIdx[k] = f.ucIdx[k][:0]
+		f.ucVal[k] = f.ucVal[k][:0]
+		f.urIdx[k] = f.urIdx[k][:0]
+		f.urVal[k] = f.urVal[k][:0]
+		f.ord[k] = int32(k)
+		f.slotAt[k] = int32(k)
+		f.slotOfPos[f.colOfPos[k]] = int32(k)
+	}
+	nnz := 0
+	for k := 0; k < m; k++ {
+		for s := f.uPtr[k]; s < f.uPtr[k+1]; s++ {
+			j, v := f.uIdx[s], f.uVal[s]
+			f.ucIdx[k] = append(f.ucIdx[k], j)
+			f.ucVal[k] = append(f.ucVal[k], v)
+			f.urIdx[j] = append(f.urIdx[j], int32(k))
+			f.urVal[j] = append(f.urVal[j], v)
+			nnz++
+		}
+	}
+	f.baseNNZ = nnz + m
+	f.curNNZ = nnz + m
+	f.ftEtas = f.ftEtas[:0]
+	f.ftIdx = f.ftIdx[:0]
+	f.ftVal = f.ftVal[:0]
+	f.updates = 0
+	f.minUpd = 0
+}
+
+func (f *ftFactor) ftran(v []float64) {
+	m, w := f.m, f.w
+	for k := 0; k < m; k++ {
+		w[k] = v[f.rowOfPos[k]]
+	}
+	for k := 0; k < m; k++ {
+		t := w[k]
+		if t == 0 {
+			continue
+		}
+		for s := f.lPtr[k]; s < f.lPtr[k+1]; s++ {
+			w[f.lIdx[s]] -= f.lVal[s] * t
+		}
+	}
+	// Row etas, oldest first: w[p] -= v·w.
+	for ei := range f.ftEtas {
+		e := &f.ftEtas[ei]
+		s := w[e.p]
+		for t := e.start; t < e.end; t++ {
+			s -= f.ftVal[t] * w[f.ftIdx[t]]
+		}
+		w[e.p] = s
+	}
+	// U backsolve in descending ordinal order.
+	for o := m - 1; o >= 0; o-- {
+		k := f.slotAt[o]
+		t := w[k]
+		if t == 0 {
+			continue
+		}
+		t /= f.uDiag[k]
+		w[k] = t
+		ci, cv := f.ucIdx[k], f.ucVal[k]
+		for s := range ci {
+			w[ci[s]] -= cv[s] * t
+		}
+	}
+	for k := 0; k < m; k++ {
+		v[f.colOfPos[k]] = w[k]
+	}
+}
+
+func (f *ftFactor) ftranCol(j int, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	f.r.effCol(j, func(i int, v float64) {
+		dst[i] += v
+	})
+	f.ftran(dst)
+}
+
+func (f *ftFactor) btran(v []float64) {
+	m, w := f.m, f.w
+	for k := 0; k < m; k++ {
+		w[k] = v[f.colOfPos[k]]
+	}
+	// Uᵀ forward solve in ascending ordinal order, scatter form over
+	// the row store: once w[k] is final it feeds the slots ordered
+	// after k, so a zero w[k] — the common case on the unit vectors
+	// btranRow feeds this solve every dual pivot — skips its whole row
+	// without touching the scattered per-slot slices.
+	for o := 0; o < m; o++ {
+		k := f.slotAt[o]
+		s := w[k]
+		if s == 0 {
+			continue
+		}
+		s /= f.uDiag[k]
+		w[k] = s
+		ri, rv := f.urIdx[k], f.urVal[k]
+		for t := range ri {
+			w[ri[t]] -= rv[t] * s
+		}
+	}
+	// Row etas transposed, newest first: w -= v·w[p].
+	for ei := len(f.ftEtas) - 1; ei >= 0; ei-- {
+		e := &f.ftEtas[ei]
+		s := w[e.p]
+		if s == 0 {
+			continue
+		}
+		for t := e.start; t < e.end; t++ {
+			w[f.ftIdx[t]] -= f.ftVal[t] * s
+		}
+	}
+	for k := m - 1; k >= 0; k-- {
+		s := w[k]
+		for t := f.lPtr[k]; t < f.lPtr[k+1]; t++ {
+			s -= f.lVal[t] * w[f.lIdx[t]]
+		}
+		w[k] = s
+	}
+	for k := 0; k < m; k++ {
+		v[f.rowOfPos[k]] = w[k]
+	}
+}
+
+func (f *ftFactor) btranRow(p int, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	dst[p] = 1
+	f.btran(dst)
+}
+
+// heapPush/heapPop maintain a binary min-heap of slots keyed by their
+// current ordinal — the processing order of the row-eta solve.
+func (f *ftFactor) heapPush(h []int32, k int32) []int32 {
+	h = append(h, k)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if f.ord[h[p]] <= f.ord[h[i]] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func (f *ftFactor) heapPop(h []int32) (int32, []int32) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && f.ord[h[l]] < f.ord[h[small]] {
+			small = l
+		}
+		if r < len(h) && f.ord[h[r]] < f.ord[h[small]] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
+}
+
+// rowRemove deletes the entry with column slot c from row j's list.
+func (f *ftFactor) rowRemove(j, c int32) {
+	ri, rv := f.urIdx[j], f.urVal[j]
+	for s := range ri {
+		if ri[s] == c {
+			last := len(ri) - 1
+			ri[s], rv[s] = ri[last], rv[last]
+			f.urIdx[j], f.urVal[j] = ri[:last], rv[:last]
+			return
+		}
+	}
+}
+
+// colRemove deletes the entry with row slot j from column c's list.
+func (f *ftFactor) colRemove(c, j int32) {
+	ci, cv := f.ucIdx[c], f.ucVal[c]
+	for s := range ci {
+		if ci[s] == j {
+			last := len(ci) - 1
+			ci[s], cv[s] = ci[last], cv[last]
+			f.ucIdx[c], f.ucVal[c] = ci[:last], cv[:last]
+			return
+		}
+	}
+}
+
+// update absorbs the pivot replacing basis position p's column (whose
+// FTRAN'd direction is d) as a Forrest–Tomlin update of U. With
+// force=false it refuses numerically unsafe updates (tiny or
+// drifted eliminated diagonal) and the caller refactorizes.
+func (f *ftFactor) update(p int, d []float64, force bool) bool {
+	m := f.m
+	t0 := f.slotOfPos[p]
+	ot := f.ord[t0]
+
+	// Spike ũ = U·d̃ (d̃[k] = d[colOfPos[k]]): the entering column
+	// carried through L and the accumulated row etas only — recovered
+	// from the full direction by one sparse product against the live
+	// U, so it is exactly consistent with the current factorization.
+	spike, snz := f.spike, f.snz[:0]
+	for k := 0; k < m; k++ {
+		dk := d[f.colOfPos[k]]
+		if dk == 0 {
+			continue
+		}
+		if !f.inSpike[k] {
+			f.inSpike[k] = true
+			snz = append(snz, int32(k))
+		}
+		spike[k] += f.uDiag[k] * dk
+		ci, cv := f.ucIdx[k], f.ucVal[k]
+		for s := range ci {
+			j := ci[s]
+			if !f.inSpike[j] {
+				f.inSpike[j] = true
+				snz = append(snz, j)
+			}
+			spike[j] += cv[s] * dk
+		}
+	}
+	smax := 0.0
+	for _, k := range snz {
+		if a := math.Abs(spike[k]); a > smax {
+			smax = a
+		}
+	}
+
+	// Row eta v: solve Ūᵀ·v = u_{t0,·} over the slots ordered after
+	// t0, seeded by row t0's off-diagonal entries and processed in
+	// ascending ordinal order (heap) so fill propagates exactly once.
+	acc, h := f.vacc, f.heap[:0]
+	ri, rv := f.urIdx[t0], f.urVal[t0]
+	for s := range ri {
+		c := ri[s]
+		if !f.inAcc[c] {
+			f.inAcc[c] = true
+			h = f.heapPush(h, c)
+		}
+		acc[c] += rv[s]
+	}
+	vIdx, vVal := f.vIdx[:0], f.vVal[:0]
+	vmax := 0.0
+	for len(h) > 0 {
+		var c int32
+		c, h = f.heapPop(h)
+		f.inAcc[c] = false
+		vc := acc[c]
+		acc[c] = 0
+		if vc == 0 {
+			continue
+		}
+		vc /= f.uDiag[c]
+		vIdx = append(vIdx, c)
+		vVal = append(vVal, vc)
+		if a := math.Abs(vc); a > vmax {
+			vmax = a
+		}
+		ri2, rv2 := f.urIdx[c], f.urVal[c]
+		for s := range ri2 {
+			c2 := ri2[s]
+			if !f.inAcc[c2] {
+				f.inAcc[c2] = true
+				h = f.heapPush(h, c2)
+			}
+			acc[c2] -= vc * rv2[s]
+		}
+	}
+	f.heap = h[:0]
+	f.vIdx, f.vVal = vIdx, vVal
+
+	// Eliminated diagonal, both ways: the eta subtraction (what the
+	// stored factorization will actually use) and the determinant
+	// identity u_{t0,t0}·d_p (exact in exact arithmetic) — their
+	// disagreement is the Forrest–Tomlin drift test.
+	newDiag := spike[t0]
+	for s := range vIdx {
+		newDiag -= vVal[s] * spike[vIdx[s]]
+	}
+	pred := f.uDiag[t0] * d[p]
+	if !force {
+		apiv := math.Abs(newDiag)
+		if apiv < luSingTol || apiv < ftStabRel*smax ||
+			math.Abs(newDiag-pred) > ftStabDrift*(math.Abs(newDiag)+math.Abs(pred)) {
+			// Unsafe: clear the spike scratch and refuse.
+			for _, k := range snz {
+				f.inSpike[k] = false
+				spike[k] = 0
+			}
+			return false
+		}
+	}
+	if newDiag == 0 {
+		// Force path on a (near-)singular basis: keep the operator
+		// invertible so the dual can detect the garbage and fall back.
+		newDiag = pred
+		if newDiag == 0 {
+			newDiag = luSingTol
+		}
+	}
+
+	// Apply. 1: retire slot t0's old column from both stores.
+	ci, cv := f.ucIdx[t0], f.ucVal[t0]
+	for s := range ci {
+		f.rowRemove(ci[s], t0)
+	}
+	f.curNNZ -= len(ci)
+	f.ucIdx[t0], f.ucVal[t0] = ci[:0], cv[:0]
+	// 2: clear old row t0 — the bottom-row spike the eta eliminated.
+	ri, rv = f.urIdx[t0], f.urVal[t0]
+	for s := range ri {
+		f.colRemove(ri[s], t0)
+	}
+	f.curNNZ -= len(ri)
+	f.urIdx[t0], f.urVal[t0] = ri[:0], rv[:0]
+	// 3: insert the spike as slot t0's new column; every other slot
+	// now orders before t0, so all entries sit above the diagonal.
+	// Entries below luEtaDropRel·max|ũ| are cancellation junk.
+	sdrop := luEtaDropRel * smax
+	for _, k := range snz {
+		f.inSpike[k] = false
+		val := spike[k]
+		spike[k] = 0
+		if k == t0 || (val > -sdrop && val < sdrop) {
+			continue
+		}
+		f.ucIdx[t0] = append(f.ucIdx[t0], k)
+		f.ucVal[t0] = append(f.ucVal[t0], val)
+		f.urIdx[k] = append(f.urIdx[k], t0)
+		f.urVal[k] = append(f.urVal[k], val)
+		f.curNNZ++
+	}
+	f.uDiag[t0] = newDiag
+	// 4: append the row eta (dropping noise entries); an empty eta is
+	// skipped outright — common when the old row t0 was already empty.
+	start := int32(len(f.ftIdx))
+	vdrop := luEtaDropRel * vmax
+	for s := range vIdx {
+		if v := vVal[s]; v > vdrop || v < -vdrop {
+			f.ftIdx = append(f.ftIdx, vIdx[s])
+			f.ftVal = append(f.ftVal, v)
+		}
+	}
+	if end := int32(len(f.ftIdx)); end > start {
+		f.ftEtas = append(f.ftEtas, ftEta{p: t0, start: start, end: end})
+	}
+	// 5: cyclic ordinal shift — slot t0 moves behind every other slot.
+	for o := ot + 1; o < int32(m); o++ {
+		k := f.slotAt[o]
+		f.slotAt[o-1] = k
+		f.ord[k] = o - 1
+	}
+	f.slotAt[m-1] = t0
+	f.ord[t0] = int32(m - 1)
+
+	f.updates++
+	f.r.stats.FTUpdates++
+	if f.baseNNZ > 0 {
+		if g := float64(f.curNNZ) / float64(f.baseNNZ); g > f.r.stats.UFillGrowth {
+			f.r.stats.UFillGrowth = g
+		}
+	}
+	return true
+}
+
+func (f *ftFactor) shouldRefactor() bool {
+	if f.updates < f.minUpd {
+		return false
+	}
+	return f.updates >= ftMaxUpdates ||
+		f.curNNZ > ftFillFactor*f.baseNNZ+f.m ||
+		len(f.ftIdx) > f.baseNNZ
+}
+
+func (f *ftFactor) deferRefactor() { f.minUpd = f.updates + ftDeferUpdates }

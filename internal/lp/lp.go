@@ -33,30 +33,51 @@
 // Its FTRAN/BTRAN operations go through a pluggable basisFactor
 // (factor.go) selected by BasisRep:
 //
-//   - LUEtaRep (lu.go), the default: a sparse LU factorization of
-//     the basis, computed by Markowitz-style threshold pivoting over
-//     the CSC columns (row/column singletons — the ±e_i slack and
-//     artificial columns that dominate these bases — peel off as
-//     fill-free O(1) pivots). Pivots append to an eta file in
-//     product form instead of touching L/U, so FTRAN and BTRAN are
-//     two sparse triangular solves plus eta applications, O(m + nnz)
-//     per application. The factorization is rebuilt when the eta
-//     file grows past a length/density budget or an update pivot is
-//     numerically unsafe relative to its direction — the triggers
-//     that bound both per-pivot cost and error drift.
+//   - ForrestTomlinRep (ft.go), the default: the same Markowitz-style
+//     sparse LU base factorization as LUEtaRep (below), but a pivot
+//     updates the U factor itself instead of appending to an eta
+//     file. The Forrest–Tomlin update splices the leaving column out
+//     of U, inserts the FTRAN'd entering column as a spike, restores
+//     triangularity with a cyclic permutation of the elimination
+//     order, and repairs the spiked row with one short row eta — all
+//     sparse operations, so U stays sparse and triangular and
+//     FTRAN/BTRAN cost does not degrade with the number of updates.
+//     Refactorization triggers on U fill growth past a multiple of
+//     the fresh factorization's nonzeros, on an update-count cap, or
+//     on numerical drift (the update's recurrence diagonal is checked
+//     against the exact determinant identity u'_tt = u_tt·d_p and the
+//     update refused when they disagree).
+//   - LUEtaRep (lu.go): the same LU base, computed by Markowitz-style
+//     threshold pivoting over the CSC columns (row/column singletons
+//     — the ±e_i slack and artificial columns that dominate these
+//     bases — peel off as fill-free O(1) pivots), but pivots append
+//     to an eta file in product form instead of touching L/U, which
+//     forces a rebuild every few dozen updates. Superseded as the
+//     default by ForrestTomlinRep; kept as a cross-checked reference
+//     and the E13/E14 baseline.
 //   - DenseInverseRep (factor.go): the historical explicit dense
 //     inverse with O(m²) product-form updates, kept as the numerical
-//     reference; property tests pin the two representations to equal
-//     optima at 1e-9 across cold solves, warm restarts and RHS/bound
-//     mutation sequences.
+//     reference; property tests pin all three representations to
+//     equal optima at 1e-9 across cold solves, warm restarts and
+//     RHS/bound mutation sequences.
 //
-// Pricing is devex in both simplex methods (reference-framework
-// weights approximating steepest edge: entering columns maximize
-// c̄²/w in the primal, leaving rows maximize violation²/w in the
-// dual), with the automatic switch to Bland's anti-cycling rule on
-// objective stalls retained from the Dantzig era. Revised.Stats
-// exposes pivot, bound-flip, refactorization and warm/cold solve
-// counters for the experiment harness.
+// Pricing: the primal simplex prices entering columns with devex
+// (reference-framework weights approximating steepest edge, columns
+// maximize c̄²/w). The dual simplex prices leaving rows with exact
+// Forrest–Goldfarb dual steepest edge by default — weights γ_i =
+// ‖e_iᵀB⁻¹‖² maintained exactly across pivots from the FTRAN'd pivot
+// column and one extra FTRAN of the pivot row, with the leaving row's
+// weight recomputed from scratch each pivot so the recurrence is
+// self-correcting — falling back to devex when steepest edge is
+// disabled. Its ratio test is bound-flipping (long-step): breakpoints
+// are sorted by ratio and boxed candidates flip bound while the dual
+// objective's slope stays positive, all flips applied with a single
+// aggregated FTRAN, which passes degenerate vertices without pivots.
+// The automatic switch to Bland's anti-cycling rule on objective
+// stalls is retained from the Dantzig era. Revised.Stats exposes
+// pivot, bound-flip, refactorization, Forrest–Tomlin update/fill,
+// steepest-edge reset and warm/cold solve counters for the
+// experiment harness.
 //
 // Both backends honor variable bounds natively in the simplex itself
 // — the bounded-variable method, not bound rows: lower bounds are
@@ -90,7 +111,8 @@
 // mutations, never added or dedicated rows. A Basis snapshot is
 // representation-independent: it records the basic column set and
 // the at-upper statuses, not the factorization, so it round-trips
-// between LUEtaRep and DenseInverseRep instances. SolveFrom falls
+// between ForrestTomlinRep, LUEtaRep and DenseInverseRep instances.
+// SolveFrom falls
 // back to a cold solve whenever the supplied basis is unusable
 // (singular, stale, or numerically degraded) or the dual restart
 // stops making progress within a pivot budget proportional to the

@@ -120,8 +120,17 @@ const (
 )
 
 func newLUFactor(r *Revised) *luFactor {
+	f := &luFactor{}
+	f.init(r)
+	return f
+}
+
+// init sizes the factor for r's basis dimension; shared with the
+// Forrest–Tomlin representation, which embeds luFactor for the base
+// Markowitz factorization and replaces only the update machinery.
+func (f *luFactor) init(r *Revised) {
 	m := r.m
-	f := &luFactor{r: r, m: m}
+	f.r, f.m = r, m
 	f.rowOfPos = make([]int32, m)
 	f.colOfPos = make([]int32, m)
 	f.uDiag = make([]float64, m)
@@ -145,13 +154,24 @@ func newLUFactor(r *Revised) *luFactor {
 	f.uRowVal = make([][]float64, m)
 	f.mark = make([]int32, m)
 	f.markAt = make([]int32, m)
-	return f
 }
 
 // refactor computes a fresh LU factorization of the current basis and
 // clears the eta file. On a numerically singular basis it returns
 // false and leaves the committed factorization (and eta file) intact.
 func (f *luFactor) refactor() bool {
+	if !f.factorize() {
+		return false
+	}
+	f.commit()
+	return true
+}
+
+// factorize runs the Markowitz elimination over the current basis into
+// the scratch transcript (pivR/pivC/pivV, lRows/lMults, uRowIdx/
+// uRowVal) without touching the committed factorization. Returns false
+// on a structurally or numerically singular basis.
+func (f *luFactor) factorize() bool {
 	m := f.m
 	for j := 0; j < m; j++ {
 		f.cols[j] = f.cols[j][:0]
@@ -193,7 +213,6 @@ func (f *luFactor) refactor() bool {
 		}
 		f.eliminate(k, pi, pj, pv)
 	}
-	f.commit()
 	return true
 }
 

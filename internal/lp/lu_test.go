@@ -237,9 +237,20 @@ func TestWarmPivotBudgetScales(t *testing.T) {
 			tallB, rTall.m, small, rSmall.m)
 	}
 	// And the budget is what the dual simplex actually runs under: a
-	// fresh instance must report it consistently with its inputs.
-	if want := 4*rTall.m + len(rTall.sp.val)/2 + 256; tallB != want {
+	// fresh instance (Forrest–Tomlin default, 6·m multiplier) must
+	// report it consistently with its inputs.
+	if want := 6*rTall.m + len(rTall.sp.val)/2 + 256; tallB != want {
 		t.Fatalf("budget %d does not track size/nonzeros (want %d)", tallB, want)
+	}
+	// The budget is representation-aware: eta-file pivots degrade with
+	// update count, so that representation gives up sooner.
+	if etaB := NewRevisedRep(tall, LUEtaRep).warmPivotBudget(); etaB >= tallB {
+		t.Fatalf("eta-file budget %d must be below the FT budget %d", etaB, tallB)
+	}
+	// budgetOverride is the test hook that forces the fallback path.
+	rTall.budgetOverride = 3
+	if got := rTall.warmPivotBudget(); got != 3 {
+		t.Fatalf("budgetOverride ignored: %d", got)
 	}
 }
 

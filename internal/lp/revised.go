@@ -89,12 +89,40 @@ type Revised struct {
 	dwCol []float64
 	dwRow []float64
 
+	// Exact dual steepest-edge state (Forrest–Goldfarb): dseW[i]
+	// tracks γ_i = ‖e_iᵀB⁻¹‖² under the exact per-pivot recurrence
+	// (one extra FTRAN per dual pivot), with γ of the pivot row
+	// recomputed exactly from ρ_r each pivot so the weights
+	// self-correct instead of drifting. dseOK marks the weights as
+	// describing the current basis; it is cleared by anything that
+	// changes the basis outside the dual's own updates (cold solves,
+	// primal pivots, foreign-basis installs) and the next dual run
+	// then restarts from unit weights. useDSE=false falls back to the
+	// dual devex framework (the cheap approximation, kept as the
+	// reference and for pathologies where the extra FTRAN never pays).
+	dseW   []float64
+	dseOK  bool
+	useDSE bool
+
+	// bfrt enables the bound-flipping (long-step) dual ratio test:
+	// boxed entering candidates whose breakpoints are passed flip to
+	// their opposite bound — one aggregated FTRAN for all flips —
+	// letting a single dual pivot traverse many degenerate
+	// breakpoints. Disabled only under Bland's rule (whose termination
+	// argument needs the strict min-ratio test) and by tests.
+	bfrt bool
+
+	// budgetOverride, when positive, replaces warmPivotBudget — the
+	// hook tests use to force a warm restart into the cold fallback.
+	budgetOverride int
+
 	// rowCols is the row-wise (CSR) view of the structural+slack
 	// column space: the columns with a nonzero in each constraint
 	// row. The dual simplex uses it to price only the columns that
 	// intersect the (sparse) leaving row instead of scanning the full
 	// column space every pivot. Built once — the structure is frozen.
 	rowCols [][]int32
+	rowVals [][]float64
 
 	// Scratch buffers reused across solves.
 	c2        []float64 // phase-2 costs over the full column space
@@ -103,11 +131,14 @@ type Revised struct {
 	ws        []float64 // signed leaving-row vector (dual)
 	d         []float64 // entering direction B^{-1}A_j
 	rho       []float64 // leaving row of B^{-1} (BTRAN of a unit vector)
+	tau       []float64 // B^{-1}ρ_r (dual steepest-edge weight update)
+	bfOrder   []int32   // ratio-sorted breakpoint order (BFRT)
 	acc       []float64 // per-row lower-bound shift accumulator
 	beff      []float64 // bound-adjusted effective rhs
 	seen      []bool    // basis validation
 	candList  []int32   // dual pricing candidates (rho-support columns)
 	candStamp []int32
+	candAlpha []float64 // α_j accumulated alongside candList's row walk
 	candCur   int32
 	dcJ       []int32 // dual Harris ratio-test breakpoint buffers
 	dcAlpha   []float64
@@ -145,6 +176,20 @@ type Stats struct {
 	ColdSolves    int `json:"coldSolves"`
 	WarmSolves    int `json:"warmSolves"`
 	ColdFallbacks int `json:"coldFallbacks"`
+	// FTUpdates counts Forrest–Tomlin basis updates absorbed without a
+	// rebuild; FTUpdates/Refactorizations is the update-vs-refactor
+	// ratio the representation is tuned around.
+	FTUpdates int `json:"ftUpdates"`
+	// UFillGrowth is the peak ratio of U's nonzeros to the fresh
+	// factorization's since stats were reset — how far Forrest–Tomlin
+	// spikes densified U before a refactorization caught it (Add keeps
+	// the max, not a sum).
+	UFillGrowth float64 `json:"uFillGrowth"`
+	// DSEWeightResets counts dual steepest-edge weight rebuilds from
+	// unit values: the first dual run after anything that moved the
+	// basis outside the dual's own recurrence, plus the rare
+	// non-finite-weight bailouts.
+	DSEWeightResets int `json:"dseWeightResets"`
 }
 
 // Add accumulates other's counters into s — the aggregation the
@@ -159,6 +204,11 @@ func (s *Stats) Add(other Stats) {
 	s.ColdSolves += other.ColdSolves
 	s.WarmSolves += other.WarmSolves
 	s.ColdFallbacks += other.ColdFallbacks
+	s.FTUpdates += other.FTUpdates
+	if other.UFillGrowth > s.UFillGrowth {
+		s.UFillGrowth = other.UFillGrowth
+	}
+	s.DSEWeightResets += other.DSEWeightResets
 }
 
 // Stats returns the accumulated solver counters.
@@ -168,15 +218,15 @@ func (r *Revised) Stats() Stats { return r.stats }
 func (r *Revised) ResetStats() { r.stats = Stats{} }
 
 // NewRevised builds a revised-simplex instance over p's current
-// constraint rows with the default (sparse LU + eta file) basis
-// representation. The instance assumes the row structure is frozen;
-// solving after rows were added panics.
-func NewRevised(p *Problem) *Revised { return NewRevisedRep(p, LUEtaRep) }
+// constraint rows with the default (sparse LU + Forrest–Tomlin
+// updates) basis representation. The instance assumes the row
+// structure is frozen; solving after rows were added panics.
+func NewRevised(p *Problem) *Revised { return NewRevisedRep(p, ForrestTomlinRep) }
 
 // NewRevisedRep is NewRevised with an explicit basis representation —
-// the hook the property tests and the E13 before/after benchmarks use
-// to run the same solves through the sparse LU/eta factorization and
-// the dense explicit inverse.
+// the hook the property tests and the E13/E14 before/after benchmarks
+// use to run the same solves through the Forrest–Tomlin factorization,
+// the product-form eta file and the dense explicit inverse.
 func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
 	r := &Revised{p: p}
 	r.sp, r.slackOfRow, r.slackCoef = newSparseCols(p)
@@ -206,11 +256,16 @@ func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
 	switch rep {
 	case DenseInverseRep:
 		r.fac = newDenseFactor(r)
-	default:
+	case LUEtaRep:
 		r.fac = newLUFactor(r)
+	default:
+		r.fac = newFTFactor(r)
 	}
 	r.dwCol = make([]float64, r.ncols)
 	r.dwRow = make([]float64, r.m)
+	r.dseW = make([]float64, r.m)
+	r.useDSE = true
+	r.bfrt = true
 	r.resetDevexRows()
 	r.c2 = make([]float64, r.ncols)
 	copy(r.c2, r.c)
@@ -218,24 +273,32 @@ func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
 	r.ws = make([]float64, r.m)
 	r.d = make([]float64, r.m)
 	r.rho = make([]float64, r.m)
+	r.tau = make([]float64, r.m)
 	r.acc = make([]float64, r.m)
 	r.beff = make([]float64, r.m)
 	r.seen = make([]bool, r.ncols)
+	// Row-major mirror of the CSC store (column indices and values per
+	// row): dualCandidates prices a sparse leaving row by scattering
+	// along these rows instead of gathering down every column.
 	r.rowCols = make([][]int32, r.m)
+	r.rowVals = make([][]float64, r.m)
 	for j := 0; j < r.sp.n; j++ {
 		for t := r.sp.colPtr[j]; t < r.sp.colPtr[j+1]; t++ {
 			i := r.sp.rowIdx[t]
 			r.rowCols[i] = append(r.rowCols[i], int32(j))
+			r.rowVals[i] = append(r.rowVals[i], r.sp.val[t])
 		}
 	}
 	r.candList = make([]int32, 0, r.sp.n)
 	r.candStamp = make([]int32, r.sp.n)
+	r.candAlpha = make([]float64, r.sp.n)
 	// Pre-size the dual ratio-test breakpoint buffers so the first
 	// warm restarts don't pay append-growth allocations.
 	r.dcJ = make([]int32, 0, r.sp.n)
 	r.dcAlpha = make([]float64, 0, r.sp.n)
 	r.dcRatio = make([]float64, 0, r.sp.n)
 	r.dcRaw = make([]float64, 0, r.sp.n)
+	r.bfOrder = make([]int32, 0, r.sp.n)
 	r.xscratch = make([]float64, r.nstruct)
 	return r
 }
@@ -246,15 +309,24 @@ func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
 // list have α = 0 and could never be dual ratio-test candidates, so
 // pricing skips them — for a sparse leaving row this shrinks the
 // entering pass from the full column space to a handful of columns.
-// A dense leaving row would make the union walk cost more than it
-// saves, so past a support cutoff the result is (nil, false) and the
-// caller prices the full column space directly.
+// The walk also accumulates each candidate's pivot-row entry
+// α_j = ws·A_j into candAlpha (a scatter along the row-major mirror),
+// so the caller never gathers down a CSC column — a column gather
+// reads every stored row of the column when typically only one or two
+// intersect ws's support. A dense leaving row would make the union
+// walk cost more than it saves, so past a support cutoff the result
+// is (nil, false) and the caller prices the full column space
+// directly with per-column dots.
 func (r *Revised) dualCandidates(ws []float64) ([]int32, bool) {
-	support := 0
-	cutoff := r.m/8 + 8
+	// Cutoff by work, not by support count: the scatter visits
+	// Σ nnz(row i) over ws's support, the full scan visits every
+	// stored nonzero. Below half the full-scan work the scatter wins
+	// even after the stamp bookkeeping; beyond that the contiguous
+	// CSC sweep's locality takes over.
+	work, budget := 0, len(r.sp.val)/2
 	for i := 0; i < r.m; i++ {
 		if ws[i] != 0 {
-			if support++; support > cutoff {
+			if work += len(r.rowCols[i]); work > budget {
 				return nil, false
 			}
 		}
@@ -268,14 +340,18 @@ func (r *Revised) dualCandidates(ws []float64) ([]int32, bool) {
 	}
 	lst := r.candList[:0]
 	for i := 0; i < r.m; i++ {
-		if ws[i] == 0 {
+		s := ws[i]
+		if s == 0 {
 			continue
 		}
-		for _, j := range r.rowCols[i] {
+		cols, vals := r.rowCols[i], r.rowVals[i]
+		for t, j := range cols {
 			if r.candStamp[j] != r.candCur {
 				r.candStamp[j] = r.candCur
+				r.candAlpha[j] = 0
 				lst = append(lst, j)
 			}
+			r.candAlpha[j] += s * vals[t]
 		}
 	}
 	r.candList = lst
@@ -333,9 +409,21 @@ func (r *Revised) SolveEphemeral(bas *Basis) (Solution, error) {
 // a few multiples of the basis dimension m plus a term proportional
 // to the constraint nonzeros (denser matrices move less infeasibility
 // per pivot), floored so tiny problems keep headroom for degenerate
-// shuffling.
+// shuffling. The budget is representation-aware: under Forrest–Tomlin
+// updates a late warm pivot costs about the same as an early one
+// (solve cost no longer degrades with eta-file length), so persisting
+// through another couple of basis sweeps beats abandoning — the
+// 4·m multiplier was calibrated against eta-file pivot cost and is
+// raised to 6·m for the FT representation.
 func (r *Revised) warmPivotBudget() int {
-	return 4*r.m + len(r.sp.val)/2 + 256
+	if r.budgetOverride > 0 {
+		return r.budgetOverride
+	}
+	mMult := 4
+	if _, ft := r.fac.(*ftFactor); ft {
+		mMult = 6
+	}
+	return mMult*r.m + len(r.sp.val)/2 + 256
 }
 
 // loadBounds refreshes the per-column bound state from the owning
@@ -412,6 +500,7 @@ func (r *Revised) refactorize() bool {
 func (r *Revised) coldSolve() (Solution, *Basis, error) {
 	r.stats.ColdSolves++
 	r.resetDevexRows()
+	r.dseOK = false // the basis is rebuilt from scratch below
 	for j := range r.atUpper {
 		r.atUpper[j] = false
 	}
@@ -528,6 +617,7 @@ func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
 			return Solution{}, nil, false, nil
 		}
 		r.resetDevexRows() // foreign basis: fresh reference framework
+		r.dseOK = false    // steepest-edge weights described the old basis
 	}
 	// refreshRHS sanitizes the at-upper set against the (possibly
 	// mutated) bounds before computeXB prices the nonbasic columns in.
@@ -987,6 +1077,7 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 			aq, wq, leaveCol := d[leave], r.dwCol[enter], r.basis[leave]
 			r.pivotUpdate(leave, enter, d, dir*t, leaveAtUpper)
 			r.stats.PrimalPivots++
+			r.dseOK = false // dual steepest-edge weights now stale
 			r.updateDevexCols(r.rho, aq, wq, enter, leaveCol)
 		}
 		obj := r.boundedObjective(costs)
@@ -1086,7 +1177,24 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 	sinceBest := 0
 	lastInfeas := math.Inf(1)
 	minInfeas := math.Inf(1)
-	r.resetDevexRows()
+	dse := r.useDSE
+	if dse {
+		// Exact steepest-edge weights persist across warm solves as
+		// long as only the dual itself has pivoted (the recurrence is
+		// exact); anything else invalidated them and they restart from
+		// unit values — exact for the cold diagonal basis, and
+		// self-correcting elsewhere because the pivot row's weight is
+		// recomputed from ρ_r every pivot.
+		if !r.dseOK {
+			for i := range r.dseW {
+				r.dseW[i] = 1
+			}
+			r.dseOK = true
+			r.stats.DSEWeightResets++
+		}
+	} else {
+		r.resetDevexRows()
+	}
 	// The simplex multipliers move by a multiple of the leaving row of
 	// B^{-1} per dual pivot (y' = y + γ·ρ_r, γ = c̄_enter/d_leave), so
 	// they are maintained incrementally — O(m) per iteration instead
@@ -1113,6 +1221,12 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 				}
 			}
 		} else {
+			// Leaving row maximizes violation²/γ_i — exact steepest
+			// edge under DSE, the devex approximation otherwise.
+			wrow := r.dwRow
+			if dse {
+				wrow = r.dseW
+			}
 			bestScore := 0.0
 			for i := 0; i < r.m; i++ {
 				v := -r.xb[i]
@@ -1125,13 +1239,17 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 				if v <= ftol {
 					continue
 				}
-				if score := v * v / r.dwRow[i]; score > bestScore {
+				if score := v * v / wrow[i]; score > bestScore {
 					bestScore, leave, below = score, i, isBelow
 				}
 			}
 		}
 		if leave == -1 {
 			return Optimal, nil
+		}
+		viol := -r.xb[leave]
+		if !below {
+			viol = r.xb[leave] - r.U[r.basis[leave]]
 		}
 		// rho = e_leave·B^{-1}; ws is rho sign-normalized for sparse
 		// pricing and oriented so eligible columns always price out
@@ -1162,11 +1280,10 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 		bestRatio := math.Inf(1)
 		nc := 0
 		cJ, cAlpha, cRatio, cRaw := r.dcJ[:0], r.dcAlpha[:0], r.dcRatio[:0], r.dcRaw[:0]
-		price := func(j int) {
+		price := func(j int, alpha float64) {
 			if r.inBasis[j] || r.U[j] <= 0 {
 				return
 			}
-			alpha := r.colDotSigned(ws, j)
 			var ratio, raw float64
 			if !r.atUpper[j] {
 				if alpha >= -eps {
@@ -1211,24 +1328,34 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 			nc++
 		}
 		if cands, ok := r.dualCandidates(ws); ok {
+			// α was accumulated during the candidate row walk; the CSC
+			// store is not touched again.
 			for _, j32 := range cands {
-				price(int(j32))
+				price(int(j32), r.candAlpha[j32])
 			}
 		} else {
 			for j := 0; j < r.artStart; j++ {
-				price(j)
+				price(j, r.colDotSigned(ws, j))
 			}
 		}
 		if !bland {
-			bestA := 0.0
-			for t := 0; t < nc; t++ {
-				if cRatio[t] <= rmax && (cAlpha[t] > bestA || (cAlpha[t] == bestA && enter != -1 && int(cJ[t]) < enter)) {
-					bestA = cAlpha[t]
-					enter = int(cJ[t])
-					enterCbar = cRaw[t]
+			r.dcJ, r.dcAlpha, r.dcRatio, r.dcRaw = cJ, cAlpha, cRatio, cRaw
+			if r.bfrt {
+				// Bound-flipping (long-step) variant: walk the
+				// breakpoints in ratio order, flipping boxed candidates
+				// whose passing keeps the leaving row violating, and
+				// enter at the first breakpoint that would restore it.
+				enter, enterCbar = r.dualEnterFlips(nc, viol, dtol)
+			} else {
+				bestA := 0.0
+				for t := 0; t < nc; t++ {
+					if cRatio[t] <= rmax && (cAlpha[t] > bestA || (cAlpha[t] == bestA && enter != -1 && int(cJ[t]) < enter)) {
+						bestA = cAlpha[t]
+						enter = int(cJ[t])
+						enterCbar = cRaw[t]
+					}
 				}
 			}
-			r.dcJ, r.dcAlpha, r.dcRatio, r.dcRaw = cJ, cAlpha, cRatio, cRaw
 		}
 		if enter == -1 {
 			return Infeasible, nil
@@ -1246,26 +1373,74 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 				ys[i] += gamma * rho[i] * r.sign[i]
 			}
 		}
-		// Dual devex weight update — free, from the entering direction:
-		// w_i ← max(w_i, (d_i/d_r)²·w_r) for the staying rows, and the
-		// pivot row restarts at max(w_r/d_r², 1).
-		dr2 := d[leave] * d[leave]
-		wr := r.dwRow[leave]
-		maxW := 0.0
-		for i := 0; i < r.m; i++ {
-			if i == leave || d[i] == 0 {
-				continue
+		if dse {
+			// Forrest–Goldfarb exact steepest-edge update, against the
+			// pre-pivot basis: γ_r is recomputed exactly as ‖ρ_r‖² (the
+			// stored weight served pricing only, so the recurrence
+			// self-corrects), τ = B⁻¹ρ_r costs the one extra FTRAN this
+			// pricing scheme is known for, and then
+			//
+			//	γ_i ← γ_i − 2(d_i/d_r)·τ_i + (d_i/d_r)²·γ_r   (i ≠ r)
+			//	γ_r ← γ_r/d_r²
+			//
+			// is the exact new ‖e_iᵀB⁻¹‖² for every row.
+			gr := 0.0
+			for i := 0; i < r.m; i++ {
+				gr += rho[i] * rho[i]
 			}
-			if cand := d[i] * d[i] / dr2 * wr; cand > r.dwRow[i] {
-				r.dwRow[i] = cand
-				if cand > maxW {
-					maxW = cand
+			tau := r.tau
+			copy(tau, rho)
+			r.fac.ftran(tau)
+			dr := d[leave]
+			finite := true
+			for i := 0; i < r.m; i++ {
+				if i == leave || d[i] == 0 {
+					continue
+				}
+				q := d[i] / dr
+				g := r.dseW[i] - 2*q*tau[i] + q*q*gr
+				if g < dseFloor {
+					g = dseFloor // exact value is ‖ρ_i − q·ρ_r‖² ≥ 0: roundoff
+				}
+				if math.IsNaN(g) || math.IsInf(g, 0) {
+					finite = false
+					break
+				}
+				r.dseW[i] = g
+			}
+			gl := gr / (dr * dr)
+			if gl < dseFloor {
+				gl = dseFloor
+			}
+			r.dseW[leave] = gl
+			if !finite || math.IsNaN(gl) || math.IsInf(gl, 0) {
+				for i := range r.dseW {
+					r.dseW[i] = 1
+				}
+				r.stats.DSEWeightResets++
+			}
+		} else {
+			// Dual devex weight update — free, from the entering
+			// direction: w_i ← max(w_i, (d_i/d_r)²·w_r) for the staying
+			// rows, and the pivot row restarts at max(w_r/d_r², 1).
+			dr2 := d[leave] * d[leave]
+			wr := r.dwRow[leave]
+			maxW := 0.0
+			for i := 0; i < r.m; i++ {
+				if i == leave || d[i] == 0 {
+					continue
+				}
+				if cand := d[i] * d[i] / dr2 * wr; cand > r.dwRow[i] {
+					r.dwRow[i] = cand
+					if cand > maxW {
+						maxW = cand
+					}
 				}
 			}
-		}
-		r.dwRow[leave] = math.Max(wr/dr2, 1)
-		if maxW > devexResetLimit {
-			r.resetDevexRows()
+			r.dwRow[leave] = math.Max(wr/dr2, 1)
+			if maxW > devexResetLimit {
+				r.resetDevexRows()
+			}
 		}
 		refac := r.pivotUpdate(leave, enter, d, step, !below)
 		r.stats.DualPivots++
@@ -1313,6 +1488,139 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 		lastInfeas = infeas
 	}
 	return Optimal, ErrIterationLimit
+}
+
+// dseFloor is the positive floor for exact steepest-edge weights: the
+// recurrence computes ‖e_iᵀB⁻¹‖² ≥ 0 exactly, so anything at or below
+// zero is roundoff and is clamped rather than allowed to blow up a
+// later violation²/γ score.
+const dseFloor = 1e-10
+
+// dualEnterFlips is the bound-flipping (long-step) dual ratio test
+// over the breakpoints the pricing pass collected into the dc*
+// buffers. Walking the breakpoints in ratio order, a boxed candidate
+// whose breakpoint is passed need not enter: flipping it to its
+// opposite bound moves the leaving row's value by |α_j|·U_j toward
+// feasibility and keeps the dual objective's ascent going with a
+// smaller slope. The walk flips candidates while the leaving row
+// still violates by more than the feasibility tolerance and enters
+// at the first breakpoint that would restore it (with the same
+// largest-|α|-within-dual-tolerance tie group the Harris test uses);
+// all accumulated flips are applied with one aggregated FTRAN. When
+// every breakpoint is a finite flip and flipping them all still
+// leaves the row violating, the dual is unbounded along this row —
+// the primal is infeasible — and enter = -1 is returned with no flip
+// applied. One long step therefore traverses what devex-era pivots
+// crossed one degenerate mini-step at a time.
+func (r *Revised) dualEnterFlips(nc int, viol, dtol float64) (enter int, enterCbar float64) {
+	cJ, cAlpha, cRatio, cRaw := r.dcJ, r.dcAlpha, r.dcRatio, r.dcRaw
+	// The walk consumes breakpoints in ascending ratio order but
+	// typically stops after a handful, so a lazy min-heap (O(nc)
+	// heapify + O(log nc) per consumed breakpoint) replaces a full
+	// O(nc log nc) sort — on degenerate instances this ratio test runs
+	// every dual pivot and the sort dominated the pivot's profile.
+	heap := r.bfOrder[:0]
+	for t := 0; t < nc; t++ {
+		heap = append(heap, int32(t))
+	}
+	r.bfOrder = heap
+	for root := nc/2 - 1; root >= 0; root-- {
+		siftDownIdxMin(heap, cRatio, root, nc)
+	}
+	ftol := r.feasTol()
+	slope := viol
+	// Flipped candidates collect at the tail of the buffer, in the
+	// slots the shrinking heap frees; heap[:n] stays the unflipped set.
+	n := nc
+	stop := int32(-1)
+	for n > 0 {
+		t := heap[0]
+		u := r.U[cJ[t]]
+		if math.IsInf(u, 1) || slope-cAlpha[t]*u <= ftol {
+			stop = t
+			break
+		}
+		slope -= cAlpha[t] * u
+		n--
+		heap[0] = heap[n]
+		heap[n] = t
+		siftDownIdxMin(heap, cRatio, 0, n)
+	}
+	if stop < 0 {
+		return -1, 0
+	}
+	stopRatio := cRatio[stop]
+	bestA := 0.0
+	pick := stop
+	// Harris tie group: largest |α| among the unflipped candidates
+	// within dual tolerance of the stop ratio. The (α, j) comparison is
+	// a total order, so scanning the heap array unsorted picks the same
+	// winner the sorted suffix scan did.
+	for _, t := range heap[:n] {
+		if cRatio[t] > stopRatio+dtol/cAlpha[t] {
+			continue
+		}
+		if cAlpha[t] > bestA || (cAlpha[t] == bestA && cJ[t] < cJ[pick]) {
+			bestA = cAlpha[t]
+			pick = t
+		}
+	}
+	if n < nc {
+		r.applyBoundFlips(heap[n:])
+	}
+	return int(cJ[pick]), cRaw[pick]
+}
+
+// applyBoundFlips flips each breakpoint candidate in idxs (indices
+// into the dc* buffers) across its box and applies their aggregate
+// effect on the basic values with a single FTRAN:
+// xb -= B⁻¹·Σ_j ±U_j·A_j.
+func (r *Revised) applyBoundFlips(idxs []int32) {
+	agg := r.acc
+	for i := range agg {
+		agg[i] = 0
+	}
+	for _, t := range idxs {
+		j := int(r.dcJ[t])
+		du := r.U[j]
+		if r.atUpper[j] {
+			du = -du
+		}
+		r.atUpper[j] = !r.atUpper[j]
+		r.effCol(j, func(i int, v float64) {
+			agg[i] += v * du
+		})
+		r.stats.BoundFlips++
+	}
+	r.fac.ftran(agg)
+	ftol := r.feasTol()
+	for i := 0; i < r.m; i++ {
+		if agg[i] != 0 {
+			r.xb[i] -= agg[i]
+			r.clampXB(i, ftol)
+		}
+	}
+}
+
+// siftDownIdxMin restores the min-heap property (keyed ascending by
+// key[idx[t]]) on idx[:n] from root down, without allocating
+// (sort.Slice's closure would defeat the ephemeral-solve
+// zero-allocation warm path).
+func siftDownIdxMin(idx []int32, key []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && key[idx[child+1]] < key[idx[child]] {
+			child++
+		}
+		if key[idx[root]] <= key[idx[child]] {
+			return
+		}
+		idx[root], idx[child] = idx[child], idx[root]
+		root = child
+	}
 }
 
 // dualFeasible reports whether every nonbasic non-artificial column
@@ -1398,5 +1706,6 @@ func (r *Revised) driveOutArtificials() {
 		}
 		r.direction(enter, d)
 		r.pivotUpdate(i, enter, d, r.xb[i]/d[i], false)
+		r.dseOK = false
 	}
 }
