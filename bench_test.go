@@ -19,6 +19,7 @@ import (
 	"repro/internal/platgen"
 	"repro/internal/reduction"
 	"repro/internal/schedule"
+	"repro/internal/service"
 )
 
 func benchProblem(b *testing.B, k int, seed int64) *core.Problem {
@@ -392,6 +393,85 @@ func BenchmarkE14_WarmLPRG_FT_K20(b *testing.B)  { benchE14WarmLPRG(b, 20, lp.Fo
 func BenchmarkE14_WarmLPRG_FT_K30(b *testing.B)  { benchE14WarmLPRG(b, 30, lp.ForrestTomlinRep) }
 func BenchmarkE14_WarmLPRG_FT_K50(b *testing.B)  { benchE14WarmLPRG(b, 50, lp.ForrestTomlinRep) }
 func BenchmarkE14_WarmLPRG_Eta_K30(b *testing.B) { benchE14WarmLPRG(b, 30, lp.LUEtaRep) }
+
+// benchE15Session builds one warm scheduling-service session on the
+// E15 network-bound platform plus its 256-query batch (64 distinct
+// mutations, 4 copies each) — the acceptance workload behind
+// BENCH_E15.json.
+func benchE15Session(b *testing.B, k int) (*service.Session, []service.WhatIfRequest) {
+	b.Helper()
+	params := platgen.Params{K: k, Connectivity: 0.6, Heterogeneity: 0.6, MeanG: 450, MeanBW: 10, MeanMaxCon: 5}
+	rng := rand.New(rand.NewSource(9))
+	pl, err := platgen.Generate(params, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	encoded, err := pl.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, _, _, err := service.NewPool(1).GetOrCreate(&service.CreateSessionRequest{
+		Platform: encoded, Objective: "maxmin", Heuristic: "lprg",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	routes := sess.BetaRoutes()
+	const nd, n = 64, 256
+	distinct := make([]service.WhatIfRequest, nd)
+	for d := range distinct {
+		c := d % k
+		switch d % 4 {
+		case 0:
+			distinct[d] = service.WhatIfRequest{Speeds: []service.ClusterValue{{Cluster: c, Value: pl.Clusters[c].Speed * (0.5 + rng.Float64())}}, Relax: true}
+		case 1:
+			distinct[d] = service.WhatIfRequest{Gateways: []service.ClusterValue{{Cluster: c, Value: pl.Clusters[c].Gateway * (0.5 + rng.Float64())}}, Relax: true}
+		case 2:
+			distinct[d] = service.WhatIfRequest{Links: []service.LinkValue{{Link: rng.Intn(len(pl.Links)), MaxConnect: float64(1 + rng.Intn(9))}}, Relax: true}
+		default:
+			r := routes[rng.Intn(len(routes))]
+			distinct[d] = service.WhatIfRequest{Bounds: []service.RouteBounds{{From: r.K, To: r.L, Lb: 0, Ub: float64(1 + rng.Intn(4))}}}
+		}
+	}
+	queries := make([]service.WhatIfRequest, n)
+	for i := range queries {
+		queries[i] = distinct[i%nd]
+	}
+	rng.Shuffle(n, func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	return sess, queries
+}
+
+// BenchmarkE15_BatchWhatIf_K20 answers the 256-query acceptance batch
+// through the batched engine (forked contexts + dedupe + lean
+// reports); the qps metric is the headline BENCH_E15.json tracks.
+func BenchmarkE15_BatchWhatIf_K20(b *testing.B) {
+	sess, queries := benchE15Session(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.WhatIfBatch(&service.BatchWhatIfRequest{Queries: queries}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkE15_SerialWhatIf_K20 answers the same batch one query at a
+// time through the session mutex — the serialized baseline the batch
+// speedup is measured against.
+func BenchmarkE15_SerialWhatIf_K20(b *testing.B) {
+	sess, queries := benchE15Session(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for qi := range queries {
+			q := queries[qi]
+			q.Relax = true
+			if _, err := sess.WhatIf(&q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "qps")
+}
 
 // BenchmarkE7_ReductionExactSolve builds the §4 instance for a
 // 5-cycle and solves it exactly (Theorem 1 equivalence).

@@ -174,6 +174,113 @@ func TestCLIDlschedJSON(t *testing.T) {
 	}
 }
 
+// TestCLIDlschedBatch pins the batched what-if engine's CLI/service
+// parity: dlsched -batch is deterministic run to run, and its output
+// byte-diffs clean against POST /sessions/{id}/whatif/batch on a
+// schedd session over the same platform.
+func TestCLIDlschedBatch(t *testing.T) {
+	platgen := buildTool(t, "platgen")
+	dlsched := buildTool(t, "dlsched")
+	schedd := buildTool(t, "schedd")
+	plat := filepath.Join(t.TempDir(), "plat.json")
+	if out, err := run(t, platgen, "-k", "6", "-seed", "5", "-o", plat); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	platJSON, err := os.ReadFile(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A small batch with a duplicate (queries 0 and 3 are identical).
+	batchBody := `{"queries":[
+		{"speeds":[{"cluster":0,"value":150}]},
+		{"gateways":[{"cluster":1,"value":80}],"relax":true},
+		{"speeds":[{"cluster":2,"value":60}],"gateways":[{"cluster":2,"value":60}]},
+		{"speeds":[{"cluster":0,"value":150}]}
+	]}`
+	batchFile := filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(batchFile, []byte(batchBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cliOut, err := run(t, dlsched, "-platform", plat, "-batch", batchFile)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, cliOut)
+	}
+	var batchResp service.BatchWhatIfResponse
+	if err := json.Unmarshal([]byte(cliOut), &batchResp); err != nil {
+		t.Fatalf("-batch output is not a BatchWhatIfResponse: %v\n%s", err, cliOut)
+	}
+	if len(batchResp.Reports) != 4 || batchResp.Distinct != 3 {
+		t.Fatalf("batch response = %+v", batchResp)
+	}
+	if !batchResp.Reports[3].Coalesced || batchResp.Reports[0].Coalesced {
+		t.Fatalf("duplicate not coalesced: %+v", batchResp)
+	}
+
+	// Determinism pin: a second invocation is byte-identical.
+	cliOut2, err := run(t, dlsched, "-platform", plat, "-batch", batchFile)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, cliOut2)
+	}
+	if cliOut != cliOut2 {
+		t.Fatal("-batch output is not deterministic across runs")
+	}
+
+	// Service parity pin: the schedd endpoint answers with the same
+	// bytes for the same platform and batch.
+	cmd := exec.Command(schedd, "-addr", "127.0.0.1:0", "-pool", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // backstop; the test SIGTERMs first
+	rd := bufio.NewReader(stdout)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	addr, ok := strings.CutPrefix(strings.TrimSpace(line), "schedd: listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/sessions", "application/json", strings.NewReader(`{"platform": `+string(platJSON)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var created service.CreateSessionResponse
+	if err := json.Unmarshal(raw, &created); err != nil {
+		t.Fatalf("create: %v\n%s", err, raw)
+	}
+	resp, err = http.Post(base+"/sessions/"+created.ID+"/whatif/batch", "application/json", strings.NewReader(batchBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch endpoint: status %d\n%s", resp.StatusCode, raw)
+	}
+	if string(raw) != cliOut {
+		t.Fatalf("CLI batch output does not byte-diff clean against the endpoint:\nCLI:\n%s\nHTTP:\n%s", cliOut, raw)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("schedd did not shut down cleanly: %v", err)
+	}
+}
+
 func TestCLIDlschedErrors(t *testing.T) {
 	dlsched := buildTool(t, "dlsched")
 	if out, err := run(t, dlsched); err == nil {

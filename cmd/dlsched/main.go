@@ -18,6 +18,12 @@
 // path — identical numbers to a fresh schedd session on the same
 // platform; for the model-free heuristics (g, g-full, lpr) the report
 // carries no solver stats. -json skips the schedule/simulation output.
+//
+// -batch reads a service.BatchWhatIfRequest JSON file and answers
+// every query against a fresh warm session through the service's
+// batched what-if engine. The output is a service.BatchWhatIfResponse,
+// byte-identical to POST /sessions/{id}/whatif/batch on a schedd
+// session over the same platform and configuration.
 package main
 
 import (
@@ -56,6 +62,7 @@ func run() error {
 		doSim    = flag.Bool("simulate", false, "execute the schedule on the network simulator (implies -schedule)")
 		periods  = flag.Int("periods", 100, "simulation horizon in periods")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable service.SolveReport instead of text (skips -schedule/-simulate)")
+		batchIn  = flag.String("batch", "", "batched what-if request JSON file (service.BatchWhatIfRequest); answers every query against a fresh warm session and emits a service.BatchWhatIfResponse")
 	)
 	flag.Parse()
 	if *platFile == "" {
@@ -93,6 +100,9 @@ func run() error {
 		return fmt.Errorf("unknown objective %q", *objName)
 	}
 
+	if *batchIn != "" {
+		return emitBatch(data, strings.ToLower(*heur), strings.ToLower(*objName), pr, *seed, *batchIn)
+	}
 	if *jsonOut {
 		return emitJSON(data, strings.ToLower(*heur), strings.ToLower(*objName), obj, pr, *seed)
 	}
@@ -224,6 +234,41 @@ func emitJSON(platformJSON []byte, heur, objName string, obj core.Objective, pr 
 		return fmt.Errorf("unknown heuristic %q", heur)
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(out, '\n'))
+	return err
+}
+
+// emitBatch answers a batched what-if request through the service's
+// engine (fresh warm session, forked solve contexts) and prints the
+// response in the HTTP endpoint's exact encoding — two-space indent
+// plus trailing newline — so the CLI output byte-diffs clean against
+// POST /sessions/{id}/whatif/batch.
+func emitBatch(platformJSON []byte, heur, objName string, pr *core.Problem, seed int64, batchFile string) error {
+	bdata, err := os.ReadFile(batchFile)
+	if err != nil {
+		return err
+	}
+	var batchReq service.BatchWhatIfRequest
+	dec := json.NewDecoder(strings.NewReader(string(bdata)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batchReq); err != nil {
+		return fmt.Errorf("decoding batch request: %w", err)
+	}
+	createReq := &service.CreateSessionRequest{
+		Platform:  platformJSON,
+		Objective: objName,
+		Heuristic: heur,
+		Payoffs:   pr.Payoffs,
+		Seed:      seed,
+	}
+	resp, err := service.BatchWhatIf(createReq, &batchReq)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {
 		return err
 	}

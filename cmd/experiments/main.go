@@ -38,7 +38,10 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, lu, ft, all")
+		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, lu, ft, batch, all")
+		batchSize = flag.Int("batch-size", 256, "queries per batch (exp=batch)")
+		dupFactor = flag.Int("dup-factor", 4, "copies of each distinct mutation within a batch (exp=batch)")
+		openLoop  = flag.Int("open-loop", 256, "open-loop Poisson arrivals per platform, 0 to skip (exp=batch)")
 		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds, lu, ft)")
 		seed      = flag.Int64("seed", 1, "sweep seed")
 		platforms = flag.Int("platforms", 0, "platforms per K (0 = per-experiment default)")
@@ -47,7 +50,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = one per CPU; fig7 stays sequential unless set > 1)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		outdir    = flag.String("outdir", "", "also write each artifact to this directory")
-		jsonOut   = flag.Bool("json", false, "also write machine-readable BENCH_E*.json files for the perf sweeps (adaptive→BENCH_E11, bounds→BENCH_E12, lu→BENCH_E13, ft→BENCH_E14), to -outdir or the current directory")
+		jsonOut   = flag.Bool("json", false, "also write machine-readable BENCH_E*.json files for the perf sweeps (adaptive→BENCH_E11, bounds→BENCH_E12, lu→BENCH_E13, ft→BENCH_E14, batch→BENCH_E15), to -outdir or the current directory")
 	)
 	flag.Parse()
 
@@ -323,6 +326,36 @@ func run() error {
 			return err
 		}
 		if err := writeJSON("BENCH_E14.json", pts); err != nil {
+			return err
+		}
+	}
+	if want("batch") {
+		// E15: the batched what-if engine (forked solve contexts,
+		// intra-batch dedupe, lean relaxation reports) against the
+		// serialized single-what-if path, on one warm scheduling-service
+		// session per platform, plus an open-loop Poisson sustained-load
+		// run with arrival-to-completion latency percentiles.
+		// Wall-clock, so sequential unless -workers asks otherwise.
+		opts := base
+		opts.Ks = []int{10, 20}
+		if ksOverride != nil {
+			opts.Ks = ksOverride
+		}
+		if *platforms == 0 {
+			opts.PlatformsPer = 3
+		}
+		pts, err := experiments.BatchSweep(opts, *batchSize, *dupFactor, *openLoop)
+		if err != nil {
+			return err
+		}
+		content := experiments.RenderBatchTable(pts)
+		if *csv {
+			content = experiments.RenderBatchCSV(pts)
+		}
+		if err := emit("batch", content); err != nil {
+			return err
+		}
+		if err := writeJSON("BENCH_E15.json", pts); err != nil {
 			return err
 		}
 	}

@@ -38,6 +38,16 @@ func validateModel(model Model) error {
 	return nil
 }
 
+// CapacityTarget is anything epoch capacities can be injected into:
+// core.Model and multiapp.Model, and the forked ModelViews both hand
+// out for batched what-if queries — a view's mutators have identical
+// signatures but write only to the view's private context.
+type CapacityTarget interface {
+	SetSpeed(k int, speed float64) error
+	SetGateway(k int, g float64) error
+	SetLinkBudget(li int, maxConnect float64) error
+}
+
 // InjectCapacities writes the perturbed platform's cluster capacities
 // and link budgets into the persistent model: speeds and gateways as
 // RHS mutations, link budgets as RHS plus the affected routes'
@@ -46,8 +56,9 @@ func validateModel(model Model) error {
 // from the previous epoch's basis. epl must share the model's
 // platform structure (routes and links); only capacities may differ.
 // Exported for external epoch drivers — the scheduling service's
-// epoch-commit path is this call followed by a warm solve.
-func InjectCapacities(m *core.Model, epl *platform.Platform) error {
+// epoch-commit path is this call followed by a warm solve, and its
+// batched what-if engine is the same call against forked views.
+func InjectCapacities(m CapacityTarget, epl *platform.Platform) error {
 	for k, c := range epl.Clusters {
 		if err := m.SetSpeed(k, c.Speed); err != nil {
 			return err
@@ -220,18 +231,8 @@ func RunWarmMulti(mpr *multiapp.Problem, model Model, obj core.Objective, epochs
 		if err != nil {
 			return nil, err
 		}
-		for k, c := range epl.Clusters {
-			if err := mm.SetSpeed(k, c.Speed); err != nil {
-				return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
-			}
-			if err := mm.SetGateway(k, c.Gateway); err != nil {
-				return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
-			}
-		}
-		for li, l := range epl.Links {
-			if err := mm.SetLinkBudget(li, float64(l.MaxConnect)); err != nil {
-				return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
-			}
+		if err := InjectCapacities(mm, epl); err != nil {
+			return nil, fmt.Errorf("adapt: epoch %d: %w", e, err)
 		}
 		sol, err := mm.Solve()
 		if err != nil {

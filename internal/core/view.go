@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/lp"
+)
+
+var errUnbounded = errors.New("core: mixed relaxation unbounded (model bug)")
+
+// ModelView is a forked solve context over a Model: it answers what-if
+// queries against the parent's warm basis without ever touching the
+// parent. The view embeds a shallow copy of the parent whose mutable
+// state — the LP problem (a private clone made by lp.Revised.Fork),
+// the forked solver context, the link budgets and the per-route bound
+// bookkeeping — is replaced by private copies, while the frozen index
+// structures (route maps, row indices, the validated Problem) stay
+// shared read-only. Every Model method is therefore available on a
+// view and written exactly once: SetSpeed/SetGateway/SetLinkBudget/
+// SetBounds mutate only the view's context, CaptureState/RestoreState
+// snapshot and roll back the view's state with the same bookkeeping
+// the parent uses, and SolveEphemeral warm-starts from the parent's
+// basis with zero lost pivots.
+//
+// Views of one parent may solve concurrently with each other (and with
+// the parent) — they share only read-only state. Create views while
+// the parent is quiescent; a view is itself a valid parent for further
+// ForkView calls once it has solved.
+type ModelView struct {
+	Model
+}
+
+// ForkView returns a new view of the model in O(rows + nonzeros) —
+// no pivots, no refactorization. The receiver must have solved at
+// least once (the fork continues from its live factorized basis).
+func (m *Model) ForkView() (*ModelView, error) {
+	frev, err := m.rev.Fork()
+	if err != nil {
+		return nil, err
+	}
+	v := &ModelView{Model: *m}
+	v.Model.rev = frev
+	v.Model.prob = frev.Problem()
+	v.Model.natural = append([]float64(nil), m.natural...)
+	v.Model.curLb = append([]float64(nil), m.curLb...)
+	v.Model.curUb = append([]float64(nil), m.curUb...)
+	v.Model.crossed = append([]bool(nil), m.crossed...)
+	v.Model.budget = append([]float64(nil), m.budget...)
+	return v, nil
+}
+
+// AbsorbSolverStats folds counters accumulated elsewhere — typically a
+// view's solve activity after its batch completes — into this model's
+// stats, so pool-wide aggregation sees work done on forked contexts.
+func (m *Model) AbsorbSolverStats(s lp.Stats) { m.rev.AbsorbStats(s) }
+
+// SolveBound is SolveEphemeral for callers that need only the verdict
+// and the relaxation bound — the batched what-if path, whose reports
+// carry no per-route α/β maps. It skips the MixedSolution extraction
+// entirely: feasible=false reports an infeasible bound set (crossed
+// box or simplex verdict), and err a solver failure or an unbounded
+// relaxation (a model bug).
+func (m *Model) SolveBound(from *lp.Basis) (bound float64, feasible bool, err error) {
+	if m.numCrossed > 0 {
+		return 0, false, nil
+	}
+	sol, err := m.rev.SolveEphemeral(from)
+	if err != nil {
+		return 0, false, err
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return 0, false, nil
+	case lp.Unbounded:
+		return 0, false, errUnbounded
+	}
+	return sol.Objective, true, nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// viewMutate applies a random capacity/bound mutation mix to any
+// target sharing Model's mutator API, deriving everything from rng so
+// the same seed produces the same mutation on a view and on the
+// serial reference path.
+func viewMutate(t *testing.T, m interface {
+	SetSpeed(int, float64) error
+	SetGateway(int, float64) error
+	SetLinkBudget(int, float64) error
+	SetBounds(Pair, BetaBounds) error
+}, pr *Problem, routes []Pair, rng *rand.Rand) {
+	t.Helper()
+	k := rng.Intn(len(pr.Platform.Clusters))
+	if err := m.SetSpeed(k, pr.Platform.Clusters[k].Speed*(0.4+rng.Float64())); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetGateway(k, pr.Platform.Clusters[k].Gateway*(0.4+rng.Float64())); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Platform.Links) > 0 && rng.Float64() < 0.7 {
+		li := rng.Intn(len(pr.Platform.Links))
+		if err := m.SetLinkBudget(li, float64(rng.Intn(pr.Platform.Links[li].MaxConnect+2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(routes) > 0 && rng.Float64() < 0.5 {
+		p := routes[rng.Intn(len(routes))]
+		if err := m.SetBounds(p, BetaBounds{Lb: 0, Ub: rng.Float64() * 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestForkViewMatchesSerialWhatIf pins the view contract: a forked
+// view answers a mutation exactly like the serial capture/mutate/
+// solve/restore path on the parent, and the parent's committed state
+// and warm re-solve are untouched afterwards.
+func TestForkViewMatchesSerialWhatIf(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		pr := mutatorProblem(t, seed, 6)
+		m, err := pr.NewModel(SUM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, basis, ok, err := m.Solve(nil)
+		if err != nil || !ok {
+			t.Fatalf("nominal solve: ok=%v err=%v", ok, err)
+		}
+		routes := m.BetaVars()
+
+		for trial := 0; trial < 8; trial++ {
+			mutSeed := seed*1000 + int64(trial)
+
+			// Serial reference: mutate the parent, solve, roll back.
+			snap := m.CaptureState()
+			viewMutate(t, m, pr, routes, rand.New(rand.NewSource(mutSeed)))
+			wantBound, wantOK, err := m.SolveBound(basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.RestoreState(snap)
+
+			v, err := m.ForkView()
+			if err != nil {
+				t.Fatal(err)
+			}
+			viewMutate(t, v, pr, routes, rand.New(rand.NewSource(mutSeed)))
+			gotBound, gotOK, err := v.SolveBound(basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOK != wantOK {
+				t.Fatalf("seed %d trial %d: view feasible=%v, serial %v", seed, trial, gotOK, wantOK)
+			}
+			if gotOK && math.Abs(gotBound-wantBound) > 1e-9*(1+math.Abs(wantBound)) {
+				t.Fatalf("seed %d trial %d: view bound %.12g, serial %.12g",
+					seed, trial, gotBound, wantBound)
+			}
+		}
+
+		// The parent's committed state survived every view.
+		again, _, ok, err := m.Solve(basis)
+		if err != nil || !ok {
+			t.Fatalf("parent re-solve: ok=%v err=%v", ok, err)
+		}
+		if math.Abs(again.Objective-base.Objective) > 1e-9*(1+math.Abs(base.Objective)) {
+			t.Fatalf("parent disturbed: base %.12g, after views %.12g", base.Objective, again.Objective)
+		}
+	}
+}
+
+// TestForkViewConcurrent solves many views of one parent at once; the
+// race detector checks the shared read-only state, and every answer
+// must match its precomputed serial reference.
+func TestForkViewConcurrent(t *testing.T) {
+	pr := mutatorProblem(t, 3, 7)
+	m, err := pr.NewModel(SUM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, basis, ok, err := m.Solve(nil)
+	if err != nil || !ok {
+		t.Fatalf("nominal solve: ok=%v err=%v", ok, err)
+	}
+	routes := m.BetaVars()
+
+	const n = 24
+	type answer struct {
+		bound float64
+		ok    bool
+	}
+	want := make([]answer, n)
+	for i := 0; i < n; i++ {
+		snap := m.CaptureState()
+		viewMutate(t, m, pr, routes, rand.New(rand.NewSource(int64(i))))
+		b, okq, err := m.SolveBound(basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = answer{b, okq}
+		m.RestoreState(snap)
+	}
+
+	views := make([]*ModelView, n)
+	for i := range views {
+		if views[i], err = m.ForkView(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]string, n)
+	for i := range views {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			viewMutate(t, views[i], pr, routes, rand.New(rand.NewSource(int64(i))))
+			b, okq, err := views[i].SolveBound(basis)
+			switch {
+			case err != nil:
+				errs[i] = err.Error()
+			case okq != want[i].ok:
+				errs[i] = "feasibility mismatch"
+			case okq && math.Abs(b-want[i].bound) > 1e-9*(1+math.Abs(want[i].bound)):
+				errs[i] = "bound mismatch"
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("view %d: %s", i, e)
+		}
+	}
+	if got := m.SolverStats().Forks; got != n {
+		t.Fatalf("parent counted %d forks, want %d", got, n)
+	}
+}

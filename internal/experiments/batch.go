@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/platgen"
+	"repro/internal/service"
+)
+
+// BatchPoint is one K value of the E15 sweep: the throughput of the
+// batched what-if engine (forked solve contexts + intra-batch dedupe
+// + lean relaxation reports) against the serialized single-what-if
+// path it bypasses, on one warm scheduling-service session per
+// platform. The open-loop columns report a sustained-load run —
+// Poisson arrivals dispatched as micro-batches — where latency is
+// measured from each query's scheduled arrival, so queueing delay
+// counts against the engine, not just service time.
+type BatchPoint struct {
+	K         int
+	Platforms int
+	// BatchSize is the number of queries per batch (duplicates
+	// included); Distinct the unique mutations after intra-batch
+	// dedupe; Workers the fork-pool width used.
+	BatchSize int
+	Distinct  int
+	Workers   int
+	// Rows is the mean basis dimension m.
+	Rows float64
+	// Mean wall-clock seconds to answer the whole batch each way.
+	SerialSeconds float64
+	BatchSeconds  float64
+	// QPS = BatchSize / seconds; Speedup = BatchQPS / SerialQPS (the
+	// acceptance gate: >= 4x on the K=20 row).
+	SerialQPS float64
+	BatchQPS  float64
+	Speedup   float64
+	// MaxDiff is the largest relative gap between a batched answer
+	// and its serial warm what-if (soundness gate: <= 1e-9).
+	MaxDiff float64
+	// BatchColdSolves counts cold solves during the batch phase,
+	// summed over platforms (acceptance gate: 0 — every fork starts
+	// from the shared live factorization).
+	BatchColdSolves int
+	// Open-loop sustained-load run: OpenLoopQueries Poisson arrivals
+	// offered at OfferedQPS, answered in micro-batches; P50/P99 are
+	// arrival-to-completion latency percentiles.
+	OpenLoopQueries int
+	OfferedQPS      float64
+	AchievedQPS     float64
+	P50Millis       float64
+	P99Millis       float64
+}
+
+const saltBatch = 8
+
+// batchPlatform draws the E11-style network-bound platform (tight
+// budgets and bandwidths) where per-query LP work dominates, plus the
+// non-uniform payoffs the adaptive sweeps use.
+func batchPlatform(k int, rng *rand.Rand) (*platform.Platform, []float64, error) {
+	params := platgen.Params{
+		K:             k,
+		Connectivity:  0.6,
+		Heterogeneity: 0.6,
+		MeanG:         450,
+		MeanBW:        10,
+		MeanMaxCon:    5,
+	}
+	pl, err := platgen.Generate(params, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	payoffs := make([]float64, k)
+	for i := range payoffs {
+		payoffs[i] = float64(1 + i%3)
+	}
+	return pl, payoffs, nil
+}
+
+// batchQueries builds nd distinct feasible mutations — capacity
+// scalings around the platform's committed values, integral link
+// budgets, and lb=0 β boxes (never infeasible, so the warm path never
+// legitimately falls back cold) — then replicates them to n queries
+// in a deterministic shuffle. Duplicates model the fleet-restart
+// scenario the batched endpoint exists for: many monitors asking the
+// same hypotheticals at once.
+func batchQueries(pl *platform.Platform, routes [][2]int, nd, n int, rng *rand.Rand) []service.WhatIfRequest {
+	distinct := make([]service.WhatIfRequest, nd)
+	for d := range distinct {
+		k := d % pl.K()
+		switch d % 4 {
+		case 0:
+			v := pl.Clusters[k].Speed * (0.5 + rng.Float64())
+			distinct[d] = service.WhatIfRequest{Speeds: []service.ClusterValue{{Cluster: k, Value: v}}, Relax: true}
+		case 1:
+			v := pl.Clusters[k].Gateway * (0.5 + rng.Float64())
+			distinct[d] = service.WhatIfRequest{Gateways: []service.ClusterValue{{Cluster: k, Value: v}}, Relax: true}
+		case 2:
+			if len(pl.Links) > 0 {
+				l := rng.Intn(len(pl.Links))
+				distinct[d] = service.WhatIfRequest{Links: []service.LinkValue{{Link: l, MaxConnect: float64(1 + rng.Intn(9))}}, Relax: true}
+			} else {
+				v := pl.Clusters[k].Speed * (0.5 + rng.Float64())
+				distinct[d] = service.WhatIfRequest{Speeds: []service.ClusterValue{{Cluster: k, Value: v}}, Relax: true}
+			}
+		default:
+			if len(routes) > 0 {
+				r := routes[rng.Intn(len(routes))]
+				distinct[d] = service.WhatIfRequest{Bounds: []service.RouteBounds{{From: r[0], To: r[1], Lb: 0, Ub: float64(1 + rng.Intn(4))}}}
+			} else {
+				v := pl.Clusters[k].Gateway * (0.5 + rng.Float64())
+				distinct[d] = service.WhatIfRequest{Gateways: []service.ClusterValue{{Cluster: k, Value: v}}, Relax: true}
+			}
+		}
+	}
+	queries := make([]service.WhatIfRequest, n)
+	for i := range queries {
+		queries[i] = distinct[i%nd]
+	}
+	rng.Shuffle(n, func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	return queries
+}
+
+// BatchSweep runs the E15 comparison: for every K, one warm session
+// per platform answers the same query set twice — serialized through
+// the single what-if path (one solve per query, mutate/solve/rollback
+// under the session lock) and as one batch (decode once, dedupe,
+// fan out over forked contexts, lean reports) — then sustains an
+// open-loop Poisson load dispatched as micro-batches. batchSize is
+// the batch width (the acceptance run uses 256) and dupFactor how
+// many copies of each distinct mutation it contains. Wall-clock, so
+// platforms run sequentially unless opts.Workers asks otherwise.
+func BatchSweep(opts Options, batchSize, dupFactor, openLoopN int) ([]BatchPoint, error) {
+	if batchSize < 1 || dupFactor < 1 || batchSize%dupFactor != 0 {
+		return nil, fmt.Errorf("experiments: batch size %d not a multiple of dup factor %d", batchSize, dupFactor)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	type sample struct {
+		rows                   int
+		distinct, batchWorkers int
+		serialSecs, batchSecs  float64
+		maxDiff                float64
+		coldSolves             int
+		offeredQPS, achieved   float64
+		p50, p99               float64
+		openN                  int
+	}
+	var out []BatchPoint
+	for _, k := range opts.Ks {
+		samples := make([]sample, opts.PlatformsPer)
+		err := forEach(workers, opts.PlatformsPer, func(i int) error {
+			rng := subRNG(opts.Seed, k, i, saltBatch)
+			pl, payoffs, err := batchPlatform(k, rng)
+			if err != nil {
+				return err
+			}
+			encoded, err := pl.Encode()
+			if err != nil {
+				return err
+			}
+			pool := service.NewPool(1)
+			sess, _, _, err := pool.GetOrCreate(&service.CreateSessionRequest{
+				Platform:  encoded,
+				Objective: "maxmin",
+				Heuristic: "lprg",
+				Payoffs:   payoffs,
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: E15 session K=%d: %w", k, err)
+			}
+			var s sample
+			s.rows = sess.Info().Rows
+
+			var routes [][2]int
+			for _, p := range sess.BetaRoutes() {
+				routes = append(routes, [2]int{p.K, p.L})
+			}
+			queries := batchQueries(pl, routes, batchSize/dupFactor, batchSize, rng)
+
+			// Serialized path: every query through the session mutex,
+			// one warm solve each — what a client fleet without the
+			// batch endpoint does today.
+			serial := make([]*service.SolveReport, len(queries))
+			start := time.Now()
+			for qi := range queries {
+				q := queries[qi]
+				q.Relax = true
+				if serial[qi], err = sess.WhatIf(&q); err != nil {
+					return fmt.Errorf("experiments: E15 serial K=%d: %w", k, err)
+				}
+			}
+			s.serialSecs = time.Since(start).Seconds()
+
+			// Batched path: same queries, one call.
+			before := sess.SolverStats()
+			start = time.Now()
+			resp, err := sess.WhatIfBatch(&service.BatchWhatIfRequest{Queries: queries})
+			if err != nil {
+				return fmt.Errorf("experiments: E15 batch K=%d: %w", k, err)
+			}
+			s.batchSecs = time.Since(start).Seconds()
+			after := sess.SolverStats()
+			s.coldSolves = after.ColdSolves - before.ColdSolves
+			s.distinct = resp.Distinct
+			s.batchWorkers = resp.Workers
+			for qi, rep := range resp.Reports {
+				if rep.Feasible != serial[qi].Feasible {
+					return fmt.Errorf("experiments: E15 K=%d query %d: batch feasible=%v, serial %v",
+						k, qi, rep.Feasible, serial[qi].Feasible)
+				}
+				if rep.Feasible {
+					d := math.Abs(rep.LPBound-serial[qi].LPBound) / (1 + math.Abs(serial[qi].LPBound))
+					if d > s.maxDiff {
+						s.maxDiff = d
+					}
+				}
+			}
+
+			// Open-loop sustained load: Poisson arrivals at half the
+			// measured batch capacity, dispatched as micro-batches of
+			// everything due. Latency runs from the scheduled arrival,
+			// so time spent queued behind a running batch counts.
+			if openLoopN > 0 && s.batchSecs > 0 {
+				batchQPS := float64(batchSize) / s.batchSecs
+				lambda := batchQPS / 2
+				s.offeredQPS = lambda
+				s.openN = openLoopN
+				arrivals := make([]time.Duration, openLoopN)
+				var t float64
+				for a := range arrivals {
+					t += rng.ExpFloat64() / lambda
+					arrivals[a] = time.Duration(t * float64(time.Second))
+				}
+				open := batchQueries(pl, routes, batchSize/dupFactor, openLoopN, rng)
+				lat := make([]time.Duration, openLoopN)
+				startOpen := time.Now()
+				for a := 0; a < openLoopN; {
+					if d := arrivals[a] - time.Since(startOpen); d > 0 {
+						time.Sleep(d)
+					}
+					b := a + 1
+					now := time.Since(startOpen)
+					for b < openLoopN && arrivals[b] <= now {
+						b++
+					}
+					if _, err := sess.WhatIfBatch(&service.BatchWhatIfRequest{Queries: open[a:b]}); err != nil {
+						return fmt.Errorf("experiments: E15 open-loop K=%d: %w", k, err)
+					}
+					done := time.Since(startOpen)
+					for qi := a; qi < b; qi++ {
+						lat[qi] = done - arrivals[qi]
+					}
+					a = b
+				}
+				total := time.Since(startOpen).Seconds()
+				if total > 0 {
+					s.achieved = float64(openLoopN) / total
+				}
+				sort.Slice(lat, func(x, y int) bool { return lat[x] < lat[y] })
+				s.p50 = lat[openLoopN/2].Seconds() * 1e3
+				s.p99 = lat[openLoopN*99/100].Seconds() * 1e3
+			}
+			samples[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := BatchPoint{K: k, BatchSize: batchSize}
+		for _, s := range samples {
+			pt.Platforms++
+			pt.Rows += float64(s.rows)
+			pt.Distinct = s.distinct
+			pt.Workers = s.batchWorkers
+			pt.SerialSeconds += s.serialSecs
+			pt.BatchSeconds += s.batchSecs
+			pt.BatchColdSolves += s.coldSolves
+			if s.maxDiff > pt.MaxDiff {
+				pt.MaxDiff = s.maxDiff
+			}
+			pt.OpenLoopQueries += s.openN
+			pt.OfferedQPS += s.offeredQPS
+			pt.AchievedQPS += s.achieved
+			if s.p50 > pt.P50Millis {
+				pt.P50Millis = s.p50
+			}
+			if s.p99 > pt.P99Millis {
+				pt.P99Millis = s.p99
+			}
+		}
+		if pt.Platforms > 0 {
+			n := float64(pt.Platforms)
+			pt.Rows /= n
+			pt.SerialSeconds /= n
+			pt.BatchSeconds /= n
+			pt.OfferedQPS /= n
+			pt.AchievedQPS /= n
+		}
+		if pt.SerialSeconds > 0 {
+			pt.SerialQPS = float64(batchSize) / pt.SerialSeconds
+		}
+		if pt.BatchSeconds > 0 {
+			pt.BatchQPS = float64(batchSize) / pt.BatchSeconds
+		}
+		if pt.SerialQPS > 0 {
+			pt.Speedup = pt.BatchQPS / pt.SerialQPS
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatchSweepSmall(t *testing.T) {
+	opts := Options{Seed: 1, PlatformsPer: 2, Ks: []int{6}}
+	pts, err := BatchSweep(opts, 32, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	pt := pts[0]
+	if pt.K != 6 || pt.Platforms != 2 || pt.BatchSize != 32 {
+		t.Fatalf("bad point %+v", pt)
+	}
+	if pt.Distinct != 8 {
+		t.Fatalf("dedupe broken: %d distinct for 32 queries at dup factor 4", pt.Distinct)
+	}
+	if pt.SerialSeconds <= 0 || pt.BatchSeconds <= 0 || pt.SerialQPS <= 0 || pt.BatchQPS <= 0 {
+		t.Fatalf("non-positive timings %+v", pt)
+	}
+	if pt.Rows <= 0 {
+		t.Fatalf("basis dimension not reported: %+v", pt)
+	}
+	// Soundness gates, scale-independent: every batched answer equals
+	// its serial warm what-if, and no fork ever solved cold.
+	if !(pt.MaxDiff <= 1e-9) {
+		t.Fatalf("batch-vs-serial gap %g", pt.MaxDiff)
+	}
+	if pt.BatchColdSolves != 0 {
+		t.Fatalf("batch phase solved cold %d times", pt.BatchColdSolves)
+	}
+	if pt.OpenLoopQueries != 32 || pt.P99Millis <= 0 || pt.P99Millis < pt.P50Millis {
+		t.Fatalf("open-loop stats missing or inconsistent: %+v", pt)
+	}
+	table := RenderBatchTable(pts)
+	if !strings.Contains(table, "batchQPS") || !strings.Contains(table, "p99(ms)") {
+		t.Fatalf("bad table:\n%s", table)
+	}
+	csv := RenderBatchCSV(pts)
+	if !strings.HasPrefix(csv, "k,platforms,rows,batch_size,distinct,") {
+		t.Fatalf("bad csv:\n%s", csv)
+	}
+}
+
+func TestBatchSweepErrors(t *testing.T) {
+	if _, err := BatchSweep(Options{Ks: []int{4}, PlatformsPer: 1}, 0, 1, 0); err == nil {
+		t.Fatal("zero batch size must fail")
+	}
+	if _, err := BatchSweep(Options{Ks: []int{4}, PlatformsPer: 1}, 10, 4, 0); err == nil {
+		t.Fatal("batch size not a multiple of dup factor must fail")
+	}
+}
+
+// TestE15BatchRegression is the throughput regression guard behind
+// the batched what-if engine: on the E15 K=20 acceptance instance
+// (one platform of the committed sweep, 256 queries, dup factor 4)
+// the batch path measured 5.1x the serialized QPS (BENCH_E15.json).
+// The guard holds a conservative 2.0x floor — the architectural
+// savings (one decode, intra-batch dedupe, no per-query extraction)
+// that survive any machine — plus the scale-independent soundness
+// gates. Timing is skipped under the race detector, whose
+// instrumentation voids wall-clock comparisons; the soundness gates
+// still run.
+func TestE15BatchRegression(t *testing.T) {
+	const floor = 2.0
+	pts, err := BatchSweep(Options{Seed: 1, PlatformsPer: 1, Ks: []int{20}}, 256, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if pt.BatchColdSolves != 0 {
+		t.Fatalf("batch phase solved cold %d times — forks lost the shared factorization", pt.BatchColdSolves)
+	}
+	if !(pt.MaxDiff <= 1e-9) {
+		t.Fatalf("batch-vs-serial gap %g", pt.MaxDiff)
+	}
+	if raceEnabled {
+		t.Skipf("race detector active; skipping throughput floor (measured %.1fx)", pt.Speedup)
+	}
+	if pt.Speedup < floor {
+		t.Fatalf("batch throughput %.2fx the serialized path, floor %.1fx (BENCH_E15.json committed 5.1x)",
+			pt.Speedup, floor)
+	}
+}

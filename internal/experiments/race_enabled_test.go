@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose instrumentation slows solves by an order of
+// magnitude and voids wall-clock throughput assertions.
+const raceEnabled = true

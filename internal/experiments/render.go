@@ -364,3 +364,40 @@ func RenderAggregate(a *Aggregate) string {
 	row("LPR/LP", a.LPROverLP)
 	return b.String()
 }
+
+// RenderBatchTable formats an E15 sweep as an aligned table.
+func RenderBatchTable(points []BatchPoint) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %6s %6s %9s %8s %7s %10s %10s %10s %10s %8s %6s %10s %10s %9s %9s %10s\n",
+		"K", "plats", "m", "batch", "distinct", "workers", "serial(s)", "batch(s)",
+		"serialQPS", "batchQPS", "speedup", "cold", "offeredQPS", "achieved", "p50(ms)", "p99(ms)", "maxdiff")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%4d %6d %6.1f %9d %8d %7d %10.4g %10.4g %10.1f %10.1f %7.1fx %6d %10.1f %10.1f %9.2f %9.2f %10.2e\n",
+			pt.K, pt.Platforms, pt.Rows, pt.BatchSize, pt.Distinct, pt.Workers,
+			pt.SerialSeconds, pt.BatchSeconds, pt.SerialQPS, pt.BatchQPS, pt.Speedup,
+			pt.BatchColdSolves, pt.OfferedQPS, pt.AchievedQPS, pt.P50Millis, pt.P99Millis, pt.MaxDiff)
+	}
+	return b.String()
+}
+
+// RenderBatchCSV formats an E15 sweep as CSV.
+func RenderBatchCSV(points []BatchPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("k,platforms,rows,batch_size,distinct,workers,serial_seconds,batch_seconds," +
+		"serial_qps,batch_qps,speedup,batch_cold_solves,open_loop_queries,offered_qps,achieved_qps," +
+		"p50_millis,p99_millis,max_diff\n")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%d,%d,%.6g,%d,%d,%d,%.6g,%.6g,%.6g,%.6g,%.4g,%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+			pt.K, pt.Platforms, pt.Rows, pt.BatchSize, pt.Distinct, pt.Workers,
+			pt.SerialSeconds, pt.BatchSeconds, pt.SerialQPS, pt.BatchQPS, pt.Speedup,
+			pt.BatchColdSolves, pt.OpenLoopQueries, pt.OfferedQPS, pt.AchievedQPS,
+			pt.P50Millis, pt.P99Millis, pt.MaxDiff)
+	}
+	return b.String()
+}

@@ -1,0 +1,625 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the solve-context half of the Revised split: the
+// orchestration that drives one solve of the owning Problem against
+// the per-context mutable state (see revised.go for the state itself,
+// factorization.go for the shared immutable half, pricing.go for the
+// simplex loops and ratiotest.go for the ratio tests).
+
+// SolveFrom solves the instance's problem with the current right-hand
+// sides and variable bounds. With a nil basis (or whenever the basis
+// turns out to be unusable — wrong size, singular, stale beyond
+// repair) it runs a cold two-phase solve; otherwise it warm-starts
+// from the basis with the dual simplex. The returned Basis snapshots
+// the final basis (including at-upper-bound statuses) for future
+// warm starts; it is non-nil whenever err is nil.
+func (r *Revised) SolveFrom(bas *Basis) (Solution, *Basis, error) {
+	if len(r.p.rows) != r.m {
+		panic(fmt.Sprintf("lp: Revised built over %d rows, problem now has %d (structure is frozen)", r.m, len(r.p.rows)))
+	}
+	r.gen++ // any solve may move the basis: frozen fork snapshots go stale
+	if bas != nil && r.signInit {
+		sol, snap, ok, err := r.warmSolve(bas)
+		if err != nil {
+			return Solution{}, nil, err
+		}
+		if ok {
+			r.stats.WarmSolves++
+			return sol, snap, nil
+		}
+		r.stats.ColdFallbacks++
+	}
+	return r.coldSolve()
+}
+
+// SolveEphemeral is SolveFrom for callers that will not keep the
+// result: it solves identically (warm from bas when usable, cold
+// otherwise) but skips the final Basis snapshot and extracts the
+// solution into a scratch buffer owned by the instance, so a warm
+// re-solve performs no per-solve allocations. The returned
+// Solution.X is valid only until the next solve on this instance —
+// copy out anything that must survive. The supplied basis is never
+// mutated, so the caller's committed basis stays valid for future
+// warm starts. This is the engine of the scheduling service's
+// what-if path: mutate, SolveEphemeral, roll back, discard.
+func (r *Revised) SolveEphemeral(bas *Basis) (Solution, error) {
+	r.ephemeral = true
+	defer func() { r.ephemeral = false }()
+	sol, _, err := r.SolveFrom(bas)
+	return sol, err
+}
+
+// warmPivotBudget bounds the pivots a dual-simplex warm restart may
+// burn before giving up into the cold fallback. A useful restart
+// finishes within a few sweeps of the basis; past that the old basis
+// carries no information and the cold solve — whose early pivots on a
+// fresh all-singleton factorization are far cheaper — wins. The
+// budget scales with the instance instead of being a flat constant:
+// a few multiples of the basis dimension m plus a term proportional
+// to the constraint nonzeros (denser matrices move less infeasibility
+// per pivot), floored so tiny problems keep headroom for degenerate
+// shuffling. The budget is representation-aware: under Forrest–Tomlin
+// updates a late warm pivot costs about the same as an early one
+// (solve cost no longer degrades with eta-file length), so persisting
+// through another couple of basis sweeps beats abandoning — the
+// 4·m multiplier was calibrated against eta-file pivot cost and is
+// raised to 6·m for the FT representation.
+func (r *Revised) warmPivotBudget() int {
+	if r.budgetOverride > 0 {
+		return r.budgetOverride
+	}
+	mMult := 4
+	if _, ft := r.fac.(*ftFactor); ft {
+		mMult = 6
+	}
+	return mMult*r.m + len(r.sp.val)/2 + 256
+}
+
+// loadBounds refreshes the per-column bound state from the owning
+// problem and sanitizes at-upper statuses against it: a basic column,
+// a column whose range became unbounded, or a fixed (U = 0) column
+// cannot meaningfully rest at an upper bound.
+func (r *Revised) loadBounds() {
+	for j := 0; j < r.nstruct; j++ {
+		r.lbs[j] = r.p.lb[j]
+		r.U[j] = r.p.ub[j] - r.p.lb[j]
+		if r.atUpper[j] && (r.inBasis[j] || math.IsInf(r.U[j], 1) || r.U[j] <= 0) {
+			r.atUpper[j] = false
+		}
+	}
+	// Slack and artificial columns are unbounded above and can never
+	// rest at an upper bound; clear any claim a foreign basis made.
+	for j := r.nstruct; j < r.ncols; j++ {
+		r.atUpper[j] = false
+	}
+}
+
+// refreshRHS loads the bound state and the effective rhs
+// (sign-normalized, lower-bound-shifted) and tolerance scale from the
+// owning problem.
+func (r *Revised) refreshRHS() {
+	r.loadBounds()
+	acc := r.acc
+	for i := range acc {
+		acc[i] = 0
+	}
+	for j := 0; j < r.nstruct; j++ {
+		if lb := r.lbs[j]; lb != 0 {
+			for t := r.sp.colPtr[j]; t < r.sp.colPtr[j+1]; t++ {
+				acc[r.sp.rowIdx[t]] += r.sp.val[t] * lb
+			}
+		}
+	}
+	r.scale = 0
+	for i := range r.b {
+		r.b[i] = r.sign[i] * (r.p.rows[i].rhs - acc[i])
+		if a := math.Abs(r.b[i]); a > r.scale {
+			r.scale = a
+		}
+	}
+}
+
+func (r *Revised) feasTol() float64 { return eps * (1 + r.scale) }
+func (r *Revised) dualTol() float64 { return 1e-7 * (1 + r.costScale) }
+
+// nonbasicValue returns the shifted-space value a nonbasic column
+// currently rests at.
+func (r *Revised) nonbasicValue(j int) float64 {
+	if r.atUpper[j] {
+		return r.U[j]
+	}
+	return 0
+}
+
+// refactorize rebuilds the basis factorization from the current
+// basis, counting it in the stats. Returns false when the basis
+// matrix is numerically singular (the previous factorization is then
+// still the live one).
+func (r *Revised) refactorize() bool {
+	if !r.fac.refactor() {
+		return false
+	}
+	r.stats.Refactorizations++
+	r.factorized = true
+	return true
+}
+
+// coldSolve runs the classical two-phase method from a slack basis,
+// with every structural variable starting at its lower bound.
+func (r *Revised) coldSolve() (Solution, *Basis, error) {
+	r.stats.ColdSolves++
+	r.resetDevexRows()
+	r.dseOK = false // the basis is rebuilt from scratch below
+	for j := range r.atUpper {
+		r.atUpper[j] = false
+	}
+	for i := range r.sign {
+		r.sign[i] = 1
+	}
+	r.signInit = true
+	r.refreshRHS()
+	for i := range r.b {
+		if r.b[i] < 0 {
+			r.sign[i] = -1
+			r.b[i] = -r.b[i]
+		}
+	}
+
+	// Initial basis: the slack column where it is basic-feasible
+	// (effective coefficient +1, or rhs 0), the artificial otherwise.
+	for j := range r.inBasis {
+		r.inBasis[j] = false
+	}
+	hasArt := false
+	for i := range r.basis {
+		col := r.artStart + i
+		if sc := r.slackOfRow[i]; sc >= 0 {
+			effCoef := r.sign[i] * r.slackSign(sc)
+			if effCoef > 0 || r.b[i] == 0 {
+				col = sc
+			}
+		}
+		if col >= r.artStart {
+			hasArt = true
+		}
+		r.basis[i] = col
+		r.inBasis[col] = true
+	}
+	// The initial basis matrix is diagonal with ±1 pivots (slack
+	// columns are ±e_i, artificials +e_i); factorizing it is all
+	// singleton pivots.
+	if !r.refactorize() {
+		return Solution{}, nil, fmt.Errorf("lp: internal error: initial diagonal basis singular")
+	}
+	r.computeXB()
+
+	if hasArt {
+		status, err := r.primal(r.c1)
+		if err != nil {
+			return Solution{}, nil, err
+		}
+		if status == Unbounded {
+			return Solution{}, nil, fmt.Errorf("lp: internal error: phase 1 unbounded")
+		}
+		if r.artificialResidue() > infeasTol*(1+r.scale) {
+			r.factorized = false
+			return Solution{Status: Infeasible}, r.snapshot(), nil
+		}
+		r.driveOutArtificials()
+	}
+	status, err := r.primal(r.fullCosts())
+	if err != nil {
+		return Solution{}, nil, err
+	}
+	return r.finish(status)
+}
+
+// warmSolve attempts a restart from bas. ok=false means the basis was
+// unusable and the caller should cold-solve; err is only a hard
+// solver failure.
+func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
+	if len(bas.cols) != r.m {
+		return Solution{}, nil, false, nil
+	}
+	if bas.upper != nil && len(bas.upper) != r.ncols {
+		return Solution{}, nil, false, nil
+	}
+	// While the live factorization is valid its basis is already dual
+	// feasible (see the struct invariant), so the cheapest restart is
+	// to continue from the instance's current state — even when it is
+	// not the supplied basis (e.g. a branch-and-bound sibling whose
+	// parent basis was left behind by another subtree): a few extra
+	// dual pivots beat a refactorization. The supplied basis is
+	// installed only when no live factorization exists.
+	if !r.factorized {
+		for j := range r.seen {
+			r.seen[j] = false
+		}
+		for _, c := range bas.cols {
+			if c < 0 || c >= r.ncols || r.seen[c] {
+				return Solution{}, nil, false, nil
+			}
+			r.seen[c] = true
+		}
+		copy(r.basis, bas.cols)
+		for j := range r.inBasis {
+			r.inBasis[j] = false
+		}
+		for _, c := range r.basis {
+			r.inBasis[c] = true
+		}
+		if bas.upper != nil {
+			copy(r.atUpper, bas.upper)
+		} else {
+			for j := range r.atUpper {
+				r.atUpper[j] = false
+			}
+		}
+		if !r.refactorize() {
+			r.factorized = false
+			return Solution{}, nil, false, nil
+		}
+		r.resetDevexRows() // foreign basis: fresh reference framework
+		r.dseOK = false    // steepest-edge weights described the old basis
+	}
+	// refreshRHS sanitizes the at-upper set against the (possibly
+	// mutated) bounds before computeXB prices the nonbasic columns in.
+	r.refreshRHS()
+	r.computeXB()
+
+	costs := r.fullCosts()
+	if r.dualFeasible(costs) {
+		status, err := r.dual(costs)
+		if err != nil {
+			r.factorized = false
+			return Solution{}, nil, false, nil // e.g. iteration limit: retry cold
+		}
+		if status == Infeasible {
+			// Confirm the verdict on a fresh factorization: update
+			// (eta/product-form) drift can manufacture phantom box
+			// violations, and an Infeasible built on one would be
+			// reported as authoritative. Rebuilding is cheap and the
+			// verdict is rare; if the exact basic values turn out
+			// feasible the violation was roundoff and the optimality
+			// path below takes over.
+			if !r.refactorize() {
+				r.factorized = false
+				return Solution{}, nil, false, nil
+			}
+			r.computeXB()
+			if r.primalFeasible() {
+				status = Optimal
+			} else if status, err = r.dual(costs); err != nil {
+				r.factorized = false
+				return Solution{}, nil, false, nil
+			}
+		}
+		if status == Infeasible {
+			if r.artificialResidue() > infeasTol*(1+r.scale) {
+				// The infeasibility certificate was built on a basis
+				// still carrying a stale artificial at macroscopic
+				// value; don't trust it — recheck cold.
+				r.factorized = false
+				return Solution{}, nil, false, nil
+			}
+			r.factorized = false
+			return Solution{Status: Infeasible}, r.snapshot(), true, nil
+		}
+		// Safety net: the dual simplex ends primal+dual feasible, so
+		// this terminates immediately unless roundoff says otherwise.
+		status, err = r.primal(costs)
+		if err != nil {
+			r.factorized = false
+			return Solution{}, nil, false, nil
+		}
+		return r.finishWarm(status)
+	}
+	if r.primalFeasible() {
+		status, err := r.primal(costs)
+		if err != nil {
+			r.factorized = false
+			return Solution{}, nil, false, nil
+		}
+		return r.finishWarm(status)
+	}
+	return Solution{}, nil, false, nil
+}
+
+// finishWarm wraps finish for warm restarts: a sizeable residue on a
+// basic artificial here means the basis carried a stale artificial
+// into the new rhs (phase 1 never ran), so no verdict built on it is
+// authoritative — an Optimal claim may hide infeasibility and an
+// Unbounded ray may lean on the artificial subspace. Hand every such
+// outcome to a cold solve instead of misreporting.
+func (r *Revised) finishWarm(status Status) (Solution, *Basis, bool, error) {
+	if r.artificialResidue() > infeasTol*(1+r.scale) {
+		r.factorized = false
+		return Solution{}, nil, false, nil
+	}
+	sol, snap, err := r.finish(status)
+	return sol, snap, err == nil, err
+}
+
+// finish converts the final simplex state into a Solution.
+func (r *Revised) finish(status Status) (Solution, *Basis, error) {
+	if status != Optimal {
+		r.factorized = false
+		return Solution{Status: status}, r.snapshot(), nil
+	}
+	if r.artificialResidue() > infeasTol*(1+r.scale) {
+		// A basic artificial kept a nonzero value: the (possibly
+		// mutated) rhs is inconsistent with a dependent row set.
+		r.factorized = false
+		return Solution{Status: Infeasible}, r.snapshot(), nil
+	}
+	x := r.xscratch
+	if !r.ephemeral {
+		x = make([]float64, r.nstruct)
+	}
+	for j := 0; j < r.nstruct; j++ {
+		v := 0.0
+		if !r.inBasis[j] && r.atUpper[j] {
+			v = r.U[j]
+		}
+		x[j] = r.lbs[j] + v
+	}
+	for i, bj := range r.basis {
+		if bj < r.nstruct {
+			v := r.xb[i]
+			if v < 0 {
+				v = 0 // tolerance clamp
+			}
+			if u := r.U[bj]; !math.IsInf(u, 1) && v > u {
+				v = u
+			}
+			x[bj] = r.lbs[bj] + v
+		}
+	}
+	obj := 0.0
+	for j, cj := range r.p.c {
+		obj += cj * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, r.snapshot(), nil
+}
+
+func (r *Revised) snapshot() *Basis {
+	if r.ephemeral {
+		return nil
+	}
+	cp := make([]int, r.m)
+	copy(cp, r.basis)
+	up := make([]bool, r.ncols)
+	copy(up, r.atUpper)
+	return &Basis{cols: cp, upper: up}
+}
+
+func (r *Revised) fullCosts() []float64 { return r.c2 }
+
+func (r *Revised) slackSign(col int) float64 {
+	return r.slackCoef[col-r.nstruct]
+}
+
+// effCol iterates the effective (sign-normalized) entries of column j,
+// calling fn(row, value) for each nonzero.
+func (r *Revised) effCol(j int, fn func(i int, v float64)) {
+	if j >= r.artStart {
+		fn(j-r.artStart, 1)
+		return
+	}
+	for t := r.sp.colPtr[j]; t < r.sp.colPtr[j+1]; t++ {
+		i := int(r.sp.rowIdx[t])
+		fn(i, r.sign[i]*r.sp.val[t])
+	}
+}
+
+// colDotSigned returns ys·A_j where ys is already sign-normalized
+// (ys[i] = y[i]*sign[i]).
+func (r *Revised) colDotSigned(ys []float64, j int) float64 {
+	if j >= r.artStart {
+		i := j - r.artStart
+		return ys[i] * r.sign[i] // effective entry is +1: y_i = ys_i*sign_i
+	}
+	return r.sp.dot(ys, j)
+}
+
+// direction computes d = B^{-1}·A_j into dst (an FTRAN of column j).
+func (r *Revised) direction(j int, dst []float64) {
+	r.fac.ftranCol(j, dst)
+}
+
+// computeXB sets xb = B^{-1}·(b - Σ_{j at upper} A_j·U_j): the basic
+// values given every nonbasic column resting at its current bound.
+func (r *Revised) computeXB() {
+	beff := r.beff
+	copy(beff, r.b)
+	for j := 0; j < r.nstruct; j++ {
+		if r.atUpper[j] {
+			u := r.U[j]
+			r.effCol(j, func(i int, v float64) {
+				beff[i] -= v * u
+			})
+		}
+	}
+	copy(r.xb, beff)
+	r.fac.ftran(r.xb)
+}
+
+// clampXB absorbs roundoff residue just outside the basic variable's
+// box back onto the violated bound.
+func (r *Revised) clampXB(i int, ftol float64) {
+	if r.xb[i] < 0 {
+		if r.xb[i] > -ftol {
+			r.xb[i] = 0
+		}
+		return
+	}
+	if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u && r.xb[i]-u < ftol {
+		r.xb[i] = u
+	}
+}
+
+// pivotUpdate applies the basis change for entering column `enter`
+// replacing the variable basic in row `leave`, with the entering
+// variable moving by `step` (in shifted space, signed) from its
+// current bound value; d must hold B^{-1}·A_enter. leaveAtUpper
+// records the bound the leaving variable departs at.
+//
+// The factorization absorbs the pivot as an update (product-form row
+// update for the dense inverse, an eta append for LU); when the
+// update is refused on stability grounds or the representation asks
+// for its periodic rebuild, the basis is refactorized at this pivot
+// boundary and xb recomputed exactly. Returns refactored=true in
+// that case so callers maintaining incremental state (the dual's
+// multipliers) recompute it too.
+func (r *Revised) pivotUpdate(leave, enter int, d []float64, step float64, leaveAtUpper bool) (refactored bool) {
+	leaveCol := r.basis[leave]
+	newVal := r.nonbasicValue(enter) + step
+	ftol := r.feasTol()
+	okUpd := r.fac.update(leave, d, false)
+	for i := 0; i < r.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := d[i]
+		if f == 0 {
+			continue
+		}
+		r.xb[i] -= step * f
+		r.clampXB(i, ftol)
+	}
+	r.inBasis[leaveCol] = false
+	r.atUpper[leaveCol] = leaveAtUpper && r.U[leaveCol] > 0 && !math.IsInf(r.U[leaveCol], 1)
+	r.basis[leave] = enter
+	r.inBasis[enter] = true
+	r.atUpper[enter] = false
+	r.xb[leave] = newVal
+	r.stats.Pivots++
+	if !okUpd {
+		// The representation refused the update as numerically unsafe:
+		// rebuild from the (new) basis instead. If the rebuild fails
+		// right now, fall back to force-applying the update — it is
+		// exact algebra against the pre-pivot factorization — and
+		// retry the rebuild after another batch of pivots.
+		if r.refactorize() {
+			r.computeXB()
+			return true
+		}
+		r.fac.update(leave, d, true)
+		r.fac.deferRefactor()
+		return false
+	}
+	if r.fac.shouldRefactor() {
+		if r.refactorize() {
+			r.computeXB()
+			return true
+		}
+		// Singular at the checkpoint: keep running on the updated
+		// factorization and only retry after another batch of pivots
+		// instead of on every pivot.
+		r.fac.deferRefactor()
+	}
+	return false
+}
+
+// boundFlip moves nonbasic column j across its box to the opposite
+// bound — the pivot-free move of the bounded-variable simplex; d must
+// hold B^{-1}·A_j and dir the direction of travel (+1 from lower to
+// upper, -1 back).
+func (r *Revised) boundFlip(j int, d []float64, dir float64) {
+	step := dir * r.U[j]
+	ftol := r.feasTol()
+	for i := 0; i < r.m; i++ {
+		if d[i] == 0 {
+			continue
+		}
+		r.xb[i] -= step * d[i]
+		r.clampXB(i, ftol)
+	}
+	r.atUpper[j] = !r.atUpper[j]
+	r.stats.BoundFlips++
+}
+
+// boundedObjective evaluates costs over the full bounded state:
+// basic values plus the nonbasic columns resting at upper bounds
+// (used for stall detection only, so the lower-bound shift constant
+// is irrelevant).
+func (r *Revised) boundedObjective(costs []float64) float64 {
+	obj := 0.0
+	for i, bj := range r.basis {
+		obj += costs[bj] * r.xb[i]
+	}
+	for j := 0; j < r.nstruct; j++ {
+		if r.atUpper[j] && costs[j] != 0 {
+			obj += costs[j] * r.U[j]
+		}
+	}
+	return obj
+}
+
+func (r *Revised) primalFeasible() bool {
+	ftol := r.feasTol()
+	for i := 0; i < r.m; i++ {
+		if r.xb[i] < -ftol {
+			return false
+		}
+		if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u+ftol {
+			return false
+		}
+	}
+	return true
+}
+
+// artificialResidue sums the values of basic artificial variables.
+func (r *Revised) artificialResidue() float64 {
+	sum := 0.0
+	for i, bj := range r.basis {
+		if bj >= r.artStart && r.xb[i] > 0 {
+			sum += r.xb[i]
+		}
+	}
+	return sum
+}
+
+// driveOutArtificials ejects every basic artificial that admits a
+// well-scaled pivot on a real column (a degenerate pivot, since phase
+// 1 left them at ~zero value); artificials in genuinely redundant
+// rows stay basic and harmless — every entering direction has a zero
+// component there. The pivot column is the one with the largest
+// |pivot element| and must keep the implied entering value |xb/d|
+// negligible, mirroring primalRatioTest's guard: ejection is an
+// optimization, never worth corrupting feasibility over.
+func (r *Revised) driveOutArtificials() {
+	ws, d, rho := r.ws, r.d, r.rho
+	ftol := r.feasTol()
+	for i := 0; i < r.m; i++ {
+		if r.basis[i] < r.artStart || r.xb[i] > ftol {
+			continue
+		}
+		r.fac.btranRow(i, rho)
+		for t := 0; t < r.m; t++ {
+			ws[t] = rho[t] * r.sign[t]
+		}
+		enter := -1
+		bestPiv := eps
+		for j := 0; j < r.artStart; j++ {
+			if r.inBasis[j] {
+				continue
+			}
+			if a := math.Abs(r.colDotSigned(ws, j)); a > bestPiv {
+				bestPiv = a
+				enter = j
+			}
+		}
+		if enter == -1 || math.Abs(r.xb[i]) > bestPiv*ftol {
+			continue
+		}
+		r.direction(enter, d)
+		r.pivotUpdate(i, enter, d, r.xb[i]/d[i], false)
+		r.dseOK = false
+	}
+}

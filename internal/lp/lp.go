@@ -118,6 +118,35 @@
 // stops making progress within a pivot budget proportional to the
 // instance size and nonzeros, so warm starts are strictly an
 // optimization, never a correctness risk.
+//
+// # Factorization vs. solve context
+//
+// A Revised instance is internally split in two (factorization.go):
+//
+//   - Factorization: everything derived from the frozen constraint
+//     structure — the CSC matrix and its row-wise mirror, slack
+//     bookkeeping, phase-1/phase-2 cost vectors, tolerance scales.
+//     Built once, read-only afterwards, deliberately without lazy
+//     caches, so any number of contexts read it without
+//     synchronization.
+//   - The solve context: everything one solve mutates — the owning
+//     Problem (rhs and bounds), basis and at-upper state, the live
+//     basisFactor, pricing weights, statistics and scratch buffers.
+//     Revised embeds a *Factorization, so a Revised IS a solve
+//     context over a shareable immutable core.
+//
+// Revised.Fork splits a new context off a solved instance in O(m +
+// nnz): the child shares the parent's Factorization and an immutable
+// clean-LU snapshot of its current basis (frozen on first fork per
+// generation, aliased read-only by every sibling), and owns private
+// copies of all mutable state including a cloned Problem. A fork's
+// first solve warm-starts from the parent's basis with zero lost
+// pivots and zero refactorization; its rhs/bound mutations never leak
+// into the parent or siblings, and forked contexts solve concurrently
+// against the shared core data-race-free by construction. This is the
+// engine under the scheduling service's batched what-if endpoint: one
+// warm session fans a batch of mutations out over forked contexts
+// instead of serializing them behind the session lock.
 package lp
 
 import (

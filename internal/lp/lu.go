@@ -53,6 +53,13 @@ type luFactor struct {
 	etaVal  []float64
 	minEtas int // deferRefactor backoff threshold
 
+	// borrowed marks the committed arrays as aliased by a frozenLU
+	// snapshot that forked contexts read concurrently (or as stolen by
+	// one): the next commit must allocate fresh storage for every
+	// committed array instead of writing in place. The eta file is
+	// never borrowed — forks own theirs.
+	borrowed bool
+
 	w []float64 // dense solve workspace
 
 	// Factorization scratch, reused across refactors.
@@ -122,6 +129,24 @@ const (
 func newLUFactor(r *Revised) *luFactor {
 	f := &luFactor{}
 	f.init(r)
+	return f
+}
+
+// newBorrowedLUFactor returns an eta-file factor whose committed
+// arrays alias an immutable frozen snapshot: the fork starts from the
+// parent's clean LU without refactorizing. The borrowed flag defers
+// any write to those arrays — updates append only to the fork's
+// private eta file, and the first commit (triggered by a refactor)
+// allocates fresh storage.
+func newBorrowedLUFactor(r *Revised, fz *frozenLU) *luFactor {
+	f := newLUFactor(r)
+	f.rowOfPos = fz.rowOfPos
+	f.colOfPos = fz.colOfPos
+	f.uDiag = fz.uDiag
+	f.lPtr, f.lIdx, f.lVal = fz.lPtr, fz.lIdx, fz.lVal
+	f.uPtr, f.uIdx, f.uVal = fz.uPtr, fz.uIdx, fz.uVal
+	f.luNNZ = fz.luNNZ
+	f.borrowed = true
 	return f
 }
 
@@ -396,6 +421,19 @@ func (f *luFactor) eliminate(k int, pi, pj int32, pv float64) {
 // position-space L and U arrays and clears the eta file.
 func (f *luFactor) commit() {
 	m := f.m
+	if f.borrowed {
+		// The committed arrays belong to a frozen snapshot other
+		// contexts still read — allocate fresh storage before the first
+		// write instead of clobbering them.
+		f.rowOfPos = make([]int32, m)
+		f.colOfPos = make([]int32, m)
+		f.uDiag = make([]float64, m)
+		f.lPtr = make([]int32, m+1)
+		f.uPtr = make([]int32, m+1)
+		f.lIdx, f.lVal = nil, nil
+		f.uIdx, f.uVal = nil, nil
+		f.borrowed = false
+	}
 	copy(f.rowOfPos, f.pivR)
 	copy(f.colOfPos, f.pivC)
 	copy(f.uDiag, f.pivV)

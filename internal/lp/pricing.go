@@ -1,0 +1,617 @@
+package lp
+
+import "math"
+
+// This file holds the pricing side of the Revised split: candidate
+// selection for both simplex methods — devex reference frameworks,
+// exact dual steepest edge, the sparse leaving-row candidate walk —
+// and the primal/dual iteration loops built on them.
+
+// dualCandidates collects the non-artificial columns that can have a
+// nonzero pivot-row entry for the current signed leaving row ws: the
+// union of the column lists of ws's nonzero rows. Columns outside the
+// list have α = 0 and could never be dual ratio-test candidates, so
+// pricing skips them — for a sparse leaving row this shrinks the
+// entering pass from the full column space to a handful of columns.
+// The walk also accumulates each candidate's pivot-row entry
+// α_j = ws·A_j into candAlpha (a scatter along the row-major mirror),
+// so the caller never gathers down a CSC column — a column gather
+// reads every stored row of the column when typically only one or two
+// intersect ws's support. A dense leaving row would make the union
+// walk cost more than it saves, so past a support cutoff the result
+// is (nil, false) and the caller prices the full column space
+// directly with per-column dots.
+func (r *Revised) dualCandidates(ws []float64) ([]int32, bool) {
+	// Cutoff by work, not by support count: the scatter visits
+	// Σ nnz(row i) over ws's support, the full scan visits every
+	// stored nonzero. Below half the full-scan work the scatter wins
+	// even after the stamp bookkeeping; beyond that the contiguous
+	// CSC sweep's locality takes over.
+	work, budget := 0, len(r.sp.val)/2
+	for i := 0; i < r.m; i++ {
+		if ws[i] != 0 {
+			if work += len(r.rowCols[i]); work > budget {
+				return nil, false
+			}
+		}
+	}
+	r.candCur++
+	if r.candCur <= 0 { // stamp wraparound
+		for i := range r.candStamp {
+			r.candStamp[i] = 0
+		}
+		r.candCur = 1
+	}
+	lst := r.candList[:0]
+	for i := 0; i < r.m; i++ {
+		s := ws[i]
+		if s == 0 {
+			continue
+		}
+		cols, vals := r.rowCols[i], r.rowVals[i]
+		for t, j := range cols {
+			if r.candStamp[j] != r.candCur {
+				r.candStamp[j] = r.candCur
+				r.candAlpha[j] = 0
+				lst = append(lst, j)
+			}
+			r.candAlpha[j] += s * vals[t]
+		}
+	}
+	r.candList = lst
+	return lst, true
+}
+
+// signedMultipliers computes ys with ys[i] = (c_B·B^{-1})_i * sign[i],
+// ready for sparse pricing against the stored (unsigned) columns —
+// a BTRAN of the basic cost vector.
+func (r *Revised) signedMultipliers(costs []float64, ys []float64) {
+	for i, bj := range r.basis {
+		ys[i] = costs[bj]
+	}
+	r.fac.btran(ys)
+	for i := range ys {
+		ys[i] *= r.sign[i]
+	}
+}
+
+// devexResetLimit triggers a reference-framework reset when any devex
+// weight outgrows it; the framework then restarts from the current
+// basis with unit weights, the standard guard against the
+// approximation drifting arbitrarily far from true steepest edge.
+const devexResetLimit = 1e7
+
+// resetDevexCols restarts the primal reference framework.
+func (r *Revised) resetDevexCols() {
+	for j := range r.dwCol {
+		r.dwCol[j] = 1
+	}
+}
+
+// resetDevexRows restarts the dual reference framework.
+func (r *Revised) resetDevexRows() {
+	for i := range r.dwRow {
+		r.dwRow[i] = 1
+	}
+}
+
+// updateDevexCols applies the primal devex weight update after a
+// pivot: rho must hold the (pre-pivot) leaving row of B^{-1}, aq the
+// pivot element d_leave, wq the entering column's weight and leaveCol
+// the column that left the basis. For every nonbasic candidate j the
+// reference weight becomes max(w_j, (α_rj/α_rq)²·w_q) with α_rj the
+// pivot-row entry — one sparse pricing pass against rho.
+func (r *Revised) updateDevexCols(rho []float64, aq, wq float64, enter, leaveCol int) {
+	ws := r.ws
+	for i := 0; i < r.m; i++ {
+		ws[i] = rho[i] * r.sign[i]
+	}
+	aq2 := aq * aq
+	maxW := 0.0
+	upd := func(j int) {
+		if r.inBasis[j] || j == enter || r.U[j] <= 0 {
+			return
+		}
+		alpha := r.colDotSigned(ws, j)
+		if alpha == 0 {
+			return
+		}
+		if cand := alpha * alpha / aq2 * wq; cand > r.dwCol[j] {
+			r.dwCol[j] = cand
+			if cand > maxW {
+				maxW = cand
+			}
+		}
+	}
+	// Only columns intersecting the leaving row's support can have a
+	// nonzero pivot-row entry; walk them via the CSR view when the
+	// row is sparse, exactly like the dual's entering pass.
+	if cands, ok := r.dualCandidates(ws); ok {
+		for _, j32 := range cands {
+			upd(int(j32))
+		}
+	} else {
+		for j := 0; j < r.artStart; j++ {
+			upd(j)
+		}
+	}
+	w := math.Max(wq/aq2, 1)
+	r.dwCol[leaveCol] = w
+	if w > maxW {
+		maxW = w
+	}
+	if maxW > devexResetLimit {
+		r.resetDevexCols()
+	}
+}
+
+// primal runs the revised primal simplex with the given cost vector
+// under the bounded-variable rules: a nonbasic column at its lower
+// bound enters increasing on a positive reduced cost, one at its
+// upper bound enters decreasing on a negative reduced cost, and an
+// entering column blocked first by its own opposite bound flips
+// without a pivot. Entering candidates are the non-artificial
+// columns; artificials may only leave the basis.
+//
+// Pricing is devex over a reference framework reset at entry: among
+// eligible candidates the one maximizing c̄²/w enters, approximating
+// steepest-edge descent at Dantzig cost; Bland's rule takes over on
+// objective stalls exactly as before.
+func (r *Revised) primal(costs []float64) (Status, error) {
+	maxIters := 200*(r.m+r.ncols) + 20000
+	bland := false
+	stall := 0
+	lastObj := math.Inf(-1)
+	ys, d := r.ys, r.d
+	r.resetDevexCols()
+	for iter := 0; iter < maxIters; iter++ {
+		r.signedMultipliers(costs, ys)
+		enter := -1
+		dir := 1.0
+		if bland {
+			for j := 0; j < r.artStart; j++ {
+				if r.inBasis[j] || r.U[j] <= 0 {
+					continue
+				}
+				cbar := costs[j] - r.colDotSigned(ys, j)
+				if !r.atUpper[j] && cbar > eps {
+					enter, dir = j, 1
+					break
+				}
+				if r.atUpper[j] && cbar < -eps {
+					enter, dir = j, -1
+					break
+				}
+			}
+		} else {
+			best := 0.0
+			for j := 0; j < r.artStart; j++ {
+				if r.inBasis[j] || r.U[j] <= 0 {
+					continue
+				}
+				cbar := costs[j] - r.colDotSigned(ys, j)
+				if r.atUpper[j] {
+					cbar = -cbar
+				}
+				if cbar <= eps {
+					continue
+				}
+				if score := cbar * cbar / r.dwCol[j]; score > best {
+					best = score
+					enter = j
+					if r.atUpper[j] {
+						dir = -1
+					} else {
+						dir = 1
+					}
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal, nil
+		}
+		r.direction(enter, d)
+		leave, leaveAtUpper, t := r.primalRatioTest(d, dir)
+		switch {
+		case leave == -1 && math.IsInf(r.U[enter], 1):
+			return Unbounded, nil
+		case leave == -1 || r.U[enter] <= t:
+			// The entering column reaches its opposite bound before
+			// any basic column blocks: flip, no pivot.
+			r.boundFlip(enter, d, dir)
+		default:
+			// Capture the pre-pivot leaving row and pivot element for
+			// the devex update before the factorization moves on.
+			r.fac.btranRow(leave, r.rho)
+			aq, wq, leaveCol := d[leave], r.dwCol[enter], r.basis[leave]
+			r.pivotUpdate(leave, enter, d, dir*t, leaveAtUpper)
+			r.stats.PrimalPivots++
+			r.dseOK = false // dual steepest-edge weights now stale
+			r.updateDevexCols(r.rho, aq, wq, enter, leaveCol)
+		}
+		obj := r.boundedObjective(costs)
+		if obj <= lastObj+eps {
+			stall++
+			if stall >= stallLimit {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+		lastObj = obj
+	}
+	return Optimal, ErrIterationLimit
+}
+
+// dual runs the revised dual simplex: starting dual-feasible, it
+// restores primal feasibility after an RHS or bound mutation. A basic
+// column may violate either side of its box; the entering ratio test
+// prices nonbasic columns on the matching side (at-lower columns
+// with nonpositive, at-upper columns with nonnegative reduced costs)
+// so dual feasibility is preserved. Returns Infeasible when the dual
+// is unbounded (= the primal constraints admit no solution), Optimal
+// when xb is feasible.
+//
+// The leaving row is chosen by dual devex: among box-violating basics
+// the one maximizing violation²/w leaves, where the reference weights
+// w approximate ‖eᵢᵀB⁻¹‖² and are updated for free from the entering
+// direction each pivot. Bland's rule takes over on stalls.
+func (r *Revised) dual(costs []float64) (Status, error) {
+	// The dual only ever runs as a warm restart, and a restart is
+	// worth at most a few sweeps of the basis in pivots: past that the
+	// old basis carries no useful information and the caller's cold
+	// fallback — whose early pivots on a fresh all-singleton
+	// factorization are far cheaper — wins. A budget proportional to
+	// the instance (warmPivotBudget) turns the rare degenerate grind
+	// into an ErrIterationLimit that SolveFrom converts into that
+	// fallback.
+	maxIters := r.warmPivotBudget()
+	ys, ws, d, rho := r.ys, r.ws, r.d, r.rho
+	bland := false
+	stall := 0
+	sinceBest := 0
+	lastInfeas := math.Inf(1)
+	minInfeas := math.Inf(1)
+	dse := r.useDSE
+	if dse {
+		// Exact steepest-edge weights persist across warm solves as
+		// long as only the dual itself has pivoted (the recurrence is
+		// exact); anything else invalidated them and they restart from
+		// unit values — exact for the cold diagonal basis, and
+		// self-correcting elsewhere because the pivot row's weight is
+		// recomputed from ρ_r every pivot.
+		if !r.dseOK {
+			for i := range r.dseW {
+				r.dseW[i] = 1
+			}
+			r.dseOK = true
+			r.stats.DSEWeightResets++
+		}
+	} else {
+		r.resetDevexRows()
+	}
+	// The simplex multipliers move by a multiple of the leaving row of
+	// B^{-1} per dual pivot (y' = y + γ·ρ_r, γ = c̄_enter/d_leave), so
+	// they are maintained incrementally — O(m) per iteration instead
+	// of a BTRAN from scratch — and recomputed exactly whenever
+	// pivotUpdate refactorizes, which bounds the drift the same way it
+	// bounds the factorization's.
+	r.signedMultipliers(costs, ys)
+	for iter := 0; iter < maxIters; iter++ {
+		ftol := r.feasTol()
+		leave := -1
+		below := false
+		if bland {
+			// Bland's rule needs the smallest *variable* index among
+			// the violating basics (row order is not a valid
+			// anti-cycling order).
+			for i := 0; i < r.m; i++ {
+				isBelow := r.xb[i] < -ftol
+				above := false
+				if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u+ftol {
+					above = true
+				}
+				if (isBelow || above) && (leave == -1 || r.basis[i] < r.basis[leave]) {
+					leave, below = i, isBelow
+				}
+			}
+		} else {
+			// Leaving row maximizes violation²/γ_i — exact steepest
+			// edge under DSE, the devex approximation otherwise.
+			wrow := r.dwRow
+			if dse {
+				wrow = r.dseW
+			}
+			bestScore := 0.0
+			for i := 0; i < r.m; i++ {
+				v := -r.xb[i]
+				isBelow := true
+				if u := r.U[r.basis[i]]; !math.IsInf(u, 1) {
+					if above := r.xb[i] - u; above > v {
+						v, isBelow = above, false
+					}
+				}
+				if v <= ftol {
+					continue
+				}
+				if score := v * v / wrow[i]; score > bestScore {
+					bestScore, leave, below = score, i, isBelow
+				}
+			}
+		}
+		if leave == -1 {
+			return Optimal, nil
+		}
+		viol := -r.xb[leave]
+		if !below {
+			viol = r.xb[leave] - r.U[r.basis[leave]]
+		}
+		// rho = e_leave·B^{-1}; ws is rho sign-normalized for sparse
+		// pricing and oriented so eligible columns always price out
+		// negative for at-lower and positive for at-upper candidates.
+		r.fac.btranRow(leave, rho)
+		amult := 1.0
+		if !below {
+			amult = -1
+		}
+		for i := 0; i < r.m; i++ {
+			ws[i] = amult * rho[i] * r.sign[i]
+		}
+		// Entering ratio test, Harris two-pass style: pass 1 finds the
+		// tightest relaxed breakpoint rmax = min(ratio_j + dtol/|α_j|);
+		// pass 2 enters the candidate with the largest |α| among those
+		// with ratio_j ≤ rmax. The dtol slack (the same tolerance
+		// dualFeasible accepts) lets near-tied — typically degenerate —
+		// breakpoints trade a ≤dtol reduced-cost violation for a
+		// well-scaled pivot, which both stabilizes the eta file and
+		// cuts the degenerate mini-steps that dominate restarts on
+		// degenerate-heavy platforms. Under Bland's rule the strict
+		// smallest-index min-ratio test is kept (its termination
+		// argument needs it).
+		enter := -1
+		enterCbar := 0.0
+		dtol := r.dualTol()
+		rmax := math.Inf(1)
+		bestRatio := math.Inf(1)
+		nc := 0
+		cJ, cAlpha, cRatio, cRaw := r.dcJ[:0], r.dcAlpha[:0], r.dcRatio[:0], r.dcRaw[:0]
+		price := func(j int, alpha float64) {
+			if r.inBasis[j] || r.U[j] <= 0 {
+				return
+			}
+			var ratio, raw float64
+			if !r.atUpper[j] {
+				if alpha >= -eps {
+					return
+				}
+				raw = costs[j] - r.colDotSigned(ys, j)
+				cbar := raw
+				if cbar > 0 {
+					cbar = 0 // dual-feasibility roundoff slop
+				}
+				ratio = cbar / alpha
+			} else {
+				if alpha <= eps {
+					return
+				}
+				raw = costs[j] - r.colDotSigned(ys, j)
+				cbar := raw
+				if cbar < 0 {
+					cbar = 0 // dual-feasibility roundoff slop
+				}
+				ratio = cbar / alpha
+			}
+			a := alpha
+			if a < 0 {
+				a = -a
+			}
+			if bland {
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (enter == -1 || j < enter)) {
+					bestRatio = ratio
+					enter = j
+					enterCbar = raw
+				}
+				return
+			}
+			if rel := ratio + dtol/a; rel < rmax {
+				rmax = rel
+			}
+			cJ = append(cJ, int32(j))
+			cAlpha = append(cAlpha, a)
+			cRatio = append(cRatio, ratio)
+			cRaw = append(cRaw, raw)
+			nc++
+		}
+		if cands, ok := r.dualCandidates(ws); ok {
+			// α was accumulated during the candidate row walk; the CSC
+			// store is not touched again.
+			for _, j32 := range cands {
+				price(int(j32), r.candAlpha[j32])
+			}
+		} else {
+			for j := 0; j < r.artStart; j++ {
+				price(j, r.colDotSigned(ws, j))
+			}
+		}
+		if !bland {
+			r.dcJ, r.dcAlpha, r.dcRatio, r.dcRaw = cJ, cAlpha, cRatio, cRaw
+			if r.bfrt {
+				// Bound-flipping (long-step) variant: walk the
+				// breakpoints in ratio order, flipping boxed candidates
+				// whose passing keeps the leaving row violating, and
+				// enter at the first breakpoint that would restore it.
+				enter, enterCbar = r.dualEnterFlips(nc, viol, dtol)
+			} else {
+				bestA := 0.0
+				for t := 0; t < nc; t++ {
+					if cRatio[t] <= rmax && (cAlpha[t] > bestA || (cAlpha[t] == bestA && enter != -1 && int(cJ[t]) < enter)) {
+						bestA = cAlpha[t]
+						enter = int(cJ[t])
+						enterCbar = cRaw[t]
+					}
+				}
+			}
+		}
+		if enter == -1 {
+			return Infeasible, nil
+		}
+		r.direction(enter, d)
+		target := 0.0
+		if !below {
+			target = r.U[r.basis[leave]]
+		}
+		step := (r.xb[leave] - target) / d[leave]
+		// Multiplier update with the pre-pivot leaving row; the raw
+		// (unclamped) reduced cost keeps y'·A_enter = c_enter exact.
+		if gamma := enterCbar / d[leave]; gamma != 0 {
+			for i := 0; i < r.m; i++ {
+				ys[i] += gamma * rho[i] * r.sign[i]
+			}
+		}
+		if dse {
+			// Forrest–Goldfarb exact steepest-edge update, against the
+			// pre-pivot basis: γ_r is recomputed exactly as ‖ρ_r‖² (the
+			// stored weight served pricing only, so the recurrence
+			// self-corrects), τ = B⁻¹ρ_r costs the one extra FTRAN this
+			// pricing scheme is known for, and then
+			//
+			//	γ_i ← γ_i − 2(d_i/d_r)·τ_i + (d_i/d_r)²·γ_r   (i ≠ r)
+			//	γ_r ← γ_r/d_r²
+			//
+			// is the exact new ‖e_iᵀB⁻¹‖² for every row.
+			gr := 0.0
+			for i := 0; i < r.m; i++ {
+				gr += rho[i] * rho[i]
+			}
+			tau := r.tau
+			copy(tau, rho)
+			r.fac.ftran(tau)
+			dr := d[leave]
+			finite := true
+			for i := 0; i < r.m; i++ {
+				if i == leave || d[i] == 0 {
+					continue
+				}
+				q := d[i] / dr
+				g := r.dseW[i] - 2*q*tau[i] + q*q*gr
+				if g < dseFloor {
+					g = dseFloor // exact value is ‖ρ_i − q·ρ_r‖² ≥ 0: roundoff
+				}
+				if math.IsNaN(g) || math.IsInf(g, 0) {
+					finite = false
+					break
+				}
+				r.dseW[i] = g
+			}
+			gl := gr / (dr * dr)
+			if gl < dseFloor {
+				gl = dseFloor
+			}
+			r.dseW[leave] = gl
+			if !finite || math.IsNaN(gl) || math.IsInf(gl, 0) {
+				for i := range r.dseW {
+					r.dseW[i] = 1
+				}
+				r.stats.DSEWeightResets++
+			}
+		} else {
+			// Dual devex weight update — free, from the entering
+			// direction: w_i ← max(w_i, (d_i/d_r)²·w_r) for the staying
+			// rows, and the pivot row restarts at max(w_r/d_r², 1).
+			dr2 := d[leave] * d[leave]
+			wr := r.dwRow[leave]
+			maxW := 0.0
+			for i := 0; i < r.m; i++ {
+				if i == leave || d[i] == 0 {
+					continue
+				}
+				if cand := d[i] * d[i] / dr2 * wr; cand > r.dwRow[i] {
+					r.dwRow[i] = cand
+					if cand > maxW {
+						maxW = cand
+					}
+				}
+			}
+			r.dwRow[leave] = math.Max(wr/dr2, 1)
+			if maxW > devexResetLimit {
+				r.resetDevexRows()
+			}
+		}
+		refac := r.pivotUpdate(leave, enter, d, step, !below)
+		r.stats.DualPivots++
+		if refac {
+			// pivotUpdate hit a refactorization checkpoint: the
+			// factorization was rebuilt, so refresh the multipliers
+			// exactly too.
+			r.signedMultipliers(costs, ys)
+		}
+		infeas := 0.0
+		for i := 0; i < r.m; i++ {
+			if r.xb[i] < 0 {
+				infeas -= r.xb[i]
+			} else if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u {
+				infeas += r.xb[i] - u
+			}
+		}
+		if infeas >= lastInfeas-eps {
+			stall++
+			if stall >= stallLimit {
+				bland = true
+			}
+			// A restart that cannot push total infeasibility to a new
+			// low across several Bland episodes is degenerate-cycling
+			// territory; past that point the cold fallback's fresh
+			// phase-1/phase-2 start tends to win. The window is wider
+			// than it was over the dense inverse: a factorized dual
+			// pivot costs about the same as a cold-solve pivot now,
+			// so persisting beats abandoning up to a few cold-solve
+			// equivalents of work.
+			if infeas >= minInfeas-eps {
+				sinceBest++
+				if sinceBest >= 8*stallLimit {
+					return Optimal, ErrIterationLimit
+				}
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+		if infeas < minInfeas-eps {
+			minInfeas = infeas
+			sinceBest = 0
+		}
+		lastInfeas = infeas
+	}
+	return Optimal, ErrIterationLimit
+}
+
+// dseFloor is the positive floor for exact steepest-edge weights: the
+// recurrence computes ‖e_iᵀB⁻¹‖² ≥ 0 exactly, so anything at or below
+// zero is roundoff and is clamped rather than allowed to blow up a
+// later violation²/γ score.
+const dseFloor = 1e-10
+
+// dualFeasible reports whether every nonbasic non-artificial column
+// prices out on the right side for its bound (within tolerance)
+// under costs — nonpositive at a lower bound, nonnegative at an
+// upper bound — the precondition for restarting with the dual
+// simplex. Fixed (U = 0) columns cannot move and are exempt.
+func (r *Revised) dualFeasible(costs []float64) bool {
+	ys := r.ys
+	r.signedMultipliers(costs, ys)
+	tol := r.dualTol()
+	for j := 0; j < r.artStart; j++ {
+		if r.inBasis[j] || r.U[j] <= 0 {
+			continue
+		}
+		cbar := costs[j] - r.colDotSigned(ys, j)
+		if !r.atUpper[j] && cbar > tol {
+			return false
+		}
+		if r.atUpper[j] && cbar < -tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,35 +1,41 @@
 package lp
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
-// Revised is a revised-simplex instance bound to one Problem. Unlike
-// the one-shot backends it keeps the constraint matrix (in sparse
-// column form), the basis and a factorized representation of the
-// basis matrix alive across solves, which is what makes warm starts
-// cheap: after an RHS or variable-bound mutation (Problem.SetRHS /
-// Problem.SetVarBounds), SolveFrom(basis) restarts the dual simplex
-// from a previous optimal basis instead of running a full
-// phase-1/phase-2 pass. When the supplied basis is the one the
+// Revised is a revised-simplex solve context bound to one Problem.
+// Unlike the one-shot backends it keeps the constraint matrix (in
+// sparse column form), the basis and a factorized representation of
+// the basis matrix alive across solves, which is what makes warm
+// starts cheap: after an RHS or variable-bound mutation
+// (Problem.SetRHS / Problem.SetVarBounds), SolveFrom(basis) restarts
+// the dual simplex from a previous optimal basis instead of running a
+// full phase-1/phase-2 pass. When the supplied basis is the one the
 // instance ended its previous solve with — the common case for
 // branch-and-bound depth-first descents and LPRR pin sequences — the
 // live factorization is reused without a rebuild.
 //
+// Structurally the instance is two halves (see factorization.go): the
+// embedded *Factorization holds everything derived from the frozen
+// constraint structure — immutable after construction and shared
+// read-only between this context and every context Fork returns — and
+// the fields declared here hold all per-solve mutable state: the
+// owning Problem (whose rhs and bounds the warm-start contract lets
+// callers mutate), the basis and its factorization, bound state,
+// pricing weights, statistics, and every scratch vector.
+//
 // The basis representation is pluggable (BasisRep): the default is a
-// sparse LU factorization maintained across pivots by an eta file
-// (lu.go), under which FTRAN/BTRAN cost O(m + nnz) per application;
-// the historical explicit dense inverse (DenseInverseRep, factor.go)
-// is retained as the numerical reference. The Basis snapshots
-// returned to callers are representation-independent — a basis
-// produced under one representation warm-starts an instance using
-// the other.
+// sparse LU factorization maintained across pivots by Forrest–Tomlin
+// updates (ft.go); the product-form eta file (lu.go) and the
+// historical explicit dense inverse (DenseInverseRep, factor.go) are
+// retained as numerical references. The Basis snapshots returned to
+// callers are representation-independent — a basis produced under one
+// representation warm-starts an instance using another.
 //
 // Pricing is devex (reference-framework weights, Harris-style
 // approximation of steepest edge) in both the primal and the dual
-// simplex, with the automatic switch to Bland's anti-cycling rule on
-// objective stalls preserved from the Dantzig era.
+// simplex — the dual upgraded to exact Forrest–Goldfarb steepest edge
+// by default — with the automatic switch to Bland's anti-cycling rule
+// on objective stalls preserved from the Dantzig era.
 //
 // Variable bounds are handled natively by the bounded-variable
 // simplex: lower bounds are shifted away per solve, each nonbasic
@@ -42,15 +48,9 @@ import (
 // be frozen after NewRevised; only right-hand sides and variable
 // bounds may change between solves.
 type Revised struct {
-	p          *Problem
-	sp         sparseCols
-	slackOfRow []int
-	slackCoef  []float64
+	*Factorization
 
-	nstruct, nslack, m int
-	ncols, artStart    int
-	c                  []float64 // phase-2 costs (structural prefix of column space)
-	costScale          float64
+	p *Problem
 
 	// sign[i] is the row normalization chosen at the last cold start
 	// so that the effective rhs was nonnegative; effective matrix
@@ -82,6 +82,13 @@ type Revised struct {
 	factorized bool
 
 	stats Stats
+
+	// Fork support: gen counts solves (any of which may move the
+	// basis), frozen caches the clean-LU snapshot forks borrow, keyed
+	// on gen, and freezer is the private luFactor that builds it.
+	gen     uint64
+	frozen  *frozenLU
+	freezer *luFactor
 
 	// Devex reference-framework weights: dwCol prices entering
 	// candidates in the primal, dwRow prices leaving rows in the
@@ -116,17 +123,9 @@ type Revised struct {
 	// hook tests use to force a warm restart into the cold fallback.
 	budgetOverride int
 
-	// rowCols is the row-wise (CSR) view of the structural+slack
-	// column space: the columns with a nonzero in each constraint
-	// row. The dual simplex uses it to price only the columns that
-	// intersect the (sparse) leaving row instead of scanning the full
-	// column space every pivot. Built once — the structure is frozen.
-	rowCols [][]int32
-	rowVals [][]float64
-
-	// Scratch buffers reused across solves.
-	c2        []float64 // phase-2 costs over the full column space
-	c1        []float64 // phase-1 costs (lazily built)
+	// Scratch buffers reused across solves. All per-context: a forked
+	// context allocates its own set, so concurrent solves against the
+	// shared Factorization never share writable memory.
 	ys        []float64 // signed simplex multipliers
 	ws        []float64 // signed leaving-row vector (dual)
 	d         []float64 // entering direction B^{-1}A_j
@@ -190,6 +189,17 @@ type Stats struct {
 	// basis outside the dual's own recurrence, plus the rare
 	// non-finite-weight bailouts.
 	DSEWeightResets int `json:"dseWeightResets"`
+	// Forks counts solve contexts split off this instance by
+	// Revised.Fork. PeakForks, Batches and BatchMaxSize are recorded
+	// by the layer that fans solves out over forked contexts (the
+	// scheduling service's batched what-if engine): the widest
+	// concurrent fork pool, the number of batch rounds, and the
+	// largest batch answered. Add keeps the max for PeakForks and
+	// BatchMaxSize (like UFillGrowth) and sums the other two.
+	Forks        int `json:"forks"`
+	PeakForks    int `json:"peakForks"`
+	Batches      int `json:"batches"`
+	BatchMaxSize int `json:"batchMaxSize"`
 }
 
 // Add accumulates other's counters into s — the aggregation the
@@ -209,6 +219,14 @@ func (s *Stats) Add(other Stats) {
 		s.UFillGrowth = other.UFillGrowth
 	}
 	s.DSEWeightResets += other.DSEWeightResets
+	s.Forks += other.Forks
+	if other.PeakForks > s.PeakForks {
+		s.PeakForks = other.PeakForks
+	}
+	s.Batches += other.Batches
+	if other.BatchMaxSize > s.BatchMaxSize {
+		s.BatchMaxSize = other.BatchMaxSize
+	}
 }
 
 // Stats returns the accumulated solver counters.
@@ -216,6 +234,11 @@ func (r *Revised) Stats() Stats { return r.stats }
 
 // ResetStats zeroes the accumulated solver counters.
 func (r *Revised) ResetStats() { r.stats = Stats{} }
+
+// AbsorbStats folds counters accumulated elsewhere — a forked
+// context's solve activity, or the fork-pool gauges the batched
+// what-if engine records — into this instance's totals.
+func (r *Revised) AbsorbStats(other Stats) { r.stats.Add(other) }
 
 // NewRevised builds a revised-simplex instance over p's current
 // constraint rows with the default (sparse LU + Forrest–Tomlin
@@ -228,20 +251,7 @@ func NewRevised(p *Problem) *Revised { return NewRevisedRep(p, ForrestTomlinRep)
 // use to run the same solves through the Forrest–Tomlin factorization,
 // the product-form eta file and the dense explicit inverse.
 func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
-	r := &Revised{p: p}
-	r.sp, r.slackOfRow, r.slackCoef = newSparseCols(p)
-	r.nstruct = p.nvars
-	r.nslack = r.sp.n - p.nvars
-	r.m = len(p.rows)
-	r.artStart = r.sp.n
-	r.ncols = r.sp.n + r.m
-	r.c = make([]float64, r.artStart)
-	copy(r.c, p.c)
-	for _, cj := range r.c {
-		if a := math.Abs(cj); a > r.costScale {
-			r.costScale = a
-		}
-	}
+	r := &Revised{Factorization: newFactorization(p, rep), p: p}
 	r.sign = make([]float64, r.m)
 	r.b = make([]float64, r.m)
 	r.xb = make([]float64, r.m)
@@ -267,8 +277,15 @@ func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
 	r.useDSE = true
 	r.bfrt = true
 	r.resetDevexRows()
-	r.c2 = make([]float64, r.ncols)
-	copy(r.c2, r.c)
+	r.allocScratch()
+	return r
+}
+
+// allocScratch sizes the per-context scratch buffers — everything a
+// solve writes to besides the basis state itself. Shared by
+// NewRevisedRep and Fork so a forked context never aliases writable
+// memory of its parent.
+func (r *Revised) allocScratch() {
 	r.ys = make([]float64, r.m)
 	r.ws = make([]float64, r.m)
 	r.d = make([]float64, r.m)
@@ -277,18 +294,6 @@ func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
 	r.acc = make([]float64, r.m)
 	r.beff = make([]float64, r.m)
 	r.seen = make([]bool, r.ncols)
-	// Row-major mirror of the CSC store (column indices and values per
-	// row): dualCandidates prices a sparse leaving row by scattering
-	// along these rows instead of gathering down every column.
-	r.rowCols = make([][]int32, r.m)
-	r.rowVals = make([][]float64, r.m)
-	for j := 0; j < r.sp.n; j++ {
-		for t := r.sp.colPtr[j]; t < r.sp.colPtr[j+1]; t++ {
-			i := r.sp.rowIdx[t]
-			r.rowCols[i] = append(r.rowCols[i], int32(j))
-			r.rowVals[i] = append(r.rowVals[i], r.sp.val[t])
-		}
-	}
 	r.candList = make([]int32, 0, r.sp.n)
 	r.candStamp = make([]int32, r.sp.n)
 	r.candAlpha = make([]float64, r.sp.n)
@@ -300,1412 +305,4 @@ func NewRevisedRep(p *Problem, rep BasisRep) *Revised {
 	r.dcRaw = make([]float64, 0, r.sp.n)
 	r.bfOrder = make([]int32, 0, r.sp.n)
 	r.xscratch = make([]float64, r.nstruct)
-	return r
-}
-
-// dualCandidates collects the non-artificial columns that can have a
-// nonzero pivot-row entry for the current signed leaving row ws: the
-// union of the column lists of ws's nonzero rows. Columns outside the
-// list have α = 0 and could never be dual ratio-test candidates, so
-// pricing skips them — for a sparse leaving row this shrinks the
-// entering pass from the full column space to a handful of columns.
-// The walk also accumulates each candidate's pivot-row entry
-// α_j = ws·A_j into candAlpha (a scatter along the row-major mirror),
-// so the caller never gathers down a CSC column — a column gather
-// reads every stored row of the column when typically only one or two
-// intersect ws's support. A dense leaving row would make the union
-// walk cost more than it saves, so past a support cutoff the result
-// is (nil, false) and the caller prices the full column space
-// directly with per-column dots.
-func (r *Revised) dualCandidates(ws []float64) ([]int32, bool) {
-	// Cutoff by work, not by support count: the scatter visits
-	// Σ nnz(row i) over ws's support, the full scan visits every
-	// stored nonzero. Below half the full-scan work the scatter wins
-	// even after the stamp bookkeeping; beyond that the contiguous
-	// CSC sweep's locality takes over.
-	work, budget := 0, len(r.sp.val)/2
-	for i := 0; i < r.m; i++ {
-		if ws[i] != 0 {
-			if work += len(r.rowCols[i]); work > budget {
-				return nil, false
-			}
-		}
-	}
-	r.candCur++
-	if r.candCur <= 0 { // stamp wraparound
-		for i := range r.candStamp {
-			r.candStamp[i] = 0
-		}
-		r.candCur = 1
-	}
-	lst := r.candList[:0]
-	for i := 0; i < r.m; i++ {
-		s := ws[i]
-		if s == 0 {
-			continue
-		}
-		cols, vals := r.rowCols[i], r.rowVals[i]
-		for t, j := range cols {
-			if r.candStamp[j] != r.candCur {
-				r.candStamp[j] = r.candCur
-				r.candAlpha[j] = 0
-				lst = append(lst, j)
-			}
-			r.candAlpha[j] += s * vals[t]
-		}
-	}
-	r.candList = lst
-	return lst, true
-}
-
-// SolveFrom solves the instance's problem with the current right-hand
-// sides and variable bounds. With a nil basis (or whenever the basis
-// turns out to be unusable — wrong size, singular, stale beyond
-// repair) it runs a cold two-phase solve; otherwise it warm-starts
-// from the basis with the dual simplex. The returned Basis snapshots
-// the final basis (including at-upper-bound statuses) for future
-// warm starts; it is non-nil whenever err is nil.
-func (r *Revised) SolveFrom(bas *Basis) (Solution, *Basis, error) {
-	if len(r.p.rows) != r.m {
-		panic(fmt.Sprintf("lp: Revised built over %d rows, problem now has %d (structure is frozen)", r.m, len(r.p.rows)))
-	}
-	if bas != nil && r.signInit {
-		sol, snap, ok, err := r.warmSolve(bas)
-		if err != nil {
-			return Solution{}, nil, err
-		}
-		if ok {
-			r.stats.WarmSolves++
-			return sol, snap, nil
-		}
-		r.stats.ColdFallbacks++
-	}
-	return r.coldSolve()
-}
-
-// SolveEphemeral is SolveFrom for callers that will not keep the
-// result: it solves identically (warm from bas when usable, cold
-// otherwise) but skips the final Basis snapshot and extracts the
-// solution into a scratch buffer owned by the instance, so a warm
-// re-solve performs no per-solve allocations. The returned
-// Solution.X is valid only until the next solve on this instance —
-// copy out anything that must survive. The supplied basis is never
-// mutated, so the caller's committed basis stays valid for future
-// warm starts. This is the engine of the scheduling service's
-// what-if path: mutate, SolveEphemeral, roll back, discard.
-func (r *Revised) SolveEphemeral(bas *Basis) (Solution, error) {
-	r.ephemeral = true
-	defer func() { r.ephemeral = false }()
-	sol, _, err := r.SolveFrom(bas)
-	return sol, err
-}
-
-// warmPivotBudget bounds the pivots a dual-simplex warm restart may
-// burn before giving up into the cold fallback. A useful restart
-// finishes within a few sweeps of the basis; past that the old basis
-// carries no information and the cold solve — whose early pivots on a
-// fresh all-singleton factorization are far cheaper — wins. The
-// budget scales with the instance instead of being a flat constant:
-// a few multiples of the basis dimension m plus a term proportional
-// to the constraint nonzeros (denser matrices move less infeasibility
-// per pivot), floored so tiny problems keep headroom for degenerate
-// shuffling. The budget is representation-aware: under Forrest–Tomlin
-// updates a late warm pivot costs about the same as an early one
-// (solve cost no longer degrades with eta-file length), so persisting
-// through another couple of basis sweeps beats abandoning — the
-// 4·m multiplier was calibrated against eta-file pivot cost and is
-// raised to 6·m for the FT representation.
-func (r *Revised) warmPivotBudget() int {
-	if r.budgetOverride > 0 {
-		return r.budgetOverride
-	}
-	mMult := 4
-	if _, ft := r.fac.(*ftFactor); ft {
-		mMult = 6
-	}
-	return mMult*r.m + len(r.sp.val)/2 + 256
-}
-
-// loadBounds refreshes the per-column bound state from the owning
-// problem and sanitizes at-upper statuses against it: a basic column,
-// a column whose range became unbounded, or a fixed (U = 0) column
-// cannot meaningfully rest at an upper bound.
-func (r *Revised) loadBounds() {
-	for j := 0; j < r.nstruct; j++ {
-		r.lbs[j] = r.p.lb[j]
-		r.U[j] = r.p.ub[j] - r.p.lb[j]
-		if r.atUpper[j] && (r.inBasis[j] || math.IsInf(r.U[j], 1) || r.U[j] <= 0) {
-			r.atUpper[j] = false
-		}
-	}
-	// Slack and artificial columns are unbounded above and can never
-	// rest at an upper bound; clear any claim a foreign basis made.
-	for j := r.nstruct; j < r.ncols; j++ {
-		r.atUpper[j] = false
-	}
-}
-
-// refreshRHS loads the bound state and the effective rhs
-// (sign-normalized, lower-bound-shifted) and tolerance scale from the
-// owning problem.
-func (r *Revised) refreshRHS() {
-	r.loadBounds()
-	acc := r.acc
-	for i := range acc {
-		acc[i] = 0
-	}
-	for j := 0; j < r.nstruct; j++ {
-		if lb := r.lbs[j]; lb != 0 {
-			for t := r.sp.colPtr[j]; t < r.sp.colPtr[j+1]; t++ {
-				acc[r.sp.rowIdx[t]] += r.sp.val[t] * lb
-			}
-		}
-	}
-	r.scale = 0
-	for i := range r.b {
-		r.b[i] = r.sign[i] * (r.p.rows[i].rhs - acc[i])
-		if a := math.Abs(r.b[i]); a > r.scale {
-			r.scale = a
-		}
-	}
-}
-
-func (r *Revised) feasTol() float64 { return eps * (1 + r.scale) }
-func (r *Revised) dualTol() float64 { return 1e-7 * (1 + r.costScale) }
-
-// nonbasicValue returns the shifted-space value a nonbasic column
-// currently rests at.
-func (r *Revised) nonbasicValue(j int) float64 {
-	if r.atUpper[j] {
-		return r.U[j]
-	}
-	return 0
-}
-
-// refactorize rebuilds the basis factorization from the current
-// basis, counting it in the stats. Returns false when the basis
-// matrix is numerically singular (the previous factorization is then
-// still the live one).
-func (r *Revised) refactorize() bool {
-	if !r.fac.refactor() {
-		return false
-	}
-	r.stats.Refactorizations++
-	r.factorized = true
-	return true
-}
-
-// coldSolve runs the classical two-phase method from a slack basis,
-// with every structural variable starting at its lower bound.
-func (r *Revised) coldSolve() (Solution, *Basis, error) {
-	r.stats.ColdSolves++
-	r.resetDevexRows()
-	r.dseOK = false // the basis is rebuilt from scratch below
-	for j := range r.atUpper {
-		r.atUpper[j] = false
-	}
-	for i := range r.sign {
-		r.sign[i] = 1
-	}
-	r.signInit = true
-	r.refreshRHS()
-	for i := range r.b {
-		if r.b[i] < 0 {
-			r.sign[i] = -1
-			r.b[i] = -r.b[i]
-		}
-	}
-
-	// Initial basis: the slack column where it is basic-feasible
-	// (effective coefficient +1, or rhs 0), the artificial otherwise.
-	for j := range r.inBasis {
-		r.inBasis[j] = false
-	}
-	hasArt := false
-	for i := range r.basis {
-		col := r.artStart + i
-		if sc := r.slackOfRow[i]; sc >= 0 {
-			effCoef := r.sign[i] * r.slackSign(sc)
-			if effCoef > 0 || r.b[i] == 0 {
-				col = sc
-			}
-		}
-		if col >= r.artStart {
-			hasArt = true
-		}
-		r.basis[i] = col
-		r.inBasis[col] = true
-	}
-	// The initial basis matrix is diagonal with ±1 pivots (slack
-	// columns are ±e_i, artificials +e_i); factorizing it is all
-	// singleton pivots.
-	if !r.refactorize() {
-		return Solution{}, nil, fmt.Errorf("lp: internal error: initial diagonal basis singular")
-	}
-	r.computeXB()
-
-	if hasArt {
-		if r.c1 == nil {
-			r.c1 = make([]float64, r.ncols)
-			for j := r.artStart; j < r.ncols; j++ {
-				r.c1[j] = -1
-			}
-		}
-		status, err := r.primal(r.c1)
-		if err != nil {
-			return Solution{}, nil, err
-		}
-		if status == Unbounded {
-			return Solution{}, nil, fmt.Errorf("lp: internal error: phase 1 unbounded")
-		}
-		if r.artificialResidue() > infeasTol*(1+r.scale) {
-			r.factorized = false
-			return Solution{Status: Infeasible}, r.snapshot(), nil
-		}
-		r.driveOutArtificials()
-	}
-	status, err := r.primal(r.fullCosts())
-	if err != nil {
-		return Solution{}, nil, err
-	}
-	return r.finish(status)
-}
-
-// warmSolve attempts a restart from bas. ok=false means the basis was
-// unusable and the caller should cold-solve; err is only a hard
-// solver failure.
-func (r *Revised) warmSolve(bas *Basis) (Solution, *Basis, bool, error) {
-	if len(bas.cols) != r.m {
-		return Solution{}, nil, false, nil
-	}
-	if bas.upper != nil && len(bas.upper) != r.ncols {
-		return Solution{}, nil, false, nil
-	}
-	// While the live factorization is valid its basis is already dual
-	// feasible (see the struct invariant), so the cheapest restart is
-	// to continue from the instance's current state — even when it is
-	// not the supplied basis (e.g. a branch-and-bound sibling whose
-	// parent basis was left behind by another subtree): a few extra
-	// dual pivots beat a refactorization. The supplied basis is
-	// installed only when no live factorization exists.
-	if !r.factorized {
-		for j := range r.seen {
-			r.seen[j] = false
-		}
-		for _, c := range bas.cols {
-			if c < 0 || c >= r.ncols || r.seen[c] {
-				return Solution{}, nil, false, nil
-			}
-			r.seen[c] = true
-		}
-		copy(r.basis, bas.cols)
-		for j := range r.inBasis {
-			r.inBasis[j] = false
-		}
-		for _, c := range r.basis {
-			r.inBasis[c] = true
-		}
-		if bas.upper != nil {
-			copy(r.atUpper, bas.upper)
-		} else {
-			for j := range r.atUpper {
-				r.atUpper[j] = false
-			}
-		}
-		if !r.refactorize() {
-			r.factorized = false
-			return Solution{}, nil, false, nil
-		}
-		r.resetDevexRows() // foreign basis: fresh reference framework
-		r.dseOK = false    // steepest-edge weights described the old basis
-	}
-	// refreshRHS sanitizes the at-upper set against the (possibly
-	// mutated) bounds before computeXB prices the nonbasic columns in.
-	r.refreshRHS()
-	r.computeXB()
-
-	costs := r.fullCosts()
-	if r.dualFeasible(costs) {
-		status, err := r.dual(costs)
-		if err != nil {
-			r.factorized = false
-			return Solution{}, nil, false, nil // e.g. iteration limit: retry cold
-		}
-		if status == Infeasible {
-			// Confirm the verdict on a fresh factorization: update
-			// (eta/product-form) drift can manufacture phantom box
-			// violations, and an Infeasible built on one would be
-			// reported as authoritative. Rebuilding is cheap and the
-			// verdict is rare; if the exact basic values turn out
-			// feasible the violation was roundoff and the optimality
-			// path below takes over.
-			if !r.refactorize() {
-				r.factorized = false
-				return Solution{}, nil, false, nil
-			}
-			r.computeXB()
-			if r.primalFeasible() {
-				status = Optimal
-			} else if status, err = r.dual(costs); err != nil {
-				r.factorized = false
-				return Solution{}, nil, false, nil
-			}
-		}
-		if status == Infeasible {
-			if r.artificialResidue() > infeasTol*(1+r.scale) {
-				// The infeasibility certificate was built on a basis
-				// still carrying a stale artificial at macroscopic
-				// value; don't trust it — recheck cold.
-				r.factorized = false
-				return Solution{}, nil, false, nil
-			}
-			r.factorized = false
-			return Solution{Status: Infeasible}, r.snapshot(), true, nil
-		}
-		// Safety net: the dual simplex ends primal+dual feasible, so
-		// this terminates immediately unless roundoff says otherwise.
-		status, err = r.primal(costs)
-		if err != nil {
-			r.factorized = false
-			return Solution{}, nil, false, nil
-		}
-		return r.finishWarm(status)
-	}
-	if r.primalFeasible() {
-		status, err := r.primal(costs)
-		if err != nil {
-			r.factorized = false
-			return Solution{}, nil, false, nil
-		}
-		return r.finishWarm(status)
-	}
-	return Solution{}, nil, false, nil
-}
-
-// finishWarm wraps finish for warm restarts: a sizeable residue on a
-// basic artificial here means the basis carried a stale artificial
-// into the new rhs (phase 1 never ran), so no verdict built on it is
-// authoritative — an Optimal claim may hide infeasibility and an
-// Unbounded ray may lean on the artificial subspace. Hand every such
-// outcome to a cold solve instead of misreporting.
-func (r *Revised) finishWarm(status Status) (Solution, *Basis, bool, error) {
-	if r.artificialResidue() > infeasTol*(1+r.scale) {
-		r.factorized = false
-		return Solution{}, nil, false, nil
-	}
-	sol, snap, err := r.finish(status)
-	return sol, snap, err == nil, err
-}
-
-// finish converts the final simplex state into a Solution.
-func (r *Revised) finish(status Status) (Solution, *Basis, error) {
-	if status != Optimal {
-		r.factorized = false
-		return Solution{Status: status}, r.snapshot(), nil
-	}
-	if r.artificialResidue() > infeasTol*(1+r.scale) {
-		// A basic artificial kept a nonzero value: the (possibly
-		// mutated) rhs is inconsistent with a dependent row set.
-		r.factorized = false
-		return Solution{Status: Infeasible}, r.snapshot(), nil
-	}
-	x := r.xscratch
-	if !r.ephemeral {
-		x = make([]float64, r.nstruct)
-	}
-	for j := 0; j < r.nstruct; j++ {
-		v := 0.0
-		if !r.inBasis[j] && r.atUpper[j] {
-			v = r.U[j]
-		}
-		x[j] = r.lbs[j] + v
-	}
-	for i, bj := range r.basis {
-		if bj < r.nstruct {
-			v := r.xb[i]
-			if v < 0 {
-				v = 0 // tolerance clamp
-			}
-			if u := r.U[bj]; !math.IsInf(u, 1) && v > u {
-				v = u
-			}
-			x[bj] = r.lbs[bj] + v
-		}
-	}
-	obj := 0.0
-	for j, cj := range r.p.c {
-		obj += cj * x[j]
-	}
-	return Solution{Status: Optimal, X: x, Objective: obj}, r.snapshot(), nil
-}
-
-func (r *Revised) snapshot() *Basis {
-	if r.ephemeral {
-		return nil
-	}
-	cp := make([]int, r.m)
-	copy(cp, r.basis)
-	up := make([]bool, r.ncols)
-	copy(up, r.atUpper)
-	return &Basis{cols: cp, upper: up}
-}
-
-func (r *Revised) fullCosts() []float64 { return r.c2 }
-
-func (r *Revised) slackSign(col int) float64 {
-	return r.slackCoef[col-r.nstruct]
-}
-
-// effCol iterates the effective (sign-normalized) entries of column j,
-// calling fn(row, value) for each nonzero.
-func (r *Revised) effCol(j int, fn func(i int, v float64)) {
-	if j >= r.artStart {
-		fn(j-r.artStart, 1)
-		return
-	}
-	for t := r.sp.colPtr[j]; t < r.sp.colPtr[j+1]; t++ {
-		i := int(r.sp.rowIdx[t])
-		fn(i, r.sign[i]*r.sp.val[t])
-	}
-}
-
-// colDotSigned returns ys·A_j where ys is already sign-normalized
-// (ys[i] = y[i]*sign[i]).
-func (r *Revised) colDotSigned(ys []float64, j int) float64 {
-	if j >= r.artStart {
-		i := j - r.artStart
-		return ys[i] * r.sign[i] // effective entry is +1: y_i = ys_i*sign_i
-	}
-	return r.sp.dot(ys, j)
-}
-
-// direction computes d = B^{-1}·A_j into dst (an FTRAN of column j).
-func (r *Revised) direction(j int, dst []float64) {
-	r.fac.ftranCol(j, dst)
-}
-
-// computeXB sets xb = B^{-1}·(b - Σ_{j at upper} A_j·U_j): the basic
-// values given every nonbasic column resting at its current bound.
-func (r *Revised) computeXB() {
-	beff := r.beff
-	copy(beff, r.b)
-	for j := 0; j < r.nstruct; j++ {
-		if r.atUpper[j] {
-			u := r.U[j]
-			r.effCol(j, func(i int, v float64) {
-				beff[i] -= v * u
-			})
-		}
-	}
-	copy(r.xb, beff)
-	r.fac.ftran(r.xb)
-}
-
-// clampXB absorbs roundoff residue just outside the basic variable's
-// box back onto the violated bound.
-func (r *Revised) clampXB(i int, ftol float64) {
-	if r.xb[i] < 0 {
-		if r.xb[i] > -ftol {
-			r.xb[i] = 0
-		}
-		return
-	}
-	if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u && r.xb[i]-u < ftol {
-		r.xb[i] = u
-	}
-}
-
-// pivotUpdate applies the basis change for entering column `enter`
-// replacing the variable basic in row `leave`, with the entering
-// variable moving by `step` (in shifted space, signed) from its
-// current bound value; d must hold B^{-1}·A_enter. leaveAtUpper
-// records the bound the leaving variable departs at.
-//
-// The factorization absorbs the pivot as an update (product-form row
-// update for the dense inverse, an eta append for LU); when the
-// update is refused on stability grounds or the representation asks
-// for its periodic rebuild, the basis is refactorized at this pivot
-// boundary and xb recomputed exactly. Returns refactored=true in
-// that case so callers maintaining incremental state (the dual's
-// multipliers) recompute it too.
-func (r *Revised) pivotUpdate(leave, enter int, d []float64, step float64, leaveAtUpper bool) (refactored bool) {
-	leaveCol := r.basis[leave]
-	newVal := r.nonbasicValue(enter) + step
-	ftol := r.feasTol()
-	okUpd := r.fac.update(leave, d, false)
-	for i := 0; i < r.m; i++ {
-		if i == leave {
-			continue
-		}
-		f := d[i]
-		if f == 0 {
-			continue
-		}
-		r.xb[i] -= step * f
-		r.clampXB(i, ftol)
-	}
-	r.inBasis[leaveCol] = false
-	r.atUpper[leaveCol] = leaveAtUpper && r.U[leaveCol] > 0 && !math.IsInf(r.U[leaveCol], 1)
-	r.basis[leave] = enter
-	r.inBasis[enter] = true
-	r.atUpper[enter] = false
-	r.xb[leave] = newVal
-	r.stats.Pivots++
-	if !okUpd {
-		// The representation refused the update as numerically unsafe:
-		// rebuild from the (new) basis instead. If the rebuild fails
-		// right now, fall back to force-applying the update — it is
-		// exact algebra against the pre-pivot factorization — and
-		// retry the rebuild after another batch of pivots.
-		if r.refactorize() {
-			r.computeXB()
-			return true
-		}
-		r.fac.update(leave, d, true)
-		r.fac.deferRefactor()
-		return false
-	}
-	if r.fac.shouldRefactor() {
-		if r.refactorize() {
-			r.computeXB()
-			return true
-		}
-		// Singular at the checkpoint: keep running on the updated
-		// factorization and only retry after another batch of pivots
-		// instead of on every pivot.
-		r.fac.deferRefactor()
-	}
-	return false
-}
-
-// boundFlip moves nonbasic column j across its box to the opposite
-// bound — the pivot-free move of the bounded-variable simplex; d must
-// hold B^{-1}·A_j and dir the direction of travel (+1 from lower to
-// upper, -1 back).
-func (r *Revised) boundFlip(j int, d []float64, dir float64) {
-	step := dir * r.U[j]
-	ftol := r.feasTol()
-	for i := 0; i < r.m; i++ {
-		if d[i] == 0 {
-			continue
-		}
-		r.xb[i] -= step * d[i]
-		r.clampXB(i, ftol)
-	}
-	r.atUpper[j] = !r.atUpper[j]
-	r.stats.BoundFlips++
-}
-
-// boundedObjective evaluates costs over the full bounded state:
-// basic values plus the nonbasic columns resting at upper bounds
-// (used for stall detection only, so the lower-bound shift constant
-// is irrelevant).
-func (r *Revised) boundedObjective(costs []float64) float64 {
-	obj := 0.0
-	for i, bj := range r.basis {
-		obj += costs[bj] * r.xb[i]
-	}
-	for j := 0; j < r.nstruct; j++ {
-		if r.atUpper[j] && costs[j] != 0 {
-			obj += costs[j] * r.U[j]
-		}
-	}
-	return obj
-}
-
-// signedMultipliers computes ys with ys[i] = (c_B·B^{-1})_i * sign[i],
-// ready for sparse pricing against the stored (unsigned) columns —
-// a BTRAN of the basic cost vector.
-func (r *Revised) signedMultipliers(costs []float64, ys []float64) {
-	for i, bj := range r.basis {
-		ys[i] = costs[bj]
-	}
-	r.fac.btran(ys)
-	for i := range ys {
-		ys[i] *= r.sign[i]
-	}
-}
-
-// devexResetLimit triggers a reference-framework reset when any devex
-// weight outgrows it; the framework then restarts from the current
-// basis with unit weights, the standard guard against the
-// approximation drifting arbitrarily far from true steepest edge.
-const devexResetLimit = 1e7
-
-// resetDevexCols restarts the primal reference framework.
-func (r *Revised) resetDevexCols() {
-	for j := range r.dwCol {
-		r.dwCol[j] = 1
-	}
-}
-
-// resetDevexRows restarts the dual reference framework.
-func (r *Revised) resetDevexRows() {
-	for i := range r.dwRow {
-		r.dwRow[i] = 1
-	}
-}
-
-// updateDevexCols applies the primal devex weight update after a
-// pivot: rho must hold the (pre-pivot) leaving row of B^{-1}, aq the
-// pivot element d_leave, wq the entering column's weight and leaveCol
-// the column that left the basis. For every nonbasic candidate j the
-// reference weight becomes max(w_j, (α_rj/α_rq)²·w_q) with α_rj the
-// pivot-row entry — one sparse pricing pass against rho.
-func (r *Revised) updateDevexCols(rho []float64, aq, wq float64, enter, leaveCol int) {
-	ws := r.ws
-	for i := 0; i < r.m; i++ {
-		ws[i] = rho[i] * r.sign[i]
-	}
-	aq2 := aq * aq
-	maxW := 0.0
-	upd := func(j int) {
-		if r.inBasis[j] || j == enter || r.U[j] <= 0 {
-			return
-		}
-		alpha := r.colDotSigned(ws, j)
-		if alpha == 0 {
-			return
-		}
-		if cand := alpha * alpha / aq2 * wq; cand > r.dwCol[j] {
-			r.dwCol[j] = cand
-			if cand > maxW {
-				maxW = cand
-			}
-		}
-	}
-	// Only columns intersecting the leaving row's support can have a
-	// nonzero pivot-row entry; walk them via the CSR view when the
-	// row is sparse, exactly like the dual's entering pass.
-	if cands, ok := r.dualCandidates(ws); ok {
-		for _, j32 := range cands {
-			upd(int(j32))
-		}
-	} else {
-		for j := 0; j < r.artStart; j++ {
-			upd(j)
-		}
-	}
-	w := math.Max(wq/aq2, 1)
-	r.dwCol[leaveCol] = w
-	if w > maxW {
-		maxW = w
-	}
-	if maxW > devexResetLimit {
-		r.resetDevexCols()
-	}
-}
-
-// primal runs the revised primal simplex with the given cost vector
-// under the bounded-variable rules: a nonbasic column at its lower
-// bound enters increasing on a positive reduced cost, one at its
-// upper bound enters decreasing on a negative reduced cost, and an
-// entering column blocked first by its own opposite bound flips
-// without a pivot. Entering candidates are the non-artificial
-// columns; artificials may only leave the basis.
-//
-// Pricing is devex over a reference framework reset at entry: among
-// eligible candidates the one maximizing c̄²/w enters, approximating
-// steepest-edge descent at Dantzig cost; Bland's rule takes over on
-// objective stalls exactly as before.
-func (r *Revised) primal(costs []float64) (Status, error) {
-	maxIters := 200*(r.m+r.ncols) + 20000
-	bland := false
-	stall := 0
-	lastObj := math.Inf(-1)
-	ys, d := r.ys, r.d
-	r.resetDevexCols()
-	for iter := 0; iter < maxIters; iter++ {
-		r.signedMultipliers(costs, ys)
-		enter := -1
-		dir := 1.0
-		if bland {
-			for j := 0; j < r.artStart; j++ {
-				if r.inBasis[j] || r.U[j] <= 0 {
-					continue
-				}
-				cbar := costs[j] - r.colDotSigned(ys, j)
-				if !r.atUpper[j] && cbar > eps {
-					enter, dir = j, 1
-					break
-				}
-				if r.atUpper[j] && cbar < -eps {
-					enter, dir = j, -1
-					break
-				}
-			}
-		} else {
-			best := 0.0
-			for j := 0; j < r.artStart; j++ {
-				if r.inBasis[j] || r.U[j] <= 0 {
-					continue
-				}
-				cbar := costs[j] - r.colDotSigned(ys, j)
-				if r.atUpper[j] {
-					cbar = -cbar
-				}
-				if cbar <= eps {
-					continue
-				}
-				if score := cbar * cbar / r.dwCol[j]; score > best {
-					best = score
-					enter = j
-					if r.atUpper[j] {
-						dir = -1
-					} else {
-						dir = 1
-					}
-				}
-			}
-		}
-		if enter == -1 {
-			return Optimal, nil
-		}
-		r.direction(enter, d)
-		leave, leaveAtUpper, t := r.primalRatioTest(d, dir)
-		switch {
-		case leave == -1 && math.IsInf(r.U[enter], 1):
-			return Unbounded, nil
-		case leave == -1 || r.U[enter] <= t:
-			// The entering column reaches its opposite bound before
-			// any basic column blocks: flip, no pivot.
-			r.boundFlip(enter, d, dir)
-		default:
-			// Capture the pre-pivot leaving row and pivot element for
-			// the devex update before the factorization moves on.
-			r.fac.btranRow(leave, r.rho)
-			aq, wq, leaveCol := d[leave], r.dwCol[enter], r.basis[leave]
-			r.pivotUpdate(leave, enter, d, dir*t, leaveAtUpper)
-			r.stats.PrimalPivots++
-			r.dseOK = false // dual steepest-edge weights now stale
-			r.updateDevexCols(r.rho, aq, wq, enter, leaveCol)
-		}
-		obj := r.boundedObjective(costs)
-		if obj <= lastObj+eps {
-			stall++
-			if stall >= stallLimit {
-				bland = true
-			}
-		} else {
-			stall = 0
-			bland = false
-		}
-		lastObj = obj
-	}
-	return Optimal, ErrIterationLimit
-}
-
-// primalRatioTest picks the leaving row for the entering direction d
-// traveled in direction dir, or -1 when no basic column blocks (the
-// entering column is then limited only by its own opposite bound, or
-// unbounded). The test is two-sided: a basic column blocks when it
-// hits its lower bound (delta > 0) or its finite upper bound
-// (delta < 0); the returned flag records which. Ties break toward
-// the smallest basic column (Bland-compatible). Zero-valued basic
-// artificials with a usable nonzero component are forced out first
-// so they can never turn positive again during phase 2; "usable"
-// requires the implied entering value |xb/d| to be negligible, so a
-// near-eps pivot under a small positive residue can never catapult
-// the entering variable to a macroscopic out-of-box value.
-func (r *Revised) primalRatioTest(d []float64, dir float64) (leave int, atUpper bool, t float64) {
-	ftol := r.feasTol()
-	best := -1
-	bestUpper := false
-	bestRatio := math.Inf(1)
-	for i := 0; i < r.m; i++ {
-		if r.basis[i] >= r.artStart && r.xb[i] <= ftol && math.Abs(d[i]) > eps &&
-			math.Abs(r.xb[i]) <= math.Abs(d[i])*ftol {
-			return i, false, 0 // degenerate pivot: eject the artificial now
-		}
-		delta := dir * d[i]
-		var ratio float64
-		var hitsUpper bool
-		switch {
-		case delta > eps:
-			ratio = r.xb[i] / delta
-			if ratio < 0 {
-				ratio = 0
-			}
-		case delta < -eps:
-			u := r.U[r.basis[i]]
-			if math.IsInf(u, 1) {
-				continue
-			}
-			ratio = (u - r.xb[i]) / -delta
-			if ratio < 0 {
-				ratio = 0
-			}
-			hitsUpper = true
-		default:
-			continue
-		}
-		if ratio < bestRatio-eps || (ratio < bestRatio+eps && (best == -1 || r.basis[i] < r.basis[best])) {
-			bestRatio = ratio
-			best = i
-			bestUpper = hitsUpper
-		}
-	}
-	return best, bestUpper, bestRatio
-}
-
-// dual runs the revised dual simplex: starting dual-feasible, it
-// restores primal feasibility after an RHS or bound mutation. A basic
-// column may violate either side of its box; the entering ratio test
-// prices nonbasic columns on the matching side (at-lower columns
-// with nonpositive, at-upper columns with nonnegative reduced costs)
-// so dual feasibility is preserved. Returns Infeasible when the dual
-// is unbounded (= the primal constraints admit no solution), Optimal
-// when xb is feasible.
-//
-// The leaving row is chosen by dual devex: among box-violating basics
-// the one maximizing violation²/w leaves, where the reference weights
-// w approximate ‖eᵢᵀB⁻¹‖² and are updated for free from the entering
-// direction each pivot. Bland's rule takes over on stalls.
-func (r *Revised) dual(costs []float64) (Status, error) {
-	// The dual only ever runs as a warm restart, and a restart is
-	// worth at most a few sweeps of the basis in pivots: past that the
-	// old basis carries no useful information and the caller's cold
-	// fallback — whose early pivots on a fresh all-singleton
-	// factorization are far cheaper — wins. A budget proportional to
-	// the instance (warmPivotBudget) turns the rare degenerate grind
-	// into an ErrIterationLimit that SolveFrom converts into that
-	// fallback.
-	maxIters := r.warmPivotBudget()
-	ys, ws, d, rho := r.ys, r.ws, r.d, r.rho
-	bland := false
-	stall := 0
-	sinceBest := 0
-	lastInfeas := math.Inf(1)
-	minInfeas := math.Inf(1)
-	dse := r.useDSE
-	if dse {
-		// Exact steepest-edge weights persist across warm solves as
-		// long as only the dual itself has pivoted (the recurrence is
-		// exact); anything else invalidated them and they restart from
-		// unit values — exact for the cold diagonal basis, and
-		// self-correcting elsewhere because the pivot row's weight is
-		// recomputed from ρ_r every pivot.
-		if !r.dseOK {
-			for i := range r.dseW {
-				r.dseW[i] = 1
-			}
-			r.dseOK = true
-			r.stats.DSEWeightResets++
-		}
-	} else {
-		r.resetDevexRows()
-	}
-	// The simplex multipliers move by a multiple of the leaving row of
-	// B^{-1} per dual pivot (y' = y + γ·ρ_r, γ = c̄_enter/d_leave), so
-	// they are maintained incrementally — O(m) per iteration instead
-	// of a BTRAN from scratch — and recomputed exactly whenever
-	// pivotUpdate refactorizes, which bounds the drift the same way it
-	// bounds the factorization's.
-	r.signedMultipliers(costs, ys)
-	for iter := 0; iter < maxIters; iter++ {
-		ftol := r.feasTol()
-		leave := -1
-		below := false
-		if bland {
-			// Bland's rule needs the smallest *variable* index among
-			// the violating basics (row order is not a valid
-			// anti-cycling order).
-			for i := 0; i < r.m; i++ {
-				isBelow := r.xb[i] < -ftol
-				above := false
-				if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u+ftol {
-					above = true
-				}
-				if (isBelow || above) && (leave == -1 || r.basis[i] < r.basis[leave]) {
-					leave, below = i, isBelow
-				}
-			}
-		} else {
-			// Leaving row maximizes violation²/γ_i — exact steepest
-			// edge under DSE, the devex approximation otherwise.
-			wrow := r.dwRow
-			if dse {
-				wrow = r.dseW
-			}
-			bestScore := 0.0
-			for i := 0; i < r.m; i++ {
-				v := -r.xb[i]
-				isBelow := true
-				if u := r.U[r.basis[i]]; !math.IsInf(u, 1) {
-					if above := r.xb[i] - u; above > v {
-						v, isBelow = above, false
-					}
-				}
-				if v <= ftol {
-					continue
-				}
-				if score := v * v / wrow[i]; score > bestScore {
-					bestScore, leave, below = score, i, isBelow
-				}
-			}
-		}
-		if leave == -1 {
-			return Optimal, nil
-		}
-		viol := -r.xb[leave]
-		if !below {
-			viol = r.xb[leave] - r.U[r.basis[leave]]
-		}
-		// rho = e_leave·B^{-1}; ws is rho sign-normalized for sparse
-		// pricing and oriented so eligible columns always price out
-		// negative for at-lower and positive for at-upper candidates.
-		r.fac.btranRow(leave, rho)
-		amult := 1.0
-		if !below {
-			amult = -1
-		}
-		for i := 0; i < r.m; i++ {
-			ws[i] = amult * rho[i] * r.sign[i]
-		}
-		// Entering ratio test, Harris two-pass style: pass 1 finds the
-		// tightest relaxed breakpoint rmax = min(ratio_j + dtol/|α_j|);
-		// pass 2 enters the candidate with the largest |α| among those
-		// with ratio_j ≤ rmax. The dtol slack (the same tolerance
-		// dualFeasible accepts) lets near-tied — typically degenerate —
-		// breakpoints trade a ≤dtol reduced-cost violation for a
-		// well-scaled pivot, which both stabilizes the eta file and
-		// cuts the degenerate mini-steps that dominate restarts on
-		// degenerate-heavy platforms. Under Bland's rule the strict
-		// smallest-index min-ratio test is kept (its termination
-		// argument needs it).
-		enter := -1
-		enterCbar := 0.0
-		dtol := r.dualTol()
-		rmax := math.Inf(1)
-		bestRatio := math.Inf(1)
-		nc := 0
-		cJ, cAlpha, cRatio, cRaw := r.dcJ[:0], r.dcAlpha[:0], r.dcRatio[:0], r.dcRaw[:0]
-		price := func(j int, alpha float64) {
-			if r.inBasis[j] || r.U[j] <= 0 {
-				return
-			}
-			var ratio, raw float64
-			if !r.atUpper[j] {
-				if alpha >= -eps {
-					return
-				}
-				raw = costs[j] - r.colDotSigned(ys, j)
-				cbar := raw
-				if cbar > 0 {
-					cbar = 0 // dual-feasibility roundoff slop
-				}
-				ratio = cbar / alpha
-			} else {
-				if alpha <= eps {
-					return
-				}
-				raw = costs[j] - r.colDotSigned(ys, j)
-				cbar := raw
-				if cbar < 0 {
-					cbar = 0 // dual-feasibility roundoff slop
-				}
-				ratio = cbar / alpha
-			}
-			a := alpha
-			if a < 0 {
-				a = -a
-			}
-			if bland {
-				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (enter == -1 || j < enter)) {
-					bestRatio = ratio
-					enter = j
-					enterCbar = raw
-				}
-				return
-			}
-			if rel := ratio + dtol/a; rel < rmax {
-				rmax = rel
-			}
-			cJ = append(cJ, int32(j))
-			cAlpha = append(cAlpha, a)
-			cRatio = append(cRatio, ratio)
-			cRaw = append(cRaw, raw)
-			nc++
-		}
-		if cands, ok := r.dualCandidates(ws); ok {
-			// α was accumulated during the candidate row walk; the CSC
-			// store is not touched again.
-			for _, j32 := range cands {
-				price(int(j32), r.candAlpha[j32])
-			}
-		} else {
-			for j := 0; j < r.artStart; j++ {
-				price(j, r.colDotSigned(ws, j))
-			}
-		}
-		if !bland {
-			r.dcJ, r.dcAlpha, r.dcRatio, r.dcRaw = cJ, cAlpha, cRatio, cRaw
-			if r.bfrt {
-				// Bound-flipping (long-step) variant: walk the
-				// breakpoints in ratio order, flipping boxed candidates
-				// whose passing keeps the leaving row violating, and
-				// enter at the first breakpoint that would restore it.
-				enter, enterCbar = r.dualEnterFlips(nc, viol, dtol)
-			} else {
-				bestA := 0.0
-				for t := 0; t < nc; t++ {
-					if cRatio[t] <= rmax && (cAlpha[t] > bestA || (cAlpha[t] == bestA && enter != -1 && int(cJ[t]) < enter)) {
-						bestA = cAlpha[t]
-						enter = int(cJ[t])
-						enterCbar = cRaw[t]
-					}
-				}
-			}
-		}
-		if enter == -1 {
-			return Infeasible, nil
-		}
-		r.direction(enter, d)
-		target := 0.0
-		if !below {
-			target = r.U[r.basis[leave]]
-		}
-		step := (r.xb[leave] - target) / d[leave]
-		// Multiplier update with the pre-pivot leaving row; the raw
-		// (unclamped) reduced cost keeps y'·A_enter = c_enter exact.
-		if gamma := enterCbar / d[leave]; gamma != 0 {
-			for i := 0; i < r.m; i++ {
-				ys[i] += gamma * rho[i] * r.sign[i]
-			}
-		}
-		if dse {
-			// Forrest–Goldfarb exact steepest-edge update, against the
-			// pre-pivot basis: γ_r is recomputed exactly as ‖ρ_r‖² (the
-			// stored weight served pricing only, so the recurrence
-			// self-corrects), τ = B⁻¹ρ_r costs the one extra FTRAN this
-			// pricing scheme is known for, and then
-			//
-			//	γ_i ← γ_i − 2(d_i/d_r)·τ_i + (d_i/d_r)²·γ_r   (i ≠ r)
-			//	γ_r ← γ_r/d_r²
-			//
-			// is the exact new ‖e_iᵀB⁻¹‖² for every row.
-			gr := 0.0
-			for i := 0; i < r.m; i++ {
-				gr += rho[i] * rho[i]
-			}
-			tau := r.tau
-			copy(tau, rho)
-			r.fac.ftran(tau)
-			dr := d[leave]
-			finite := true
-			for i := 0; i < r.m; i++ {
-				if i == leave || d[i] == 0 {
-					continue
-				}
-				q := d[i] / dr
-				g := r.dseW[i] - 2*q*tau[i] + q*q*gr
-				if g < dseFloor {
-					g = dseFloor // exact value is ‖ρ_i − q·ρ_r‖² ≥ 0: roundoff
-				}
-				if math.IsNaN(g) || math.IsInf(g, 0) {
-					finite = false
-					break
-				}
-				r.dseW[i] = g
-			}
-			gl := gr / (dr * dr)
-			if gl < dseFloor {
-				gl = dseFloor
-			}
-			r.dseW[leave] = gl
-			if !finite || math.IsNaN(gl) || math.IsInf(gl, 0) {
-				for i := range r.dseW {
-					r.dseW[i] = 1
-				}
-				r.stats.DSEWeightResets++
-			}
-		} else {
-			// Dual devex weight update — free, from the entering
-			// direction: w_i ← max(w_i, (d_i/d_r)²·w_r) for the staying
-			// rows, and the pivot row restarts at max(w_r/d_r², 1).
-			dr2 := d[leave] * d[leave]
-			wr := r.dwRow[leave]
-			maxW := 0.0
-			for i := 0; i < r.m; i++ {
-				if i == leave || d[i] == 0 {
-					continue
-				}
-				if cand := d[i] * d[i] / dr2 * wr; cand > r.dwRow[i] {
-					r.dwRow[i] = cand
-					if cand > maxW {
-						maxW = cand
-					}
-				}
-			}
-			r.dwRow[leave] = math.Max(wr/dr2, 1)
-			if maxW > devexResetLimit {
-				r.resetDevexRows()
-			}
-		}
-		refac := r.pivotUpdate(leave, enter, d, step, !below)
-		r.stats.DualPivots++
-		if refac {
-			// pivotUpdate hit a refactorization checkpoint: the
-			// factorization was rebuilt, so refresh the multipliers
-			// exactly too.
-			r.signedMultipliers(costs, ys)
-		}
-		infeas := 0.0
-		for i := 0; i < r.m; i++ {
-			if r.xb[i] < 0 {
-				infeas -= r.xb[i]
-			} else if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u {
-				infeas += r.xb[i] - u
-			}
-		}
-		if infeas >= lastInfeas-eps {
-			stall++
-			if stall >= stallLimit {
-				bland = true
-			}
-			// A restart that cannot push total infeasibility to a new
-			// low across several Bland episodes is degenerate-cycling
-			// territory; past that point the cold fallback's fresh
-			// phase-1/phase-2 start tends to win. The window is wider
-			// than it was over the dense inverse: a factorized dual
-			// pivot costs about the same as a cold-solve pivot now,
-			// so persisting beats abandoning up to a few cold-solve
-			// equivalents of work.
-			if infeas >= minInfeas-eps {
-				sinceBest++
-				if sinceBest >= 8*stallLimit {
-					return Optimal, ErrIterationLimit
-				}
-			}
-		} else {
-			stall = 0
-			bland = false
-		}
-		if infeas < minInfeas-eps {
-			minInfeas = infeas
-			sinceBest = 0
-		}
-		lastInfeas = infeas
-	}
-	return Optimal, ErrIterationLimit
-}
-
-// dseFloor is the positive floor for exact steepest-edge weights: the
-// recurrence computes ‖e_iᵀB⁻¹‖² ≥ 0 exactly, so anything at or below
-// zero is roundoff and is clamped rather than allowed to blow up a
-// later violation²/γ score.
-const dseFloor = 1e-10
-
-// dualEnterFlips is the bound-flipping (long-step) dual ratio test
-// over the breakpoints the pricing pass collected into the dc*
-// buffers. Walking the breakpoints in ratio order, a boxed candidate
-// whose breakpoint is passed need not enter: flipping it to its
-// opposite bound moves the leaving row's value by |α_j|·U_j toward
-// feasibility and keeps the dual objective's ascent going with a
-// smaller slope. The walk flips candidates while the leaving row
-// still violates by more than the feasibility tolerance and enters
-// at the first breakpoint that would restore it (with the same
-// largest-|α|-within-dual-tolerance tie group the Harris test uses);
-// all accumulated flips are applied with one aggregated FTRAN. When
-// every breakpoint is a finite flip and flipping them all still
-// leaves the row violating, the dual is unbounded along this row —
-// the primal is infeasible — and enter = -1 is returned with no flip
-// applied. One long step therefore traverses what devex-era pivots
-// crossed one degenerate mini-step at a time.
-func (r *Revised) dualEnterFlips(nc int, viol, dtol float64) (enter int, enterCbar float64) {
-	cJ, cAlpha, cRatio, cRaw := r.dcJ, r.dcAlpha, r.dcRatio, r.dcRaw
-	// The walk consumes breakpoints in ascending ratio order but
-	// typically stops after a handful, so a lazy min-heap (O(nc)
-	// heapify + O(log nc) per consumed breakpoint) replaces a full
-	// O(nc log nc) sort — on degenerate instances this ratio test runs
-	// every dual pivot and the sort dominated the pivot's profile.
-	heap := r.bfOrder[:0]
-	for t := 0; t < nc; t++ {
-		heap = append(heap, int32(t))
-	}
-	r.bfOrder = heap
-	for root := nc/2 - 1; root >= 0; root-- {
-		siftDownIdxMin(heap, cRatio, root, nc)
-	}
-	ftol := r.feasTol()
-	slope := viol
-	// Flipped candidates collect at the tail of the buffer, in the
-	// slots the shrinking heap frees; heap[:n] stays the unflipped set.
-	n := nc
-	stop := int32(-1)
-	for n > 0 {
-		t := heap[0]
-		u := r.U[cJ[t]]
-		if math.IsInf(u, 1) || slope-cAlpha[t]*u <= ftol {
-			stop = t
-			break
-		}
-		slope -= cAlpha[t] * u
-		n--
-		heap[0] = heap[n]
-		heap[n] = t
-		siftDownIdxMin(heap, cRatio, 0, n)
-	}
-	if stop < 0 {
-		return -1, 0
-	}
-	stopRatio := cRatio[stop]
-	bestA := 0.0
-	pick := stop
-	// Harris tie group: largest |α| among the unflipped candidates
-	// within dual tolerance of the stop ratio. The (α, j) comparison is
-	// a total order, so scanning the heap array unsorted picks the same
-	// winner the sorted suffix scan did.
-	for _, t := range heap[:n] {
-		if cRatio[t] > stopRatio+dtol/cAlpha[t] {
-			continue
-		}
-		if cAlpha[t] > bestA || (cAlpha[t] == bestA && cJ[t] < cJ[pick]) {
-			bestA = cAlpha[t]
-			pick = t
-		}
-	}
-	if n < nc {
-		r.applyBoundFlips(heap[n:])
-	}
-	return int(cJ[pick]), cRaw[pick]
-}
-
-// applyBoundFlips flips each breakpoint candidate in idxs (indices
-// into the dc* buffers) across its box and applies their aggregate
-// effect on the basic values with a single FTRAN:
-// xb -= B⁻¹·Σ_j ±U_j·A_j.
-func (r *Revised) applyBoundFlips(idxs []int32) {
-	agg := r.acc
-	for i := range agg {
-		agg[i] = 0
-	}
-	for _, t := range idxs {
-		j := int(r.dcJ[t])
-		du := r.U[j]
-		if r.atUpper[j] {
-			du = -du
-		}
-		r.atUpper[j] = !r.atUpper[j]
-		r.effCol(j, func(i int, v float64) {
-			agg[i] += v * du
-		})
-		r.stats.BoundFlips++
-	}
-	r.fac.ftran(agg)
-	ftol := r.feasTol()
-	for i := 0; i < r.m; i++ {
-		if agg[i] != 0 {
-			r.xb[i] -= agg[i]
-			r.clampXB(i, ftol)
-		}
-	}
-}
-
-// siftDownIdxMin restores the min-heap property (keyed ascending by
-// key[idx[t]]) on idx[:n] from root down, without allocating
-// (sort.Slice's closure would defeat the ephemeral-solve
-// zero-allocation warm path).
-func siftDownIdxMin(idx []int32, key []float64, root, n int) {
-	for {
-		child := 2*root + 1
-		if child >= n {
-			return
-		}
-		if child+1 < n && key[idx[child+1]] < key[idx[child]] {
-			child++
-		}
-		if key[idx[root]] <= key[idx[child]] {
-			return
-		}
-		idx[root], idx[child] = idx[child], idx[root]
-		root = child
-	}
-}
-
-// dualFeasible reports whether every nonbasic non-artificial column
-// prices out on the right side for its bound (within tolerance)
-// under costs — nonpositive at a lower bound, nonnegative at an
-// upper bound — the precondition for restarting with the dual
-// simplex. Fixed (U = 0) columns cannot move and are exempt.
-func (r *Revised) dualFeasible(costs []float64) bool {
-	ys := r.ys
-	r.signedMultipliers(costs, ys)
-	tol := r.dualTol()
-	for j := 0; j < r.artStart; j++ {
-		if r.inBasis[j] || r.U[j] <= 0 {
-			continue
-		}
-		cbar := costs[j] - r.colDotSigned(ys, j)
-		if !r.atUpper[j] && cbar > tol {
-			return false
-		}
-		if r.atUpper[j] && cbar < -tol {
-			return false
-		}
-	}
-	return true
-}
-
-func (r *Revised) primalFeasible() bool {
-	ftol := r.feasTol()
-	for i := 0; i < r.m; i++ {
-		if r.xb[i] < -ftol {
-			return false
-		}
-		if u := r.U[r.basis[i]]; !math.IsInf(u, 1) && r.xb[i] > u+ftol {
-			return false
-		}
-	}
-	return true
-}
-
-// artificialResidue sums the values of basic artificial variables.
-func (r *Revised) artificialResidue() float64 {
-	sum := 0.0
-	for i, bj := range r.basis {
-		if bj >= r.artStart && r.xb[i] > 0 {
-			sum += r.xb[i]
-		}
-	}
-	return sum
-}
-
-// driveOutArtificials ejects every basic artificial that admits a
-// well-scaled pivot on a real column (a degenerate pivot, since phase
-// 1 left them at ~zero value); artificials in genuinely redundant
-// rows stay basic and harmless — every entering direction has a zero
-// component there. The pivot column is the one with the largest
-// |pivot element| and must keep the implied entering value |xb/d|
-// negligible, mirroring primalRatioTest's guard: ejection is an
-// optimization, never worth corrupting feasibility over.
-func (r *Revised) driveOutArtificials() {
-	ws, d, rho := r.ws, r.d, r.rho
-	ftol := r.feasTol()
-	for i := 0; i < r.m; i++ {
-		if r.basis[i] < r.artStart || r.xb[i] > ftol {
-			continue
-		}
-		r.fac.btranRow(i, rho)
-		for t := 0; t < r.m; t++ {
-			ws[t] = rho[t] * r.sign[t]
-		}
-		enter := -1
-		bestPiv := eps
-		for j := 0; j < r.artStart; j++ {
-			if r.inBasis[j] {
-				continue
-			}
-			if a := math.Abs(r.colDotSigned(ws, j)); a > bestPiv {
-				bestPiv = a
-				enter = j
-			}
-		}
-		if enter == -1 || math.Abs(r.xb[i]) > bestPiv*ftol {
-			continue
-		}
-		r.direction(enter, d)
-		r.pivotUpdate(i, enter, d, r.xb[i]/d[i], false)
-		r.dseOK = false
-	}
 }

@@ -1,0 +1,27 @@
+package multiapp
+
+// ModelView is a forked solve context over a multi-application Model,
+// mirroring core.ModelView: a shallow copy of the parent whose mutable
+// state (LP problem, solver context, link budgets, warm basis slot) is
+// private, while the frozen index structures stay shared read-only.
+// Capacity mutators and CaptureState/RestoreState are inherited from
+// Model and write only to the view; Solve warm-starts from the basis
+// the view inherited from its parent. Views of one parent may solve
+// concurrently — they share only read-only state.
+type ModelView struct {
+	Model
+}
+
+// ForkView returns a new view of the model in O(rows + nonzeros).
+// The receiver must have solved at least once.
+func (m *Model) ForkView() (*ModelView, error) {
+	frev, err := m.rev.Fork()
+	if err != nil {
+		return nil, err
+	}
+	v := &ModelView{Model: *m}
+	v.Model.rev = frev
+	v.Model.prob = frev.Problem()
+	v.Model.budget = append([]float64(nil), m.budget...)
+	return v, nil
+}

@@ -1,0 +1,243 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/platform"
+)
+
+// This file is the batched what-if engine: N hypotheticals against
+// one warm session in a single call, answered over forked solve
+// contexts (core.Model.ForkView over lp.Revised.Fork) instead of
+// serialized behind the session mutex.
+//
+// The flow: decode once, dedupe identical queries by the same
+// canonical-JSON key the single-query endpoint's in-flight coalescing
+// uses, validate every distinct query and fork a bounded pool of
+// views under the session lock, release the lock, fan the distinct
+// queries out over the views (static round-robin, so the assignment —
+// and with it the whole response — is deterministic), and finally
+// merge every view's solver counters back into the session aggregate.
+// The session lock is held only for validation and forking, never for
+// solving: queries, epochs and single what-ifs proceed concurrently
+// with a running batch, and the batch's answers are pinned to the
+// committed state captured at its start.
+//
+// Batch reports are lean on purpose — verdict, value and bound, no
+// allocation tables, no stats snapshot — which makes the response a
+// pure function of (session state, queries) and therefore
+// byte-diffable between the HTTP endpoint and cmd/dlsched -batch.
+
+// defaultBatchWorkers is the fork-pool width when the request does
+// not set one. Four contexts keep the pool useful on multicore hosts
+// without ballooning per-batch fork cost on small sessions; the pool
+// is additionally capped by the number of distinct queries.
+const defaultBatchWorkers = 4
+
+// errEmptyBatch rejects batches with nothing to solve.
+var errEmptyBatch = errors.New("batch what-if: queries invalid (empty batch)")
+
+// WhatIfBatch answers every query in req against the session's
+// committed state. Identical queries (same canonical JSON after Relax
+// normalization) are solved once and shared, duplicates marked
+// Coalesced — the intra-batch analogue of the single-query endpoint's
+// in-flight coalescing, using the same key. Any invalid query fails
+// the whole batch before anything is solved.
+func (s *Session) WhatIfBatch(req *BatchWhatIfRequest) (*BatchWhatIfResponse, error) {
+	n := len(req.Queries)
+	if n == 0 {
+		return nil, errEmptyBatch
+	}
+
+	// Dedupe. Every batch query is answered as a relaxation, so Relax
+	// is normalized into the key: "relax:true" and an implied relax
+	// via bounds are the same solve.
+	assign := make([]int, n)
+	var distinct []*WhatIfRequest
+	var firstIdx []int
+	keys := make(map[string]int, n)
+	for i := range req.Queries {
+		q := req.Queries[i]
+		q.Relax = true
+		key, err := json.Marshal(&q)
+		if err != nil {
+			return nil, err
+		}
+		d, ok := keys[string(key)]
+		if !ok {
+			d = len(distinct)
+			keys[string(key)] = d
+			qq := q
+			distinct = append(distinct, &qq)
+			firstIdx = append(firstIdx, i)
+		}
+		assign[i] = d
+	}
+	nd := len(distinct)
+	workers := req.Workers
+	if workers <= 0 {
+		workers = defaultBatchWorkers
+	}
+	if workers > nd {
+		workers = nd
+	}
+	s.whatIfs.Add(uint64(nd))
+	s.coalesced.Add(uint64(n - nd))
+
+	// Validate every distinct query and fork the worker views under
+	// the session lock; the solves run outside it. The captured basis
+	// and epoch pin every answer to the committed state at batch
+	// start, whatever the session does concurrently.
+	s.mu.Lock()
+	epoch := s.epoch
+	basis := s.basis
+	plats := make([]*platform.Platform, nd)
+	var validRoutes map[core.Pair]bool
+	for d, q := range distinct {
+		epl, err := s.hypotheticalPlatform(q)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("batch query %d: %w", firstIdx[d], err)
+		}
+		plats[d] = epl
+		for _, b := range q.Bounds {
+			if validRoutes == nil {
+				validRoutes = make(map[core.Pair]bool)
+				for _, p := range s.model.BetaVars() {
+					validRoutes[p] = true
+				}
+			}
+			if !validRoutes[core.Pair{K: b.From, L: b.To}] {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("batch query %d: β bounds on route (%d,%d) with no β variable", firstIdx[d], b.From, b.To)
+			}
+		}
+	}
+	views := make([]*core.ModelView, workers)
+	for w := range views {
+		v, err := s.model.ForkView()
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("batch what-if: fork: %w", err)
+		}
+		views[w] = v
+	}
+	s.model.AbsorbSolverStats(lp.Stats{PeakForks: workers, Batches: 1, BatchMaxSize: n})
+	s.mu.Unlock()
+
+	// Fan out: worker w answers distinct queries w, w+W, w+2W, … on
+	// its own view, rolling the view back between queries. The static
+	// assignment (rather than a shared work queue) keeps the path each
+	// answer takes — and the bytes of the response — independent of
+	// goroutine scheduling.
+	type result struct {
+		rep *SolveReport
+		err error
+	}
+	results := make([]result, nd)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := views[w]
+			snap := v.CaptureState()
+			for d := w; d < nd; d += workers {
+				rep, err := s.viewWhatIf(v, snap, plats[d], distinct[d], basis, epoch)
+				results[d] = result{rep, err}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Fold each view's solve activity into the session aggregate, so
+	// /stats sees batched work exactly like serialized work.
+	s.mu.Lock()
+	for _, v := range views {
+		s.model.AbsorbSolverStats(v.SolverStats())
+	}
+	s.mu.Unlock()
+
+	for d := range results {
+		if results[d].err != nil {
+			return nil, fmt.Errorf("batch query %d: %w", firstIdx[d], results[d].err)
+		}
+	}
+	reports := make([]*SolveReport, n)
+	seen := make([]bool, nd)
+	for i, d := range assign {
+		if !seen[d] {
+			seen[d] = true
+			reports[i] = results[d].rep
+			continue
+		}
+		shared := *results[d].rep
+		shared.Coalesced = true
+		reports[i] = &shared
+	}
+	return &BatchWhatIfResponse{Reports: reports, Distinct: nd, Workers: workers, Epoch: epoch}, nil
+}
+
+// viewWhatIf answers one distinct batch query on a forked view:
+// inject the hypothetical capacities, install the β boxes, solve the
+// relaxation warm from the committed basis, and roll the view back to
+// snap. The report is the lean batch shape — no allocation tables, no
+// stats — so it is deterministic byte for byte.
+func (s *Session) viewWhatIf(v *core.ModelView, snap *core.CapacityState, epl *platform.Platform, q *WhatIfRequest, basis *lp.Basis, epoch int) (*SolveReport, error) {
+	defer v.RestoreState(snap)
+	if err := adapt.InjectCapacities(v, epl); err != nil {
+		return nil, err
+	}
+	v.ResetBounds()
+	for _, b := range q.Bounds {
+		if err := applyBound(v, b); err != nil {
+			return nil, err
+		}
+	}
+	bound, ok, err := v.SolveBound(basis)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SolveReport{
+		Heuristic: s.cfg.heur,
+		Objective: s.cfg.objName,
+		Relaxed:   true,
+		Epoch:     epoch,
+	}
+	if ok {
+		rep.Feasible = true
+		rep.Value = bound
+		rep.LPBound = bound
+	}
+	return rep, nil
+}
+
+// BatchWhatIf runs the batched what-if engine once without a server:
+// build the warm session exactly as Batch does, then answer the batch
+// against it. cmd/dlsched -batch uses it, so a CLI batch report and a
+// POST /sessions/{id}/whatif/batch response for the same platform,
+// configuration and queries are byte-identical.
+func BatchWhatIf(createReq *CreateSessionRequest, batchReq *BatchWhatIfRequest) (*BatchWhatIfResponse, error) {
+	cfg, err := parseConfig(createReq)
+	if err != nil {
+		return nil, err
+	}
+	if len(createReq.Platform) == 0 {
+		return nil, errors.New("missing platform")
+	}
+	pl, err := platform.Decode(createReq.Platform)
+	if err != nil {
+		return nil, err
+	}
+	sess, _, err := newSession(pl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sess.WhatIfBatch(batchReq)
+}

@@ -1,0 +1,305 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// batchMutations builds a deterministic mixed query set: speed,
+// gateway and link mutations plus occasional β boxes, cycling over
+// clusters so later queries revisit the same targets as earlier ones
+// with different values.
+func batchMutations(pl *platform.Platform, routes []core.Pair, n int) []WhatIfRequest {
+	K := pl.K()
+	links := len(pl.Links)
+	qs := make([]WhatIfRequest, n)
+	for i := range qs {
+		k := i % K
+		switch i % 4 {
+		case 0:
+			qs[i] = WhatIfRequest{Speeds: []ClusterValue{{Cluster: k, Value: 50 + float64(7*i%200)}}, Relax: true}
+		case 1:
+			qs[i] = WhatIfRequest{Gateways: []ClusterValue{{Cluster: k, Value: 40 + float64(11*i%150)}}, Relax: true}
+		case 2:
+			if links > 0 {
+				qs[i] = WhatIfRequest{Links: []LinkValue{{Link: i % links, MaxConnect: float64(1 + i%9)}}, Relax: true}
+			} else {
+				qs[i] = WhatIfRequest{Speeds: []ClusterValue{{Cluster: k, Value: 60 + float64(i)}}, Relax: true}
+			}
+		default:
+			if len(routes) > 0 {
+				p := routes[i%len(routes)]
+				qs[i] = WhatIfRequest{Bounds: []RouteBounds{{From: p.K, To: p.L, Lb: 0, Ub: float64(1 + i%3)}}}
+			} else {
+				qs[i] = WhatIfRequest{Gateways: []ClusterValue{{Cluster: k, Value: 70 + float64(i)}}, Relax: true}
+			}
+		}
+	}
+	return qs
+}
+
+// TestBatchWhatIfMatchesSerial pins the batched engine to the serial
+// endpoint: every batch report must equal the one-query what-if
+// answer for the same mutation at 1e-9, over HTTP.
+func TestBatchWhatIfMatchesSerial(t *testing.T) {
+	pl := testPlatform(t, 10, 7)
+	ts, pool := newTestServer(t, 2)
+	resp := createSession(t, ts, &CreateSessionRequest{Platform: platformJSON(t, pl)}, http.StatusCreated)
+	sess := pool.Get(resp.ID)
+	if sess == nil {
+		t.Fatal("session not pooled")
+	}
+	queries := batchMutations(pl, sess.model.BetaVars(), 24)
+
+	// Serial references through the one-query endpoint (Relax on, as
+	// the batch implies).
+	want := make([]*SolveReport, len(queries))
+	for i := range queries {
+		q := queries[i]
+		q.Relax = true
+		rep := &SolveReport{}
+		doJSON(t, ts.Client(), "POST", ts.URL+"/sessions/"+resp.ID+"/whatif", &q, rep, http.StatusOK)
+		want[i] = rep
+	}
+
+	var batch BatchWhatIfResponse
+	doJSON(t, ts.Client(), "POST", ts.URL+"/sessions/"+resp.ID+"/whatif/batch",
+		&BatchWhatIfRequest{Queries: queries}, &batch, http.StatusOK)
+	if len(batch.Reports) != len(queries) {
+		t.Fatalf("%d reports for %d queries", len(batch.Reports), len(queries))
+	}
+	if batch.Workers != defaultBatchWorkers {
+		t.Fatalf("workers %d, want default %d", batch.Workers, defaultBatchWorkers)
+	}
+	for i, rep := range batch.Reports {
+		if rep.Feasible != want[i].Feasible {
+			t.Fatalf("query %d: batch feasible=%v, serial %v", i, rep.Feasible, want[i].Feasible)
+		}
+		if !rep.Relaxed {
+			t.Fatalf("query %d: batch answer not marked relaxed", i)
+		}
+		if rep.Feasible && math.Abs(rep.LPBound-want[i].LPBound) > tol*(1+math.Abs(want[i].LPBound)) {
+			t.Fatalf("query %d: batch bound %.12g, serial %.12g", i, rep.LPBound, want[i].LPBound)
+		}
+		if rep.Alpha != nil || rep.BetaFrac != nil || rep.Stats != nil {
+			t.Fatalf("query %d: batch report not lean: %+v", i, rep)
+		}
+	}
+}
+
+// TestBatchWhatIfDedupe pins the intra-batch single-flight: a batch
+// with repeated queries solves each distinct mutation exactly once
+// (measured by the session's solve counters), duplicates share the
+// answer with Coalesced set.
+func TestBatchWhatIfDedupe(t *testing.T) {
+	pl := testPlatform(t, 8, 11)
+	sess, _, err := newSession(pl, sessionConfig{obj: core.MAXMIN, objName: "maxmin", heur: "lprg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const distinct = 4
+	const repeat = 3
+	var queries []WhatIfRequest
+	for r := 0; r < repeat; r++ {
+		for d := 0; d < distinct; d++ {
+			queries = append(queries, WhatIfRequest{
+				Speeds: []ClusterValue{{Cluster: d, Value: 90 + 10*float64(d)}},
+				// Half the duplicates spell Relax out, half leave it
+				// implied — the dedupe key normalizes it away.
+				Relax: r%2 == 0,
+			})
+		}
+	}
+
+	before := sess.SolverStats()
+	whatIfsBefore, coalescedBefore := sess.whatIfs.Load(), sess.coalesced.Load()
+	resp, err := sess.WhatIfBatch(&BatchWhatIfRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sess.SolverStats()
+
+	if resp.Distinct != distinct {
+		t.Fatalf("distinct %d, want %d", resp.Distinct, distinct)
+	}
+	solves := (after.WarmSolves + after.ColdSolves) - (before.WarmSolves + before.ColdSolves)
+	if solves != distinct {
+		t.Fatalf("batch performed %d solves for %d distinct mutations", solves, distinct)
+	}
+	if got := sess.whatIfs.Load() - whatIfsBefore; got != uint64(distinct) {
+		t.Fatalf("whatIfs counter advanced %d, want %d", got, distinct)
+	}
+	if got := sess.coalesced.Load() - coalescedBefore; got != uint64(len(queries)-distinct) {
+		t.Fatalf("coalesced counter advanced %d, want %d", got, len(queries)-distinct)
+	}
+	seen := make(map[int]bool)
+	for i, rep := range resp.Reports {
+		d := i % distinct
+		if seen[d] != rep.Coalesced {
+			t.Fatalf("report %d: coalesced=%v, want %v", i, rep.Coalesced, seen[d])
+		}
+		seen[d] = true
+		first := resp.Reports[d]
+		if rep.Feasible != first.Feasible || rep.Value != first.Value || rep.LPBound != first.LPBound {
+			t.Fatalf("report %d differs from its twin %d", i, d)
+		}
+	}
+
+	// Fork accounting: one batch, a pool capped at the distinct count,
+	// batch size recorded.
+	if after.Forks-before.Forks != resp.Workers {
+		t.Fatalf("forks advanced %d, want %d", after.Forks-before.Forks, resp.Workers)
+	}
+	if after.Batches-before.Batches != 1 {
+		t.Fatalf("batches advanced %d, want 1", after.Batches-before.Batches)
+	}
+	if after.PeakForks < resp.Workers || after.BatchMaxSize < len(queries) {
+		t.Fatalf("gauges PeakForks=%d BatchMaxSize=%d, want >= %d / %d",
+			after.PeakForks, after.BatchMaxSize, resp.Workers, len(queries))
+	}
+}
+
+// TestBatchWhatIfForkRace is the stress gate: 64 concurrent forks on
+// one K=20 session, mixing overlapping and disjoint mutations. Run
+// under -race this exercises the shared factorization; every fork's
+// bound must equal its serial what-if answer at 1e-9, and the parent
+// session must answer bit-identically afterwards.
+func TestBatchWhatIfForkRace(t *testing.T) {
+	pl := testPlatform(t, 20, 15)
+	sess, _, err := newSession(pl, sessionConfig{obj: core.MAXMIN, objName: "maxmin", heur: "lprg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := batchMutations(pl, sess.model.BetaVars(), 64)
+	// Make the tail overlap the head: same targets, different values.
+	for i := 48; i < 64; i++ {
+		q := queries[i-48]
+		q.Speeds = append([]ClusterValue(nil), q.Speeds...)
+		q.Gateways = append([]ClusterValue(nil), q.Gateways...)
+		for j := range q.Speeds {
+			q.Speeds[j].Value += 5
+		}
+		for j := range q.Gateways {
+			q.Gateways[j].Value += 5
+		}
+		queries[i] = q
+	}
+
+	want := make([]*SolveReport, len(queries))
+	for i := range queries {
+		q := queries[i]
+		q.Relax = true
+		if want[i], err = sess.WhatIf(&q); err != nil {
+			t.Fatalf("serial what-if %d: %v", i, err)
+		}
+	}
+
+	// The serial what-ifs above may legitimately move the parent's
+	// warm basis between optimal vertices; the batch must not move it
+	// at all. Bracket only the batch.
+	baseBefore, err := sess.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := sess.WhatIfBatch(&BatchWhatIfRequest{Queries: queries, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workers != resp.Distinct && resp.Workers != 64 {
+		t.Fatalf("workers %d, want min(64, distinct %d)", resp.Workers, resp.Distinct)
+	}
+	for i, rep := range resp.Reports {
+		if rep.Feasible != want[i].Feasible {
+			t.Fatalf("query %d: batch feasible=%v, serial %v", i, rep.Feasible, want[i].Feasible)
+		}
+		if rep.Feasible && math.Abs(rep.LPBound-want[i].LPBound) > tol*(1+math.Abs(want[i].LPBound)) {
+			t.Fatalf("query %d: batch bound %.12g, serial %.12g", i, rep.LPBound, want[i].LPBound)
+		}
+	}
+
+	baseAfter, err := sess.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(baseAfter.Value) != math.Float64bits(baseBefore.Value) ||
+		math.Float64bits(baseAfter.LPBound) != math.Float64bits(baseBefore.LPBound) {
+		t.Fatalf("parent disturbed by batch: value %x→%x bound %x→%x",
+			math.Float64bits(baseBefore.Value), math.Float64bits(baseAfter.Value),
+			math.Float64bits(baseBefore.LPBound), math.Float64bits(baseAfter.LPBound))
+	}
+}
+
+// TestBatchWhatIfDeterministic pins the byte-diffability contract:
+// two identical batch requests produce byte-identical response
+// bodies over HTTP.
+func TestBatchWhatIfDeterministic(t *testing.T) {
+	pl := testPlatform(t, 9, 21)
+	ts, pool := newTestServer(t, 2)
+	resp := createSession(t, ts, &CreateSessionRequest{Platform: platformJSON(t, pl)}, http.StatusCreated)
+	sess := pool.Get(resp.ID)
+	queries := batchMutations(pl, sess.model.BetaVars(), 17)
+	req := &BatchWhatIfRequest{Queries: queries}
+
+	status1, raw1, err := doJSONRaw(ts.Client(), "POST", ts.URL+"/sessions/"+resp.ID+"/whatif/batch", req)
+	if err != nil || status1 != http.StatusOK {
+		t.Fatalf("first batch: status %d err %v", status1, err)
+	}
+	status2, raw2, err := doJSONRaw(ts.Client(), "POST", ts.URL+"/sessions/"+resp.ID+"/whatif/batch", req)
+	if err != nil || status2 != http.StatusOK {
+		t.Fatalf("second batch: status %d err %v", status2, err)
+	}
+	if string(raw1) != string(raw2) {
+		t.Fatalf("batch responses differ between identical requests:\n%s\n---\n%s", raw1, raw2)
+	}
+}
+
+// TestBatchWhatIfErrors pins the all-or-nothing contract and the
+// client-error classification.
+func TestBatchWhatIfErrors(t *testing.T) {
+	pl := testPlatform(t, 6, 31)
+	ts, pool := newTestServer(t, 2)
+	resp := createSession(t, ts, &CreateSessionRequest{Platform: platformJSON(t, pl)}, http.StatusCreated)
+	sess := pool.Get(resp.ID)
+	url := ts.URL + "/sessions/" + resp.ID + "/whatif/batch"
+
+	before := sess.SolverStats()
+
+	// Empty batch.
+	status, _, err := doJSONRaw(ts.Client(), "POST", url, &BatchWhatIfRequest{})
+	if err != nil || status != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d err %v, want 400", status, err)
+	}
+
+	// One bad query fails the whole batch before anything solves.
+	queries := []WhatIfRequest{
+		{Speeds: []ClusterValue{{Cluster: 0, Value: 100}}},
+		{Speeds: []ClusterValue{{Cluster: 99, Value: 100}}},
+	}
+	status, raw, err := doJSONRaw(ts.Client(), "POST", url, &BatchWhatIfRequest{Queries: queries})
+	if err != nil || status != http.StatusBadRequest {
+		t.Fatalf("bad cluster: status %d err %v, want 400; body %s", status, err, raw)
+	}
+	var errResp ErrorResponse
+	if jsonErr := json.Unmarshal(raw, &errResp); jsonErr != nil || errResp.Error == "" {
+		t.Fatalf("bad cluster: undecodable error body %s", raw)
+	}
+	if want := "batch query 1"; !strings.Contains(errResp.Error, want) {
+		t.Fatalf("error %q does not name the offending query (%q)", errResp.Error, want)
+	}
+
+	after := sess.SolverStats()
+	if d := (after.WarmSolves + after.ColdSolves) - (before.WarmSolves + before.ColdSolves); d != 0 {
+		t.Fatalf("failed batches performed %d solves, want 0", d)
+	}
+	if after.Forks != before.Forks {
+		t.Fatalf("failed batches forked %d contexts, want 0", after.Forks-before.Forks)
+	}
+}

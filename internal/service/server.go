@@ -25,6 +25,7 @@ const maxBodyBytes = 16 << 20
 //	DELETE /sessions/{id}          evict
 //	POST   /sessions/{id}/query    committed allocation + objective (SolveReport)
 //	POST   /sessions/{id}/whatif   WhatIfRequest → SolveReport, rolled back
+//	POST   /sessions/{id}/whatif/batch  BatchWhatIfRequest → BatchWhatIfResponse, forked contexts
 //	POST   /sessions/{id}/epoch    EpochRequest → SolveReport, committed
 //	GET    /stats                  PoolStatsResponse
 //	GET    /healthz                liveness probe
@@ -48,6 +49,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
 	mux.HandleFunc("POST /sessions/{id}/whatif", s.handleWhatIf)
+	mux.HandleFunc("POST /sessions/{id}/whatif/batch", s.handleWhatIfBatch)
 	mux.HandleFunc("POST /sessions/{id}/epoch", s.handleEpoch)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -214,6 +216,23 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleWhatIfBatch(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req BatchWhatIfRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := sess.WhatIfBatch(&req)
+	if err != nil {
+		writeError(w, solveStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {

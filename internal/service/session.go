@@ -214,6 +214,14 @@ func (s *Session) SolverStats() lp.Stats {
 	return s.model.SolverStats()
 }
 
+// BetaRoutes lists the remote routes (k,l) carrying a β variable —
+// the routes a what-if may legally bound.
+func (s *Session) BetaRoutes() []core.Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model.BetaVars()
+}
+
 // Query answers the committed state: the heuristic allocation and
 // objective on the session's current platform, solved warm from the
 // carried basis (which the solve also refreshes).
@@ -382,7 +390,7 @@ func (s *Session) whatIfSolve(req *WhatIfRequest) (*SolveReport, error) {
 	if req.Relax || len(req.Bounds) > 0 {
 		s.model.ResetBounds()
 		for _, b := range req.Bounds {
-			if err := s.applyBound(b); err != nil {
+			if err := applyBound(s.model, b); err != nil {
 				return nil, err
 			}
 		}
@@ -461,18 +469,22 @@ func (s *Session) hypotheticalPlatform(req *WhatIfRequest) (*platform.Platform, 
 	return epl, nil
 }
 
-// applyBound installs one what-if β box on the model.
-func (s *Session) applyBound(b RouteBounds) error {
+// betaBounder is the slice of the model API a what-if β box needs;
+// *core.Model and the forked *core.ModelView both implement it.
+type betaBounder interface {
+	SetBounds(core.Pair, core.BetaBounds) error
+}
+
+// applyBound installs one what-if β box on m (the session model, or a
+// forked view on the batched path).
+func applyBound(m betaBounder, b RouteBounds) error {
 	if b.Lb < 0 || math.IsNaN(b.Lb) || math.IsInf(b.Lb, 0) {
 		return fmt.Errorf("bound mutation (%d,%d): lb %g invalid", b.From, b.To, b.Lb)
 	}
 	if math.IsNaN(b.Ub) || math.IsInf(b.Ub, 0) {
 		return fmt.Errorf("bound mutation (%d,%d): ub %g invalid", b.From, b.To, b.Ub)
 	}
-	if err := s.model.SetBounds(core.Pair{K: b.From, L: b.To}, core.BetaBounds{Lb: b.Lb, Ub: b.Ub}); err != nil {
-		return err
-	}
-	return nil
+	return m.SetBounds(core.Pair{K: b.From, L: b.To}, core.BetaBounds{Lb: b.Lb, Ub: b.Ub})
 }
 
 // Epoch commits a capacity update: the perturbation factors apply to

@@ -106,6 +106,38 @@ type WhatIfRequest struct {
 	Relax bool `json:"relax,omitempty"`
 }
 
+// BatchWhatIfRequest asks N hypotheticals against one session in a
+// single round trip. Every query is answered with the rational
+// relaxation (Relax is implied — batch reports carry no heuristic
+// allocation) against the same committed session state, decoded once,
+// deduplicated by canonical JSON (the single-flight key the
+// one-query endpoint uses) and fanned out over a bounded pool of
+// forked solve contexts. Answers are identical to issuing each query
+// through POST /sessions/{id}/whatif with Relax set, at 1e-9.
+type BatchWhatIfRequest struct {
+	Queries []WhatIfRequest `json:"queries"`
+	// Workers bounds the fork pool; <= 0 uses the service default.
+	// The pool never exceeds the number of distinct queries.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchWhatIfResponse answers POST /sessions/{id}/whatif/batch.
+// Reports line up with Queries; a duplicate query's report is a copy
+// of its twin's with Coalesced set. Reports are lean — value, bound
+// and feasibility only, no allocation tables and no stats snapshot —
+// so the response is deterministic byte for byte and a batch over the
+// wire diffs clean against cmd/dlsched -batch.
+type BatchWhatIfResponse struct {
+	Reports []*SolveReport `json:"reports"`
+	// Distinct counts the unique queries actually solved.
+	Distinct int `json:"distinct"`
+	// Workers is the fork-pool width used.
+	Workers int `json:"workers"`
+	// Epoch is the committed session epoch every answer was computed
+	// against.
+	Epoch int `json:"epoch"`
+}
+
 // EpochRequest commits one epoch of capacity drift to the session —
 // the adapt.Perturbation factors, applied to the session's current
 // platform — and re-solves warm from the carried basis. Nil factor
