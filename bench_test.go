@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/adapt"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
@@ -457,7 +458,8 @@ func BenchmarkE15_BatchWhatIf_K20(b *testing.B) {
 
 // BenchmarkE15_SerialWhatIf_K20 answers the same batch one query at a
 // time through the session mutex — the serialized baseline the batch
-// speedup is measured against.
+// speedup is measured against. The answer cache is flushed per query
+// so duplicates measure the solve path, not cache hits.
 func BenchmarkE15_SerialWhatIf_K20(b *testing.B) {
 	sess, queries := benchE15Session(b, 20)
 	b.ResetTimer()
@@ -465,12 +467,116 @@ func BenchmarkE15_SerialWhatIf_K20(b *testing.B) {
 		for qi := range queries {
 			q := queries[qi]
 			q.Relax = true
+			sess.FlushAnswerCache()
 			if _, err := sess.WhatIf(&q); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
 	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// benchE16Snapshot builds one warm session on the E16 platform,
+// drives it through 10 committed drift epochs, and returns the
+// session plus its encoded snapshot — the portability workload behind
+// BENCH_E16.json.
+func benchE16Snapshot(b *testing.B, k int) (*service.Session, []byte) {
+	b.Helper()
+	params := platgen.Params{K: k, Connectivity: 0.6, Heterogeneity: 0.6, MeanG: 450, MeanBW: 10, MeanMaxCon: 5}
+	rng := rand.New(rand.NewSource(16))
+	pl, err := platgen.Generate(params, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	encoded, err := pl.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, _, _, err := service.NewPool(1).GetOrCreate(&service.CreateSessionRequest{
+		Platform: encoded, Objective: "maxmin", Heuristic: "lprg",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for e := 0; e < 10; e++ {
+		req := &service.EpochRequest{SpeedFactor: make([]float64, k), GatewayFactor: make([]float64, k)}
+		for i := 0; i < k; i++ {
+			req.SpeedFactor[i] = 0.85 + 0.3*rng.Float64()
+			req.GatewayFactor[i] = 0.85 + 0.3*rng.Float64()
+		}
+		if _, err := sess.Epoch(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap, err := sess.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wire, err := snap.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sess, wire
+}
+
+// BenchmarkE16_WarmRebuild_K20 rebuilds a drifted session from its
+// snapshot — decode, model build, basis install, warm solve — the
+// path a replica runs on migration arrival or crash recovery.
+func BenchmarkE16_WarmRebuild_K20(b *testing.B) {
+	_, wire := benchE16Snapshot(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := cluster.DecodeSnapshot(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, warm, err := service.RestoreSession(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !warm {
+			b.Fatal("rebuild was not warm")
+		}
+	}
+}
+
+// BenchmarkE16_ColdRebuild_K20 rebuilds the same committed state from
+// its platform JSON alone — the baseline a replica without snapshots
+// pays (model build + cold solve).
+func BenchmarkE16_ColdRebuild_K20(b *testing.B) {
+	sess, _ := benchE16Snapshot(b, 20)
+	drifted, err := sess.PlatformJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := service.NewPool(1).GetOrCreate(&service.CreateSessionRequest{
+			Platform: drifted, Objective: "maxmin", Heuristic: "lprg",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16_CacheHitQuery_K20 answers the committed query from the
+// answer cache — zero simplex pivots, the fast path repeat monitors
+// ride.
+func BenchmarkE16_CacheHitQuery_K20(b *testing.B) {
+	sess, _ := benchE16Snapshot(b, 20)
+	if _, err := sess.Query(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sess.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Cached {
+			b.Fatal("query missed the answer cache")
+		}
+	}
 }
 
 // BenchmarkE7_ReductionExactSolve builds the §4 instance for a

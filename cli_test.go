@@ -404,6 +404,147 @@ func TestCLISchedd(t *testing.T) {
 	}
 }
 
+// startSchedd launches the daemon with the given extra flags and
+// returns the process plus its base URL once the listener is up.
+func startSchedd(t *testing.T, bin string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-pool", "4"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() }) //nolint:errcheck // backstop
+	rd := bufio.NewReader(stdout)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	addr, ok := strings.CutPrefix(strings.TrimSpace(line), "schedd: listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	// Drain the rest of stdout so the child never blocks on a full
+	// pipe (recovery/join lines).
+	go io.Copy(io.Discard, rd) //nolint:errcheck
+	return cmd, "http://" + addr
+}
+
+// scheddPost posts to the daemon and returns the raw body plus the
+// decoded object, failing on any non-2xx.
+func scheddPost(t *testing.T, base, path, body string) ([]byte, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("POST %s: status %d\n%s", path, resp.StatusCode, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("POST %s: %v\n%s", path, err, raw)
+	}
+	return raw, out
+}
+
+// canonicalAnswer strips the fields an answer legitimately varies in
+// across process restarts (solver-lifetime stats, cache markers) and
+// re-marshals with sorted keys for byte comparison.
+func canonicalAnswer(t *testing.T, raw []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("canonicalAnswer: %v\n%s", err, raw)
+	}
+	delete(m, "stats")
+	delete(m, "cached")
+	delete(m, "coalesced")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestCLIScheddCrashRecovery kills the daemon mid-traffic with
+// SIGKILL — no shutdown hook runs — and restarts it over the same
+// snapshot directory: every session must come back warm (zero cold
+// rebuilds) and answer byte-identically to before the crash.
+func TestCLIScheddCrashRecovery(t *testing.T) {
+	platgen := buildTool(t, "platgen")
+	schedd := buildTool(t, "schedd")
+	plat := filepath.Join(t.TempDir(), "plat.json")
+	if out, err := run(t, platgen, "-k", "6", "-seed", "7", "-o", plat); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	platJSON, err := os.ReadFile(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := filepath.Join(t.TempDir(), "snaps")
+
+	cmd, base := startSchedd(t, schedd, "-snapshot-dir", snapDir, "-snapshot-interval", "1h")
+	_, created := scheddPost(t, base, "/sessions", `{"platform": `+string(platJSON)+`}`)
+	id, _ := created["id"].(string)
+	if id == "" {
+		t.Fatalf("create response = %v", created)
+	}
+	// Commit drift so the recovered state is not the creation state,
+	// then capture the committed answer.
+	_, ep := scheddPost(t, base, "/sessions/"+id+"/epoch", `{"speedFactor":[0.85,0.9,0.95,0.9,0.85,0.9],"gatewayFactor":[1.1,0.9,1,1,0.95,1.05]}`)
+	if e, _ := ep["epoch"].(float64); e != 1 {
+		t.Fatalf("epoch response = %v", ep)
+	}
+	preRaw, _ := scheddPost(t, base, "/sessions/"+id+"/query", "")
+	pre := canonicalAnswer(t, preRaw)
+
+	// Crash: SIGKILL, no cleanup runs. The snapshot on disk is the one
+	// the epoch commit hook persisted.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck // the kill error is expected
+
+	cmd2, base2 := startSchedd(t, schedd, "-snapshot-dir", snapDir, "-snapshot-interval", "1h")
+	resp, err := http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats service.PoolStatsResponse
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("stats: %v\n%s", err, raw)
+	}
+	if stats.Cluster.ColdRebuilds != 0 || stats.Cluster.WarmRebuilds < 1 {
+		t.Fatalf("recovery rebuilds: warm=%d cold=%d, want >=1/0\n%s", stats.Cluster.WarmRebuilds, stats.Cluster.ColdRebuilds, raw)
+	}
+	if stats.Total.ColdSolves != 0 {
+		t.Fatalf("recovery cold-solved: %+v", stats.Total)
+	}
+	postRaw, _ := scheddPost(t, base2, "/sessions/"+id+"/query", "")
+	if got := canonicalAnswer(t, postRaw); got != pre {
+		t.Fatalf("post-recovery answer differs from pre-crash:\n%s\nvs\n%s", got, pre)
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("schedd did not shut down cleanly: %v", err)
+	}
+}
+
 func TestCLIExperimentsSmallSweep(t *testing.T) {
 	bin := buildTool(t, "experiments")
 	outdir := t.TempDir()

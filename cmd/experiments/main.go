@@ -38,11 +38,11 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, lu, ft, batch, all")
+		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, lu, ft, batch, cluster, all")
 		batchSize = flag.Int("batch-size", 256, "queries per batch (exp=batch)")
 		dupFactor = flag.Int("dup-factor", 4, "copies of each distinct mutation within a batch (exp=batch)")
 		openLoop  = flag.Int("open-loop", 256, "open-loop Poisson arrivals per platform, 0 to skip (exp=batch)")
-		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds, lu, ft)")
+		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds, lu, ft, cluster)")
 		seed      = flag.Int64("seed", 1, "sweep seed")
 		platforms = flag.Int("platforms", 0, "platforms per K (0 = per-experiment default)")
 		ks        = flag.String("ks", "", "comma-separated K values (default per experiment)")
@@ -50,7 +50,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = one per CPU; fig7 stays sequential unless set > 1)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		outdir    = flag.String("outdir", "", "also write each artifact to this directory")
-		jsonOut   = flag.Bool("json", false, "also write machine-readable BENCH_E*.json files for the perf sweeps (adaptive→BENCH_E11, bounds→BENCH_E12, lu→BENCH_E13, ft→BENCH_E14, batch→BENCH_E15), to -outdir or the current directory")
+		jsonOut   = flag.Bool("json", false, "also write machine-readable BENCH_E*.json files for the perf sweeps (adaptive→BENCH_E11, bounds→BENCH_E12, lu→BENCH_E13, ft→BENCH_E14, batch→BENCH_E15, cluster→BENCH_E16), to -outdir or the current directory")
 	)
 	flag.Parse()
 
@@ -356,6 +356,36 @@ func run() error {
 			return err
 		}
 		if err := writeJSON("BENCH_E15.json", pts); err != nil {
+			return err
+		}
+	}
+	if want("cluster") {
+		// E16: the cluster subsystem — session snapshots rebuilt warm
+		// on a replica against the cold rebuild baseline, answer-cache
+		// hit latency against the warm solves it short-circuits, and a
+		// three-replica consistent-hash ring with live warm migration
+		// on membership change. Wall-clock, so sequential unless
+		// -workers asks otherwise.
+		opts := base
+		opts.Ks = []int{10, 20, 30}
+		if ksOverride != nil {
+			opts.Ks = ksOverride
+		}
+		if *platforms == 0 {
+			opts.PlatformsPer = 3
+		}
+		pts, err := experiments.ClusterSweep(opts, *epochs)
+		if err != nil {
+			return err
+		}
+		content := experiments.RenderClusterTable(pts)
+		if *csv {
+			content = experiments.RenderClusterCSV(pts)
+		}
+		if err := emit("cluster", content); err != nil {
+			return err
+		}
+		if err := writeJSON("BENCH_E16.json", pts); err != nil {
 			return err
 		}
 	}

@@ -8,18 +8,42 @@
 // Usage:
 //
 //	schedd [-addr 127.0.0.1:8080] [-pool 64]
+//	       [-snapshot-dir DIR] [-snapshot-interval 30s]
+//	       [-advertise URL] [-peers URL,URL] [-join URL]
 //
 // -addr may end in :0 to pick a free port; the chosen address is
 // printed as "schedd: listening on ADDR" once the listener is up.
 // SIGINT/SIGTERM shut the server down cleanly (in-flight requests
-// finish).
+// finish; with a snapshot dir, every session is persisted first).
+//
+// # Snapshots and crash recovery
+//
+// With -snapshot-dir, every session is serialized to DIR at each
+// committed state (creation, epoch commits, migration arrivals), on a
+// periodic -snapshot-interval tick, and at shutdown. On startup the
+// directory is replayed: each snapshot rebuilds its session warm from
+// the carried basis — zero cold solves — so a killed daemon restarted
+// over the same directory answers exactly as before the crash
+// (/stats reports warmRebuilds and coldRebuilds).
+//
+// # Cluster mode
+//
+// With -peers and/or -join, schedd runs as one replica of a
+// consistent-hash ring. Sessions are owned by the replica their ID
+// hashes to; requests landing elsewhere are forwarded transparently,
+// so clients may talk to any replica. -advertise is the URL peers use
+// to reach this replica (defaults to http://ADDR once the listener is
+// up — set it explicitly behind NAT or a proxy). -join asks a running
+// replica to admit this one; membership is broadcast and sessions
+// whose ownership moved migrate warm (serialize → transfer → rebuild
+// from basis) to their new owner.
 //
 // # Walkthrough
 //
 // Generate a platform, start the daemon, and drive it with curl:
 //
 //	platgen -k 20 -seed 1 -o platform.json
-//	schedd -addr 127.0.0.1:8080 &
+//	schedd -addr 127.0.0.1:8080 -snapshot-dir /var/lib/schedd &
 //
 // Create a session (the one cold solve; the response carries the
 // session id and the initial allocation report):
@@ -43,9 +67,15 @@
 //	curl -s http://127.0.0.1:8080/sessions/$SID/epoch \
 //	     -d '{"speedFactor":[0.9,1,1,1,1,0.8,1,1,1,1,1,1,1,1,1,1,1,1,1,1]}'
 //
-// /stats surfaces the per-session and pool-wide lp.Revised counters —
-// after warm-up, warm solves dominate and cold solves stay pinned at
-// one per session:
+// Scale out by joining more replicas to the ring:
+//
+//	schedd -addr 127.0.0.1:8081 -join http://127.0.0.1:8080 &
+//
+// /stats surfaces the per-session and pool-wide lp.Revised counters
+// plus the cluster section (answer-cache hits, forwarded requests,
+// migrations, warm/cold rebuilds, snapshot bytes, ring members) —
+// after warm-up, warm solves and cache hits dominate and cold solves
+// stay pinned at one per session:
 //
 //	curl -s http://127.0.0.1:8080/stats
 //
@@ -63,9 +93,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -78,8 +110,13 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		poolSize = flag.Int("pool", 64, "maximum resident warm sessions (LRU beyond that)")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		poolSize     = flag.Int("pool", 64, "maximum resident warm sessions (LRU beyond that)")
+		snapshotDir  = flag.String("snapshot-dir", "", "persist session snapshots here and recover from them on start")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "periodic full-pool snapshot cadence (with -snapshot-dir)")
+		advertise    = flag.String("advertise", "", "URL peers reach this replica at (default http://ADDR)")
+		peersFlag    = flag.String("peers", "", "comma-separated peer URLs forming the initial ring")
+		joinURL      = flag.String("join", "", "URL of a running replica to join")
 	)
 	flag.Parse()
 	if *poolSize < 1 {
@@ -92,23 +129,86 @@ func run() error {
 	}
 	fmt.Printf("schedd: listening on %s\n", ln.Addr())
 
+	self := *advertise
+	if self == "" {
+		self = "http://" + ln.Addr().String()
+	}
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+
+	var store *cluster.Store
+	if *snapshotDir != "" {
+		store, err = cluster.NewStore(*snapshotDir)
+		if err != nil {
+			return fmt.Errorf("snapshot dir: %w", err)
+		}
+	}
+
+	node := service.NewNode(service.NewServer(service.NewPool(*poolSize)), self, peers, store)
+	if store != nil {
+		warm, cold, skipped, err := node.Recover()
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		if warm+cold+skipped > 0 {
+			fmt.Printf("schedd: recovered %d sessions warm, %d cold, %d skipped from %s\n", warm, cold, skipped, *snapshotDir)
+		}
+	}
+
 	srv := &http.Server{
-		Handler:           service.NewServer(service.NewPool(*poolSize)).Handler(),
+		Handler:           node.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
+	if *joinURL != "" {
+		if err := node.Join(*joinURL); err != nil {
+			_ = srv.Close()
+			return fmt.Errorf("join %s: %w", *joinURL, err)
+		}
+		fmt.Printf("schedd: joined ring via %s (%d members)\n", *joinURL, len(node.Members()))
+	}
+
+	var ticker *time.Ticker
+	tickDone := make(chan struct{})
+	if store != nil && *snapInterval > 0 {
+		ticker = time.NewTicker(*snapInterval)
+		go func() {
+			defer close(tickDone)
+			for {
+				select {
+				case <-ticker.C:
+					node.PersistAll()
+				case <-tickDone:
+					return
+				}
+			}
+		}()
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
 		fmt.Printf("schedd: %s, shutting down\n", sig)
+		if ticker != nil {
+			ticker.Stop()
+			tickDone <- struct{}{}
+			<-tickDone
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
+		}
+		if store != nil {
+			node.PersistAll()
 		}
 		return nil
 	case err := <-errc:

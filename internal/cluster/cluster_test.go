@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2", "n1"}, 0) // permuted + duplicate
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("members differ: %v vs %v", a.Members(), b.Members())
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q (ring not order-independent)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingBalanceAndMinimalMovement(t *testing.T) {
+	members := []string{"n1", "n2", "n3"}
+	r3 := NewRing(members, 0)
+	counts := map[string]int{}
+	const N = 3000
+	for i := 0; i < N; i++ {
+		counts[r3.Owner(fmt.Sprintf("session-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / N
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("member %s owns %.0f%% of the keyspace (badly unbalanced: %v)", m, 100*share, counts)
+		}
+	}
+	// Adding a member must move only keys onto the new member — never
+	// shuffle ownership between the survivors.
+	r4 := NewRing(append(members, "n4"), 0)
+	moved := 0
+	for i := 0; i < N; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		was, now := r3.Owner(key), r4.Owner(key)
+		if was != now {
+			if now != "n4" {
+				t.Fatalf("key %q moved %s -> %s on a pure addition", key, was, now)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved > N/2 {
+		t.Fatalf("adding one of four members moved %d/%d keys (want roughly N/4)", moved, N)
+	}
+}
+
+func TestRingEmptyAndHas(t *testing.T) {
+	r := NewRing(nil, 0)
+	if r.Owner("anything") != "" {
+		t.Fatalf("empty ring owned a key")
+	}
+	r = NewRing([]string{"x"}, 8)
+	if !r.Has("x") || r.Has("y") {
+		t.Fatalf("Has is wrong")
+	}
+	if r.Owner("k") != "x" {
+		t.Fatalf("single-member ring must own everything")
+	}
+}
+
+func testSnapshot() *SessionSnapshot {
+	s := &SessionSnapshot{
+		ID:          "abc123",
+		Fingerprint: "fp",
+		Objective:   "maxmin",
+		Heuristic:   "lprg",
+		Payoffs:     []float64{1, 2, 0.5},
+		Seed:        7,
+		Epoch:       3,
+		Platform:    json.RawMessage(`{"routers":1}`),
+	}
+	s.SetBasis([]int{4, 2, 9}, []bool{false, true, false, false, true, false})
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.ID != s.ID || got.Epoch != 3 || got.Seed != 7 || got.Heuristic != "lprg" {
+		t.Fatalf("fields lost: %+v", got)
+	}
+	cols, upper := got.Basis()
+	if !reflect.DeepEqual(cols, []int{4, 2, 9}) {
+		t.Fatalf("basis cols %v", cols)
+	}
+	if !reflect.DeepEqual(upper, []bool{false, true, false, false, true, false}) {
+		t.Fatalf("basis upper %v", upper)
+	}
+}
+
+func TestSnapshotRejectsDamage(t *testing.T) {
+	s := testSnapshot()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	cases := map[string][]byte{
+		"bitflip":    append([]byte(`{"version":1,"epoch":9,`), data[len(`{"version":1,"epoch":3,`):]...),
+		"truncated":  data[:len(data)-2],
+		"notJSON":    []byte("not a snapshot"),
+		"noChecksum": []byte(`{"version":1,"id":"x","platform":{},"basisCols":[1]}`),
+	}
+	// A version-skewed snapshot with a valid checksum of its own.
+	skew := testSnapshot()
+	skewData, _ := skew.Encode()
+	var m map[string]any
+	json.Unmarshal(skewData, &m) //nolint:errcheck
+	m["version"] = 2
+	cases["versionSkew"], _ = json.Marshal(m)
+	for name, d := range cases {
+		if _, err := DecodeSnapshot(d); err == nil {
+			t.Fatalf("%s: damaged snapshot decoded cleanly", name)
+		}
+	}
+}
+
+func TestAnswerCacheLRUAndInvalidate(t *testing.T) {
+	c := NewAnswerCache(2)
+	c.Put("s1", "q1", "a1")
+	c.Put("s1", "q2", "a2")
+	if v, ok := c.Get("s1", "q1"); !ok || v.(string) != "a1" {
+		t.Fatalf("q1 miss")
+	}
+	c.Put("s1", "q3", "a3") // evicts q2 (q1 was refreshed by the Get)
+	if _, ok := c.Get("s1", "q2"); ok {
+		t.Fatalf("q2 survived past capacity")
+	}
+	if _, ok := c.Get("s1", "q1"); !ok {
+		t.Fatalf("q1 evicted out of LRU order")
+	}
+	if _, ok := c.Get("s2", "q1"); ok {
+		t.Fatalf("state digest not part of the key")
+	}
+	if n := c.InvalidateState("s1"); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache not empty after invalidation")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("counters hits=%d misses=%d, want 2/2", c.Hits(), c.Misses())
+	}
+	// Flush empties the cache but keeps the counters.
+	c.Put("s3", "q1", 7)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("cache not empty after flush")
+	}
+	if _, ok := c.Get("s3", "q1"); ok {
+		t.Fatalf("flushed entry still served")
+	}
+	if c.Hits() != 2 || c.Misses() != 3 {
+		t.Fatalf("flush reset counters: hits=%d misses=%d, want 2/3", c.Hits(), c.Misses())
+	}
+}
+
+func TestStoreSaveLoadDelete(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	s := testSnapshot()
+	n, err := st.Save(s)
+	if err != nil || n <= 0 {
+		t.Fatalf("save: n=%d err=%v", n, err)
+	}
+	got, err := st.Load("abc123")
+	if err != nil || got.Epoch != 3 {
+		t.Fatalf("load: %+v err=%v", got, err)
+	}
+	// A corrupt file and a stray tempfile must be skipped, not fatal.
+	os.WriteFile(filepath.Join(dir, "bad.snap.json"), []byte("garbage"), 0o644) //nolint:errcheck
+	os.WriteFile(filepath.Join(dir, ".x.tmp-1"), []byte("partial"), 0o644)      //nolint:errcheck
+	snaps, skipped, err := st.LoadAll()
+	if err != nil {
+		t.Fatalf("loadAll: %v", err)
+	}
+	if len(snaps) != 1 || skipped != 1 {
+		t.Fatalf("loadAll: %d snaps, %d skipped (want 1, 1)", len(snaps), skipped)
+	}
+	if err := st.Delete("abc123"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := st.Delete("abc123"); err != nil {
+		t.Fatalf("double delete must be clean: %v", err)
+	}
+	if _, err := st.Load("abc123"); err == nil {
+		t.Fatalf("load after delete succeeded")
+	}
+}

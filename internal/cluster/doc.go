@@ -1,0 +1,96 @@
+// Package cluster holds the building blocks that make warm scheduling
+// sessions portable and the schedd service horizontally scalable: a
+// versioned session-snapshot codec, a consistent-hash ring, a
+// committed-state answer cache, and a snapshot directory store. The
+// package is deliberately below internal/service in the dependency
+// order (it knows platforms and lp.Basis exports, never Sessions), so
+// the service layer composes these pieces without an import cycle.
+//
+// # Session snapshots
+//
+// A SessionSnapshot is everything a replica needs to rebuild a warm
+// session from nothing: the session identity (pool ID and the
+// creation-time platform fingerprint), the solver configuration
+// (objective, heuristic, payoffs, seed, node budget), the committed
+// epoch counter, the *current drifted* platform description (epochs
+// mutate capacities in place — the committed capacity and bound state
+// is fully derivable from it), and the carried lp.Basis exported to
+// its serialized form. Rebuilding replays none of the history: the
+// receiver decodes the platform, builds a fresh model, primes the
+// solver for a foreign basis (lp.Revised.PrimeWarm), installs the
+// imported basis and re-solves — one warm dual-simplex restart,
+// typically zero pivots, zero cold solves.
+//
+// The wire form is canonical JSON with two integrity fields:
+//
+//   - Version: the format version, currently SnapshotVersion (1).
+//     Decode rejects snapshots from a different version rather than
+//     guessing — a rolling upgrade must finish before the snapshot
+//     format moves.
+//   - Checksum: a sha256 digest over the canonical encoding with the
+//     checksum field empty. Decode recomputes and rejects mismatches,
+//     so a torn write or corrupted transfer surfaces as an error
+//     instead of a subtly wrong warm state. (A basis damaged in some
+//     way the checksum cannot see still degrades safely: the solver
+//     validates imported bases and falls back to a cold solve.)
+//
+// # Consistent-hash ring
+//
+// Ring assigns ownership of sessions to replica members by consistent
+// hashing with virtual nodes. The routing key is the session ID —
+// itself a sha256 digest of platform.Fingerprint() plus the solver
+// configuration — so all requests for one (platform, configuration)
+// pair land on one owner, which is what keeps its model warm. Hashing
+// is 64-bit FNV-1a over "member#vnode" and over keys, chosen because
+// it is stable across processes and architectures (unlike Go's
+// runtime map hash): every replica computes the identical ring from
+// the identical member list, so routing needs no coordination beyond
+// agreeing on membership. Adding or removing one member moves only
+// ~1/N of the keyspace; the service layer migrates exactly the
+// sessions whose owner changed (snapshot → transfer → warm rebuild).
+//
+// # Migration protocol
+//
+// The service's router (service.Node) drives migration on membership
+// change; the protocol is one round trip per moved session:
+//
+//  1. The current holder serializes the session (SessionSnapshot,
+//     checksum sealed) and POSTs it to the new owner's
+//     /cluster/migrate endpoint.
+//  2. The receiver verifies version + checksum, rebuilds the session
+//     warm, installs it in its pool, persists it to its own snapshot
+//     store, and answers with the rebuilt session's committed report.
+//  3. Only on success does the sender evict its local copy and delete
+//     its snapshot file. A failed transfer leaves the session where
+//     it was — requests keep being forwarded to the ring owner, which
+//     forwards are answered locally by whichever node holds the
+//     session, so availability degrades to an extra hop, never to a
+//     lost session.
+//
+// Because the rebuilt model restarts from the exact exported basis
+// under the exact committed capacities, the migrated session's
+// answers are bit-compatible with the originals (the service's tests
+// pin this, modulo the process-lifetime solver counters riding along
+// in reports).
+//
+// # Answer cache
+//
+// AnswerCache memoizes committed-state answers: the key is the
+// committed-state digest (platform fingerprint of the drifted
+// platform + epoch counter) plus a canonical query key, so a repeat
+// query — which would otherwise re-solve warm at ~zero pivots — is a
+// map hit. Epoch commits rotate the state digest (the epoch counter
+// strictly increases, so a stale hit is impossible by construction)
+// and additionally clear the session's entries to free capacity
+// eagerly. The cache is a bounded LRU; hit/miss counters feed the
+// /stats cluster section.
+//
+// # Snapshot store
+//
+// Store persists snapshots under a directory, one file per session
+// ID, written atomically (temp file + rename) so a crash mid-write
+// leaves the previous snapshot intact. On restart the service loads
+// every decodable snapshot and rebuilds each session warm
+// (coldRebuilds stays zero across a clean recovery); undecodable
+// files are skipped and counted, never fatal.
+package cluster

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per member used when
+// NewRing is given a non-positive one. 64 vnodes keep the keyspace
+// share of a 3–10 member ring within a few percent of uniform while
+// the ring stays small enough that a full rebuild on membership
+// change is microseconds.
+const DefaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over replica members.
+// Keys (session IDs) and members hash onto the same 64-bit FNV-1a
+// circle; a key is owned by the first member point at or clockwise of
+// its hash. Immutability is the concurrency story: the service
+// router swaps a freshly built Ring pointer on membership change
+// instead of locking a mutable one.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// hash64 is the ring's stable hash: 64-bit FNV-1a pushed through a
+// splitmix64 finalizer. FNV alone spreads short, similar strings
+// ("n1#0", "n1#1", …) too unevenly for balanced vnode placement; the
+// avalanche step fixes that while staying identical across processes
+// and architectures, so every replica derives the same ownership from
+// the same member list with no coordination.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds a ring over members with the given virtual-node
+// count per member (<= 0 uses DefaultVnodes). Members are
+// deduplicated; order does not matter — two replicas building from
+// permuted member lists own identical keyspaces. An empty member
+// list yields a ring that owns nothing (Owner returns "").
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		members: uniq,
+		points:  make([]ringPoint, 0, len(uniq)*vnodes),
+	}
+	for _, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash64(m + "#" + strconv.Itoa(v)), m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member // deterministic tie-break across replicas
+	})
+	return r
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return r.points[i].member
+}
+
+// Members returns the deduplicated, sorted member list the ring was
+// built over. The returned slice is shared — treat it as read-only.
+func (r *Ring) Members() []string { return r.members }
+
+// Has reports whether member is part of the ring.
+func (r *Ring) Has(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	return i < len(r.members) && r.members[i] == member
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// SnapshotVersion is the current session-snapshot format version.
+// Decode accepts exactly this version: the snapshot is a warm-state
+// carrier between replicas of one deployment, not an archival format,
+// so "reject and rebuild cold from traffic" is the right behavior for
+// a version skew — never a guessed migration of solver state.
+const SnapshotVersion = 1
+
+// SessionSnapshot is the serialized form of one warm scheduling
+// session: identity, solver configuration, committed epoch, the
+// current (drifted) platform description, and the carried basis in
+// its exported form. See the package documentation for the format
+// contract; Encode/Decode seal and verify Version and Checksum.
+type SessionSnapshot struct {
+	Version int `json:"version"`
+	// ID is the pool key (digest of creation fingerprint + solver
+	// configuration); Fingerprint is the platform fingerprint at
+	// session creation. They are carried rather than recomputed so the
+	// receiver can verify the snapshot is internally consistent: the
+	// ID must equal the digest of Fingerprint plus the configuration
+	// fields below.
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+
+	Objective string    `json:"objective,omitempty"`
+	Heuristic string    `json:"heuristic,omitempty"`
+	Payoffs   []float64 `json:"payoffs,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	MaxNodes  int       `json:"maxNodes,omitempty"`
+
+	// Epoch is the committed epoch counter; Platform is the drifted
+	// platform description (standard platform JSON) whose capacities
+	// ARE the committed state — nothing else needs replaying.
+	Epoch    int             `json:"epoch"`
+	Platform json.RawMessage `json:"platform"`
+
+	// BasisCols is the exported basic column set; BasisUpper lists the
+	// indices of nonbasic-at-upper columns (sparse — the dense bool
+	// vector is almost entirely false) out of BasisNcols total solver
+	// columns. BasisNcols 0 with nil BasisUpper means the producing
+	// basis carried no at-upper statuses.
+	BasisCols  []int `json:"basisCols"`
+	BasisUpper []int `json:"basisUpper,omitempty"`
+	BasisNcols int   `json:"basisNcols,omitempty"`
+
+	// Checksum is sha256 (hex) over the canonical JSON encoding of
+	// this snapshot with Version set and Checksum itself empty.
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// SetBasis stores an exported basis (lp.Basis.Export's two slices) in
+// the snapshot's sparse serialized form.
+func (s *SessionSnapshot) SetBasis(cols []int, upper []bool) {
+	s.BasisCols = append([]int(nil), cols...)
+	s.BasisUpper = nil
+	s.BasisNcols = len(upper)
+	for j, at := range upper {
+		if at {
+			s.BasisUpper = append(s.BasisUpper, j)
+		}
+	}
+}
+
+// Basis reconstructs the exported-basis slices for lp.ImportBasis.
+// upper is nil when the snapshot carried no at-upper vector.
+func (s *SessionSnapshot) Basis() (cols []int, upper []bool) {
+	cols = append([]int(nil), s.BasisCols...)
+	if s.BasisNcols > 0 {
+		upper = make([]bool, s.BasisNcols)
+		for _, j := range s.BasisUpper {
+			if j >= 0 && j < s.BasisNcols {
+				upper[j] = true
+			}
+		}
+	}
+	return cols, upper
+}
+
+// checksum computes the integrity digest: sha256 over the canonical
+// encoding with Checksum cleared.
+func (s *SessionSnapshot) checksum() (string, error) {
+	cp := *s
+	cp.Checksum = ""
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Encode seals the snapshot (Version stamped, Checksum computed) and
+// returns its wire form.
+func (s *SessionSnapshot) Encode() ([]byte, error) {
+	if s.ID == "" {
+		return nil, fmt.Errorf("cluster: snapshot missing session id")
+	}
+	if len(s.Platform) == 0 {
+		return nil, fmt.Errorf("cluster: snapshot missing platform")
+	}
+	if len(s.BasisCols) == 0 {
+		return nil, fmt.Errorf("cluster: snapshot missing basis (session never solved?)")
+	}
+	s.Version = SnapshotVersion
+	sum, err := s.checksum()
+	if err != nil {
+		return nil, err
+	}
+	s.Checksum = sum
+	return json.Marshal(s)
+}
+
+// DecodeSnapshot parses and verifies a snapshot: strict JSON, exact
+// version match, checksum recomputed and compared. Any failure is an
+// error — the caller falls back to building the session cold from
+// traffic rather than trusting damaged warm state.
+func DecodeSnapshot(data []byte) (*SessionSnapshot, error) {
+	var s SessionSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("cluster: decoding snapshot: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("cluster: snapshot version %d, this build speaks %d", s.Version, SnapshotVersion)
+	}
+	if s.Checksum == "" {
+		return nil, fmt.Errorf("cluster: snapshot has no checksum")
+	}
+	want, err := s.checksum()
+	if err != nil {
+		return nil, err
+	}
+	if s.Checksum != want {
+		return nil, fmt.Errorf("cluster: snapshot checksum mismatch (corrupt or torn write)")
+	}
+	if s.ID == "" || len(s.Platform) == 0 || len(s.BasisCols) == 0 {
+		return nil, fmt.Errorf("cluster: snapshot incomplete")
+	}
+	return &s, nil
+}

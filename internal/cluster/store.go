@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// snapExt names snapshot files: <session id><snapExt> under the
+// store directory.
+const snapExt = ".snap.json"
+
+// Store persists session snapshots under one directory, one file per
+// session ID, written atomically (temp file in the same directory,
+// then rename) so a crash mid-write can only ever leave the previous
+// complete snapshot behind — never a torn one. Torn or foreign files
+// that do appear are rejected by the snapshot checksum at load time
+// and skipped.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a snapshot store at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cluster: empty snapshot dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: creating snapshot dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(id string) string {
+	return filepath.Join(st.dir, id+snapExt)
+}
+
+// Save seals and persists snap atomically, returning the snapshot's
+// encoded size in bytes.
+func (st *Store) Save(snap *SessionSnapshot) (int, error) {
+	data, err := snap.Encode()
+	if err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(st.dir, "."+snap.ID+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("cluster: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("cluster: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("cluster: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, st.path(snap.ID)); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("cluster: publishing snapshot: %w", err)
+	}
+	return len(data), nil
+}
+
+// Load reads and verifies the snapshot for one session ID.
+func (st *Store) Load(id string) (*SessionSnapshot, error) {
+	data, err := os.ReadFile(st.path(id))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(data)
+}
+
+// LoadAll reads every snapshot in the store, skipping (and counting)
+// files that fail to decode or verify — recovery rebuilds what it
+// can; a corrupt snapshot's session simply rebuilds cold from traffic
+// later.
+func (st *Store) LoadAll() (snaps []*SessionSnapshot, skipped int, err error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: reading snapshot dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapExt) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(st.dir, name))
+		if rerr != nil {
+			skipped++
+			continue
+		}
+		snap, derr := DecodeSnapshot(data)
+		if derr != nil || snap.ID+snapExt != name {
+			skipped++
+			continue
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps, skipped, nil
+}
+
+// Delete removes the snapshot for id; deleting a missing snapshot is
+// not an error (migration races with periodic persistence).
+func (st *Store) Delete(id string) error {
+	err := os.Remove(st.path(id))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

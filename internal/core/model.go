@@ -279,6 +279,14 @@ func (m *Model) SolverStats() lp.Stats { return m.rev.Stats() }
 // ResetSolverStats zeroes the counters SolverStats reports.
 func (m *Model) ResetSolverStats() { m.rev.ResetStats() }
 
+// PrimeWarm prepares this model's freshly built solver to accept an
+// imported basis warm (see lp.Revised.PrimeWarm): a scheduling
+// session rebuilt from a serialized snapshot on another replica calls
+// this before its first Solve so the restored basis restarts the dual
+// simplex instead of triggering a cold solve. A no-op once the model
+// has solved.
+func (m *Model) PrimeWarm() { m.rev.PrimeWarm() }
+
 // BetaVars lists the routes carrying a β variable in deterministic
 // row-major order — the same set RemoteRoutes reports.
 func (m *Model) BetaVars() []Pair {

@@ -186,12 +186,17 @@ func BatchSweep(opts Options, batchSize, dupFactor, openLoopN int) ([]BatchPoint
 
 			// Serialized path: every query through the session mutex,
 			// one warm solve each — what a client fleet without the
-			// batch endpoint does today.
+			// batch endpoint does today. The answer cache is flushed per
+			// query (a sub-µs map clear) so duplicates measure the solve
+			// path, not cache hits: E15 compares the two solving
+			// engines, and the cache would otherwise answer 3/4 of the
+			// serialized set for free (E16 measures that separately).
 			serial := make([]*service.SolveReport, len(queries))
 			start := time.Now()
 			for qi := range queries {
 				q := queries[qi]
 				q.Relax = true
+				sess.FlushAnswerCache()
 				if serial[qi], err = sess.WhatIf(&q); err != nil {
 					return fmt.Errorf("experiments: E15 serial K=%d: %w", k, err)
 				}

@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// ClusterPoint is one K value of the E16 sweep: the cluster
+// subsystem's three pillars measured on drifted warm sessions —
+// snapshot portability (a session serialized after E epochs and
+// rebuilt warm on a "replica", against the cold rebuild a replica
+// without snapshots must run), the committed-state answer cache
+// (cache-hit latency against the warm solve it short-circuits), and
+// the consistent-hash ring (forwarding and live warm migration on
+// membership change, with answer drift pinned at zero).
+type ClusterPoint struct {
+	K         int
+	Platforms int
+	// Rows is the mean basis dimension m; Epochs the committed drift
+	// epochs each session was driven through before serialization.
+	Rows   float64
+	Epochs int
+	// SnapshotBytes is the mean encoded snapshot size.
+	SnapshotBytes float64
+	// ColdBuildSeconds rebuilds the committed state from the drifted
+	// platform JSON alone (model build + cold solve); WarmRebuildSeconds
+	// rebuilds it from the snapshot (model build + basis install + warm
+	// solve). WarmSpeedup = cold/warm (the acceptance gate: >= 3x at
+	// K=20). WarmColdSolves counts cold solves on the warm path, summed
+	// over platforms (gate: 0).
+	ColdBuildSeconds   float64
+	WarmRebuildSeconds float64
+	WarmSpeedup        float64
+	WarmColdSolves     int
+	// MaxRebuildDiff is the largest relative gap between a rebuilt
+	// session's answer and the source session's committed answer
+	// (soundness gate: <= 1e-9; in practice the answers are
+	// byte-identical).
+	MaxRebuildDiff float64
+	// CacheHitMicros is the mean latency of a repeat committed query
+	// (an answer-cache hit); WarmWhatIfMicros the mean warm what-if
+	// solve it short-circuits. CacheSpeedup is their ratio — "sub-pivot"
+	// answering, since a hit runs zero simplex pivots.
+	CacheHitMicros   float64
+	WarmWhatIfMicros float64
+	CacheSpeedup     float64
+	// Ring phase: Platforms sessions created through one node of a
+	// two-replica ring (Forwarded counts proxied requests), then a
+	// third replica joins and every session whose ownership moved
+	// migrates warm. MaxRingDiff compares each session's answer through
+	// the original node before and after the join (gate: 0 — migrated
+	// sessions answer byte-identically).
+	Forwarded        uint64
+	Migrations       uint64
+	RingWarmRebuilds uint64
+	RingColdRebuilds uint64
+	MaxRingDiff      float64
+}
+
+const saltCluster = 9
+
+// swapHandler lets an httptest server start before the ring node that
+// will serve it exists (the node must know the server's URL).
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Abs(b))
+}
+
+// driftEpochs commits epochs of bounded multiplicative drift to the
+// session (factors in [0.85, 1.15] — capacity wander, never collapse).
+func driftEpochs(sess *service.Session, k, links, epochs int, rng interface{ Float64() float64 }) error {
+	for e := 0; e < epochs; e++ {
+		req := &service.EpochRequest{
+			SpeedFactor:   make([]float64, k),
+			GatewayFactor: make([]float64, k),
+			LinkFactor:    make([]float64, links),
+		}
+		for i := 0; i < k; i++ {
+			req.SpeedFactor[i] = 0.85 + 0.3*rng.Float64()
+			req.GatewayFactor[i] = 0.85 + 0.3*rng.Float64()
+		}
+		for i := 0; i < links; i++ {
+			req.LinkFactor[i] = 0.85 + 0.3*rng.Float64()
+		}
+		if _, err := sess.Epoch(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClusterSweep runs the E16 measurement: for every K, PlatformsPer
+// sessions are driven through epochs of committed drift, then (a)
+// serialized and rebuilt warm against the cold rebuild baseline, (b)
+// hammered with repeat queries to time answer-cache hits against the
+// warm what-if solves they bypass, and (c) re-created across an
+// in-process HTTP ring that a third replica then joins, migrating
+// sessions warm. Wall-clock, so platforms run sequentially unless
+// opts.Workers asks otherwise.
+func ClusterSweep(opts Options, epochs int) ([]ClusterPoint, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	const (
+		warmReps  = 5
+		coldReps  = 3
+		cacheHits = 200
+		whatIfs   = 30
+	)
+	type sample struct {
+		rows               int
+		snapBytes          int
+		coldSecs, warmSecs float64
+		warmColds          int
+		rebuildDiff        float64
+		cacheHitMicros     float64
+		warmWhatIfMicros   float64
+	}
+	var out []ClusterPoint
+	for _, k := range opts.Ks {
+		samples := make([]sample, opts.PlatformsPer)
+		err := forEach(workers, opts.PlatformsPer, func(i int) error {
+			rng := subRNG(opts.Seed, k, i, saltCluster)
+			pl, payoffs, err := batchPlatform(k, rng)
+			if err != nil {
+				return err
+			}
+			encoded, err := pl.Encode()
+			if err != nil {
+				return err
+			}
+			req := &service.CreateSessionRequest{
+				Platform:  encoded,
+				Objective: "maxmin",
+				Heuristic: "lprg",
+				Payoffs:   payoffs,
+			}
+			pool := service.NewPool(1)
+			sess, _, _, err := pool.GetOrCreate(req)
+			if err != nil {
+				return fmt.Errorf("experiments: E16 session K=%d: %w", k, err)
+			}
+			var s sample
+			s.rows = sess.Info().Rows
+			if err := driftEpochs(sess, k, len(pl.Links), epochs, rng); err != nil {
+				return fmt.Errorf("experiments: E16 drift K=%d: %w", k, err)
+			}
+			committed, err := sess.Query()
+			if err != nil {
+				return err
+			}
+
+			// (a) Snapshot portability: serialize once, rebuild warm
+			// warmReps times; cold-rebuild the same committed state from
+			// its platform JSON coldReps times.
+			snap, err := sess.Snapshot()
+			if err != nil {
+				return fmt.Errorf("experiments: E16 snapshot K=%d: %w", k, err)
+			}
+			wire, err := snap.Encode()
+			if err != nil {
+				return err
+			}
+			s.snapBytes = len(wire)
+			for r := 0; r < warmReps; r++ {
+				start := time.Now()
+				decoded, err := cluster.DecodeSnapshot(wire)
+				if err != nil {
+					return err
+				}
+				rebuilt, rep, warm, err := service.RestoreSession(decoded)
+				if err != nil {
+					return fmt.Errorf("experiments: E16 restore K=%d: %w", k, err)
+				}
+				s.warmSecs += time.Since(start).Seconds()
+				if !warm {
+					s.warmColds++
+				}
+				_ = rebuilt
+				if d := relDiff(rep.Value, committed.Value); d > s.rebuildDiff {
+					s.rebuildDiff = d
+				}
+				if d := relDiff(rep.LPBound, committed.LPBound); d > s.rebuildDiff {
+					s.rebuildDiff = d
+				}
+			}
+			s.warmSecs /= warmReps
+			driftedJSON, err := sess.PlatformJSON()
+			if err != nil {
+				return err
+			}
+			coldReq := *req
+			coldReq.Platform = driftedJSON
+			for r := 0; r < coldReps; r++ {
+				start := time.Now()
+				coldPool := service.NewPool(1)
+				_, coldRep, _, err := coldPool.GetOrCreate(&coldReq)
+				if err != nil {
+					return fmt.Errorf("experiments: E16 cold rebuild K=%d: %w", k, err)
+				}
+				s.coldSecs += time.Since(start).Seconds()
+				if d := relDiff(coldRep.Value, committed.Value); d > s.rebuildDiff {
+					s.rebuildDiff = d
+				}
+			}
+			s.coldSecs /= coldReps
+
+			// (b) Answer-cache hit latency vs the warm solves it
+			// short-circuits.
+			start := time.Now()
+			for r := 0; r < cacheHits; r++ {
+				rep, err := sess.Query()
+				if err != nil {
+					return err
+				}
+				if !rep.Cached {
+					return fmt.Errorf("experiments: E16 K=%d: repeat query %d not cached", k, r)
+				}
+			}
+			s.cacheHitMicros = time.Since(start).Seconds() * 1e6 / cacheHits
+			start = time.Now()
+			for r := 0; r < whatIfs; r++ {
+				c := r % k
+				v := pl.Clusters[c].Speed * (0.6 + 0.8*rng.Float64())
+				if _, err := sess.WhatIf(&service.WhatIfRequest{
+					Speeds: []service.ClusterValue{{Cluster: c, Value: v}},
+					Relax:  true,
+				}); err != nil {
+					return fmt.Errorf("experiments: E16 what-if K=%d: %w", k, err)
+				}
+			}
+			s.warmWhatIfMicros = time.Since(start).Seconds() * 1e6 / whatIfs
+			samples[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		pt := ClusterPoint{K: k, Epochs: epochs}
+		for _, s := range samples {
+			pt.Platforms++
+			pt.Rows += float64(s.rows)
+			pt.SnapshotBytes += float64(s.snapBytes)
+			pt.ColdBuildSeconds += s.coldSecs
+			pt.WarmRebuildSeconds += s.warmSecs
+			pt.WarmColdSolves += s.warmColds
+			if s.rebuildDiff > pt.MaxRebuildDiff {
+				pt.MaxRebuildDiff = s.rebuildDiff
+			}
+			pt.CacheHitMicros += s.cacheHitMicros
+			pt.WarmWhatIfMicros += s.warmWhatIfMicros
+		}
+		if pt.Platforms > 0 {
+			n := float64(pt.Platforms)
+			pt.Rows /= n
+			pt.SnapshotBytes /= n
+			pt.ColdBuildSeconds /= n
+			pt.WarmRebuildSeconds /= n
+			pt.CacheHitMicros /= n
+			pt.WarmWhatIfMicros /= n
+		}
+		if pt.WarmRebuildSeconds > 0 {
+			pt.WarmSpeedup = pt.ColdBuildSeconds / pt.WarmRebuildSeconds
+		}
+		if pt.CacheHitMicros > 0 {
+			pt.CacheSpeedup = pt.WarmWhatIfMicros / pt.CacheHitMicros
+		}
+
+		// (c) Ring phase: two replicas, every create through node 0,
+		// then a third joins and takes over its share of sessions.
+		if err := clusterRingPhase(opts, k, epochs, &pt); err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// clusterRingPhase boots an in-process two-replica ring over real
+// HTTP, loads it with this K's platforms through node 0, joins a
+// third replica (migrating moved sessions warm), and folds the ring
+// counters and the pre/post answer drift into pt.
+func clusterRingPhase(opts Options, k, epochs int, pt *ClusterPoint) error {
+	const nodes = 3
+	handlers := make([]*swapHandler, nodes)
+	servers := make([]*httptest.Server, nodes)
+	for i := range handlers {
+		handlers[i] = &swapHandler{}
+		servers[i] = httptest.NewServer(handlers[i])
+		defer servers[i].Close()
+	}
+	ring := make([]*service.Node, nodes)
+	ring[0] = service.NewNode(service.NewServer(service.NewPool(64)), servers[0].URL, []string{servers[1].URL}, nil)
+	ring[1] = service.NewNode(service.NewServer(service.NewPool(64)), servers[1].URL, []string{servers[0].URL}, nil)
+	ring[2] = service.NewNode(service.NewServer(service.NewPool(64)), servers[2].URL, nil, nil)
+	for i := range ring {
+		handlers[i].set(ring[i].Handler())
+	}
+	client := servers[0].Client()
+
+	postJSON := func(path string, body any, out any) error {
+		var rd io.Reader
+		if body != nil {
+			data, err := json.Marshal(body)
+			if err != nil {
+				return err
+			}
+			rd = bytes.NewReader(data)
+		}
+		resp, err := client.Post(servers[0].URL+path, "application/json", rd)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		return json.Unmarshal(raw, out)
+	}
+
+	type preAnswer struct {
+		id    string
+		value float64
+		bound float64
+	}
+	var pre []preAnswer
+	for i := 0; i < opts.PlatformsPer; i++ {
+		rng := subRNG(opts.Seed, k, i, saltCluster+1)
+		pl, payoffs, err := batchPlatform(k, rng)
+		if err != nil {
+			return err
+		}
+		encoded, err := pl.Encode()
+		if err != nil {
+			return err
+		}
+		var created service.CreateSessionResponse
+		if err := postJSON("/sessions", &service.CreateSessionRequest{
+			Platform:  encoded,
+			Objective: "maxmin",
+			Heuristic: "lprg",
+			Payoffs:   payoffs,
+		}, &created); err != nil {
+			return fmt.Errorf("experiments: E16 ring create K=%d: %w", k, err)
+		}
+		var rep service.SolveReport
+		if err := postJSON("/sessions/"+created.ID+"/query", nil, &rep); err != nil {
+			return err
+		}
+		pre = append(pre, preAnswer{id: created.ID, value: rep.Value, bound: rep.LPBound})
+	}
+
+	if err := ring[2].Join(servers[0].URL); err != nil {
+		return fmt.Errorf("experiments: E16 join K=%d: %w", k, err)
+	}
+	for _, p := range pre {
+		var rep service.SolveReport
+		if err := postJSON("/sessions/"+p.id+"/query", nil, &rep); err != nil {
+			return err
+		}
+		if d := relDiff(rep.Value, p.value); d > pt.MaxRingDiff {
+			pt.MaxRingDiff = d
+		}
+		if d := relDiff(rep.LPBound, p.bound); d > pt.MaxRingDiff {
+			pt.MaxRingDiff = d
+		}
+	}
+	for _, n := range ring {
+		st := n.Stats().Cluster
+		pt.Forwarded += st.Forwarded
+		pt.Migrations += st.Migrations
+		pt.RingWarmRebuilds += st.WarmRebuilds
+		pt.RingColdRebuilds += st.ColdRebuilds
+	}
+	return nil
+}

@@ -401,3 +401,41 @@ func RenderBatchCSV(points []BatchPoint) string {
 	}
 	return b.String()
 }
+
+// RenderClusterTable formats an E16 sweep as an aligned table.
+func RenderClusterTable(points []ClusterPoint) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %6s %6s %7s %9s %10s %10s %8s %5s %10s %9s %9s %8s %6s %6s %6s %6s %10s\n",
+		"K", "plats", "m", "epochs", "snap(B)", "cold(s)", "warm(s)", "speedup", "cold",
+		"rbdiff", "hit(us)", "wi(us)", "cachex", "fwd", "migr", "rwarm", "rcold", "ringdiff")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%4d %6d %6.1f %7d %9.0f %10.4g %10.4g %7.1fx %5d %10.2e %9.2f %9.2f %7.1fx %6d %6d %6d %6d %10.2e\n",
+			pt.K, pt.Platforms, pt.Rows, pt.Epochs, pt.SnapshotBytes,
+			pt.ColdBuildSeconds, pt.WarmRebuildSeconds, pt.WarmSpeedup, pt.WarmColdSolves,
+			pt.MaxRebuildDiff, pt.CacheHitMicros, pt.WarmWhatIfMicros, pt.CacheSpeedup,
+			pt.Forwarded, pt.Migrations, pt.RingWarmRebuilds, pt.RingColdRebuilds, pt.MaxRingDiff)
+	}
+	return b.String()
+}
+
+// RenderClusterCSV formats an E16 sweep as CSV.
+func RenderClusterCSV(points []ClusterPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("k,platforms,rows,epochs,snapshot_bytes,cold_build_seconds,warm_rebuild_seconds," +
+		"warm_speedup,warm_cold_solves,max_rebuild_diff,cache_hit_micros,warm_whatif_micros," +
+		"cache_speedup,forwarded,migrations,ring_warm_rebuilds,ring_cold_rebuilds,max_ring_diff\n")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%d,%d,%.6g,%d,%.6g,%.6g,%.6g,%.4g,%d,%.6g,%.6g,%.6g,%.4g,%d,%d,%d,%d,%.6g\n",
+			pt.K, pt.Platforms, pt.Rows, pt.Epochs, pt.SnapshotBytes,
+			pt.ColdBuildSeconds, pt.WarmRebuildSeconds, pt.WarmSpeedup, pt.WarmColdSolves,
+			pt.MaxRebuildDiff, pt.CacheHitMicros, pt.WarmWhatIfMicros, pt.CacheSpeedup,
+			pt.Forwarded, pt.Migrations, pt.RingWarmRebuilds, pt.RingColdRebuilds, pt.MaxRingDiff)
+	}
+	return b.String()
+}

@@ -18,3 +18,37 @@ type Basis struct {
 	cols  []int
 	upper []bool // nonbasic-at-upper-bound status per internal column
 }
+
+// Export copies the basis out of its opaque form: the basic column
+// set (length m, internal column indices) and the nonbasic-at-upper
+// statuses (length ncols, nil when the producing solve recorded
+// none). It exists for serialization — the scheduling cluster ships
+// (platform, committed state, basis) snapshots between replicas so a
+// session rebuilt elsewhere restarts warm instead of cold-solving —
+// and is representation-independent, like the Basis itself: a basis
+// exported from a Forrest–Tomlin instance warm-starts an eta-file or
+// dense-inverse rebuild. The returned slices are fresh copies; the
+// Basis stays immutable.
+func (b *Basis) Export() (cols []int, upper []bool) {
+	cols = append([]int(nil), b.cols...)
+	if b.upper != nil {
+		upper = append([]bool(nil), b.upper...)
+	}
+	return cols, upper
+}
+
+// ImportBasis is the inverse of Export: it rebuilds a Basis from a
+// serialized column set and at-upper statuses. The slices are copied,
+// so the caller may reuse its buffers. Indices are NOT validated here
+// — exactly as with a live Basis handed across instances, SolveFrom
+// checks the column set against the receiving instance and silently
+// falls back to a cold solve on any mismatch (wrong length, out of
+// range, duplicates, singular basis), so a corrupted import degrades
+// to correctness-preserving cold behavior rather than failing.
+func ImportBasis(cols []int, upper []bool) *Basis {
+	b := &Basis{cols: append([]int(nil), cols...)}
+	if upper != nil {
+		b.upper = append([]bool(nil), upper...)
+	}
+	return b
+}

@@ -37,6 +37,29 @@ func (r *Revised) SolveFrom(bas *Basis) (Solution, *Basis, error) {
 	return r.coldSolve()
 }
 
+// PrimeWarm prepares a freshly built instance to accept a warm start
+// without having cold-solved first. SolveFrom's warm path is gated on
+// signInit — the row normalization is ordinarily chosen by the first
+// cold solve — so a basis imported from another process (a migrated
+// or crash-recovered scheduling session) would silently fall back to
+// a cold solve on a new instance. The sign vector is an arbitrary
+// consistent row scaling: any fixed choice yields the same solutions,
+// only the internal representation differs. PrimeWarm fixes it to the
+// identity (+1 everywhere), after which SolveFrom(imported basis)
+// takes the warm path: warmSolve installs the foreign basis,
+// validates it, refactorizes, and proceeds — falling back to cold
+// only if the basis is genuinely unusable. A no-op once the instance
+// has solved (the established normalization is kept).
+func (r *Revised) PrimeWarm() {
+	if r.signInit {
+		return
+	}
+	for i := range r.sign {
+		r.sign[i] = 1
+	}
+	r.signInit = true
+}
+
 // SolveEphemeral is SolveFrom for callers that will not keep the
 // result: it solves identically (warm from bas when usable, cold
 // otherwise) but skips the final Basis snapshot and extracts the

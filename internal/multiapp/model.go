@@ -309,6 +309,23 @@ func (m *Model) RestoreState(s *CapacityState) {
 	}
 }
 
+// Basis returns the basis snapshot the last Solve ended with (nil
+// before the first solve) — the multiapp half of the session
+// serialization hooks: together with the platform description and the
+// committed capacity state it is everything a replica needs to
+// rebuild this model warm.
+func (m *Model) Basis() *lp.Basis { return m.basis }
+
+// InstallBasis seeds the model's carried basis — paired with
+// PrimeWarm when rebuilding from a serialized snapshot, so the first
+// Solve restarts warm from the imported basis.
+func (m *Model) InstallBasis(b *lp.Basis) { m.basis = b }
+
+// PrimeWarm prepares this model's freshly built solver to accept an
+// imported basis warm (see lp.Revised.PrimeWarm). A no-op once the
+// model has solved.
+func (m *Model) PrimeWarm() { m.rev.PrimeWarm() }
+
 // Solve solves the relaxation under the current capacities,
 // warm-starting from the previous solve's basis when one exists.
 func (m *Model) Solve() (*RelaxedSolution, error) {

@@ -1,0 +1,103 @@
+package multiapp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/platgen"
+)
+
+// TestModelWarmRebuildFromExportedBasis is the multiapp half of the
+// session-portability contract: a Model driven through capacity drift
+// exports its basis (Basis/Export), and a brand-new Model built from
+// a platform carrying the same capacities — as a replica rebuilding
+// from a snapshot would — installs it (ImportBasis/InstallBasis) over
+// a primed solver and re-solves with zero cold solves to the same
+// objective.
+func TestModelWarmRebuildFromExportedBasis(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed + 400))
+		params := platgen.Params{
+			K:             3 + rng.Intn(4),
+			Connectivity:  0.6,
+			Heterogeneity: 0.4,
+			MeanG:         150,
+			MeanBW:        20,
+			MeanMaxCon:    5,
+		}
+		pl, err := platgen.Generate(params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		K := pl.K()
+		var apps []App
+		for a := 0; a < K+2; a++ {
+			apps = append(apps, App{Name: "a", Origin: rng.Intn(K), Payoff: float64(1 + rng.Intn(3))})
+		}
+		obj := []core.Objective{core.SUM, core.MAXMIN}[seed%2]
+
+		// Drive the source model through drift, mirroring every change
+		// onto a cloned platform (the "committed state" a snapshot
+		// carries).
+		src, err := (&Problem{Platform: pl, Apps: apps}).NewModel(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Solve(); err != nil {
+			t.Fatal(err)
+		}
+		mod := pl.Clone()
+		for epoch := 0; epoch < 3; epoch++ {
+			for k := 0; k < K; k++ {
+				mod.Clusters[k].Gateway *= 0.6 + 0.5*rng.Float64()
+				mod.Clusters[k].Speed *= 0.6 + 0.5*rng.Float64()
+				if err := src.SetGateway(k, mod.Clusters[k].Gateway); err != nil {
+					t.Fatal(err)
+				}
+				if err := src.SetSpeed(k, mod.Clusters[k].Speed); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := src.Solve(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := src.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Basis() == nil {
+			t.Fatalf("seed %d: no carried basis after solves", seed)
+		}
+		cols, upper := src.Basis().Export()
+
+		// Replica: fresh model over the drifted platform, primed and
+		// seeded with the imported basis.
+		dst, err := (&Problem{Platform: mod, Apps: apps}).NewModel(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst.PrimeWarm()
+		dst.InstallBasis(lp.ImportBasis(cols, upper))
+		got, err := dst.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: rebuilt solve: %v", seed, err)
+		}
+		if st := dst.rev.Stats(); st.ColdSolves != 0 || st.ColdFallbacks != 0 {
+			t.Fatalf("seed %d: rebuild was not warm: %+v", seed, st)
+		}
+		if diff := math.Abs(got.Objective - want.Objective); diff > 1e-9*(1+math.Abs(want.Objective)) {
+			t.Fatalf("seed %d: rebuilt objective %g vs source %g (diff %g)", seed, got.Objective, want.Objective, diff)
+		}
+		for a := range want.Alpha {
+			for l := range want.Alpha[a] {
+				if math.Abs(got.Alpha[a][l]-want.Alpha[a][l]) > 1e-9 {
+					t.Fatalf("seed %d: alpha[%d][%d] = %g vs %g", seed, a, l, got.Alpha[a][l], want.Alpha[a][l])
+				}
+			}
+		}
+	}
+}

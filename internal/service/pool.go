@@ -33,6 +33,18 @@ type Pool struct {
 	misses    uint64
 	evictions uint64
 	retired   lp.Stats
+	// retiredCacheHits/Misses carry evicted sessions' answer-cache
+	// counters so the pool-wide cluster stats stay monotone, exactly
+	// like the retired solver aggregate.
+	retiredCacheHits   uint64
+	retiredCacheMisses uint64
+
+	// hook, when set (before serving — there is no lock around reads),
+	// is installed as every session's onCommit callback and invoked
+	// once right after a session is created or installed, so the
+	// cluster layer persists a snapshot at every committed state:
+	// creation, epoch commits, migration arrivals.
+	hook func(*Session)
 }
 
 type entry struct {
@@ -101,6 +113,12 @@ func (p *Pool) GetOrCreate(req *CreateSessionRequest) (sess *Session, initial *S
 	p.retire(evicted)
 
 	e.sess, e.initial, e.err = newSession(pl, cfg)
+	if e.err == nil && p.hook != nil {
+		// Wire the commit hook before the session becomes reachable
+		// (ready closes below), then persist the creation state.
+		e.sess.onCommit = p.hook
+		p.hook(e.sess)
+	}
 	if e.err != nil {
 		// Failed creations are not cached: drop the entry so a
 		// corrected retry rebuilds.
@@ -138,9 +156,9 @@ func (p *Pool) evictOverflowLocked() []*entry {
 	return evicted
 }
 
-// retire folds evicted sessions' solver counters into the retired
-// aggregate. Entries still building are waited for; a failed build
-// contributes nothing.
+// retire folds evicted sessions' solver and answer-cache counters
+// into the retired aggregates. Entries still building are waited for;
+// a failed build contributes nothing.
 func (p *Pool) retire(evicted []*entry) {
 	for _, e := range evicted {
 		<-e.ready
@@ -148,9 +166,49 @@ func (p *Pool) retire(evicted []*entry) {
 			continue
 		}
 		st := e.sess.SolverStats()
+		hits, misses := e.sess.CacheStats()
 		p.mu.Lock()
 		p.retired.Add(st)
+		p.retiredCacheHits += hits
+		p.retiredCacheMisses += misses
 		p.mu.Unlock()
+	}
+}
+
+// SetSessionHook installs fn as the commit hook of every session the
+// pool creates or installs from now on: fn runs right after creation
+// and after every epoch commit, outside the session mutex. Set it
+// before the pool starts serving — it is read without a lock.
+func (p *Pool) SetSessionHook(fn func(*Session)) { p.hook = fn }
+
+// Install puts a fully built session (a snapshot rebuild — recovery
+// or inbound migration) into the pool under its own ID, replacing any
+// resident session with that ID (the replaced session's counters are
+// retired; replacement counts as an eviction). The installed session
+// gets the pool's commit hook and its current state is persisted
+// through it.
+func (p *Pool) Install(sess *Session) {
+	if p.hook != nil {
+		sess.onCommit = p.hook
+	}
+	ready := make(chan struct{})
+	close(ready)
+	e := &entry{id: sess.id, ready: ready, sess: sess}
+	p.mu.Lock()
+	var retired []*entry
+	if old, ok := p.entries[sess.id]; ok {
+		p.order.Remove(old.elem)
+		delete(p.entries, sess.id)
+		p.evictions++
+		retired = append(retired, old)
+	}
+	e.elem = p.order.PushFront(e)
+	p.entries[sess.id] = e
+	retired = append(retired, p.evictOverflowLocked()...)
+	p.mu.Unlock()
+	p.retire(retired)
+	if p.hook != nil {
+		p.hook(sess)
 	}
 }
 
@@ -234,6 +292,8 @@ func (p *Pool) Stats() PoolStatsResponse {
 		Evictions: p.evictions,
 		Retired:   p.retired,
 	}
+	resp.Cluster.CacheHits = p.retiredCacheHits
+	resp.Cluster.CacheMisses = p.retiredCacheMisses
 	p.mu.Unlock()
 	if total := resp.Hits + resp.Misses; total > 0 {
 		resp.HitRate = float64(resp.Hits) / float64(total)
@@ -244,6 +304,8 @@ func (p *Pool) Stats() PoolStatsResponse {
 		st := s.Stats()
 		resp.Sessions = append(resp.Sessions, st)
 		resp.Total.Add(st.Solver)
+		resp.Cluster.CacheHits += st.CacheHits
+		resp.Cluster.CacheMisses += st.CacheMisses
 	}
 	return resp
 }

@@ -1,0 +1,454 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/platform"
+)
+
+// forwardedHeader marks a request already proxied once by a ring
+// member. A forwarded request is always served locally — whichever
+// node holds the session answers — so routing disagreements during a
+// membership change degrade to one extra hop, never a forwarding
+// loop.
+const forwardedHeader = "X-Schedd-Forwarded"
+
+// Node wraps a Server in the cluster role: consistent-hash routing of
+// session traffic to its ring owner, session migration on membership
+// change, snapshot persistence for crash recovery, and the cluster
+// section of /stats. The ring key is the session ID — a digest of
+// platform.Fingerprint() plus the solver configuration — computed
+// from the request body for creates and taken from the path for
+// everything else, so every replica routes identically with no shared
+// state beyond the member list.
+type Node struct {
+	srv    *Server
+	self   string // this replica's advertised base URL
+	store  *cluster.Store
+	client *http.Client
+
+	mu   sync.Mutex
+	ring *cluster.Ring
+
+	forwarded     atomic.Uint64
+	migrations    atomic.Uint64
+	warmRebuilds  atomic.Uint64
+	coldRebuilds  atomic.Uint64
+	snapshotBytes atomic.Uint64
+}
+
+// NewNode makes srv a ring member advertised as self (a base URL,
+// e.g. "http://10.0.0.3:8080"), with peers as the initial member list
+// (self is always included) and store as the snapshot directory for
+// crash recovery — nil disables persistence. The pool's session hook
+// is pointed at the store, so every committed state change (creation,
+// epoch commit, migration arrival) persists a fresh snapshot.
+func NewNode(srv *Server, self string, peers []string, store *cluster.Store) *Node {
+	n := &Node{
+		srv:    srv,
+		self:   self,
+		store:  store,
+		client: &http.Client{Timeout: 30 * time.Second},
+		ring:   cluster.NewRing(append([]string{self}, peers...), 0),
+	}
+	if store != nil {
+		srv.Pool().SetSessionHook(func(s *Session) {
+			snap, err := s.Snapshot()
+			if err != nil {
+				return // no basis yet: nothing worth persisting
+			}
+			if nb, err := store.Save(snap); err == nil {
+				n.snapshotBytes.Add(uint64(nb))
+			}
+		})
+	}
+	return n
+}
+
+// Self returns this replica's advertised URL.
+func (n *Node) Self() string { return n.self }
+
+func (n *Node) currentRing() *cluster.Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+// Members returns the current member list.
+func (n *Node) Members() []string { return n.currentRing().Members() }
+
+// Handler returns the node's route table: the cluster control
+// endpoints, the /stats interception that adds the cluster section,
+// and the owner-routing wrapper around the plain service routes.
+func (n *Node) Handler() http.Handler {
+	inner := n.srv.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cluster/members", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, membersMessage{Members: n.Members()})
+	})
+	mux.HandleFunc("POST /cluster/members", n.handleSetMembers)
+	mux.HandleFunc("POST /cluster/join", n.handleJoin)
+	mux.HandleFunc("POST /cluster/migrate", n.handleMigrate)
+	mux.HandleFunc("GET /stats", n.handleStats)
+	mux.Handle("/", n.routed(inner))
+	return mux
+}
+
+// routed forwards session traffic to its ring owner; everything else
+// — and everything this replica owns or was explicitly forwarded — is
+// served by the inner handler.
+func (n *Node) routed(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(forwardedHeader) != "" || !strings.HasPrefix(r.URL.Path, "/sessions") {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		key, body, ok := n.routingKey(r)
+		if body != nil {
+			// The body was consumed to compute the key; hand the
+			// buffered copy to whoever serves the request.
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		if !ok {
+			inner.ServeHTTP(w, r) // let the service produce the error
+			return
+		}
+		owner := n.currentRing().Owner(key)
+		if owner == "" || owner == n.self {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		n.forward(w, r, owner, body)
+	})
+}
+
+// routingKey derives the ring key for a session request: the session
+// ID from the path, or — for POST /sessions — the ID the create will
+// resolve to, computed from the decoded body exactly as the pool
+// does. ok=false means the request has no routable key (the list
+// endpoint, or an undecodable create) and is served locally; body is
+// non-nil whenever the request body was consumed.
+func (n *Node) routingKey(r *http.Request) (key string, body []byte, ok bool) {
+	rest := strings.TrimPrefix(r.URL.Path, "/sessions")
+	if rest == "" || rest == "/" {
+		if r.Method != http.MethodPost {
+			return "", nil, false // GET /sessions lists local sessions
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil || len(body) > maxBodyBytes {
+			return "", body, false
+		}
+		var req CreateSessionRequest
+		if json.Unmarshal(body, &req) != nil || len(req.Platform) == 0 {
+			return "", body, false
+		}
+		cfg, err := parseConfig(&req)
+		if err != nil {
+			return "", body, false
+		}
+		pl, err := platform.Decode(req.Platform)
+		if err != nil {
+			return "", body, false
+		}
+		return sessionID(pl.Fingerprint(), cfg), body, true
+	}
+	id, _, _ := strings.Cut(strings.TrimPrefix(rest, "/"), "/")
+	if id == "" {
+		return "", nil, false
+	}
+	return id, nil, true
+}
+
+// forward proxies the request to owner, marking it forwarded so the
+// owner serves it locally no matter what its own ring says.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
+	n.forwarded.Add(1)
+	if body == nil && r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Errorf("reading body for forward: %w", err))
+			return
+		}
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("forwarding to %s: %w", owner, err))
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(forwardedHeader, n.self)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("forwarding to %s: %w", owner, err))
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // nothing to do about a failed relay
+}
+
+// membersMessage is the wire form of a full member list (broadcast on
+// membership change, and the join response).
+type membersMessage struct {
+	Members []string `json:"members"`
+}
+
+// joinRequest announces a new member to a seed node.
+type joinRequest struct {
+	Member string `json:"member"`
+}
+
+// migrateResponse answers POST /cluster/migrate.
+type migrateResponse struct {
+	ID   string `json:"id"`
+	Warm bool   `json:"warm"`
+	// Report is the rebuilt session's committed answer, so the sender
+	// can verify bit-compatibility before dropping its copy.
+	Report *SolveReport `json:"report"`
+}
+
+// SetMembers installs a new member list (self is always included),
+// rebuilds the ring, and synchronously migrates away every local
+// session the new ring assigns elsewhere. A failed transfer keeps the
+// session local — it stays reachable through forwarding.
+func (n *Node) SetMembers(members []string) {
+	ring := cluster.NewRing(append([]string{n.self}, members...), 0)
+	n.mu.Lock()
+	n.ring = ring
+	n.mu.Unlock()
+	n.rebalance(ring)
+}
+
+// rebalance ships every local session whose owner under ring is some
+// other member: snapshot → POST /cluster/migrate → on success evict
+// the local copy and its snapshot file.
+func (n *Node) rebalance(ring *cluster.Ring) {
+	for _, sess := range n.srv.Pool().Sessions() {
+		owner := ring.Owner(sess.id)
+		if owner == "" || owner == n.self {
+			continue
+		}
+		if err := n.migrate(sess, owner); err != nil {
+			continue // keep serving locally; forwarding still finds us
+		}
+	}
+}
+
+func (n *Node) migrate(sess *Session, owner string) error {
+	snap, err := sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, owner+"/cluster/migrate", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("migrate %s to %s: status %d", sess.id, owner, resp.StatusCode)
+	}
+	n.srv.Pool().Evict(sess.id)
+	if n.store != nil {
+		n.store.Delete(snap.ID) //nolint:errcheck // best effort: a stale file is re-skipped at recovery
+	}
+	n.migrations.Add(1)
+	return nil
+}
+
+func (n *Node) handleSetMembers(w http.ResponseWriter, r *http.Request) {
+	var msg membersMessage
+	if !decodeBody(w, r, &msg) {
+		return
+	}
+	n.SetMembers(msg.Members)
+	writeJSON(w, http.StatusOK, membersMessage{Members: n.Members()})
+}
+
+// handleJoin admits a new member: union it into the member list,
+// broadcast the full list to every member (best effort — the joiner
+// also gets it in the response), and answer with the list.
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Member == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("join: empty member"))
+		return
+	}
+	members := append(n.Members(), req.Member)
+	n.SetMembers(members)
+	full := n.Members()
+	for _, m := range full {
+		if m == n.self || m == req.Member {
+			continue // self already applied; the joiner applies the response
+		}
+		n.broadcastMembers(m, full)
+	}
+	writeJSON(w, http.StatusOK, membersMessage{Members: full})
+}
+
+func (n *Node) broadcastMembers(member string, members []string) {
+	data, err := json.Marshal(membersMessage{Members: members})
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost, member+"/cluster/members", bytes.NewReader(data))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := n.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// handleMigrate receives a session from another replica: verify the
+// snapshot, rebuild warm, install into the pool (which persists it to
+// this replica's store through the session hook), and answer with the
+// rebuilt committed report.
+func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil || len(data) > maxBodyBytes {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading snapshot"))
+		return
+	}
+	snap, err := cluster.DecodeSnapshot(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, rep, warm, err := RestoreSession(snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rebuilding session: %w", err))
+		return
+	}
+	n.srv.Pool().Install(sess)
+	if warm {
+		n.warmRebuilds.Add(1)
+	} else {
+		n.coldRebuilds.Add(1)
+	}
+	writeJSON(w, http.StatusOK, migrateResponse{ID: sess.id, Warm: warm, Report: rep})
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.Stats())
+}
+
+// Stats is the pool's /stats response with the node's cluster
+// counters and ring view filled in.
+func (n *Node) Stats() PoolStatsResponse {
+	resp := n.srv.Pool().Stats()
+	resp.Cluster.Forwarded = n.forwarded.Load()
+	resp.Cluster.Migrations = n.migrations.Load()
+	resp.Cluster.WarmRebuilds = n.warmRebuilds.Load()
+	resp.Cluster.ColdRebuilds = n.coldRebuilds.Load()
+	resp.Cluster.SnapshotBytes = n.snapshotBytes.Load()
+	resp.Cluster.Self = n.self
+	resp.Cluster.Members = n.Members()
+	return resp
+}
+
+// Join announces this replica to a seed member and adopts the member
+// list the seed answers with (the seed also broadcasts it to the rest
+// of the ring). Sessions the new ring assigns to this replica migrate
+// over as each current holder rebalances.
+func (n *Node) Join(seed string) error {
+	data, err := json.Marshal(joinRequest{Member: n.self})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, seed+"/cluster/join", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("joining %s: %w", seed, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("joining %s: status %d", seed, resp.StatusCode)
+	}
+	var msg membersMessage
+	if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil {
+		return fmt.Errorf("joining %s: decoding member list: %w", seed, err)
+	}
+	n.SetMembers(msg.Members)
+	return nil
+}
+
+// Recover rebuilds every decodable session snapshot in the store,
+// installing each into the pool warm. Corrupt snapshots are skipped
+// (their sessions rebuild cold from traffic later); the return counts
+// warm rebuilds, cold rebuilds and skipped files.
+func (n *Node) Recover() (warm, cold, skipped int, err error) {
+	if n.store == nil {
+		return 0, 0, 0, nil
+	}
+	snaps, sk, err := n.store.LoadAll()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	skipped = sk
+	for _, snap := range snaps {
+		sess, _, w, rerr := RestoreSession(snap)
+		if rerr != nil {
+			skipped++
+			continue
+		}
+		n.srv.Pool().Install(sess)
+		if w {
+			n.warmRebuilds.Add(1)
+			warm++
+		} else {
+			n.coldRebuilds.Add(1)
+			cold++
+		}
+	}
+	return warm, cold, skipped, nil
+}
+
+// PersistAll snapshots every live session to the store — the periodic
+// persistence tick, and the graceful-shutdown flush.
+func (n *Node) PersistAll() {
+	if n.store == nil {
+		return
+	}
+	for _, sess := range n.srv.Pool().Sessions() {
+		snap, err := sess.Snapshot()
+		if err != nil {
+			continue
+		}
+		if nb, err := n.store.Save(snap); err == nil {
+			n.snapshotBytes.Add(uint64(nb))
+		}
+	}
+}

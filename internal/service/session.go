@@ -34,11 +34,23 @@ import (
 	"sync/atomic"
 
 	"repro/internal/adapt"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/heuristics"
 	"repro/internal/lp"
 	"repro/internal/platform"
 )
+
+// sessionCacheCap bounds each session's answer cache. The hot set is
+// the repeat queries against the current committed state; superseded
+// epochs' entries are invalidated on commit, so a small cache holds
+// everything that can still hit.
+const sessionCacheCap = 256
+
+// queryCacheKey is the answer-cache key of the committed-state query
+// answer. Canonical what-if keys are JSON objects (they start with
+// '{'), so a control byte prefix cannot collide with them.
+const queryCacheKey = "\x01query"
 
 // sessionConfig is the normalized solver configuration of a session.
 type sessionConfig struct {
@@ -127,23 +139,41 @@ type Session struct {
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
+
+	// cache memoizes answers under (committed-state digest, canonical
+	// query key). stateKey is the authoritative digest of the
+	// committed state — the drifted platform's fingerprint plus the
+	// epoch counter — maintained under mu on every commit; state
+	// publishes it for lock-free cache lookups. Because the epoch
+	// counter strictly increases, a commit always rotates the digest:
+	// a stale hit after a commit is impossible even before the
+	// commit's explicit invalidation sweep.
+	cache    *cluster.AnswerCache
+	stateKey string
+	state    atomic.Value // string, mirrors stateKey
+
+	// onCommit, when set (by the pool's session hook), runs after
+	// every committed state change — creation and epoch commits —
+	// outside the session mutex. The cluster layer uses it to persist
+	// a fresh snapshot.
+	onCommit func(*Session)
 }
 
-// newSession validates the platform, builds the warm model and runs
-// the initial (cold) solve to establish the carried basis, returning
-// its report alongside the session so creation does not pay a second
-// solve. Every later solve on the session is a warm restart.
-func newSession(pl *platform.Platform, cfg sessionConfig) (*Session, *SolveReport, error) {
+// buildSession assembles a session's model and bookkeeping without
+// solving anything — the shared half of newSession (which follows
+// with the initial cold solve) and RestoreSession (which installs a
+// snapshot's basis and solves warm instead).
+func buildSession(pl *platform.Platform, cfg sessionConfig) (*Session, error) {
 	pr := core.NewProblem(pl)
 	if cfg.payoffs != nil {
 		if len(cfg.payoffs) != pr.K() {
-			return nil, nil, fmt.Errorf("%d payoffs for %d clusters", len(cfg.payoffs), pr.K())
+			return nil, fmt.Errorf("%d payoffs for %d clusters", len(cfg.payoffs), pr.K())
 		}
 		pr.Payoffs = append([]float64(nil), cfg.payoffs...)
 	}
 	model, err := pr.NewModel(cfg.obj)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	s := &Session{
 		fingerprint: pl.Fingerprint(),
@@ -152,14 +182,77 @@ func newSession(pl *platform.Platform, cfg sessionConfig) (*Session, *SolveRepor
 		pr:          pr,
 		model:       model,
 		flights:     make(map[string]*flight),
+		cache:       cluster.NewAnswerCache(sessionCacheCap),
 	}
 	s.id = sessionID(s.fingerprint, cfg)
+	s.refreshStateLocked() // unshared yet, so "locked" trivially holds
+	return s, nil
+}
+
+// newSession validates the platform, builds the warm model and runs
+// the initial (cold) solve to establish the carried basis, returning
+// its report alongside the session so creation does not pay a second
+// solve. Every later solve on the session is a warm restart.
+func newSession(pl *platform.Platform, cfg sessionConfig) (*Session, *SolveReport, error) {
+	s, err := buildSession(pl, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	rep, err := s.Query()
 	if err != nil {
 		return nil, nil, fmt.Errorf("initial solve: %w", err)
 	}
 	return s, rep, nil
 }
+
+// refreshStateLocked recomputes the committed-state digest from the
+// current (drifted) platform and epoch counter and publishes it for
+// lock-free cache lookups. Called under mu at every commit.
+func (s *Session) refreshStateLocked() {
+	s.stateKey = s.pl.Fingerprint() + "@" + fmt.Sprint(s.epoch)
+	s.state.Store(s.stateKey)
+}
+
+// cacheLookup serves query from the answer cache against the
+// currently published committed state, copying the stored report with
+// Cached set. Lock-free: a hit is an answer that was valid at lookup
+// time, exactly as a solve that finished just before a concurrent
+// commit would be.
+func (s *Session) cacheLookup(query string) (*SolveReport, bool) {
+	state, _ := s.state.Load().(string)
+	if state == "" {
+		return nil, false
+	}
+	v, ok := s.cache.Get(state, query)
+	if !ok {
+		return nil, false
+	}
+	rep := *(v.(*SolveReport))
+	rep.Cached = true
+	return &rep, true
+}
+
+// cachePutLocked stores rep under the authoritative committed-state
+// digest. Must run under mu so the answer can never be filed under a
+// state it was not computed against (the digest only moves inside
+// epoch commits, which also hold mu). The stored copy is private:
+// later hits return copies of it, and the caller's report stays
+// mutable without aliasing the cache.
+func (s *Session) cachePutLocked(query string, rep *SolveReport) {
+	cp := *rep
+	s.cache.Put(s.stateKey, query, &cp)
+}
+
+// CacheStats returns the session's answer-cache hit/miss counters.
+func (s *Session) CacheStats() (hits, misses uint64) {
+	return s.cache.Hits(), s.cache.Misses()
+}
+
+// FlushAnswerCache drops every cached answer; the hit/miss counters
+// survive (they feed monotone /stats aggregates) and subsequent
+// requests re-solve warm and re-populate. For measurements that need
+// the uncached solve path, and for reclaiming memory.
+func (s *Session) FlushAnswerCache() { s.cache.Flush() }
 
 // Info snapshots the session's description.
 func (s *Session) Info() SessionInfo {
@@ -202,6 +295,8 @@ func (s *Session) Stats() SessionStats {
 		WhatIfs:          s.whatIfs.Load(),
 		CoalescedWhatIfs: s.coalesced.Load(),
 		Epochs:           s.epochs.Load(),
+		CacheHits:        s.cache.Hits(),
+		CacheMisses:      s.cache.Misses(),
 		Solver:           solver,
 	}
 }
@@ -223,13 +318,25 @@ func (s *Session) BetaRoutes() []core.Pair {
 }
 
 // Query answers the committed state: the heuristic allocation and
-// objective on the session's current platform, solved warm from the
-// carried basis (which the solve also refreshes).
+// objective on the session's current platform. A repeat query against
+// an unchanged committed state is an answer-cache hit (the solve it
+// skips would have been a warm restart at ~zero pivots — the cache
+// turns it into a map lookup); otherwise it solves warm from the
+// carried basis and caches the answer. Cached answers carry the
+// solver-stats snapshot of the solve that produced them, so repeat
+// hits are byte-identical.
 func (s *Session) Query() (*SolveReport, error) {
 	s.queries.Add(1)
+	if rep, ok := s.cacheLookup(queryCacheKey); ok {
+		return rep, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.solveLocked(s.pr)
+	rep, err := s.solveLocked(s.pr)
+	if err == nil {
+		s.cachePutLocked(queryCacheKey, rep)
+	}
+	return rep, err
 }
 
 // heuristicSolve runs the configured heuristic over the session model
@@ -334,13 +441,21 @@ func (s *Session) relaxReportLocked(sol *core.MixedSolution) *SolveReport {
 	return rep
 }
 
-// WhatIf answers a hypothetical without committing it. Identical
-// concurrent requests (same canonical JSON) coalesce onto one solve;
-// every caller gets the shared report (waiters see Coalesced=true).
+// WhatIf answers a hypothetical without committing it. A repeat of an
+// identical what-if against an unchanged committed state is an
+// answer-cache hit (Cached=true, no solve at all — what-ifs roll back
+// exactly, so the same request against the same committed state is
+// the same answer). Identical *concurrent* requests (same canonical
+// JSON) coalesce onto one solve; every caller gets the shared report
+// (waiters see Coalesced=true).
 func (s *Session) WhatIf(req *WhatIfRequest) (*SolveReport, error) {
 	key, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
+	}
+	if rep, ok := s.cacheLookup(string(key)); ok {
+		s.whatIfs.Add(1)
+		return rep, nil
 	}
 	s.flightMu.Lock()
 	if f, ok := s.flights[string(key)]; ok {
@@ -358,7 +473,7 @@ func (s *Session) WhatIf(req *WhatIfRequest) (*SolveReport, error) {
 	s.flights[string(key)] = f
 	s.flightMu.Unlock()
 
-	f.rep, f.err = s.whatIfSolve(req)
+	f.rep, f.err = s.whatIfSolve(req, string(key))
 
 	s.flightMu.Lock()
 	delete(s.flights, string(key))
@@ -371,12 +486,21 @@ func (s *Session) WhatIf(req *WhatIfRequest) (*SolveReport, error) {
 // capacity/bound state, apply the hypothetical, solve warm from the
 // committed basis (ephemerally — the resulting basis is discarded,
 // the committed basis is never mutated), and restore the snapshot
-// exactly before releasing the session.
-func (s *Session) whatIfSolve(req *WhatIfRequest) (*SolveReport, error) {
+// exactly before releasing the session. The answer is cached under
+// the committed-state digest while mu is still held, so it can never
+// be filed against a state other than the one it was computed on.
+func (s *Session) whatIfSolve(req *WhatIfRequest, key string) (*SolveReport, error) {
 	s.whatIfs.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	rep, err := s.whatIfSolveLocked(req)
+	if err == nil && rep != nil {
+		s.cachePutLocked(key, rep)
+	}
+	return rep, err
+}
 
+func (s *Session) whatIfSolveLocked(req *WhatIfRequest) (*SolveReport, error) {
 	epl, err := s.hypotheticalPlatform(req)
 	if err != nil {
 		return nil, err
@@ -490,11 +614,24 @@ func applyBound(m betaBounder, b RouteBounds) error {
 // Epoch commits a capacity update: the perturbation factors apply to
 // the session's current platform (drift accumulates), the new
 // capacities are injected into the model as RHS/bound mutations, and
-// the answer re-solves warm from the carried basis.
+// the answer re-solves warm from the carried basis. The commit
+// rotates the committed-state digest and invalidates the previous
+// state's cached answers — a post-commit query can only ever see a
+// post-commit answer — and runs the commit hook (snapshot
+// persistence) outside the session mutex.
 func (s *Session) Epoch(req *EpochRequest) (*SolveReport, error) {
 	s.epochs.Add(1)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	rep, err := s.epochLocked(req)
+	hook := s.onCommit
+	s.mu.Unlock()
+	if err == nil && hook != nil {
+		hook(s)
+	}
+	return rep, err
+}
+
+func (s *Session) epochLocked(req *EpochRequest) (*SolveReport, error) {
 	pert := adapt.Perturbation{
 		GatewayFactor: req.GatewayFactor,
 		SpeedFactor:   req.SpeedFactor,
@@ -518,5 +655,12 @@ func (s *Session) Epoch(req *EpochRequest) (*SolveReport, error) {
 	s.pl = epl
 	s.pr = &core.Problem{Platform: epl, Payoffs: s.pr.Payoffs}
 	s.epoch++
-	return s.solveLocked(s.pr)
+	prevState := s.stateKey
+	s.refreshStateLocked()
+	s.cache.InvalidateState(prevState)
+	rep, err := s.solveLocked(s.pr)
+	if err == nil {
+		s.cachePutLocked(queryCacheKey, rep)
+	}
+	return rep, err
 }

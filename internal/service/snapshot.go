@@ -1,0 +1,97 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/lp"
+	"repro/internal/platform"
+)
+
+// This file is the session half of the cluster integration: turning a
+// live warm session into a cluster.SessionSnapshot and rebuilding one
+// — warm — from a snapshot, on any replica. The committed state of a
+// session is fully derivable from (drifted platform, configuration,
+// carried basis, epoch counter): epochs mutate the platform in place
+// and every solve re-injects its capacities, so no mutation history
+// needs shipping.
+
+// Snapshot serializes the session's committed state under the session
+// mutex: identity, configuration, epoch, the current drifted platform
+// and the carried basis in exported form. The returned snapshot is
+// not yet sealed — the store or transfer path calls Encode, which
+// stamps the version and checksum.
+func (s *Session) Snapshot() (*cluster.SessionSnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.basis == nil {
+		return nil, fmt.Errorf("session %s has no carried basis yet", s.id)
+	}
+	plJSON, err := s.pl.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("encoding platform: %w", err)
+	}
+	snap := &cluster.SessionSnapshot{
+		ID:          s.id,
+		Fingerprint: s.fingerprint,
+		Objective:   s.cfg.objName,
+		Heuristic:   s.cfg.heur,
+		Payoffs:     s.cfg.payoffs,
+		Seed:        s.cfg.seed,
+		MaxNodes:    s.cfg.maxNodes,
+		Epoch:       s.epoch,
+		Platform:    plJSON,
+	}
+	snap.SetBasis(s.basis.Export())
+	return snap, nil
+}
+
+// RestoreSession rebuilds a session from a (verified) snapshot: the
+// drifted platform is decoded and validated, a fresh model is built
+// over it, the solver is primed for a foreign basis and the
+// snapshot's basis installed, and the committed answer is re-solved —
+// one warm dual-simplex restart, typically zero pivots. warm reports
+// whether the rebuild really was warm (no cold solves, no cold
+// fallbacks); a basis the solver rejects degrades to a correct cold
+// rebuild rather than an error. The initial report is returned so the
+// caller (recovery, migration) can verify bit-compatibility against
+// the pre-transfer answers.
+func RestoreSession(snap *cluster.SessionSnapshot) (*Session, *SolveReport, bool, error) {
+	cfg, err := parseConfig(&CreateSessionRequest{
+		Objective: snap.Objective,
+		Heuristic: snap.Heuristic,
+		Payoffs:   snap.Payoffs,
+		Seed:      snap.Seed,
+		MaxNodes:  snap.MaxNodes,
+	})
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("snapshot configuration: %w", err)
+	}
+	if got := sessionID(snap.Fingerprint, cfg); got != snap.ID {
+		return nil, nil, false, fmt.Errorf("snapshot identity mismatch: id %s does not digest from its fingerprint and configuration (got %s)", snap.ID, got)
+	}
+	pl, err := platform.Decode(snap.Platform)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("snapshot platform: %w", err)
+	}
+	s, err := buildSession(pl, cfg)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	// The session keeps its creation-time identity: the drifted
+	// platform hashes differently, but the pool key and fingerprint
+	// are those of the platform the session was created for.
+	s.id = snap.ID
+	s.fingerprint = snap.Fingerprint
+	s.epoch = snap.Epoch
+	s.refreshStateLocked() // unshared: rekey the cache to the true epoch
+	s.model.PrimeWarm()
+	s.basis = lp.ImportBasis(snap.Basis())
+	rep, err := s.Query()
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("rebuild solve: %w", err)
+	}
+	st := s.model.SolverStats()
+	warm := st.ColdSolves == 0 && st.ColdFallbacks == 0
+	return s, rep, warm, nil
+}

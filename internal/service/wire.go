@@ -178,6 +178,11 @@ type SolveReport struct {
 	// Coalesced marks an answer shared from an identical concurrent
 	// what-if rather than solved separately.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Cached marks an answer served from the committed-state answer
+	// cache instead of solved. Apart from this flag the report is
+	// byte-identical to the solve that populated the cache (including
+	// its solver-stats snapshot, which is frozen at population time).
+	Cached bool `json:"cached,omitempty"`
 	// Stats snapshots the session's cumulative solver counters after
 	// this solve (for a batch CLI report: the counters of just this
 	// run).
@@ -191,6 +196,11 @@ type SessionStats struct {
 	WhatIfs          uint64 `json:"whatIfs"`
 	CoalescedWhatIfs uint64 `json:"coalescedWhatIfs"`
 	Epochs           uint64 `json:"epochs"`
+	// CacheHits/CacheMisses count this session's answer-cache
+	// activity (queries and what-ifs served without a solve vs cache
+	// consults that went on to solve).
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
 	// Solver is the session's cumulative lp.Revised counters: the
 	// warm/cold solve split, pivots, refactorizations, bound flips.
 	Solver lp.Stats `json:"solver"`
@@ -209,6 +219,37 @@ type PoolStatsResponse struct {
 	// Total aggregates Retired plus every live session's counters.
 	Total    lp.Stats       `json:"total"`
 	Sessions []SessionStats `json:"sessions"`
+	// Cluster aggregates the cluster counters pool-wide: answer-cache
+	// activity merged over live and retired sessions, plus — when the
+	// process runs as a ring node — this replica's routing, migration,
+	// rebuild and snapshot-persistence counters.
+	Cluster ClusterStats `json:"cluster"`
+}
+
+// ClusterStats is the /stats cluster section.
+type ClusterStats struct {
+	// CacheHits/CacheMisses merge every session's answer-cache
+	// counters (live sessions plus the retired aggregate), like the
+	// solver totals above.
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	// Forwarded counts requests this replica proxied to their ring
+	// owner; Migrations counts sessions this replica shipped away on
+	// membership change.
+	Forwarded  uint64 `json:"forwarded"`
+	Migrations uint64 `json:"migrations"`
+	// WarmRebuilds/ColdRebuilds count sessions rebuilt from snapshots
+	// (recovery or inbound migration): warm means the restored basis
+	// restarted the solver with zero cold solves, cold that the solver
+	// had to fall back. SnapshotBytes accumulates the encoded size of
+	// every snapshot persisted to this replica's store.
+	WarmRebuilds  uint64 `json:"warmRebuilds"`
+	ColdRebuilds  uint64 `json:"coldRebuilds"`
+	SnapshotBytes uint64 `json:"snapshotBytes"`
+	// Self and Members describe the ring from this replica's view;
+	// empty when the process is not running as a ring node.
+	Self    string   `json:"self,omitempty"`
+	Members []string `json:"members,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
