@@ -38,11 +38,11 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, lu, ft, batch, cluster, all")
+		exp       = flag.String("exp", "all", "one of fig5, fig6, fig6-tight, fig7, aggregate, adaptive, bounds, lu, ft, batch, cluster, chaos, all")
 		batchSize = flag.Int("batch-size", 256, "queries per batch (exp=batch)")
 		dupFactor = flag.Int("dup-factor", 4, "copies of each distinct mutation within a batch (exp=batch)")
 		openLoop  = flag.Int("open-loop", 256, "open-loop Poisson arrivals per platform, 0 to skip (exp=batch)")
-		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds, lu, ft, cluster)")
+		epochs    = flag.Int("epochs", 20, "epochs per adaptive run (exp=adaptive, bounds, lu, ft, cluster, chaos)")
 		seed      = flag.Int64("seed", 1, "sweep seed")
 		platforms = flag.Int("platforms", 0, "platforms per K (0 = per-experiment default)")
 		ks        = flag.String("ks", "", "comma-separated K values (default per experiment)")
@@ -50,7 +50,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = one per CPU; fig7 stays sequential unless set > 1)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		outdir    = flag.String("outdir", "", "also write each artifact to this directory")
-		jsonOut   = flag.Bool("json", false, "also write machine-readable BENCH_E*.json files for the perf sweeps (adaptive→BENCH_E11, bounds→BENCH_E12, lu→BENCH_E13, ft→BENCH_E14, batch→BENCH_E15, cluster→BENCH_E16), to -outdir or the current directory")
+		jsonOut   = flag.Bool("json", false, "also write machine-readable BENCH_E*.json files for the perf sweeps (adaptive→BENCH_E11, bounds→BENCH_E12, lu→BENCH_E13, ft→BENCH_E14, batch→BENCH_E15, cluster→BENCH_E16, chaos→BENCH_E17), to -outdir or the current directory")
 	)
 	flag.Parse()
 
@@ -386,6 +386,36 @@ func run() error {
 			return err
 		}
 		if err := writeJSON("BENCH_E16.json", pts); err != nil {
+			return err
+		}
+	}
+	if want("chaos") {
+		// E17: fault injection against the replicated failure-aware
+		// ring — a control run and a chaos run (deterministic network
+		// faults, then an owner kill) of the same seeded workload,
+		// gated on zero failed client requests, zero cold rebuilds and
+		// answer drift <= 1e-9 vs the control. Timing-sensitive
+		// (failure-detector windows), so sequential by design.
+		opts := base
+		opts.Ks = []int{10, 20}
+		if ksOverride != nil {
+			opts.Ks = ksOverride
+		}
+		if *platforms == 0 {
+			opts.PlatformsPer = 3
+		}
+		pts, err := experiments.ChaosSweep(opts, *epochs)
+		if err != nil {
+			return err
+		}
+		content := experiments.RenderChaosTable(pts)
+		if *csv {
+			content = experiments.RenderChaosCSV(pts)
+		}
+		if err := emit("chaos", content); err != nil {
+			return err
+		}
+		if err := writeJSON("BENCH_E17.json", pts); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,8 @@
 //	schedd [-addr 127.0.0.1:8080] [-pool 64]
 //	       [-snapshot-dir DIR] [-snapshot-interval 30s]
 //	       [-advertise URL] [-peers URL,URL] [-join URL]
+//	       [-replication 2] [-heartbeat 1s]
+//	       [-suspect-after 3s] [-dead-after 10s]
 //
 // -addr may end in :0 to pick a free port; the chosen address is
 // printed as "schedd: listening on ADDR" once the listener is up.
@@ -37,6 +39,25 @@
 // replica to admit this one; membership is broadcast and sessions
 // whose ownership moved migrate warm (serialize → transfer → rebuild
 // from basis) to their new owner.
+//
+// # Replication and failover
+//
+// In cluster mode each session's checksummed snapshot is fanned out
+// to the owner's next -replication−1 ring successors on every epoch
+// commit, so the ring holds -replication warm copies of every
+// session. Replicas heartbeat each other every -heartbeat on
+// /cluster/health; a peer silent for -suspect-after is suspected
+// (demoted in forwarding order, still a member), and one silent for
+// -dead-after is declared dead: the ring recomputes and successors
+// promote their passive replicas to live warm sessions — zero cold
+// solves, answers identical to the dead owner's. Forwarded requests
+// carry per-operation deadlines and retry with capped exponential
+// backoff; idempotent reads fail over to successor replicas, while
+// epoch commits go to the owner only, tagged with a commit ID so a
+// retried commit is applied at most once, and fenced by epoch and
+// incarnation so a partitioned stale owner cannot clobber newer
+// state. A replica that loses contact with a majority of the ring
+// refuses commits (503) until quorum returns.
 //
 // # Walkthrough
 //
@@ -117,10 +138,17 @@ func run() error {
 		advertise    = flag.String("advertise", "", "URL peers reach this replica at (default http://ADDR)")
 		peersFlag    = flag.String("peers", "", "comma-separated peer URLs forming the initial ring")
 		joinURL      = flag.String("join", "", "URL of a running replica to join")
+		replication  = flag.Int("replication", 2, "warm copies of each session kept on the ring (owner + successors)")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "peer health-probe cadence in cluster mode")
+		suspectAfter = flag.Duration("suspect-after", 3*time.Second, "silence before a peer is suspected (demoted in forwarding order)")
+		deadAfter    = flag.Duration("dead-after", 10*time.Second, "silence before a peer is declared dead and its replicas promoted")
 	)
 	flag.Parse()
 	if *poolSize < 1 {
 		return fmt.Errorf("-pool must be >= 1, got %d", *poolSize)
+	}
+	if *replication < 1 {
+		return fmt.Errorf("-replication must be >= 1, got %d", *replication)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -148,7 +176,12 @@ func run() error {
 		}
 	}
 
-	node := service.NewNode(service.NewServer(service.NewPool(*poolSize)), self, peers, store)
+	node := service.NewNodeWithConfig(service.NewServer(service.NewPool(*poolSize)), self, peers, store, service.NodeConfig{
+		Replication:  *replication,
+		Heartbeat:    *heartbeat,
+		SuspectAfter: *suspectAfter,
+		DeadAfter:    *deadAfter,
+	})
 	if store != nil {
 		warm, cold, skipped, err := node.Recover()
 		if err != nil {
@@ -173,6 +206,11 @@ func run() error {
 			return fmt.Errorf("join %s: %w", *joinURL, err)
 		}
 		fmt.Printf("schedd: joined ring via %s (%d members)\n", *joinURL, len(node.Members()))
+	}
+	if len(peers) > 0 || *joinURL != "" {
+		// Clustered: run the failure detector so dead peers are
+		// confirmed and their replicas promoted.
+		node.Start()
 	}
 
 	var ticker *time.Ticker
@@ -202,6 +240,7 @@ func run() error {
 			tickDone <- struct{}{}
 			<-tickDone
 		}
+		node.Stop()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func doGet(t *testing.T, tr *Transport, rawURL string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.RoundTrip(req)
+}
+
+func TestTransportDisabledPassesThrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(204)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, Config{Seed: 1, DropProb: 1})
+	for i := 0; i < 10; i++ {
+		resp, err := doGet(t, tr, srv.URL)
+		if err != nil {
+			t.Fatalf("disabled transport injected a fault: %v", err)
+		}
+		resp.Body.Close()
+	}
+	if s := tr.Stats(); s.Requests != 10 || s.Dropped != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTransportDeterministicFaultSequence(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(204)
+	}))
+	defer srv.Close()
+
+	run := func() []string {
+		tr := NewTransport(nil, Config{Seed: 42, DropProb: 0.3, ErrorProb: 0.2})
+		tr.Enable()
+		var seq []string
+		for i := 0; i < 64; i++ {
+			resp, err := doGet(t, tr, srv.URL)
+			switch {
+			case err == nil:
+				resp.Body.Close()
+				seq = append(seq, "ok")
+			case errors.As(err, new(*DroppedError)):
+				seq = append(seq, "drop")
+			case errors.As(err, new(*InjectedError)):
+				seq = append(seq, "err")
+			default:
+				t.Fatalf("unexpected error type: %v", err)
+			}
+		}
+		return seq
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("same seed, different fault sequences:\n%v\n%v", a, b)
+	}
+	var drops, errs int
+	for _, s := range a {
+		switch s {
+		case "drop":
+			drops++
+		case "err":
+			errs++
+		}
+	}
+	if drops == 0 || errs == 0 {
+		t.Fatalf("expected both fault kinds in 64 draws, got drops=%d errs=%d", drops, errs)
+	}
+}
+
+func TestTransportFaultsAreRetryShaped(t *testing.T) {
+	tr := NewTransport(nil, Config{Seed: 7, DropProb: 1})
+	tr.Enable()
+	_, err := doGet(t, tr, "http://127.0.0.1:1/never-sent")
+	var de *DroppedError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DroppedError, got %v", err)
+	}
+	// The router's retry classifier treats Temporary() pre-send faults
+	// as never-transmitted; assert the interface contract holds.
+	var tmp interface{ Temporary() bool }
+	if !errors.As(err, &tmp) || !tmp.Temporary() {
+		t.Fatal("DroppedError must be Temporary")
+	}
+	// url.Error wrapping (as http.Client would produce) still matches.
+	wrapped := &url.Error{Op: "Post", URL: "http://x", Err: de}
+	if !errors.As(error(wrapped), &de) {
+		t.Fatal("DroppedError must unwrap through url.Error")
+	}
+}
+
+func TestTransportExempt(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(204)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, Config{
+		Seed:     3,
+		DropProb: 1,
+		Exempt: func(r *http.Request) bool {
+			return strings.HasPrefix(r.URL.Path, "/cluster/health")
+		},
+	})
+	tr.Enable()
+	resp, err := doGet(t, tr, srv.URL+"/cluster/health")
+	if err != nil {
+		t.Fatalf("exempt request faulted: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := doGet(t, tr, srv.URL+"/sessions/x"); err == nil {
+		t.Fatal("non-exempt request should have dropped")
+	}
+}
+
+func TestTransportDelay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(204)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, Config{Seed: 9, DelayProb: 1, MaxDelay: 30 * time.Millisecond})
+	tr.Enable()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		resp, err := doGet(t, tr, srv.URL)
+		if err != nil {
+			t.Fatalf("delayed request failed: %v", err)
+		}
+		resp.Body.Close()
+	}
+	if s := tr.Stats(); s.Delayed != 5 {
+		t.Fatalf("Delayed = %d, want 5", s.Delayed)
+	}
+	if time.Since(start) > 5*30*time.Millisecond+time.Second {
+		t.Fatal("delays far exceeded MaxDelay budget")
+	}
+}

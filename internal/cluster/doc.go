@@ -73,6 +73,70 @@
 // pin this, modulo the process-lifetime solver counters riding along
 // in reports).
 //
+// # Replication
+//
+// Migration alone leaves every session with exactly one live copy, so
+// a crashed replica takes its sessions' solver state with it and the
+// survivors rebuild cold. The service layer therefore fans each
+// session's sealed snapshot out to the next R−1 distinct ring
+// successors of its key (R = NodeConfig.Replication, default 2) — on
+// creation, on every epoch commit, and on migration — synchronously,
+// before the client's commit response is written, with each receiver's
+// ack carrying the checksum back for verification. Successors hold
+// the copy passively (bytes + decoded snapshot, no solver state), so
+// a replica costs memory but no simplex work until promotion.
+// Placement is by ring successor rather than a separate replica map:
+// the members that would inherit a key after its owner's death are
+// exactly the members already holding its snapshot.
+//
+// # Failure model
+//
+// Members heartbeat each other on /cluster/health (SWIM-flavored:
+// direct probes only, no gossip relay — rings here are small). Every
+// message carries the sender's incarnation, a counter bumped each
+// process start: a member silent past SuspectAfter is suspected —
+// demoted in forwarding preference but still an owner — and one
+// silent past DeadAfter is confirmed dead and dropped from the ring,
+// at which point each survivor promotes the replicas the recomputed
+// ring assigns to it (snapshot → warm rebuild → pool install, zero
+// cold solves). Requests ride the same machinery: per-operation
+// deadlines, capped exponential backoff with equal jitter, and for
+// idempotent reads failover across the key's successor list.
+// Commits are deliberately less available than reads: they go to the
+// ring owner only, are fenced by epoch (a snapshot or migration below
+// the receiver's committed epoch is rejected with 409) and by sender
+// incarnation (a message from a previous life of a peer is rejected),
+// are deduplicated by client commit ID so a retry after an ambiguous
+// transport error applies at most once, and are refused with 503 by
+// any member that cannot see a majority of the ring.
+//
+// Failure detection by timeout is necessarily approximate: a member
+// stalled past DeadAfter (GC pause, scheduler starvation, partition)
+// is indistinguishable from a dead one, and the ring will reassign
+// its sessions while it still holds live state — two members then
+// believe they own the same session. The design does not pretend to
+// rule this out (that would need consensus); it bounds the damage
+// instead. The resurrected owner's stale live copy is evicted the
+// moment a higher-epoch replica push reaches it, a migration cannot
+// clobber an equal-or-newer live session, commits on the minority
+// side of a partition are refused by the quorum fence, and the E17
+// chaos experiment's epoch-trace and drift gates verify end to end
+// that the surviving history is exactly the client's committed
+// history. What is traded away is availability, not consistency: a
+// false death costs forwarding hops and re-replication, never a lost
+// or forked commit.
+//
+// Promotion preserves answers exactly, not just approximately. The
+// solver result on a degenerate platform depends on which optimal
+// vertex the simplex path reaches, and a restored instance's path
+// would legitimately differ from the live instance's (different row
+// normalization, factorization age, pricing state). The service pins
+// this down by putting every committed solve on a canonical footing
+// (lp.Revised.Rebase): committed answers are a pure function of
+// (matrix, committed capacities, carried basis) — all discrete,
+// checksummed snapshot state — so a promoted replica's next commit is
+// bit-identical to the one the dead owner would have produced.
+//
 // # Answer cache
 //
 // AnswerCache memoizes committed-state answers: the key is the

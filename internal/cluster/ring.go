@@ -98,6 +98,34 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].member
 }
 
+// Successors returns up to n distinct members in clockwise order from
+// key's ring position. Successors(key, 1)[0] is the owner; the members
+// after it are where replicas of the key's session belong, and — by
+// construction — where ownership lands if the members before them are
+// removed from the ring: deleting the owner's vnodes makes the next
+// distinct member clockwise the new owner. n larger than the member
+// count returns every member.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
 // Members returns the deduplicated, sorted member list the ring was
 // built over. The returned slice is shared — treat it as read-only.
 func (r *Ring) Members() []string { return r.members }

@@ -51,6 +51,15 @@ type SessionSnapshot struct {
 	BasisUpper []int `json:"basisUpper,omitempty"`
 	BasisNcols int   `json:"basisNcols,omitempty"`
 
+	// LastCommitID and LastCommitReport record the epoch commit that
+	// produced this state (the router's idempotency tag and the exact
+	// report it answered with). They ride in the snapshot so a replica
+	// promoted after the owner's death can recognize the retry of a
+	// commit the owner had already applied and replicated, and answer
+	// it with the original report instead of applying it twice.
+	LastCommitID     string          `json:"lastCommitId,omitempty"`
+	LastCommitReport json.RawMessage `json:"lastCommitReport,omitempty"`
+
 	// Checksum is sha256 (hex) over the canonical JSON encoding of
 	// this snapshot with Version set and Checksum itself empty.
 	Checksum string `json:"checksum,omitempty"`

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -56,6 +57,11 @@ func (st *Store) Save(snap *SessionSnapshot) (int, error) {
 		os.Remove(tmpName)
 		return 0, fmt.Errorf("cluster: writing snapshot: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("cluster: syncing snapshot: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return 0, fmt.Errorf("cluster: closing snapshot: %w", err)
@@ -64,7 +70,29 @@ func (st *Store) Save(snap *SessionSnapshot) (int, error) {
 		os.Remove(tmpName)
 		return 0, fmt.Errorf("cluster: publishing snapshot: %w", err)
 	}
+	// Fsync the directory so the rename itself survives a power cut:
+	// without it the file data is durable but the directory entry may
+	// not be, and recovery would find the old snapshot (or none).
+	if err := st.syncDir(); err != nil {
+		return 0, fmt.Errorf("cluster: syncing snapshot dir: %w", err)
+	}
 	return len(data), nil
+}
+
+// syncDir flushes the store directory's metadata (new/renamed entries)
+// to stable storage. Filesystems that don't support fsync on
+// directories report that as an invalid operation, which is safe to
+// ignore — those platforms have no stronger primitive to offer.
+func (st *Store) syncDir() error {
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
 }
 
 // Load reads and verifies the snapshot for one session ID.
@@ -113,4 +141,40 @@ func (st *Store) Delete(id string) error {
 		return err
 	}
 	return nil
+}
+
+// Sweep garbage-collects the store: every snapshot file whose session
+// ID fails keep(id) is removed, as are stale temp files left by
+// crashed writers. Foreign files (wrong extension) are left alone.
+// Returns how many snapshot files were removed. The caller decides
+// what "live" means — typically pool residency plus held replicas —
+// so a session evicted everywhere stops pinning disk.
+func (st *Store) Sweep(keep func(id string) bool) (removed int, err error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: reading snapshot dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-") {
+			os.Remove(filepath.Join(st.dir, name)) // orphaned temp
+			continue
+		}
+		if !strings.HasSuffix(name, snapExt) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		id := strings.TrimSuffix(name, snapExt)
+		if keep(id) {
+			continue
+		}
+		if rerr := os.Remove(filepath.Join(st.dir, name)); rerr == nil {
+			removed++
+		} else if !os.IsNotExist(rerr) && err == nil {
+			err = rerr
+		}
+	}
+	return removed, err
 }

@@ -287,6 +287,16 @@ func (m *Model) ResetSolverStats() { m.rev.ResetStats() }
 // has solved.
 func (m *Model) PrimeWarm() { m.rev.PrimeWarm() }
 
+// Rebase puts the solver on the canonical footing a snapshot-restored
+// model starts from (see lp.Revised.Rebase): identity row signs, no
+// live factorization, fresh pricing. A scheduling session calls this
+// at each committed solve so the answer is a pure function of the
+// model's discrete state — matrix, capacities, bounds, carried basis
+// — and therefore bit-identical whether the solve runs on the session
+// that has served every epoch live or on a replica promoted from a
+// snapshot mid-history.
+func (m *Model) Rebase() { m.rev.Rebase() }
+
 // BetaVars lists the routes carrying a β variable in deterministic
 // row-major order — the same set RemoteRoutes reports.
 func (m *Model) BetaVars() []Pair {

@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// ChaosPoint is one K value of the E17 fault-injection sweep: a
+// three-replica ring (replication 2, heartbeat failure detection) is
+// driven through the same seeded workload twice — a clean control run
+// and a chaos run with a flaky-network phase (deterministic drops,
+// injected errors and delays on all forwarded session traffic)
+// followed by a clean owner-kill phase — and every answer of the
+// chaos run is compared against the control. The acceptance gates are
+// invariants, not counts: FailedRequests and ColdRebuilds must be 0
+// and MaxDrift <= 1e-9 no matter what the fault schedule did.
+type ChaosPoint struct {
+	K         int
+	Platforms int
+	Epochs    int
+	// Chaos-transport accounting over the faulty phase: requests seen
+	// and faults injected (Dropped/Errored burn a retry, Delayed only
+	// adds latency).
+	Requests uint64
+	Dropped  uint64
+	Errored  uint64
+	Delayed  uint64
+	// Router resilience counters summed over the ring: forwards
+	// retried, failovers to a successor, replicas promoted live.
+	Retries    uint64
+	Failovers  uint64
+	Promotions uint64
+	// Client outcomes: requests issued by the (non-retrying) client
+	// and how many came back non-2xx after the ring's own retries.
+	// Gate: FailedRequests == 0.
+	ClientRequests int
+	FailedRequests int
+	// KilledSessions is how many sessions the killed replica owned;
+	// FailoverMaxMillis the slowest first post-kill answer among them
+	// (read failover + replica promotion, suspicion window included).
+	KilledSessions    int
+	FailoverMaxMillis float64
+	// Rebuild accounting across the ring. Gate: ColdRebuilds == 0 —
+	// every failover answer came out of a promoted warm replica.
+	WarmRebuilds uint64
+	ColdRebuilds uint64
+	// MaxDrift is the largest relative difference between the chaos
+	// run's answers (objective value and LP bound, final state of
+	// every session) and the control run's. Gate: <= 1e-9.
+	MaxDrift float64
+}
+
+const saltChaos = 12
+
+// chaosOutcome is what one run (control or chaos) of the E17 workload
+// produces: the final committed answer per session plus the counters
+// folded over the ring.
+type chaosOutcome struct {
+	values map[string][2]float64 // session ID -> {Value, LPBound}
+	// epochTrace records the committed epoch each epoch-commit response
+	// reported, in client order — a control-vs-chaos mismatch pinpoints
+	// a lost or double-applied commit.
+	epochTrace []int
+
+	requests, dropped, errored, delayed uint64
+	retries, failovers, promotions      uint64
+	warmRebuilds, coldRebuilds          uint64
+	clientRequests, failedRequests      int
+	killedSessions                      int
+	failoverMaxMillis                   float64
+}
+
+// chaosRun executes the E17 workload on a fresh three-replica ring.
+// The workload (platforms, drift factors, node choices) is drawn from
+// seeded sub-RNGs, so the control and chaos runs issue byte-identical
+// requests; faults additionally enables the chaos transports during
+// the traffic phase, and kill kills the owner of the first session
+// before the final commit+query round.
+func chaosRun(opts Options, k, epochs int, faults, kill bool) (*chaosOutcome, error) {
+	const ringSize = 3
+	handlers := make([]*swapHandler, ringSize)
+	servers := make([]*httptest.Server, ringSize)
+	for i := range handlers {
+		handlers[i] = &swapHandler{}
+		servers[i] = httptest.NewServer(handlers[i])
+		defer servers[i].Close()
+	}
+	urls := make([]string, ringSize)
+	for i := range servers {
+		urls[i] = servers[i].URL
+	}
+	// Faults hit forwarded session traffic only: the cluster control
+	// plane (health, replicate, migrate, forget) stays clean so the
+	// failure detector's timing, not fault luck, drives membership.
+	// Failure detection is compressed so the kill phase confirms the
+	// death inside the commit-retry window — but the dead window stays
+	// wide relative to scheduler/GC stalls on a loaded host: a false
+	// death confirmation splits ownership between the resurrected
+	// owner and its successor, and commits applied on the losing side
+	// of that split are gone (the drift gate would catch it).
+	transports := make([]*chaos.Transport, ringSize)
+	nodes := make([]*service.Node, ringSize)
+	for i := range nodes {
+		transports[i] = chaos.NewTransport(nil, chaos.Config{
+			Seed:      opts.Seed + int64(1000*k+i),
+			DropProb:  0.08,
+			ErrorProb: 0.07,
+			DelayProb: 0.15,
+			MaxDelay:  3 * time.Millisecond,
+			Exempt: func(r *http.Request) bool {
+				return strings.HasPrefix(r.URL.Path, "/cluster/")
+			},
+		})
+		nodes[i] = service.NewNodeWithConfig(service.NewServer(service.NewPool(64)), urls[i], urls, nil, service.NodeConfig{
+			Replication:   2,
+			Heartbeat:     25 * time.Millisecond,
+			SuspectAfter:  250 * time.Millisecond,
+			DeadAfter:     time.Second,
+			RetryAttempts: 14,
+			RetryBase:     20 * time.Millisecond,
+			RetryCap:      400 * time.Millisecond,
+			RetrySeed:     opts.Seed + int64(2000*k+i),
+			Transport:     transports[i],
+		})
+		handlers[i].set(nodes[i].Handler())
+		nodes[i].Start()
+		defer nodes[i].Stop()
+	}
+
+	out := &chaosOutcome{values: make(map[string][2]float64)}
+	call := func(server int, path string, body any, dest any, wantStatus int) error {
+		var rd io.Reader
+		if body != nil {
+			data, err := json.Marshal(body)
+			if err != nil {
+				return err
+			}
+			rd = bytes.NewReader(data)
+		}
+		out.clientRequests++
+		resp, err := servers[server].Client().Post(servers[server].URL+path, "application/json", rd)
+		if err != nil {
+			out.failedRequests++
+			return fmt.Errorf("POST %s via node %d: %w", path, server, err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != wantStatus {
+			out.failedRequests++
+			return fmt.Errorf("POST %s via node %d: status %d (want %d): %s", path, server, resp.StatusCode, wantStatus, raw)
+		}
+		if dest != nil {
+			return json.Unmarshal(raw, dest)
+		}
+		return nil
+	}
+
+	if faults {
+		for _, tr := range transports {
+			tr.Enable()
+		}
+	}
+
+	// Traffic phase: create every session, then drive epochs of
+	// committed drift with interleaved queries and what-ifs, every
+	// request through a seeded-random ring node.
+	pick := subRNG(opts.Seed, k, 0, saltChaos+1)
+	type sessInfo struct {
+		id   string
+		kval int
+	}
+	sessions := make([]sessInfo, opts.PlatformsPer)
+	factorRNGs := make([]interface{ Float64() float64 }, opts.PlatformsPer)
+	for i := range sessions {
+		rng := subRNG(opts.Seed, k, i, saltChaos)
+		pl, payoffs, err := batchPlatform(k, rng)
+		if err != nil {
+			return nil, err
+		}
+		encoded, err := pl.Encode()
+		if err != nil {
+			return nil, err
+		}
+		var created service.CreateSessionResponse
+		if err := call(pick.Intn(ringSize), "/sessions", &service.CreateSessionRequest{
+			Platform:  encoded,
+			Objective: "maxmin",
+			Heuristic: "lprg",
+			Payoffs:   payoffs,
+		}, &created, http.StatusCreated); err != nil {
+			return nil, fmt.Errorf("experiments: E17 create K=%d: %w", k, err)
+		}
+		sessions[i] = sessInfo{id: created.ID, kval: created.K}
+		factorRNGs[i] = rng
+	}
+	driftReq := func(i int) *service.EpochRequest {
+		rng := factorRNGs[i]
+		req := &service.EpochRequest{
+			SpeedFactor:   make([]float64, sessions[i].kval),
+			GatewayFactor: make([]float64, sessions[i].kval),
+		}
+		for c := range req.SpeedFactor {
+			req.SpeedFactor[c] = 0.9 + 0.2*rng.Float64()
+			req.GatewayFactor[c] = 0.9 + 0.2*rng.Float64()
+		}
+		return req
+	}
+	for e := 0; e < epochs; e++ {
+		for i, s := range sessions {
+			var rep service.SolveReport
+			if err := call(pick.Intn(ringSize), "/sessions/"+s.id+"/epoch", driftReq(i), &rep, http.StatusOK); err != nil {
+				return nil, fmt.Errorf("experiments: E17 epoch K=%d: %w", k, err)
+			}
+			out.epochTrace = append(out.epochTrace, rep.Epoch)
+			// Query through every replica: at least two of the three
+			// are forwards, so the fault schedule gets a dense stream
+			// of data-path requests to bite on.
+			for v := 0; v < ringSize; v++ {
+				if err := call(v, "/sessions/"+s.id+"/query", nil, nil, http.StatusOK); err != nil {
+					return nil, fmt.Errorf("experiments: E17 query K=%d: %w", k, err)
+				}
+			}
+		}
+	}
+
+	// Kill phase (chaos run only): stop injecting network faults, then
+	// kill the owner of the first session outright and measure the
+	// first post-kill answer per orphaned session — read failover to
+	// the replica-holding successor, promotion, warm answer.
+	survivor := 0
+	if kill {
+		for _, tr := range transports {
+			tr.Disable()
+		}
+		ring := cluster.NewRing(nodes[0].Members(), 0)
+		ownerURL := ring.Owner(sessions[0].id)
+		killed := 0
+		for i, u := range urls {
+			if u == ownerURL {
+				killed = i
+			}
+		}
+		survivor = (killed + 1) % ringSize
+		var orphans []sessInfo
+		for _, s := range sessions {
+			if ring.Owner(s.id) == ownerURL {
+				orphans = append(orphans, s)
+			}
+		}
+		out.killedSessions = len(orphans)
+		nodes[killed].Stop()
+		servers[killed].Close()
+		for _, s := range orphans {
+			start := time.Now()
+			if err := call(survivor, "/sessions/"+s.id+"/query", nil, nil, http.StatusOK); err != nil {
+				return nil, fmt.Errorf("experiments: E17 post-kill query K=%d: %w", k, err)
+			}
+			if ms := time.Since(start).Seconds() * 1e3; ms > out.failoverMaxMillis {
+				out.failoverMaxMillis = ms
+			}
+		}
+	}
+
+	// Final round (both runs): one more committed epoch per session —
+	// in the chaos run this exercises commit retry across the owner's
+	// death — then the answer the drift gate compares.
+	for i, s := range sessions {
+		if err := call(survivor, "/sessions/"+s.id+"/epoch", driftReq(i), nil, http.StatusOK); err != nil {
+			return nil, fmt.Errorf("experiments: E17 final epoch K=%d: %w", k, err)
+		}
+		var rep service.SolveReport
+		if err := call(survivor, "/sessions/"+s.id+"/query", nil, &rep, http.StatusOK); err != nil {
+			return nil, fmt.Errorf("experiments: E17 final query K=%d: %w", k, err)
+		}
+		out.values[s.id] = [2]float64{rep.Value, rep.LPBound}
+	}
+
+	for _, tr := range transports {
+		st := tr.Stats()
+		out.requests += uint64(st.Requests)
+		out.dropped += uint64(st.Dropped)
+		out.errored += uint64(st.Errored)
+		out.delayed += uint64(st.Delayed)
+	}
+	for _, n := range nodes {
+		st := n.Stats().Cluster
+		out.retries += st.Retries
+		out.failovers += st.Failovers
+		out.promotions += st.Promotions
+		out.warmRebuilds += st.WarmRebuilds
+		out.coldRebuilds += st.ColdRebuilds
+	}
+	return out, nil
+}
+
+// ChaosSweep runs the E17 measurement: per K, a control run and a
+// fault-injected run of the same seeded workload, folded into one
+// ChaosPoint with the chaos run's counters and the answer drift
+// between the two. Wall-clock and failure-detector timing sensitive,
+// so runs are sequential by design.
+func ChaosSweep(opts Options, epochs int) ([]ChaosPoint, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("experiments: epochs = %d, want >= 1", epochs)
+	}
+	var out []ChaosPoint
+	for _, k := range opts.Ks {
+		control, err := chaosRun(opts, k, epochs, false, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E17 control K=%d: %w", k, err)
+		}
+		chaotic, err := chaosRun(opts, k, epochs, true, true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E17 chaos K=%d: %w", k, err)
+		}
+		pt := ChaosPoint{
+			K:                 k,
+			Platforms:         opts.PlatformsPer,
+			Epochs:            epochs,
+			Requests:          chaotic.requests,
+			Dropped:           chaotic.dropped,
+			Errored:           chaotic.errored,
+			Delayed:           chaotic.delayed,
+			Retries:           chaotic.retries,
+			Failovers:         chaotic.failovers,
+			Promotions:        chaotic.promotions,
+			ClientRequests:    chaotic.clientRequests,
+			FailedRequests:    chaotic.failedRequests + control.failedRequests,
+			KilledSessions:    chaotic.killedSessions,
+			FailoverMaxMillis: chaotic.failoverMaxMillis,
+			WarmRebuilds:      chaotic.warmRebuilds,
+			ColdRebuilds:      chaotic.coldRebuilds + control.coldRebuilds,
+		}
+		if len(chaotic.values) != len(control.values) {
+			return nil, fmt.Errorf("experiments: E17 K=%d: %d chaos sessions vs %d control", k, len(chaotic.values), len(control.values))
+		}
+		// The epoch traces must match exactly before the drift gate is
+		// even meaningful: a mismatch means a commit was lost (applied on
+		// the losing side of a false-death ownership split) or applied
+		// twice (a retried commit that escaped the idempotency record) —
+		// state divergence, not numeric drift.
+		if len(chaotic.epochTrace) != len(control.epochTrace) {
+			return nil, fmt.Errorf("experiments: E17 K=%d: %d chaos commits vs %d control", k, len(chaotic.epochTrace), len(control.epochTrace))
+		}
+		for i, ce := range control.epochTrace {
+			if chaotic.epochTrace[i] != ce {
+				return nil, fmt.Errorf("experiments: E17 K=%d: commit %d reached epoch %d under faults, %d in control (lost or double-applied commit)", k, i, chaotic.epochTrace[i], ce)
+			}
+		}
+		for id, cv := range control.values {
+			fv, ok := chaotic.values[id]
+			if !ok {
+				return nil, fmt.Errorf("experiments: E17 K=%d: session %s missing from chaos run", k, id)
+			}
+			if d := relDiff(fv[0], cv[0]); d > pt.MaxDrift {
+				pt.MaxDrift = d
+			}
+			if d := relDiff(fv[1], cv[1]); d > pt.MaxDrift {
+				pt.MaxDrift = d
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -439,3 +439,38 @@ func RenderClusterCSV(points []ClusterPoint) string {
 	}
 	return b.String()
 }
+
+// RenderChaosTable formats an E17 sweep as an aligned table.
+func RenderChaosTable(points []ChaosPoint) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %6s %7s %8s %6s %6s %6s %7s %7s %6s %7s %7s %7s %9s %6s %6s %10s\n",
+		"K", "plats", "epochs", "reqs", "drop", "err", "delay", "retries", "failov", "promo",
+		"client", "failed", "killed", "fomax(ms)", "warm", "cold", "drift")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%4d %6d %7d %8d %6d %6d %6d %7d %7d %6d %7d %7d %7d %9.1f %6d %6d %10.2e\n",
+			pt.K, pt.Platforms, pt.Epochs, pt.Requests, pt.Dropped, pt.Errored, pt.Delayed,
+			pt.Retries, pt.Failovers, pt.Promotions, pt.ClientRequests, pt.FailedRequests,
+			pt.KilledSessions, pt.FailoverMaxMillis, pt.WarmRebuilds, pt.ColdRebuilds, pt.MaxDrift)
+	}
+	return b.String()
+}
+
+// RenderChaosCSV formats an E17 sweep as CSV.
+func RenderChaosCSV(points []ChaosPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("k,platforms,epochs,requests,dropped,errored,delayed,retries,failovers,promotions," +
+		"client_requests,failed_requests,killed_sessions,failover_max_millis,warm_rebuilds,cold_rebuilds,max_drift\n")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6g,%d,%d,%.6g\n",
+			pt.K, pt.Platforms, pt.Epochs, pt.Requests, pt.Dropped, pt.Errored, pt.Delayed,
+			pt.Retries, pt.Failovers, pt.Promotions, pt.ClientRequests, pt.FailedRequests,
+			pt.KilledSessions, pt.FailoverMaxMillis, pt.WarmRebuilds, pt.ColdRebuilds, pt.MaxDrift)
+	}
+	return b.String()
+}

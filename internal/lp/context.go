@@ -60,6 +60,39 @@ func (r *Revised) PrimeWarm() {
 	r.signInit = true
 }
 
+// Rebase forces the next SolveFrom onto the canonical footing a
+// freshly built, PrimeWarm-ed instance would have: the row
+// normalization is reset to the identity and the live factorization
+// and pricing state are dropped, so the next solve installs the
+// supplied basis, refactorizes it from scratch and prices from a
+// fresh reference framework.
+//
+// This exists for replicated deployments that need bit-identical
+// answers from different instances. A live instance and one rebuilt
+// from a snapshot agree on everything discrete — matrix, rhs, bounds,
+// basis — yet solve from different internal state: the live one
+// carries the data-dependent sign normalization its first cold solve
+// chose, an accumulated (Forrest–Tomlin updated) factorization of
+// possibly *another* basis it would rather continue from, and evolved
+// pricing weights; the rebuilt one runs on PrimeWarm's identity signs
+// and a fresh refactorization. Both states are correct, but on a
+// degenerate problem they reach different optimal vertices, so
+// downstream vertex-sensitive consumers (greedy rounding, integer
+// repair) diverge. Calling Rebase on both sides before the solve
+// collapses the histories: the result becomes a pure function of the
+// discrete inputs. The cost is one refactorization plus pricing
+// warm-up — the pivot count is still a warm restart's, not a cold
+// solve's. Forks are unaffected (they own private copies of all
+// mutable state, and a shared frozen snapshot is immutable).
+func (r *Revised) Rebase() {
+	for i := range r.sign {
+		r.sign[i] = 1
+	}
+	r.signInit = true
+	r.factorized = false
+	r.dseOK = false
+}
+
 // SolveEphemeral is SolveFrom for callers that will not keep the
 // result: it solves identically (warm from bas when usable, cold
 // otherwise) but skips the final Basis snapshot and extracts the

@@ -1,0 +1,562 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// startRingCfg boots count ring nodes on httptest servers with a
+// shared NodeConfig (RetrySeed varied per node), fully meshed, and
+// starts the heartbeat loop when cfg.Heartbeat > 0.
+func startRingCfg(t *testing.T, count int, cfg NodeConfig) ([]*Node, []*httptest.Server) {
+	t.Helper()
+	handlers := make([]*lateHandler, count)
+	servers := make([]*httptest.Server, count)
+	urls := make([]string, count)
+	for i := range handlers {
+		handlers[i] = &lateHandler{}
+		servers[i] = httptest.NewServer(handlers[i])
+		t.Cleanup(servers[i].Close)
+		urls[i] = servers[i].URL
+	}
+	nodes := make([]*Node, count)
+	for i := range nodes {
+		c := cfg
+		c.RetrySeed = int64(1000 + i)
+		c.Incarnation = uint64(100 + i)
+		nodes[i] = NewNodeWithConfig(NewServer(NewPool(16)), urls[i], urls, nil, c)
+		handlers[i].set(nodes[i].Handler())
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	})
+	return nodes, servers
+}
+
+// fastDetect is a failure-detection config compressed for tests:
+// death confirmed within a few hundred ms of a kill.
+func fastDetect() NodeConfig {
+	return NodeConfig{
+		Heartbeat:    25 * time.Millisecond,
+		SuspectAfter: 80 * time.Millisecond,
+		DeadAfter:    150 * time.Millisecond,
+		ReadTimeout:  2 * time.Second,
+		WriteTimeout: 5 * time.Second,
+		RetryBase:    20 * time.Millisecond,
+		RetryCap:     250 * time.Millisecond,
+	}
+}
+
+// ringOwnerOf returns the index of the node owning id, and the index
+// of the first other member on its successor chain (the replica
+// holder at replication 2).
+func ringOwnerOf(t *testing.T, nodes []*Node, id string) (owner, successor int) {
+	t.Helper()
+	succ := nodes[0].currentRing().Successors(id, 2)
+	if len(succ) < 2 {
+		t.Fatalf("ring too small: successors = %v", succ)
+	}
+	owner, successor = -1, -1
+	for i, n := range nodes {
+		if n.self == succ[0] {
+			owner = i
+		}
+		if n.self == succ[1] {
+			successor = i
+		}
+	}
+	if owner < 0 || successor < 0 {
+		t.Fatalf("owner/successor not found for %v among nodes", succ)
+	}
+	return owner, successor
+}
+
+// TestReplicationFanOut pins the replication contract: after a create
+// and an epoch commit through any node, the owner's ring successor
+// holds a passive replica at the committed epoch — before the client's
+// responses returned (the hook is synchronous).
+func TestReplicationFanOut(t *testing.T) {
+	nodes, servers := startRing(t, 3, false) // static membership, replication 2
+	client := servers[0].Client()
+	pl := testPlatform(t, 6, 201)
+	resp := ringCreate(t, client, servers[0].URL, &CreateSessionRequest{Platform: platformJSON(t, pl)})
+	owner, successor := ringOwnerOf(t, nodes, resp.ID)
+
+	rep := nodes[successor].getReplica(resp.ID)
+	if rep == nil {
+		t.Fatalf("successor holds no replica after create")
+	}
+	if rep.snap.Epoch != 0 {
+		t.Fatalf("replica epoch = %d, want 0", rep.snap.Epoch)
+	}
+	// Nobody else holds one, and the owner holds the live session.
+	for i, n := range nodes {
+		if i != successor && n.replicaCount() != 0 {
+			t.Fatalf("node %d holds %d replicas, want 0", i, n.replicaCount())
+		}
+	}
+	if nodes[owner].srv.Pool().Get(resp.ID) == nil {
+		t.Fatalf("owner does not hold the live session")
+	}
+
+	var erep SolveReport
+	doJSON(t, client, "POST", servers[0].URL+"/sessions/"+resp.ID+"/epoch", &EpochRequest{
+		SpeedFactor: driftFactors(resp.K, 0.9),
+	}, &erep, http.StatusOK)
+	rep = nodes[successor].getReplica(resp.ID)
+	if rep == nil || rep.snap.Epoch != 1 {
+		t.Fatalf("replica not refreshed by commit: %+v", rep)
+	}
+	if st := nodes[owner].Stats(); st.Cluster.ReplicasSent == 0 || st.Cluster.ReplicaErrors != 0 {
+		t.Fatalf("owner replication stats wrong: %+v", st.Cluster)
+	}
+}
+
+// TestReadFailoverPromotesReplica kills the owner (no failure
+// detection running — the suspicion window case) and checks that a
+// query through a surviving non-owner fails over to the replica
+// holder, which promotes the passive replica warm and answers
+// identically, with zero failed client requests and zero cold solves.
+func TestReadFailoverPromotesReplica(t *testing.T) {
+	nodes, servers := startRing(t, 3, false)
+	client := servers[0].Client()
+	pl := testPlatform(t, 6, 202)
+	resp := ringCreate(t, client, servers[0].URL, &CreateSessionRequest{Platform: platformJSON(t, pl)})
+	owner, successor := ringOwnerOf(t, nodes, resp.ID)
+
+	// Commit drift, record the committed answer.
+	var erep SolveReport
+	doJSON(t, client, "POST", servers[0].URL+"/sessions/"+resp.ID+"/epoch", &EpochRequest{
+		SpeedFactor:   driftFactors(resp.K, 0.93),
+		GatewayFactor: driftFactors(resp.K, 1.05),
+	}, &erep, http.StatusOK)
+	_, preRaw, err := doJSONRaw(client, "POST", servers[owner].URL+"/sessions/"+resp.ID+"/query", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := stripVolatile(t, preRaw)
+
+	servers[owner].Close() // SIGKILL the owner
+
+	// Query through every survivor: each must succeed on this first
+	// post-kill request (dial-refused → immediate successor failover).
+	for i := range nodes {
+		if i == owner {
+			continue
+		}
+		status, raw, err := doJSONRaw(servers[i].Client(), "POST", servers[i].URL+"/sessions/"+resp.ID+"/query", nil)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("query via node %d after owner kill: status %d err %v body %s", i, status, err, raw)
+		}
+		if got := stripVolatile(t, raw); got != pre {
+			t.Fatalf("failover answer differs:\n%s\nvs\n%s", got, pre)
+		}
+	}
+	st := nodes[successor].Stats()
+	if st.Cluster.Promotions != 1 {
+		t.Fatalf("successor promotions = %d, want 1", st.Cluster.Promotions)
+	}
+	if st.Cluster.ColdRebuilds != 0 || st.Cluster.WarmRebuilds != 1 {
+		t.Fatalf("successor rebuilt warm=%d cold=%d, want 1/0", st.Cluster.WarmRebuilds, st.Cluster.ColdRebuilds)
+	}
+}
+
+// TestOwnerDeathPromotionAndCommit runs the full failover story with
+// live failure detection: kill the owner under a 3-node heartbeating
+// ring, wait for confirmation, and check (a) the survivors' rings
+// dropped the dead member, (b) the successor promoted its replica
+// warm, (c) an epoch commit issued right after the kill succeeds via
+// retry against the promoted owner, and (d) answers stay identical.
+func TestOwnerDeathPromotionAndCommit(t *testing.T) {
+	nodes, servers := startRingCfg(t, 3, fastDetect())
+	client := servers[0].Client()
+	pl := testPlatform(t, 6, 203)
+	resp := ringCreate(t, client, servers[0].URL, &CreateSessionRequest{Platform: platformJSON(t, pl)})
+	owner, _ := ringOwnerOf(t, nodes, resp.ID)
+	var erep SolveReport
+	doJSON(t, client, "POST", servers[0].URL+"/sessions/"+resp.ID+"/epoch", &EpochRequest{
+		SpeedFactor: driftFactors(resp.K, 0.9),
+	}, &erep, http.StatusOK)
+
+	nodes[owner].Stop()
+	servers[owner].Close()
+	killedURL := nodes[owner].self
+
+	// A commit through a survivor must succeed: dial-refused retries
+	// span the death confirmation, then land on the promoted owner.
+	surv := (owner + 1) % 3
+	var erep2 SolveReport
+	doJSON(t, servers[surv].Client(), "POST", servers[surv].URL+"/sessions/"+resp.ID+"/epoch", &EpochRequest{
+		GatewayFactor: driftFactors(resp.K, 1.1),
+	}, &erep2, http.StatusOK)
+	if erep2.Epoch != 2 {
+		t.Fatalf("post-kill commit epoch = %d, want 2", erep2.Epoch)
+	}
+
+	// Death must be confirmed on the survivors within the detector's
+	// budget, and the ring shrunk to 2.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		confirmed := true
+		for i, n := range nodes {
+			if i == owner {
+				continue
+			}
+			if st, _ := n.membership.State(killedURL); st != cluster.StateDead {
+				confirmed = false
+			}
+			if len(n.Members()) != 2 {
+				confirmed = false
+			}
+		}
+		if confirmed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("death of %s not confirmed within budget", killedURL)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Both survivors answer the committed state identically, all warm.
+	var answers []string
+	for i := range nodes {
+		if i == owner {
+			continue
+		}
+		status, raw, err := doJSONRaw(servers[i].Client(), "POST", servers[i].URL+"/sessions/"+resp.ID+"/query", nil)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("post-failover query via %d: %d %v", i, status, err)
+		}
+		answers = append(answers, stripVolatile(t, raw))
+	}
+	if answers[0] != answers[1] {
+		t.Fatalf("survivors disagree:\n%s\nvs\n%s", answers[0], answers[1])
+	}
+	var totalCold uint64
+	for i, n := range nodes {
+		if i == owner {
+			continue
+		}
+		totalCold += n.coldRebuilds.Load()
+	}
+	if totalCold != 0 {
+		t.Fatalf("failover cold-rebuilt %d sessions, want 0", totalCold)
+	}
+}
+
+// TestQuorumFencesCommits pins the partition fence: a replica that
+// has confirmed the death of a majority of the membership refuses
+// epoch commits with 503 (it may be the partitioned minority — the
+// majority side could have promoted new owners), while reads keep
+// working; contact from a peer restores quorum and lifts the fence.
+func TestQuorumFencesCommits(t *testing.T) {
+	handler := &lateHandler{}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	n := NewNodeWithConfig(NewServer(NewPool(8)), srv.URL,
+		[]string{"http://203.0.113.1:1", "http://203.0.113.2:1"}, nil,
+		NodeConfig{SuspectAfter: time.Millisecond, DeadAfter: time.Millisecond})
+	handler.set(n.Handler())
+	client := srv.Client()
+
+	// Create while quorum holds (peers alive until ticked). Forwarding
+	// would try the unroutable peers, so create as a forwarded request
+	// — served locally by contract.
+	pl := testPlatform(t, 6, 204)
+	body, _ := json.Marshal(&CreateSessionRequest{Platform: platformJSON(t, pl)})
+	req, _ := http.NewRequest("POST", srv.URL+"/sessions", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, "test")
+	cres, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created CreateSessionResponse
+	json.NewDecoder(cres.Body).Decode(&created) //nolint:errcheck
+	cres.Body.Close()
+	if cres.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", cres.StatusCode)
+	}
+
+	// Confirm both peers dead: 1 alive of 3 known — quorum lost.
+	now := time.Now()
+	n.membership.Tick(now.Add(10 * time.Millisecond))
+	n.membership.Tick(now.Add(20 * time.Millisecond))
+	n.syncRing()
+	if n.membership.Quorum() {
+		t.Fatal("quorum should be lost")
+	}
+
+	epoch, _ := json.Marshal(&EpochRequest{SpeedFactor: driftFactors(created.K, 0.9)})
+	ereq, _ := http.NewRequest("POST", srv.URL+"/sessions/"+created.ID+"/epoch", bytes.NewReader(epoch))
+	ereq.Header.Set("Content-Type", "application/json")
+	ereq.Header.Set(forwardedHeader, "test")
+	eres, err := client.Do(ereq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres.Body.Close()
+	if eres.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fenced commit status = %d, want 503", eres.StatusCode)
+	}
+	if n.fencedCommits.Load() != 1 {
+		t.Fatalf("fencedCommits = %d, want 1", n.fencedCommits.Load())
+	}
+	// Reads are NOT fenced: the committed state is still valid.
+	status, _, err := doJSONRaw(client, "POST", srv.URL+"/sessions/"+created.ID+"/query", nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("read during lost quorum: %d %v", status, err)
+	}
+
+	// One peer comes back (new incarnation): 2 of 3 — fence lifts.
+	n.membership.ObserveAck("http://203.0.113.1:1", 999, time.Now())
+	ereq2, _ := http.NewRequest("POST", srv.URL+"/sessions/"+created.ID+"/epoch", bytes.NewReader(epoch))
+	ereq2.Header.Set("Content-Type", "application/json")
+	ereq2.Header.Set(forwardedHeader, "test")
+	eres2, err := client.Do(ereq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres2.Body.Close()
+	if eres2.StatusCode != http.StatusOK {
+		t.Fatalf("post-requorum commit status = %d, want 200", eres2.StatusCode)
+	}
+}
+
+// TestReplicateHandlerFencing pins the replicate endpoint's fences:
+// stale epochs and stale incarnations are rejected with 409 and
+// displace nothing; fresh replicas ack with the snapshot checksum.
+func TestReplicateHandlerFencing(t *testing.T) {
+	handler := &lateHandler{}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	n := NewNodeWithConfig(NewServer(NewPool(8)), srv.URL, nil, nil, NodeConfig{})
+	handler.set(n.Handler())
+	client := srv.Client()
+
+	// Build two sealed snapshots of one session at epochs 1 and 2.
+	pl := testPlatform(t, 6, 205)
+	cfg, err := parseConfig(&CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _, err := newSession(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Epoch(&EpochRequest{SpeedFactor: driftFactors(pl.K(), 0.95)}); err != nil {
+		t.Fatal(err)
+	}
+	snap1, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data1, err := snap1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Epoch(&EpochRequest{SpeedFactor: driftFactors(pl.K(), 0.9)}); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := snap2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(data []byte, from string, inc uint64) (int, replicateAck) {
+		req, _ := http.NewRequest("POST", srv.URL+"/cluster/replicate", bytes.NewReader(data))
+		req.Header.Set("Content-Type", "application/json")
+		if from != "" {
+			req.Header.Set(fromHeader, from)
+			req.Header.Set(incarnationHeader, fmt.Sprintf("%d", inc))
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ack replicateAck
+		json.NewDecoder(resp.Body).Decode(&ack) //nolint:errcheck
+		return resp.StatusCode, ack
+	}
+
+	// Fresh replica at epoch 2: accepted, checksum acked.
+	status, ack := post(data2, "http://peer", 7)
+	if status != http.StatusOK || ack.Checksum != snap2.Checksum || ack.Epoch != 2 {
+		t.Fatalf("replicate: %d %+v", status, ack)
+	}
+	// Late fan-out of epoch 1: fenced by epoch.
+	if status, _ := post(data1, "http://peer", 7); status != http.StatusConflict {
+		t.Fatalf("stale-epoch replicate status = %d, want 409", status)
+	}
+	// Previous-life sender: fenced by incarnation even with a fresh
+	// epoch (re-send epoch 2 from incarnation 3 < known 7).
+	if status, _ := post(data2, "http://peer", 3); status != http.StatusConflict {
+		t.Fatalf("stale-incarnation replicate status = %d, want 409", status)
+	}
+	// The held replica is still epoch 2.
+	if rep := n.getReplica(snap2.ID); rep == nil || rep.snap.Epoch != 2 {
+		t.Fatalf("held replica wrong: %+v", rep)
+	}
+	// Corrupt bytes: fail closed, nothing installed.
+	bad := append([]byte(nil), data2...)
+	bad[len(bad)/2] ^= 0x40
+	if status, _ := post(bad, "", 0); status != http.StatusBadRequest {
+		t.Fatalf("corrupt replicate status = %d, want 400", status)
+	}
+}
+
+// TestConcurrentReplicateAndCommit races epoch commits against
+// snapshot replication and failover reads on one session (run under
+// -race in CI): commits serialize correctly, every request succeeds,
+// and the replica converges to the final epoch.
+func TestConcurrentReplicateAndCommit(t *testing.T) {
+	nodes, servers := startRing(t, 2, false)
+	client := servers[0].Client()
+	pl := testPlatform(t, 6, 206)
+	resp := ringCreate(t, client, servers[0].URL, &CreateSessionRequest{Platform: platformJSON(t, pl)})
+	owner, successor := ringOwnerOf(t, nodes, resp.ID)
+
+	const commits = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	wg.Add(1)
+	go func() { // serial commits through a (possibly non-owner) node
+		defer wg.Done()
+		for i := 0; i < commits; i++ {
+			status, body, err := doJSONRaw(client, "POST", servers[0].URL+"/sessions/"+resp.ID+"/epoch",
+				&EpochRequest{SpeedFactor: driftFactors(resp.K, 0.99)})
+			if err != nil || status != http.StatusOK {
+				errs <- fmt.Errorf("commit %d: status %d err %v body %s", i, status, err, body)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() { // concurrent PersistAll: Snapshot + replicate under commits
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				nodes[owner].PersistAll()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // concurrent reads through both nodes
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			for s := range servers {
+				status, _, err := doJSONRaw(servers[s].Client(), "POST", servers[s].URL+"/sessions/"+resp.ID+"/query", nil)
+				if err != nil || status != http.StatusOK {
+					errs <- fmt.Errorf("query via %d: status %d err %v", s, status, err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Force one final fan-out so the replica reflects the last commit
+	// even if the racing PersistAll shipped an older snapshot last.
+	nodes[owner].PersistAll()
+	rep := nodes[successor].getReplica(resp.ID)
+	if rep == nil || rep.snap.Epoch != commits {
+		t.Fatalf("replica epoch = %+v, want %d", rep, commits)
+	}
+}
+
+// TestCommitIdempotency pins the commit dedup contract end to end: a
+// retried commit (same idempotency tag) returns the recorded report
+// byte-for-byte and does not advance the epoch; the record survives a
+// snapshot round trip, so a replica promoted after the owner applied
+// and replicated a commit answers its retry instead of re-applying.
+func TestCommitIdempotency(t *testing.T) {
+	handler := &lateHandler{}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	n := NewNodeWithConfig(NewServer(NewPool(8)), srv.URL, nil, nil, NodeConfig{})
+	handler.set(n.Handler())
+	client := srv.Client()
+
+	pl := testPlatform(t, 6, 207)
+	resp := ringCreate(t, client, srv.URL, &CreateSessionRequest{Platform: platformJSON(t, pl)})
+	commit := func(cid string) (int, []byte) {
+		body, _ := json.Marshal(&EpochRequest{SpeedFactor: driftFactors(resp.K, 0.9)})
+		req, _ := http.NewRequest("POST", srv.URL+"/sessions/"+resp.ID+"/epoch", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(commitIDHeader, cid)
+		res, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		raw, _ := io.ReadAll(res.Body)
+		return res.StatusCode, raw
+	}
+
+	status, first := commit("commit-A")
+	if status != http.StatusOK {
+		t.Fatalf("first commit: %d %s", status, first)
+	}
+	status, again := commit("commit-A") // retry: dedup, not re-apply
+	if status != http.StatusOK || string(again) != string(first) {
+		t.Fatalf("retried commit not deduped: %d\n%s\nvs\n%s", status, again, first)
+	}
+	var rep SolveReport
+	if err := json.Unmarshal(again, &rep); err != nil || rep.Epoch != 1 {
+		t.Fatalf("retry advanced epoch: %+v err %v", rep, err)
+	}
+	status, second := commit("commit-B") // a new commit applies normally
+	if status != http.StatusOK {
+		t.Fatalf("second commit: %d %s", status, second)
+	}
+	if err := json.Unmarshal(second, &rep); err != nil || rep.Epoch != 2 {
+		t.Fatalf("new commit epoch: %+v err %v", rep, err)
+	}
+
+	// The dedup record rides in the snapshot: a rebuilt session (the
+	// promoted-replica path) answers the retry of commit-B from the
+	// record, without applying it again.
+	sess := n.srv.Pool().Get(resp.ID)
+	snap, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.LastCommitID == "" || len(snap.LastCommitReport) == 0 {
+		t.Fatalf("snapshot carries no commit record")
+	}
+	restored, _, warm, err := RestoreSession(snap)
+	if err != nil || !warm {
+		t.Fatalf("restore: warm=%v err=%v", warm, err)
+	}
+	rrep, err := restored.EpochIdempotent(&EpochRequest{SpeedFactor: driftFactors(resp.K, 0.9)}, "commit-B")
+	if err != nil || rrep.Epoch != 2 {
+		t.Fatalf("restored retry: %+v err %v", rrep, err)
+	}
+	if restored.Info().Epoch != 2 {
+		t.Fatalf("restored retry advanced epoch to %d", restored.Info().Epoch)
+	}
+}

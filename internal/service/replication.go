@@ -1,0 +1,290 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// A replica is a passive copy of another member's session: the sealed
+// snapshot bytes plus their decoded form. It costs no solver state —
+// promotion to a live warm session happens only when this node
+// becomes (or is asked to act as) the session's holder.
+type replica struct {
+	data []byte
+	snap *cluster.SessionSnapshot
+}
+
+// replicateAck answers POST /cluster/replicate; the sender verifies
+// Checksum against the snapshot it shipped, so a torn or reordered
+// transfer can't be mistaken for a durable replica.
+type replicateAck struct {
+	ID       string `json:"id"`
+	Epoch    int    `json:"epoch"`
+	Checksum string `json:"checksum"`
+}
+
+// forgetMessage asks successors to drop every trace of a deleted
+// session (passive replica, live promoted copy, snapshot file) so a
+// later promotion can't resurrect it.
+type forgetMessage struct {
+	ID string `json:"id"`
+}
+
+func (n *Node) replicaCount() int {
+	n.repMu.Lock()
+	defer n.repMu.Unlock()
+	return len(n.replicas)
+}
+
+func (n *Node) getReplica(id string) *replica {
+	n.repMu.Lock()
+	defer n.repMu.Unlock()
+	return n.replicas[id]
+}
+
+func (n *Node) dropReplica(id string) {
+	n.repMu.Lock()
+	delete(n.replicas, id)
+	n.repMu.Unlock()
+}
+
+// replicationTargets lists the members that should hold passive
+// replicas of id: the first Replication distinct members clockwise
+// from the key, minus self. For the owner that is its R−1 successors;
+// for a non-owner stuck holding a session after a failed migration it
+// includes the true owner — which repairs the PR 8 hole where such a
+// session was reachable only through forwarding and died with its
+// holder.
+func (n *Node) replicationTargets(id string) []string {
+	if n.cfg.Replication <= 1 {
+		return nil
+	}
+	succ := n.currentRing().Successors(id, n.cfg.Replication)
+	out := make([]string, 0, len(succ))
+	for _, m := range succ {
+		if m != n.self {
+			out = append(out, m)
+		}
+	}
+	if len(out) > n.cfg.Replication-1 {
+		out = out[:n.cfg.Replication-1]
+	}
+	return out
+}
+
+// replicateOut fans the sealed snapshot to the ring successors and
+// verifies each ack's checksum. It runs synchronously inside the
+// session-commit hook — before the client's HTTP response is written
+// — so an acked commit is always either replicated or counted in
+// ReplicaErrors; there is no window where an ack implies durability
+// the cluster doesn't have.
+func (n *Node) replicateOut(snap *cluster.SessionSnapshot) {
+	targets := n.replicationTargets(snap.ID)
+	if len(targets) == 0 {
+		return
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		n.replicaErrors.Add(1)
+		return
+	}
+	for _, target := range targets {
+		if err := n.sendReplica(target, snap, data); err != nil {
+			n.replicaErrors.Add(1)
+			continue
+		}
+		n.replicasSent.Add(1)
+	}
+}
+
+func (n *Node) sendReplica(target string, snap *cluster.SessionSnapshot, data []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.TransferTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/cluster/replicate", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(fromHeader, n.self)
+	req.Header.Set(incarnationHeader, strconv.FormatUint(n.membership.Incarnation(), 10))
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replicate %s to %s: status %d: %s", snap.ID, target, resp.StatusCode, body)
+	}
+	var ack replicateAck
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return fmt.Errorf("replicate %s to %s: decoding ack: %w", snap.ID, target, err)
+	}
+	if ack.Checksum != snap.Checksum {
+		return fmt.Errorf("replicate %s to %s: ack checksum %q != sent %q", snap.ID, target, ack.Checksum, snap.Checksum)
+	}
+	return nil
+}
+
+// handleReplicate receives a passive replica. The snapshot is decoded
+// strictly (version, checksum, completeness — fail closed), then
+// fenced two ways before it can displace anything: a sender
+// incarnation below the freshest one known for that peer marks a
+// message from a previous life, and a snapshot epoch below what this
+// node already holds (replica or live) marks state the cluster has
+// moved past — a partitioned old owner's late fan-out hits both.
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil || len(data) > maxBodyBytes {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading replica"))
+		return
+	}
+	snap, err := cluster.DecodeSnapshot(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if from := r.Header.Get(fromHeader); from != "" {
+		inc, _ := strconv.ParseUint(r.Header.Get(incarnationHeader), 10, 64)
+		if known := n.membership.KnownIncarnation(from); inc < known {
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("replica of %s from %s: stale incarnation %d < %d", snap.ID, from, inc, known))
+			return
+		}
+		// A replica push is direct evidence the sender is alive.
+		n.membership.ObserveAck(from, inc, time.Now())
+	}
+	if held := n.getReplica(snap.ID); held != nil && snap.Epoch < held.snap.Epoch {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("replica of %s: epoch %d below held %d", snap.ID, snap.Epoch, held.snap.Epoch))
+		return
+	}
+	if live := n.srv.Pool().Get(snap.ID); live != nil {
+		liveEpoch := live.Info().Epoch
+		switch {
+		case snap.Epoch < liveEpoch:
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("replica of %s: epoch %d below live %d", snap.ID, snap.Epoch, liveEpoch))
+			return
+		case snap.Epoch > liveEpoch:
+			// The cluster committed past our live copy. Epochs only
+			// advance through commits, so a higher snapshot epoch is
+			// proof our session missed some — whether we promoted
+			// during a suspicion that turned out false, or we are a
+			// resurrected owner whose sessions moved on while peers
+			// had us confirmed dead. Either way the snapshot is
+			// authoritative even if the ring says the session is ours:
+			// drop the stale live session, keep the fresh replica (the
+			// next touch promotes it warm).
+			n.srv.Pool().Evict(snap.ID)
+		}
+	}
+	n.repMu.Lock()
+	n.replicas[snap.ID] = &replica{data: data, snap: snap}
+	n.repMu.Unlock()
+	writeJSON(w, http.StatusOK, replicateAck{ID: snap.ID, Epoch: snap.Epoch, Checksum: snap.Checksum})
+}
+
+// handleForget drops every trace of a deleted session.
+func (n *Node) handleForget(w http.ResponseWriter, r *http.Request) {
+	var msg forgetMessage
+	if !decodeBody(w, r, &msg) {
+		return
+	}
+	if msg.ID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("forget: empty id"))
+		return
+	}
+	n.dropReplica(msg.ID)
+	n.srv.Pool().Evict(msg.ID)
+	if n.store != nil {
+		n.store.Delete(msg.ID) //nolint:errcheck
+	}
+	writeJSON(w, http.StatusOK, forgetMessage{ID: msg.ID})
+}
+
+// forgetSession cleans up after a local DELETE: drop the snapshot
+// file and replica here, and tombstone the session at every member
+// that might hold a copy.
+func (n *Node) forgetSession(id string) {
+	n.dropReplica(id)
+	if n.store != nil {
+		n.store.Delete(id) //nolint:errcheck
+	}
+	data, err := json.Marshal(forgetMessage{ID: id})
+	if err != nil {
+		return
+	}
+	for _, target := range n.replicationTargets(id) {
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.WriteTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/cluster/forget", bytes.NewReader(data))
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := n.client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		}
+		cancel()
+	}
+}
+
+// promoteIfReplica turns a passive replica into a live warm session
+// when this node is asked to serve it (ownership moved here, a read
+// failed over here, or a forwarded request landed here). Promotion is
+// serialized: concurrent requests for the same session promote once.
+func (n *Node) promoteIfReplica(id string) {
+	rep := n.getReplica(id)
+	if rep == nil {
+		return
+	}
+	n.promoteMu.Lock()
+	defer n.promoteMu.Unlock()
+	if n.srv.Pool().Get(id) != nil {
+		return // lost the race: someone else promoted (or it was live all along)
+	}
+	sess, _, warm, err := RestoreSession(rep.snap)
+	if err != nil {
+		n.replicaErrors.Add(1)
+		n.dropReplica(id) // fail closed: never install from damaged state
+		return
+	}
+	n.srv.Pool().Install(sess)
+	n.promotions.Add(1)
+	if warm {
+		n.warmRebuilds.Add(1)
+	} else {
+		n.coldRebuilds.Add(1)
+	}
+}
+
+// promoteOwned promotes every replica the ring (after a membership
+// change) assigns to this node — the moment a death is confirmed, the
+// dead member's sessions come warm out of their successors' replicas
+// with zero cold solves.
+func (n *Node) promoteOwned(ring *cluster.Ring) {
+	n.repMu.Lock()
+	var ids []string
+	for id := range n.replicas {
+		if ring.Owner(id) == n.self {
+			ids = append(ids, id)
+		}
+	}
+	n.repMu.Unlock()
+	for _, id := range ids {
+		n.promoteIfReplica(id)
+	}
+}

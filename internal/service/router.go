@@ -2,9 +2,12 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -22,55 +25,216 @@ import (
 // loop.
 const forwardedHeader = "X-Schedd-Forwarded"
 
+// incarnationHeader and epochHeader fence internal cluster transfers
+// (replicate): a message from a peer's previous life, or carrying
+// state older than what the receiver already holds, is rejected.
+const (
+	incarnationHeader = "X-Schedd-Incarnation"
+	fromHeader        = "X-Schedd-From"
+)
+
+// commitIDHeader tags every epoch commit with an idempotency ID (set
+// by the first ring member that sees the request, preserved across
+// forwards and retries). The serving session records the last applied
+// (ID, report) pair — carried in its snapshot, so it survives
+// failover — and answers a retry of an applied commit with the
+// recorded report. This is what makes commit retries safe even when a
+// send died mid-flight and may or may not have been applied.
+const commitIDHeader = "X-Schedd-Commit-ID"
+
+// NodeConfig tunes a ring node's replication, failure detection and
+// forwarding behavior. The zero value takes every default, which
+// reproduces the static-membership behavior plus replication factor
+// 2: heartbeats only run after an explicit Start, so a config that
+// never starts the loop never suspects anyone.
+type NodeConfig struct {
+	// Replication is the total number of copies of each session's
+	// snapshot on the ring, the live owner included; default 2 (owner
+	// plus one passive replica on the next ring successor). 1 disables
+	// snapshot fan-out.
+	Replication int
+
+	// Heartbeat is the probe interval of the failure-detection loop
+	// started by Start; <= 0 leaves membership static (no probing, no
+	// suspicion) even if Start is called.
+	Heartbeat time.Duration
+	// SuspectAfter / DeadAfter are the failure detector's timeouts
+	// (see cluster.MembershipConfig).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Incarnation seeds this member's incarnation; 0 derives one from
+	// the wall clock so a restart outranks the previous life.
+	Incarnation uint64
+
+	// Per-operation deadlines: ReadTimeout bounds health probes and
+	// forwarded reads (query/what-if/batch/GET), WriteTimeout bounds
+	// forwarded creates and epoch commits, TransferTimeout bounds
+	// migrate and replicate transfers.
+	ReadTimeout     time.Duration
+	WriteTimeout    time.Duration
+	TransferTimeout time.Duration
+
+	// RetryAttempts bounds the forwarding loop's tries per request
+	// (failovers included); backoff between full candidate cycles
+	// grows RetryBase, RetryBase*2, ... capped at RetryCap, each with
+	// equal jitter (half fixed, half random). RetrySeed seeds the
+	// jitter RNG; 0 uses wall-clock.
+	RetryAttempts int
+	RetryBase     time.Duration
+	RetryCap      time.Duration
+	RetrySeed     int64
+
+	// Transport overrides the HTTP transport for all outbound cluster
+	// traffic (the chaos harness injects here); nil uses a pooled
+	// transport tuned for a small mesh of long-lived peers.
+	Transport http.RoundTripper
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 15 * time.Second
+	}
+	if c.TransferTimeout <= 0 {
+		c.TransferTimeout = 30 * time.Second
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 8
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = time.Second
+	}
+	return c
+}
+
+// defaultTransport pools connections per peer: the mesh talks to a
+// handful of stable base URLs, so idle keep-alives per host are cheap
+// and save a dial per forward. MaxIdleConnsPerHost is the fix for the
+// PR 8 failure mode where one slow peer could monopolize the default
+// transport's tiny (2) per-host idle pool and force re-dials
+// everywhere else.
+func defaultTransport() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 32
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}
+
 // Node wraps a Server in the cluster role: consistent-hash routing of
-// session traffic to its ring owner, session migration on membership
-// change, snapshot persistence for crash recovery, and the cluster
-// section of /stats. The ring key is the session ID — a digest of
-// platform.Fingerprint() plus the solver configuration — computed
-// from the request body for creates and taken from the path for
-// everything else, so every replica routes identically with no shared
-// state beyond the member list.
+// session traffic to its ring owner with retry, backoff and successor
+// failover; snapshot replication to ring successors on every commit;
+// heartbeat-driven failure detection that promotes replicas on a
+// confirmed death; session migration on membership change; snapshot
+// persistence for crash recovery; and the cluster section of /stats.
+// The ring key is the session ID — a digest of platform.Fingerprint()
+// plus the solver configuration — computed from the request body for
+// creates and taken from the path for everything else, so every
+// replica routes identically with no shared state beyond the member
+// list.
 type Node struct {
 	srv    *Server
 	self   string // this replica's advertised base URL
 	store  *cluster.Store
+	cfg    NodeConfig
 	client *http.Client
+
+	membership *cluster.Membership
 
 	mu   sync.Mutex
 	ring *cluster.Ring
+
+	repMu     sync.Mutex
+	replicas  map[string]*replica
+	promoteMu sync.Mutex
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	loopDone  chan struct{}
+	started   atomic.Bool
+	heartbeat atomic.Uint64
 
 	forwarded     atomic.Uint64
 	migrations    atomic.Uint64
 	warmRebuilds  atomic.Uint64
 	coldRebuilds  atomic.Uint64
 	snapshotBytes atomic.Uint64
+	retries       atomic.Uint64
+	failovers     atomic.Uint64
+	promotions    atomic.Uint64
+	replicasSent  atomic.Uint64
+	replicaErrors atomic.Uint64
+	fencedCommits atomic.Uint64
 }
 
-// NewNode makes srv a ring member advertised as self (a base URL,
-// e.g. "http://10.0.0.3:8080"), with peers as the initial member list
-// (self is always included) and store as the snapshot directory for
-// crash recovery — nil disables persistence. The pool's session hook
-// is pointed at the store, so every committed state change (creation,
-// epoch commit, migration arrival) persists a fresh snapshot.
+// NewNode makes srv a ring member with the default NodeConfig —
+// static membership (until Start), replication factor 2. Kept as the
+// common constructor; NewNodeWithConfig exposes the full surface.
 func NewNode(srv *Server, self string, peers []string, store *cluster.Store) *Node {
-	n := &Node{
-		srv:    srv,
-		self:   self,
-		store:  store,
-		client: &http.Client{Timeout: 30 * time.Second},
-		ring:   cluster.NewRing(append([]string{self}, peers...), 0),
+	return NewNodeWithConfig(srv, self, peers, store, NodeConfig{})
+}
+
+// NewNodeWithConfig makes srv a ring member advertised as self (a
+// base URL, e.g. "http://10.0.0.3:8080"), with peers as the initial
+// member list (self is always included) and store as the snapshot
+// directory for crash recovery — nil disables persistence. The pool's
+// session hook persists and replicates every committed state change
+// (creation, epoch commit, migration arrival) synchronously, so a
+// commit is acked to the client only after its snapshot reached the
+// store and the ring successors.
+func NewNodeWithConfig(srv *Server, self string, peers []string, store *cluster.Store, cfg NodeConfig) *Node {
+	cfg = cfg.withDefaults()
+	transport := cfg.Transport
+	if transport == nil {
+		transport = defaultTransport()
 	}
-	if store != nil {
-		srv.Pool().SetSessionHook(func(s *Session) {
-			snap, err := s.Snapshot()
-			if err != nil {
-				return // no basis yet: nothing worth persisting
-			}
-			if nb, err := store.Save(snap); err == nil {
+	seed := cfg.RetrySeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	now := time.Now()
+	n := &Node{
+		srv:   srv,
+		self:  self,
+		store: store,
+		cfg:   cfg,
+		// No blanket client timeout: every outbound request carries a
+		// per-operation context deadline instead.
+		client: &http.Client{Transport: transport},
+		membership: cluster.NewMembership(self, peers, cluster.MembershipConfig{
+			SuspectAfter: cfg.SuspectAfter,
+			DeadAfter:    cfg.DeadAfter,
+			Incarnation:  cfg.Incarnation,
+		}, now),
+		replicas: make(map[string]*replica),
+		rng:      rand.New(rand.NewSource(seed)),
+		stopCh:   make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	n.ring = cluster.NewRing(n.membership.Active(), 0)
+	srv.Pool().SetSessionHook(func(s *Session) {
+		snap, err := s.Snapshot()
+		if err != nil {
+			return // no basis yet: nothing worth persisting
+		}
+		if n.store != nil {
+			if nb, err := n.store.Save(snap); err == nil {
 				n.snapshotBytes.Add(uint64(nb))
 			}
-		})
-	}
+		}
+		n.replicateOut(snap)
+	})
 	return n
 }
 
@@ -83,7 +247,7 @@ func (n *Node) currentRing() *cluster.Ring {
 	return n.ring
 }
 
-// Members returns the current member list.
+// Members returns the current (non-dead) member list.
 func (n *Node) Members() []string { return n.currentRing().Members() }
 
 // Handler returns the node's route table: the cluster control
@@ -98,18 +262,87 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/members", n.handleSetMembers)
 	mux.HandleFunc("POST /cluster/join", n.handleJoin)
 	mux.HandleFunc("POST /cluster/migrate", n.handleMigrate)
+	mux.HandleFunc("POST /cluster/replicate", n.handleReplicate)
+	mux.HandleFunc("POST /cluster/forget", n.handleForget)
+	mux.HandleFunc("POST /cluster/health", n.handleHealth)
 	mux.HandleFunc("GET /stats", n.handleStats)
 	mux.Handle("/", n.routed(inner))
 	return mux
 }
 
-// routed forwards session traffic to its ring owner; everything else
-// — and everything this replica owns or was explicitly forwarded — is
-// served by the inner handler.
+// opClass partitions routed operations by their retry contract.
+type opClass int
+
+const (
+	// opLocal requests have no routable key; serve locally.
+	opLocal opClass = iota
+	// opRead: idempotent (query, what-if, batch, GETs, DELETE) —
+	// freely retried and failed over to any replica-holding successor.
+	opRead
+	// opCreate: POST /sessions. Creates are deterministic (same body →
+	// same session ID and same answers on any replica), so they are
+	// retried and failed over like reads.
+	opCreate
+	// opCommit: POST .../epoch. Owner-only, NOT failed over to other
+	// holders — but freely retried against the ring's current owner:
+	// every commit carries an idempotency ID, so the retry of a commit
+	// that did apply (response lost mid-flight, owner died after
+	// applying) is answered from the session's dedup record instead of
+	// being applied twice.
+	opCommit
+)
+
+func classify(r *http.Request) opClass {
+	if !strings.HasPrefix(r.URL.Path, "/sessions") {
+		return opLocal
+	}
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/epoch") {
+		return opCommit
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/sessions")
+	if rest == "" || rest == "/" {
+		if r.Method == http.MethodPost {
+			return opCreate
+		}
+		return opLocal // GET /sessions lists local sessions
+	}
+	return opRead
+}
+
+// timeoutFor maps an operation class to its forwarding deadline.
+func (n *Node) timeoutFor(class opClass) time.Duration {
+	if class == opRead {
+		return n.cfg.ReadTimeout
+	}
+	return n.cfg.WriteTimeout
+}
+
+// pathID extracts the session ID from a /sessions/{id}[/...] path
+// ("" when absent).
+func pathID(path string) string {
+	rest := strings.TrimPrefix(path, "/sessions")
+	rest = strings.TrimPrefix(rest, "/")
+	id, _, _ := strings.Cut(rest, "/")
+	return id
+}
+
+// routed forwards session traffic to its ring owner (with retry and
+// successor failover); everything else — and everything this replica
+// owns or was explicitly forwarded — is served by the inner handler.
 func (n *Node) routed(inner http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Header.Get(forwardedHeader) != "" || !strings.HasPrefix(r.URL.Path, "/sessions") {
+		if !strings.HasPrefix(r.URL.Path, "/sessions") {
 			inner.ServeHTTP(w, r)
+			return
+		}
+		class := classify(r)
+		if class == opCommit && r.Header.Get(commitIDHeader) == "" {
+			// First ring member to see this commit: tag it. Forwards
+			// and retries preserve the tag.
+			r.Header.Set(commitIDHeader, n.newCommitID())
+		}
+		if r.Header.Get(forwardedHeader) != "" {
+			n.serveLocal(w, r, inner, class, pathID(r.URL.Path))
 			return
 		}
 		key, body, ok := n.routingKey(r)
@@ -123,13 +356,202 @@ func (n *Node) routed(inner http.Handler) http.Handler {
 			inner.ServeHTTP(w, r) // let the service produce the error
 			return
 		}
-		owner := n.currentRing().Owner(key)
-		if owner == "" || owner == n.self {
-			inner.ServeHTTP(w, r)
+		if body == nil && r.Body != nil && r.Method != http.MethodGet && r.Method != http.MethodDelete {
+			// Buffer the body once so retries can re-send it.
+			var err error
+			body, err = io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		n.route(w, r, inner, class, key, body)
+	})
+}
+
+// serveLocal serves the request from this replica: fence commits when
+// membership quorum is lost (a partitioned minority must not commit —
+// the majority side may already have promoted a new owner), promote a
+// passive replica to a live session if that's all we hold, and fan a
+// forget to successors after a session delete.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, inner http.Handler, class opClass, id string) {
+	if class == opCommit && !n.membership.Quorum() {
+		n.fencedCommits.Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("epoch commit fenced: replica lacks membership quorum"))
+		return
+	}
+	if id != "" && class != opCreate {
+		n.promoteIfReplica(id)
+	}
+	inner.ServeHTTP(w, r)
+	if r.Method == http.MethodDelete && id != "" {
+		n.forgetSession(id)
+	}
+}
+
+// candidates lists the members to try for key, best first: commits go
+// to the owner only; reads and creates may fail over along the
+// replication chain (the ring successors holding the key's replicas),
+// with suspected members moved behind the others so the common case
+// skips a peer that is probably down without waiting to confirm it.
+func (n *Node) candidates(key string, class opClass) []string {
+	ring := n.currentRing()
+	if class == opCommit {
+		if owner := ring.Owner(key); owner != "" {
+			return []string{owner}
+		}
+		return nil
+	}
+	width := n.cfg.Replication
+	if width < 1 {
+		width = 1
+	}
+	succ := ring.Successors(key, width)
+	var healthy, suspect []string
+	for _, m := range succ {
+		if st, known := n.membership.State(m); known && st != cluster.StateAlive {
+			suspect = append(suspect, m)
+			continue
+		}
+		healthy = append(healthy, m)
+	}
+	return append(healthy, suspect...)
+}
+
+// newCommitID draws a commit idempotency tag: this node's identity
+// hashed in (two tagging routers can never collide even with equal
+// RNG seeds) plus 128 random bits.
+func (n *Node) newCommitID() string {
+	n.rngMu.Lock()
+	a, b := n.rng.Uint64(), n.rng.Uint64()
+	n.rngMu.Unlock()
+	h := fnv.New64a()
+	h.Write([]byte(n.self)) //nolint:errcheck // fnv never fails
+	return fmt.Sprintf("%016x%016x%016x", h.Sum64(), a, b)
+}
+
+// backoff returns the sleep before retry cycle (1-based) with equal
+// jitter: half the capped exponential step fixed, half random. The
+// fixed half guarantees the total retry window actually spans the
+// failure detector's confirmation time instead of collapsing to
+// near-zero on an unlucky jitter draw.
+func (n *Node) backoff(cycle int) time.Duration {
+	d := n.cfg.RetryBase << (cycle - 1)
+	if d > n.cfg.RetryCap || d <= 0 {
+		d = n.cfg.RetryCap
+	}
+	half := d / 2
+	n.rngMu.Lock()
+	j := time.Duration(n.rng.Int63n(int64(half) + 1))
+	n.rngMu.Unlock()
+	return half + j
+}
+
+// route drives the forwarding loop: recompute the candidate list each
+// attempt (the ring may recompute under us — exactly what we want
+// while a death is being confirmed), forward, and on failure retry
+// per the operation's contract. Serving locally is a terminal state:
+// the ring says the session is (now) ours.
+func (n *Node) route(w http.ResponseWriter, r *http.Request, inner http.Handler, class opClass, key string, body []byte) {
+	n.forwarded.Add(1)
+	var lastErr error
+	cycleAllHTTP := true
+	for attempt := 0; attempt < n.cfg.RetryAttempts; attempt++ {
+		cands := n.candidates(key, class)
+		if len(cands) == 0 {
+			n.serveLocal(w, r, inner, class, pathID(r.URL.Path))
 			return
 		}
-		n.forward(w, r, owner, body)
-	})
+		idx := attempt % len(cands)
+		if idx == 0 && attempt > 0 {
+			// A full candidate cycle failed; back off before the next.
+			time.Sleep(n.backoff(attempt / len(cands)))
+			cycleAllHTTP = true
+		}
+		target := cands[idx]
+		if target == n.self {
+			n.serveLocal(w, r, inner, class, pathID(r.URL.Path))
+			return
+		}
+		if attempt > 0 {
+			n.retries.Add(1)
+			if idx != 0 {
+				n.failovers.Add(1)
+			}
+		}
+		status, header, respBody, err := n.send(r, target, body, n.timeoutFor(class))
+		if err != nil {
+			// Transport errors retry for every class: reads and creates
+			// are idempotent by nature, commits by their idempotency tag
+			// (a retry of an applied commit is answered from the dedup
+			// record, never re-applied).
+			lastErr = err
+			cycleAllHTTP = false
+			continue
+		}
+		switch {
+		case class == opCommit && status == http.StatusServiceUnavailable:
+			// A fenced (or not-yet-ready) peer rejected the commit
+			// without applying it: safe to retry against the ring's
+			// current owner.
+			lastErr = fmt.Errorf("%s answered %d", target, status)
+			continue
+		case class != opCommit && (status == http.StatusNotFound || status == http.StatusServiceUnavailable):
+			// This holder doesn't have the session (yet); another
+			// candidate might. But if a full cycle produced only HTTP
+			// answers — every holder is reachable and none has it —
+			// the 404 is genuine; relay instead of burning retries.
+			if cycleAllHTTP && idx == len(cands)-1 {
+				relay(w, status, header, respBody)
+				return
+			}
+			lastErr = fmt.Errorf("%s answered %d", target, status)
+			continue
+		}
+		relay(w, status, header, respBody)
+		return
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("forwarding %s %s: retries exhausted: %w", r.Method, r.URL.Path, lastErr))
+}
+
+// send forwards the request once to target under a per-operation
+// deadline, returning the response fully read (so the deadline covers
+// the body, and retries never hold a half-read connection).
+func (n *Node) send(r *http.Request, target string, body []byte, timeout time.Duration) (int, http.Header, []byte, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if cid := r.Header.Get(commitIDHeader); cid != "" {
+		req.Header.Set(commitIDHeader, cid)
+	}
+	req.Header.Set(forwardedHeader, n.self)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("reading response from %s: %w", target, err)
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+func relay(w http.ResponseWriter, status int, header http.Header, body []byte) {
+	if ct := header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck // nothing to do about a failed relay
 }
 
 // routingKey derives the ring key for a session request: the session
@@ -162,45 +584,11 @@ func (n *Node) routingKey(r *http.Request) (key string, body []byte, ok bool) {
 		}
 		return sessionID(pl.Fingerprint(), cfg), body, true
 	}
-	id, _, _ := strings.Cut(strings.TrimPrefix(rest, "/"), "/")
+	id := pathID(r.URL.Path)
 	if id == "" {
 		return "", nil, false
 	}
 	return id, nil, true
-}
-
-// forward proxies the request to owner, marking it forwarded so the
-// owner serves it locally no matter what its own ring says.
-func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
-	n.forwarded.Add(1)
-	if body == nil && r.Body != nil {
-		var err error
-		body, err = io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
-		if err != nil {
-			writeError(w, http.StatusBadGateway, fmt.Errorf("reading body for forward: %w", err))
-			return
-		}
-	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), bytes.NewReader(body))
-	if err != nil {
-		writeError(w, http.StatusBadGateway, fmt.Errorf("forwarding to %s: %w", owner, err))
-		return
-	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
-	}
-	req.Header.Set(forwardedHeader, n.self)
-	resp, err := n.client.Do(req)
-	if err != nil {
-		writeError(w, http.StatusBadGateway, fmt.Errorf("forwarding to %s: %w", owner, err))
-		return
-	}
-	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
-	}
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body) //nolint:errcheck // nothing to do about a failed relay
 }
 
 // membersMessage is the wire form of a full member list (broadcast on
@@ -228,11 +616,38 @@ type migrateResponse struct {
 // session the new ring assigns elsewhere. A failed transfer keeps the
 // session local — it stays reachable through forwarding.
 func (n *Node) SetMembers(members []string) {
-	ring := cluster.NewRing(append([]string{n.self}, members...), 0)
+	n.membership.SetPeers(members, time.Now())
+	n.syncRing()
+}
+
+// syncRing rebuilds the ring from the membership's non-dead member
+// set. On a change it promotes every replica the new ring assigns to
+// this node (the failover path: a confirmed death lands here) and
+// rebalances live sessions the new ring assigns elsewhere (the
+// join/revival path).
+func (n *Node) syncRing() {
+	ring := cluster.NewRing(n.membership.Active(), 0)
 	n.mu.Lock()
+	old := n.ring
 	n.ring = ring
 	n.mu.Unlock()
+	if equalMembers(old.Members(), ring.Members()) {
+		return
+	}
+	n.promoteOwned(ring)
 	n.rebalance(ring)
+}
+
+func equalMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // rebalance ships every local session whose owner under ring is some
@@ -259,7 +674,9 @@ func (n *Node) migrate(sess *Session, owner string) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, owner+"/cluster/migrate", bytes.NewReader(data))
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.TransferTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/cluster/migrate", bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
@@ -318,19 +735,22 @@ func (n *Node) broadcastMembers(member string, members []string) {
 	if err != nil {
 		return
 	}
-	req, err := http.NewRequest(http.MethodPost, member+"/cluster/members", bytes.NewReader(data))
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.WriteTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, member+"/cluster/members", bytes.NewReader(data))
 	if err != nil {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if resp, err := n.client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
 		resp.Body.Close()
 	}
 }
 
 // handleMigrate receives a session from another replica: verify the
-// snapshot, rebuild warm, install into the pool (which persists it to
-// this replica's store through the session hook), and answer with the
+// snapshot, rebuild warm, install into the pool (which persists and
+// replicates it through the session hook), and answer with the
 // rebuilt committed report.
 func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
@@ -343,12 +763,25 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if live := n.srv.Pool().Get(snap.ID); live != nil && live.Info().Epoch >= snap.Epoch {
+		// Our live copy is at least as far along as the incoming one —
+		// installing it would erase committed epochs. This happens when
+		// a holder rebalances after a false death confirmation healed:
+		// both sides applied commits during the split, and the longer
+		// (or equal, in which case ours — we are the owner the sender
+		// is shipping to) history wins. The sender keeps its copy; the
+		// next commit's replication fan-out evicts it as stale.
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("migrate %s: live epoch %d >= incoming %d", snap.ID, live.Info().Epoch, snap.Epoch))
+		return
+	}
 	sess, rep, warm, err := RestoreSession(snap)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("rebuilding session: %w", err))
 		return
 	}
 	n.srv.Pool().Install(sess)
+	n.dropReplica(snap.ID) // the live session supersedes any passive copy
 	if warm {
 		n.warmRebuilds.Add(1)
 	} else {
@@ -370,6 +803,16 @@ func (n *Node) Stats() PoolStatsResponse {
 	resp.Cluster.WarmRebuilds = n.warmRebuilds.Load()
 	resp.Cluster.ColdRebuilds = n.coldRebuilds.Load()
 	resp.Cluster.SnapshotBytes = n.snapshotBytes.Load()
+	resp.Cluster.Replication = n.cfg.Replication
+	resp.Cluster.Retries = n.retries.Load()
+	resp.Cluster.Failovers = n.failovers.Load()
+	resp.Cluster.Promotions = n.promotions.Load()
+	resp.Cluster.ReplicasHeld = n.replicaCount()
+	resp.Cluster.ReplicasSent = n.replicasSent.Load()
+	resp.Cluster.ReplicaErrors = n.replicaErrors.Load()
+	resp.Cluster.FencedCommits = n.fencedCommits.Load()
+	resp.Cluster.Incarnation = n.membership.Incarnation()
+	resp.Cluster.PeersAlive, resp.Cluster.PeersSuspect, resp.Cluster.PeersDead = n.membership.Counts()
 	resp.Cluster.Self = n.self
 	resp.Cluster.Members = n.Members()
 	return resp
@@ -384,7 +827,9 @@ func (n *Node) Join(seed string) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, seed+"/cluster/join", bytes.NewReader(data))
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.WriteTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, seed+"/cluster/join", bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
@@ -436,19 +881,33 @@ func (n *Node) Recover() (warm, cold, skipped int, err error) {
 	return warm, cold, skipped, nil
 }
 
-// PersistAll snapshots every live session to the store — the periodic
-// persistence tick, and the graceful-shutdown flush.
+// PersistAll snapshots every live session to the store and re-fans
+// replicas to the ring successors — the periodic persistence tick and
+// the graceful-shutdown flush — then garbage-collects snapshot files
+// whose session is neither live here nor held as a replica.
 func (n *Node) PersistAll() {
-	if n.store == nil {
-		return
-	}
 	for _, sess := range n.srv.Pool().Sessions() {
 		snap, err := sess.Snapshot()
 		if err != nil {
 			continue
 		}
-		if nb, err := n.store.Save(snap); err == nil {
-			n.snapshotBytes.Add(uint64(nb))
+		if n.store != nil {
+			if nb, err := n.store.Save(snap); err == nil {
+				n.snapshotBytes.Add(uint64(nb))
+			}
 		}
+		n.replicateOut(snap)
+	}
+	if n.store != nil {
+		live := make(map[string]bool)
+		for _, sess := range n.srv.Pool().Sessions() {
+			live[sess.id] = true
+		}
+		n.repMu.Lock()
+		for id := range n.replicas {
+			live[id] = true
+		}
+		n.repMu.Unlock()
+		n.store.Sweep(func(id string) bool { return live[id] }) //nolint:errcheck // best-effort GC
 	}
 }

@@ -244,7 +244,7 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	rep, err := sess.Epoch(&req)
+	rep, err := sess.EpochIdempotent(&req, r.Header.Get(commitIDHeader))
 	if err != nil {
 		writeError(w, solveStatus(err), err)
 		return

@@ -152,6 +152,17 @@ type Session struct {
 	stateKey string
 	state    atomic.Value // string, mirrors stateKey
 
+	// lastCommitID / lastCommitRep record the most recent tagged epoch
+	// commit (the cluster router tags every commit with an idempotency
+	// ID). A retry carrying the same ID returns lastCommitRep instead
+	// of applying the perturbation again — the commit-retry safety net
+	// for responses lost mid-flight. Both travel in snapshots, so the
+	// record survives failover to a promoted replica. One-deep by
+	// design: sessions serialize commits, and a retry races only with
+	// its own original, never with a later commit.
+	lastCommitID  string
+	lastCommitRep *SolveReport
+
 	// onCommit, when set (by the pool's session hook), runs after
 	// every committed state change — creation and epoch commits —
 	// outside the session mutex. The cluster layer uses it to persist
@@ -367,6 +378,17 @@ func (s *Session) heuristicSolve(epr *core.Problem) (*core.Allocation, *lp.Basis
 // basis just produced (typically zero pivots — the basis is already
 // optimal for the unpinned relaxation). The carried basis advances.
 func (s *Session) solveLocked(epr *core.Problem) (*SolveReport, error) {
+	// Committed answers must be replica-independent: a session promoted
+	// from a snapshot on a successor holds the same matrix, capacities
+	// and basis as the dead owner's live session did, but not its
+	// accumulated solver internals (sign normalization, Forrest–Tomlin
+	// factors, pricing weights), and on degenerate platforms those pick
+	// the optimal vertex — so the heuristic's tie-breaks, and therefore
+	// the committed Value, would drift across a failover. Rebase drops
+	// the history so this solve is a pure function of the committed
+	// discrete state on every replica. What-if solves skip this: they
+	// are read-only hypotheticals where continuation speed wins.
+	s.model.Rebase()
 	alloc, basis, err := s.heuristicSolve(epr)
 	if err != nil {
 		return nil, err
@@ -620,9 +642,27 @@ func applyBound(m betaBounder, b RouteBounds) error {
 // post-commit answer — and runs the commit hook (snapshot
 // persistence) outside the session mutex.
 func (s *Session) Epoch(req *EpochRequest) (*SolveReport, error) {
-	s.epochs.Add(1)
+	return s.EpochIdempotent(req, "")
+}
+
+// EpochIdempotent is Epoch with an idempotency tag: a non-empty
+// commitID matching the last applied one returns the recorded report
+// without touching the model, so the cluster router can retry a
+// commit whose response was lost without ever double-applying its
+// perturbation. An empty commitID is a plain (untagged) commit.
+func (s *Session) EpochIdempotent(req *EpochRequest, commitID string) (*SolveReport, error) {
 	s.mu.Lock()
+	if commitID != "" && commitID == s.lastCommitID && s.lastCommitRep != nil {
+		rep := *s.lastCommitRep
+		s.mu.Unlock()
+		return &rep, nil
+	}
+	s.epochs.Add(1)
 	rep, err := s.epochLocked(req)
+	if err == nil && commitID != "" {
+		cp := *rep
+		s.lastCommitID, s.lastCommitRep = commitID, &cp
+	}
 	hook := s.onCommit
 	s.mu.Unlock()
 	if err == nil && hook != nil {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -43,6 +44,12 @@ func (s *Session) Snapshot() (*cluster.SessionSnapshot, error) {
 		Platform:    plJSON,
 	}
 	snap.SetBasis(s.basis.Export())
+	if s.lastCommitID != "" && s.lastCommitRep != nil {
+		if data, err := json.Marshal(s.lastCommitRep); err == nil {
+			snap.LastCommitID = s.lastCommitID
+			snap.LastCommitReport = data
+		}
+	}
 	return snap, nil
 }
 
@@ -85,6 +92,14 @@ func RestoreSession(snap *cluster.SessionSnapshot) (*Session, *SolveReport, bool
 	s.fingerprint = snap.Fingerprint
 	s.epoch = snap.Epoch
 	s.refreshStateLocked() // unshared: rekey the cache to the true epoch
+	if snap.LastCommitID != "" && len(snap.LastCommitReport) > 0 {
+		// Restore the commit-dedup record (both halves or neither, so a
+		// matched ID always has a report to answer with).
+		var rep SolveReport
+		if json.Unmarshal(snap.LastCommitReport, &rep) == nil {
+			s.lastCommitID, s.lastCommitRep = snap.LastCommitID, &rep
+		}
+	}
 	s.model.PrimeWarm()
 	s.basis = lp.ImportBasis(snap.Basis())
 	rep, err := s.Query()

@@ -246,6 +246,30 @@ type ClusterStats struct {
 	WarmRebuilds  uint64 `json:"warmRebuilds"`
 	ColdRebuilds  uint64 `json:"coldRebuilds"`
 	SnapshotBytes uint64 `json:"snapshotBytes"`
+	// Replication is the configured copy count per session (owner
+	// included). ReplicasHeld counts passive replicas currently held
+	// for other members; ReplicasSent/ReplicaErrors count outbound
+	// snapshot fan-outs (acked vs failed); Promotions counts passive
+	// replicas turned into live sessions (failover or ownership
+	// change).
+	Replication   int    `json:"replication,omitempty"`
+	ReplicasHeld  int    `json:"replicasHeld,omitempty"`
+	ReplicasSent  uint64 `json:"replicasSent,omitempty"`
+	ReplicaErrors uint64 `json:"replicaErrors,omitempty"`
+	Promotions    uint64 `json:"promotions,omitempty"`
+	// Retries counts forwarding re-sends; Failovers the subset that
+	// went to a ring successor instead of the primary owner;
+	// FencedCommits the epoch commits rejected because this replica
+	// lacked membership quorum.
+	Retries       uint64 `json:"retries,omitempty"`
+	Failovers     uint64 `json:"failovers,omitempty"`
+	FencedCommits uint64 `json:"fencedCommits,omitempty"`
+	// Incarnation is this member's failure-detector incarnation;
+	// PeersAlive/PeersSuspect/PeersDead count the peers per state.
+	Incarnation  uint64 `json:"incarnation,omitempty"`
+	PeersAlive   int    `json:"peersAlive,omitempty"`
+	PeersSuspect int    `json:"peersSuspect,omitempty"`
+	PeersDead    int    `json:"peersDead,omitempty"`
 	// Self and Members describe the ring from this replica's view;
 	// empty when the process is not running as a ring node.
 	Self    string   `json:"self,omitempty"`
