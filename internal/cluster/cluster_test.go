@@ -114,17 +114,17 @@ func TestSnapshotRejectsDamage(t *testing.T) {
 		t.Fatalf("encode: %v", err)
 	}
 	cases := map[string][]byte{
-		"bitflip":    append([]byte(`{"version":1,"epoch":9,`), data[len(`{"version":1,"epoch":3,`):]...),
+		"bitflip":    append([]byte(`{"version":2,"epoch":9,`), data[len(`{"version":2,"epoch":3,`):]...),
 		"truncated":  data[:len(data)-2],
 		"notJSON":    []byte("not a snapshot"),
-		"noChecksum": []byte(`{"version":1,"id":"x","platform":{},"basisCols":[1]}`),
+		"noChecksum": []byte(`{"version":2,"id":"x","platform":{},"basisCols":[1]}`),
 	}
 	// A version-skewed snapshot with a valid checksum of its own.
 	skew := testSnapshot()
 	skewData, _ := skew.Encode()
 	var m map[string]any
 	json.Unmarshal(skewData, &m) //nolint:errcheck
-	m["version"] = 2
+	m["version"] = SnapshotVersion + 1
 	cases["versionSkew"], _ = json.Marshal(m)
 	for name, d := range cases {
 		if _, err := DecodeSnapshot(d); err == nil {

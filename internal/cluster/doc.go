@@ -23,7 +23,7 @@
 //
 // The wire form is canonical JSON with two integrity fields:
 //
-//   - Version: the format version, currently SnapshotVersion (1).
+//   - Version: the format version, currently SnapshotVersion (2).
 //     Decode rejects snapshots from a different version rather than
 //     guessing — a rolling upgrade must finish before the snapshot
 //     format moves.
@@ -106,9 +106,12 @@
 // ring owner only, are fenced by epoch (a snapshot or migration below
 // the receiver's committed epoch is rejected with 409) and by sender
 // incarnation (a message from a previous life of a peer is rejected),
-// are deduplicated by client commit ID so a retry after an ambiguous
-// transport error applies at most once, and are refused with 503 by
-// any member that cannot see a majority of the ring.
+// are deduplicated by client commit ID (a bounded per-session record
+// of recently applied commits, carried in snapshots — bounded rather
+// than last-commit-only so distinct clients interleaving commits
+// cannot evict a pending retry's record) so a retry after an
+// ambiguous transport error applies at most once, and are refused
+// with 503 by any member that cannot see a majority of the ring.
 //
 // Failure detection by timeout is necessarily approximate: a member
 // stalled past DeadAfter (GC pause, scheduler starvation, partition)

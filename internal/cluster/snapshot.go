@@ -12,7 +12,7 @@ import (
 // carrier between replicas of one deployment, not an archival format,
 // so "reject and rebuild cold from traffic" is the right behavior for
 // a version skew — never a guessed migration of solver state.
-const SnapshotVersion = 1
+const SnapshotVersion = 2
 
 // SessionSnapshot is the serialized form of one warm scheduling
 // session: identity, solver configuration, committed epoch, the
@@ -51,18 +51,27 @@ type SessionSnapshot struct {
 	BasisUpper []int `json:"basisUpper,omitempty"`
 	BasisNcols int   `json:"basisNcols,omitempty"`
 
-	// LastCommitID and LastCommitReport record the epoch commit that
-	// produced this state (the router's idempotency tag and the exact
-	// report it answered with). They ride in the snapshot so a replica
-	// promoted after the owner's death can recognize the retry of a
-	// commit the owner had already applied and replicated, and answer
-	// it with the original report instead of applying it twice.
-	LastCommitID     string          `json:"lastCommitId,omitempty"`
-	LastCommitReport json.RawMessage `json:"lastCommitReport,omitempty"`
+	// RecentCommits records the most recently applied tagged epoch
+	// commits, oldest first (the router's idempotency tags and the
+	// exact reports they answered with). They ride in the snapshot so a
+	// replica promoted after the owner's death can recognize the retry
+	// of a commit the owner had already applied and replicated, and
+	// answer it with the original report instead of applying it twice —
+	// a bounded list rather than just the last commit, because distinct
+	// clients may interleave commits between an original and its retry.
+	RecentCommits []CommitRecord `json:"recentCommits,omitempty"`
 
 	// Checksum is sha256 (hex) over the canonical JSON encoding of
 	// this snapshot with Version set and Checksum itself empty.
 	Checksum string `json:"checksum,omitempty"`
+}
+
+// CommitRecord is one entry of the snapshot's commit-dedup record:
+// the idempotency tag of an applied epoch commit and the serialized
+// report it was answered with.
+type CommitRecord struct {
+	ID     string          `json:"id"`
+	Report json.RawMessage `json:"report"`
 }
 
 // SetBasis stores an exported basis (lp.Basis.Export's two slices) in

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 )
 
 // snapExt names snapshot files: <session id><snapExt> under the
@@ -81,18 +82,27 @@ func (st *Store) Save(snap *SessionSnapshot) (int, error) {
 
 // syncDir flushes the store directory's metadata (new/renamed entries)
 // to stable storage. Filesystems that don't support fsync on
-// directories report that as an invalid operation, which is safe to
-// ignore — those platforms have no stronger primitive to offer.
+// directories report that as an invalid or unsupported operation —
+// surfaced as a *PathError wrapping syscall.EINVAL or ENOTSUP, which
+// errors.Is does NOT map to os.ErrInvalid — and that is safe to
+// ignore: those platforms have no stronger primitive to offer, and
+// the write itself already succeeded.
 func (st *Store) syncDir() error {
 	d, err := os.Open(st.dir)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+	if err := d.Sync(); err != nil && !ignorableSyncErr(err) {
 		return err
 	}
 	return nil
+}
+
+func ignorableSyncErr(err error) bool {
+	return errors.Is(err, os.ErrInvalid) ||
+		errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP)
 }
 
 // Load reads and verifies the snapshot for one session ID.

@@ -173,6 +173,137 @@ func TestReadFailoverPromotesReplica(t *testing.T) {
 	if st.Cluster.ColdRebuilds != 0 || st.Cluster.WarmRebuilds != 1 {
 		t.Fatalf("successor rebuilt warm=%d cold=%d, want 1/0", st.Cluster.WarmRebuilds, st.Cluster.ColdRebuilds)
 	}
+	// Promotion consumes the passive copy: replication fan-out excludes
+	// self, so a kept replica would freeze at the promotion-time epoch
+	// and could later reinstall stale state over committed epochs.
+	if nodes[successor].getReplica(resp.ID) != nil {
+		t.Fatalf("successor still holds a passive replica after promotion")
+	}
+}
+
+// TestPromotionConsumesReplicaAndPrefersStore pins the stale-replica
+// rollback fix: a session promoted from a replica advances through
+// commits the replica never sees (fan-out excludes self). If the pool
+// then LRU-evicts the live session while a stale passive copy is
+// parked here (a late fan-out from the pre-failover owner), the next
+// promotion must install the store's fresher snapshot — never the
+// stale replica — and must not roll the store back through the
+// install hook.
+func TestPromotionConsumesReplicaAndPrefersStore(t *testing.T) {
+	store, err := cluster.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNodeWithConfig(NewServer(NewPool(8)), "http://self.invalid", nil, store, NodeConfig{})
+	pl := testPlatform(t, 6, 209)
+	sess, _, created, err := n.srv.Pool().GetOrCreate(&CreateSessionRequest{Platform: platformJSON(t, pl)})
+	if err != nil || !created {
+		t.Fatalf("create: created=%v err=%v", created, err)
+	}
+	id := sess.id
+
+	// Seal the epoch-0 state exactly as a parked replica would hold it.
+	snap0, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data0, err := snap0.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := cluster.DecodeSnapshot(data0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit drift twice; the session hook persists epoch 2 to the store.
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Epoch(&EpochRequest{SpeedFactor: driftFactors(pl.K(), 0.95)}); err != nil {
+			t.Fatalf("epoch %d: %v", i+1, err)
+		}
+	}
+	wantRaw, err := json.Marshal(mustQuery(t, sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// LRU-evict the live session, then park the stale replica.
+	n.srv.Pool().Evict(id)
+	n.repMu.Lock()
+	n.replicas[id] = &replica{data: data0, snap: stale}
+	n.repMu.Unlock()
+
+	// Next touch: promotion installs the fresher source and consumes
+	// the passive copy.
+	n.promoteIfReplica(id)
+	live := n.srv.Pool().Get(id)
+	if live == nil {
+		t.Fatalf("promotion installed nothing")
+	}
+	if got := live.Info().Epoch; got != 2 {
+		t.Fatalf("promoted session at epoch %d, want 2 (stale replica won)", got)
+	}
+	if n.getReplica(id) != nil {
+		t.Fatalf("replica survived promotion")
+	}
+	stored, err := store.Load(id)
+	if err != nil || stored.Epoch != 2 {
+		t.Fatalf("store rolled back: epoch %v err %v", stored, err)
+	}
+	gotRaw, err := json.Marshal(mustQuery(t, live))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stripVolatile(t, gotRaw), stripVolatile(t, wantRaw); got != want {
+		t.Fatalf("promoted answer differs from committed answer:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func mustQuery(t *testing.T, s *Session) *SolveReport {
+	t.Helper()
+	rep, err := s.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestForgetReachesFormerSuccessors pins the deletion tombstone reach:
+// the forget fan-out goes to every known member, so a replica stranded
+// on a node outside the current replication targets (as a membership
+// change would leave it) cannot resurrect the deleted session later.
+func TestForgetReachesFormerSuccessors(t *testing.T) {
+	nodes, servers := startRing(t, 3, false)
+	client := servers[0].Client()
+	pl := testPlatform(t, 6, 210)
+	resp := ringCreate(t, client, servers[0].URL, &CreateSessionRequest{Platform: platformJSON(t, pl)})
+	owner, successor := ringOwnerOf(t, nodes, resp.ID)
+	stray := -1
+	for i := range nodes {
+		if i != owner && i != successor {
+			stray = i
+		}
+	}
+	rep := nodes[successor].getReplica(resp.ID)
+	if rep == nil {
+		t.Fatalf("successor holds no replica to strand")
+	}
+	nodes[stray].repMu.Lock()
+	nodes[stray].replicas[resp.ID] = rep
+	nodes[stray].repMu.Unlock()
+
+	status, raw, err := doJSONRaw(client, "DELETE", servers[0].URL+"/sessions/"+resp.ID, nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("delete: status %d err %v body %s", status, err, raw)
+	}
+	for i, n := range nodes {
+		if n.getReplica(resp.ID) != nil {
+			t.Fatalf("node %d still holds a replica after delete", i)
+		}
+		if n.srv.Pool().Get(resp.ID) != nil {
+			t.Fatalf("node %d still holds the live session after delete", i)
+		}
+	}
 }
 
 // TestOwnerDeathPromotionAndCommit runs the full failover story with
@@ -537,6 +668,15 @@ func TestCommitIdempotency(t *testing.T) {
 		t.Fatalf("new commit epoch: %+v err %v", rep, err)
 	}
 
+	// Client interleaving: a retry of commit-A arriving after commit-B
+	// was applied must still be answered from the record (the dedup is
+	// a bounded list, not last-commit-only), byte-identical to the
+	// original response.
+	status, late := commit("commit-A")
+	if status != http.StatusOK || string(late) != string(first) {
+		t.Fatalf("late retry after intervening commit not deduped: %d\n%s\nvs\n%s", status, late, first)
+	}
+
 	// The dedup record rides in the snapshot: a rebuilt session (the
 	// promoted-replica path) answers the retry of commit-B from the
 	// record, without applying it again.
@@ -545,8 +685,8 @@ func TestCommitIdempotency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.LastCommitID == "" || len(snap.LastCommitReport) == 0 {
-		t.Fatalf("snapshot carries no commit record")
+	if len(snap.RecentCommits) != 2 {
+		t.Fatalf("snapshot carries %d commit records, want 2", len(snap.RecentCommits))
 	}
 	restored, _, warm, err := RestoreSession(snap)
 	if err != nil || !warm {
@@ -556,7 +696,49 @@ func TestCommitIdempotency(t *testing.T) {
 	if err != nil || rrep.Epoch != 2 {
 		t.Fatalf("restored retry: %+v err %v", rrep, err)
 	}
+	arep, err := restored.EpochIdempotent(&EpochRequest{SpeedFactor: driftFactors(resp.K, 0.9)}, "commit-A")
+	if err != nil || arep.Epoch != 1 {
+		t.Fatalf("restored retry of older commit: %+v err %v", arep, err)
+	}
 	if restored.Info().Epoch != 2 {
 		t.Fatalf("restored retry advanced epoch to %d", restored.Info().Epoch)
+	}
+}
+
+// TestCommitDedupDepth pins the bounded dedup record: entries are
+// evicted oldest-first past commitDedupDepth, and surviving entries
+// still answer retries with their recorded reports.
+func TestCommitDedupDepth(t *testing.T) {
+	pl := testPlatform(t, 6, 208)
+	cfg, err := parseConfig(&CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _, err := newSession(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := commitDedupDepth + 3
+	reports := make([]*SolveReport, total)
+	drift := &EpochRequest{SpeedFactor: driftFactors(pl.K(), 0.99)}
+	for i := 0; i < total; i++ {
+		reports[i], err = sess.EpochIdempotent(drift, fmt.Sprintf("commit-%02d", i))
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if got := len(sess.recentCommits); got != commitDedupDepth {
+		t.Fatalf("record depth = %d, want %d", got, commitDedupDepth)
+	}
+	// The newest commitDedupDepth entries dedup (the retry returns the
+	// recorded epoch and does not re-apply the drift).
+	for i := total - commitDedupDepth; i < total; i++ {
+		rep, err := sess.EpochIdempotent(drift, fmt.Sprintf("commit-%02d", i))
+		if err != nil || rep.Epoch != reports[i].Epoch {
+			t.Fatalf("retry of commit %d: epoch %v err %v, want %d", i, rep, err, reports[i].Epoch)
+		}
+	}
+	if got := sess.Info().Epoch; got != total {
+		t.Fatalf("retries advanced epoch to %d, want %d", got, total)
 	}
 }

@@ -64,8 +64,12 @@ func (n *Node) healthTimeout() time.Duration {
 
 // probe sends one heartbeat to peer and folds the answer in. Failures
 // are deliberately silent: silence is the signal, and Tick turns it
-// into suspicion on schedule.
-func (n *Node) probe(peer string, now time.Time) bool {
+// into suspicion on schedule. The ack is timestamped when the answer
+// arrives, not at round start — reusing the round-start clock would
+// backdate lastAck by up to the probe timeout every round, enough to
+// push a consistently slow-but-alive peer over an aggressive
+// SuspectAfter.
+func (n *Node) probe(peer string) bool {
 	msg := healthMessage{
 		From:        n.self,
 		Incarnation: n.membership.Incarnation(),
@@ -95,6 +99,7 @@ func (n *Node) probe(peer string, now time.Time) bool {
 	if err := json.Unmarshal(body, &ans); err != nil {
 		return false
 	}
+	now := time.Now()
 	changed := n.membership.ObserveAck(peer, ans.Incarnation, now)
 	if n.membership.Merge(ans.Views, now) {
 		changed = true
@@ -141,7 +146,6 @@ func (n *Node) heartbeatLoop() {
 // state changes the round produced.
 func (n *Node) heartbeatOnce() {
 	n.heartbeat.Add(1)
-	now := time.Now()
 	var changed bool
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -152,7 +156,7 @@ func (n *Node) heartbeatOnce() {
 		wg.Add(1)
 		go func(peer string) {
 			defer wg.Done()
-			if n.probe(peer, now) {
+			if n.probe(peer) {
 				mu.Lock()
 				changed = true
 				mu.Unlock()

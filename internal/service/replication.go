@@ -56,6 +56,18 @@ func (n *Node) dropReplica(id string) {
 	n.repMu.Unlock()
 }
 
+// dropReplicaThrough drops the replica for id only if it is no newer
+// than epoch — the post-promotion cleanup, which must not discard a
+// fresher replica a concurrent fan-out delivered while the promotion
+// was rebuilding.
+func (n *Node) dropReplicaThrough(id string, epoch int) {
+	n.repMu.Lock()
+	if r, ok := n.replicas[id]; ok && r.snap.Epoch <= epoch {
+		delete(n.replicas, id)
+	}
+	n.repMu.Unlock()
+}
+
 // replicationTargets lists the members that should hold passive
 // replicas of id: the first Replication distinct members clockwise
 // from the key, minus self. For the owner that is its R−1 successors;
@@ -216,7 +228,11 @@ func (n *Node) handleForget(w http.ResponseWriter, r *http.Request) {
 
 // forgetSession cleans up after a local DELETE: drop the snapshot
 // file and replica here, and tombstone the session at every member
-// that might hold a copy.
+// that might hold a copy. The fan-out goes to every known member —
+// not just the current replication targets — because membership
+// changes strand replicas on former successors, and a later ring
+// change could otherwise resurrect the deleted session from one of
+// them via promoteOwned. Deletes are rare; the extra sends are cheap.
 func (n *Node) forgetSession(id string) {
 	n.dropReplica(id)
 	if n.store != nil {
@@ -226,7 +242,10 @@ func (n *Node) forgetSession(id string) {
 	if err != nil {
 		return
 	}
-	for _, target := range n.replicationTargets(id) {
+	for _, target := range n.membership.Known() {
+		if target == n.self {
+			continue
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.WriteTimeout)
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/cluster/forget", bytes.NewReader(data))
 		if err != nil {
@@ -246,6 +265,14 @@ func (n *Node) forgetSession(id string) {
 // when this node is asked to serve it (ownership moved here, a read
 // failed over here, or a forwarded request landed here). Promotion is
 // serialized: concurrent requests for the same session promote once.
+// The passive copy is consumed by a successful promotion: once the
+// session is live here, replication fan-out excludes self, so a kept
+// replica would freeze at the promotion-time epoch and — were the pool
+// ever to evict the live session — reinstall that stale state over
+// committed epochs. The store snapshot (refreshed by the commit hook)
+// is also consulted, preferring whichever source is at the higher
+// epoch, so a replica parked before this node last owned the session
+// can never roll back the store's fresher history.
 func (n *Node) promoteIfReplica(id string) {
 	rep := n.getReplica(id)
 	if rep == nil {
@@ -256,13 +283,20 @@ func (n *Node) promoteIfReplica(id string) {
 	if n.srv.Pool().Get(id) != nil {
 		return // lost the race: someone else promoted (or it was live all along)
 	}
-	sess, _, warm, err := RestoreSession(rep.snap)
+	snap := rep.snap
+	if n.store != nil {
+		if stored, err := n.store.Load(id); err == nil && stored.Epoch > snap.Epoch {
+			snap = stored
+		}
+	}
+	sess, _, warm, err := RestoreSession(snap)
 	if err != nil {
 		n.replicaErrors.Add(1)
 		n.dropReplica(id) // fail closed: never install from damaged state
 		return
 	}
 	n.srv.Pool().Install(sess)
+	n.dropReplicaThrough(id, snap.Epoch) // the live session supersedes the passive copy
 	n.promotions.Add(1)
 	if warm {
 		n.warmRebuilds.Add(1)

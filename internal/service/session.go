@@ -107,6 +107,19 @@ func sessionID(fp string, cfg sessionConfig) string {
 	return hex.EncodeToString(h.Sum(nil)[:12])
 }
 
+// commitDedupDepth bounds each session's record of recently applied
+// tagged commits. A retry only needs its original to still be on
+// record; the depth covers the plausible number of distinct clients
+// interleaving commits on one session within a retry window.
+const commitDedupDepth = 8
+
+// commitRecord is one applied tagged commit: the idempotency ID and a
+// private copy of the report it answered with.
+type commitRecord struct {
+	id  string
+	rep *SolveReport
+}
+
 // flight is one in-progress what-if solve; concurrent identical
 // requests wait on done and share the report.
 type flight struct {
@@ -152,16 +165,18 @@ type Session struct {
 	stateKey string
 	state    atomic.Value // string, mirrors stateKey
 
-	// lastCommitID / lastCommitRep record the most recent tagged epoch
-	// commit (the cluster router tags every commit with an idempotency
-	// ID). A retry carrying the same ID returns lastCommitRep instead
-	// of applying the perturbation again — the commit-retry safety net
-	// for responses lost mid-flight. Both travel in snapshots, so the
-	// record survives failover to a promoted replica. One-deep by
-	// design: sessions serialize commits, and a retry races only with
-	// its own original, never with a later commit.
-	lastCommitID  string
-	lastCommitRep *SolveReport
+	// recentCommits records the most recently applied tagged epoch
+	// commits, newest last (the cluster router tags every commit with
+	// an idempotency ID). A retry carrying a recorded ID returns the
+	// recorded report instead of applying the perturbation again — the
+	// commit-retry safety net for responses lost mid-flight. The record
+	// travels in snapshots, so it survives failover to a promoted
+	// replica. It is commitDedupDepth deep, not one-deep, because
+	// distinct clients' commits to one session are not serialized: if
+	// client A's applied commit loses its response and client B's
+	// commit lands before A retries, A's ID must still be on record or
+	// the retry would re-apply it.
+	recentCommits []commitRecord
 
 	// onCommit, when set (by the pool's session hook), runs after
 	// every committed state change — creation and epoch commits —
@@ -646,22 +661,24 @@ func (s *Session) Epoch(req *EpochRequest) (*SolveReport, error) {
 }
 
 // EpochIdempotent is Epoch with an idempotency tag: a non-empty
-// commitID matching the last applied one returns the recorded report
-// without touching the model, so the cluster router can retry a
-// commit whose response was lost without ever double-applying its
-// perturbation. An empty commitID is a plain (untagged) commit.
+// commitID matching a recently applied one returns the recorded
+// report without touching the model, so the cluster router can retry
+// a commit whose response was lost without ever double-applying its
+// perturbation — even when other clients' commits landed in between.
+// An empty commitID is a plain (untagged) commit.
 func (s *Session) EpochIdempotent(req *EpochRequest, commitID string) (*SolveReport, error) {
 	s.mu.Lock()
-	if commitID != "" && commitID == s.lastCommitID && s.lastCommitRep != nil {
-		rep := *s.lastCommitRep
-		s.mu.Unlock()
-		return &rep, nil
+	if commitID != "" {
+		if rec, ok := s.commitLookupLocked(commitID); ok {
+			rep := *rec
+			s.mu.Unlock()
+			return &rep, nil
+		}
 	}
 	s.epochs.Add(1)
 	rep, err := s.epochLocked(req)
 	if err == nil && commitID != "" {
-		cp := *rep
-		s.lastCommitID, s.lastCommitRep = commitID, &cp
+		s.recordCommitLocked(commitID, rep)
 	}
 	hook := s.onCommit
 	s.mu.Unlock()
@@ -669,6 +686,28 @@ func (s *Session) EpochIdempotent(req *EpochRequest, commitID string) (*SolveRep
 		hook(s)
 	}
 	return rep, err
+}
+
+// commitLookupLocked finds the recorded report of an applied tagged
+// commit; newest-first, since a retry is almost always of the latest.
+func (s *Session) commitLookupLocked(commitID string) (*SolveReport, bool) {
+	for i := len(s.recentCommits) - 1; i >= 0; i-- {
+		if s.recentCommits[i].id == commitID {
+			return s.recentCommits[i].rep, true
+		}
+	}
+	return nil, false
+}
+
+// recordCommitLocked appends an applied tagged commit to the dedup
+// record (a private copy of the report), evicting the oldest entries
+// past commitDedupDepth.
+func (s *Session) recordCommitLocked(commitID string, rep *SolveReport) {
+	cp := *rep
+	s.recentCommits = append(s.recentCommits, commitRecord{id: commitID, rep: &cp})
+	if over := len(s.recentCommits) - commitDedupDepth; over > 0 {
+		s.recentCommits = append(s.recentCommits[:0:0], s.recentCommits[over:]...)
+	}
 }
 
 func (s *Session) epochLocked(req *EpochRequest) (*SolveReport, error) {

@@ -44,10 +44,9 @@ func (s *Session) Snapshot() (*cluster.SessionSnapshot, error) {
 		Platform:    plJSON,
 	}
 	snap.SetBasis(s.basis.Export())
-	if s.lastCommitID != "" && s.lastCommitRep != nil {
-		if data, err := json.Marshal(s.lastCommitRep); err == nil {
-			snap.LastCommitID = s.lastCommitID
-			snap.LastCommitReport = data
+	for _, rec := range s.recentCommits {
+		if data, err := json.Marshal(rec.rep); err == nil {
+			snap.RecentCommits = append(snap.RecentCommits, cluster.CommitRecord{ID: rec.id, Report: data})
 		}
 	}
 	return snap, nil
@@ -92,12 +91,16 @@ func RestoreSession(snap *cluster.SessionSnapshot) (*Session, *SolveReport, bool
 	s.fingerprint = snap.Fingerprint
 	s.epoch = snap.Epoch
 	s.refreshStateLocked() // unshared: rekey the cache to the true epoch
-	if snap.LastCommitID != "" && len(snap.LastCommitReport) > 0 {
-		// Restore the commit-dedup record (both halves or neither, so a
-		// matched ID always has a report to answer with).
+	for _, rec := range snap.RecentCommits {
+		// Restore the commit-dedup record entry by entry (an ID and its
+		// report together or not at all, so a matched ID always has a
+		// report to answer with).
+		if rec.ID == "" || len(rec.Report) == 0 {
+			continue
+		}
 		var rep SolveReport
-		if json.Unmarshal(snap.LastCommitReport, &rep) == nil {
-			s.lastCommitID, s.lastCommitRep = snap.LastCommitID, &rep
+		if json.Unmarshal(rec.Report, &rep) == nil {
+			s.recordCommitLocked(rec.ID, &rep) // unshared: "locked" trivially holds
 		}
 	}
 	s.model.PrimeWarm()
