@@ -1,0 +1,42 @@
+// Command promcheck validates a Prometheus text exposition (format
+// 0.0.4) read from stdin or a file: TYPE coverage, metric and label
+// name syntax, non-negative counters, and per-series histogram
+// invariants (cumulative buckets, +Inf present, _count consistency).
+// It exits 0 on a valid non-empty exposition and 1 otherwise, so CI
+// can gate a live /metrics scrape without a prometheus toolchain:
+//
+//	curl -s http://127.0.0.1:8080/metrics | promcheck
+//	promcheck scrape.txt
+//
+// The checks are the same ones the service's own tests run (see
+// internal/obs.ValidateText); the command exists so shell pipelines
+// and CI smoke tests can reuse them against a running daemon.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		name = os.Args[1]
+	}
+	if err := obs.ValidateText(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Println("promcheck: ok")
+}

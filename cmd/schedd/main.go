@@ -12,6 +12,7 @@
 //	       [-advertise URL] [-peers URL,URL] [-join URL]
 //	       [-replication 2] [-heartbeat 1s]
 //	       [-suspect-after 3s] [-dead-after 10s]
+//	       [-debug-addr ADDR] [-quiet]
 //
 // -addr may end in :0 to pick a free port; the chosen address is
 // printed as "schedd: listening on ADDR" once the listener is up.
@@ -103,6 +104,67 @@
 // The answers are the same numbers the batch CLIs produce: a
 // dlsched -json run on the session's current platform (GET
 // /sessions/$SID/platform) is directly diffable against a query.
+//
+// # Observability
+//
+// Every response carries the request's trace ID in X-Schedd-Trace —
+// adopted from the request when the client supplies one, minted at
+// the first replica otherwise, and preserved across every forwarding
+// and failover hop, so one ID greps a request's full path out of the
+// cluster's logs. One structured request line (logfmt via log/slog,
+// stderr, suppressed by -quiet) is emitted per request with the
+// trace ID, endpoint, status, duration and the routing decision
+// (local / owner / failover / forwarded, with attempt count and
+// backoff slept). Forwarded requests also carry X-Schedd-Hops; a
+// request arriving with more than 3 hops is rejected with 508 Loop
+// Detected and counted.
+//
+// GET /metrics serves the Prometheus text exposition. Request-path
+// metrics are observed into pre-allocated atomics (the warm what-if
+// solve path stays at 0 allocs/op — guarded by a test); pool, solver
+// and cluster totals are mirrored at scrape time. The families:
+//
+//	schedd_request_seconds{endpoint}          request latency histogram per endpoint
+//	                                          (create, list, info, platform, delete, query,
+//	                                          whatif, whatif_batch, epoch, stats, healthz,
+//	                                          metrics, cluster, other)
+//	schedd_session_request_seconds{session}   request latency histogram per session (ID prefix)
+//	schedd_pool_hits_total, schedd_pool_misses_total, schedd_pool_evictions_total
+//	schedd_sessions_live
+//	schedd_answer_cache_hits_total, schedd_answer_cache_misses_total
+//	schedd_solver_pivots_total, schedd_solver_refactorizations_total
+//	schedd_solver_warm_solves_total, schedd_solver_cold_solves_total
+//	schedd_solver_cold_fallbacks_total, schedd_solver_bound_flips_total
+//	schedd_solver_phase_nanoseconds_total{phase}  solver wall time per simplex phase
+//	                                          (ftran, btran, pricing, ratio_test, refactor)
+//	schedd_session_healthy{session}           1 iff every condition Healthy
+//	schedd_health_degraded_conditions         count of Degraded conditions
+//
+// and, in cluster mode:
+//
+//	schedd_replication_fanout_seconds         per-replica snapshot fan-out latency histogram
+//	schedd_heartbeat_rtt_seconds{peer}        last successful probe RTT per peer
+//	schedd_cluster_peers{state}               peers by state (alive, suspect, dead)
+//	schedd_cluster_quorum                     1 iff a membership majority is visible
+//	schedd_cluster_heartbeat_rounds_total
+//	schedd_cluster_forwarded_total, schedd_cluster_retries_total, schedd_cluster_failovers_total
+//	schedd_cluster_promotions_total, schedd_cluster_fenced_commits_total
+//	schedd_cluster_replicas_sent_total, schedd_cluster_replica_errors_total, schedd_cluster_replicas_held
+//	schedd_cluster_migrations_total, schedd_cluster_snapshot_bytes_total
+//	schedd_cluster_warm_rebuilds_total, schedd_cluster_cold_rebuilds_total
+//	schedd_routing_loops_total
+//
+// Per-session health conditions (in /stats rows and summarized by
+// /healthz, which answers 503 when any is Degraded or — in cluster
+// mode — when the node lacks membership quorum):
+//
+//	WarmPivotHeadroom  warm restarts nearing (or falling through) the warm pivot budget
+//	CacheHitRate       answer cache seeing traffic but essentially never hitting
+//	CommitStaleness    no committed epoch within the configured window (age always reported)
+//	ReplicationLag     the session's last snapshot fan-out missed one or more replicas
+//
+// -debug-addr serves net/http/pprof on a separate listener (never on
+// the public address).
 package main
 
 import (
@@ -110,8 +172,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -142,6 +206,8 @@ func run() error {
 		heartbeat    = flag.Duration("heartbeat", time.Second, "peer health-probe cadence in cluster mode")
 		suspectAfter = flag.Duration("suspect-after", 3*time.Second, "silence before a peer is suspected (demoted in forwarding order)")
 		deadAfter    = flag.Duration("dead-after", 10*time.Second, "silence before a peer is declared dead and its replicas promoted")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+		quiet        = flag.Bool("quiet", false, "suppress per-request log lines")
 	)
 	flag.Parse()
 	if *poolSize < 1 {
@@ -176,7 +242,11 @@ func run() error {
 		}
 	}
 
-	node := service.NewNodeWithConfig(service.NewServer(service.NewPool(*poolSize)), self, peers, store, service.NodeConfig{
+	server := service.NewServer(service.NewPool(*poolSize))
+	if !*quiet {
+		server.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	node := service.NewNodeWithConfig(server, self, peers, store, service.NodeConfig{
 		Replication:  *replication,
 		Heartbeat:    *heartbeat,
 		SuspectAfter: *suspectAfter,
@@ -199,6 +269,20 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// pprof registers itself on http.DefaultServeMux via its import;
+		// serve that mux on the debug listener only, never publicly.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			_ = srv.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Printf("schedd: pprof on %s\n", dln.Addr())
+		debugSrv = &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = debugSrv.Serve(dln) }()
+	}
 
 	if *joinURL != "" {
 		if err := node.Join(*joinURL); err != nil {
@@ -243,6 +327,9 @@ func run() error {
 		node.Stop()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if debugSrv != nil {
+			_ = debugSrv.Close()
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
 		}

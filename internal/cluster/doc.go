@@ -160,4 +160,51 @@
 // every decodable snapshot and rebuilds each session warm
 // (coldRebuilds stays zero across a clean recovery); undecodable
 // files are skipped and counted, never fatal.
+//
+// # Observability
+//
+// The machinery above is instrumented by the service layer (the
+// zero-dependency internal/obs registry; this package stays
+// instrumentation-free so it keeps no process-global state). The
+// cluster-relevant signals, all on every node's GET /metrics in
+// Prometheus text format:
+//
+//   - schedd_cluster_forwarded_total, schedd_cluster_retries_total,
+//     schedd_cluster_failovers_total — the routing ladder: proxied
+//     requests, backoff retries, reads answered by a successor after
+//     the owner failed.
+//   - schedd_routing_loops_total — forwarded requests rejected with
+//     508 because their X-Schedd-Hops count exceeded the hop bound; a
+//     forwarded request is served locally by contract, so any nonzero
+//     value means two nodes disagree about the ring.
+//   - schedd_replication_fanout_seconds — histogram of per-successor
+//     snapshot push latency, the synchronous cost every epoch commit
+//     pays; schedd_cluster_replicas_sent_total /
+//     schedd_cluster_replica_errors_total count the pushes, and a
+//     session whose latest fan-out left any successor unacked reports
+//     a Degraded ReplicationLag condition in /stats and /healthz.
+//   - schedd_cluster_heartbeat_rtt_seconds{peer} — last probe round
+//     trip per peer; schedd_cluster_peers{state} tallies the failure
+//     detector's alive/suspect/dead census and schedd_cluster_quorum
+//     says whether this node can see a membership majority (0 fences
+//     its commits and flips its /healthz to 503). Ring membership
+//     changes are also logged, with the old and new member lists.
+//   - schedd_cluster_promotions_total, schedd_cluster_fenced_total,
+//     schedd_cluster_warm_rebuilds_total /
+//     schedd_cluster_cold_rebuilds_total,
+//     schedd_cluster_migrations_total,
+//     schedd_cluster_snapshot_bytes_total — the failure-handling
+//     outcomes: replica promotions, epoch/incarnation-fenced rejects,
+//     snapshot rebuild temperature (cold must stay zero across clean
+//     recoveries), migrations, and snapshot bytes shipped.
+//   - schedd_answer_cache_hits_total / schedd_answer_cache_misses_total
+//     — the AnswerCache hit ratio; the per-session CacheHitRate health
+//     condition degrades when a warm session's ratio collapses.
+//
+// Every request carries an X-Schedd-Trace ID (client-supplied or
+// minted at ingress) that is propagated across forward and failover
+// hops and echoed in the response, so one slow query can be followed
+// through the ring via the per-node structured request logs, which
+// record the routing decision (local/owner/failover/forwarded), the
+// attempt count and the backoff spent.
 package cluster

@@ -279,6 +279,12 @@ func (m *Model) SolverStats() lp.Stats { return m.rev.Stats() }
 // ResetSolverStats zeroes the counters SolverStats reports.
 func (m *Model) ResetSolverStats() { m.rev.ResetStats() }
 
+// WarmPivotBudget reports the pivot budget a warm restart on this
+// model's solver gets before falling back cold — the denominator the
+// scheduling service's health conditions measure warm-restart
+// headroom against.
+func (m *Model) WarmPivotBudget() int { return m.rev.WarmPivotBudget() }
+
 // PrimeWarm prepares this model's freshly built solver to accept an
 // imported basis warm (see lp.Revised.PrimeWarm): a scheduling
 // session rebuilt from a serialized snapshot on another replica calls

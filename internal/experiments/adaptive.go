@@ -71,6 +71,10 @@ type AdaptivePoint struct {
 	WarmRefactors     int
 	WarmBoundFlips    int
 	WarmColdFallbacks int
+	// WarmPhase splits the warm loop's solver wall time by simplex
+	// phase, summed over platforms. Wall-clock measurements: they vary
+	// run to run, unlike the counters above.
+	WarmPhase lp.PhaseTimes
 }
 
 // MarshalJSON renders the point with MaxObjDiff as null when it is
@@ -270,6 +274,7 @@ func AdaptiveSweep(opts Options, epochs int, mode AdaptiveMode) ([]AdaptivePoint
 			pt.WarmRefactors += s.stats.Refactorizations
 			pt.WarmBoundFlips += s.stats.BoundFlips
 			pt.WarmColdFallbacks += s.stats.ColdFallbacks
+			pt.WarmPhase.Add(s.stats.Phase)
 			if mode == AdaptiveExact && !math.IsNaN(s.maxDiff) &&
 				(math.IsNaN(pt.MaxObjDiff) || s.maxDiff > pt.MaxObjDiff) {
 				pt.MaxObjDiff = s.maxDiff

@@ -60,6 +60,12 @@ type FTPoint struct {
 	// relaxation optima of the two backends (soundness guard: an LP's
 	// optimal value is unique, so the backends must agree).
 	MaxDiff float64
+	// EtaPhase/FTPhase split each warm loop's solver wall time by
+	// simplex phase (FTRAN/BTRAN/pricing/ratio test/refactorization),
+	// summed over platforms — where WarmEtaSeconds and WarmFTSeconds
+	// actually go. Wall-clock measurements: they vary run to run.
+	EtaPhase lp.PhaseTimes
+	FTPhase  lp.PhaseTimes
 }
 
 // FTSweep runs the E14 comparison: for every K it drives the same
@@ -211,6 +217,8 @@ func FTSweep(opts Options, epochs int, mode AdaptiveMode) ([]FTPoint, error) {
 			pt.FTBoundFlips += s.ftStats.BoundFlips
 			pt.EtaColdFallbacks += s.etaStats.ColdFallbacks
 			pt.FTColdFallbacks += s.ftStats.ColdFallbacks
+			pt.EtaPhase.Add(s.etaStats.Phase)
+			pt.FTPhase.Add(s.ftStats.Phase)
 			if s.maxDiff > pt.MaxDiff {
 				pt.MaxDiff = s.maxDiff
 			}

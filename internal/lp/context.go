@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // This file is the solve-context half of the Revised split: the
@@ -136,6 +137,12 @@ func (r *Revised) warmPivotBudget() int {
 	return mMult*r.m + len(r.sp.val)/2 + 256
 }
 
+// WarmPivotBudget reports the pivot budget a warm restart on this
+// instance gets before falling back cold — the denominator the
+// service layer's health conditions measure warm-restart headroom
+// against.
+func (r *Revised) WarmPivotBudget() int { return r.warmPivotBudget() }
+
 // loadBounds refreshes the per-column bound state from the owning
 // problem and sanitizes at-upper statuses against it: a basic column,
 // a column whose range became unbounded, or a fixed (U = 0) column
@@ -197,7 +204,10 @@ func (r *Revised) nonbasicValue(j int) float64 {
 // matrix is numerically singular (the previous factorization is then
 // still the live one).
 func (r *Revised) refactorize() bool {
-	if !r.fac.refactor() {
+	t0 := time.Now()
+	ok := r.fac.refactor()
+	r.stats.Phase.RefactorNanos += int64(time.Since(t0))
+	if !ok {
 		return false
 	}
 	r.stats.Refactorizations++
@@ -485,7 +495,9 @@ func (r *Revised) colDotSigned(ys []float64, j int) float64 {
 
 // direction computes d = B^{-1}·A_j into dst (an FTRAN of column j).
 func (r *Revised) direction(j int, dst []float64) {
+	t0 := time.Now()
 	r.fac.ftranCol(j, dst)
+	r.stats.Phase.FTRANNanos += int64(time.Since(t0))
 }
 
 // computeXB sets xb = B^{-1}·(b - Σ_{j at upper} A_j·U_j): the basic
@@ -502,7 +514,9 @@ func (r *Revised) computeXB() {
 		}
 	}
 	copy(r.xb, beff)
+	t0 := time.Now()
 	r.fac.ftran(r.xb)
+	r.stats.Phase.FTRANNanos += int64(time.Since(t0))
 }
 
 // clampXB absorbs roundoff residue just outside the basic variable's
@@ -656,7 +670,9 @@ func (r *Revised) driveOutArtificials() {
 		if r.basis[i] < r.artStart || r.xb[i] > ftol {
 			continue
 		}
+		t0 := time.Now()
 		r.fac.btranRow(i, rho)
+		r.stats.Phase.BTRANNanos += int64(time.Since(t0))
 		for t := 0; t < r.m; t++ {
 			ws[t] = rho[t] * r.sign[t]
 		}

@@ -1,0 +1,97 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPhaseTimesAccounting pins the wall-time-per-phase plumbing: a
+// solve that pivots must charge time to the FTRAN, BTRAN, pricing and
+// ratio-test phases, warm restarts must keep accumulating, and Add
+// must aggregate the breakdown like every other counter.
+func TestPhaseTimesAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := whatIfLP(r, 120, 80)
+	rev := NewRevised(p)
+	sol, basis, err := rev.SolveFrom(nil)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold solve: status %v err %v", sol.Status, err)
+	}
+	ph := rev.Stats().Phase
+	if ph.FTRANNanos <= 0 || ph.BTRANNanos <= 0 || ph.PricingNanos <= 0 || ph.RatioTestNanos <= 0 {
+		t.Fatalf("cold solve left phases unaccounted: %+v", ph)
+	}
+	// A warm restart after a mutation accumulates on top.
+	p.SetRHS(0, p.RHS(0)*0.5)
+	if _, _, err := rev.SolveFrom(basis); err != nil {
+		t.Fatal(err)
+	}
+	ph2 := rev.Stats().Phase
+	if ph2.FTRANNanos < ph.FTRANNanos || ph2.PricingNanos < ph.PricingNanos {
+		t.Fatalf("phase totals went backwards: %+v -> %+v", ph, ph2)
+	}
+
+	// Aggregation and the deterministic embed.
+	var agg Stats
+	agg.Add(rev.Stats())
+	agg.Add(rev.Stats())
+	if want := 2 * ph2.FTRANNanos; agg.Phase.FTRANNanos != want {
+		t.Fatalf("Add: ftran %d, want %d", agg.Phase.FTRANNanos, want)
+	}
+	det := rev.Stats().Deterministic()
+	if det.Phase != (PhaseTimes{}) {
+		t.Fatalf("Deterministic kept phase times: %+v", det.Phase)
+	}
+	if det.Pivots != rev.Stats().Pivots {
+		t.Fatal("Deterministic altered a deterministic counter")
+	}
+
+	// The budget accessor the health conditions divide by.
+	if rev.WarmPivotBudget() <= 0 {
+		t.Fatal("WarmPivotBudget must be positive")
+	}
+}
+
+// TestWarmWhatIfZeroAlloc is the guard the observability layer must
+// not regress: the ephemeral warm what-if path stays allocation-free
+// with phase-timing instrumentation enabled (time.Now does not
+// allocate; this test exists to keep it that way if the timing code
+// is ever restructured).
+func TestWarmWhatIfZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := whatIfLP(r, 120, 80)
+	rev := NewRevised(p)
+	sol, _, err := rev.SolveFrom(nil)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold solve: status %v err %v", sol.Status, err)
+	}
+	rhs0 := make([]float64, p.NumConstraints())
+	for i := range rhs0 {
+		rhs0[i] = p.RHS(i)
+	}
+	// Prime to steady state before measuring: early warm solves still
+	// grow the LU arrays on periodic refactorizations (capacity
+	// plateaus after a few hundred cycles; the benchmark amortizes the
+	// same warm-up away at long benchtime).
+	for i := 0; i < 400; i++ {
+		row := i % p.NumConstraints()
+		p.SetRHS(row, rhs0[row]*0.8)
+		if _, err := rev.SolveEphemeral(nil); err != nil {
+			t.Fatal(err)
+		}
+		p.SetRHS(row, rhs0[row])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		row := i % p.NumConstraints()
+		p.SetRHS(row, rhs0[row]*0.8)
+		if _, err := rev.SolveEphemeral(nil); err != nil {
+			t.Fatal(err)
+		}
+		p.SetRHS(row, rhs0[row])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ephemeral what-if allocates %v per op, want 0", allocs)
+	}
+}

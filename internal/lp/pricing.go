@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // This file holds the pricing side of the Revised split: candidate
 // selection for both simplex methods — devex reference frameworks,
@@ -69,7 +72,9 @@ func (r *Revised) signedMultipliers(costs []float64, ys []float64) {
 	for i, bj := range r.basis {
 		ys[i] = costs[bj]
 	}
+	t0 := time.Now()
 	r.fac.btran(ys)
+	r.stats.Phase.BTRANNanos += int64(time.Since(t0))
 	for i := range ys {
 		ys[i] *= r.sign[i]
 	}
@@ -166,6 +171,7 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 	r.resetDevexCols()
 	for iter := 0; iter < maxIters; iter++ {
 		r.signedMultipliers(costs, ys)
+		tPrice := time.Now()
 		enter := -1
 		dir := 1.0
 		if bland {
@@ -207,11 +213,14 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 				}
 			}
 		}
+		r.stats.Phase.PricingNanos += int64(time.Since(tPrice))
 		if enter == -1 {
 			return Optimal, nil
 		}
 		r.direction(enter, d)
+		tRatio := time.Now()
 		leave, leaveAtUpper, t := r.primalRatioTest(d, dir)
+		r.stats.Phase.RatioTestNanos += int64(time.Since(tRatio))
 		switch {
 		case leave == -1 && math.IsInf(r.U[enter], 1):
 			return Unbounded, nil
@@ -222,12 +231,16 @@ func (r *Revised) primal(costs []float64) (Status, error) {
 		default:
 			// Capture the pre-pivot leaving row and pivot element for
 			// the devex update before the factorization moves on.
+			tB := time.Now()
 			r.fac.btranRow(leave, r.rho)
+			r.stats.Phase.BTRANNanos += int64(time.Since(tB))
 			aq, wq, leaveCol := d[leave], r.dwCol[enter], r.basis[leave]
 			r.pivotUpdate(leave, enter, d, dir*t, leaveAtUpper)
 			r.stats.PrimalPivots++
 			r.dseOK = false // dual steepest-edge weights now stale
+			tW := time.Now()
 			r.updateDevexCols(r.rho, aq, wq, enter, leaveCol)
+			r.stats.Phase.PricingNanos += int64(time.Since(tW))
 		}
 		obj := r.boundedObjective(costs)
 		if obj <= lastObj+eps {
@@ -300,6 +313,7 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 	r.signedMultipliers(costs, ys)
 	for iter := 0; iter < maxIters; iter++ {
 		ftol := r.feasTol()
+		tPrice := time.Now()
 		leave := -1
 		below := false
 		if bland {
@@ -340,6 +354,7 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 				}
 			}
 		}
+		r.stats.Phase.PricingNanos += int64(time.Since(tPrice))
 		if leave == -1 {
 			return Optimal, nil
 		}
@@ -350,7 +365,9 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 		// rho = e_leave·B^{-1}; ws is rho sign-normalized for sparse
 		// pricing and oriented so eligible columns always price out
 		// negative for at-lower and positive for at-upper candidates.
+		tB := time.Now()
 		r.fac.btranRow(leave, rho)
+		r.stats.Phase.BTRANNanos += int64(time.Since(tB))
 		amult := 1.0
 		if !below {
 			amult = -1
@@ -369,6 +386,7 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 		// degenerate-heavy platforms. Under Bland's rule the strict
 		// smallest-index min-ratio test is kept (its termination
 		// argument needs it).
+		tEnter := time.Now()
 		enter := -1
 		enterCbar := 0.0
 		dtol := r.dualTol()
@@ -434,6 +452,8 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 				price(j, r.colDotSigned(ws, j))
 			}
 		}
+		r.stats.Phase.PricingNanos += int64(time.Since(tEnter))
+		tRatio := time.Now()
 		if !bland {
 			r.dcJ, r.dcAlpha, r.dcRatio, r.dcRaw = cJ, cAlpha, cRatio, cRaw
 			if r.bfrt {
@@ -453,6 +473,7 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 				}
 			}
 		}
+		r.stats.Phase.RatioTestNanos += int64(time.Since(tRatio))
 		if enter == -1 {
 			return Infeasible, nil
 		}
@@ -486,7 +507,9 @@ func (r *Revised) dual(costs []float64) (Status, error) {
 			}
 			tau := r.tau
 			copy(tau, rho)
+			tF := time.Now()
 			r.fac.ftran(tau)
+			r.stats.Phase.FTRANNanos += int64(time.Since(tF))
 			dr := d[leave]
 			finite := true
 			for i := 0; i < r.m; i++ {

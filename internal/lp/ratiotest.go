@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // This file holds the ratio tests of the Revised split: the two-sided
 // primal test, the bound-flipping (long-step) dual test with its lazy
@@ -155,7 +158,9 @@ func (r *Revised) applyBoundFlips(idxs []int32) {
 		})
 		r.stats.BoundFlips++
 	}
+	t0 := time.Now()
 	r.fac.ftran(agg)
+	r.stats.Phase.FTRANNanos += int64(time.Since(t0))
 	ftol := r.feasTol()
 	for i := 0; i < r.m; i++ {
 		if agg[i] != 0 {

@@ -200,6 +200,50 @@ type Stats struct {
 	PeakForks    int `json:"peakForks"`
 	Batches      int `json:"batches"`
 	BatchMaxSize int `json:"batchMaxSize"`
+	// Phase is the wall-time-per-phase breakdown of the solves behind
+	// the counters above. Unlike every other field it is nondeterministic
+	// (it measures the clock, not the arithmetic), so the layers that
+	// pin byte-identical answers embed Stats with Phase zeroed — see
+	// Deterministic.
+	Phase PhaseTimes `json:"phase"`
+}
+
+// PhaseTimes is cumulative wall time per simplex phase, in
+// nanoseconds. The categories follow the classic revised-simplex cost
+// model: FTRAN (column solves B·x = a, including direction solves,
+// basic-value recomputes, DSE recurrence and aggregated bound-flip
+// updates), BTRAN (row solves yᵀB = eᵀ and full multiplier solves),
+// Pricing (entering/leaving candidate selection and reference-weight
+// maintenance), RatioTest (primal Harris passes and the dual
+// bound-flipping ratio test), and Refactor (basis factorization
+// rebuilds). FTRAN/BTRAN solves issued from inside a pricing or
+// ratio-test section count in both categories — the breakdown is an
+// attribution aid, not a partition, so the phases need not sum to the
+// total solve time.
+type PhaseTimes struct {
+	FTRANNanos     int64 `json:"ftranNanos"`
+	BTRANNanos     int64 `json:"btranNanos"`
+	PricingNanos   int64 `json:"pricingNanos"`
+	RatioTestNanos int64 `json:"ratioTestNanos"`
+	RefactorNanos  int64 `json:"refactorNanos"`
+}
+
+// Add accumulates other into p.
+func (p *PhaseTimes) Add(other PhaseTimes) {
+	p.FTRANNanos += other.FTRANNanos
+	p.BTRANNanos += other.BTRANNanos
+	p.PricingNanos += other.PricingNanos
+	p.RatioTestNanos += other.RatioTestNanos
+	p.RefactorNanos += other.RefactorNanos
+}
+
+// Deterministic returns a copy of s with the wall-clock phase
+// breakdown zeroed — the form safe to embed in answers that must be
+// byte-identical across runs and replicas (SolveReport bodies, the
+// answer cache, commit-dedup records).
+func (s Stats) Deterministic() Stats {
+	s.Phase = PhaseTimes{}
+	return s
 }
 
 // Add accumulates other's counters into s — the aggregation the
@@ -227,6 +271,7 @@ func (s *Stats) Add(other Stats) {
 	if other.BatchMaxSize > s.BatchMaxSize {
 		s.BatchMaxSize = other.BatchMaxSize
 	}
+	s.Phase.Add(other.Phase)
 }
 
 // Stats returns the accumulated solver counters.

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Set(17)
+	if got := c.Value(); got != 17 {
+		t.Fatalf("counter after Set = %d, want 17", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero gauge = %v", got)
+	}
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Everything at or below the first bound lands in bucket 0.
+	h.Observe(0)
+	h.Observe(time.Microsecond)
+	h.Observe(1024 * time.Nanosecond)
+	if got := h.buckets[0].Load(); got != 3 {
+		t.Fatalf("bucket 0 = %d, want 3", got)
+	}
+	// One past the first bound lands in bucket 1.
+	h.Observe(1025 * time.Nanosecond)
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Fatalf("bucket 1 = %d, want 1", got)
+	}
+	// An absurd duration lands in the overflow slot, not out of range.
+	h.Observe(1000 * time.Hour)
+	if got := h.buckets[histNumBuckets-1].Load(); got != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", got)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	wantSum := (time.Microsecond + 1024*time.Nanosecond + 1025*time.Nanosecond + 1000*time.Hour).Seconds()
+	if got := h.SumSeconds(); math.Abs(got-wantSum) > 1e-9*wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+	// 90 fast observations, 10 slow: p50 must sit in the fast bucket's
+	// range, p99 in the slow one's.
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond) // bucket bound 4.096µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * time.Millisecond) // bucket bound 4.194304ms
+	}
+	if p50 := h.Quantile(0.5); p50 <= 0 || p50 > 4.096e-6 {
+		t.Fatalf("p50 = %v, want in (0, 4.096µs]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 2.097152e-3 || p99 > 4.194304e-3 {
+		t.Fatalf("p99 = %v, want within the 3ms bucket", p99)
+	}
+	// Quantiles are monotone in q.
+	if h.Quantile(0.9) > h.Quantile(0.99) {
+		t.Fatalf("p90 %v > p99 %v", h.Quantile(0.9), h.Quantile(0.99))
+	}
+}
+
+func TestObserveAllocs(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(5 * time.Microsecond)
+		c.Inc()
+		g.Set(1.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("observation path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestLabelsAndCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "endpoint")
+	v.With("query").Add(2)
+	v.With("epoch").Inc()
+	if got := v.With("query").Value(); got != 2 {
+		t.Fatalf("labeled counter = %d, want 2", got)
+	}
+	// Blow past the cap: excess series collapse into one overflow
+	// series instead of growing without bound.
+	hv := r.HistogramVec("lat_seconds", "latency", "session")
+	for i := 0; i < MaxSeries+50; i++ {
+		hv.With(fmt.Sprintf("sess-%04d", i)).Observe(time.Millisecond)
+	}
+	if over := hv.With("anything-new"); over != hv.f.get(overflowLabel).hist {
+		t.Fatal("post-cap series did not collapse into the overflow series")
+	}
+	total := uint64(0)
+	for _, s := range hv.f.sorted() {
+		total += s.hist.Count()
+	}
+	if total != MaxSeries+50 {
+		t.Fatalf("observations lost at the cap: %d, want %d", total, MaxSeries+50)
+	}
+	if n := len(hv.f.series); n > MaxSeries {
+		t.Fatalf("series map grew to %d, want ≤ cap %d", n, MaxSeries)
+	}
+}
+
+func TestWriteTextValidates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a").Add(3)
+	r.Gauge("b_ratio", "a ratio with \"quotes\" and \\slashes").Set(0.25)
+	h := r.HistogramVec("c_seconds", "latency", "endpoint")
+	h.With("query").Observe(2 * time.Microsecond)
+	h.With("query").Observe(3 * time.Millisecond)
+	h.With("what\"if").Observe(time.Second)
+	ran := false
+	r.OnScrape(func() { ran = true })
+
+	var buf bytes.Buffer
+	if err := r.Gather(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("collector did not run")
+	}
+	out := buf.String()
+	if err := ValidateText(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition fails validation: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# TYPE c_seconds histogram",
+		`c_seconds_count{endpoint="query"} 2`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second scrape of unchanged state is identical.
+	var buf2 bytes.Buffer
+	if err := r.Gather(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("scrapes of unchanged state differ")
+	}
+}
+
+func TestValidateTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":            "foo_total 3\n",
+		"negative counter":   "# TYPE x counter\nx -1\n",
+		"bad value":          "# TYPE x gauge\nx abc\n",
+		"bad name":           "# TYPE 9x gauge\n9x 1\n",
+		"unquoted label":     "# TYPE x counter\nx{a=b} 1\n",
+		"empty":              "",
+		"histogram no +Inf":  "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram no count": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"non-cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+	}
+	for name, in := range cases {
+		if err := ValidateText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated but should not:\n%s", name, in)
+		}
+	}
+	// And a well-formed non-trivial document passes.
+	ok := "# HELP h latency\n# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 0.5\nh_count 3\n" +
+		"# TYPE g gauge\ng{peer=\"a\"} NaN\n"
+	if err := ValidateText(strings.NewReader(ok)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "n")
+	hv := r.HistogramVec("lat_seconds", "lat", "ep")
+	var writers sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for j := 0; j < 5000; j++ {
+				c.Inc()
+				hv.With([]string{"a", "b", "c"}[j%3]).Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	// Scrape continuously while the writers hammer: every mid-storm
+	// exposition must still validate.
+	stop := make(chan struct{})
+	scraper := make(chan struct{})
+	go func() {
+		defer close(scraper)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.Gather(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := ValidateText(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Errorf("mid-storm scrape invalid: %v", err)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-scraper
+	if got := c.Value(); got != 8*5000 {
+		t.Fatalf("counter = %d, want %d", got, 8*5000)
+	}
+	total := uint64(0)
+	for _, ep := range []string{"a", "b", "c"} {
+		total += hv.With(ep).Count()
+	}
+	if total != 8*5000 {
+		t.Fatalf("histogram total = %d, want %d", total, 8*5000)
+	}
+}

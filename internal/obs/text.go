@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders the registry in Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE line per family, then
+// the series sorted by label value. Histograms render the full
+// cumulative _bucket/_sum/_count triple. Collectors are NOT run here;
+// Gather runs them and is what the HTTP handler uses.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sorted() {
+			labels := ""
+			if f.label != "" {
+				labels = fmt.Sprintf("{%s=%q}", f.label, s.labelValue)
+			}
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labels, formatUint(s.counter.Value()))
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labels, formatFloat(s.gauge.Value()))
+			case kindHistogram:
+				writeHistogram(bw, f, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets
+// with exact power-of-two le bounds, then sum and count. The le label
+// joins the family's own label when present.
+func writeHistogram(w io.Writer, f *family, s *series) {
+	b, total := s.hist.snapshot()
+	prefix := f.name + "_bucket{"
+	if f.label != "" {
+		prefix = fmt.Sprintf("%s_bucket{%s=%q,", f.name, f.label, s.labelValue)
+	}
+	var cum uint64
+	for i := 0; i < histNumFinite; i++ {
+		cum += b[i]
+		fmt.Fprintf(w, "%sle=%q} %s\n", prefix, formatFloat(bucketBound(i)), formatUint(cum))
+	}
+	fmt.Fprintf(w, "%sle=\"+Inf\"} %s\n", prefix, formatUint(total))
+	labels := ""
+	if f.label != "" {
+		labels = fmt.Sprintf("{%s=%q}", f.label, s.labelValue)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(float64(s.hist.sumNs.Load())/1e9))
+	fmt.Fprintf(w, "%s_count%s %s\n", f.name, labels, formatUint(total))
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Gather runs the registered collectors, then renders.
+func (r *Registry) Gather(w io.Writer) error {
+	r.mu.Lock()
+	collectors := make([]func(), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	for _, c := range collectors {
+		c()
+	}
+	return r.WriteText(w)
+}
+
+// Handler serves GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.Gather(w) //nolint:errcheck // client gone mid-scrape: nothing to do
+	})
+}

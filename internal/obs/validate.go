@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateText checks a Prometheus text exposition (version 0.0.4)
+// for the properties a scraper relies on:
+//
+//   - every sample line parses as name{labels} value
+//   - every sampled name is covered by a preceding # TYPE (histogram
+//     samples may use the _bucket/_sum/_count suffixes of a declared
+//     histogram family)
+//   - metric and label names are well-formed, label values are
+//     properly quoted
+//   - counter and histogram sample values are non-negative
+//   - per histogram series: buckets are cumulative (non-decreasing in
+//     le order), a +Inf bucket exists, and _count equals it
+//
+// It is the format check behind cmd/promcheck (CI scrapes a live
+// schedd and pipes /metrics through it) and the in-repo tests.
+func ValidateText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+
+	types := map[string]string{} // family name -> counter|gauge|histogram
+	type histSeries struct {
+		buckets []histBucket
+		count   *float64
+		hasSum  bool
+	}
+	hists := map[string]*histSeries{} // family + base labels -> series
+	lineNo := 0
+	sawSample := false
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE line without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = fields[3]
+			}
+			continue
+		}
+
+		sawSample = true
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, suffix := baseFamily(name, types)
+		typ, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		switch typ {
+		case "counter":
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %s is negative", lineNo, name)
+			}
+		case "histogram":
+			if value < 0 {
+				return fmt.Errorf("line %d: histogram sample %s is negative", lineNo, name)
+			}
+			key := fam + "|" + labelsKey(labels, "le")
+			h := hists[key]
+			if h == nil {
+				h = &histSeries{}
+				hists[key] = h
+			}
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: %s without le label", lineNo, name)
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				h.buckets = append(h.buckets, histBucket{le: bound, cum: value})
+			case "_count":
+				v := value
+				h.count = &v
+			case "_sum":
+				h.hasSum = true
+			default:
+				return fmt.Errorf("line %d: bare sample %q for histogram family %q", lineNo, name, fam)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawSample {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for key, h := range hists {
+		if err := checkHistogram(h.buckets, h.count, h.hasSum); err != nil {
+			return fmt.Errorf("histogram %s: %w", strings.SplitN(key, "|", 2)[0], err)
+		}
+	}
+	return nil
+}
+
+type histBucket struct {
+	le  float64
+	cum float64
+}
+
+func checkHistogram(buckets []histBucket, count *float64, hasSum bool) error {
+	if len(buckets) == 0 {
+		return fmt.Errorf("no buckets")
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	last := buckets[len(buckets)-1]
+	if !isInf(last.le) {
+		return fmt.Errorf("missing +Inf bucket")
+	}
+	prev := -1.0
+	for _, b := range buckets {
+		if b.cum < prev {
+			return fmt.Errorf("buckets not cumulative: %g after %g", b.cum, prev)
+		}
+		prev = b.cum
+	}
+	if count == nil {
+		return fmt.Errorf("missing _count")
+	}
+	if !hasSum {
+		return fmt.Errorf("missing _sum")
+	}
+	if *count != last.cum {
+		return fmt.Errorf("_count %g != +Inf bucket %g", *count, last.cum)
+	}
+	return nil
+}
+
+func isInf(f float64) bool { return f > 1e308 }
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// baseFamily strips a histogram suffix when the stripped name is a
+// declared histogram family; otherwise the name is its own family.
+func baseFamily(name string, types map[string]string) (fam, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+// labelsKey serializes labels minus the excluded key, sorted, to
+// identify one histogram series across its bucket/sum/count lines.
+func labelsKey(labels map[string]string, exclude string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == exclude {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%q,", k, labels[k])
+	}
+	return sb.String()
+}
+
+// parseSample parses `name{label="v",...} value` (timestamp suffixes
+// are not produced by this package and are rejected).
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if len(rest) == 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !validName(lname) || strings.Contains(lname, ":") {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			val, n, perr := scanQuoted(rest)
+			if perr != nil {
+				return "", nil, 0, fmt.Errorf("%v in %q", perr, line)
+			}
+			labels[lname] = val
+			rest = rest[n:]
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		rest = rest[i:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("missing value in %q", line)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, perr := parseValue(rest)
+	if perr != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", rest)
+	}
+	return name, labels, v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil // NaN is legal for gauges; treat as 0 for range checks
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// scanQuoted reads a double-quoted, backslash-escaped string at the
+// start of s, returning the unescaped value and bytes consumed.
+func scanQuoted(s string) (val string, n int, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", 0, fmt.Errorf("expected quoted string")
+	}
+	var sb strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case '\\', '"':
+				sb.WriteByte(s[i])
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(s[i])
+			}
+		case '"':
+			return sb.String(), i + 1, nil
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted string")
+}

@@ -86,6 +86,7 @@ func (n *Node) probe(peer string) bool {
 		return false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	sent := time.Now()
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return false
@@ -100,6 +101,7 @@ func (n *Node) probe(peer string) bool {
 		return false
 	}
 	now := time.Now()
+	n.observeHeartbeat(peer, now.Sub(sent))
 	changed := n.membership.ObserveAck(peer, ans.Incarnation, now)
 	if n.membership.Merge(ans.Views, now) {
 		changed = true

@@ -106,15 +106,22 @@ func (n *Node) replicateOut(snap *cluster.SessionSnapshot) {
 	data, err := snap.Encode()
 	if err != nil {
 		n.replicaErrors.Add(1)
+		n.lastFanout.Store(snap.ID, fanoutRecord{targets: len(targets), failed: len(targets), at: time.Now()})
 		return
 	}
+	failed := 0
 	for _, target := range targets {
-		if err := n.sendReplica(target, snap, data); err != nil {
+		start := time.Now()
+		err := n.sendReplica(target, snap, data)
+		n.metrics.fanout.Observe(time.Since(start))
+		if err != nil {
 			n.replicaErrors.Add(1)
+			failed++
 			continue
 		}
 		n.replicasSent.Add(1)
 	}
+	n.lastFanout.Store(snap.ID, fanoutRecord{targets: len(targets), failed: failed, at: time.Now()})
 }
 
 func (n *Node) sendReplica(target string, snap *cluster.SessionSnapshot, data []byte) error {

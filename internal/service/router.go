@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,18 @@ import (
 // membership change degrade to one extra hop, never a forwarding
 // loop.
 const forwardedHeader = "X-Schedd-Forwarded"
+
+// hopsHeader counts forwarding hops a request has taken. The design
+// bounds hops at one (forwarded requests are always served locally),
+// so the counter is a belt-and-suspenders guard: a request arriving
+// with more than maxForwardHops hops means a routing bug or a
+// misconfigured mesh, and is rejected with 508 Loop Detected (counted
+// in schedd_routing_loops_total) rather than bounced further.
+const hopsHeader = "X-Schedd-Hops"
+
+// maxForwardHops is the largest hop count a forwarded request may
+// carry and still be served.
+const maxForwardHops = 3
 
 // incarnationHeader and epochHeader fence internal cluster transfers
 // (replicate): a message from a peer's previous life, or carrying
@@ -165,6 +178,9 @@ type Node struct {
 	started   atomic.Bool
 	heartbeat atomic.Uint64
 
+	metrics    *nodeMetrics
+	lastFanout sync.Map // session ID → fanoutRecord
+
 	forwarded     atomic.Uint64
 	migrations    atomic.Uint64
 	warmRebuilds  atomic.Uint64
@@ -176,6 +192,7 @@ type Node struct {
 	replicasSent  atomic.Uint64
 	replicaErrors atomic.Uint64
 	fencedCommits atomic.Uint64
+	routingLoops  atomic.Uint64
 }
 
 // NewNode makes srv a ring member with the default NodeConfig —
@@ -223,6 +240,8 @@ func NewNodeWithConfig(srv *Server, self string, peers []string, store *cluster.
 		loopDone: make(chan struct{}),
 	}
 	n.ring = cluster.NewRing(n.membership.Active(), 0)
+	n.metrics = newNodeMetrics(srv.Registry(), n)
+	srv.SetConditionHook(n.replicationCondition)
 	srv.Pool().SetSessionHook(func(s *Session) {
 		snap, err := s.Snapshot()
 		if err != nil {
@@ -266,8 +285,10 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/forget", n.handleForget)
 	mux.HandleFunc("POST /cluster/health", n.handleHealth)
 	mux.HandleFunc("GET /stats", n.handleStats)
+	mux.HandleFunc("GET /healthz", n.handleHealthz)
+	mux.Handle("GET /metrics", n.srv.Registry().Handler())
 	mux.Handle("/", n.routed(inner))
-	return mux
+	return n.srv.instrument(mux)
 }
 
 // opClass partitions routed operations by their retry contract.
@@ -341,7 +362,17 @@ func (n *Node) routed(inner http.Handler) http.Handler {
 			// and retries preserve the tag.
 			r.Header.Set(commitIDHeader, n.newCommitID())
 		}
-		if r.Header.Get(forwardedHeader) != "" {
+		if from := r.Header.Get(forwardedHeader); from != "" {
+			if hops, _ := strconv.Atoi(r.Header.Get(hopsHeader)); hops > maxForwardHops {
+				n.routingLoops.Add(1)
+				writeError(w, http.StatusLoopDetected,
+					fmt.Errorf("forwarding loop: request took %d hops, limit %d", hops, maxForwardHops))
+				return
+			}
+			if ti := requestTrace(r); ti != nil {
+				ti.decision = "forwarded"
+				ti.target = from
+			}
 			n.serveLocal(w, r, inner, class, pathID(r.URL.Path))
 			return
 		}
@@ -457,9 +488,13 @@ func (n *Node) backoff(cycle int) time.Duration {
 // the ring says the session is (now) ours.
 func (n *Node) route(w http.ResponseWriter, r *http.Request, inner http.Handler, class opClass, key string, body []byte) {
 	n.forwarded.Add(1)
+	ti := requestTrace(r)
 	var lastErr error
 	cycleAllHTTP := true
 	for attempt := 0; attempt < n.cfg.RetryAttempts; attempt++ {
+		if ti != nil {
+			ti.attempts = attempt + 1
+		}
 		cands := n.candidates(key, class)
 		if len(cands) == 0 {
 			n.serveLocal(w, r, inner, class, pathID(r.URL.Path))
@@ -468,7 +503,11 @@ func (n *Node) route(w http.ResponseWriter, r *http.Request, inner http.Handler,
 		idx := attempt % len(cands)
 		if idx == 0 && attempt > 0 {
 			// A full candidate cycle failed; back off before the next.
-			time.Sleep(n.backoff(attempt / len(cands)))
+			slept := n.backoff(attempt / len(cands))
+			time.Sleep(slept)
+			if ti != nil {
+				ti.backoff += slept
+			}
 			cycleAllHTTP = true
 		}
 		target := cands[idx]
@@ -480,6 +519,14 @@ func (n *Node) route(w http.ResponseWriter, r *http.Request, inner http.Handler,
 			n.retries.Add(1)
 			if idx != 0 {
 				n.failovers.Add(1)
+			}
+		}
+		if ti != nil {
+			ti.target = target
+			if idx == 0 {
+				ti.decision = "owner"
+			} else {
+				ti.decision = "failover"
 			}
 		}
 		status, header, respBody, err := n.send(r, target, body, n.timeoutFor(class))
@@ -533,6 +580,11 @@ func (n *Node) send(r *http.Request, target string, body []byte, timeout time.Du
 	if cid := r.Header.Get(commitIDHeader); cid != "" {
 		req.Header.Set(commitIDHeader, cid)
 	}
+	if tid := r.Header.Get(traceHeader); tid != "" {
+		req.Header.Set(traceHeader, tid)
+	}
+	hops, _ := strconv.Atoi(r.Header.Get(hopsHeader))
+	req.Header.Set(hopsHeader, strconv.Itoa(hops+1))
 	req.Header.Set(forwardedHeader, n.self)
 	resp, err := n.client.Do(req)
 	if err != nil {
@@ -634,6 +686,7 @@ func (n *Node) syncRing() {
 	if equalMembers(old.Members(), ring.Members()) {
 		return
 	}
+	n.logRingChange(old.Members(), ring.Members())
 	n.promoteOwned(ring)
 	n.rebalance(ring)
 }
@@ -797,7 +850,7 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 // Stats is the pool's /stats response with the node's cluster
 // counters and ring view filled in.
 func (n *Node) Stats() PoolStatsResponse {
-	resp := n.srv.Pool().Stats()
+	resp := n.srv.Stats()
 	resp.Cluster.Forwarded = n.forwarded.Load()
 	resp.Cluster.Migrations = n.migrations.Load()
 	resp.Cluster.WarmRebuilds = n.warmRebuilds.Load()
@@ -811,6 +864,7 @@ func (n *Node) Stats() PoolStatsResponse {
 	resp.Cluster.ReplicasSent = n.replicasSent.Load()
 	resp.Cluster.ReplicaErrors = n.replicaErrors.Load()
 	resp.Cluster.FencedCommits = n.fencedCommits.Load()
+	resp.Cluster.RoutingLoops = n.routingLoops.Load()
 	resp.Cluster.Incarnation = n.membership.Incarnation()
 	resp.Cluster.PeersAlive, resp.Cluster.PeersSuspect, resp.Cluster.PeersDead = n.membership.Counts()
 	resp.Cluster.Self = n.self

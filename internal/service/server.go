@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -27,14 +29,34 @@ const maxBodyBytes = 16 << 20
 //	POST   /sessions/{id}/whatif   WhatIfRequest → SolveReport, rolled back
 //	POST   /sessions/{id}/whatif/batch  BatchWhatIfRequest → BatchWhatIfResponse, forked contexts
 //	POST   /sessions/{id}/epoch    EpochRequest → SolveReport, committed
-//	GET    /stats                  PoolStatsResponse
-//	GET    /healthz                liveness probe
+//	GET    /stats                  PoolStatsResponse (with health conditions)
+//	GET    /healthz                health probe: 200 ok, 503 when any condition is Degraded
+//	GET    /metrics                Prometheus text exposition
+//
+// Every response carries the request's trace ID in X-Schedd-Trace
+// (adopted from the request when the client supplies one, minted at
+// ingress otherwise); latencies are recorded per endpoint and per
+// session, and one structured request line is logged per request.
 type Server struct {
-	pool *Pool
+	pool     *Pool
+	reg      *obs.Registry
+	metrics  *serverMetrics
+	logger   *slog.Logger
+	health   HealthThresholds
+	condHook func(sessionID string) []Condition
 }
 
 // NewServer wraps a pool in the HTTP API.
-func NewServer(pool *Pool) *Server { return &Server{pool: pool} }
+func NewServer(pool *Pool) *Server {
+	s := &Server{
+		pool:   pool,
+		reg:    obs.NewRegistry(),
+		logger: discardLogger(),
+		health: DefaultHealthThresholds(),
+	}
+	s.metrics = newServerMetrics(s.reg, s)
+	return s
+}
 
 // Pool returns the server's session pool.
 func (s *Server) Pool() *Pool { return s.pool }
@@ -52,10 +74,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions/{id}/whatif/batch", s.handleWhatIfBatch)
 	mux.HandleFunc("POST /sessions/{id}/epoch", s.handleEpoch)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -253,7 +274,7 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.pool.Stats())
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // Batch runs the service's solve path once, without a server: decode

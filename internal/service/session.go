@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adapt"
 	"repro/internal/cluster"
@@ -150,6 +151,12 @@ type Session struct {
 	coalesced atomic.Uint64
 	epochs    atomic.Uint64
 
+	// lastCommitNs is the wall time (UnixNano) of the last committed
+	// state change this process saw — session creation, restore, or an
+	// applied epoch commit. The health evaluator's CommitStaleness
+	// condition reads it lock-free.
+	lastCommitNs atomic.Int64
+
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
@@ -212,6 +219,7 @@ func buildSession(pl *platform.Platform, cfg sessionConfig) (*Session, error) {
 	}
 	s.id = sessionID(s.fingerprint, cfg)
 	s.refreshStateLocked() // unshared yet, so "locked" trivially holds
+	s.lastCommitNs.Store(time.Now().UnixNano())
 	return s, nil
 }
 
@@ -335,6 +343,21 @@ func (s *Session) SolverStats() lp.Stats {
 	return s.model.SolverStats()
 }
 
+// WarmPivotBudget returns the solver's pivot budget for warm
+// restarts — the denominator of the health evaluator's warm-headroom
+// condition.
+func (s *Session) WarmPivotBudget() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model.WarmPivotBudget()
+}
+
+// LastCommit returns the wall time of the last committed state change
+// this process saw for the session.
+func (s *Session) LastCommit() time.Time {
+	return time.Unix(0, s.lastCommitNs.Load())
+}
+
 // BetaRoutes lists the remote routes (k,l) carrying a β variable —
 // the routes a what-if may legally bound.
 func (s *Session) BetaRoutes() []core.Pair {
@@ -443,7 +466,7 @@ func (s *Session) reportFor(epr *core.Problem, alloc *core.Allocation) *SolveRep
 	for k := 0; k < K; k++ {
 		rep.Throughputs[k] = alloc.AppThroughput(k)
 	}
-	stats := s.model.SolverStats()
+	stats := s.model.SolverStats().Deterministic()
 	rep.Stats = &stats
 	return rep
 }
@@ -473,7 +496,7 @@ func (s *Session) relaxReportLocked(sol *core.MixedSolution) *SolveReport {
 	for p, v := range sol.Beta {
 		rep.BetaFrac[p.K][p.L] = v
 	}
-	stats := s.model.SolverStats()
+	stats := s.model.SolverStats().Deterministic()
 	rep.Stats = &stats
 	return rep
 }
@@ -560,7 +583,7 @@ func (s *Session) whatIfSolveLocked(req *WhatIfRequest) (*SolveReport, error) {
 			return nil, err
 		}
 		if !ok {
-			stats := s.model.SolverStats()
+			stats := s.model.SolverStats().Deterministic()
 			return &SolveReport{
 				Heuristic: s.cfg.heur,
 				Objective: s.cfg.objName,
@@ -677,8 +700,11 @@ func (s *Session) EpochIdempotent(req *EpochRequest, commitID string) (*SolveRep
 	}
 	s.epochs.Add(1)
 	rep, err := s.epochLocked(req)
-	if err == nil && commitID != "" {
-		s.recordCommitLocked(commitID, rep)
+	if err == nil {
+		s.lastCommitNs.Store(time.Now().UnixNano())
+		if commitID != "" {
+			s.recordCommitLocked(commitID, rep)
+		}
 	}
 	hook := s.onCommit
 	s.mu.Unlock()

@@ -202,8 +202,14 @@ type SessionStats struct {
 	CacheHits   uint64 `json:"cacheHits"`
 	CacheMisses uint64 `json:"cacheMisses"`
 	// Solver is the session's cumulative lp.Revised counters: the
-	// warm/cold solve split, pivots, refactorizations, bound flips.
+	// warm/cold solve split, pivots, refactorizations, bound flips —
+	// and, since the observability layer, wall time per simplex phase.
 	Solver lp.Stats `json:"solver"`
+	// Conditions are the session's evaluated health conditions
+	// (warm-pivot headroom, cache hit rate, commit staleness and — on
+	// ring nodes — replication lag). Empty in responses assembled
+	// without a condition evaluator (bare Pool.Stats).
+	Conditions []Condition `json:"conditions,omitempty"`
 }
 
 // PoolStatsResponse is the /stats response body.
@@ -264,6 +270,9 @@ type ClusterStats struct {
 	Retries       uint64 `json:"retries,omitempty"`
 	Failovers     uint64 `json:"failovers,omitempty"`
 	FencedCommits uint64 `json:"fencedCommits,omitempty"`
+	// RoutingLoops counts forwarded requests rejected for exceeding
+	// the forwarding hop bound (508 Loop Detected).
+	RoutingLoops uint64 `json:"routingLoops,omitempty"`
 	// Incarnation is this member's failure-detector incarnation;
 	// PeersAlive/PeersSuspect/PeersDead count the peers per state.
 	Incarnation  uint64 `json:"incarnation,omitempty"`
